@@ -1,0 +1,195 @@
+package ahead_test
+
+import (
+	"testing"
+
+	"ahead"
+	"ahead/internal/ops"
+)
+
+// TestFacadeEndToEnd drives the public API the way a downstream user
+// would: build a table, harden it, run a plan under every mode, inject a
+// fault and watch continuous detection catch it.
+func TestFacadeEndToEnd(t *testing.T) {
+	qty, err := ahead.NewColumn("quantity", ahead.TinyInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price, err := ahead.NewColumn("price", ahead.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regions []string
+	for i := 0; i < 1000; i++ {
+		qty.Append(uint64(i % 50))
+		price.Append(uint64(i * 13))
+		if i%2 == 0 {
+			regions = append(regions, "ASIA")
+		} else {
+			regions = append(regions, "EUROPE")
+		}
+	}
+	table := ahead.NewTable("orders")
+	for _, c := range []*ahead.Column{qty, price, ahead.NewStrColumn("region", regions)} {
+		if err := table.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db, err := ahead.NewDB([]*ahead.Table{table})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small plan: sum(price) where quantity < 25 and region = ASIA.
+	plan := func(q *ahead.Query) (*ahead.Result, error) {
+		qtyCol, err := q.Col("orders", "quantity")
+		if err != nil {
+			return nil, err
+		}
+		sel, err := ops.Filter(qtyCol, 0, 24, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		regionCol, err := q.Col("orders", "region")
+		if err != nil {
+			return nil, err
+		}
+		dict, err := q.Dict("orders", "region")
+		if err != nil {
+			return nil, err
+		}
+		asia, _ := dict.Code("ASIA")
+		sel, err = ops.FilterSel(regionCol, uint64(asia), uint64(asia), sel, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		priceCol, err := q.Col("orders", "price")
+		if err != nil {
+			return nil, err
+		}
+		vals, err := ops.Gather(priceCol, sel, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		vals = q.PreAggregate(vals)
+		sum, err := ops.SumTotal(vals, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		return q.FinishScalar(sum)
+	}
+
+	// Reference by direct evaluation.
+	want := uint64(0)
+	for i := 0; i < 1000; i++ {
+		if i%50 < 25 && i%2 == 0 {
+			want += uint64(i * 13)
+		}
+	}
+
+	for _, mode := range ahead.Modes {
+		for _, fl := range []ahead.Flavor{ahead.Scalar, ahead.Blocked} {
+			res, log, err := ahead.Run(db, mode, fl, plan)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mode, fl, err)
+			}
+			if log.Count() != 0 {
+				t.Fatalf("%v/%v: spurious detections", mode, fl)
+			}
+			if res.Rows() != 1 || res.Aggs[0] != want {
+				t.Fatalf("%v/%v: sum = %v, want %d", mode, fl, res.Aggs, want)
+			}
+		}
+	}
+
+	// Inject a flip into a hardened value that the plan touches:
+	// continuous detection must log it.
+	db.Hardened("orders").MustColumn("price").Corrupt(4, 1<<9)
+	_, log, err := ahead.Run(db, ahead.Continuous, ahead.Scalar, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Count() == 0 {
+		t.Fatal("continuous mode missed an injected flip")
+	}
+	pos, err := log.Positions("price")
+	if err != nil || len(pos) == 0 || pos[0] != 4 {
+		t.Fatalf("error vector: %v, %v", pos, err)
+	}
+	// The unprotected run stays silent - that is the point of AHEAD.
+	_, log, err = ahead.Run(db, ahead.Unprotected, ahead.Scalar, plan)
+	if err != nil || log.Count() != 0 {
+		t.Fatalf("unprotected: %v, %d", err, log.Count())
+	}
+}
+
+func TestFacadeCodes(t *testing.T) {
+	c, err := ahead.NewCode(29, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := c.Encode(38)
+	if cw != 1102 {
+		t.Fatalf("Encode(38) = %d", cw)
+	}
+	c2, err := ahead.CodeForMinBFW(8, 3)
+	if err != nil || c2.A() != 233 {
+		t.Fatalf("CodeForMinBFW: %v, %v", c2, err)
+	}
+	c3, err := ahead.StrongestCode(16, 32)
+	if err != nil || c3.A() != 63877 {
+		t.Fatalf("StrongestCode: %v, %v", c3, err)
+	}
+}
+
+func TestFacadeSDCAndSuperA(t *testing.T) {
+	dist, err := ahead.DistanceDistribution(29, 8)
+	if err != nil || dist.MinDistance() != 3 {
+		t.Fatalf("distribution: %v, %v", dist, err)
+	}
+	p, err := ahead.SDCProbabilities(29, 8)
+	if err != nil || p[1] != 0 || p[2] != 0 || p[3] <= 0 {
+		t.Fatalf("probabilities: %v, %v", p, err)
+	}
+	found, err := ahead.FindSuperAs(4, 6)
+	if err != nil || found[2].A != 27 {
+		t.Fatalf("FindSuperAs: %v, %v", found, err)
+	}
+}
+
+func TestFacadeHardenAndCampaign(t *testing.T) {
+	col, err := ahead.NewColumn("v", ahead.ShortInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		col.Append(uint64(i))
+	}
+	tbl := ahead.NewTable("t")
+	if err := tbl.AddColumn(col); err != nil {
+		t.Fatal(err)
+	}
+	hard, err := ahead.HardenTableForMinBFW(tbl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcol := hard.MustColumn("v")
+	if hcol.Code().A() != 463 {
+		t.Fatalf("min-bfw-3 code for 16-bit data: A=%d, want 463", hcol.Code().A())
+	}
+	res, err := ahead.Campaign(hcol, ahead.NewInjector(1), 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undetected != 0 {
+		t.Fatalf("guaranteed weight missed %d flips", res.Undetected)
+	}
+	hard2, err := ahead.HardenTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard2.MustColumn("v").Code().A() != 63877 {
+		t.Fatalf("default hardening picked A=%d", hard2.MustColumn("v").Code().A())
+	}
+}

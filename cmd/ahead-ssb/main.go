@@ -1,0 +1,160 @@
+// Command ahead-ssb regenerates the paper's end-to-end SSB evaluation
+// (Section 6): relative runtimes and storage per detection variant.
+//
+//	ahead-ssb -fig 1    # Figure 1: average relative runtime + storage
+//	ahead-ssb -fig 6    # Figure 6: per-query relative runtimes, blocked
+//	ahead-ssb -fig 7    # Figure 7: scalar vs blocked on Q1.1-Q1.3
+//	ahead-ssb -fig 8    # Figure 8: min-bfw sweep (runtime + storage)
+//	ahead-ssb -fig 11   # Figure 11: per-query relative runtimes, scalar
+//	ahead-ssb           # all of the above
+//
+// -sf scales the data (1.0 = 6M lineorder rows; default 0.05 keeps a laptop
+// run in seconds), -runs averages repeated executions per measurement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+	"ahead/internal/ssb"
+	"ahead/internal/storage"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "SSB scale factor (1.0 = 6M lineorder rows)")
+	runs := flag.Int("runs", 3, "repetitions per measurement")
+	seed := flag.Int64("seed", 1, "generator seed")
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 6, 7, 8, 11; 0 = all)")
+	flag.Parse()
+
+	if err := run(*sf, *seed, *runs, *fig); err != nil {
+		fmt.Fprintln(os.Stderr, "ahead-ssb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sf float64, seed int64, runs, fig int) error {
+	fmt.Printf("Generating SSB data at sf=%v ...\n", sf)
+	suite, data, err := ssb.NewSuite(sf, seed, runs)
+	if err != nil {
+		return err
+	}
+	for t, n := range data.Rows() {
+		fmt.Printf("  %-10s %8d rows\n", t, n)
+	}
+	fmt.Println()
+
+	all := fig == 0
+	if all || fig == 1 {
+		if err := figure1(suite); err != nil {
+			return err
+		}
+	}
+	if all || fig == 6 {
+		if err := relativeFigure(suite, ops.Blocked, "Figure 6"); err != nil {
+			return err
+		}
+	}
+	if all || fig == 11 {
+		if err := relativeFigure(suite, ops.Scalar, "Figure 11"); err != nil {
+			return err
+		}
+	}
+	if all || fig == 7 {
+		if err := figure7(suite); err != nil {
+			return err
+		}
+	}
+	if all || fig == 8 {
+		if err := figure8(sf, seed, runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func figure1(suite *ssb.Suite) error {
+	fmt.Println("== Figure 1: relative runtime and storage, SSB average ==")
+	ms, err := suite.RunAll(ops.Blocked)
+	if err != nil {
+		return err
+	}
+	avg := ssb.AverageRelative(ssb.RelativeRuntimes(ms))
+	stor := suite.StorageRelative()
+	fmt.Printf("%-14s %10s %10s   (paper: runtime 1.00/2.01/1.19, storage 1.00/2.00/1.50)\n",
+		"variant", "runtime", "storage")
+	for _, m := range []exec.Mode{exec.Unprotected, exec.DMR, exec.Continuous} {
+		fmt.Printf("%-14s %10.2f %10.2f\n", m, avg[m], stor[m])
+	}
+	fmt.Println()
+	return nil
+}
+
+func relativeFigure(suite *ssb.Suite, flavor ops.Flavor, title string) error {
+	fmt.Printf("== %s: relative SSB runtimes (%s) ==\n", title, flavor)
+	ms, err := suite.RunAll(flavor)
+	if err != nil {
+		return err
+	}
+	ssb.PrintRelativeTable(os.Stdout, ssb.RelativeRuntimes(ms), flavor)
+	fmt.Println()
+	return nil
+}
+
+func figure7(suite *ssb.Suite) error {
+	fmt.Println("== Figure 7: blocked-kernel speedup over scalar, Q1.1-Q1.3 ==")
+	fmt.Println("(the paper's SSE4.2 speedups are 2.3x-5.1x; Go blocked kernels")
+	fmt.Println(" preserve the ordering, not the absolute SIMD factors)")
+	sp, err := suite.SpeedupScalarOverVectorized()
+	if err != nil {
+		return err
+	}
+	for _, m := range exec.Modes {
+		fmt.Printf("%-14s %6.2fx\n", m, sp[m])
+	}
+	fmt.Println()
+	return nil
+}
+
+func figure8(sf float64, seed int64, runs int) error {
+	fmt.Println("== Figure 8: Q1.1 under Continuous per minimum bit-flip weight ==")
+	fmt.Printf("%-8s %12s %12s %12s %12s %12s\n", "min bfw", "runtime[ms]", "rel.runtime", "rel.storage", "bit-packed", "rel.packed")
+	var baseNanos, baseBytes float64
+	for bfw := 0; bfw <= 4; bfw++ {
+		choose := storage.LargestCodeChooser
+		label := "unprot."
+		if bfw > 0 {
+			choose = storage.MinBFWCodeChooser(bfw)
+			label = fmt.Sprintf("%d", bfw)
+		}
+		suite, _, err := ssb.NewSuiteWithChooser(sf, seed, runs, choose)
+		if err != nil {
+			return err
+		}
+		mode := exec.Continuous
+		if bfw == 0 {
+			mode = exec.Unprotected
+		}
+		m, err := suite.Measure("Q1.1", mode, ops.Blocked)
+		if err != nil {
+			return err
+		}
+		bytes := float64(suite.DB.StorageBytes(mode))
+		packed := float64(suite.DB.BitPackedBytes())
+		if bfw == 0 {
+			baseNanos, baseBytes = m.Nanos, bytes
+			packed = bytes
+		}
+		fmt.Printf("%-8s %12.2f %12.2f %12.2f %10.2fMiB %12.2f\n",
+			label, m.Nanos/1e6, m.Nanos/baseNanos, bytes/baseBytes,
+			packed/(1<<20), packed/baseBytes)
+	}
+	fmt.Println("\n(paper: byte-aligned storage doubles for min bfw 1-3 and grows to")
+	fmt.Println(" 2.26x at 4; bit-packing reduces it to 1.43x-1.61x - here measured,")
+	fmt.Println(" not projected, via internal/bitpack)")
+	fmt.Println()
+	return nil
+}

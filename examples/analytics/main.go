@@ -1,0 +1,122 @@
+// Analytics: an end-to-end hardened query session.
+//
+// Builds a small sales table, hardens it, and runs an aggregation query
+// under all six detection variants, timing each - a minimal version of
+// the paper's Section 6 evaluation on user-defined data.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ahead"
+	"ahead/internal/ops"
+)
+
+func main() {
+	const rows = 500000
+	rng := rand.New(rand.NewSource(2024))
+
+	qty, err := ahead.NewColumn("quantity", ahead.TinyInt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	price, err := ahead.NewColumn("price", ahead.Int)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var regions []string
+	regionList := []string{"AMERICA", "ASIA", "EUROPE"}
+	for i := 0; i < rows; i++ {
+		qty.Append(uint64(rng.Intn(50) + 1))
+		price.Append(uint64(rng.Intn(100000)))
+		regions = append(regions, regionList[rng.Intn(3)])
+	}
+	table := ahead.NewTable("sales")
+	for _, c := range []*ahead.Column{qty, price, ahead.NewStrColumn("region", regions)} {
+		if err := table.AddColumn(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	db, err := ahead.NewDB([]*ahead.Table{table})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SELECT region, SUM(price) FROM sales WHERE quantity < 25 GROUP BY region
+	plan := func(q *ahead.Query) (*ahead.Result, error) {
+		qtyCol, err := q.Col("sales", "quantity")
+		if err != nil {
+			return nil, err
+		}
+		sel, err := ops.Filter(qtyCol, 1, 24, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		regionCol, err := q.Col("sales", "region")
+		if err != nil {
+			return nil, err
+		}
+		groups, err := ops.Gather(regionCol, sel, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		priceCol, err := q.Col("sales", "price")
+		if err != nil {
+			return nil, err
+		}
+		vals, err := ops.Gather(priceCol, sel, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		groups = q.PreAggregate(groups)
+		vals = q.PreAggregate(vals)
+		gids, tuples, err := ops.GroupBy([]*ops.Vec{groups}, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		sums, err := ops.SumGrouped(vals, gids, len(tuples), q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		return q.Finish(tuples, sums)
+	}
+
+	dict, err := db.Plain("sales").Column("region")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s %12s %14s  result\n", "mode", "runtime", "storage[MiB]")
+	var base time.Duration
+	for _, mode := range ahead.Modes {
+		start := time.Now()
+		res, errlog, err := ahead.Run(db, mode, ahead.Blocked, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if mode == ahead.Unprotected {
+			base = elapsed
+		}
+		if errlog.Count() != 0 {
+			log.Fatalf("%v: unexpected detections", mode)
+		}
+		summary := ""
+		for i := range res.Keys {
+			name, _ := dict.Dict().Value(uint32(res.Keys[i][0]))
+			summary += fmt.Sprintf(" %s=%d", name, res.Aggs[i])
+		}
+		fmt.Printf("%-14s %10.2fms %14.2f %s\n", mode,
+			float64(elapsed.Microseconds())/1000,
+			float64(db.StorageBytes(mode))/(1<<20), summary)
+		_ = base
+	}
+	fmt.Println("\nAll six variants return identical results; the hardened ones")
+	fmt.Println("verified every touched value along the way.")
+}

@@ -1,0 +1,81 @@
+// At-rest protection: hardened columns survive the disk round trip and
+// self-verify on load.
+//
+// HDFS-style block checksums protect data on the disk hop and leave it
+// vulnerable everywhere else (the paper's related-work observation);
+// AHEAD's code words ARE the stored representation, so corruption picked
+// up at rest, on the interconnect, or in the buffer pool is detected at
+// value granularity - and repaired, not just refused.
+//
+//	go run ./examples/atrest
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+import "ahead"
+
+func main() {
+	dir, err := os.MkdirTemp("", "ahead-atrest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Build and harden a table.
+	readings, err := ahead.NewColumn("reading", ahead.ShortInt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		readings.Append(uint64(i * 3 % 65536))
+	}
+	table := ahead.NewTable("sensor")
+	if err := table.AddColumn(readings); err != nil {
+		log.Fatal(err)
+	}
+	hardened, err := ahead.HardenTable(table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ahead.SaveTable(dir, hardened); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved hardened table to %s\n", dir)
+
+	// Simulate silent at-rest corruption: flip bits in the stored file.
+	path := filepath.Join(dir, "reading.col")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, off := range []int{100, 2048, 30000} {
+		raw[len(raw)-off] ^= 1 << 4
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flipped 3 bits in the stored column file")
+
+	// Load: the AN codes pinpoint the corrupted values.
+	loaded, corrupt, err := ahead.LoadTable(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("load-time verification flagged positions %v\n", corrupt["reading"])
+
+	// Value-granular detection enables repair (here from the in-memory
+	// original; in a deployment, from a replica or a re-read).
+	col := loaded.MustColumn("reading")
+	for _, pos := range corrupt["reading"] {
+		col.Set(int(pos), uint64(int(pos)*3%65536))
+	}
+	if errs, _ := col.CheckAll(); len(errs) != 0 {
+		log.Fatalf("residual corruption: %v", errs)
+	}
+	fmt.Println("repaired in place; column verifies clean")
+}

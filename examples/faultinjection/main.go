@@ -1,0 +1,91 @@
+// Fault injection: watching AHEAD catch bit flips on the fly.
+//
+// Hardens an SSB lineorder table, injects bit flips of increasing weight,
+// and shows (a) which detection variant notices them during query
+// processing and (b) that empirical silent-corruption rates match the
+// analytic SDC probabilities of Appendix C.
+//
+//	go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ahead"
+	"ahead/internal/exec"
+	"ahead/internal/ssb"
+	"ahead/internal/storage"
+)
+
+func main() {
+	data, err := ssb.Generate(0.01, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: inject flips into the part foreign-key column and run
+	// Q2.1 under each variant. Q2.1 probes every lo_partkey against the
+	// part hash table: Continuous verifies each FK during the probe and
+	// logs the flips mid-query; Late softens FKs without checking, so a
+	// flipped key just misses the hash table and the row is silently
+	// dropped - the variant's documented caveat; Early catches them in
+	// its up-front Δ pass; Unprotected is silent by construction.
+	fmt.Println("== On-the-fly detection during Q2.1 ==")
+	fk := db.Hardened("lineorder").MustColumn("lo_partkey")
+	inj := ahead.NewInjector(99)
+	positions := []int{10, 5000, 25000, 50000}
+	for _, pos := range positions {
+		if _, err := inj.FlipAt(fk, pos, 2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("injected %d double-bit flips into lo_partkey\n\n", len(positions))
+	fmt.Printf("%-14s %10s\n", "mode", "detected")
+	for _, mode := range []exec.Mode{exec.Unprotected, exec.EarlyOnetime, exec.LateOnetime, exec.Continuous} {
+		_, errlog, err := exec.Run(db, mode, ahead.Blocked, ssb.Queries["Q2.1"])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %10d\n", mode, errlog.Count())
+	}
+	fmt.Println("\n(Early and Continuous verify every probed FK; Late silently drops")
+	fmt.Println(" the corrupted rows - missing tuples; Unprotected sees nothing.)")
+
+	// Part 2: detection-rate campaign vs the analytic SDC probability.
+	fmt.Println("\n== Campaign: empirical vs analytic silent-corruption rate ==")
+	qty, err := ahead.NewColumn("q", ahead.TinyInt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		qty.Append(uint64(i % 256))
+	}
+	code, err := ahead.NewCode(29, 8) // guarantees weight <= 2
+	if err != nil {
+		log.Fatal(err)
+	}
+	hard, err := qty.Harden(code)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analytic, err := ahead.SDCProbabilities(29, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %12s %14s %14s\n", "weight", "detected", "silent rate", "analytic p_b")
+	for weight := 1; weight <= 6; weight++ {
+		res, err := ahead.Campaign(hard, ahead.NewInjector(int64(weight)), 100000, weight)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12d %14.5f %14.5f\n", weight, res.Detected,
+			float64(res.Undetected)/float64(res.Trials), analytic[weight])
+	}
+	fmt.Println("\nWeights 1-2 are always caught (the super-A guarantee); beyond that")
+	fmt.Println("the silent rate tracks the distance-distribution prediction.")
+}

@@ -1,0 +1,157 @@
+package ahead_test
+
+import (
+	"testing"
+
+	"ahead"
+	"ahead/internal/ops"
+)
+
+// TestFacadeTMRAndRepair exercises the extension surface: TMR masking and
+// detect-then-repair recovery.
+func TestFacadeTMRAndRepair(t *testing.T) {
+	col, err := ahead.NewColumn("v", ahead.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		col.Append(uint64(i))
+	}
+	tbl := ahead.NewTable("t")
+	if err := tbl.AddColumn(col); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ahead.NewDB([]*ahead.Table{tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := func(q *ahead.Query) (*ahead.Result, error) {
+		c, err := q.Col("t", "v")
+		if err != nil {
+			return nil, err
+		}
+		sel, err := ops.Filter(c, 0, 499, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		vec, err := ops.Gather(c, sel, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		vec = q.PreAggregate(vec)
+		sum, err := ops.SumTotal(vec, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		return q.FinishScalar(sum)
+	}
+	ref, _, err := ahead.Run(db, ahead.Unprotected, ahead.Scalar, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ahead.Run(db, ahead.TMR, ahead.Scalar, plan)
+	if err != nil || !res.Equal(ref) {
+		t.Fatalf("TMR: %v", err)
+	}
+
+	// Detect, repair, re-run clean.
+	db.Hardened("t").MustColumn("v").Corrupt(100, 1<<5)
+	_, log, err := ahead.Run(db, ahead.Continuous, ahead.Scalar, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Count() == 0 {
+		t.Fatal("no detection")
+	}
+	n, err := ahead.Repair(db, "t", "v", log)
+	if err != nil || n != 1 {
+		t.Fatalf("repair: %d, %v", n, err)
+	}
+	res, log, err = ahead.Run(db, ahead.Continuous, ahead.Scalar, plan)
+	if err != nil || log.Count() != 0 || !res.Equal(ref) {
+		t.Fatalf("after repair: %v, %d detections", err, log.Count())
+	}
+}
+
+func TestFacadeAccumulatorAndPacking(t *testing.T) {
+	code, err := ahead.NewCode(29, 8) // 13-bit code words
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ahead.NewAccumulator(code, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Block() != 32 {
+		t.Fatal("block")
+	}
+	values := make([]uint64, 1000)
+	for i := range values {
+		values[i] = uint64(i % 200)
+	}
+	packed, err := ahead.PackHardened(values, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 bits per value instead of 16: the Figure 8b saving.
+	if packed.Bits() != 13 {
+		t.Fatalf("packed bits %d", packed.Bits())
+	}
+	sel, errs := packed.ScanRange(50, 99, true, nil, nil)
+	if len(errs) != 0 || len(sel) != 250 {
+		t.Fatalf("packed scan: %d rows, %d errs", len(sel), len(errs))
+	}
+}
+
+func TestFacadeBTreeAndDecimal(t *testing.T) {
+	code, err := ahead.NewCode(63877, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := ahead.NewHardenedBTree(code)
+	for i := uint64(0); i < 1000; i++ {
+		if err := tree.Insert(i, i*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, found, err := tree.Lookup(500)
+	if err != nil || !found || v != 1000 {
+		t.Fatalf("lookup: %d, %v, %v", v, found, err)
+	}
+
+	a, err := ahead.ParseDecimal("1024.50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	limbCode, _ := ahead.NewCode(233, 8)
+	ha, err := a.Harden(limbCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ahead.ParseDecimal("0.75")
+	hb, _ := b.Harden(limbCode)
+	sum, err := ha.Add(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sum.Soften()
+	if err != nil || dec.String() != "1025.25" {
+		t.Fatalf("decimal sum %v, %v", dec, err)
+	}
+}
+
+func TestFacadeErrorModelAdaptation(t *testing.T) {
+	code, overall, err := ahead.ChooseCodeForModel(8, ahead.DRAMDisturbance, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.A() != 233 {
+		t.Fatalf("model-driven choice A=%d, want 233", code.A())
+	}
+	if overall > 0.001 {
+		t.Fatalf("target missed: %v", overall)
+	}
+	if _, _, err := ahead.ChooseCodeForModel(8, ahead.DRAMDisturbance, 0); err == nil {
+		t.Fatal("target 0 must error")
+	}
+}

@@ -1,0 +1,3 @@
+module ahead
+
+go 1.22

@@ -1,0 +1,84 @@
+package an
+
+import "fmt"
+
+// Code-word accumulators (Section 9, extension 1): instead of verifying
+// every code word, sum blocks of n code words and verify the block sum,
+// "trading accuracy against performance".
+//
+// The sum of n valid code words is (Σd)·A exactly (Eq. 5, evaluated in
+// the 64-bit ring), i.e. a valid code word of the same A over a domain
+// widened by log2(n) bits. Detection strength of the block test:
+//
+//   - any single bit flip inside a block is always detected: it changes
+//     the sum by ±2^i, which is never a multiple of an odd A > 1;
+//   - multiple flips can cancel in the sum (e.g. the same bit flipped up
+//     in one word and down at equal significance in another), which
+//     per-value checking would catch - that is the accuracy trade;
+//   - a failing block is re-scanned per value to locate the corruption,
+//     so the fast path costs one add per value and one multiply+compare
+//     per block.
+
+// Accumulator verifies blocks of code words of a base code.
+type Accumulator struct {
+	base  *Code
+	wide  *Code // same A, domain widened to hold block sums
+	block int
+}
+
+// NewAccumulator returns a block verifier over blocks of the given size.
+func NewAccumulator(base *Code, block int) (*Accumulator, error) {
+	if block < 1 {
+		return nil, fmt.Errorf("an: accumulator block must be positive, got %d", block)
+	}
+	extra := uint(0)
+	for n := block - 1; n > 0; n >>= 1 {
+		extra++
+	}
+	wideBits := base.DataBits() + extra
+	if wideBits+base.ABits() > MaxCodeBits {
+		return nil, fmt.Errorf("an: block of %d words overflows the accumulator domain (%d+%d bits)",
+			block, wideBits, base.ABits())
+	}
+	wide, err := New(base.A(), wideBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Accumulator{base: base, wide: wide, block: block}, nil
+}
+
+// Block returns the block size.
+func (a *Accumulator) Block() int { return a.block }
+
+// CheckSlice verifies src block-wise, appending the positions of
+// corrupted words (located by per-value re-scan of failing blocks) to
+// errs. It never reports false positives and never misses a block
+// containing a single flipped bit; see the package comment for the
+// multi-flip caveat.
+func CheckSliceAccum[S Unsigned](a *Accumulator, src []S, errs []uint64) []uint64 {
+	inv := a.wide.AInv()
+	mask := a.wide.CodeMask()
+	dmax := a.wide.MaxData()
+	bInv := S(a.base.AInv())
+	bMask := S(a.base.CodeMask())
+	bMax := S(a.base.MaxData())
+	for start := 0; start < len(src); start += a.block {
+		end := start + a.block
+		if end > len(src) {
+			end = len(src)
+		}
+		var sum uint64
+		for _, v := range src[start:end] {
+			sum += uint64(v)
+		}
+		if sum*inv&mask <= dmax {
+			continue // whole block verified with one multiply+compare
+		}
+		for i, v := range src[start:end] {
+			if v*bInv&bMask > bMax {
+				errs = append(errs, uint64(start+i))
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,125 @@
+package an
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestAccumulatorValidation(t *testing.T) {
+	base := MustNew(63877, 16)
+	if _, err := NewAccumulator(base, 0); err == nil {
+		t.Error("block 0 must error")
+	}
+	// 16 data bits + 16 A bits leaves 32 bits of headroom: block sizes
+	// beyond 2^32 overflow.
+	if _, err := NewAccumulator(base, 1<<33); err == nil {
+		t.Error("overflowing block must error")
+	}
+	acc, err := NewAccumulator(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Block() != 64 {
+		t.Fatal("block size")
+	}
+}
+
+func TestAccumCleanSlice(t *testing.T) {
+	base := MustNew(233, 8)
+	for _, block := range []int{1, 7, 16, 100} {
+		acc, err := NewAccumulator(base, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := make([]uint16, 1000) // length not a block multiple
+		for i := range src {
+			src[i] = uint16(base.Encode(uint64(i % 256)))
+		}
+		if errs := CheckSliceAccum(acc, src, nil); len(errs) != 0 {
+			t.Fatalf("block=%d: clean slice flagged %v", block, errs)
+		}
+	}
+}
+
+func TestAccumDetectsAndLocatesSingleFlips(t *testing.T) {
+	base := MustNew(233, 8)
+	acc, err := NewAccumulator(base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	src := make([]uint16, 4096)
+	for i := range src {
+		src[i] = uint16(base.Encode(uint64(rng.Intn(256))))
+	}
+	// Any single flip anywhere must be detected AND located exactly.
+	for trial := 0; trial < 500; trial++ {
+		pos := rng.Intn(len(src))
+		bit := uint(rng.Intn(int(base.CodeBits())))
+		src[pos] ^= 1 << bit
+		errs := CheckSliceAccum(acc, src, nil)
+		src[pos] ^= 1 << bit
+		if !reflect.DeepEqual(errs, []uint64{uint64(pos)}) {
+			t.Fatalf("flip at %d bit %d: errs %v", pos, bit, errs)
+		}
+	}
+}
+
+func TestAccumCancellingFlipsAreTheTradeoff(t *testing.T) {
+	// Two flips of equal significance in opposite directions within one
+	// block cancel in the sum - the documented accuracy trade. Find two
+	// words in one block whose bit 3 differs; swapping both changes each
+	// word but not the sum.
+	base := MustNew(233, 8)
+	acc, err := NewAccumulator(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]uint16, 64)
+	for i := range src {
+		src[i] = uint16(base.Encode(uint64(i)))
+	}
+	var up, down = -1, -1
+	for i, v := range src {
+		if v&(1<<3) == 0 && up == -1 {
+			up = i
+		}
+		if v&(1<<3) != 0 && down == -1 {
+			down = i
+		}
+	}
+	if up == -1 || down == -1 {
+		t.Skip("no cancelling pair in this block")
+	}
+	src[up] ^= 1 << 3
+	src[down] ^= 1 << 3
+	if errs := CheckSliceAccum(acc, src, nil); len(errs) != 0 {
+		t.Fatalf("cancelling pair unexpectedly detected: %v", errs)
+	}
+	// Per-value checking catches both - the accuracy the block test
+	// trades away.
+	if errs := CheckSlice(base, src, nil); len(errs) != 2 {
+		t.Fatalf("per-value check found %d, want 2", len(errs))
+	}
+}
+
+func TestAccumMatchesPerValueOnMultiCorruption(t *testing.T) {
+	// Corruptions in separate blocks are all located.
+	base := MustNew(63877, 16)
+	acc, err := NewAccumulator(base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]uint32, 256)
+	for i := range src {
+		src[i] = uint32(base.Encode(uint64(i * 17)))
+	}
+	for _, pos := range []int{3, 40, 100, 250} {
+		src[pos] ^= 1 << 9
+	}
+	errs := CheckSliceAccum(acc, src, nil)
+	if !reflect.DeepEqual(errs, []uint64{3, 40, 100, 250}) {
+		t.Fatalf("errs %v", errs)
+	}
+}

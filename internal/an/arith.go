@@ -1,0 +1,64 @@
+package an
+
+// Hardened arithmetic (Section 3.1, Eq. 5-8).
+//
+// Addition and subtraction of two code words hardened with the same A yield
+// the code word of the sum/difference directly. Multiplication of two code
+// words produces an A^2 factor that one inverse multiplication removes
+// (Eq. 7c); division of two code words strips the factor entirely, so the
+// quotient is re-multiplied by A (Eq. 8c). Order comparisons transfer
+// unchanged because multiplication by a positive constant is monotonic
+// (Eq. 6) - they need no helpers here.
+//
+// All operations stay inside the ring mod 2^|C|; the caller is responsible
+// for choosing a code wide enough that true results fit the data domain,
+// exactly as with unprotected machine arithmetic.
+
+// Add returns the code word of d1+d2 given code words of d1 and d2 (Eq. 5).
+func (c *Code) Add(c1, c2 uint64) uint64 {
+	return (c1 + c2) & c.codeMask
+}
+
+// Sub returns the code word of d1-d2 given code words of d1 and d2 (Eq. 5).
+func (c *Code) Sub(c1, c2 uint64) uint64 {
+	return (c1 - c2) & c.codeMask
+}
+
+// MulMixed multiplies a code word by an *unencoded* operand (Eq. 7a): the
+// result is the code word of d1*d2.
+func (c *Code) MulMixed(c1, d2 uint64) uint64 {
+	return (c1 * d2) & c.codeMask
+}
+
+// Mul multiplies two code words and removes the superfluous A factor by
+// multiplying with the inverse (Eq. 7c): the result is the code word of
+// d1*d2.
+func (c *Code) Mul(c1, c2 uint64) uint64 {
+	return (c1 * c2 * c.aInv) & c.codeMask
+}
+
+// DivMixed divides a code word by an *unencoded* operand (Eq. 8a):
+// c1/d2 = (d1·A)/d2 = (d1/d2)·A, exact when d2 divides d1.
+func (c *Code) DivMixed(c1, d2 uint64) uint64 {
+	return (c1 / d2) & c.codeMask
+}
+
+// Div divides two code words (Eq. 8c). The code-word division happens
+// first - it strips the A factor - and the quotient is then re-hardened by
+// multiplying with A. Performing the multiplication first would overflow,
+// which is why the paper stresses the evaluation order.
+func (c *Code) Div(c1, c2 uint64) uint64 {
+	return ((c1 / c2) * c.a) & c.codeMask
+}
+
+// AddSigned, SubSigned operate on signed code words; two's-complement ring
+// arithmetic makes them identical to the unsigned forms.
+func (c *Code) AddSigned(c1, c2 uint64) uint64 { return c.Add(c1, c2) }
+
+// SubSigned returns the signed hardened difference.
+func (c *Code) SubSigned(c1, c2 uint64) uint64 { return c.Sub(c1, c2) }
+
+// EncodePredicate hardens a filter predicate constant so comparisons can be
+// evaluated against hardened column values without softening them (late /
+// continuous detection, Section 5.1).
+func (c *Code) EncodePredicate(d uint64) uint64 { return c.Encode(d) }

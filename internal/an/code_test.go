@@ -1,0 +1,409 @@
+package an
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		a        uint64
+		dataBits uint
+		ok       bool
+	}{
+		{29, 8, true},
+		{3, 1, true},
+		{63877, 16, true},
+		{2, 8, false},  // even
+		{1, 8, false},  // too small
+		{0, 8, false},  // zero
+		{28, 8, false}, // even
+		{3, 0, false},  // zero width
+		{3, 63, false}, // |C| = 65 > 64
+		{3, 62, true},  // |C| = 64 exactly
+	}
+	for _, tc := range cases {
+		_, err := New(tc.a, tc.dataBits)
+		if (err == nil) != tc.ok {
+			t.Errorf("New(%d, %d): err=%v, want ok=%v", tc.a, tc.dataBits, err, tc.ok)
+		}
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Figure 2: value 38 hardened with A=29 over 8-bit data gives 1102 in
+	// a 13-bit code word.
+	c := MustNew(29, 8)
+	if got := c.CodeBits(); got != 13 {
+		t.Fatalf("CodeBits = %d, want 13", got)
+	}
+	if got := c.ABits(); got != 5 {
+		t.Fatalf("ABits = %d, want 5", got)
+	}
+	cw := c.Encode(38)
+	if cw != 1102 {
+		t.Fatalf("Encode(38) = %d, want 1102", cw)
+	}
+	if !c.IsValid(cw) || !c.IsValidNaive(cw) {
+		t.Fatalf("1102 should be valid under both tests")
+	}
+	if d, ok := c.Check(cw); !ok || d != 38 {
+		t.Fatalf("Check(1102) = (%d,%v), want (38,true)", d, ok)
+	}
+}
+
+func TestPaperSignedExample(t *testing.T) {
+	// Section 4.3 example: |D|=8 signed, A=233, A^-1 = 55129 mod 2^16,
+	// d=5 encodes to 1165; 1166 and 1164 (single/double flips in the low
+	// bits) must be detected.
+	c := MustNew(233, 8)
+	if got := c.CodeBits(); got != 16 {
+		t.Fatalf("CodeBits = %d, want 16", got)
+	}
+	if got := c.AInv(); got != 55129 {
+		t.Fatalf("AInv = %d, want 55129", got)
+	}
+	cw := c.EncodeSigned(5)
+	if cw != 1165 {
+		t.Fatalf("EncodeSigned(5) = %d, want 1165", cw)
+	}
+	if d, ok := c.CheckSigned(cw); !ok || d != 5 {
+		t.Fatalf("CheckSigned(1165) = (%d,%v), want (5,true)", d, ok)
+	}
+	if _, ok := c.CheckSigned(1166); ok {
+		t.Fatalf("1166 must be detected as corrupted")
+	}
+	if _, ok := c.CheckSigned(1164); ok {
+		t.Fatalf("1164 must be detected as corrupted")
+	}
+	// Negative values round-trip too.
+	for _, d := range []int64{-128, -127, -1, 0, 1, 127} {
+		cw := c.EncodeSigned(d)
+		got, ok := c.CheckSigned(cw)
+		if !ok || got != d {
+			t.Fatalf("signed round trip %d -> %d (ok=%v)", d, got, ok)
+		}
+	}
+}
+
+func TestRoundTripExhaustiveSmallWidths(t *testing.T) {
+	for _, dataBits := range []uint{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12} {
+		for _, a := range []uint64{3, 5, 29, 61, 233, 1939} {
+			c, err := New(a, dataBits)
+			if err != nil {
+				continue
+			}
+			for d := uint64(0); d <= c.MaxData(); d++ {
+				cw := c.Encode(d)
+				got, ok := c.Check(cw)
+				if !ok || got != d {
+					t.Fatalf("%v: Check(Encode(%d)) = (%d,%v)", c, d, got, ok)
+				}
+				if !c.IsValidNaive(cw) {
+					t.Fatalf("%v: naive test rejects valid code word of %d", c, d)
+				}
+				if c.DecodeNaive(cw) != d {
+					t.Fatalf("%v: naive decode of %d wrong", c, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSignedRoundTripExhaustive(t *testing.T) {
+	for _, dataBits := range []uint{2, 4, 8, 10} {
+		c := MustNew(29, dataBits)
+		for d := c.MinSigned(); d <= c.MaxSigned(); d++ {
+			cw := c.EncodeSigned(d)
+			got, ok := c.CheckSigned(cw)
+			if !ok || got != d {
+				t.Fatalf("%v: signed round trip %d -> (%d,%v)", c, d, got, ok)
+			}
+		}
+	}
+}
+
+// TestImprovedDetectionEquivalence reproduces, at CPU scale, the paper's
+// exhaustive validation of Eq. (12)/(13): decoding with the inverse and
+// comparing against the data-domain bounds detects exactly the corruptions
+// that are not valid code words. Valid code words are d*A for d in the
+// domain; every other bit pattern of |C| bits must be flagged.
+func TestImprovedDetectionEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		a        uint64
+		dataBits uint
+	}{
+		{29, 8}, {233, 8}, {61, 10}, {463, 9}, {3, 12}, {13, 7},
+	} {
+		c := MustNew(tc.a, tc.dataBits)
+		valid := make(map[uint64]bool, 1<<tc.dataBits)
+		for d := uint64(0); d <= c.MaxData(); d++ {
+			valid[c.Encode(d)] = true
+		}
+		for cw := uint64(0); cw <= c.CodeMask(); cw++ {
+			if c.IsValid(cw) != valid[cw] {
+				t.Fatalf("%v: IsValid(%d) = %v, enumeration says %v", c, cw, c.IsValid(cw), valid[cw])
+			}
+		}
+	}
+}
+
+// TestSignedDetectionEquivalence is the signed counterpart: the two-sided
+// bound test must accept exactly the signed code words.
+func TestSignedDetectionEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		a        uint64
+		dataBits uint
+	}{
+		{233, 8}, {29, 8}, {61, 10}, {13963, 7},
+	} {
+		c := MustNew(tc.a, tc.dataBits)
+		valid := make(map[uint64]bool, 1<<tc.dataBits)
+		for d := c.MinSigned(); d <= c.MaxSigned(); d++ {
+			valid[c.EncodeSigned(d)] = true
+		}
+		for cw := uint64(0); cw <= c.CodeMask(); cw++ {
+			if c.IsValidSigned(cw) != valid[cw] {
+				t.Fatalf("%v: IsValidSigned(%d) = %v, enumeration says %v", c, cw, c.IsValidSigned(cw), valid[cw])
+			}
+		}
+	}
+}
+
+// TestGuaranteedDetection flips every pattern of up to the guaranteed
+// minimum bit-flip weight into valid code words and requires detection -
+// the defining property of a super A.
+func TestGuaranteedDetection(t *testing.T) {
+	cases := []struct {
+		a        uint64
+		dataBits uint
+		minBFW   int
+	}{
+		{3, 8, 1},
+		{29, 8, 2},
+		{233, 8, 3},
+		{13, 2, 2},
+		{53, 2, 3},
+		{213, 2, 4},
+		{29, 5, 2},
+		{117, 5, 3},
+	}
+	for _, tc := range cases {
+		c := MustNew(tc.a, tc.dataBits)
+		n := c.CodeBits()
+		for d := uint64(0); d <= c.MaxData(); d++ {
+			cw := c.Encode(d)
+			forEachFlip(n, tc.minBFW, func(pattern uint64) {
+				if pattern == 0 {
+					return
+				}
+				if c.IsValid(cw ^ pattern) {
+					t.Fatalf("A=%d |D|=%d: flip %013b of weight %d on code word of %d undetected",
+						tc.a, tc.dataBits, pattern, bits.OnesCount64(pattern), d)
+				}
+			})
+		}
+	}
+}
+
+// forEachFlip calls fn with every n-bit pattern of weight <= maxWeight.
+func forEachFlip(n uint, maxWeight int, fn func(uint64)) {
+	var rec func(start uint, remaining int, acc uint64)
+	rec = func(start uint, remaining int, acc uint64) {
+		fn(acc)
+		if remaining == 0 {
+			return
+		}
+		for b := start; b < n; b++ {
+			rec(b+1, remaining-1, acc|1<<b)
+		}
+	}
+	rec(0, maxWeight, 0)
+}
+
+func TestArithmeticIdentities(t *testing.T) {
+	c := MustNew(61, 16)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		d1 := rng.Uint64() & 0x7FFF
+		d2 := rng.Uint64() & 0x7FFF
+		c1, c2 := c.Encode(d1), c.Encode(d2)
+		if got := c.Add(c1, c2); got != c.Encode(d1+d2) {
+			t.Fatalf("Add: %d + %d", d1, d2)
+		}
+		if d1 >= d2 {
+			if got := c.Sub(c1, c2); got != c.Encode(d1-d2) {
+				t.Fatalf("Sub: %d - %d", d1, d2)
+			}
+		}
+		// Keep products inside the data domain for Mul checks.
+		m1, m2 := d1&0xFF, d2&0xFF
+		if got := c.Mul(c.Encode(m1), c.Encode(m2)); got != c.Encode(m1*m2) {
+			t.Fatalf("Mul: %d * %d", m1, m2)
+		}
+		if got := c.MulMixed(c.Encode(m1), m2); got != c.Encode(m1*m2) {
+			t.Fatalf("MulMixed: %d * %d", m1, m2)
+		}
+		if d2 != 0 && d1%d2 == 0 {
+			if got := c.Div(c1, c2); got != c.Encode(d1/d2) {
+				t.Fatalf("Div: %d / %d", d1, d2)
+			}
+			if got := c.DivMixed(c1, d2); got != c.Encode(d1/d2) {
+				t.Fatalf("DivMixed: %d / %d", d1, d2)
+			}
+		}
+	}
+}
+
+func TestComparisonTransfersToHardenedDomain(t *testing.T) {
+	// Eq. 6: order relations on code words match order relations on data
+	// words as long as code words are compared in a wide enough register.
+	c := MustNew(29, 8)
+	for d1 := uint64(0); d1 <= c.MaxData(); d1++ {
+		for d2 := uint64(0); d2 <= c.MaxData(); d2 += 7 {
+			c1, c2 := c.Encode(d1), c.Encode(d2)
+			if (d1 < d2) != (c1 < c2) || (d1 == d2) != (c1 == c2) {
+				t.Fatalf("comparison mismatch at %d vs %d", d1, d2)
+			}
+		}
+	}
+}
+
+func TestReencode(t *testing.T) {
+	c1 := MustNew(29, 8)
+	c2 := MustNew(233, 8)
+	for d := uint64(0); d <= 255; d++ {
+		got := c1.Reencode(c1.Encode(d), c2)
+		if want := c2.Encode(d); got != want {
+			t.Fatalf("Reencode(%d): got %d, want %d", d, got, want)
+		}
+		// And back down again.
+		back := c2.Reencode(got, c1)
+		if want := c1.Encode(d); back != want {
+			t.Fatalf("Reencode back(%d): got %d, want %d", d, back, want)
+		}
+	}
+}
+
+func TestReencodeFactorRejectsWidthMismatch(t *testing.T) {
+	c1 := MustNew(29, 8)
+	c2 := MustNew(61, 16)
+	if _, _, err := c1.ReencodeFactor(c2); err == nil {
+		t.Fatal("expected error for mismatched data widths")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c := MustNew(63877, 16)
+	f := func(d uint16) bool {
+		cw := c.Encode(uint64(d))
+		got, ok := c.Check(cw)
+		return ok && got == uint64(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAdditionHomomorphism(t *testing.T) {
+	c := MustNew(463, 16) // room for sums: use 15-bit operands
+	f := func(a, b uint16) bool {
+		d1, d2 := uint64(a)>>1, uint64(b)>>1
+		return c.Add(c.Encode(d1), c.Encode(d2)) == c.Encode(d1+d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSignedRoundTrip(t *testing.T) {
+	c := MustNew(63877, 16)
+	f := func(d int16) bool {
+		cw := c.EncodeSigned(int64(d))
+		got, ok := c.CheckSigned(cw)
+		return ok && got == int64(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDetectionSingleFlips(t *testing.T) {
+	// Any super A detects at least all single-bit flips.
+	c, err := ForMinBFW(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(d uint16, bit uint8) bool {
+		cw := c.Encode(uint64(d))
+		flip := cw ^ (1 << (uint(bit) % c.CodeBits()))
+		return !c.IsValid(flip)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := uint(2); n <= 64; n++ {
+		for i := 0; i < 50; i++ {
+			a := rng.Uint64() | 1
+			a &= maskFor(n)
+			if a <= 1 {
+				a = 3
+			}
+			newton := InverseMod2N(a, n)
+			euclid := InverseEuclidMod2N(a, n)
+			if newton != euclid {
+				t.Fatalf("n=%d a=%d: Newton %d != Euclid %d", n, a, newton, euclid)
+			}
+			if got := (a * newton) & maskFor(n); got != 1 {
+				t.Fatalf("n=%d a=%d: a*inv = %d", n, a, got)
+			}
+		}
+	}
+}
+
+func TestInverseBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []uint{7, 15, 31, 63, 127} {
+		for i := 0; i < 25; i++ {
+			a := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), n))
+			a.SetBit(a, 0, 1) // make odd
+			if a.Cmp(big.NewInt(1)) <= 0 {
+				a = big.NewInt(3)
+			}
+			inv, err := InverseBig(a, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod := new(big.Int).Lsh(big.NewInt(1), n)
+			prod := new(big.Int).Mul(a, inv)
+			prod.Mod(prod, mod)
+			if prod.Cmp(big.NewInt(1)) != 0 {
+				t.Fatalf("n=%d a=%s: a*inv mod 2^n = %s", n, a, prod)
+			}
+			// Against stdlib for extra confidence.
+			want := new(big.Int).ModInverse(a, mod)
+			if inv.Cmp(want) != 0 {
+				t.Fatalf("n=%d a=%s: %s != ModInverse %s", n, a, inv, want)
+			}
+		}
+	}
+	if _, err := InverseBig(big.NewInt(4), 8); err == nil {
+		t.Fatal("expected error for even constant")
+	}
+}
+
+func TestInverseRejectsEven(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InverseMod2N must panic on even input")
+		}
+	}()
+	InverseMod2N(4, 8)
+}

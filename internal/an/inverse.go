@@ -1,0 +1,106 @@
+package an
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// InverseMod2N returns the multiplicative inverse of the odd constant a in
+// the residue-class ring mod 2^n (1 <= n <= 64). The result x satisfies
+// a*x ≡ 1 (mod 2^n).
+//
+// The implementation uses Newton-Hensel lifting: starting from x = a (which
+// is correct mod 8 for every odd a), each iteration x <- x*(2 - a*x)
+// doubles the number of correct low-order bits, so five iterations suffice
+// for 64 bits. InverseEuclidMod2N computes the same value with the extended
+// Euclidean algorithm the paper describes; the two are cross-validated in
+// tests and benchmarked against each other (Figure 10).
+func InverseMod2N(a uint64, n uint) uint64 {
+	if a%2 == 0 {
+		panic(fmt.Sprintf("an: no inverse for even constant %d", a))
+	}
+	x := a // correct mod 2^3
+	x *= 2 - a*x
+	x *= 2 - a*x
+	x *= 2 - a*x
+	x *= 2 - a*x // correct mod 2^48
+	x *= 2 - a*x // correct mod 2^96 > 2^64
+	return x & maskFor(n)
+}
+
+// InverseEuclidMod2N computes the multiplicative inverse of the odd
+// constant a mod 2^n with the extended Euclidean algorithm, as described in
+// Section 4.3. For n == 64 the modulus 2^64 does not fit a uint64, so the
+// first division step (2^n = q*a + r) is carried out explicitly before the
+// standard iteration takes over with operands that fit the machine word.
+func InverseEuclidMod2N(a uint64, n uint) uint64 {
+	if a%2 == 0 {
+		panic(fmt.Sprintf("an: no inverse for even constant %d", a))
+	}
+	if a == 1 {
+		return 1
+	}
+	mask := maskFor(n)
+	// First step of Euclid with the (possibly 65-bit) modulus m = 2^n:
+	// m = q*a + r, computed without overflowing a uint64.
+	var q, r uint64
+	if n < 64 {
+		m := uint64(1) << n
+		q, r = m/a, m%a
+	} else if h := uint64(1) << 63; a > h {
+		q, r = 1, -a // 2^64 - a in two's complement
+	} else {
+		// Double quotient and remainder of 2^63 / a; the remainder
+		// doubling cannot overflow because a <= 2^63.
+		q, r = h/a*2, h%a*2
+		if r >= a {
+			q++
+			r -= a
+		}
+	}
+	// Extended Euclid on (a, r) with Bezout coefficients for a tracked in
+	// the ring mod 2^n. Invariants (mod 2^n): s0*a ≡ r0', s1*a ≡ r1'.
+	r0, r1 := a, r
+	s0, s1 := uint64(1), (-q)&mask // m - q*a == r, and m ≡ 0 (mod 2^n)
+	for r1 != 0 {
+		qq := r0 / r1
+		r0, r1 = r1, r0-qq*r1
+		s0, s1 = s1, (s0-qq*s1)&mask
+	}
+	if r0 != 1 {
+		panic(fmt.Sprintf("an: gcd(%d, 2^%d) = %d, no inverse", a, n, r0))
+	}
+	return s0 & mask
+}
+
+// InverseBig computes the multiplicative inverse of the odd constant a mod
+// 2^n for arbitrary widths n, covering the |C| ∈ {7,15,31,63,127} sweep of
+// Figure 10. It runs the extended Euclidean algorithm on big integers; for
+// n <= 64 it agrees with InverseMod2N.
+func InverseBig(a *big.Int, n uint) (*big.Int, error) {
+	if a.Bit(0) == 0 {
+		return nil, fmt.Errorf("an: no inverse for even constant %s", a)
+	}
+	if a.Sign() <= 0 {
+		return nil, fmt.Errorf("an: constant must be positive, got %s", a)
+	}
+	mod := new(big.Int).Lsh(big.NewInt(1), n)
+	// Extended Euclid: maintain r0 = s0*a (mod m), r1 = s1*a (mod m).
+	r0, r1 := new(big.Int).Set(mod), new(big.Int).Set(a)
+	s0, s1 := new(big.Int), big.NewInt(1)
+	q, tmp := new(big.Int), new(big.Int)
+	for r1.Sign() != 0 {
+		q.Div(r0, r1)
+		tmp.Mul(q, r1)
+		r0.Sub(r0, tmp)
+		r0, r1 = r1, r0
+		tmp.Mul(q, s1)
+		s0.Sub(s0, tmp)
+		s0, s1 = s1, s0
+	}
+	if r0.Cmp(big.NewInt(1)) != 0 {
+		return nil, fmt.Errorf("an: gcd(%s, 2^%d) != 1", a, n)
+	}
+	s0.Mod(s0, mod)
+	return s0, nil
+}

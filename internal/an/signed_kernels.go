@@ -1,0 +1,74 @@
+package an
+
+// Signed batch kernels. The paper's Algorithm 1 filters *signed* integers:
+// decoding sign-extends from the code width, and validity requires BOTH
+// domain bounds (Eq. 12 and Eq. 13) - after multiplication with the
+// inverse, the |A| most significant bits of a valid word replicate the
+// sign bit. The kernels below are the signed counterparts of the slice
+// kernels in kernels.go; intermediate math runs in uint64 so one
+// implementation serves all storage widths.
+
+// EncodeSliceSigned hardens signed values into dst.
+func EncodeSliceSigned[D Unsigned](c *Code, src []int64, dst []D) {
+	for i, v := range src {
+		dst[i] = D(c.EncodeSigned(v))
+	}
+}
+
+// DecodeSliceSigned softens signed code words without detection.
+func DecodeSliceSigned[S Unsigned](c *Code, src []S, dst []int64) {
+	for i, v := range src {
+		dst[i] = c.DecodeSigned(uint64(v))
+	}
+}
+
+// CheckSliceSigned verifies signed code words, appending corrupted
+// positions to errs.
+func CheckSliceSigned[S Unsigned](c *Code, src []S, errs []uint64) []uint64 {
+	for i, v := range src {
+		if !c.IsValidSigned(uint64(v)) {
+			errs = append(errs, uint64(i))
+		}
+	}
+	return errs
+}
+
+// CheckDecodeSliceSigned fuses signed detection and softening: the signed
+// Δ primitive.
+func CheckDecodeSliceSigned[S Unsigned](c *Code, src []S, dst []int64, errs []uint64) []uint64 {
+	for i, v := range src {
+		d, ok := c.CheckSigned(uint64(v))
+		if !ok {
+			errs = append(errs, uint64(i))
+		}
+		dst[i] = d
+	}
+	return errs
+}
+
+// FilterRangeSigned appends the positions whose decoded signed value lies
+// in [lo, hi], verifying each word first (the signed continuous filter of
+// Algorithm 1, lines 5-13). Corrupted positions go to errs. It returns
+// (out, errs).
+func FilterRangeSigned[S Unsigned](c *Code, src []S, lo, hi int64, out, errs []uint64) ([]uint64, []uint64) {
+	if lo > hi {
+		return out, errs
+	}
+	if lo < c.MinSigned() {
+		lo = c.MinSigned()
+	}
+	if hi > c.MaxSigned() {
+		hi = c.MaxSigned()
+	}
+	for i, v := range src {
+		d, ok := c.CheckSigned(uint64(v))
+		if !ok {
+			errs = append(errs, uint64(i))
+			continue
+		}
+		if d >= lo && d <= hi {
+			out = append(out, uint64(i))
+		}
+	}
+	return out, errs
+}

@@ -1,0 +1,136 @@
+package an
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignedSliceRoundTrip(t *testing.T) {
+	c := MustNew(233, 8) // the paper's signed example code
+	src := make([]int64, 0, 256)
+	for d := c.MinSigned(); d <= c.MaxSigned(); d++ {
+		src = append(src, d)
+	}
+	enc := make([]uint16, len(src))
+	EncodeSliceSigned(c, src, enc)
+	if errs := CheckSliceSigned(c, enc, nil); len(errs) != 0 {
+		t.Fatalf("clean signed slice flagged: %v", errs)
+	}
+	dec := make([]int64, len(src))
+	DecodeSliceSigned(c, enc, dec)
+	if !reflect.DeepEqual(src, dec) {
+		t.Fatal("signed decode(encode(x)) != x")
+	}
+	dec2 := make([]int64, len(src))
+	if errs := CheckDecodeSliceSigned(c, enc, dec2, nil); len(errs) != 0 {
+		t.Fatal("fused signed Δ flagged clean data")
+	}
+	if !reflect.DeepEqual(src, dec2) {
+		t.Fatal("fused signed Δ decoded wrong values")
+	}
+}
+
+func TestSignedSliceDetection(t *testing.T) {
+	c := MustNew(233, 8)
+	src := []int64{-128, -1, 0, 1, 127, 5}
+	enc := make([]uint16, len(src))
+	EncodeSliceSigned(c, src, enc)
+	// The paper's example flips: 1165 +/- 1 around the encoding of 5.
+	enc[5] = 1166
+	errs := CheckSliceSigned(c, enc, nil)
+	if !reflect.DeepEqual(errs, []uint64{5}) {
+		t.Fatalf("errs = %v", errs)
+	}
+	enc[5] = 1164
+	errs = CheckSliceSigned(c, enc, nil)
+	if !reflect.DeepEqual(errs, []uint64{5}) {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestFilterRangeSigned(t *testing.T) {
+	c := MustNew(233, 8)
+	vals := []int64{-100, -50, -10, 0, 10, 50, 100, -10, 10}
+	enc := make([]uint16, len(vals))
+	EncodeSliceSigned(c, vals, enc)
+
+	out, errs := FilterRangeSigned(c, enc, -10, 10, nil, nil)
+	if len(errs) != 0 {
+		t.Fatalf("clean filter flagged %v", errs)
+	}
+	if !reflect.DeepEqual(out, []uint64{2, 3, 4, 7, 8}) {
+		t.Fatalf("out = %v", out)
+	}
+	// Negative-only range.
+	out, _ = FilterRangeSigned(c, enc, -128, -1, nil, nil)
+	if !reflect.DeepEqual(out, []uint64{0, 1, 2, 7}) {
+		t.Fatalf("negative range out = %v", out)
+	}
+	// Bounds clamp to the domain; inverted range is empty.
+	out, _ = FilterRangeSigned(c, enc, -1000, 1000, nil, nil)
+	if len(out) != len(vals) {
+		t.Fatalf("clamped range selected %d", len(out))
+	}
+	out, _ = FilterRangeSigned(c, enc, 5, -5, nil, nil)
+	if len(out) != 0 {
+		t.Fatal("inverted range must be empty")
+	}
+	// A corrupted word is reported, not filtered.
+	enc[4] ^= 1 << 6
+	out, errs = FilterRangeSigned(c, enc, -10, 10, nil, nil)
+	if !reflect.DeepEqual(errs, []uint64{4}) {
+		t.Fatalf("errs = %v", errs)
+	}
+	if !reflect.DeepEqual(out, []uint64{2, 3, 7, 8}) {
+		t.Fatalf("out after corruption = %v", out)
+	}
+}
+
+func TestQuickSignedKernelAgreesWithScalar(t *testing.T) {
+	c := MustNew(63877, 16)
+	f := func(raw []int16) bool {
+		src := make([]int64, len(raw))
+		for i, v := range raw {
+			src[i] = int64(v)
+		}
+		enc := make([]uint32, len(src))
+		EncodeSliceSigned(c, src, enc)
+		for i, v := range src {
+			cw := c.EncodeSigned(v)
+			if uint64(enc[i]) != cw {
+				return false
+			}
+			d, ok := c.CheckSigned(cw)
+			if !ok || d != v {
+				return false
+			}
+		}
+		return len(CheckSliceSigned(c, enc, nil)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSignedSingleFlipsDetected(t *testing.T) {
+	c := MustNew(463, 16) // min bfw 3 guarantee
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 5000; trial++ {
+		d := int64(int16(rng.Uint32()))
+		cw := c.EncodeSigned(d)
+		weight := rng.Intn(3) + 1
+		var mask uint64
+		for bits := 0; bits < weight; {
+			b := uint(rng.Intn(int(c.CodeBits())))
+			if mask&(1<<b) == 0 {
+				mask |= 1 << b
+				bits++
+			}
+		}
+		if c.IsValidSigned(cw ^ mask) {
+			t.Fatalf("signed flip %b of weight %d on %d undetected", mask, weight, d)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package an
+
+import "testing"
+
+func TestValidateExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		a        uint64
+		dataBits uint
+	}{{29, 8}, {233, 8}, {61, 10}, {463, 9}, {13, 7}} {
+		c := MustNew(tc.a, tc.dataBits)
+		if err := c.ValidateExhaustive(); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+		if err := c.ValidateExhaustiveSigned(); err != nil {
+			t.Errorf("%v signed: %v", c, err)
+		}
+	}
+}
+
+func TestValidateExhaustiveRefusesWideCodes(t *testing.T) {
+	c := MustNew(63877, 16) // 32-bit code words: 2^32 table too large
+	if err := c.ValidateExhaustive(); err == nil {
+		t.Error("wide code must be refused")
+	}
+	if err := c.ValidateExhaustiveSigned(); err == nil {
+		t.Error("wide signed code must be refused")
+	}
+}

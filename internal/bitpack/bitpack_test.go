@@ -1,0 +1,216 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ahead/internal/an"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("width 0 must error")
+	}
+	if _, err := New(65); err == nil {
+		t.Error("width 65 must error")
+	}
+	for _, bits := range []uint{1, 7, 13, 32, 64} {
+		if _, err := New(bits); err != nil {
+			t.Errorf("New(%d): %v", bits, err)
+		}
+	}
+}
+
+func TestAppendGetRoundTripAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for bits := uint(1); bits <= 64; bits++ {
+		v, err := New(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint64, 300)
+		for i := range want {
+			want[i] = rng.Uint64() & maskFor(bits)
+			v.Append(want[i])
+		}
+		if v.Len() != len(want) {
+			t.Fatalf("bits=%d: len %d", bits, v.Len())
+		}
+		for i, w := range want {
+			if got := v.Get(i); got != w {
+				t.Fatalf("bits=%d: Get(%d) = %d, want %d", bits, i, got, w)
+			}
+		}
+	}
+}
+
+func TestSetAcrossWordBoundaries(t *testing.T) {
+	v, err := New(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		v.Append(uint64(i))
+	}
+	// Overwrite everything in reverse and verify neighbors are intact.
+	for i := 199; i >= 0; i-- {
+		v.Set(i, uint64(8191-i))
+	}
+	for i := 0; i < 200; i++ {
+		if got := v.Get(i); got != uint64(8191-i) {
+			t.Fatalf("Set broke value %d: %d", i, got)
+		}
+	}
+}
+
+func TestStorageShrinksVsByteAligned(t *testing.T) {
+	// The Figure 8b point: A=29 restiny code words need 13 bits packed
+	// vs 16 bits byte-aligned - 1.625x the 8-bit original, not 2x.
+	code := an.MustNew(29, 8)
+	values := make([]uint64, 10000)
+	for i := range values {
+		values[i] = uint64(i % 256)
+	}
+	packed, err := Pack(values, 0, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Pack(values, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(packed.Bytes()) / float64(plain.Bytes())
+	if ratio < 1.6 || ratio > 1.65 {
+		t.Fatalf("packed hardened ratio %.3f, want ~1.625 (13/8 bits)", ratio)
+	}
+	// And the byte-aligned alternative really is 2x.
+	if byteAligned := 2.0; byteAligned <= ratio {
+		t.Fatal("packing must beat byte alignment")
+	}
+}
+
+func TestScanRangePlainAndHardened(t *testing.T) {
+	values := make([]uint64, 500)
+	for i := range values {
+		values[i] = uint64(i % 100)
+	}
+	plain, err := Pack(values, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := plain.ScanRange(10, 19, false, nil, nil)
+	wantCount := 0
+	for _, v := range values {
+		if v >= 10 && v <= 19 {
+			wantCount++
+		}
+	}
+	if len(sel) != wantCount {
+		t.Fatalf("plain scan found %d, want %d", len(sel), wantCount)
+	}
+
+	code := an.MustNew(29, 8)
+	hard, err := Pack(values, 0, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, detect := range []bool{false, true} {
+		selH, errs := hard.ScanRange(10, 19, detect, nil, nil)
+		if len(errs) != 0 {
+			t.Fatalf("clean scan flagged %d", len(errs))
+		}
+		if len(selH) != wantCount {
+			t.Fatalf("hardened scan (detect=%v) found %d, want %d", detect, len(selH), wantCount)
+		}
+		for i := range sel {
+			if sel[i] != selH[i] {
+				t.Fatalf("position mismatch at %d", i)
+			}
+		}
+	}
+	// Inverted and out-of-domain ranges.
+	if s, _ := hard.ScanRange(20, 10, true, nil, nil); len(s) != 0 {
+		t.Fatal("inverted range must be empty")
+	}
+	if s, _ := hard.ScanRange(300, 400, true, nil, nil); len(s) != 0 {
+		t.Fatal("out-of-domain range must be empty")
+	}
+}
+
+func TestScanDetectsCorruption(t *testing.T) {
+	code := an.MustNew(29, 8)
+	values := make([]uint64, 100)
+	for i := range values {
+		values[i] = uint64(i)
+	}
+	v, err := Pack(values, 0, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Corrupt(17, 1<<5)
+	v.Corrupt(63, 1<<2|1<<11)
+	sel, errs := v.ScanRange(0, 255, true, nil, nil)
+	if len(errs) != 2 || errs[0] != 17 || errs[1] != 63 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if len(sel) != 98 {
+		t.Fatalf("clean rows selected: %d", len(sel))
+	}
+	all, err := v.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("CheckAll = %v", all)
+	}
+	if _, err := Pack(values, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := Pack(values, 8, nil)
+	if _, err := plain.CheckAll(); err == nil {
+		t.Fatal("CheckAll on plain vector must error")
+	}
+}
+
+func TestHardenedValueDecodes(t *testing.T) {
+	code := an.MustNew(233, 8)
+	v, err := NewHardened(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 256; i++ {
+		v.AppendValue(i)
+	}
+	for i := 0; i < 256; i++ {
+		if v.Value(i) != uint64(i) {
+			t.Fatalf("Value(%d) = %d", i, v.Value(i))
+		}
+	}
+	if v.Bits() != code.CodeBits() || v.Code() != code {
+		t.Fatal("hardened vector metadata")
+	}
+}
+
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(values []uint16, width uint8) bool {
+		bits := uint(width)%16 + 1
+		v, err := New(bits)
+		if err != nil {
+			return false
+		}
+		mask := maskFor(bits)
+		for _, val := range values {
+			v.Append(uint64(val) & mask)
+		}
+		for i, val := range values {
+			if v.Get(i) != uint64(val)&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package btree implements an AN-hardened in-memory B-tree, the index
+// structure AHEAD prescribes for dictionary hardening (Section 4.1, based
+// on the authors' earlier DaMoN'14 work on bit-flip detection for
+// in-memory B-trees).
+//
+// Pointer-intensive structures need more than value hardening: a flipped
+// child reference silently redirects a whole subtree. The tree therefore
+// hardens three things independently:
+//
+//   - keys and values are AN code words, so lookups compare and return
+//     protected data (the order of code words equals the order of data
+//     words under one A);
+//   - child references are arena indices hardened with their own AN code,
+//     so a flipped "pointer" decodes outside the arena or fails the
+//     domain check instead of dereferencing garbage;
+//   - every access verifies the words it touches and returns a
+//     *CorruptionError instead of propagating silent corruption.
+package btree
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+)
+
+// order is the maximum number of keys per node; nodes split when full.
+const order = 16
+
+// RefCode hardens arena indices (up to 2^32 nodes).
+var RefCode = an.MustNew(32417, 32)
+
+// CorruptionError reports a detected bit flip inside the tree.
+type CorruptionError struct {
+	Node int    // arena index of the affected node
+	What string // which word failed verification
+}
+
+// Error implements the error interface.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("btree: corruption detected in node %d (%s)", e.Node, e.What)
+}
+
+type node struct {
+	leaf     bool
+	keys     []uint64 // AN code words of the keys, ascending
+	vals     []uint64 // leaf payloads, AN code words (parallel to keys)
+	children []uint64 // hardened arena indices (len = len(keys)+1 unless leaf)
+}
+
+// Tree is an AN-hardened B-tree mapping uint64 keys to uint64 values.
+// It is not safe for concurrent mutation.
+type Tree struct {
+	code  *an.Code
+	nodes []*node
+	root  int
+	size  int
+}
+
+// New creates an empty tree whose keys and values are hardened with code.
+func New(code *an.Code) *Tree {
+	t := &Tree{code: code, root: 0}
+	t.nodes = append(t.nodes, &node{leaf: true})
+	return t
+}
+
+// Code returns the key/value hardening code.
+func (t *Tree) Code() *an.Code { return t.code }
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Nodes returns the number of allocated nodes (for tests and injection).
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+// checkRef verifies and decodes a hardened child reference.
+func (t *Tree) checkRef(nodeIdx int, ref uint64) (int, error) {
+	idx, ok := RefCode.Check(ref)
+	if !ok || idx >= uint64(len(t.nodes)) {
+		return 0, &CorruptionError{Node: nodeIdx, What: "child reference"}
+	}
+	return int(idx), nil
+}
+
+// checkKey verifies a hardened key word.
+func (t *Tree) checkKey(nodeIdx int, cw uint64) (uint64, error) {
+	d, ok := t.code.Check(cw)
+	if !ok {
+		return 0, &CorruptionError{Node: nodeIdx, What: "key"}
+	}
+	return d, nil
+}
+
+// Lookup returns the value stored under key. Every key and child
+// reference on the root-to-leaf path is verified; found reports whether
+// the key exists.
+func (t *Tree) Lookup(key uint64) (value uint64, found bool, err error) {
+	ck := t.code.Encode(key)
+	idx := t.root
+	for {
+		n := t.nodes[idx]
+		i := 0
+		for i < len(n.keys) {
+			// Verify the key before trusting its order.
+			if _, err := t.checkKey(idx, n.keys[i]); err != nil {
+				return 0, false, err
+			}
+			if ck <= n.keys[i] {
+				break
+			}
+			i++
+		}
+		if n.leaf {
+			if i < len(n.keys) && n.keys[i] == ck {
+				v, ok := t.code.Check(n.vals[i])
+				if !ok {
+					return 0, false, &CorruptionError{Node: idx, What: "value"}
+				}
+				return v, true, nil
+			}
+			return 0, false, nil
+		}
+		// Child i holds the keys <= keys[i] (separators equal to a key
+		// keep that key in the left subtree; leaf splits copy the last
+		// left key up as the separator).
+		idx, err = t.checkRef(idx, n.children[i])
+		if err != nil {
+			return 0, false, err
+		}
+	}
+}
+
+// Insert stores value under key, replacing an existing binding. Inserting
+// hardens on the way in, the trivial UDI behaviour of Section 4.1.
+func (t *Tree) Insert(key, value uint64) error {
+	ck := t.code.Encode(key)
+	cv := t.code.Encode(value)
+	replaced, err := t.insertAt(t.root, ck, cv)
+	if err != nil {
+		return err
+	}
+	if !replaced {
+		t.size++
+	}
+	// Split an overfull root, growing the tree by one level.
+	if len(t.nodes[t.root].keys) > order {
+		oldRoot := t.root
+		left, sep, right := t.split(oldRoot)
+		newRoot := &node{
+			leaf:     false,
+			keys:     []uint64{sep},
+			children: []uint64{RefCode.Encode(uint64(left)), RefCode.Encode(uint64(right))},
+		}
+		t.nodes = append(t.nodes, newRoot)
+		t.root = len(t.nodes) - 1
+	}
+	return nil
+}
+
+// insertAt descends to a leaf, inserting ck/cv and splitting full
+// children on the way back up.
+func (t *Tree) insertAt(idx int, ck, cv uint64) (replaced bool, err error) {
+	n := t.nodes[idx]
+	i := 0
+	for i < len(n.keys) && n.keys[i] < ck {
+		i++
+	}
+	if n.leaf {
+		if i < len(n.keys) && n.keys[i] == ck {
+			n.vals[i] = cv
+			return true, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = ck
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = cv
+		return false, nil
+	}
+	child, err := t.checkRef(idx, n.children[i])
+	if err != nil {
+		return false, err
+	}
+	replaced, err = t.insertAt(child, ck, cv)
+	if err != nil {
+		return false, err
+	}
+	if len(t.nodes[child].keys) > order {
+		left, sep, right := t.split(child)
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = sep
+		n.children = append(n.children, 0)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i] = RefCode.Encode(uint64(left))
+		n.children[i+1] = RefCode.Encode(uint64(right))
+	}
+	return replaced, nil
+}
+
+// split divides an overfull node into two, returning the arena indices of
+// both halves and the hardened separator key.
+func (t *Tree) split(idx int) (left int, sep uint64, right int) {
+	n := t.nodes[idx]
+	mid := len(n.keys) / 2
+	r := &node{leaf: n.leaf}
+	if n.leaf {
+		// Leaf split: separator is the last key of the left half, so
+		// lookups with ck <= sep go left.
+		sep = n.keys[mid-1]
+		r.keys = append(r.keys, n.keys[mid:]...)
+		r.vals = append(r.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+	} else {
+		// Inner split: the middle key moves up.
+		sep = n.keys[mid]
+		r.keys = append(r.keys, n.keys[mid+1:]...)
+		r.children = append(r.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+	t.nodes = append(t.nodes, r)
+	return idx, sep, len(t.nodes) - 1
+}
+
+// Scan calls fn for every key/value pair in ascending key order, verifying
+// everything it touches. fn returning false stops the scan.
+func (t *Tree) Scan(fn func(key, value uint64) bool) error {
+	_, err := t.scan(t.root, fn)
+	return err
+}
+
+func (t *Tree) scan(idx int, fn func(k, v uint64) bool) (bool, error) {
+	n := t.nodes[idx]
+	if n.leaf {
+		for i, ck := range n.keys {
+			k, err := t.checkKey(idx, ck)
+			if err != nil {
+				return false, err
+			}
+			v, ok := t.code.Check(n.vals[i])
+			if !ok {
+				return false, &CorruptionError{Node: idx, What: "value"}
+			}
+			if !fn(k, v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i := range n.children {
+		child, err := t.checkRef(idx, n.children[i])
+		if err != nil {
+			return false, err
+		}
+		cont, err := t.scan(child, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+		if i < len(n.keys) {
+			if _, err := t.checkKey(idx, n.keys[i]); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// Verify walks the whole tree checking every hardened word, the offline Δ
+// pass over the index.
+func (t *Tree) Verify() error {
+	return t.Scan(func(k, v uint64) bool { return true })
+}
+
+// CorruptKey flips mask into the i-th key word of the given node (for
+// fault-injection experiments).
+func (t *Tree) CorruptKey(nodeIdx, i int, mask uint64) error {
+	if nodeIdx >= len(t.nodes) || i >= len(t.nodes[nodeIdx].keys) {
+		return fmt.Errorf("btree: no key %d in node %d", i, nodeIdx)
+	}
+	t.nodes[nodeIdx].keys[i] ^= mask
+	return nil
+}
+
+// CorruptChild flips mask into the i-th child reference of the node.
+func (t *Tree) CorruptChild(nodeIdx, i int, mask uint64) error {
+	if nodeIdx >= len(t.nodes) || i >= len(t.nodes[nodeIdx].children) {
+		return fmt.Errorf("btree: no child %d in node %d", i, nodeIdx)
+	}
+	t.nodes[nodeIdx].children[i] ^= mask
+	return nil
+}
+
+// Root returns the root arena index (for targeted injection in tests).
+func (t *Tree) Root() int { return t.root }

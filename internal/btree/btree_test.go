@@ -1,0 +1,207 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ahead/internal/an"
+)
+
+var keyCode = an.MustNew(63877, 16)
+
+func TestInsertLookupSequential(t *testing.T) {
+	tr := New(keyCode)
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Insert(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, found, err := tr.Lookup(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || v != i*3 {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, found)
+		}
+	}
+	if _, found, _ := tr.Lookup(n + 10); found {
+		t.Fatal("absent key found")
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLookupRandomAndReplace(t *testing.T) {
+	tr := New(keyCode)
+	rng := rand.New(rand.NewSource(17))
+	ref := make(map[uint64]uint64)
+	for i := 0; i < 8000; i++ {
+		k := uint64(rng.Intn(4000))
+		v := uint64(rng.Intn(1 << 16))
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		ref[k] = v
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("len = %d, want %d (replacement must not grow)", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, found, err := tr.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || got != v {
+			t.Fatalf("Lookup(%d) = %d,%v, want %d", k, got, found, v)
+		}
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tr := New(keyCode)
+	rng := rand.New(rand.NewSource(3))
+	var keys []uint64
+	seen := map[uint64]bool{}
+	for len(keys) < 2000 {
+		k := uint64(rng.Intn(60000))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		if err := tr.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var got []uint64
+	err := tr.Scan(func(k, v uint64) bool {
+		if v != k+1 {
+			t.Fatalf("scan value %d for key %d", v, k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("scan visited %d of %d", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("scan order broken at %d: %d != %d", i, got[i], keys[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	if err := tr.Scan(func(k, v uint64) bool { count++; return count < 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestLookupDetectsCorruptedKey(t *testing.T) {
+	tr := New(keyCode)
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	// Corrupt a root key: every lookup crossing it must report, not lie.
+	if err := tr.CorruptKey(tr.Root(), 0, 1<<9); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := tr.Lookup(0)
+	if err == nil {
+		t.Fatal("lookup across corrupted key must error")
+	}
+	if _, ok := err.(*CorruptionError); !ok {
+		t.Fatalf("want *CorruptionError, got %T", err)
+	}
+	if tr.Verify() == nil {
+		t.Fatal("verify must find the corruption")
+	}
+}
+
+func TestLookupDetectsCorruptedChildRef(t *testing.T) {
+	tr := New(keyCode)
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	if err := tr.CorruptChild(tr.Root(), 0, 1<<4); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := tr.Lookup(0)
+	if err == nil {
+		t.Fatal("lookup across corrupted child reference must error")
+	}
+	ce, ok := err.(*CorruptionError)
+	if !ok || ce.What != "child reference" {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if ce.Error() == "" {
+		t.Fatal("error string")
+	}
+}
+
+func TestScanDetectsCorruptedValue(t *testing.T) {
+	tr := New(keyCode)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	// Node 0 is the first leaf; corrupt one of its values.
+	tr.nodes[0].vals[3] ^= 1 << 11
+	if err := tr.Verify(); err == nil {
+		t.Fatal("verify must detect corrupted value")
+	}
+}
+
+func TestCorruptValidation(t *testing.T) {
+	tr := New(keyCode)
+	tr.Insert(1, 1)
+	if err := tr.CorruptKey(99, 0, 1); err == nil {
+		t.Error("bad node index must error")
+	}
+	if err := tr.CorruptChild(0, 5, 1); err == nil {
+		t.Error("bad child index must error")
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(keys []uint16, vals []uint16) bool {
+		tr := New(keyCode)
+		ref := make(map[uint64]uint64)
+		for i, k := range keys {
+			v := uint64(i)
+			if i < len(vals) {
+				v = uint64(vals[i])
+			}
+			if err := tr.Insert(uint64(k), v); err != nil {
+				return false
+			}
+			ref[uint64(k)] = v
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, found, err := tr.Lookup(k)
+			if err != nil || !found || got != v {
+				return false
+			}
+		}
+		return tr.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package crc
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMatchesStdlib(t *testing.T) {
+	// The from-scratch table-driven implementation must agree with the
+	// stdlib's IEEE CRC-32 on arbitrary inputs.
+	cases := [][]byte{
+		nil,
+		{0},
+		[]byte("123456789"), // the classic check value 0xCBF43926
+		[]byte("The quick brown fox jumps over the lazy dog"),
+	}
+	for _, data := range cases {
+		if got, want := Sum(data), crc32.ChecksumIEEE(data); got != want {
+			t.Errorf("Sum(%q) = %08x, want %08x", data, got, want)
+		}
+	}
+	if Sum([]byte("123456789")) != 0xCBF43926 {
+		t.Error("check value")
+	}
+	f := func(data []byte) bool {
+		return Sum(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSum16MatchesByteOrder(t *testing.T) {
+	f := func(words []uint16) bool {
+		bytes := make([]byte, 0, 2*len(words))
+		for _, w := range words {
+			bytes = append(bytes, byte(w), byte(w>>8))
+		}
+		return Sum16(words) == Sum(bytes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedDetect(t *testing.T) {
+	c, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]uint16, 1000)
+	for i := range data {
+		data[i] = uint16(rng.Uint32())
+	}
+	sums := make([]uint32, c.NumSums(len(data)))
+	c.Encode(data, sums)
+	if bad := c.Detect(data, sums, nil); len(bad) != 0 {
+		t.Fatalf("clean data flagged %v", bad)
+	}
+	// CRC-32 detects every 1-3 bit error within a block; exercise 200
+	// random flips of weight 1..3.
+	for trial := 0; trial < 200; trial++ {
+		pos := rng.Intn(len(data))
+		weight := rng.Intn(3) + 1
+		var mask uint16
+		for i := 0; i < weight; {
+			b := uint(rng.Intn(16))
+			if mask&(1<<b) == 0 {
+				mask |= 1 << b
+				i++
+			}
+		}
+		data[pos] ^= mask
+		bad := c.Detect(data, sums, nil)
+		data[pos] ^= mask
+		if len(bad) != 1 || bad[0] != pos/64 {
+			t.Fatalf("flip %04x at %d: Detect = %v", mask, pos, bad)
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Error("block size 0 must error")
+	}
+}

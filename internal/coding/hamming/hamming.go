@@ -1,0 +1,215 @@
+// Package hamming implements the Extended Hamming code (SECDED: single
+// error correction, double error detection) that the paper uses as the
+// systematic-code baseline for AN coding (Figure 2, Figure 3, Section 7.1).
+//
+// For k data bits the code adds r parity bits with 2^r >= k+r+1 plus one
+// overall parity bit, giving n = k+r+1 code bits. The classic positional
+// layout is used: within positions 1..k+r, parity bits sit at the powers of
+// two and each covers the positions whose index has the corresponding bit
+// set; the overall parity occupies bit 0 of the code word. For k = 8 this
+// yields the (13,8) code of the paper's running example, and for k = 64 the
+// (72,64) layout of ECC DIMMs discussed in Appendix B.
+package hamming
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Status classifies the outcome of decoding a possibly corrupted word.
+type Status int
+
+const (
+	// OK means the word was a valid code word.
+	OK Status = iota
+	// Corrected means a single-bit error was detected and repaired.
+	Corrected
+	// Uncorrectable means corruption was detected that the code cannot
+	// repair (an even number of flips, or a syndrome pointing outside
+	// the code word).
+	Uncorrectable
+)
+
+// String implements fmt.Stringer for Status.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Code is an Extended Hamming code over k data bits. It is immutable and
+// safe for concurrent use.
+type Code struct {
+	k uint // data bits
+	r uint // Hamming parity bits (excluding the extended parity)
+	n uint // total code bits: k + r + 1
+
+	dataPos []uint   // position (1-based) of each data bit, ascending
+	parity  []uint64 // parity[i]: mask over code-word bits covered by parity bit 2^i
+}
+
+// New constructs the Extended Hamming code for k data bits, 1 <= k <= 57
+// (so that the code word fits 64 bits).
+func New(k uint) (*Code, error) {
+	if k == 0 {
+		return nil, fmt.Errorf("hamming: data width must be positive")
+	}
+	r := uint(0)
+	for (uint(1) << r) < k+r+1 {
+		r++
+	}
+	n := k + r + 1
+	if n > 64 {
+		return nil, fmt.Errorf("hamming: %d data bits need %d code bits (> 64)", k, n)
+	}
+	c := &Code{k: k, r: r, n: n}
+	// Positions 1..k+r; powers of two hold parity, the rest data.
+	for p := uint(1); p <= k+r; p++ {
+		if p&(p-1) != 0 {
+			c.dataPos = append(c.dataPos, p)
+		}
+	}
+	// Coverage masks: parity i covers every position with bit i set.
+	c.parity = make([]uint64, r)
+	for i := uint(0); i < r; i++ {
+		var m uint64
+		for p := uint(1); p <= k+r; p++ {
+			if p&(1<<i) != 0 {
+				m |= 1 << p
+			}
+		}
+		c.parity[i] = m
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(k uint) *Code {
+	c, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DataBits returns k. ParityBits returns r+1 (including the extended
+// parity). CodeBits returns n.
+func (c *Code) DataBits() uint { return c.k }
+
+// ParityBits returns the number of redundant bits, including the extended
+// overall parity.
+func (c *Code) ParityBits() uint { return c.r + 1 }
+
+// CodeBits returns the total width n of a code word.
+func (c *Code) CodeBits() uint { return c.n }
+
+// Encode hardens the data word d (low k bits used).
+func (c *Code) Encode(d uint64) uint64 {
+	var cw uint64
+	for i, p := range c.dataPos {
+		cw |= (d >> uint(i) & 1) << p
+	}
+	for i, m := range c.parity {
+		cw |= uint64(bits.OnesCount64(cw&m)&1) << (1 << uint(i))
+	}
+	// Extended parity over everything, stored at bit 0.
+	cw |= uint64(bits.OnesCount64(cw) & 1)
+	return cw
+}
+
+// Extract pulls the data bits out of a code word without any checking.
+func (c *Code) Extract(cw uint64) uint64 {
+	var d uint64
+	for i, p := range c.dataPos {
+		d |= (cw >> p & 1) << uint(i)
+	}
+	return d
+}
+
+// Syndrome returns the Hamming syndrome (the XOR of the 1-based positions
+// of bits whose parity checks fail) and the overall parity of cw.
+func (c *Code) Syndrome(cw uint64) (syndrome uint, overallParity uint) {
+	for i, m := range c.parity {
+		// The coverage mask includes the parity bit's own position, so an
+		// unmodified word has even parity across the whole mask.
+		syndrome |= uint(bits.OnesCount64(cw&m)&1) << uint(i)
+	}
+	return syndrome, uint(bits.OnesCount64(cw) & 1)
+}
+
+// IsValid reports whether cw is an unmodified code word (zero syndrome and
+// even overall parity). This is the detection-only use of the code, the
+// flavor benchmarked in Section 7.1.
+func (c *Code) IsValid(cw uint64) bool {
+	s, p := c.Syndrome(cw)
+	return s == 0 && p == 0
+}
+
+// Correct runs the SECDED repair on a received word and returns the
+// repaired code word. For Uncorrectable outcomes the returned word is the
+// input unchanged.
+func (c *Code) Correct(cw uint64) (uint64, Status) {
+	s, p := c.Syndrome(cw)
+	switch {
+	case s == 0 && p == 0:
+		return cw, OK
+	case p == 1 && s == 0:
+		// Flip confined to the extended parity bit itself.
+		return cw ^ 1, Corrected
+	case p == 1:
+		if s > c.k+c.r {
+			return cw, Uncorrectable
+		}
+		return cw ^ (1 << s), Corrected
+	default:
+		// Even number of flips with a non-zero syndrome.
+		return cw, Uncorrectable
+	}
+}
+
+// Decode runs the full SECDED decoder: it corrects single-bit errors and
+// flags double-bit (and some wider) corruptions as uncorrectable. The
+// returned data word is meaningful for OK and Corrected. Note the paper's
+// Figure 3 caveat: for bit-flip weights >= 3 the *correction* logic
+// mis-corrects many patterns into different valid code words, which is
+// exactly the silent-data-corruption behaviour internal/sdc quantifies.
+func (c *Code) Decode(cw uint64) (d uint64, status Status) {
+	repaired, st := c.Correct(cw)
+	if st == Uncorrectable {
+		return 0, st
+	}
+	return c.Extract(repaired), st
+}
+
+// EncodeSlice hardens a batch of 16-bit values into code words, the shape
+// used by the Section 7 micro benchmarks.
+func (c *Code) EncodeSlice(src []uint16, dst []uint32) {
+	for i, v := range src {
+		dst[i] = uint32(c.Encode(uint64(v)))
+	}
+}
+
+// ExtractSlice is the batch form of Extract.
+func (c *Code) ExtractSlice(src []uint32, dst []uint16) {
+	for i, v := range src {
+		dst[i] = uint16(c.Extract(uint64(v)))
+	}
+}
+
+// CheckSlice appends the positions of invalid code words to errs and
+// returns the extended slice.
+func (c *Code) CheckSlice(src []uint32, errs []uint64) []uint64 {
+	for i, v := range src {
+		if !c.IsValid(uint64(v)) {
+			errs = append(errs, uint64(i))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,135 @@
+package hamming
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayout(t *testing.T) {
+	cases := []struct {
+		k, parity, n uint
+	}{
+		{1, 3, 4},   // (4,1): triple redundancy flavor
+		{4, 4, 8},   // (8,4)
+		{8, 5, 13},  // (13,8): the paper's Figure 2 example
+		{16, 6, 22}, // used by the Section 7 micro benchmarks
+		{32, 7, 39},
+		{57, 7, 64},
+		{64, 0, 0}, // too wide
+	}
+	for _, tc := range cases {
+		c, err := New(tc.k)
+		if tc.n == 0 {
+			if err == nil {
+				t.Errorf("New(%d): want error", tc.k)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("New(%d): %v", tc.k, err)
+		}
+		if c.ParityBits() != tc.parity || c.CodeBits() != tc.n {
+			t.Errorf("k=%d: parity=%d code=%d, want %d/%d", tc.k, c.ParityBits(), c.CodeBits(), tc.parity, tc.n)
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Error("New(0): want error")
+	}
+}
+
+func TestRoundTripExhaustive(t *testing.T) {
+	for _, k := range []uint{1, 3, 4, 8, 11} {
+		c := MustNew(k)
+		for d := uint64(0); d < 1<<k; d++ {
+			cw := c.Encode(d)
+			if !c.IsValid(cw) {
+				t.Fatalf("k=%d: Encode(%d) not valid", k, d)
+			}
+			if got := c.Extract(cw); got != d {
+				t.Fatalf("k=%d: Extract(Encode(%d)) = %d", k, d, got)
+			}
+			if got, st := c.Decode(cw); st != OK || got != d {
+				t.Fatalf("k=%d: Decode(Encode(%d)) = (%d,%v)", k, d, got, st)
+			}
+		}
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	for _, k := range []uint{4, 8, 16} {
+		c := MustNew(k)
+		rng := rand.New(rand.NewSource(int64(k)))
+		for i := 0; i < 200; i++ {
+			d := rng.Uint64() & ((1 << k) - 1)
+			cw := c.Encode(d)
+			for b := uint(0); b < c.CodeBits(); b++ {
+				got, st := c.Decode(cw ^ 1<<b)
+				if st != Corrected || got != d {
+					t.Fatalf("k=%d: single flip at bit %d -> (%d,%v), want (%d,Corrected)", k, b, got, st, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	c := MustNew(8)
+	for d := uint64(0); d < 256; d += 5 {
+		cw := c.Encode(d)
+		n := c.CodeBits()
+		for b1 := uint(0); b1 < n; b1++ {
+			for b2 := b1 + 1; b2 < n; b2++ {
+				if _, st := c.Decode(cw ^ 1<<b1 ^ 1<<b2); st != Uncorrectable {
+					t.Fatalf("double flip (%d,%d) on %d: status %v, want Uncorrectable", b1, b2, d, st)
+				}
+				if c.IsValid(cw ^ 1<<b1 ^ 1<<b2) {
+					t.Fatalf("double flip (%d,%d) on %d passed IsValid", b1, b2, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSlices(t *testing.T) {
+	c := MustNew(16)
+	src := []uint16{0, 1, 65535, 12345, 42}
+	enc := make([]uint32, len(src))
+	c.EncodeSlice(src, enc)
+	if errs := c.CheckSlice(enc, nil); len(errs) != 0 {
+		t.Fatalf("clean slice flagged: %v", errs)
+	}
+	dec := make([]uint16, len(src))
+	c.ExtractSlice(enc, dec)
+	for i := range src {
+		if dec[i] != src[i] {
+			t.Fatalf("slice round trip at %d", i)
+		}
+	}
+	enc[3] ^= 1 << 5
+	errs := c.CheckSlice(enc, nil)
+	if len(errs) != 1 || errs[0] != 3 {
+		t.Fatalf("CheckSlice = %v, want [3]", errs)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c := MustNew(16)
+	f := func(d uint16) bool {
+		cw := c.Encode(uint64(d))
+		got, st := c.Decode(cw)
+		return st == OK && got == uint64(d) && c.IsValid(cw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Uncorrectable.String() != "uncorrectable" {
+		t.Error("status strings")
+	}
+	if Status(99).String() == "" {
+		t.Error("unknown status must still print")
+	}
+}

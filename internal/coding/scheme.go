@@ -1,0 +1,288 @@
+// Package coding provides a uniform view over the three error-coding
+// schemes the paper compares in Section 7.1 - XOR checksums, Extended
+// Hamming, and AN coding (in its original division/modulo formulation and
+// the improved multiplicative-inverse one of Section 4.3) - so the micro
+// benchmarks of Figure 9 can sweep hardening, softening and detection cost
+// across schemes, kernel flavors and block/unroll sizes.
+//
+// Every Scheme processes batches of 16-bit integers, the data type of the
+// paper's micro benchmarks.
+package coding
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+	"ahead/internal/coding/crc"
+	"ahead/internal/coding/hamming"
+	"ahead/internal/coding/xorsum"
+)
+
+// Flavor selects the kernel style.
+type Flavor int
+
+const (
+	// Scalar processes one value per loop iteration.
+	Scalar Flavor = iota
+	// Blocked processes fixed-width chunks per iteration, the Go
+	// stand-in for the paper's SSE4.2/AVX2 kernels (see internal/an).
+	Blocked
+)
+
+// String implements fmt.Stringer.
+func (f Flavor) String() string {
+	if f == Scalar {
+		return "scalar"
+	}
+	return "blocked"
+}
+
+// Scheme is one coding configuration operating on 16-bit data. A Scheme
+// owns its hardened buffer: Harden fills it from plain data, Soften
+// recovers plain data from it, and Detect scans it for corruption.
+// Corrupt gives tests and fault-injection experiments direct access to the
+// hardened bits.
+type Scheme interface {
+	// Name identifies the scheme in benchmark output, e.g. "AN-refined".
+	Name() string
+	// Resize prepares the hardened buffer for n data words.
+	Resize(n int)
+	// Harden encodes src into the hardened buffer.
+	Harden(src []uint16, flavor Flavor)
+	// Soften decodes the hardened buffer into dst (len >= n).
+	Soften(dst []uint16, flavor Flavor)
+	// Detect scans the hardened buffer and returns how many corrupted
+	// units (values or blocks) it found.
+	Detect(flavor Flavor) int
+	// Corrupt XORs mask into hardened word i.
+	Corrupt(i int, mask uint64)
+	// HardenedBytes reports the storage the hardened form occupies.
+	HardenedBytes() int
+}
+
+// XOR is the checksum baseline: data stays as-is, one checksum word per
+// block.
+type XOR struct {
+	sum  *xorsum.Checksum
+	data []uint16
+	sums []uint16
+}
+
+// NewXOR returns the checksum scheme with the given block size.
+func NewXOR(blockSize int) (*XOR, error) {
+	s, err := xorsum.New(blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &XOR{sum: s}, nil
+}
+
+// Name implements Scheme.
+func (x *XOR) Name() string { return fmt.Sprintf("XOR(b=%d)", x.sum.BlockSize()) }
+
+// Resize implements Scheme.
+func (x *XOR) Resize(n int) {
+	x.data = make([]uint16, n)
+	x.sums = make([]uint16, x.sum.NumSums(n))
+}
+
+// Harden implements Scheme.
+func (x *XOR) Harden(src []uint16, flavor Flavor) {
+	copy(x.data, src)
+	if flavor == Blocked {
+		x.sum.EncodeBlocked(x.data, x.sums)
+	} else {
+		x.sum.Encode(x.data, x.sums)
+	}
+}
+
+// Soften implements Scheme. Systematic codes keep the data verbatim.
+func (x *XOR) Soften(dst []uint16, flavor Flavor) {
+	copy(dst, x.data)
+}
+
+// Detect implements Scheme.
+func (x *XOR) Detect(flavor Flavor) int {
+	if flavor == Blocked {
+		return len(x.sum.DetectBlocked(x.data, x.sums, nil))
+	}
+	return len(x.sum.Detect(x.data, x.sums, nil))
+}
+
+// Corrupt implements Scheme.
+func (x *XOR) Corrupt(i int, mask uint64) { x.data[i] ^= uint16(mask) }
+
+// HardenedBytes implements Scheme.
+func (x *XOR) HardenedBytes() int { return 2 * (len(x.data) + len(x.sums)) }
+
+// CRC is the cyclic-redundancy-check baseline: one CRC-32 word per block
+// of data words, the stronger (and costlier) cousin of the XOR fold.
+type CRC struct {
+	sum  *crc.Checksum
+	data []uint16
+	sums []uint32
+}
+
+// NewCRC returns the CRC-32 scheme with the given block size.
+func NewCRC(blockSize int) (*CRC, error) {
+	s, err := crc.New(blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &CRC{sum: s}, nil
+}
+
+// Name implements Scheme.
+func (c *CRC) Name() string { return fmt.Sprintf("CRC32(b=%d)", c.sum.BlockSize()) }
+
+// Resize implements Scheme.
+func (c *CRC) Resize(n int) {
+	c.data = make([]uint16, n)
+	c.sums = make([]uint32, c.sum.NumSums(n))
+}
+
+// Harden implements Scheme.
+func (c *CRC) Harden(src []uint16, flavor Flavor) {
+	copy(c.data, src)
+	c.sum.Encode(c.data, c.sums)
+}
+
+// Soften implements Scheme: systematic, the data is stored verbatim.
+func (c *CRC) Soften(dst []uint16, flavor Flavor) { copy(dst, c.data) }
+
+// Detect implements Scheme.
+func (c *CRC) Detect(flavor Flavor) int {
+	return len(c.sum.Detect(c.data, c.sums, nil))
+}
+
+// Corrupt implements Scheme.
+func (c *CRC) Corrupt(i int, mask uint64) { c.data[i] ^= uint16(mask) }
+
+// HardenedBytes implements Scheme.
+func (c *CRC) HardenedBytes() int { return 2*len(c.data) + 4*len(c.sums) }
+
+// AN wraps AN coding over 16-bit data in 32-bit code words. Refined
+// selects the Section 4.3 inverse-based softening and detection; otherwise
+// the original division/modulo formulation is used - the pair whose gap
+// Figure 9 (g)-(j) quantifies.
+type AN struct {
+	code    *an.Code
+	refined bool
+	words   []uint32
+}
+
+// NewAN returns the AN scheme for constant a over 16-bit data.
+func NewAN(a uint64, refined bool) (*AN, error) {
+	c, err := an.New(a, 16)
+	if err != nil {
+		return nil, err
+	}
+	if c.CodeBits() > 32 {
+		return nil, fmt.Errorf("coding: A=%d needs %d-bit code words (> 32)", a, c.CodeBits())
+	}
+	return &AN{code: c, refined: refined}, nil
+}
+
+// Name implements Scheme.
+func (s *AN) Name() string {
+	if s.refined {
+		return fmt.Sprintf("AN-refined(A=%d)", s.code.A())
+	}
+	return fmt.Sprintf("AN-naive(A=%d)", s.code.A())
+}
+
+// Resize implements Scheme.
+func (s *AN) Resize(n int) { s.words = make([]uint32, n) }
+
+// Harden implements Scheme. Hardening is one multiplication per value in
+// both formulations.
+func (s *AN) Harden(src []uint16, flavor Flavor) {
+	if flavor == Blocked {
+		an.EncodeSliceBlocked(s.code, src, s.words)
+	} else {
+		an.EncodeSlice(s.code, src, s.words)
+	}
+}
+
+// Soften implements Scheme.
+func (s *AN) Soften(dst []uint16, flavor Flavor) {
+	if !s.refined {
+		a := uint32(s.code.A())
+		for i, v := range s.words {
+			dst[i] = uint16(v / a)
+		}
+		return
+	}
+	if flavor == Blocked {
+		an.DecodeSliceBlocked(s.code, s.words, dst)
+	} else {
+		an.DecodeSlice(s.code, s.words, dst)
+	}
+}
+
+// Detect implements Scheme.
+func (s *AN) Detect(flavor Flavor) int {
+	if !s.refined {
+		a := uint32(s.code.A())
+		max := uint32(s.code.MaxData())
+		bad := 0
+		for _, v := range s.words {
+			if v%a != 0 || v/a > max {
+				bad++
+			}
+		}
+		return bad
+	}
+	if flavor == Blocked {
+		return len(an.CheckSliceBlocked(s.code, s.words, nil))
+	}
+	return len(an.CheckSlice(s.code, s.words, nil))
+}
+
+// Corrupt implements Scheme.
+func (s *AN) Corrupt(i int, mask uint64) { s.words[i] ^= uint32(mask) }
+
+// HardenedBytes implements Scheme.
+func (s *AN) HardenedBytes() int { return 4 * len(s.words) }
+
+// Hamming wraps the Extended Hamming (22,16) code.
+type Hamming struct {
+	code  *hamming.Code
+	words []uint32
+}
+
+// NewHamming returns the Extended Hamming scheme over 16-bit data.
+func NewHamming() *Hamming {
+	return &Hamming{code: hamming.MustNew(16)}
+}
+
+// Name implements Scheme.
+func (h *Hamming) Name() string { return "Hamming(22,16)" }
+
+// Resize implements Scheme.
+func (h *Hamming) Resize(n int) { h.words = make([]uint32, n) }
+
+// Harden implements Scheme. The bit-scatter and parity computation per
+// value is what makes Hamming an order of magnitude slower to encode than
+// XOR and AN (Figure 9a).
+func (h *Hamming) Harden(src []uint16, flavor Flavor) {
+	h.code.EncodeSlice(src, h.words)
+}
+
+// Soften implements Scheme: systematic codes extract the embedded data
+// bits.
+func (h *Hamming) Soften(dst []uint16, flavor Flavor) {
+	h.code.ExtractSlice(h.words, dst)
+}
+
+// Detect implements Scheme: parity bits are recomputed and compared,
+// essentially re-encoding (Figure 9e).
+func (h *Hamming) Detect(flavor Flavor) int {
+	return len(h.code.CheckSlice(h.words, nil))
+}
+
+// Corrupt implements Scheme.
+func (h *Hamming) Corrupt(i int, mask uint64) { h.words[i] ^= uint32(mask) }
+
+// HardenedBytes implements Scheme.
+func (h *Hamming) HardenedBytes() int { return 4 * len(h.words) }

@@ -1,0 +1,127 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func allSchemes(t *testing.T) []Scheme {
+	t.Helper()
+	xor, err := NewXOR(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anNaive, err := NewAN(63877, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anRefined, err := NewAN(63877, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crcScheme, err := NewCRC(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheme{xor, crcScheme, anNaive, anRefined, NewHamming()}
+}
+
+func TestSchemesRoundTrip(t *testing.T) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(5))
+	src := make([]uint16, n)
+	for i := range src {
+		src[i] = uint16(rng.Uint32())
+	}
+	for _, s := range allSchemes(t) {
+		for _, fl := range []Flavor{Scalar, Blocked} {
+			s.Resize(n)
+			s.Harden(src, fl)
+			if got := s.Detect(fl); got != 0 {
+				t.Errorf("%s/%s: clean data reports %d corruptions", s.Name(), fl, got)
+			}
+			dst := make([]uint16, n)
+			s.Soften(dst, fl)
+			for i := range src {
+				if dst[i] != src[i] {
+					t.Fatalf("%s/%s: round trip differs at %d: %d != %d", s.Name(), fl, i, dst[i], src[i])
+				}
+			}
+			if s.HardenedBytes() <= 0 {
+				t.Errorf("%s: non-positive hardened size", s.Name())
+			}
+		}
+	}
+}
+
+func TestSchemesDetectSingleFlips(t *testing.T) {
+	const n = 512
+	src := make([]uint16, n)
+	for i := range src {
+		src[i] = uint16(i * 7)
+	}
+	for _, s := range allSchemes(t) {
+		s.Resize(n)
+		s.Harden(src, Scalar)
+		s.Corrupt(100, 1<<9)
+		if got := s.Detect(Scalar); got != 1 {
+			t.Errorf("%s: single flip detected %d times, want 1", s.Name(), got)
+		}
+		if got := s.Detect(Blocked); got != 1 {
+			t.Errorf("%s (blocked): single flip detected %d times, want 1", s.Name(), got)
+		}
+	}
+}
+
+func TestANNaiveAndRefinedAgree(t *testing.T) {
+	naive, err := NewAN(61, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := NewAN(61, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	rng := rand.New(rand.NewSource(9))
+	src := make([]uint16, n)
+	for i := range src {
+		src[i] = uint16(rng.Uint32())
+	}
+	naive.Resize(n)
+	refined.Resize(n)
+	naive.Harden(src, Scalar)
+	refined.Harden(src, Scalar)
+	// Corrupt the same positions in both and require identical verdicts.
+	for _, i := range []int{0, 17, 200} {
+		naive.Corrupt(i, 1<<4)
+		refined.Corrupt(i, 1<<4)
+	}
+	if a, b := naive.Detect(Scalar), refined.Detect(Scalar); a != b || a != 3 {
+		t.Fatalf("naive found %d, refined %d, want 3 each", a, b)
+	}
+}
+
+func TestNewANValidation(t *testing.T) {
+	if _, err := NewAN(4, true); err == nil {
+		t.Error("even A must error")
+	}
+	if _, err := NewAN(1<<20|1, true); err == nil {
+		t.Error("A too wide for 32-bit code words must error")
+	}
+}
+
+func TestNewXORValidation(t *testing.T) {
+	if _, err := NewXOR(0); err == nil {
+		t.Error("zero block size must error")
+	}
+	if _, err := NewCRC(0); err == nil {
+		t.Error("zero CRC block size must error")
+	}
+}
+
+func TestFlavorString(t *testing.T) {
+	if Scalar.String() != "scalar" || Blocked.String() != "blocked" {
+		t.Error("flavor names")
+	}
+}

@@ -1,0 +1,340 @@
+package coding
+
+// Unroll-swept AN kernels for the Figure 9 x-axis. The paper's prototype
+// uses C++ template metaprogramming to let the compiler unroll the coding
+// loops by factors of 2^0..2^10; Go has no compile-time templates, so the
+// explicitly unrolled bodies below cover factors 1, 2, 4, 8 and 16 (the
+// curves flatten beyond that in the paper as well). All variants operate
+// on 16-bit data in 32-bit code words, the micro-benchmark configuration,
+// and use the refined (multiplicative-inverse) formulation of Section 4.3.
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+)
+
+// UnrollFactors lists the supported sweep points.
+var UnrollFactors = []int{1, 2, 4, 8, 16}
+
+// ANEncodeUnrolled hardens src into dst with the given unroll factor.
+func ANEncodeUnrolled(code *an.Code, src []uint16, dst []uint32, unroll int) error {
+	switch unroll {
+	case 1:
+		a := uint32(code.A())
+		n := len(src) / 1 * 1
+		for i := 0; i < n; i += 1 {
+			dst[i] = uint32(src[i]) * a
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint32(src[i]) * a
+		}
+	case 2:
+		a := uint32(code.A())
+		n := len(src) / 2 * 2
+		for i := 0; i < n; i += 2 {
+			s := src[i : i+2 : i+2]
+			d := dst[i : i+2 : i+2]
+			d[0] = uint32(s[0]) * a
+			d[1] = uint32(s[1]) * a
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint32(src[i]) * a
+		}
+	case 4:
+		a := uint32(code.A())
+		n := len(src) / 4 * 4
+		for i := 0; i < n; i += 4 {
+			s := src[i : i+4 : i+4]
+			d := dst[i : i+4 : i+4]
+			d[0] = uint32(s[0]) * a
+			d[1] = uint32(s[1]) * a
+			d[2] = uint32(s[2]) * a
+			d[3] = uint32(s[3]) * a
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint32(src[i]) * a
+		}
+	case 8:
+		a := uint32(code.A())
+		n := len(src) / 8 * 8
+		for i := 0; i < n; i += 8 {
+			s := src[i : i+8 : i+8]
+			d := dst[i : i+8 : i+8]
+			d[0] = uint32(s[0]) * a
+			d[1] = uint32(s[1]) * a
+			d[2] = uint32(s[2]) * a
+			d[3] = uint32(s[3]) * a
+			d[4] = uint32(s[4]) * a
+			d[5] = uint32(s[5]) * a
+			d[6] = uint32(s[6]) * a
+			d[7] = uint32(s[7]) * a
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint32(src[i]) * a
+		}
+	case 16:
+		a := uint32(code.A())
+		n := len(src) / 16 * 16
+		for i := 0; i < n; i += 16 {
+			s := src[i : i+16 : i+16]
+			d := dst[i : i+16 : i+16]
+			d[0] = uint32(s[0]) * a
+			d[1] = uint32(s[1]) * a
+			d[2] = uint32(s[2]) * a
+			d[3] = uint32(s[3]) * a
+			d[4] = uint32(s[4]) * a
+			d[5] = uint32(s[5]) * a
+			d[6] = uint32(s[6]) * a
+			d[7] = uint32(s[7]) * a
+			d[8] = uint32(s[8]) * a
+			d[9] = uint32(s[9]) * a
+			d[10] = uint32(s[10]) * a
+			d[11] = uint32(s[11]) * a
+			d[12] = uint32(s[12]) * a
+			d[13] = uint32(s[13]) * a
+			d[14] = uint32(s[14]) * a
+			d[15] = uint32(s[15]) * a
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint32(src[i]) * a
+		}
+	default:
+		return fmt.Errorf("coding: unsupported unroll factor %d", unroll)
+	}
+	return nil
+}
+
+// ANDecodeUnrolled softens src into dst with the given unroll factor.
+func ANDecodeUnrolled(code *an.Code, src []uint32, dst []uint16, unroll int) error {
+	switch unroll {
+	case 1:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		n := len(src) / 1 * 1
+		for i := 0; i < n; i += 1 {
+			dst[i] = uint16(src[i] * inv & mask)
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint16(src[i] * inv & mask)
+		}
+	case 2:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		n := len(src) / 2 * 2
+		for i := 0; i < n; i += 2 {
+			s := src[i : i+2 : i+2]
+			d := dst[i : i+2 : i+2]
+			d[0] = uint16(s[0] * inv & mask)
+			d[1] = uint16(s[1] * inv & mask)
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint16(src[i] * inv & mask)
+		}
+	case 4:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		n := len(src) / 4 * 4
+		for i := 0; i < n; i += 4 {
+			s := src[i : i+4 : i+4]
+			d := dst[i : i+4 : i+4]
+			d[0] = uint16(s[0] * inv & mask)
+			d[1] = uint16(s[1] * inv & mask)
+			d[2] = uint16(s[2] * inv & mask)
+			d[3] = uint16(s[3] * inv & mask)
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint16(src[i] * inv & mask)
+		}
+	case 8:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		n := len(src) / 8 * 8
+		for i := 0; i < n; i += 8 {
+			s := src[i : i+8 : i+8]
+			d := dst[i : i+8 : i+8]
+			d[0] = uint16(s[0] * inv & mask)
+			d[1] = uint16(s[1] * inv & mask)
+			d[2] = uint16(s[2] * inv & mask)
+			d[3] = uint16(s[3] * inv & mask)
+			d[4] = uint16(s[4] * inv & mask)
+			d[5] = uint16(s[5] * inv & mask)
+			d[6] = uint16(s[6] * inv & mask)
+			d[7] = uint16(s[7] * inv & mask)
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint16(src[i] * inv & mask)
+		}
+	case 16:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		n := len(src) / 16 * 16
+		for i := 0; i < n; i += 16 {
+			s := src[i : i+16 : i+16]
+			d := dst[i : i+16 : i+16]
+			d[0] = uint16(s[0] * inv & mask)
+			d[1] = uint16(s[1] * inv & mask)
+			d[2] = uint16(s[2] * inv & mask)
+			d[3] = uint16(s[3] * inv & mask)
+			d[4] = uint16(s[4] * inv & mask)
+			d[5] = uint16(s[5] * inv & mask)
+			d[6] = uint16(s[6] * inv & mask)
+			d[7] = uint16(s[7] * inv & mask)
+			d[8] = uint16(s[8] * inv & mask)
+			d[9] = uint16(s[9] * inv & mask)
+			d[10] = uint16(s[10] * inv & mask)
+			d[11] = uint16(s[11] * inv & mask)
+			d[12] = uint16(s[12] * inv & mask)
+			d[13] = uint16(s[13] * inv & mask)
+			d[14] = uint16(s[14] * inv & mask)
+			d[15] = uint16(s[15] * inv & mask)
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = uint16(src[i] * inv & mask)
+		}
+	default:
+		return fmt.Errorf("coding: unsupported unroll factor %d", unroll)
+	}
+	return nil
+}
+
+// ANDetectUnrolled counts corrupted code words with the given unroll
+// factor. Unrolled variants fold the domain tests of a window into one
+// branch (the movemask pattern) and re-scan only windows that fail.
+func ANDetectUnrolled(code *an.Code, src []uint32, unroll int) (int, error) {
+	bad := 0
+	switch unroll {
+	case 1:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		max := uint32(code.MaxData())
+		n := len(src) / 1 * 1
+		for i := 0; i < n; i += 1 {
+			if src[i]*inv&mask > max {
+				bad++
+			}
+		}
+		for i := n; i < len(src); i++ {
+			if src[i]*inv&mask > max {
+				bad++
+			}
+		}
+	case 2:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		max := uint32(code.MaxData())
+		n := len(src) / 2 * 2
+		for i := 0; i < n; i += 2 {
+			s := src[i : i+2 : i+2]
+			var over uint32
+			over |= (s[0] * inv & mask) &^ max
+			over |= (s[1] * inv & mask) &^ max
+			if over != 0 {
+				for _, v := range s {
+					if v*inv&mask > max {
+						bad++
+					}
+				}
+			}
+		}
+		for i := n; i < len(src); i++ {
+			if src[i]*inv&mask > max {
+				bad++
+			}
+		}
+	case 4:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		max := uint32(code.MaxData())
+		n := len(src) / 4 * 4
+		for i := 0; i < n; i += 4 {
+			s := src[i : i+4 : i+4]
+			var over uint32
+			over |= (s[0] * inv & mask) &^ max
+			over |= (s[1] * inv & mask) &^ max
+			over |= (s[2] * inv & mask) &^ max
+			over |= (s[3] * inv & mask) &^ max
+			if over != 0 {
+				for _, v := range s {
+					if v*inv&mask > max {
+						bad++
+					}
+				}
+			}
+		}
+		for i := n; i < len(src); i++ {
+			if src[i]*inv&mask > max {
+				bad++
+			}
+		}
+	case 8:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		max := uint32(code.MaxData())
+		n := len(src) / 8 * 8
+		for i := 0; i < n; i += 8 {
+			s := src[i : i+8 : i+8]
+			var over uint32
+			over |= (s[0] * inv & mask) &^ max
+			over |= (s[1] * inv & mask) &^ max
+			over |= (s[2] * inv & mask) &^ max
+			over |= (s[3] * inv & mask) &^ max
+			over |= (s[4] * inv & mask) &^ max
+			over |= (s[5] * inv & mask) &^ max
+			over |= (s[6] * inv & mask) &^ max
+			over |= (s[7] * inv & mask) &^ max
+			if over != 0 {
+				for _, v := range s {
+					if v*inv&mask > max {
+						bad++
+					}
+				}
+			}
+		}
+		for i := n; i < len(src); i++ {
+			if src[i]*inv&mask > max {
+				bad++
+			}
+		}
+	case 16:
+		inv := uint32(code.AInv())
+		mask := uint32(code.CodeMask())
+		max := uint32(code.MaxData())
+		n := len(src) / 16 * 16
+		for i := 0; i < n; i += 16 {
+			s := src[i : i+16 : i+16]
+			var over uint32
+			over |= (s[0] * inv & mask) &^ max
+			over |= (s[1] * inv & mask) &^ max
+			over |= (s[2] * inv & mask) &^ max
+			over |= (s[3] * inv & mask) &^ max
+			over |= (s[4] * inv & mask) &^ max
+			over |= (s[5] * inv & mask) &^ max
+			over |= (s[6] * inv & mask) &^ max
+			over |= (s[7] * inv & mask) &^ max
+			over |= (s[8] * inv & mask) &^ max
+			over |= (s[9] * inv & mask) &^ max
+			over |= (s[10] * inv & mask) &^ max
+			over |= (s[11] * inv & mask) &^ max
+			over |= (s[12] * inv & mask) &^ max
+			over |= (s[13] * inv & mask) &^ max
+			over |= (s[14] * inv & mask) &^ max
+			over |= (s[15] * inv & mask) &^ max
+			if over != 0 {
+				for _, v := range s {
+					if v*inv&mask > max {
+						bad++
+					}
+				}
+			}
+		}
+		for i := n; i < len(src); i++ {
+			if src[i]*inv&mask > max {
+				bad++
+			}
+		}
+	default:
+		return 0, fmt.Errorf("coding: unsupported unroll factor %d", unroll)
+	}
+	return bad, nil
+}

@@ -1,0 +1,84 @@
+package coding
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+func TestUnrolledKernelsAgree(t *testing.T) {
+	code := an.MustNew(63877, 16)
+	rng := rand.New(rand.NewSource(31))
+	// Length deliberately not a multiple of any unroll factor.
+	src := make([]uint16, 1021)
+	for i := range src {
+		src[i] = uint16(rng.Uint32())
+	}
+	ref := make([]uint32, len(src))
+	if err := ANEncodeUnrolled(code, src, ref, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range UnrollFactors[1:] {
+		enc := make([]uint32, len(src))
+		if err := ANEncodeUnrolled(code, src, enc, u); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(enc, ref) {
+			t.Fatalf("unroll %d: encode differs", u)
+		}
+	}
+	refDec := make([]uint16, len(src))
+	if err := ANDecodeUnrolled(code, ref, refDec, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refDec, src) {
+		t.Fatal("decode(encode(x)) != x")
+	}
+	for _, u := range UnrollFactors[1:] {
+		dec := make([]uint16, len(src))
+		if err := ANDecodeUnrolled(code, ref, dec, u); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dec, src) {
+			t.Fatalf("unroll %d: decode differs", u)
+		}
+	}
+	for _, u := range UnrollFactors {
+		bad, err := ANDetectUnrolled(code, ref, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != 0 {
+			t.Fatalf("unroll %d: clean data reports %d", u, bad)
+		}
+	}
+	// Corrupt a handful of positions (including inside and outside the
+	// unrolled windows) and require the same counts everywhere.
+	for _, pos := range []int{0, 5, 512, 1019, 1020} {
+		ref[pos] ^= 1 << 7
+	}
+	for _, u := range UnrollFactors {
+		bad, err := ANDetectUnrolled(code, ref, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != 5 {
+			t.Fatalf("unroll %d: detected %d, want 5", u, bad)
+		}
+	}
+}
+
+func TestUnrolledRejectsUnknownFactor(t *testing.T) {
+	code := an.MustNew(61, 16)
+	if err := ANEncodeUnrolled(code, nil, nil, 3); err == nil {
+		t.Error("encode factor 3 must error")
+	}
+	if err := ANDecodeUnrolled(code, nil, nil, 5); err == nil {
+		t.Error("decode factor 5 must error")
+	}
+	if _, err := ANDetectUnrolled(code, nil, 7); err == nil {
+		t.Error("detect factor 7 must error")
+	}
+}

@@ -1,0 +1,132 @@
+// Package xorsum implements blocked XOR checksums, the simplest systematic
+// checksum family and the performance yardstick of the paper's Section 7.1
+// micro benchmarks: hardening XORs every block of data words into one
+// checksum word, detection recomputes and compares it.
+//
+// XOR checksums detect any odd number of flipped bits within a single
+// checksum column but miss pairs that cancel; the paper uses them purely as
+// the fastest-possible baseline, since - unlike AN codes - checksummed data
+// cannot be processed without first softening it, and every update
+// invalidates a whole block's checksum.
+package xorsum
+
+import "fmt"
+
+// Checksum computes one XOR word per block of blockSize values.
+type Checksum struct {
+	blockSize int
+}
+
+// New returns a checksum scheme over blocks of blockSize 16-bit words.
+func New(blockSize int) (*Checksum, error) {
+	if blockSize < 1 {
+		return nil, fmt.Errorf("xorsum: block size must be positive, got %d", blockSize)
+	}
+	return &Checksum{blockSize: blockSize}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(blockSize int) *Checksum {
+	c, err := New(blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// BlockSize returns the number of data words covered per checksum word.
+func (c *Checksum) BlockSize() int { return c.blockSize }
+
+// NumSums returns how many checksum words protect n data words.
+func (c *Checksum) NumSums(n int) int {
+	return (n + c.blockSize - 1) / c.blockSize
+}
+
+// Encode fills sums (length >= NumSums(len(data))) with the per-block XOR
+// of data.
+func (c *Checksum) Encode(data []uint16, sums []uint16) {
+	b := c.blockSize
+	for blk := 0; blk*b < len(data); blk++ {
+		end := (blk + 1) * b
+		if end > len(data) {
+			end = len(data)
+		}
+		var s uint16
+		for _, v := range data[blk*b : end] {
+			s ^= v
+		}
+		sums[blk] = s
+	}
+}
+
+// Detect recomputes every block checksum and appends the indices of blocks
+// whose stored checksum disagrees. It returns the extended slice.
+func (c *Checksum) Detect(data []uint16, sums []uint16, bad []int) []int {
+	b := c.blockSize
+	for blk := 0; blk*b < len(data); blk++ {
+		end := (blk + 1) * b
+		if end > len(data) {
+			end = len(data)
+		}
+		var s uint16
+		for _, v := range data[blk*b : end] {
+			s ^= v
+		}
+		if s != sums[blk] {
+			bad = append(bad, blk)
+		}
+	}
+	return bad
+}
+
+// EncodeBlocked is the batch-oriented flavor: blocks of eight lanes are
+// folded in a fixed-width inner loop, the Go stand-in for the paper's SSE
+// XOR kernel. Results are identical to Encode.
+func (c *Checksum) EncodeBlocked(data []uint16, sums []uint16) {
+	b := c.blockSize
+	for blk := 0; blk*b < len(data); blk++ {
+		end := (blk + 1) * b
+		if end > len(data) {
+			end = len(data)
+		}
+		sums[blk] = foldBlock(data[blk*b : end])
+	}
+}
+
+// DetectBlocked is the blocked flavor of Detect.
+func (c *Checksum) DetectBlocked(data []uint16, sums []uint16, bad []int) []int {
+	b := c.blockSize
+	for blk := 0; blk*b < len(data); blk++ {
+		end := (blk + 1) * b
+		if end > len(data) {
+			end = len(data)
+		}
+		if foldBlock(data[blk*b:end]) != sums[blk] {
+			bad = append(bad, blk)
+		}
+	}
+	return bad
+}
+
+// foldBlock XORs a slice using eight independent accumulators so the inner
+// loop carries no serial dependency chain.
+func foldBlock(data []uint16) uint16 {
+	var s0, s1, s2, s3, s4, s5, s6, s7 uint16
+	n := len(data) &^ 7
+	for i := 0; i < n; i += 8 {
+		d := data[i : i+8 : i+8]
+		s0 ^= d[0]
+		s1 ^= d[1]
+		s2 ^= d[2]
+		s3 ^= d[3]
+		s4 ^= d[4]
+		s5 ^= d[5]
+		s6 ^= d[6]
+		s7 ^= d[7]
+	}
+	s := s0 ^ s1 ^ s2 ^ s3 ^ s4 ^ s5 ^ s6 ^ s7
+	for _, v := range data[n:] {
+		s ^= v
+	}
+	return s
+}

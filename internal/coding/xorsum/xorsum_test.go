@@ -1,0 +1,87 @@
+package xorsum
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDetectRoundTrip(t *testing.T) {
+	for _, blockSize := range []int{1, 2, 7, 16, 64, 1024} {
+		c := MustNew(blockSize)
+		rng := rand.New(rand.NewSource(int64(blockSize)))
+		data := make([]uint16, 1000) // not a multiple of most block sizes
+		for i := range data {
+			data[i] = uint16(rng.Uint32())
+		}
+		sums := make([]uint16, c.NumSums(len(data)))
+		c.Encode(data, sums)
+		if bad := c.Detect(data, sums, nil); len(bad) != 0 {
+			t.Fatalf("b=%d: clean data flagged: %v", blockSize, bad)
+		}
+		sumsB := make([]uint16, len(sums))
+		c.EncodeBlocked(data, sumsB)
+		if !reflect.DeepEqual(sums, sumsB) {
+			t.Fatalf("b=%d: blocked encode disagrees", blockSize)
+		}
+		if bad := c.DetectBlocked(data, sums, nil); len(bad) != 0 {
+			t.Fatalf("b=%d: blocked detect flagged clean data", blockSize)
+		}
+	}
+}
+
+func TestDetectSingleFlip(t *testing.T) {
+	c := MustNew(16)
+	data := make([]uint16, 256)
+	for i := range data {
+		data[i] = uint16(i * 31)
+	}
+	sums := make([]uint16, c.NumSums(len(data)))
+	c.Encode(data, sums)
+	for pos := 0; pos < len(data); pos += 13 {
+		for bit := uint(0); bit < 16; bit++ {
+			data[pos] ^= 1 << bit
+			bad := c.Detect(data, sums, nil)
+			if len(bad) != 1 || bad[0] != pos/16 {
+				t.Fatalf("flip at %d bit %d: Detect = %v", pos, bit, bad)
+			}
+			data[pos] ^= 1 << bit
+		}
+	}
+}
+
+func TestMissesCancellingFlips(t *testing.T) {
+	// The known weakness: two identical flips inside one block cancel.
+	c := MustNew(4)
+	data := []uint16{1, 2, 3, 4}
+	sums := make([]uint16, 1)
+	c.Encode(data, sums)
+	data[0] ^= 1 << 5
+	data[2] ^= 1 << 5
+	if bad := c.Detect(data, sums, nil); len(bad) != 0 {
+		t.Fatalf("cancelling flips unexpectedly detected: %v", bad)
+	}
+}
+
+func TestBadBlockSize(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("block size 0 must error")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("negative block size must error")
+	}
+}
+
+func TestQuickFoldBlockMatchesSerialXOR(t *testing.T) {
+	f := func(data []uint16) bool {
+		var want uint16
+		for _, v := range data {
+			want ^= v
+		}
+		return foldBlock(data) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

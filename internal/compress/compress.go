@@ -1,0 +1,249 @@
+// Package compress explores the interplay of lightweight compression and
+// AN hardening, the paper's first future-work direction (Section 9:
+// "While data hardening and lightweight compression are orthogonal to
+// each other, their interplay is very important to keep the overall
+// memory footprint of data as low as possible").
+//
+// Two classic lightweight schemes are composed with hardening such that
+// *decompression never leaves the protected domain*:
+//
+//   - Delta: a sorted column stores its first value plus successive
+//     differences. Hardened deltas are code words of a code sized for
+//     the (much narrower) delta domain, and reconstruction is a prefix
+//     sum of code words - which by Eq. 5 yields the code word of the
+//     absolute value directly. Deltas are additionally bit-packed at
+//     exactly |C| bits (internal/bitpack), stacking both size levers.
+//   - RLE: runs of equal values store (value, length) pairs, both
+//     hardened - a flipped run *length* is as destructive as a flipped
+//     value and is detected the same way.
+//
+// The composition order is the one the paper's storage model implies:
+// compress first, then harden the compressed representation, so the
+// detection capability is chosen for the narrow compressed domain and
+// the redundancy overhead applies to the already-reduced data.
+package compress
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ahead/internal/an"
+	"ahead/internal/bitpack"
+)
+
+// DeltaHardened is a sorted column stored as a hardened base value plus
+// bit-packed hardened deltas.
+type DeltaHardened struct {
+	baseCode  *an.Code // wide code (same A) for base and running sums
+	deltaCode *an.Code // code over the delta domain
+	base      uint64   // code word of the first value under baseCode
+	deltas    *bitpack.Vector
+	n         int
+}
+
+// CompressDeltaHardened builds the hardened delta representation of a
+// non-decreasing sequence, guaranteeing detection of all flips up to
+// minBFW in every stored word. Absolute values must fit 48 bits.
+func CompressDeltaHardened(values []uint64, minBFW int) (*DeltaHardened, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("compress: empty input")
+	}
+	maxDelta := uint64(0)
+	for i := 1; i < len(values); i++ {
+		if values[i] < values[i-1] {
+			return nil, fmt.Errorf("compress: input not sorted at %d", i)
+		}
+		if d := values[i] - values[i-1]; d > maxDelta {
+			maxDelta = d
+		}
+	}
+	if values[len(values)-1] >= 1<<48 {
+		return nil, fmt.Errorf("compress: values exceed the 48-bit hardened domain")
+	}
+	deltaBits := uint(bits.Len64(maxDelta))
+	if deltaBits == 0 {
+		deltaBits = 1
+	}
+	deltaCode, err := an.ForMinBFW(deltaBits, minBFW)
+	if err != nil {
+		return nil, err
+	}
+	baseCode, err := an.New(deltaCode.A(), 48)
+	if err != nil {
+		return nil, err
+	}
+	packed, err := bitpack.NewHardened(deltaCode)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(values); i++ {
+		packed.AppendValue(values[i] - values[i-1])
+	}
+	return &DeltaHardened{
+		baseCode:  baseCode,
+		deltaCode: deltaCode,
+		base:      baseCode.Encode(values[0]),
+		deltas:    packed,
+		n:         len(values),
+	}, nil
+}
+
+// Len returns the number of logical values.
+func (d *DeltaHardened) Len() int { return d.n }
+
+// DeltaCode returns the code protecting the deltas.
+func (d *DeltaHardened) DeltaCode() *an.Code { return d.deltaCode }
+
+// Bytes returns the compressed hardened footprint.
+func (d *DeltaHardened) Bytes() int { return 8 + d.deltas.Bytes() }
+
+// Scan reconstructs the values in order, calling fn with each decoded
+// value; every word is verified on the way and the first corruption
+// aborts the scan with an error (a flipped delta would poison every
+// later value, so there is nothing meaningful to continue with). fn
+// returning false stops early.
+func (d *DeltaHardened) Scan(fn func(i int, v uint64) bool) error {
+	sum, ok := d.baseCode.Check(d.base)
+	if !ok {
+		return fmt.Errorf("compress: base value corrupted")
+	}
+	if !fn(0, sum) {
+		return nil
+	}
+	// Run the prefix sum on code words: Σ (δ·A) = (Σδ)·A stays a valid
+	// code word of the wide code at every step (Eq. 5).
+	acc := d.base
+	for i := 0; i < d.deltas.Len(); i++ {
+		raw := d.deltas.Get(i)
+		if _, ok := d.deltaCode.Check(raw); !ok {
+			return fmt.Errorf("compress: delta %d corrupted", i)
+		}
+		acc += raw
+		v, ok := d.baseCode.Check(acc)
+		if !ok {
+			return fmt.Errorf("compress: running sum corrupted at %d", i)
+		}
+		if !fn(i+1, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Materialize decompresses into a plain slice, verifying everything.
+func (d *DeltaHardened) Materialize() ([]uint64, error) {
+	out := make([]uint64, 0, d.n)
+	err := d.Scan(func(i int, v uint64) bool {
+		out = append(out, v)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CorruptDelta flips mask into stored delta i (fault-injection hook).
+func (d *DeltaHardened) CorruptDelta(i int, mask uint64) { d.deltas.Corrupt(i, mask) }
+
+// RLEHardened stores runs of equal values as hardened (value, length)
+// pairs.
+type RLEHardened struct {
+	valCode *an.Code
+	lenCode *an.Code
+	vals    []uint64 // code words
+	lens    []uint64 // code words
+	n       int
+}
+
+// CompressRLEHardened builds the hardened run-length representation.
+// dataBits bounds the value domain; run lengths share the 32-bit position
+// domain.
+func CompressRLEHardened(values []uint64, dataBits uint, minBFW int) (*RLEHardened, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("compress: empty input")
+	}
+	valCode, err := an.ForMinBFW(dataBits, minBFW)
+	if err != nil {
+		return nil, err
+	}
+	lenCode, err := an.ForMinBFW(32, minBFW)
+	if err != nil {
+		return nil, err
+	}
+	r := &RLEHardened{valCode: valCode, lenCode: lenCode, n: len(values)}
+	run := values[0]
+	count := uint64(1)
+	flush := func() {
+		r.vals = append(r.vals, valCode.Encode(run))
+		r.lens = append(r.lens, lenCode.Encode(count))
+	}
+	for _, v := range values[1:] {
+		if v > valCode.MaxData() {
+			return nil, fmt.Errorf("compress: value %d exceeds the %d-bit domain", v, dataBits)
+		}
+		if v == run {
+			count++
+			continue
+		}
+		flush()
+		run, count = v, 1
+	}
+	flush()
+	return r, nil
+}
+
+// Len returns the number of logical values; Runs the number of stored
+// runs.
+func (r *RLEHardened) Len() int { return r.n }
+
+// Runs returns the number of stored (value, length) pairs.
+func (r *RLEHardened) Runs() int { return len(r.vals) }
+
+// Bytes returns the compressed hardened footprint (8 bytes per stored
+// word; bit-packing would stack as with deltas).
+func (r *RLEHardened) Bytes() int { return 8 * (len(r.vals) + len(r.lens)) }
+
+// Scan calls fn once per run with the decoded value and length, verifying
+// both words. A corrupted run aborts with an error.
+func (r *RLEHardened) Scan(fn func(v, count uint64) bool) error {
+	for i := range r.vals {
+		v, ok := r.valCode.Check(r.vals[i])
+		if !ok {
+			return fmt.Errorf("compress: run value %d corrupted", i)
+		}
+		n, ok := r.lenCode.Check(r.lens[i])
+		if !ok {
+			return fmt.Errorf("compress: run length %d corrupted", i)
+		}
+		if !fn(v, n) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Materialize decompresses into a plain slice, verifying everything.
+func (r *RLEHardened) Materialize() ([]uint64, error) {
+	out := make([]uint64, 0, r.n)
+	err := r.Scan(func(v, count uint64) bool {
+		for j := uint64(0); j < count; j++ {
+			out = append(out, v)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != r.n {
+		return nil, fmt.Errorf("compress: reconstructed %d of %d values (corrupted length?)", len(out), r.n)
+	}
+	return out, nil
+}
+
+// CorruptRun flips masks into stored run i (fault-injection hook); either
+// mask may be zero.
+func (r *RLEHardened) CorruptRun(i int, valMask, lenMask uint64) {
+	r.vals[i] ^= valMask
+	r.lens[i] ^= lenMask
+}

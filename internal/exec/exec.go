@@ -1,0 +1,423 @@
+// Package exec provides the query-execution layer of AHEAD: it wires the
+// physical operators of internal/ops into the detection variants of
+// Section 5.1 and manages the per-variant physical data (plain tables,
+// DMR replicas, hardened tables).
+//
+// The six execution modes:
+//
+//   - Unprotected: plain data, plain operators - the baseline.
+//   - DMR: plain data replicated in two memory regions; every query runs
+//     twice and a voter compares the results (errors surface only there).
+//   - EarlyOnetime: hardened base tables; the Δ operator verifies and
+//     softens every touched base column up front, then the plain plan
+//     runs. Flips after the Δ pass go unnoticed.
+//   - LateOnetime: hardened base tables; operators compute directly on
+//     code words (hardened predicates, softened join keys) without
+//     checks, and Δ verifies only the vectors feeding the final
+//     aggregation.
+//   - Continuous: hardened base tables, AN-aware operators verifying
+//     every touched value, hardened intermediate IDs and error vectors.
+//   - ContinuousReencoding: Continuous, plus every operator output is
+//     re-hardened with a next-smaller A (Figure 4f).
+package exec
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// Mode selects the detection variant.
+type Mode int
+
+// The execution modes, in the order of the paper's figures.
+const (
+	// Unprotected is the no-detection baseline.
+	Unprotected Mode = iota
+	// DMR is dual modular redundancy.
+	DMR
+	// EarlyOnetime detects once when base data is first touched.
+	EarlyOnetime
+	// LateOnetime detects once before aggregation.
+	LateOnetime
+	// Continuous detects in every operator.
+	Continuous
+	// ContinuousReencoding additionally re-hardens operator outputs.
+	ContinuousReencoding
+	// TMR is triple modular redundancy: three replicas, three
+	// executions, majority voting. Unlike DMR it can *mask* a single
+	// diverging replica (the correction step Section 9 defers to future
+	// work; TMR is the classical baseline of the paper's related work
+	// [60, 61]). It is an extension beyond the paper's six evaluated
+	// variants and therefore not part of Modes.
+	TMR
+)
+
+// Modes lists all modes in presentation order.
+var Modes = []Mode{Unprotected, DMR, EarlyOnetime, LateOnetime, Continuous, ContinuousReencoding}
+
+// String implements fmt.Stringer with the paper's labels.
+func (m Mode) String() string {
+	switch m {
+	case Unprotected:
+		return "Unprotected"
+	case DMR:
+		return "DMR"
+	case EarlyOnetime:
+		return "Early"
+	case LateOnetime:
+		return "Late"
+	case Continuous:
+		return "Continuous"
+	case ContinuousReencoding:
+		return "Reencoding"
+	case TMR:
+		return "TMR"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// usesHardenedData reports whether the mode reads AN-hardened base tables.
+func (m Mode) usesHardenedData() bool { return m >= EarlyOnetime && m != TMR }
+
+// DB holds the physical data for all modes: the plain tables, the DMR
+// replica, and the hardened tables.
+type DB struct {
+	plain    map[string]*storage.Table
+	replica  map[string]*storage.Table
+	replica2 map[string]*storage.Table
+	hardened map[string]*storage.Table
+}
+
+// NewDB builds the per-mode physical storage from plain base tables,
+// hardening columns with the given chooser (Section 6.2 uses
+// storage.LargestCodeChooser). The replica is a deep copy for DMR.
+func NewDB(tables []*storage.Table, choose storage.CodeChooser) (*DB, error) {
+	db := &DB{
+		plain:    make(map[string]*storage.Table),
+		replica:  make(map[string]*storage.Table),
+		replica2: make(map[string]*storage.Table),
+		hardened: make(map[string]*storage.Table),
+	}
+	for _, t := range tables {
+		if _, dup := db.plain[t.Name()]; dup {
+			return nil, fmt.Errorf("exec: duplicate table %q", t.Name())
+		}
+		db.plain[t.Name()] = t
+		r, err := t.Replicate()
+		if err != nil {
+			return nil, err
+		}
+		db.replica[t.Name()] = r
+		r2, err := t.Replicate()
+		if err != nil {
+			return nil, err
+		}
+		db.replica2[t.Name()] = r2
+		h, err := t.Harden(choose)
+		if err != nil {
+			return nil, err
+		}
+		db.hardened[t.Name()] = h
+	}
+	return db, nil
+}
+
+// Plain returns the unprotected table.
+func (db *DB) Plain(name string) *storage.Table { return db.plain[name] }
+
+// Hardened returns the AN-hardened table.
+func (db *DB) Hardened(name string) *storage.Table { return db.hardened[name] }
+
+// Replica returns the DMR replica table (exposed for fault-injection
+// experiments and tests).
+func (db *DB) Replica(name string) *storage.Table { return db.replica[name] }
+
+// StorageBytes returns the base-data footprint of a mode: plain bytes for
+// Unprotected, twice that for DMR, hardened bytes for the AHEAD modes
+// (Figure 1b).
+func (db *DB) StorageBytes(m Mode) int {
+	total := 0
+	switch {
+	case m == Unprotected:
+		for _, t := range db.plain {
+			total += t.Bytes()
+		}
+	case m == DMR:
+		for _, t := range db.plain {
+			total += 2 * t.Bytes()
+		}
+	case m == TMR:
+		for _, t := range db.plain {
+			total += 3 * t.Bytes()
+		}
+	default:
+		for _, t := range db.hardened {
+			total += t.Bytes()
+		}
+	}
+	return total
+}
+
+// BitPackedBytes returns the storage the hardened tables would occupy
+// under bit-level packing (internal/bitpack): every hardened column at
+// exactly |C| bits per value instead of the next native width, the
+// "Bit-Packed" projection of Figure 8b turned into a measured number.
+// Dictionaries and string heaps are unchanged.
+func (db *DB) BitPackedBytes() int {
+	total := 0
+	seenDict := make(map[*storage.Dict]bool)
+	for _, t := range db.hardened {
+		for _, c := range t.Columns() {
+			if code := c.Code(); code != nil {
+				bits := uint64(c.Len()) * uint64(code.CodeBits())
+				total += int((bits + 63) / 64 * 8)
+			} else {
+				total += c.Bytes()
+			}
+			if d := c.Dict(); d != nil && !seenDict[d] {
+				seenDict[d] = true
+				total += d.Bytes()
+			}
+			if h := c.Heap(); h != nil {
+				// Heaps are shared per column here; count via the
+				// plain table's accounting instead.
+				continue
+			}
+		}
+		// Heap bytes, counted once per heap as Table.Bytes does.
+		total += heapBytes(t)
+	}
+	return total
+}
+
+func heapBytes(t *storage.Table) int {
+	seen := make(map[*storage.StringHeap]bool)
+	total := 0
+	for _, c := range t.Columns() {
+		if h := c.Heap(); h != nil && !seen[h] {
+			seen[h] = true
+			total += h.Bytes()
+		}
+	}
+	return total
+}
+
+// RepairHardened restores the corrupted positions an error log recorded
+// for one hardened column, re-encoding the values from the plain replica
+// - the "retransmission" correction sketched in Section 9: detection is
+// on value granularity, so once AHEAD knows *where* the flip happened,
+// any redundant copy repairs it. It returns the number of repaired
+// values; positions whose log entries are themselves corrupted are
+// reported as an error.
+func (db *DB) RepairHardened(table, column string, log *ops.ErrorLog) (int, error) {
+	positions, err := log.Positions(column)
+	if err != nil {
+		return 0, err
+	}
+	hTab, pTab := db.hardened[table], db.plain[table]
+	if hTab == nil || pTab == nil {
+		return 0, fmt.Errorf("exec: unknown table %q", table)
+	}
+	hc, err := hTab.Column(column)
+	if err != nil {
+		return 0, err
+	}
+	pc, err := pTab.Column(column)
+	if err != nil {
+		return 0, err
+	}
+	repaired := 0
+	for _, pos := range positions {
+		if pos >= uint64(hc.Len()) {
+			return repaired, fmt.Errorf("exec: repair position %d beyond column %q", pos, column)
+		}
+		hc.Set(int(pos), pc.Get(int(pos))) // Set re-hardens
+		repaired++
+	}
+	return repaired, nil
+}
+
+// QueryFunc is a manually written physical query plan (Section 6.1), run
+// against the mode-specific view a Query provides.
+type QueryFunc func(q *Query) (*ops.Result, error)
+
+// Run executes the plan under the given mode and flavor. For DMR it runs
+// the plan on both replicas and votes. The returned ErrorLog carries the
+// error vectors the AN-aware operators filled (empty without induced
+// faults).
+func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc) (*ops.Result, *ops.ErrorLog, error) {
+	log := ops.NewErrorLog()
+	switch m {
+	case DMR:
+		q1 := &Query{db: db, mode: m, flavor: flavor, log: log}
+		r1, err := plan(q1)
+		if err != nil {
+			return nil, log, err
+		}
+		q2 := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: 1}
+		r2, err := plan(q2)
+		if err != nil {
+			return nil, log, err
+		}
+		if err := ops.Vote(r1, r2); err != nil {
+			return r1, log, err
+		}
+		return r1, log, nil
+	case TMR:
+		results := make([]*ops.Result, 3)
+		for i := range results {
+			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i}
+			r, err := plan(q)
+			if err != nil {
+				return nil, log, err
+			}
+			results[i] = r
+		}
+		// Majority vote: any two agreeing replicas mask the third.
+		switch {
+		case results[0].Equal(results[1]):
+			return results[0], log, nil
+		case results[0].Equal(results[2]) || results[1].Equal(results[2]):
+			return results[2], log, nil
+		default:
+			return nil, log, fmt.Errorf("exec: TMR voter found no majority among three replicas")
+		}
+	default:
+		q := &Query{db: db, mode: m, flavor: flavor, log: log}
+		r, err := plan(q)
+		return r, log, err
+	}
+}
+
+// Query is the mode-specific execution context handed to a plan.
+type Query struct {
+	db         *DB
+	mode       Mode
+	flavor     ops.Flavor
+	log        *ops.ErrorLog
+	replicaIdx int // 0 = primary, 1/2 = DMR/TMR replicas
+	deltaCache map[string]*storage.Column
+}
+
+// Mode returns the execution mode.
+func (q *Query) Mode() Mode { return q.mode }
+
+// Log returns the query's error log.
+func (q *Query) Log() *ops.ErrorLog { return q.log }
+
+// Opts returns the operator options implementing the mode's detection
+// behaviour.
+func (q *Query) Opts() *ops.Opts {
+	detect := q.mode == Continuous || q.mode == ContinuousReencoding
+	return &ops.Opts{
+		Detect:    detect,
+		HardenIDs: detect,
+		Flavor:    q.flavor,
+		Log:       q.log,
+	}
+}
+
+// Col returns the physical column a plan must use for table.column under
+// the current mode: the plain column (Unprotected), the replica column
+// (DMR second pass), the Δ-softened column (EarlyOnetime - verified and
+// decoded on first touch, with the cost that entails), or the hardened
+// column (Late/Continuous/Reencoding).
+func (q *Query) Col(table, column string) (*storage.Column, error) {
+	switch q.mode {
+	case Unprotected:
+		return q.db.plain[table].Column(column)
+	case DMR, TMR:
+		switch q.replicaIdx {
+		case 1:
+			return q.db.replica[table].Column(column)
+		case 2:
+			return q.db.replica2[table].Column(column)
+		}
+		return q.db.plain[table].Column(column)
+	case EarlyOnetime:
+		key := table + "." + column
+		if c, ok := q.deltaCache[key]; ok {
+			return c, nil
+		}
+		hc, err := q.db.hardened[table].Column(column)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := ops.Delta(hc, q.log)
+		if err != nil {
+			return nil, err
+		}
+		if q.deltaCache == nil {
+			q.deltaCache = make(map[string]*storage.Column)
+		}
+		q.deltaCache[key] = plain
+		return plain, nil
+	default:
+		return q.db.hardened[table].Column(column)
+	}
+}
+
+// MustCol is Col but panics on schema errors (plans have static schemas).
+func (q *Query) MustCol(table, column string) *storage.Column {
+	c, err := q.Col(table, column)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dict returns the shared dictionary of a string column, used to translate
+// string predicates into code ranges. Dictionaries are immutable and
+// shared across all mode variants of a table.
+func (q *Query) Dict(table, column string) (*storage.Dict, error) {
+	c, err := q.db.plain[table].Column(column)
+	if err != nil {
+		return nil, err
+	}
+	if c.Dict() == nil {
+		return nil, fmt.Errorf("exec: column %s.%s has no dictionary", table, column)
+	}
+	return c.Dict(), nil
+}
+
+// PreAggregate applies the LateOnetime Δ: under Late the vector feeding an
+// aggregation is verified and softened here (the one detection point of
+// the variant); under all other modes it is the identity - Continuous
+// already verified per operator, Early/Unprotected/DMR vectors are plain.
+func (q *Query) PreAggregate(v *ops.Vec) *ops.Vec {
+	if q.mode == LateOnetime && v.Code != nil {
+		return v.Soften(true, q.log)
+	}
+	return v
+}
+
+// Reencode applies the ContinuousReencoding output adaptation: the vector
+// is re-hardened with the next-smaller super A of its width class. Under
+// all other modes it is the identity.
+func (q *Query) Reencode(v *ops.Vec) (*ops.Vec, error) {
+	if q.mode != ContinuousReencoding || v.Code == nil {
+		return v, nil
+	}
+	next, ok := an.NextSmaller(v.Code)
+	if !ok {
+		return v, nil
+	}
+	return v.Reencode(next)
+}
+
+// Finish assembles and canonicalizes a grouped result, applying the
+// mode-appropriate final softening of the aggregates.
+func (q *Query) Finish(groups [][]uint64, aggs *ops.Vec) (*ops.Result, error) {
+	detect := q.mode == Continuous || q.mode == ContinuousReencoding || q.mode == LateOnetime
+	return ops.NewResult(groups, aggs, detect, q.log)
+}
+
+// FinishScalar is Finish for single-value results.
+func (q *Query) FinishScalar(agg *ops.Vec) (*ops.Result, error) {
+	detect := q.mode == Continuous || q.mode == ContinuousReencoding || q.mode == LateOnetime
+	return ops.ScalarResult(agg, detect, q.log)
+}

@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"testing"
+
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+func TestTMRMasksSingleReplicaFault(t *testing.T) {
+	db, err := NewDB(testTables(t), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := Run(db, Unprotected, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean TMR agrees with the baseline.
+	res, _, err := Run(db, TMR, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(ref) {
+		t.Fatal("clean TMR result differs")
+	}
+	// Corrupt one replica inside the aggregated range: the majority
+	// masks it and the query still returns the correct result - the
+	// correction DMR cannot do.
+	db.replica2["t"].MustColumn("w").Corrupt(15, 1<<10)
+	res, _, err = Run(db, TMR, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatalf("TMR must mask a single faulty replica: %v", err)
+	}
+	if !res.Equal(ref) {
+		t.Fatal("TMR returned the corrupted result")
+	}
+	// Under the same fault, DMR (which compares plain vs replica only)
+	// still succeeds because its two copies agree; but if the *first*
+	// replica diverges too, TMR has no majority.
+	db.replica["t"].MustColumn("w").Corrupt(15, 1<<11)
+	db.plain["t"].MustColumn("w").Corrupt(15, 1<<12)
+	if _, _, err := Run(db, TMR, ops.Scalar, sumPlan); err == nil {
+		t.Fatal("three diverging replicas must fail the vote")
+	}
+}
+
+func TestTMRStorageAndNaming(t *testing.T) {
+	db, err := NewDB(testTables(t), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.StorageBytes(TMR) != 3*db.StorageBytes(Unprotected) {
+		t.Fatal("TMR storage must be 3x")
+	}
+	if TMR.String() != "TMR" {
+		t.Fatal("name")
+	}
+	if TMR.usesHardenedData() {
+		t.Fatal("TMR runs on plain replicas")
+	}
+	for _, m := range Modes {
+		if m == TMR {
+			t.Fatal("TMR is an extension, not one of the paper's six modes")
+		}
+	}
+}
+
+func TestRepairHardenedFromReplica(t *testing.T) {
+	db, err := NewDB(testTables(t), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := db.Hardened("t").MustColumn("w")
+	w.Corrupt(15, 1<<9) // inside the sumPlan range (v=15)
+	w.Corrupt(16, 1<<3)
+
+	// Continuous detects both, once in the gather against the base
+	// column and once more in the aggregation's re-check of the
+	// intermediate vector (flagged under the vec: namespace)...
+	_, log, err := Run(db, Continuous, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Count() != 4 {
+		t.Fatalf("detected %d, want 4 (2 base + 2 intermediate)", log.Count())
+	}
+	if vecPos, err := log.Positions(ops.VecLogName("w")); err != nil || len(vecPos) != 2 {
+		t.Fatalf("intermediate entries: %v, %v", vecPos, err)
+	}
+	// ...repair restores them from the plain replica...
+	n, err := db.RepairHardened("t", "w", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("repaired %d, want 2", n)
+	}
+	// ...and the next run is clean and correct.
+	ref, _, err := Run(db, Unprotected, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, log2, err := Run(db, Continuous, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log2.Count() != 0 {
+		t.Fatalf("residual detections after repair: %d", log2.Count())
+	}
+	if !res.Equal(ref) {
+		t.Fatal("repaired result differs from baseline")
+	}
+}
+
+func TestRepairHardenedValidation(t *testing.T) {
+	db, err := NewDB(testTables(t), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := ops.NewErrorLog()
+	if _, err := db.RepairHardened("missing", "w", log); err == nil {
+		t.Error("unknown table must error")
+	}
+	if _, err := db.RepairHardened("t", "missing", log); err == nil {
+		// Empty log means no positions; missing column only matters
+		// when there are entries.
+		log.Record("missing", 0)
+		if _, err := db.RepairHardened("t", "missing", log); err == nil {
+			t.Error("unknown column must error")
+		}
+	}
+	log.Reset()
+	log.Record("w", 1<<20) // beyond the 100-row column
+	if _, err := db.RepairHardened("t", "w", log); err == nil {
+		t.Error("out-of-range position must error")
+	}
+}

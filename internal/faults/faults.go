@@ -1,0 +1,135 @@
+// Package faults injects transient bit flips into hardened storage and
+// measures detection, the experimental machinery behind the paper's error
+// model discussion (Sections 2 and 4.2).
+//
+// The paper evaluates without error induction because the conditional SDC
+// probabilities are known analytically (Section 6); this package closes
+// the loop experimentally: flips of weight up to a code's guaranteed
+// minimum bit-flip weight must always be detected, and higher weights
+// must be detected at the 1 - p_b rate the distance distribution
+// predicts.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ahead/internal/storage"
+)
+
+// Injector produces reproducible bit flips.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// NewInjector returns an injector seeded for reproducibility.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Mask returns a random error pattern of exactly weight distinct bits
+// within the given word width.
+func (in *Injector) Mask(width uint, weight int) (uint64, error) {
+	if weight < 1 || uint(weight) > width {
+		return 0, fmt.Errorf("faults: weight %d out of range for %d-bit words", weight, width)
+	}
+	var mask uint64
+	for i := 0; i < weight; {
+		b := uint(in.rng.Intn(int(width)))
+		if mask&(1<<b) == 0 {
+			mask |= 1 << b
+			i++
+		}
+	}
+	return mask, nil
+}
+
+// FlipAt injects a random flip of the given weight at position pos of the
+// column and returns the mask used. For hardened columns the flip is
+// placed within the code-word width (flips in unused high bits of the
+// physical word would be trivially detectable and physically meaningless).
+func (in *Injector) FlipAt(col *storage.Column, pos int, weight int) (uint64, error) {
+	width := uint(col.Width()) * 8
+	if c := col.Code(); c != nil {
+		width = c.CodeBits()
+	}
+	mask, err := in.Mask(width, weight)
+	if err != nil {
+		return 0, err
+	}
+	col.Corrupt(pos, mask)
+	return mask, nil
+}
+
+// FlipRandom corrupts count distinct random positions with flips of the
+// given weight and returns the affected positions in injection order.
+func (in *Injector) FlipRandom(col *storage.Column, count, weight int) ([]int, error) {
+	if count > col.Len() {
+		return nil, fmt.Errorf("faults: %d flips exceed %d rows", count, col.Len())
+	}
+	seen := make(map[int]bool, count)
+	out := make([]int, 0, count)
+	for len(out) < count {
+		pos := in.rng.Intn(col.Len())
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		if _, err := in.FlipAt(col, pos, weight); err != nil {
+			return nil, err
+		}
+		out = append(out, pos)
+	}
+	return out, nil
+}
+
+// CampaignResult summarizes a detection campaign.
+type CampaignResult struct {
+	Weight     int
+	Trials     int
+	Detected   int
+	Undetected int // silent corruptions (valid code word of a different value)
+	Harmless   int // flips that decoded back to the original value (impossible for weight <= |C|)
+}
+
+// DetectionRate returns the fraction of corrupting flips that were
+// detected.
+func (r CampaignResult) DetectionRate() float64 {
+	den := r.Detected + r.Undetected
+	if den == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(den)
+}
+
+// Campaign injects `trials` single flips of the given weight into random
+// positions of a hardened column - restoring the word after each trial -
+// and counts how many were detected by the code's validity test. The
+// undetected count divided by trials estimates the conditional SDC
+// probability p_b of Appendix C.
+func Campaign(col *storage.Column, in *Injector, trials, weight int) (CampaignResult, error) {
+	code := col.Code()
+	if code == nil {
+		return CampaignResult{}, fmt.Errorf("faults: campaign needs a hardened column")
+	}
+	res := CampaignResult{Weight: weight, Trials: trials}
+	for t := 0; t < trials; t++ {
+		pos := in.rng.Intn(col.Len())
+		orig := col.Get(pos)
+		mask, err := in.FlipAt(col, pos, weight)
+		if err != nil {
+			return res, err
+		}
+		corrupted := col.Get(pos)
+		switch {
+		case corrupted == orig:
+			res.Harmless++ // cannot happen for weight >= 1, kept for safety
+		case !code.IsValid(corrupted):
+			res.Detected++
+		default:
+			res.Undetected++
+		}
+		col.Corrupt(pos, mask) // restore
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"ahead/internal/an"
+	"ahead/internal/sdc"
+	"ahead/internal/storage"
+)
+
+func hardenedColumn(t *testing.T, n int, code *an.Code) *storage.Column {
+	t.Helper()
+	c, err := storage.NewColumn("v", storage.TinyInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		c.Append(uint64(i % 256))
+	}
+	h, err := c.Harden(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMask(t *testing.T) {
+	in := NewInjector(1)
+	for weight := 1; weight <= 8; weight++ {
+		for i := 0; i < 100; i++ {
+			m, err := in.Mask(13, weight)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bits.OnesCount64(m) != weight {
+				t.Fatalf("mask %b has weight %d, want %d", m, bits.OnesCount64(m), weight)
+			}
+			if m>>13 != 0 {
+				t.Fatalf("mask %b exceeds width", m)
+			}
+		}
+	}
+	if _, err := in.Mask(13, 0); err == nil {
+		t.Error("weight 0 must error")
+	}
+	if _, err := in.Mask(13, 14); err == nil {
+		t.Error("weight > width must error")
+	}
+}
+
+func TestFlipAtStaysInCodeWidth(t *testing.T) {
+	code := an.MustNew(29, 8) // 13-bit code words in 16-bit storage
+	col := hardenedColumn(t, 10, code)
+	in := NewInjector(2)
+	for i := 0; i < 200; i++ {
+		orig := col.Get(3)
+		mask, err := in.FlipAt(col, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mask>>13 != 0 {
+			t.Fatalf("flip mask %b outside 13-bit code word", mask)
+		}
+		col.Corrupt(3, mask)
+		if col.Get(3) != orig {
+			t.Fatal("restore failed")
+		}
+	}
+}
+
+func TestFlipRandom(t *testing.T) {
+	code := an.MustNew(233, 8)
+	col := hardenedColumn(t, 500, code)
+	in := NewInjector(3)
+	pos, err := in.FlipRandom(col, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 20 {
+		t.Fatalf("%d positions", len(pos))
+	}
+	errs, err := col.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A=233 guarantees detection of weight <= 3: all 20 must be found.
+	if len(errs) != 20 {
+		t.Fatalf("detected %d of 20 weight-3 flips", len(errs))
+	}
+	if _, err := in.FlipRandom(col, 1000, 1); err == nil {
+		t.Error("too many flips must error")
+	}
+}
+
+func TestCampaignGuaranteedWeightsAlwaysDetected(t *testing.T) {
+	// A=233 on 8-bit data: guaranteed min bfw 3 - every campaign flip of
+	// weight 1..3 must be detected (the 50k-CPU-hour validation of
+	// Section 4.3, at test scale).
+	code := an.MustNew(233, 8)
+	col := hardenedColumn(t, 1000, code)
+	in := NewInjector(4)
+	for weight := 1; weight <= 3; weight++ {
+		res, err := Campaign(col, in, 3000, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Undetected != 0 {
+			t.Fatalf("weight %d: %d silent corruptions, want 0", weight, res.Undetected)
+		}
+		if res.DetectionRate() != 1 {
+			t.Fatalf("weight %d: rate %v", weight, res.DetectionRate())
+		}
+	}
+	// Campaigns must not corrupt the column permanently.
+	if errs, _ := col.CheckAll(); len(errs) != 0 {
+		t.Fatal("campaign left residual corruption")
+	}
+}
+
+func TestCampaignMatchesSDCPrediction(t *testing.T) {
+	// Beyond the guaranteed weight, the silent rate must approach the
+	// analytic conditional SDC probability. Note the campaign flips only
+	// valid code words, so the empirical rate estimates
+	// c_b / (2^k·C(n,b)) with the same denominator as Eq. 14.
+	code := an.MustNew(29, 8) // min bfw 2; weight-3 flips can be silent
+	col := hardenedColumn(t, 256, code)
+	in := NewInjector(5)
+	res, err := Campaign(col, in, 200000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := sdc.ExactAN(29, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := dist.Probabilities()[3]
+	empirical := float64(res.Undetected) / float64(res.Trials)
+	if predicted <= 0 {
+		t.Fatal("expected non-zero p_3 for A=29")
+	}
+	if math.Abs(empirical-predicted)/predicted > 0.25 {
+		t.Fatalf("empirical SDC rate %v vs predicted %v", empirical, predicted)
+	}
+}
+
+func TestCampaignRequiresHardenedColumn(t *testing.T) {
+	c, _ := storage.NewColumn("v", storage.TinyInt)
+	c.Append(1)
+	in := NewInjector(6)
+	if _, err := Campaign(c, in, 10, 1); err == nil {
+		t.Error("plain column must be rejected")
+	}
+}

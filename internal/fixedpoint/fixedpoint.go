@@ -1,0 +1,251 @@
+// Package fixedpoint implements limb-based fixed-point decimals with
+// per-limb AN hardening, the decimal storage of Section 4.1: database
+// systems avoid native floating point for correctness, representing a
+// number in base-100 limbs (1024 = 10·100¹ + 24·100⁰) with the decimal
+// point position kept in column metadata. AHEAD hardens each limb as a
+// code word of its own - the paper's feasible option (1), since deriving
+// detection capabilities for arbitrarily wide whole-number code words is
+// intractable (Appendix C).
+//
+// Arithmetic works directly on hardened limbs: limb addition is code-word
+// addition (Eq. 5), and the carry test compares against the hardened limb
+// base 100·A - the comparison transfers by monotony (Eq. 6) - so a sum
+// never leaves the protected domain.
+package fixedpoint
+
+import (
+	"fmt"
+	"strings"
+
+	"ahead/internal/an"
+)
+
+// limbBase is the value base of one limb; a limb is always < 100 and fits
+// one byte.
+const limbBase = 100
+
+// Decimal is an unprotected non-negative fixed-point number: little-endian
+// base-100 limbs with `scale` fractional limbs (so scale*2 decimal
+// digits after the point).
+type Decimal struct {
+	limbs []uint8
+	scale int
+}
+
+// Parse reads a decimal literal such as "1024", "3.14" or "0.5". The
+// fractional part is padded to whole limbs (two decimal digits each).
+func Parse(s string) (*Decimal, error) {
+	if s == "" {
+		return nil, fmt.Errorf("fixedpoint: empty literal")
+	}
+	intPart, fracPart, _ := strings.Cut(s, ".")
+	if intPart == "" {
+		intPart = "0"
+	}
+	if len(fracPart)%2 == 1 {
+		fracPart += "0"
+	}
+	for _, r := range intPart + fracPart {
+		if r < '0' || r > '9' {
+			return nil, fmt.Errorf("fixedpoint: bad literal %q", s)
+		}
+	}
+	d := &Decimal{scale: len(fracPart) / 2}
+	// Fractional limbs, least significant first.
+	for i := len(fracPart); i >= 2; i -= 2 {
+		d.limbs = append(d.limbs, parseLimb(fracPart[i-2:i]))
+	}
+	// Integer limbs.
+	for i := len(intPart); i > 0; i -= 2 {
+		lo := i - 2
+		if lo < 0 {
+			lo = 0
+		}
+		d.limbs = append(d.limbs, parseLimb(intPart[lo:i]))
+	}
+	d.trim()
+	return d, nil
+}
+
+func parseLimb(s string) uint8 {
+	v := 0
+	for _, r := range s {
+		v = v*10 + int(r-'0')
+	}
+	return uint8(v)
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(s string) *Decimal {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// trim drops leading (most significant) zero limbs beyond the scale.
+func (d *Decimal) trim() {
+	for len(d.limbs) > d.scale+1 && d.limbs[len(d.limbs)-1] == 0 {
+		d.limbs = d.limbs[:len(d.limbs)-1]
+	}
+	for len(d.limbs) < d.scale+1 {
+		d.limbs = append(d.limbs, 0)
+	}
+}
+
+// Scale returns the number of fractional limbs.
+func (d *Decimal) Scale() int { return d.scale }
+
+// Limbs returns the little-endian base-100 limbs.
+func (d *Decimal) Limbs() []uint8 { return d.limbs }
+
+// String renders the decimal, e.g. "1024.50".
+func (d *Decimal) String() string {
+	var sb strings.Builder
+	for i := len(d.limbs) - 1; i >= d.scale; i-- {
+		if i == len(d.limbs)-1 {
+			fmt.Fprintf(&sb, "%d", d.limbs[i])
+		} else {
+			fmt.Fprintf(&sb, "%02d", d.limbs[i])
+		}
+	}
+	if d.scale > 0 {
+		sb.WriteByte('.')
+		for i := d.scale - 1; i >= 0; i-- {
+			fmt.Fprintf(&sb, "%02d", d.limbs[i])
+		}
+	}
+	return sb.String()
+}
+
+// Cmp compares two decimals: -1, 0 or +1.
+func (d *Decimal) Cmp(o *Decimal) int {
+	a, b := d, o
+	// Align scales by conceptually padding fractional zero limbs.
+	maxScale := a.scale
+	if b.scale > maxScale {
+		maxScale = b.scale
+	}
+	limbAt := func(x *Decimal, i int) int { // i counted from maxScale-aligned LSB
+		j := i - (maxScale - x.scale)
+		if j < 0 || j >= len(x.limbs) {
+			return 0
+		}
+		return int(x.limbs[j])
+	}
+	maxLen := len(a.limbs) + (maxScale - a.scale)
+	if l := len(b.limbs) + (maxScale - b.scale); l > maxLen {
+		maxLen = l
+	}
+	for i := maxLen - 1; i >= 0; i-- {
+		la, lb := limbAt(a, i), limbAt(b, i)
+		if la != lb {
+			if la < lb {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Hardened is a fixed-point number whose limbs are AN code words.
+type Hardened struct {
+	limbs []uint64
+	code  *an.Code
+	scale int
+}
+
+// Harden encodes every limb with code (|D| must be at least 7 bits to
+// hold 0..99).
+func (d *Decimal) Harden(code *an.Code) (*Hardened, error) {
+	if code.DataBits() < 7 {
+		return nil, fmt.Errorf("fixedpoint: %d-bit code cannot hold base-100 limbs", code.DataBits())
+	}
+	h := &Hardened{code: code, scale: d.scale, limbs: make([]uint64, len(d.limbs))}
+	for i, l := range d.limbs {
+		h.limbs[i] = code.Encode(uint64(l))
+	}
+	return h, nil
+}
+
+// Code returns the limb hardening code.
+func (h *Hardened) Code() *an.Code { return h.code }
+
+// Check verifies every limb: a limb must be a valid code word AND decode
+// below the limb base (the domain knowledge tightens detection beyond the
+// generic data-width bound).
+func (h *Hardened) Check() error {
+	for i, cw := range h.limbs {
+		d, ok := h.code.Check(cw)
+		if !ok || d >= limbBase {
+			return fmt.Errorf("fixedpoint: limb %d corrupted", i)
+		}
+	}
+	return nil
+}
+
+// Soften decodes back into a Decimal, verifying every limb.
+func (h *Hardened) Soften() (*Decimal, error) {
+	if err := h.Check(); err != nil {
+		return nil, err
+	}
+	d := &Decimal{scale: h.scale, limbs: make([]uint8, len(h.limbs))}
+	for i, cw := range h.limbs {
+		v, _ := h.code.Check(cw)
+		d.limbs[i] = uint8(v)
+	}
+	d.trim()
+	return d, nil
+}
+
+// Add returns h + o computed entirely on hardened limbs: code-word
+// addition per limb, with the carry detected by comparing against the
+// hardened limb base. Scales must match (column metadata fixes the scale
+// per column).
+func (h *Hardened) Add(o *Hardened) (*Hardened, error) {
+	if h.code.A() != o.code.A() || h.code.DataBits() != o.code.DataBits() {
+		return nil, fmt.Errorf("fixedpoint: adding limbs of different codes")
+	}
+	if h.scale != o.scale {
+		return nil, fmt.Errorf("fixedpoint: scale mismatch %d vs %d", h.scale, o.scale)
+	}
+	// The carry comparison needs headroom for 2*99+1 in the data domain.
+	if h.code.MaxData() < 2*limbBase {
+		return nil, fmt.Errorf("fixedpoint: code domain too small for carries")
+	}
+	baseC := h.code.Encode(limbBase) // 100·A
+	n := len(h.limbs)
+	if len(o.limbs) > n {
+		n = len(o.limbs)
+	}
+	out := &Hardened{code: h.code, scale: h.scale, limbs: make([]uint64, 0, n+1)}
+	carry := uint64(0) // 0 or 1·A
+	oneC := h.code.Encode(1)
+	for i := 0; i < n; i++ {
+		var sum uint64
+		if i < len(h.limbs) {
+			sum += h.limbs[i]
+		}
+		if i < len(o.limbs) {
+			sum += o.limbs[i]
+		}
+		sum += carry
+		carry = 0
+		if sum >= baseC { // (d1+d2+c) >= 100, by monotony (Eq. 6)
+			sum -= baseC
+			carry = oneC
+		}
+		out.limbs = append(out.limbs, sum&h.code.CodeMask())
+	}
+	if carry != 0 {
+		out.limbs = append(out.limbs, carry)
+	}
+	return out, nil
+}
+
+// Corrupt flips mask into limb i (fault-injection hook).
+func (h *Hardened) Corrupt(i int, mask uint64) {
+	h.limbs[i] ^= mask
+}

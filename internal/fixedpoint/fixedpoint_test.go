@@ -1,0 +1,190 @@
+package fixedpoint
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ahead/internal/an"
+)
+
+var limbCode = an.MustNew(233, 8)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"1024", "1024"},
+		{"0", "0"},
+		{"3.14", "3.14"},
+		{"0.5", "0.50"},
+		{"1234.5678", "1234.5678"},
+		{"99", "99"},
+		{"100", "100"},
+		{"007", "7"},
+		{"10.2", "10.20"},
+	}
+	for _, tc := range cases {
+		d, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got := d.String(); got != tc.out {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.out)
+		}
+	}
+	// The paper's example: 1024 = 10·100¹ + 24·100⁰.
+	d := MustParse("1024")
+	if len(d.Limbs()) != 2 || d.Limbs()[0] != 24 || d.Limbs()[1] != 10 {
+		t.Fatalf("limbs of 1024 = %v", d.Limbs())
+	}
+	for _, bad := range []string{"", "abc", "1.2.3", "1a"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must error", bad)
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1", "2", -1}, {"2", "1", 1}, {"5", "5", 0},
+		{"1.50", "1.5", 0}, {"10.01", "10.10", -1},
+		{"100", "99.99", 1}, {"0.01", "0.001", 1} /* 0.0100 > 0.0010 */, {"1024", "1024.00", 0},
+	}
+	for _, tc := range cases {
+		a, b := MustParse(tc.a), MustParse(tc.b)
+		if got := a.Cmp(b); got != tc.want {
+			t.Errorf("Cmp(%s,%s) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHardenSoftenRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "1024.99", "123456789.0001", "99.99"} {
+		d := MustParse(s)
+		h, err := d.Harden(limbCode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Check(); err != nil {
+			t.Fatalf("%s: clean check: %v", s, err)
+		}
+		back, err := h.Soften()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Cmp(d) != 0 {
+			t.Fatalf("round trip %s -> %s", s, back)
+		}
+	}
+	// Codes too narrow for limbs are rejected.
+	if _, err := MustParse("5").Harden(an.MustNew(53, 2)); err == nil {
+		t.Error("narrow code must be rejected")
+	}
+}
+
+func TestHardenedAdd(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"1", "2", "3"},
+		{"99", "1", "100"},
+		{"999999", "1", "1000000"},
+		{"1024.50", "0.75", "1025.25"},
+		{"0.99", "0.01", "1.00"},
+		{"123456.78", "876543.21", "999999.99"},
+		{"999999.99", "0.01", "1000000.00"},
+	}
+	for _, tc := range cases {
+		ha, err := MustParse(tc.a).Harden(limbCode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := MustParse(tc.b).Harden(limbCode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := ha.Add(hb)
+		if err != nil {
+			t.Fatalf("%s+%s: %v", tc.a, tc.b, err)
+		}
+		if err := sum.Check(); err != nil {
+			t.Fatalf("%s+%s: result invalid: %v", tc.a, tc.b, err)
+		}
+		got, err := sum.Soften()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(MustParse(tc.want)) != 0 {
+			t.Errorf("%s+%s = %s, want %s", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHardenedAddValidation(t *testing.T) {
+	a, _ := MustParse("1.5").Harden(limbCode)
+	b, _ := MustParse("2").Harden(limbCode)
+	if _, err := a.Add(b); err == nil {
+		t.Error("scale mismatch must error")
+	}
+	c, _ := MustParse("2").Harden(an.MustNew(29, 8))
+	d, _ := MustParse("3").Harden(limbCode)
+	if _, err := c.Add(d); err == nil {
+		t.Error("code mismatch must error")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	h, err := MustParse("1024.50").Harden(limbCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Corrupt(1, 1<<6)
+	if err := h.Check(); err == nil {
+		t.Fatal("corrupted limb must be detected")
+	}
+	if _, err := h.Soften(); err == nil {
+		t.Fatal("softening corrupted number must error")
+	}
+}
+
+func TestDomainKnowledgeTightensDetection(t *testing.T) {
+	// A flip that produces a VALID code word of an out-of-base value
+	// (e.g. 150) is caught by the limb-base check even though the
+	// generic AN test passes.
+	h, err := MustParse("5").Harden(limbCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.limbs[0] = limbCode.Encode(150) // valid code word, invalid limb
+	if err := h.Check(); err == nil {
+		t.Fatal("out-of-base limb must be detected")
+	}
+}
+
+func TestQuickAddMatchesIntegerAddition(t *testing.T) {
+	f := func(a, b uint32) bool {
+		da := MustParse(fmt.Sprintf("%d", a))
+		db := MustParse(fmt.Sprintf("%d", b))
+		ha, err := da.Harden(limbCode)
+		if err != nil {
+			return false
+		}
+		hb, err := db.Harden(limbCode)
+		if err != nil {
+			return false
+		}
+		sum, err := ha.Add(hb)
+		if err != nil {
+			return false
+		}
+		got, err := sum.Soften()
+		if err != nil {
+			return false
+		}
+		want := MustParse(fmt.Sprintf("%d", uint64(a)+uint64(b)))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package ops
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+	"ahead/internal/hashmap"
+)
+
+// wideSumBits is the data width of aggregate accumulators. Sums leave the
+// input's data domain quickly, so aggregation widens the domain to 48 bits
+// - the resbig limit of Section 6.1 - while keeping the input's A: adding
+// raw code words in the 64-bit ring yields (Σd)·A exactly (Eq. 5), which
+// the widened code decodes and verifies.
+const wideSumBits = 48
+
+// wideCode returns the accumulator code sharing base's constant over the
+// widened domain.
+func wideCode(base *an.Code) (*an.Code, error) {
+	if base == nil {
+		return nil, nil
+	}
+	return an.New(base.A(), wideSumBits)
+}
+
+// GroupBy assigns dense group ids to the composite key formed by the given
+// vectors (all of equal length). Keys are packed from the decoded values,
+// 16 bits per component; hardened inputs are verified when detect is set.
+// It returns one group id per row, and for every group the decoded key
+// tuple. Rows with corrupted key values are skipped (their id is
+// ^uint32(0)).
+func GroupBy(keys []*Vec, o *Opts) (gids []uint32, groups [][]uint64, err error) {
+	if len(keys) == 0 || len(keys) > 4 {
+		return nil, nil, fmt.Errorf("ops: group-by supports 1..4 key columns, got %d", len(keys))
+	}
+	n := keys[0].Len()
+	for _, k := range keys[1:] {
+		if k.Len() != n {
+			return nil, nil, fmt.Errorf("ops: group-by key vectors of unequal length")
+		}
+	}
+	detect := o.detect()
+	log := o.log()
+	gids = make([]uint32, n)
+	ht := hashmap.New(1024)
+	for i := 0; i < n; i++ {
+		var packed uint64
+		bad := false
+		tuple := make([]uint64, len(keys))
+		for c, k := range keys {
+			var v uint64
+			var ok bool
+			if detect {
+				v, ok = k.ValueChecked(i, log)
+				if !ok {
+					bad = true
+					break
+				}
+			} else {
+				v = k.Value(i)
+			}
+			if v >= 1<<16 {
+				return nil, nil, fmt.Errorf("ops: group key component %q value %d exceeds 16 bits", k.Name, v)
+			}
+			tuple[c] = v
+			packed |= v << (16 * uint(c))
+		}
+		if bad {
+			gids[i] = ^uint32(0)
+			continue
+		}
+		id, inserted := ht.GetOrInsert(packed, uint32(len(groups)))
+		if inserted {
+			groups = append(groups, tuple)
+		}
+		gids[i] = id
+	}
+	return gids, groups, nil
+}
+
+// SumGrouped sums the value vector per group id. Hardened vectors are
+// accumulated as raw code words - yielding the code word of the group sum
+// under the widened accumulator code - and, with detect set, each input is
+// verified first and the final sums are domain-checked, which also catches
+// flips during the additions themselves (computational error detection,
+// requirement R1(iii)). Rows whose gid is ^uint32(0) (corrupted keys) are
+// skipped.
+func SumGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) {
+	if vals.Len() != len(gids) {
+		return nil, fmt.Errorf("ops: %d values vs %d group ids", vals.Len(), len(gids))
+	}
+	acc, err := wideCode(vals.Code)
+	if err != nil {
+		return nil, err
+	}
+	out := &Vec{Name: "sum(" + vals.Name + ")", Vals: make([]uint64, numGroups), Code: acc}
+	detect := o.detect()
+	log := o.log()
+	for i, g := range gids {
+		if g == ^uint32(0) {
+			continue
+		}
+		if int(g) >= numGroups {
+			return nil, fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+		}
+		v := vals.Vals[i]
+		if vals.Code != nil && detect {
+			if _, ok := vals.Code.Check(v); !ok {
+				if log != nil {
+					log.Record(VecLogName(vals.Name), uint64(i))
+				}
+				continue
+			}
+		}
+		out.Vals[g] += v
+	}
+	if acc != nil && detect {
+		for g, s := range out.Vals {
+			if _, ok := acc.Check(s); !ok && log != nil {
+				log.Record(VecLogName(out.Name), uint64(g))
+			}
+		}
+	}
+	return out, nil
+}
+
+// SumTotal sums a whole vector into a single value under the widened
+// accumulator code (see SumGrouped).
+func SumTotal(vals *Vec, o *Opts) (*Vec, error) {
+	gids := make([]uint32, vals.Len())
+	return SumGrouped(vals, gids, 1, o)
+}
+
+// SumProduct computes Σ a[i]*b[i], the Q1.x revenue aggregate
+// (extendedprice * discount). For two hardened inputs the product carries
+// A_a*A_b (Eq. 7b); one multiplication with A_b's inverse reduces it to a
+// code word of A_a (Eq. 7c), which accumulates under the widened code.
+func SumProduct(a, b *Vec, o *Opts) (*Vec, error) {
+	if a.Len() != b.Len() {
+		return nil, fmt.Errorf("ops: sum-product over unequal lengths %d/%d", a.Len(), b.Len())
+	}
+	detect := o.detect()
+	log := o.log()
+	var sum uint64
+	switch {
+	case a.Code == nil && b.Code == nil:
+		for i, av := range a.Vals {
+			sum += av * b.Vals[i]
+		}
+		return &Vec{Name: "sum(" + a.Name + "*" + b.Name + ")", Vals: []uint64{sum}}, nil
+	case a.Code != nil && b.Code != nil:
+		// (d_a·A_a)·(d_b·A_b)·A_b^-1 = d_a·d_b·A_a (Eq. 7c). The inverse
+		// is taken in the full 64-bit ring the accumulation runs in, so
+		// the congruence is exact whenever the true product fits 64 bits
+		// - guaranteed by the register mapping of Section 6.1.
+		invB := an.InverseMod2N(b.Code.A(), 64)
+		for i, av := range a.Vals {
+			bv := b.Vals[i]
+			if detect {
+				okA := a.Code.IsValid(av)
+				okB := b.Code.IsValid(bv)
+				if !okA || !okB {
+					if log != nil {
+						if !okA {
+							log.Record(VecLogName(a.Name), uint64(i))
+						}
+						if !okB {
+							log.Record(VecLogName(b.Name), uint64(i))
+						}
+					}
+					continue
+				}
+			}
+			sum += av * bv * invB
+		}
+		// Fall through below for the hardened result.
+	default:
+		return nil, fmt.Errorf("ops: sum-product needs both inputs plain or both hardened")
+	}
+	acc, err := wideCode(a.Code)
+	if err != nil {
+		return nil, err
+	}
+	out := &Vec{Name: "sum(" + a.Name + "*" + b.Name + ")", Vals: []uint64{sum}, Code: acc}
+	if detect && acc != nil {
+		if _, ok := acc.Check(sum); !ok && log != nil {
+			log.Record(VecLogName(out.Name), 0)
+		}
+	}
+	return out, nil
+}
+
+// SumDiffGrouped computes Σ (a[i]-b[i]) per group, the Q4.x profit
+// aggregate (revenue - supplycost). Both inputs must share one code (same
+// width class), so the raw difference is the code word of the difference
+// (Eq. 5); a[i] >= b[i] is required for the unsigned domain.
+func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) {
+	if a.Len() != b.Len() || a.Len() != len(gids) {
+		return nil, fmt.Errorf("ops: sum-diff length mismatch")
+	}
+	if (a.Code == nil) != (b.Code == nil) {
+		return nil, fmt.Errorf("ops: sum-diff needs both inputs plain or both hardened")
+	}
+	if a.Code != nil && a.Code.A() != b.Code.A() {
+		return nil, fmt.Errorf("ops: sum-diff across different As (%d vs %d); reencode first", a.Code.A(), b.Code.A())
+	}
+	acc, err := wideCode(a.Code)
+	if err != nil {
+		return nil, err
+	}
+	out := &Vec{Name: "sum(" + a.Name + "-" + b.Name + ")", Vals: make([]uint64, numGroups), Code: acc}
+	detect := o.detect()
+	log := o.log()
+	for i, g := range gids {
+		if g == ^uint32(0) {
+			continue
+		}
+		if int(g) >= numGroups {
+			return nil, fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+		}
+		av, bv := a.Vals[i], b.Vals[i]
+		if a.Code != nil && detect {
+			okA := a.Code.IsValid(av)
+			okB := b.Code.IsValid(bv)
+			if !okA || !okB {
+				if log != nil {
+					if !okA {
+						log.Record(VecLogName(a.Name), uint64(i))
+					}
+					if !okB {
+						log.Record(VecLogName(b.Name), uint64(i))
+					}
+				}
+				continue
+			}
+		}
+		out.Vals[g] += av - bv
+	}
+	if acc != nil && detect {
+		for g, s := range out.Vals {
+			if _, ok := acc.Check(s); !ok && log != nil {
+				log.Record(VecLogName(out.Name), uint64(g))
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package ops
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+)
+
+// Additional aggregates over hardened data. MIN and MAX transfer to code
+// words directly - multiplication by A is monotonic (Eq. 6), so the
+// smallest code word belongs to the smallest data word. COUNT hardens its
+// result like any freshly generated value (Section 5.2 hardens
+// materialized IDs the same way). AVG divides the hardened sum by the
+// plain count, which per Eq. 8a yields the hardened quotient directly.
+
+// MinMaxGrouped returns per-group minimum and maximum vectors. Hardened
+// inputs stay hardened; with detect set every value is verified first.
+// Empty groups report 0 for both.
+func MinMaxGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (mins, maxs *Vec, err error) {
+	if vals.Len() != len(gids) {
+		return nil, nil, fmt.Errorf("ops: %d values vs %d group ids", vals.Len(), len(gids))
+	}
+	mins = &Vec{Name: "min(" + vals.Name + ")", Vals: make([]uint64, numGroups), Code: vals.Code}
+	maxs = &Vec{Name: "max(" + vals.Name + ")", Vals: make([]uint64, numGroups), Code: vals.Code}
+	seen := make([]bool, numGroups)
+	detect := o.detect()
+	log := o.log()
+	for i, g := range gids {
+		if g == ^uint32(0) {
+			continue
+		}
+		if int(g) >= numGroups {
+			return nil, nil, fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+		}
+		v := vals.Vals[i]
+		if vals.Code != nil && detect {
+			if _, ok := vals.Code.Check(v); !ok {
+				if log != nil {
+					log.Record(VecLogName(vals.Name), uint64(i))
+				}
+				continue
+			}
+		}
+		if !seen[g] {
+			seen[g] = true
+			mins.Vals[g], maxs.Vals[g] = v, v
+			continue
+		}
+		// Code-word order equals data order under one A (Eq. 6).
+		if v < mins.Vals[g] {
+			mins.Vals[g] = v
+		}
+		if v > maxs.Vals[g] {
+			maxs.Vals[g] = v
+		}
+	}
+	return mins, maxs, nil
+}
+
+// CountGrouped counts rows per group. When harden is non-nil the counts
+// are emitted as code words of that code, following the paper's rule that
+// newly created intermediates are hardened at generation time.
+func CountGrouped(gids []uint32, numGroups int, harden *an.Code) (*Vec, error) {
+	out := &Vec{Name: "count", Vals: make([]uint64, numGroups), Code: harden}
+	inc := uint64(1)
+	if harden != nil {
+		inc = harden.Encode(1)
+	}
+	for _, g := range gids {
+		if g == ^uint32(0) {
+			continue
+		}
+		if int(g) >= numGroups {
+			return nil, fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+		}
+		out.Vals[g] += inc // Σ 1·A = count·A (Eq. 5)
+	}
+	return out, nil
+}
+
+// AvgGrouped computes per-group integer averages from a hardened (or
+// plain) sum vector and plain counts: sum/count with an unencoded divisor
+// keeps the quotient hardened (Eq. 8a: (d·A)/n = (d/n)·A when n divides
+// the decoded sum; like the paper we define the hardened average on the
+// decoded integer quotient, so the result is re-hardened from the decoded
+// division to stay exact).
+func AvgGrouped(sums *Vec, counts []uint64, o *Opts) (*Vec, error) {
+	if sums.Len() != len(counts) {
+		return nil, fmt.Errorf("ops: %d sums vs %d counts", sums.Len(), len(counts))
+	}
+	out := &Vec{Name: "avg(" + sums.Name + ")", Vals: make([]uint64, sums.Len()), Code: sums.Code}
+	detect := o.detect()
+	log := o.log()
+	for g := range counts {
+		if counts[g] == 0 {
+			continue
+		}
+		if sums.Code == nil {
+			out.Vals[g] = sums.Vals[g] / counts[g]
+			continue
+		}
+		d, ok := sums.Code.Check(sums.Vals[g])
+		if !ok {
+			if detect && log != nil {
+				log.Record(VecLogName(sums.Name), uint64(g))
+			}
+			continue
+		}
+		out.Vals[g] = sums.Code.Encode(d / counts[g])
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+func TestMinMaxGrouped(t *testing.T) {
+	vals := &Vec{Name: "v", Vals: []uint64{5, 9, 1, 7, 3, 8}}
+	gids := []uint32{0, 1, 0, 1, 0, 1}
+	mins, maxs, err := MinMaxGrouped(vals, gids, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mins.Vals, []uint64{1, 7}) || !reflect.DeepEqual(maxs.Vals, []uint64{5, 9}) {
+		t.Fatalf("min %v max %v", mins.Vals, maxs.Vals)
+	}
+	if _, _, err := MinMaxGrouped(vals, gids[:3], 2, nil); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, _, err := MinMaxGrouped(vals, []uint32{9, 0, 0, 0, 0, 0}, 2, nil); err == nil {
+		t.Error("out-of-range gid must error")
+	}
+}
+
+func TestMinMaxGroupedHardened(t *testing.T) {
+	code := an.MustNew(63877, 16)
+	raw := []uint64{500, 900, 100, 700}
+	vals := &Vec{Name: "v", Vals: make([]uint64, len(raw)), Code: code}
+	for i, v := range raw {
+		vals.Vals[i] = code.Encode(v)
+	}
+	gids := []uint32{0, 0, 0, 0}
+	log := NewErrorLog()
+	mins, maxs, err := MinMaxGrouped(vals, gids, 1, &Opts{Detect: true, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mins.Value(0) != 100 || maxs.Value(0) != 900 {
+		t.Fatalf("min %d max %d", mins.Value(0), maxs.Value(0))
+	}
+	if mins.Code != code || maxs.Code != code {
+		t.Fatal("results must stay hardened")
+	}
+	// A corrupted value is skipped and logged, and never becomes the min
+	// even though its raw code word might be tiny.
+	vals.Vals[2] ^= 1 << 3 // corrupt the minimum's code word
+	log.Reset()
+	mins, _, err = MinMaxGrouped(vals, gids, 1, &Opts{Detect: true, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Count() != 1 {
+		t.Fatalf("log %d", log.Count())
+	}
+	if mins.Value(0) != 500 {
+		t.Fatalf("min after corruption = %d, want 500", mins.Value(0))
+	}
+	// Skipped sentinel rows.
+	gids2 := []uint32{^uint32(0), 0, ^uint32(0), 0}
+	vals.Vals[2] ^= 1 << 3 // restore
+	mins, maxs, err = MinMaxGrouped(vals, gids2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mins.Value(0) != 700 || maxs.Value(0) != 900 {
+		t.Fatalf("sentinel rows not skipped: %d/%d", mins.Value(0), maxs.Value(0))
+	}
+}
+
+func TestCountGrouped(t *testing.T) {
+	gids := []uint32{0, 1, 0, ^uint32(0), 1, 1}
+	plain, err := CountGrouped(gids, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Vals, []uint64{2, 3}) {
+		t.Fatalf("counts %v", plain.Vals)
+	}
+	code := an.MustNew(32417, 32)
+	hard, err := CountGrouped(gids, 2, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Value(0) != 2 || hard.Value(1) != 3 {
+		t.Fatalf("hardened counts %d/%d", hard.Value(0), hard.Value(1))
+	}
+	if _, ok := code.Check(hard.Vals[0]); !ok {
+		t.Fatal("hardened count must be a valid code word")
+	}
+	if _, err := CountGrouped([]uint32{5}, 2, nil); err == nil {
+		t.Error("out-of-range gid must error")
+	}
+}
+
+func TestAvgGrouped(t *testing.T) {
+	// Plain.
+	sums := &Vec{Name: "s", Vals: []uint64{10, 9, 0}}
+	avgs, err := AvgGrouped(sums, []uint64{2, 3, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(avgs.Vals, []uint64{5, 3, 0}) {
+		t.Fatalf("avgs %v", avgs.Vals)
+	}
+	// Hardened: sum under the widened code, divided by plain counts.
+	base := an.MustNew(63877, 16)
+	vals := &Vec{Name: "v", Vals: []uint64{base.Encode(10), base.Encode(20), base.Encode(31)}, Code: base}
+	gids := []uint32{0, 0, 0}
+	hsum, err := SumGrouped(vals, gids, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	havg, err := AvgGrouped(hsum, []uint64{3}, &Opts{Detect: true, Log: NewErrorLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if havg.Value(0) != 20 { // 61/3 integer average
+		t.Fatalf("hardened avg %d", havg.Value(0))
+	}
+	if havg.Code == nil {
+		t.Fatal("average must stay hardened")
+	}
+	// Corrupted sum is logged, not divided.
+	log := NewErrorLog()
+	hsum.Vals[0] ^= 1 << 22
+	havg, err = AvgGrouped(hsum, []uint64{3}, &Opts{Detect: true, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Count() != 1 || havg.Vals[0] != 0 {
+		t.Fatalf("corrupted sum: log=%d avg=%d", log.Count(), havg.Vals[0])
+	}
+	if _, err := AvgGrouped(sums, []uint64{1}, nil); err == nil {
+		t.Error("length mismatch must error")
+	}
+}

@@ -1,0 +1,84 @@
+// Package ops implements the physical query operators of the AHEAD
+// prototype (Section 5): filters, gathers, hash joins, group-by and
+// aggregation, each available over unprotected columns and over AN-hardened
+// columns with continuous per-value error detection. Hardened operators
+// follow the pattern of the paper's Algorithm 1: every touched code word is
+// softened with the multiplicative inverse, tested against the data-domain
+// bounds, and corrupted positions are recorded in an error vector that is
+// itself AN-hardened.
+package ops
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+)
+
+// PosCode is the AN code protecting array positions: error-vector entries
+// and materialized virtual IDs (Section 5.2 hardens both). Positions are
+// 32-bit values hardened with the strongest published 32-bit super A.
+var PosCode = an.MustNew(32417, 32)
+
+// ErrorEntry records one detected corruption: the column it was found in
+// and the hardened array position.
+type ErrorEntry struct {
+	Column      string
+	HardenedPos uint64
+}
+
+// ErrorLog is the query-wide collection of error vectors, one per column
+// touched by AN-aware operators. Positions are stored hardened with
+// PosCode, so the log itself tolerates bit flips.
+type ErrorLog struct {
+	entries []ErrorEntry
+}
+
+// NewErrorLog returns an empty log.
+func NewErrorLog() *ErrorLog { return &ErrorLog{} }
+
+// VecLogName is the error-vector name used for detections inside
+// *intermediate* value vectors (as opposed to base columns). The prefix
+// keeps positions within a materialized vector from aliasing base-column
+// positions of the same name - repair from redundancy (exec.DB.
+// RepairHardened) only acts on exact base-column entries.
+func VecLogName(vec string) string { return "vec:" + vec }
+
+// Record notes a corrupted value at plain position pos of column col.
+func (l *ErrorLog) Record(col string, pos uint64) {
+	l.entries = append(l.entries, ErrorEntry{Column: col, HardenedPos: PosCode.Encode(pos)})
+}
+
+// Count returns the number of recorded corruptions.
+func (l *ErrorLog) Count() int { return len(l.entries) }
+
+// Entries returns the raw hardened entries.
+func (l *ErrorLog) Entries() []ErrorEntry { return l.entries }
+
+// Positions decodes and verifies the recorded positions for one column.
+// An error is returned if the log itself was corrupted.
+func (l *ErrorLog) Positions(col string) ([]uint64, error) {
+	var out []uint64
+	for _, e := range l.entries {
+		if e.Column != col {
+			continue
+		}
+		pos, ok := PosCode.Check(e.HardenedPos)
+		if !ok {
+			return nil, fmt.Errorf("ops: error vector for %q is itself corrupted", col)
+		}
+		out = append(out, pos)
+	}
+	return out, nil
+}
+
+// Err returns a non-nil error summarizing the log when corruption was
+// detected, for callers that treat any detection as query failure.
+func (l *ErrorLog) Err() error {
+	if len(l.entries) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ops: detected %d corrupted values during query processing", len(l.entries))
+}
+
+// Reset clears the log for reuse across queries.
+func (l *ErrorLog) Reset() { l.entries = l.entries[:0] }

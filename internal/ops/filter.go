@@ -1,0 +1,273 @@
+package ops
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+	"ahead/internal/storage"
+)
+
+// Opts configures how the hardened operators behave, encoding the
+// detection variant of Section 5.1:
+//
+//   - Unprotected / Early plans run on plain columns (Detect irrelevant).
+//   - Late runs on hardened columns with Detect off: predicates are
+//     evaluated directly on code words, errors surface only at the final
+//     Δ before aggregation.
+//   - Continuous runs with Detect on: every touched value is softened,
+//     verified and recorded into the error log (Algorithm 1).
+//
+// HardenIDs additionally hardens materialized virtual IDs (selection
+// vectors) with PosCode.
+type Opts struct {
+	Detect    bool
+	HardenIDs bool
+	Flavor    Flavor
+	Log       *ErrorLog
+}
+
+// posMul returns the factor applied to emitted positions.
+func (o *Opts) posMul() uint64 {
+	if o != nil && o.HardenIDs {
+		return PosCode.A()
+	}
+	return 1
+}
+
+func (o *Opts) flavor() Flavor {
+	if o == nil {
+		return Scalar
+	}
+	return o.Flavor
+}
+
+func (o *Opts) detect() bool { return o != nil && o.Detect }
+
+func (o *Opts) log() *ErrorLog {
+	if o == nil {
+		return nil
+	}
+	return o.Log
+}
+
+// Filter scans a whole column and returns the positions whose value lies
+// in the inclusive plain-domain range [lo, hi]. Every comparison predicate
+// of the SSB workload reduces to such a range (equality is lo == hi).
+//
+// On hardened columns without detection the bounds are hardened instead
+// and compared against raw code words - the multiplication's monotony
+// makes the comparison transfer (Eq. 6). With detection every value is
+// softened with the inverse and bounds-checked first (Eq. 12/13).
+func Filter(col *storage.Column, lo, hi uint64, o *Opts) (*Sel, error) {
+	if lo > hi {
+		return &Sel{Hardened: o != nil && o.HardenIDs}, nil
+	}
+	var pos []uint64
+	var err error
+	switch {
+	case col.Code() == nil:
+		pos, err = filterPlain(col, lo, hi, o)
+	case o.detect():
+		pos, err = filterChecked(col, lo, hi, o)
+	default:
+		code := col.Code()
+		if hi > code.MaxData() {
+			hi = code.MaxData()
+		}
+		pos, err = filterHardenedRaw(col, code.Encode(lo), code.Encode(hi), o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Sel{Pos: pos, Hardened: o != nil && o.HardenIDs}, nil
+}
+
+func filterPlain(col *storage.Column, lo, hi uint64, o *Opts) ([]uint64, error) {
+	switch {
+	case col.U8() != nil:
+		return rangeScan(col.U8(), clamp8(lo), clamp8(hi), o.posMul(), o.flavor()), nil
+	case col.U16() != nil:
+		return rangeScan(col.U16(), clamp16(lo), clamp16(hi), o.posMul(), o.flavor()), nil
+	case col.U32() != nil:
+		return rangeScan(col.U32(), clamp32(lo), clamp32(hi), o.posMul(), o.flavor()), nil
+	case col.U64() != nil:
+		return rangeScan(col.U64(), lo, hi, o.posMul(), o.flavor()), nil
+	default:
+		return nil, fmt.Errorf("ops: empty column %q", col.Name())
+	}
+}
+
+// filterHardenedRaw compares raw code words against hardened bounds (the
+// Late-detection fast path: same scan as unprotected, just wider words).
+func filterHardenedRaw(col *storage.Column, loC, hiC uint64, o *Opts) ([]uint64, error) {
+	switch {
+	case col.U16() != nil:
+		return rangeScan(col.U16(), uint16(loC), uint16(hiC), o.posMul(), o.flavor()), nil
+	case col.U32() != nil:
+		return rangeScan(col.U32(), uint32(loC), uint32(hiC), o.posMul(), o.flavor()), nil
+	case col.U64() != nil:
+		return rangeScan(col.U64(), loC, hiC, o.posMul(), o.flavor()), nil
+	default:
+		return nil, fmt.Errorf("ops: hardened column %q has unexpected width", col.Name())
+	}
+}
+
+func filterChecked(col *storage.Column, lo, hi uint64, o *Opts) ([]uint64, error) {
+	code := col.Code()
+	switch {
+	case col.U16() != nil:
+		return rangeScanChecked(col.U16(), code, lo, hi, col.Name(), o.log(), o.posMul(), o.flavor()), nil
+	case col.U32() != nil:
+		return rangeScanChecked(col.U32(), code, lo, hi, col.Name(), o.log(), o.posMul(), o.flavor()), nil
+	case col.U64() != nil:
+		return rangeScanChecked(col.U64(), code, lo, hi, col.Name(), o.log(), o.posMul(), o.flavor()), nil
+	default:
+		return nil, fmt.Errorf("ops: hardened column %q has unexpected width", col.Name())
+	}
+}
+
+// FilterSel refines an existing selection: it keeps the positions of sel
+// whose column value lies in [lo, hi]. Hardened selection vectors pass
+// through in their hardened form, so no re-encoding is needed.
+func FilterSel(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts) (*Sel, error) {
+	if lo > hi {
+		return &Sel{Hardened: sel.Hardened}, nil
+	}
+	out := &Sel{Pos: make([]uint64, 0, sel.Len()), Hardened: sel.Hardened}
+	code := col.Code()
+	detect := o.detect()
+	log := o.log()
+	var loC, hiC uint64 = lo, hi
+	if code != nil && !detect {
+		if hiC > code.MaxData() {
+			hiC = code.MaxData()
+		}
+		loC, hiC = code.Encode(loC), code.Encode(hiC)
+	}
+	span := hiC - loC
+	for i := range sel.Pos {
+		pos, ok := sel.At(i, log)
+		if !ok {
+			continue
+		}
+		v := col.Get(int(pos))
+		if code != nil && detect {
+			d, ok := code.Check(v)
+			if !ok {
+				if log != nil {
+					log.Record(col.Name(), pos)
+				}
+				continue
+			}
+			if d-lo <= hi-lo {
+				out.Pos = append(out.Pos, sel.Pos[i])
+			}
+			continue
+		}
+		if v-loC <= span {
+			out.Pos = append(out.Pos, sel.Pos[i])
+		}
+	}
+	return out, nil
+}
+
+func clamp8(v uint64) uint8 {
+	if v > 0xFF {
+		return 0xFF
+	}
+	return uint8(v)
+}
+
+func clamp16(v uint64) uint16 {
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v)
+}
+
+func clamp32(v uint64) uint32 {
+	if v > 0xFFFFFFFF {
+		return 0xFFFFFFFF
+	}
+	return uint32(v)
+}
+
+// rangeScan emits i*posMul for every data[i] in [lo, hi]. The Blocked
+// flavor uses predicated emission - the append index advances by a
+// comparison result instead of a taken branch - mirroring the
+// compare+movemask structure of the SIMD prototype.
+func rangeScan[T an.Unsigned](data []T, lo, hi T, posMul uint64, f Flavor) []uint64 {
+	if f == Blocked {
+		return rangeScanBlocked(data, lo, hi, posMul)
+	}
+	span := hi - lo
+	out := make([]uint64, 0, len(data)/4+16)
+	for i, v := range data {
+		if v-lo <= span {
+			out = append(out, uint64(i)*posMul)
+		}
+	}
+	return out
+}
+
+func rangeScanBlocked[T an.Unsigned](data []T, lo, hi T, posMul uint64) []uint64 {
+	span := hi - lo
+	out := make([]uint64, len(data))
+	n := 0
+	for i, v := range data {
+		out[n] = uint64(i) * posMul
+		if v-lo <= span {
+			n++
+		}
+	}
+	return out[:n:n]
+}
+
+// rangeScanChecked is the continuous-detection scan of Algorithm 1: soften
+// with the inverse, verify the domain bound, then evaluate the predicate
+// on the in-register decoded value.
+func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, colName string, log *ErrorLog, posMul uint64, f Flavor) []uint64 {
+	if lo > code.MaxData() {
+		return nil
+	}
+	inv := T(code.AInv())
+	mask := T(code.CodeMask())
+	dmax := T(code.MaxData())
+	tlo, thi := T(lo), T(hi)
+	if uint64(dmax) < hi {
+		thi = dmax
+	}
+	span := thi - tlo
+	if f == Blocked {
+		out := make([]uint64, len(data))
+		n := 0
+		for i, v := range data {
+			d := v * inv & mask
+			if d > dmax {
+				if log != nil {
+					log.Record(colName, uint64(i))
+				}
+				continue
+			}
+			out[n] = uint64(i) * posMul
+			if d-tlo <= span {
+				n++
+			}
+		}
+		return out[:n:n]
+	}
+	out := make([]uint64, 0, len(data)/4+16)
+	for i, v := range data {
+		d := v * inv & mask
+		if d > dmax {
+			if log != nil {
+				log.Record(colName, uint64(i))
+			}
+			continue
+		}
+		if d-tlo <= span {
+			out = append(out, uint64(i)*posMul)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package ops
+
+import (
+	"fmt"
+
+	"ahead/internal/storage"
+)
+
+// Gather materializes the column values at the selected positions into a
+// Vec (the fetch/project primitive). Hardened columns stay hardened: the
+// Vec carries the raw code words and the column's code, so downstream
+// operators keep computing on protected data. With Detect set, every
+// fetched value is verified (continuous detection).
+func Gather(col *storage.Column, sel *Sel, o *Opts) (*Vec, error) {
+	out := &Vec{Name: col.Name(), Vals: make([]uint64, 0, sel.Len()), Code: col.Code()}
+	log := o.log()
+	detect := o.detect()
+	code := col.Code()
+	for i := range sel.Pos {
+		pos, ok := sel.At(i, log)
+		if !ok {
+			// A corrupted virtual ID loses the row; keep vector
+			// positions aligned by emitting a zero value.
+			out.Vals = append(out.Vals, 0)
+			continue
+		}
+		if pos >= uint64(col.Len()) {
+			return nil, fmt.Errorf("ops: position %d beyond column %q (%d rows)", pos, col.Name(), col.Len())
+		}
+		v := col.Get(int(pos))
+		if code != nil && detect {
+			if _, ok := code.Check(v); !ok && log != nil {
+				log.Record(col.Name(), pos)
+			}
+		}
+		out.Vals = append(out.Vals, v)
+	}
+	return out, nil
+}
+
+// GatherAt fetches column values at plain positions (e.g. the build-side
+// rows matched by a join probe).
+func GatherAt(col *storage.Column, positions []uint32, o *Opts) (*Vec, error) {
+	out := &Vec{Name: col.Name(), Vals: make([]uint64, 0, len(positions)), Code: col.Code()}
+	log := o.log()
+	detect := o.detect()
+	code := col.Code()
+	for _, p := range positions {
+		if int(p) >= col.Len() {
+			return nil, fmt.Errorf("ops: position %d beyond column %q (%d rows)", p, col.Name(), col.Len())
+		}
+		v := col.Get(int(p))
+		if code != nil && detect {
+			if _, ok := code.Check(v); !ok && log != nil {
+				log.Record(col.Name(), uint64(p))
+			}
+		}
+		out.Vals = append(out.Vals, v)
+	}
+	return out, nil
+}
+
+// Delta is the Δ detect-and-decode operator of Section 5.1: it verifies
+// and softens a whole hardened base column into an unprotected column.
+// Early-onetime detection runs it over every touched base column before
+// any other operator; corrupted positions land in the log and decode to
+// whatever the corrupted word softens to (recovery is the DBMS's job).
+func Delta(col *storage.Column, log *ErrorLog) (*storage.Column, error) {
+	if col.Code() == nil {
+		return nil, fmt.Errorf("ops: Δ needs a hardened column, got %q", col.Name())
+	}
+	errs, err := col.CheckAll()
+	if err != nil {
+		return nil, err
+	}
+	if log != nil {
+		for _, pos := range errs {
+			log.Record(col.Name(), pos)
+		}
+	}
+	return col.Soften()
+}

@@ -1,0 +1,121 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+func TestIndexJoinMatchesHashJoin(t *testing.T) {
+	dimKey := intColumn(t, "d_key", []uint64{100, 101, 102, 103, 104})
+	fk := intColumn(t, "lo_fk", []uint64{100, 101, 102, 100, 104, 999})
+	dimSel := &Sel{Pos: []uint64{0, 2, 4}}
+
+	ht, err := HashBuild(dimKey, dimSel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSel, hMatch, err := HashProbe(fk, ht, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tree, err := IndexBuild(dimKey, dimSel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iSel, iMatch, err := IndexProbe(fk, tree, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hSel.Pos, iSel.Pos) || !reflect.DeepEqual(hMatch, iMatch) {
+		t.Fatalf("index join diverges from hash join: %v/%v vs %v/%v",
+			iSel.Pos, iMatch, hSel.Pos, hMatch)
+	}
+
+	// Restricted probe agrees too.
+	sub := &Sel{Pos: []uint64{3, 4, 5}}
+	hSel2, hMatch2, _ := HashProbe(fk, ht, sub, nil)
+	iSel2, iMatch2, err := IndexProbe(fk, tree, sub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hSel2.Pos, iSel2.Pos) || !reflect.DeepEqual(hMatch2, iMatch2) {
+		t.Fatal("restricted index probe diverges")
+	}
+}
+
+func TestIndexJoinHardenedWithDetection(t *testing.T) {
+	dimKey := intColumn(t, "d_key", []uint64{10, 20, 30})
+	fk := intColumn(t, "fk", []uint64{30, 10, 20, 77})
+	hDim := harden(t, dimKey, an.MustNew(32417, 32))
+	hFK := harden(t, fk, an.MustNew(881, 32))
+	log := NewErrorLog()
+	o := &Opts{Detect: true, HardenIDs: true, Log: log}
+	tree, err := IndexBuild(hDim, &Sel{Pos: []uint64{0, 1, 2}}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The index inherits the dimension's code.
+	if tree.Code().A() != 32417 {
+		t.Fatalf("index code A=%d", tree.Code().A())
+	}
+	sel, matches, err := IndexProbe(hFK, tree, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Plain(nil); !reflect.DeepEqual(got, []uint64{0, 1, 2}) {
+		t.Fatalf("probe sel %v", got)
+	}
+	if !reflect.DeepEqual(matches, []uint32{2, 0, 1}) {
+		t.Fatalf("matches %v", matches)
+	}
+	// Corrupted FK is logged and skipped.
+	hFK.Corrupt(1, 1<<9)
+	log.Reset()
+	sel, _, err = IndexProbe(hFK, tree, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Count() != 1 || len(sel.Pos) != 2 {
+		t.Fatalf("corrupted FK: log=%d sel=%d", log.Count(), len(sel.Pos))
+	}
+	hFK.Corrupt(1, 1<<9) // restore
+
+	// Corruption inside the index is a hard error, not a dropped row.
+	if err := tree.CorruptKey(tree.Root(), 0, 1<<4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := IndexProbe(hFK, tree, nil, o); err == nil {
+		t.Fatal("corrupted index must fail the probe")
+	}
+}
+
+func TestIndexBuildGuards(t *testing.T) {
+	// Payload domain too small: a tinyint key column with > 255 rows.
+	vals := make([]uint64, 300)
+	for i := range vals {
+		vals[i] = uint64(i % 250)
+	}
+	small := tinyColumn(t, "k", vals)
+	sel := &Sel{Pos: make([]uint64, 300)}
+	for i := range sel.Pos {
+		sel.Pos[i] = uint64(i)
+	}
+	if _, err := IndexBuild(small, sel, nil); err == nil {
+		t.Fatal("payload overflow must be rejected")
+	}
+	// Out-of-range selection position.
+	k := intColumn(t, "k", []uint64{1, 2})
+	if _, err := IndexBuild(k, &Sel{Pos: []uint64{5}}, nil); err == nil {
+		t.Fatal("OOB build position must error")
+	}
+	tree, err := IndexBuild(k, &Sel{Pos: []uint64{0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := IndexProbe(k, tree, &Sel{Pos: []uint64{7}}, nil); err == nil {
+		t.Fatal("OOB probe position must error")
+	}
+}

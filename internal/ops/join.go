@@ -1,0 +1,122 @@
+package ops
+
+import (
+	"fmt"
+
+	"ahead/internal/storage"
+
+	"ahead/internal/hashmap"
+)
+
+// HashBuild builds the join hash table over the selected rows of a key
+// column, mapping the key's *data value* to its row position. Hardened
+// keys are softened while building - this is the per-operator input
+// adaptation of Section 5.2: probe values hardened with a different A are
+// brought into a common domain by one multiplication per value, and using
+// the data domain as that common ground also serves joins between columns
+// of different widths. With Detect set the build keys are verified.
+func HashBuild(col *storage.Column, sel *Sel, o *Opts) (*hashmap.U64, error) {
+	ht := hashmap.New(sel.Len())
+	log := o.log()
+	detect := o.detect()
+	code := col.Code()
+	for i := range sel.Pos {
+		pos, ok := sel.At(i, log)
+		if !ok {
+			continue
+		}
+		if pos >= uint64(col.Len()) {
+			return nil, fmt.Errorf("ops: position %d beyond column %q", pos, col.Name())
+		}
+		v := col.Get(int(pos))
+		if code != nil {
+			d, okv := code.Check(v)
+			if detect && !okv {
+				if log != nil {
+					log.Record(col.Name(), pos)
+				}
+				continue
+			}
+			v = d
+		}
+		ht.Put(v, uint32(pos))
+	}
+	return ht, nil
+}
+
+// HashProbe probes the foreign-key column (restricted to sel, or the whole
+// column when sel is nil) against a build table. It returns the surviving
+// selection on the probe side and, aligned with it, the matched build-side
+// positions. Hardened FK values are softened for the lookup; with Detect
+// set they are verified first, so a flipped FK is reported instead of
+// silently dropping the row.
+func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, []uint32, error) {
+	log := o.log()
+	detect := o.detect()
+	code := col.Code()
+	var inv, mask, dmax uint64
+	if code != nil {
+		inv, mask, dmax = code.AInv(), code.CodeMask(), code.MaxData()
+	}
+
+	if sel == nil {
+		out := &Sel{Pos: make([]uint64, 0, col.Len()/4+16), Hardened: o != nil && o.HardenIDs}
+		matches := make([]uint32, 0, col.Len()/4+16)
+		posMul := o.posMul()
+		n := col.Len()
+		for i := 0; i < n; i++ {
+			v := col.Get(i)
+			if code != nil {
+				d := v * inv & mask
+				if d > dmax {
+					if detect && log != nil {
+						log.Record(col.Name(), uint64(i))
+					}
+					continue
+				}
+				v = d
+			}
+			if bp, ok := ht.Get(v); ok {
+				out.Pos = append(out.Pos, uint64(i)*posMul)
+				matches = append(matches, bp)
+			}
+		}
+		return out, matches, nil
+	}
+
+	out := &Sel{Pos: make([]uint64, 0, sel.Len()), Hardened: sel.Hardened}
+	matches := make([]uint32, 0, sel.Len())
+	for i := range sel.Pos {
+		pos, ok := sel.At(i, log)
+		if !ok {
+			continue
+		}
+		if pos >= uint64(col.Len()) {
+			return nil, nil, fmt.Errorf("ops: position %d beyond column %q", pos, col.Name())
+		}
+		v := col.Get(int(pos))
+		if code != nil {
+			d := v * inv & mask
+			if d > dmax {
+				if detect && log != nil {
+					log.Record(col.Name(), pos)
+				}
+				continue
+			}
+			v = d
+		}
+		if bp, ok := ht.Get(v); ok {
+			out.Pos = append(out.Pos, sel.Pos[i])
+			matches = append(matches, bp)
+		}
+	}
+	return out, matches, nil
+}
+
+// SemiJoin keeps only the probe rows whose FK value is present in the
+// build table, discarding the matched positions - the cheaper form used
+// when the dimension contributes no group attribute (Q1.x date filter).
+func SemiJoin(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, error) {
+	out, _, err := HashProbe(col, ht, sel, o)
+	return out, err
+}

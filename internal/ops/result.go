@@ -1,0 +1,104 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is a decoded, canonical query result: group key tuples with one
+// aggregate each, sorted by key tuple. Scalar aggregates have one row with
+// an empty key. Results are plain (softened) values - the final output of
+// a query leaves the hardened domain.
+type Result struct {
+	Keys [][]uint64
+	Aggs []uint64
+}
+
+// NewResult assembles a result from group tuples and a (possibly hardened)
+// aggregate vector, softening the aggregates. With detect set the
+// aggregates are verified into the log first.
+func NewResult(groups [][]uint64, aggs *Vec, detect bool, log *ErrorLog) (*Result, error) {
+	if len(groups) != aggs.Len() {
+		return nil, fmt.Errorf("ops: %d groups vs %d aggregates", len(groups), aggs.Len())
+	}
+	r := &Result{Keys: groups, Aggs: make([]uint64, aggs.Len())}
+	for i := range r.Aggs {
+		if detect {
+			v, ok := aggs.ValueChecked(i, log)
+			if !ok {
+				continue
+			}
+			r.Aggs[i] = v
+		} else {
+			r.Aggs[i] = aggs.Value(i)
+		}
+	}
+	r.Sort()
+	return r, nil
+}
+
+// ScalarResult wraps a single aggregate value.
+func ScalarResult(agg *Vec, detect bool, log *ErrorLog) (*Result, error) {
+	return NewResult([][]uint64{{}}, agg, detect, log)
+}
+
+// Sort orders rows by their key tuples, making results canonical.
+func (r *Result) Sort() {
+	idx := make([]int, len(r.Keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return lessTuple(r.Keys[idx[a]], r.Keys[idx[b]])
+	})
+	keys := make([][]uint64, len(idx))
+	aggs := make([]uint64, len(idx))
+	for i, j := range idx {
+		keys[i], aggs[i] = r.Keys[j], r.Aggs[j]
+	}
+	r.Keys, r.Aggs = keys, aggs
+}
+
+func lessTuple(a, b []uint64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Rows returns the number of result rows.
+func (r *Result) Rows() int { return len(r.Keys) }
+
+// Equal reports whether two results match exactly - the DMR voter's
+// comparison (Section 1: redundant execution "with an additional voting at
+// the end").
+func (r *Result) Equal(other *Result) bool {
+	if len(r.Keys) != len(other.Keys) {
+		return false
+	}
+	for i := range r.Keys {
+		if len(r.Keys[i]) != len(other.Keys[i]) || r.Aggs[i] != other.Aggs[i] {
+			return false
+		}
+		for j := range r.Keys[i] {
+			if r.Keys[i][j] != other.Keys[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Vote compares the two replica results of a DMR execution and returns an
+// error on divergence - the only point at which DMR detects anything.
+func Vote(a, b *Result) error {
+	if !a.Equal(b) {
+		return fmt.Errorf("ops: DMR voter found diverging replica results (%d vs %d rows)", a.Rows(), b.Rows())
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package sdc computes silent-data-corruption probabilities for error
+// codes, following Appendix C of the AHEAD paper.
+//
+// The space of valid code words is modelled as a fully connected weighted
+// graph whose edge weights are pairwise Hamming distances. A histogram over
+// those weights - the code's distance distribution c_b - counts the
+// undetectable b-bit flips: error patterns that carry one valid code word
+// into another. Relating c_b to the total number of b-bit patterns yields
+// the SDC probability p_b = c_b / (2^k * C(n,b)) (Eq. 14).
+//
+// For non-linear codes such as AN codes the distribution must be counted by
+// brute force; the package provides the exact enumeration (the paper's
+// "exact" method, parallelized with the Eq. 16 work split) and the three
+// sampling estimators of Appendix C - grid, pseudo-random and quasi-random
+// (Figure 12) - of which the 1-D grid sampler is both the fastest and the
+// most accurate.
+package sdc
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// Distribution is the distance distribution of an AN code: Counts[b]
+// estimates c_b, the number of ordered pairs of distinct valid code words
+// at Hamming distance b (plus c_0 = 2^k self-pairs, which Eq. 14 and the
+// paper omit from error analysis).
+type Distribution struct {
+	A      uint64    // the AN constant
+	K      uint      // data width |D|
+	N      uint      // code width |C| = K + |A|
+	Counts []float64 // length N+1; exact integers when Exact
+	Exact  bool      // true when produced by full enumeration
+	M      uint64    // samples per code word for estimators (0 when exact)
+}
+
+// codewords materializes the 2^k valid code words of the AN code.
+func codewords(a uint64, k uint) []uint64 {
+	cw := make([]uint64, uint64(1)<<k)
+	for d := range cw {
+		cw[d] = uint64(d) * a
+	}
+	return cw
+}
+
+// splitWork returns the [start,end) bounds of worker i out of workers for
+// the symmetric pair enumeration, using the paper's Eq. 16 areas
+// ω_i = 1 - sqrt(1 - i/N) so that every worker touches the same number of
+// pairs even though row α has 2^k - α - 1 partners.
+func splitWork(total uint64, i, workers int) (uint64, uint64) {
+	omega := func(j int) uint64 {
+		w := 1 - math.Sqrt(1-float64(j)/float64(workers))
+		return uint64(math.Ceil(w * float64(total)))
+	}
+	lo, hi := omega(i), omega(i+1)
+	if i == workers-1 {
+		hi = total
+	}
+	if hi > total {
+		hi = total
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// ExactAN computes the exact distance distribution of the AN code with
+// constant a over k-bit data by enumerating all pairs of valid code words.
+// Complexity is O(4^k); k up to ~14 is interactive, k = 16 takes seconds,
+// and the paper's k = 24 point is hours of CPU (Table 2) - use the
+// samplers beyond that.
+func ExactAN(a uint64, k uint) (*Distribution, error) {
+	n, err := anWidths(a, k)
+	if err != nil {
+		return nil, err
+	}
+	// Materializing the code words trades 8*2^k bytes for one fewer
+	// multiply per pair; beyond k = 24 (128 MiB) the table would
+	// dominate memory, so the inner loop multiplies on the fly instead.
+	var cw []uint64
+	if k <= 24 {
+		cw = codewords(a, k)
+	}
+	total := uint64(1) << k
+	workers := runtime.GOMAXPROCS(0)
+	if uint64(workers) > total {
+		workers = int(total)
+	}
+	partial := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts := make([]uint64, n+1)
+			lo, hi := splitWork(total, w, workers)
+			if cw != nil {
+				for i := lo; i < hi; i++ {
+					ci := cw[i]
+					for j := i + 1; j < total; j++ {
+						counts[bits.OnesCount64(ci^cw[j])]++
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					ci := i * a
+					for j := i + 1; j < total; j++ {
+						counts[bits.OnesCount64(ci^j*a)]++
+					}
+				}
+			}
+			partial[w] = counts
+		}(w)
+	}
+	wg.Wait()
+	counts := make([]float64, n+1)
+	for _, p := range partial {
+		for b, c := range p {
+			counts[b] += float64(c) * 2 // both edge directions
+		}
+	}
+	counts[0] = float64(total) // self-pairs
+	return &Distribution{A: a, K: k, N: n, Counts: counts, Exact: true}, nil
+}
+
+func anWidths(a uint64, k uint) (n uint, err error) {
+	if a < 3 || a%2 == 0 {
+		return 0, fmt.Errorf("sdc: A must be odd and > 1, got %d", a)
+	}
+	if k == 0 || k > 32 {
+		return 0, fmt.Errorf("sdc: data width must be in [1,32], got %d", k)
+	}
+	n = k + uint(bits.Len64(a))
+	if n > 64 {
+		return 0, fmt.Errorf("sdc: code width %d exceeds 64 bits", n)
+	}
+	return n, nil
+}
+
+// MinDistance returns the minimum Hamming distance d_H,min: the smallest
+// b > 0 with c_b > 0, or 0 if the distribution is empty of transitions.
+func (d *Distribution) MinDistance() int {
+	for b := 1; b < len(d.Counts); b++ {
+		if d.Counts[b] > 0 {
+			return b
+		}
+	}
+	return 0
+}
+
+// GuaranteedBFW returns the guaranteed minimum bit-flip weight the code
+// detects: d_H,min - 1.
+func (d *Distribution) GuaranteedBFW() int {
+	if m := d.MinDistance(); m > 0 {
+		return m - 1
+	}
+	return 0
+}
+
+// FirstNonZeroCount returns c_{d_H,min}, the tie-breaker of the super-A
+// optimality criterion.
+func (d *Distribution) FirstNonZeroCount() float64 {
+	if m := d.MinDistance(); m > 0 {
+		return d.Counts[m]
+	}
+	return 0
+}
+
+// Probabilities returns p_b for b = 0..N per Eq. 14:
+// p_b = c_b / (2^k * C(n,b)). p_0 is reported as 0 (no corruption).
+func (d *Distribution) Probabilities() []float64 {
+	p := make([]float64, len(d.Counts))
+	denomBase := math.Pow(2, float64(d.K))
+	for b := 1; b < len(p); b++ {
+		p[b] = d.Counts[b] / (denomBase * binomial(d.N, uint(b)))
+	}
+	return p
+}
+
+// binomial returns C(n, b) as a float64.
+func binomial(n, b uint) float64 {
+	if b > n {
+		return 0
+	}
+	if b > n-b {
+		b = n - b
+	}
+	r := 1.0
+	for i := uint(1); i <= b; i++ {
+		r = r * float64(n-b+i) / float64(i)
+	}
+	return r
+}
+
+// MaxRelError returns Δ = max_{b>0, c_b>0} |ĉ_b - c_b| / c_b comparing an
+// estimated distribution against the exact one (Appendix C).
+func MaxRelError(approx, exact *Distribution) (float64, error) {
+	if approx.N != exact.N || approx.K != exact.K || approx.A != exact.A {
+		return 0, fmt.Errorf("sdc: distributions of different codes")
+	}
+	maxErr := 0.0
+	for b := 1; b < len(exact.Counts); b++ {
+		if exact.Counts[b] == 0 {
+			continue
+		}
+		if e := math.Abs(approx.Counts[b]-exact.Counts[b]) / exact.Counts[b]; e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, nil
+}

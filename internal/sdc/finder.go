@@ -1,0 +1,111 @@
+package sdc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Candidate summarizes the detection quality of one AN constant.
+type Candidate struct {
+	A          uint64
+	ABits      uint
+	MinDist    int       // d_H,min of the code
+	FirstCount float64   // c_{d_H,min}, lower is better (optimality tie-break)
+	counts     []float64 // full distance distribution, for the tie-break
+}
+
+// GuaranteedBFW returns the bit-flip weight the candidate detects in full.
+func (c Candidate) GuaranteedBFW() int {
+	if c.MinDist == 0 {
+		return 0
+	}
+	return c.MinDist - 1
+}
+
+// FindSuperAs performs the paper's brute-force super-A search (Section
+// 4.2) for k-bit data over all odd constants with |A| <= maxABits: for
+// every achievable guaranteed minimum bit-flip weight it returns the
+// optimal constant under the published criterion - (1) highest d_H,min,
+// (2) lowest |A|, (3) lowest first non-zero histogram value, with the
+// numerically smallest A as the final tie-break.
+//
+// The result maps minimum bit-flip weight -> optimal candidate. Exact
+// enumeration costs O(4^k) per constant; keep k small (<= 12) or pass a
+// sampler via FindSuperAsSampled for wider data.
+func FindSuperAs(k uint, maxABits uint) (map[int]Candidate, error) {
+	return findSuperAs(k, maxABits, func(a uint64) (*Distribution, error) {
+		return ExactAN(a, k)
+	})
+}
+
+// FindSuperAsSampled runs the same search with the grid estimator at M
+// samples per code word, the configuration the paper used beyond |D| = 27.
+// Estimated counts can misjudge d_H,min when a distance bucket is tiny, so
+// results carry the same "obtained through approximation" caveat as the
+// starred entries of Table 3.
+func FindSuperAsSampled(k uint, maxABits uint, m uint64) (map[int]Candidate, error) {
+	return findSuperAs(k, maxABits, func(a uint64) (*Distribution, error) {
+		return SampledAN(a, k, Grid, m, 0)
+	})
+}
+
+func findSuperAs(k uint, maxABits uint, dist func(uint64) (*Distribution, error)) (map[int]Candidate, error) {
+	if maxABits < 2 || maxABits > 32 {
+		return nil, fmt.Errorf("sdc: |A| budget must be in [2,32], got %d", maxABits)
+	}
+	// Best candidate per |A| under criterion (1) then (3).
+	bestPerWidth := make(map[uint]Candidate)
+	for a := uint64(3); bits.Len64(a) <= int(maxABits); a += 2 {
+		if uint(bits.Len64(a))+k > 64 {
+			break
+		}
+		d, err := dist(a)
+		if err != nil {
+			return nil, err
+		}
+		cand := Candidate{
+			A:          a,
+			ABits:      uint(bits.Len64(a)),
+			MinDist:    d.MinDistance(),
+			FirstCount: d.FirstNonZeroCount(),
+			counts:     d.Counts,
+		}
+		cur, ok := bestPerWidth[cand.ABits]
+		if !ok || better(cand, cur) {
+			bestPerWidth[cand.ABits] = cand
+		}
+	}
+	// For each achievable min bfw, the super A is the best candidate of
+	// the smallest |A| that reaches it.
+	result := make(map[int]Candidate)
+	for w := uint(2); w <= maxABits; w++ {
+		cand, ok := bestPerWidth[w]
+		if !ok {
+			continue
+		}
+		for bfw := 1; bfw <= cand.GuaranteedBFW(); bfw++ {
+			if _, taken := result[bfw]; !taken {
+				result[bfw] = cand
+			}
+		}
+	}
+	return result, nil
+}
+
+// better reports whether a beats b under the optimality criterion at equal
+// |A|. The published criterion - highest minimum distance, then lowest
+// first non-zero histogram value - generalizes to a lexicographic
+// comparison of the distance distributions from weight 1 upward (a higher
+// d_H,min means a longer run of leading zeros): fewer undetectable
+// transitions at the smallest weights win. The published Table 3 entries
+// (e.g. 29 over 27 at |D|=3, 213 over 181 at |D|=2) confirm the deep
+// tie-break. Equal distributions fall back to the smaller constant.
+func better(a, b Candidate) bool {
+	na, nb := len(a.counts), len(b.counts)
+	for i := 1; i < na && i < nb; i++ {
+		if a.counts[i] != b.counts[i] {
+			return a.counts[i] < b.counts[i]
+		}
+	}
+	return a.A < b.A
+}

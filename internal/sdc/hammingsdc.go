@@ -1,0 +1,70 @@
+package sdc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ahead/internal/coding/hamming"
+)
+
+// HammingSDC quantifies the silent-data-corruption behaviour of the
+// Extended Hamming code over k data bits, reproducing the Hamming curve of
+// Figure 3.
+//
+// Because the code is linear, the decoder outcome depends only on the
+// error pattern e, so enumerating all 2^n patterns against the all-zero
+// code word covers every code word: pattern e of weight b is silent when
+// the SECDED decoder either accepts e as valid or "corrects" it into a
+// different valid code word (the mis-correction that produces the zig-zag
+// for odd weights >= 3). The returned slice holds p_b for b = 0..n, where
+// p_b = (#silent patterns of weight b) / C(n,b).
+//
+// withCorrection selects the SECDED decoder; without it the code is used
+// detect-only (IsValid), where only patterns that are themselves valid
+// code words stay silent.
+func HammingSDC(k uint, withCorrection bool) ([]float64, error) {
+	code, err := hamming.New(k)
+	if err != nil {
+		return nil, err
+	}
+	n := code.CodeBits()
+	if n > 26 {
+		return nil, fmt.Errorf("sdc: Hamming enumeration over 2^%d patterns is not tractable", n)
+	}
+	silent := make([]float64, n+1)
+	for e := uint64(1); e < uint64(1)<<n; e++ {
+		b := bits.OnesCount64(e)
+		if withCorrection {
+			_, status := code.Decode(e)
+			switch status {
+			case hamming.OK:
+				silent[b]++ // e is itself a valid code word
+			case hamming.Corrected:
+				// The decoder flipped one bit; the result is a valid
+				// code word. It is silent corruption unless it repaired
+				// the pattern back to the original (all-zero) word.
+				if corrected, _ := code.Correct(e); corrected != 0 {
+					silent[b]++
+				}
+			}
+		} else if code.IsValid(e) {
+			silent[b]++
+		}
+	}
+	p := make([]float64, n+1)
+	for b := 1; b <= int(n); b++ {
+		p[b] = silent[b] / binomial(n, uint(b))
+	}
+	return p, nil
+}
+
+// ANSDC returns the SDC probabilities of the AN code with constant a over
+// k-bit data from its exact distance distribution - the AN curve of
+// Figure 3.
+func ANSDC(a uint64, k uint) ([]float64, error) {
+	dist, err := ExactAN(a, k)
+	if err != nil {
+		return nil, err
+	}
+	return dist.Probabilities(), nil
+}

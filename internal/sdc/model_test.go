@@ -1,0 +1,85 @@
+package sdc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	m := ErrorModel{Name: "x", Weights: []float64{0, 2, 2}}.Normalize()
+	if m.Weights[1] != 0.5 || m.Weights[2] != 0.5 {
+		t.Fatalf("normalized %v", m.Weights)
+	}
+	z := ErrorModel{Name: "zero", Weights: []float64{0, 0}}.Normalize()
+	if z.Weights[1] != 0 {
+		t.Fatal("zero model must stay zero")
+	}
+}
+
+func TestOverallSDC(t *testing.T) {
+	dist, err := ExactAN(29, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single flips are always detected by any super A.
+	if got := OverallSDC(dist, SingleFlip); got != 0 {
+		t.Fatalf("single-flip SDC %v", got)
+	}
+	// The DRAM disturbance model mixes weights 1-4; A=29 guarantees 1-2
+	// and leaks ~3.5% at weights 3-4: overall ≈ 0.1*p3 + 0.05*p4.
+	p := dist.Probabilities()
+	want := 0.1*p[3] + 0.05*p[4]
+	got := OverallSDC(dist, DRAMDisturbance)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("overall %v, want %v", got, want)
+	}
+	// Weights beyond the code width clamp to the widest bucket.
+	wide := ErrorModel{Name: "wide", Weights: make([]float64, 40)}
+	wide.Weights[39] = 1
+	if got := OverallSDC(dist, wide); got != p[len(p)-1] {
+		t.Fatalf("clamped overall %v", got)
+	}
+}
+
+func TestChooseA(t *testing.T) {
+	// Single-flip model: the weakest code suffices.
+	a, overall, err := ChooseA(8, SingleFlip, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 3 || overall != 0 {
+		t.Fatalf("single-flip choice A=%d sdc=%v", a, overall)
+	}
+	// DRAM disturbance at a 0.1% target: A=29 leaks ~0.5%, A=233 leaks
+	// only weight-4 events (~0.05*0.0036 ≈ 0.018%).
+	a, overall, err = ChooseA(8, DRAMDisturbance, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 233 {
+		t.Fatalf("disturbance choice A=%d (sdc %v), want 233", a, overall)
+	}
+	if overall > 0.001 {
+		t.Fatalf("target missed: %v", overall)
+	}
+	// A zero target is unreachable for models with weights beyond any
+	// guarantee... unless a code detects everything the model throws.
+	a, overall, err = ChooseA(8, DRAMDisturbance, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 1939 || overall != 0 {
+		t.Fatalf("strict choice A=%d sdc=%v, want 1939 (guarantees weight 4)", a, overall)
+	}
+	// Invalid targets and unreachable configurations.
+	if _, _, err := ChooseA(8, DRAMDisturbance, 0); err == nil {
+		t.Error("target 0 must error")
+	}
+	if _, _, err := ChooseA(40, DRAMDisturbance, 0.5); err == nil {
+		t.Error("unsupported width must error")
+	}
+	all13 := ErrorModel{Name: "all-flips", Weights: []float64{0, 0, 0, 0, 0, 0, 0, 0, 1}}
+	if _, _, err := ChooseA(12, all13, 1e-9); err == nil {
+		t.Error("unreachable target must error")
+	}
+}

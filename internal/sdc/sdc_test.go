@@ -1,0 +1,371 @@
+package sdc
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactANBasics(t *testing.T) {
+	// The paper's running example: A=29 over 8-bit data gives 13-bit code
+	// words that detect all 1- and 2-bit flips, i.e. d_H,min = 3.
+	d, err := ExactAN(29, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 13 {
+		t.Fatalf("N = %d, want 13", d.N)
+	}
+	if got := d.MinDistance(); got != 3 {
+		t.Fatalf("d_H,min = %d, want 3", got)
+	}
+	if got := d.GuaranteedBFW(); got != 2 {
+		t.Fatalf("guaranteed bfw = %d, want 2", got)
+	}
+	// Counts must total all ordered pairs plus self-pairs.
+	sum := 0.0
+	for _, c := range d.Counts {
+		sum += c
+	}
+	want := float64(256 * 256)
+	if sum != want {
+		t.Fatalf("count total = %v, want %v", sum, want)
+	}
+	p := d.Probabilities()
+	if p[1] != 0 || p[2] != 0 {
+		t.Fatalf("p_1=%v p_2=%v, want 0 (guaranteed detection)", p[1], p[2])
+	}
+	if p[3] <= 0 {
+		t.Fatalf("p_3 = %v, want > 0", p[3])
+	}
+	for b := 1; b <= int(d.N); b++ {
+		if p[b] < 0 || p[b] > 1 {
+			t.Fatalf("p_%d = %v out of [0,1]", b, p[b])
+		}
+	}
+}
+
+func TestExactANRejectsBadParameters(t *testing.T) {
+	for _, tc := range []struct {
+		a uint64
+		k uint
+	}{{2, 8}, {1, 8}, {29, 0}, {29, 33}, {1 << 40, 32}} {
+		if _, err := ExactAN(tc.a, tc.k); err == nil {
+			t.Errorf("ExactAN(%d,%d): want error", tc.a, tc.k)
+		}
+	}
+}
+
+func TestGridWithFullMEqualsExact(t *testing.T) {
+	// σ_grid degenerates to exact enumeration at M = 2^k.
+	for _, tc := range []struct {
+		a uint64
+		k uint
+	}{{29, 8}, {61, 9}, {13, 6}} {
+		exact, err := ExactAN(tc.a, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, err := SampledAN(tc.a, tc.k, Grid, 1<<tc.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 1; b < len(exact.Counts); b++ {
+			if grid.Counts[b] != exact.Counts[b] {
+				t.Fatalf("A=%d k=%d b=%d: grid %v != exact %v", tc.a, tc.k, b, grid.Counts[b], exact.Counts[b])
+			}
+		}
+		if e, _ := MaxRelError(grid, exact); e != 0 {
+			t.Fatalf("A=%d k=%d: Δ = %v, want 0", tc.a, tc.k, e)
+		}
+	}
+}
+
+func TestGridApproximationError(t *testing.T) {
+	// The paper reports < 1% maximal relative error for grid sampling
+	// with M = 1001 on exhaustively verifiable code lengths.
+	exact, err := ExactAN(61, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := SampledAN(61, 12, Grid, 1001, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := MaxRelError(grid, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 0.05 {
+		t.Fatalf("grid Δ = %v, want < 5%%", e)
+	}
+	// The estimated minimum distance must agree - this is what super-A
+	// classification depends on.
+	if grid.MinDistance() != exact.MinDistance() {
+		t.Fatalf("grid d_min %d != exact %d", grid.MinDistance(), exact.MinDistance())
+	}
+}
+
+func TestSamplerComparison(t *testing.T) {
+	// Figure 12: grid outperforms pseudo- and quasi-random sampling in
+	// virtually all cases. With a fixed seed this is deterministic here.
+	exact, err := ExactAN(61, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOf := func(s Sampler) float64 {
+		d, err := SampledAN(61, 10, s, 1001, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := MaxRelError(d, exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	grid, pseudo, quasi := errOf(Grid), errOf(Pseudo), errOf(Quasi)
+	t.Logf("Δ grid=%v pseudo=%v quasi=%v", grid, pseudo, quasi)
+	if grid > pseudo {
+		t.Errorf("grid error %v exceeds pseudo %v", grid, pseudo)
+	}
+	if grid > quasi {
+		t.Errorf("grid error %v exceeds quasi %v", grid, quasi)
+	}
+}
+
+func TestOddMBeatsEvenM(t *testing.T) {
+	// Appendix C: odd sample counts yield much smaller errors for the
+	// grid sampler than even ones.
+	exact, err := ExactAN(61, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eo, ee float64
+	for _, m := range []uint64{101, 251, 501, 1001, 2001} {
+		d, err := SampledAN(61, 12, Grid, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, _ := MaxRelError(d, exact)
+		eo += e
+		d, err = SampledAN(61, 12, Grid, m-1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, _ = MaxRelError(d, exact)
+		ee += e
+	}
+	t.Logf("summed Δ odd=%v even=%v", eo, ee)
+	if eo > ee {
+		t.Errorf("odd-M summed error %v exceeds even-M %v", eo, ee)
+	}
+}
+
+func TestSamplerStrings(t *testing.T) {
+	if Grid.String() != "grid" || Pseudo.String() != "pseudo" || Quasi.String() != "quasi" {
+		t.Error("sampler names")
+	}
+	if Sampler(9).String() == "" {
+		t.Error("unknown sampler must still print")
+	}
+	if _, err := SampledAN(29, 8, Sampler(9), 101, 0); err == nil {
+		t.Error("unknown sampler must error")
+	}
+	if _, err := SampledAN(29, 8, Grid, 0, 0); err == nil {
+		t.Error("M = 0 must error")
+	}
+}
+
+func TestHammingSDCFigure3(t *testing.T) {
+	// Figure 3: 8-bit data, 13-bit code words. Weights 1 and 2 are always
+	// detected by both codes; from weight 3 on, SECDED mis-correction
+	// makes Hamming silently corrupt far more often than AN, with the
+	// odd/even zig-zag.
+	ham, err := HammingSDC(8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ANSDC(29, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ham) != 14 || len(an) != 14 {
+		t.Fatalf("lengths %d/%d, want 14", len(ham), len(an))
+	}
+	if ham[1] != 0 || ham[2] != 0 {
+		t.Fatalf("Hamming p_1=%v p_2=%v, want 0", ham[1], ham[2])
+	}
+	// Zig-zag: odd weights >= 3 are mis-corrected much more often.
+	if !(ham[3] > ham[4]) || !(ham[5] > ham[4]) || !(ham[5] > ham[6]) || !(ham[7] > ham[6]) {
+		t.Fatalf("no zig-zag: p3..p7 = %v", ham[3:8])
+	}
+	// AN detection dominates for every weight >= 3 where both are defined.
+	for b := 3; b <= 13; b++ {
+		if an[b] > ham[b] {
+			t.Errorf("p_%d: AN %v > Hamming %v", b, an[b], ham[b])
+		}
+	}
+}
+
+func TestHammingSDCDetectOnly(t *testing.T) {
+	// Without correction, silent corruption happens only when the error
+	// pattern is itself a valid code word; SECDED distance 4 means no
+	// silent weights below 4.
+	p, err := HammingSDC(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b <= 3; b++ {
+		if p[b] != 0 {
+			t.Fatalf("detect-only p_%d = %v, want 0", b, p[b])
+		}
+	}
+	if p[4] <= 0 {
+		t.Fatalf("p_4 = %v, want > 0 (weight-4 code words exist)", p[4])
+	}
+	// Detect-only is never worse than SECDED at any weight.
+	withCorr, err := HammingSDC(8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b <= 13; b++ {
+		if p[b] > withCorr[b]+1e-12 {
+			t.Errorf("p_%d: detect-only %v > corrected %v", b, p[b], withCorr[b])
+		}
+	}
+}
+
+func TestHammingSDCWidthLimit(t *testing.T) {
+	if _, err := HammingSDC(32, true); err == nil {
+		t.Error("k=32 needs 2^39 patterns; must refuse")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, b uint
+		want float64
+	}{
+		{13, 0, 1}, {13, 1, 13}, {13, 2, 78}, {13, 13, 1}, {13, 6, 1716},
+		{4, 5, 0}, {64, 1, 64},
+	}
+	for _, tc := range cases {
+		if got := binomial(tc.n, tc.b); got != tc.want {
+			t.Errorf("C(%d,%d) = %v, want %v", tc.n, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSplitWorkCoversRange(t *testing.T) {
+	for _, total := range []uint64{1, 7, 256, 65536} {
+		for _, workers := range []int{1, 2, 3, 8, 16} {
+			var covered uint64
+			prevHi := uint64(0)
+			for w := 0; w < workers; w++ {
+				lo, hi := splitWork(total, w, workers)
+				if lo != prevHi {
+					t.Fatalf("total=%d workers=%d: gap at worker %d (%d != %d)", total, workers, w, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if prevHi != total || covered != total {
+				t.Fatalf("total=%d workers=%d: covered %d, end %d", total, workers, covered, prevHi)
+			}
+		}
+	}
+}
+
+func TestMaxRelErrorMismatch(t *testing.T) {
+	a, _ := ExactAN(29, 8)
+	b, _ := ExactAN(61, 8)
+	if _, err := MaxRelError(a, b); err == nil {
+		t.Error("different codes must not be comparable")
+	}
+}
+
+func TestFindSuperAsMatchesTable3(t *testing.T) {
+	// Re-derive published Table 3 entries for small data widths.
+	cases := []struct {
+		k        uint
+		maxABits uint
+		want     map[int]uint64 // min bfw -> A
+	}{
+		{2, 8, map[int]uint64{1: 3, 2: 13, 3: 53, 4: 213}},
+		{3, 8, map[int]uint64{1: 3, 2: 29, 3: 45}},
+		{4, 8, map[int]uint64{1: 3, 2: 27, 3: 89}},
+		{8, 8, map[int]uint64{1: 3, 2: 29, 3: 233}},
+	}
+	for _, tc := range cases {
+		got, err := FindSuperAs(tc.k, tc.maxABits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bfw, wantA := range tc.want {
+			cand, ok := got[bfw]
+			if !ok {
+				t.Errorf("k=%d: no super A found for bfw %d", tc.k, bfw)
+				continue
+			}
+			if cand.A != wantA {
+				t.Errorf("k=%d bfw=%d: found A=%d (|A|=%d, dmin=%d, c=%v), Table 3 says %d",
+					tc.k, bfw, cand.A, cand.ABits, cand.MinDist, cand.FirstCount, wantA)
+			}
+		}
+	}
+}
+
+func TestFindSuperAsSampledAgreesOnSmallWidths(t *testing.T) {
+	exact, err := FindSuperAs(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := FindSuperAsSampled(8, 6, 1<<8) // full M: identical
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bfw, e := range exact {
+		s, ok := sampled[bfw]
+		if !ok || s.A != e.A {
+			t.Errorf("bfw=%d: sampled %+v, exact %+v", bfw, s, e)
+		}
+	}
+}
+
+func TestFindSuperAsValidatesInput(t *testing.T) {
+	if _, err := FindSuperAs(8, 1); err == nil {
+		t.Error("|A| budget below 2 must error")
+	}
+	if _, err := FindSuperAs(8, 33); err == nil {
+		t.Error("|A| budget above 32 must error")
+	}
+}
+
+func TestQuickDistributionSymmetryInvariants(t *testing.T) {
+	// For any valid small code: counts are non-negative, total equals
+	// 4^k, and the guaranteed weight never exceeds the code redundancy.
+	f := func(seedA uint16, kRaw uint8) bool {
+		a := uint64(seedA) | 1 | 2 // odd, >= 3
+		k := uint(kRaw)%6 + 2      // 2..7
+		d, err := ExactAN(a, k)
+		if err != nil {
+			return true // parameter combination out of range; skip
+		}
+		sum := 0.0
+		for _, c := range d.Counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		if sum != math.Pow(4, float64(k)) {
+			return false
+		}
+		return uint(d.GuaranteedBFW()) <= uint(bits.Len64(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,325 @@
+package storage
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+)
+
+// Column is a fixed-width dense array of values, the DSM storage unit of a
+// column store (Section 4). A column is either unprotected (plain integer
+// values, byte-compressed to the narrowest native width) or hardened (AN
+// code words, stored in the narrowest native width that holds |D| + |A|
+// bits). String columns are dictionary-encoded: the array holds integer
+// dictionary codes and the column carries the dictionary.
+type Column struct {
+	name  string
+	kind  Kind
+	width int // physical bytes per value: 1, 2, 4 or 8
+
+	u8  []uint8
+	u16 []uint16
+	u32 []uint32
+	u64 []uint64
+
+	code *an.Code    // non-nil iff the column stores code words
+	dict *Dict       // non-nil iff the column is dictionary-encoded
+	heap *StringHeap // non-nil iff the column is heap-backed (StrHeap)
+}
+
+// NewColumn creates an empty unprotected column of the given kind. Str
+// columns must be created with NewStrColumn.
+func NewColumn(name string, kind Kind) (*Column, error) {
+	if kind.IsHardened() {
+		return nil, fmt.Errorf("storage: hardened columns are created by Harden, not NewColumn")
+	}
+	if kind == Str || kind == StrHeap {
+		return nil, fmt.Errorf("storage: string columns are created by NewStrColumn or NewHeapStrColumn")
+	}
+	return &Column{name: name, kind: kind, width: kind.NaturalWidth()}, nil
+}
+
+// NewStrColumn dictionary-encodes the given string values: it builds the
+// sorted dictionary and stores each value's code in the narrowest integer
+// width. The column kind is Str; its integer codes behave like any other
+// unprotected integer column for filtering, joining and hardening.
+func NewStrColumn(name string, values []string) *Column {
+	dict := NewDict(values)
+	width, _ := widthForBits(dict.Bits())
+	c := &Column{name: name, kind: Str, width: width, dict: dict}
+	c.grow(len(values))
+	for i, v := range values {
+		code, _ := dict.Code(v)
+		c.setU64(i, uint64(code))
+	}
+	return c
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the logical column kind.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Width returns the physical bytes per value.
+func (c *Column) Width() int { return c.width }
+
+// Code returns the AN code of a hardened column, or nil.
+func (c *Column) Code() *an.Code { return c.code }
+
+// IsHardened reports whether the column stores AN code words. Note that a
+// hardened string column keeps kind Str; this method is the authoritative
+// test.
+func (c *Column) IsHardened() bool { return c.code != nil }
+
+// Dict returns the dictionary of a string column, or nil.
+func (c *Column) Dict() *Dict { return c.dict }
+
+// Len returns the number of values.
+func (c *Column) Len() int {
+	switch c.width {
+	case 1:
+		return len(c.u8)
+	case 2:
+		return len(c.u16)
+	case 4:
+		return len(c.u32)
+	default:
+		return len(c.u64)
+	}
+}
+
+// Bytes returns the memory the data array occupies - the unit of the
+// storage-overhead comparisons (Figure 1b, Figure 8b). Dictionaries are
+// accounted separately via Dict().Bytes().
+func (c *Column) Bytes() int { return c.Len() * c.width }
+
+// U8, U16, U32, U64 expose the physical array. They return nil when the
+// column uses a different width; exactly one accessor is non-nil.
+func (c *Column) U8() []uint8 { return c.u8 }
+
+// U16 returns the 2-byte physical array, or nil.
+func (c *Column) U16() []uint16 { return c.u16 }
+
+// U32 returns the 4-byte physical array, or nil.
+func (c *Column) U32() []uint32 { return c.u32 }
+
+// U64 returns the 8-byte physical array, or nil.
+func (c *Column) U64() []uint64 { return c.u64 }
+
+func (c *Column) grow(n int) {
+	switch c.width {
+	case 1:
+		c.u8 = append(c.u8, make([]uint8, n)...)
+	case 2:
+		c.u16 = append(c.u16, make([]uint16, n)...)
+	case 4:
+		c.u32 = append(c.u32, make([]uint32, n)...)
+	default:
+		c.u64 = append(c.u64, make([]uint64, n)...)
+	}
+}
+
+func (c *Column) setU64(i int, v uint64) {
+	switch c.width {
+	case 1:
+		c.u8[i] = uint8(v)
+	case 2:
+		c.u16[i] = uint16(v)
+	case 4:
+		c.u32[i] = uint32(v)
+	default:
+		c.u64[i] = v
+	}
+}
+
+// Get returns the raw physical value at position i: the plain value for
+// unprotected columns, the code word for hardened ones.
+func (c *Column) Get(i int) uint64 {
+	switch c.width {
+	case 1:
+		return uint64(c.u8[i])
+	case 2:
+		return uint64(c.u16[i])
+	case 4:
+		return uint64(c.u32[i])
+	default:
+		return c.u64[i]
+	}
+}
+
+// Append adds a plain value to an unprotected column, or hardens and adds
+// a plain value to a hardened column (UDI operations are orthogonal to
+// hardening, Section 4.1: inserting into a hardened column just means
+// inserting hardened data).
+func (c *Column) Append(v uint64) {
+	i := c.Len()
+	c.grow(1)
+	if c.code != nil {
+		v = c.code.Encode(v)
+	}
+	c.setU64(i, v)
+}
+
+// AppendRaw adds a raw physical value without encoding. Used by operators
+// that already hold code words.
+func (c *Column) AppendRaw(v uint64) {
+	i := c.Len()
+	c.grow(1)
+	c.setU64(i, v)
+}
+
+// Set overwrites position i with a plain value, hardening it first on
+// hardened columns (the update of UDI).
+func (c *Column) Set(i int, v uint64) {
+	if c.code != nil {
+		v = c.code.Encode(v)
+	}
+	c.setU64(i, v)
+}
+
+// Value returns the decoded logical value at position i: hardened columns
+// soften the code word (without detection - use CheckAll or the query
+// operators for that).
+func (c *Column) Value(i int) uint64 {
+	v := c.Get(i)
+	if c.code != nil {
+		return c.code.Decode(v)
+	}
+	return v
+}
+
+// Str returns the string at position i of a dictionary-encoded or
+// heap-backed column.
+func (c *Column) Str(i int) (string, error) {
+	if c.heap != nil {
+		return c.heap.Get(c.Value(i))
+	}
+	if c.dict == nil {
+		return "", fmt.Errorf("storage: column %q has no dictionary", c.name)
+	}
+	return c.dict.Value(uint32(c.Value(i)))
+}
+
+// Heap returns the string heap of a heap-backed column, or nil.
+func (c *Column) Heap() *StringHeap { return c.heap }
+
+// Harden returns a hardened copy of the column: every value multiplied by
+// the code's A and stored in the narrowest native width for |D| + |A|
+// bits. String columns keep their dictionary; their codes are hardened
+// like any integer.
+func (c *Column) Harden(code *an.Code) (*Column, error) {
+	if c.code != nil {
+		return nil, fmt.Errorf("storage: column %q already hardened", c.name)
+	}
+	if bits := c.kind.DataBits(); c.kind != Str && c.kind != BigInt && code.DataBits() < bits {
+		return nil, fmt.Errorf("storage: code covers %d bits, column %q holds %d-bit values", code.DataBits(), c.name, bits)
+	}
+	width, err := widthForBits(code.CodeBits())
+	if err != nil {
+		return nil, err
+	}
+	kind := c.kind
+	if kind != Str && kind != StrHeap {
+		kind, err = c.kind.Hardened()
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Column{name: c.name, kind: kind, width: width, code: code, dict: c.dict, heap: c.heap}
+	n := c.Len()
+	out.grow(n)
+	for i := 0; i < n; i++ {
+		out.setU64(i, code.Encode(c.Get(i)))
+	}
+	return out, nil
+}
+
+// Soften returns an unprotected copy of a hardened column, decoding every
+// value without corruption checks (the plain softening of Section 3).
+func (c *Column) Soften() (*Column, error) {
+	if c.code == nil {
+		return nil, fmt.Errorf("storage: column %q is not hardened", c.name)
+	}
+	kind := c.kind
+	if kind != Str && kind != StrHeap {
+		var err error
+		kind, err = c.kind.Softened()
+		if err != nil {
+			return nil, err
+		}
+	}
+	width, err := widthForBits(c.code.DataBits())
+	if err != nil {
+		return nil, err
+	}
+	out := &Column{name: c.name, kind: kind, width: width, dict: c.dict, heap: c.heap}
+	n := c.Len()
+	out.grow(n)
+	for i := 0; i < n; i++ {
+		out.setU64(i, c.code.Decode(c.Get(i)))
+	}
+	return out, nil
+}
+
+// CheckAll verifies every code word of a hardened column and returns the
+// positions of corrupted values - the standalone Δ detection pass over a
+// base column.
+func (c *Column) CheckAll() ([]uint64, error) {
+	if c.code == nil {
+		return nil, fmt.Errorf("storage: column %q is not hardened", c.name)
+	}
+	switch c.width {
+	case 1:
+		return an.CheckSlice(c.code, c.u8, nil), nil
+	case 2:
+		return an.CheckSlice(c.code, c.u16, nil), nil
+	case 4:
+		return an.CheckSlice(c.code, c.u32, nil), nil
+	default:
+		return an.CheckSlice(c.code, c.u64, nil), nil
+	}
+}
+
+// Reencode re-hardens the column in place from its current code to next
+// (Eq. 10) when both fit the same physical width; otherwise it returns a
+// re-hardened copy at the required width.
+func (c *Column) Reencode(next *an.Code) (*Column, error) {
+	if c.code == nil {
+		return nil, fmt.Errorf("storage: column %q is not hardened", c.name)
+	}
+	width, err := widthForBits(next.CodeBits())
+	if err != nil {
+		return nil, err
+	}
+	if width == c.width {
+		switch c.width {
+		case 1:
+			err = an.ReencodeSlice(c.code, next, c.u8)
+		case 2:
+			err = an.ReencodeSlice(c.code, next, c.u16)
+		case 4:
+			err = an.ReencodeSlice(c.code, next, c.u32)
+		default:
+			err = an.ReencodeSlice(c.code, next, c.u64)
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.code = next
+		return c, nil
+	}
+	out := &Column{name: c.name, kind: c.kind, width: width, code: next, dict: c.dict, heap: c.heap}
+	n := c.Len()
+	out.grow(n)
+	for i := 0; i < n; i++ {
+		out.setU64(i, c.code.Reencode(c.Get(i), next))
+	}
+	return out, nil
+}
+
+// Corrupt XORs mask into the physical word at position i - the hook the
+// fault-injection framework uses to place bit flips.
+func (c *Column) Corrupt(i int, mask uint64) {
+	c.setU64(i, c.Get(i)^mask)
+}

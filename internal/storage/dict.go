@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dict is an order-preserving string dictionary (Section 4.1): the sorted
+// list of distinct values of a string column. Column data arrays store
+// fixed-width integer positions into the dictionary, so string equality
+// and range predicates translate into integer comparisons on the codes.
+// The dictionary is immutable once built.
+type Dict struct {
+	values []string
+	index  map[string]uint32
+}
+
+// NewDict builds a dictionary over the given distinct values. Duplicates
+// are removed; values are sorted so code order equals string order.
+func NewDict(values []string) *Dict {
+	uniq := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		uniq[v] = struct{}{}
+	}
+	sorted := make([]string, 0, len(uniq))
+	for v := range uniq {
+		sorted = append(sorted, v)
+	}
+	sort.Strings(sorted)
+	idx := make(map[string]uint32, len(sorted))
+	for i, v := range sorted {
+		idx[v] = uint32(i)
+	}
+	return &Dict{values: sorted, index: idx}
+}
+
+// Size returns the number of distinct values.
+func (d *Dict) Size() int { return len(d.values) }
+
+// Code returns the dictionary code of value v.
+func (d *Dict) Code(v string) (uint32, bool) {
+	c, ok := d.index[v]
+	return c, ok
+}
+
+// Value returns the string at code c.
+func (d *Dict) Value(c uint32) (string, error) {
+	if int(c) >= len(d.values) {
+		return "", fmt.Errorf("storage: dictionary code %d out of range (size %d)", c, len(d.values))
+	}
+	return d.values[c], nil
+}
+
+// CodeRange translates an inclusive string range [lo, hi] into the
+// inclusive code range of dictionary entries within it. ok is false when
+// no entry falls inside the range.
+func (d *Dict) CodeRange(lo, hi string) (first, last uint32, ok bool) {
+	i := sort.SearchStrings(d.values, lo)
+	j := sort.Search(len(d.values), func(k int) bool { return d.values[k] > hi })
+	if i >= j {
+		return 0, 0, false
+	}
+	return uint32(i), uint32(j - 1), true
+}
+
+// PrefixRange translates a string prefix into the code range of entries
+// sharing it, e.g. brand prefix "MFGR#22" onto the 40 brands below it.
+func (d *Dict) PrefixRange(prefix string) (first, last uint32, ok bool) {
+	i := sort.SearchStrings(d.values, prefix)
+	end := i
+	for end < len(d.values) && len(d.values[end]) >= len(prefix) && d.values[end][:len(prefix)] == prefix {
+		end++
+	}
+	if i >= end {
+		return 0, 0, false
+	}
+	return uint32(i), uint32(end - 1), true
+}
+
+// Bits returns the number of bits needed for a dictionary code.
+func (d *Dict) Bits() uint {
+	n := len(d.values)
+	bits := uint(1)
+	for (1 << bits) < n {
+		bits++
+	}
+	return bits
+}
+
+// Bytes returns the heap storage the dictionary strings occupy, the
+// accounting used by the storage-overhead experiments.
+func (d *Dict) Bytes() int {
+	total := 0
+	for _, v := range d.values {
+		total += len(v)
+	}
+	return total
+}
+
+// Values returns the sorted dictionary contents (read-only).
+func (d *Dict) Values() []string { return d.values }

@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHardenedDictResolvesEverything(t *testing.T) {
+	var values []string
+	for i := 0; i < 1000; i++ {
+		values = append(values, fmt.Sprintf("MFGR#%d%d%d", i%5+1, i%5+1, i%40+1))
+	}
+	values = append(values, "UNITED KI1", "UNITED KI5", "ASIA")
+	d := NewDict(values)
+	h, err := HardenIndex(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Values() {
+		code, found, err := h.Code(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := d.Code(v)
+		if !found || code != want {
+			t.Fatalf("Code(%q) = %d,%v, want %d", v, code, found, want)
+		}
+	}
+	if _, found, err := h.Code("NOT A VALUE"); err != nil || found {
+		t.Fatalf("absent value: %v, %v", found, err)
+	}
+	if h.Dict() != d {
+		t.Fatal("dict accessor")
+	}
+}
+
+func TestHardenedDictDetectsIndexCorruption(t *testing.T) {
+	d := NewDict([]string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"})
+	h, err := HardenIndex(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a key in the tree: lookups crossing it must error, never
+	// return a wrong code.
+	if err := h.Tree().CorruptKey(h.Tree().Root(), 0, 1<<7); err != nil {
+		t.Fatal(err)
+	}
+	sawError := false
+	for _, v := range d.Values() {
+		if _, _, err := h.Code(v); err != nil {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Fatal("corrupted index never surfaced an error")
+	}
+	if h.Verify() == nil {
+		t.Fatal("verify must find the corruption")
+	}
+}
+
+func TestFingerprintCollisionsResolve(t *testing.T) {
+	// Force the probing path by inserting strings and then querying
+	// them all; with 5000 entries in a 2^48 space natural collisions are
+	// unlikely, so also verify the probe loop terminates for a miss that
+	// lands on an occupied fingerprint.
+	var values []string
+	for i := 0; i < 5000; i++ {
+		values = append(values, fmt.Sprintf("value-%d", i))
+	}
+	d := NewDict(values)
+	h, err := HardenIndex(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i += 97 {
+		v := fmt.Sprintf("value-%d", i)
+		code, found, err := h.Code(v)
+		if err != nil || !found {
+			t.Fatalf("Code(%q): %v, %v", v, found, err)
+		}
+		if got, _ := d.Value(code); got != v {
+			t.Fatalf("round trip %q -> %q", v, got)
+		}
+	}
+}

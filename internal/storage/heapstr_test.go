@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeapStrColumnBasics(t *testing.T) {
+	vals := []string{"1-URGENT", "5-LOW", "", "3-MEDIUM", "5-LOW"}
+	c, err := NewHeapStrColumn("prio", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind() != StrHeap || c.Width() != 8 || c.Len() != len(vals) {
+		t.Fatalf("kind=%v width=%d len=%d", c.Kind(), c.Width(), c.Len())
+	}
+	for i, v := range vals {
+		got, err := c.Str(i)
+		if err != nil || got != v {
+			t.Fatalf("Str(%d) = %q, %v", i, got, err)
+		}
+	}
+	// Unlike dictionaries, heap strings are stored per row.
+	wantHeap := 0
+	for _, v := range vals {
+		wantHeap += len(v)
+	}
+	if c.Heap().Bytes() != wantHeap {
+		t.Fatalf("heap bytes %d, want %d", c.Heap().Bytes(), wantHeap)
+	}
+}
+
+func TestHeapStrLimits(t *testing.T) {
+	if _, err := NewHeapStrColumn("x", []string{strings.Repeat("a", 256)}); err == nil {
+		t.Error("strings above 255 bytes must error")
+	}
+	h := &StringHeap{}
+	if _, err := h.Get(255<<8 | 10); err == nil {
+		t.Error("dangling reference must error")
+	}
+}
+
+func TestHeapStrColumnHardening(t *testing.T) {
+	vals := []string{"AIR", "TRUCK", "SHIP", "RAIL"}
+	c, err := NewHeapStrColumn("mode", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := LargestCodeChooser(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Harden(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// References harden at the same 8-byte width: pointer protection is
+	// free in storage terms.
+	if h.Width() != 8 || h.Bytes() != c.Bytes() {
+		t.Fatalf("hardened width %d bytes %d, want same as plain %d", h.Width(), h.Bytes(), c.Bytes())
+	}
+	if h.Kind() != StrHeap {
+		t.Fatalf("kind %v", h.Kind())
+	}
+	for i, v := range vals {
+		got, err := h.Str(i)
+		if err != nil || got != v {
+			t.Fatalf("hardened Str(%d) = %q, %v", i, got, err)
+		}
+	}
+	// Corrupted references are detected, and a lookup through the
+	// corrupted reference fails instead of slicing garbage.
+	h.Corrupt(2, 1<<13)
+	errs, err := h.CheckAll()
+	if err != nil || len(errs) != 1 || errs[0] != 2 {
+		t.Fatalf("CheckAll = %v, %v", errs, err)
+	}
+	// Soften preserves the heap.
+	h.Corrupt(2, 1<<13) // restore
+	s, err := h.Soften()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Str(1); err != nil || got != "TRUCK" {
+		t.Fatalf("softened Str(1) = %q, %v", got, err)
+	}
+}
+
+func TestHeapStrInTable(t *testing.T) {
+	c1, err := NewHeapStrColumn("a", []string{"xx", "yy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewHeapStrColumn("b", []string{"zzz", "wwww"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable("t")
+	if err := tb.AddColumn(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddColumn(c2); err != nil {
+		t.Fatal(err)
+	}
+	// 2 rows x 8 bytes x 2 columns + 4 + 7 heap bytes.
+	if got := tb.Bytes(); got != 2*8*2+4+7 {
+		t.Fatalf("table bytes %d", got)
+	}
+	// Hardening a table with heap columns keeps the heap unhardened and
+	// the reference arrays at the same width: zero storage growth for
+	// string columns.
+	h, err := tb.Harden(LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bytes() != tb.Bytes() {
+		t.Fatalf("hardened table bytes %d, want %d", h.Bytes(), tb.Bytes())
+	}
+	// Replication shares the immutable heap but copies the references.
+	r, err := tb.Replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.MustColumn("a").Str(0); got != "xx" {
+		t.Fatal("replica strings")
+	}
+	if _, err := NewColumn("x", StrHeap); err == nil {
+		t.Error("NewColumn must reject StrHeap")
+	}
+	if StrHeap.String() != "stringheap" || StrHeap.DataBits() != 48 || StrHeap.NaturalWidth() != 8 {
+		t.Error("StrHeap kind properties")
+	}
+}

@@ -1,0 +1,184 @@
+// Package storage implements the AHEAD hardened columnar storage concept
+// (Section 4): fixed-width data arrays for integer data - optionally
+// AN-hardened - and dictionary encoding for variable-width strings, the
+// two structures every base-table column of an in-memory column store maps
+// onto.
+//
+// The type system mirrors the paper's prototype (Section 6.1): unprotected
+// columns use byte-level compression onto the smallest native width
+// (tinyint, shortint, int, bigint), and each hardened variant (restiny,
+// resshort, resint, resbig) stores code words in the next native width
+// wide enough for |D| + |A| bits, so the physical width of a hardened
+// column follows from the chosen A.
+package storage
+
+import "fmt"
+
+// Kind is the logical column type.
+type Kind uint8
+
+// The supported logical column types.
+const (
+	// TinyInt holds 8-bit unsigned integers.
+	TinyInt Kind = iota
+	// ShortInt holds 16-bit unsigned integers.
+	ShortInt
+	// Int holds 32-bit unsigned integers.
+	Int
+	// BigInt holds unsigned integers up to 64 bits unprotected; the
+	// hardened variant is limited to 48 data bits so that code words
+	// with |A| <= 16 still fit native 64-bit words (Section 6.1).
+	BigInt
+	// ResTiny is the hardened variant of TinyInt.
+	ResTiny
+	// ResShort is the hardened variant of ShortInt.
+	ResShort
+	// ResInt is the hardened variant of Int.
+	ResInt
+	// ResBig is the hardened variant of BigInt (48 data bits).
+	ResBig
+	// Str is a dictionary-encoded string column: the physical data array
+	// holds fixed-width references into a sorted dictionary.
+	Str
+	// StrHeap is a heap-backed string column (the prototype's string
+	// storage): the data array holds packed offset/length references
+	// into an unhardened byte heap. Hardening protects the references
+	// (48-bit data in 64-bit words), not the heap bytes.
+	StrHeap
+)
+
+// String implements fmt.Stringer using the paper's type names.
+func (k Kind) String() string {
+	switch k {
+	case TinyInt:
+		return "tinyint"
+	case ShortInt:
+		return "shortint"
+	case Int:
+		return "int"
+	case BigInt:
+		return "bigint"
+	case ResTiny:
+		return "restiny"
+	case ResShort:
+		return "resshort"
+	case ResInt:
+		return "resint"
+	case ResBig:
+		return "resbig"
+	case Str:
+		return "string"
+	case StrHeap:
+		return "stringheap"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsHardened reports whether the kind stores AN code words.
+func (k Kind) IsHardened() bool {
+	return k >= ResTiny && k <= ResBig
+}
+
+// DataBits returns the logical data width |D| in bits.
+func (k Kind) DataBits() uint {
+	switch k {
+	case TinyInt, ResTiny:
+		return 8
+	case ShortInt, ResShort:
+		return 16
+	case Int, ResInt:
+		return 32
+	case BigInt:
+		return 64
+	case ResBig, StrHeap:
+		return 48
+	default:
+		return 0
+	}
+}
+
+// NaturalWidth returns the physical bytes per value of an *unprotected*
+// column of this kind. Hardened columns derive their width from the code.
+func (k Kind) NaturalWidth() int {
+	switch k {
+	case TinyInt:
+		return 1
+	case ShortInt:
+		return 2
+	case Int:
+		return 4
+	case BigInt, StrHeap:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Hardened maps an unprotected kind onto its hardened counterpart.
+func (k Kind) Hardened() (Kind, error) {
+	switch k {
+	case TinyInt:
+		return ResTiny, nil
+	case ShortInt:
+		return ResShort, nil
+	case Int:
+		return ResInt, nil
+	case BigInt:
+		return ResBig, nil
+	default:
+		return 0, fmt.Errorf("storage: %v has no hardened variant", k)
+	}
+}
+
+// Softened maps a hardened kind back onto its unprotected counterpart.
+func (k Kind) Softened() (Kind, error) {
+	switch k {
+	case ResTiny:
+		return TinyInt, nil
+	case ResShort:
+		return ShortInt, nil
+	case ResInt:
+		return Int, nil
+	case ResBig:
+		return BigInt, nil
+	default:
+		return 0, fmt.Errorf("storage: %v is not hardened", k)
+	}
+}
+
+// widthForBits returns the narrowest native width (1, 2, 4 or 8 bytes)
+// holding the given number of bits.
+func widthForBits(bits uint) (int, error) {
+	switch {
+	case bits <= 8:
+		return 1, nil
+	case bits <= 16:
+		return 2, nil
+	case bits <= 32:
+		return 4, nil
+	case bits <= 64:
+		return 8, nil
+	default:
+		return 0, fmt.Errorf("storage: %d bits exceed native widths", bits)
+	}
+}
+
+// KindForBits returns the narrowest unprotected integer kind holding the
+// given number of bits, the byte-level compression rule of Section 6.1.
+func KindForBits(bits uint) (Kind, error) {
+	switch {
+	case bits == 0:
+		return 0, fmt.Errorf("storage: zero-width values")
+	case bits <= 8:
+		return TinyInt, nil
+	case bits <= 16:
+		return ShortInt, nil
+	case bits <= 32:
+		return Int, nil
+	case bits <= 64:
+		return BigInt, nil
+	default:
+		return 0, fmt.Errorf("storage: %d bits exceed native widths", bits)
+	}
+}

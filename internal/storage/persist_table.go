@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SaveTable persists every column of the table into dir: one .col file
+// per column plus a MANIFEST recording the table name and column order.
+func SaveTable(dir string, t *Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	manifest, err := os.Create(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+	mw := bufio.NewWriter(manifest)
+	fmt.Fprintf(mw, "table %s\n", t.Name())
+	for _, c := range t.Columns() {
+		if strings.ContainsAny(c.Name(), "/\\\n") {
+			return fmt.Errorf("storage: column name %q not file-safe", c.Name())
+		}
+		f, err := os.Create(filepath.Join(dir, c.Name()+".col"))
+		if err != nil {
+			return err
+		}
+		err = WriteColumn(f, c)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(mw, "column %s\n", c.Name())
+	}
+	if err := mw.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadTable reads a table written by SaveTable. The returned map carries,
+// per hardened column, the positions that failed their load-time AN
+// verification (empty entries are omitted); callers decide whether to
+// repair or refuse. Unprotected columns failing their checksum abort the
+// load - without value-granular detection there is nothing to repair.
+func LoadTable(dir string) (*Table, map[string][]uint64, error) {
+	manifest, err := os.Open(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer manifest.Close()
+	var tableName string
+	var columns []string
+	sc := bufio.NewScanner(manifest)
+	for sc.Scan() {
+		fields := strings.SplitN(sc.Text(), " ", 2)
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("storage: malformed manifest line %q", sc.Text())
+		}
+		switch fields[0] {
+		case "table":
+			tableName = fields[1]
+		case "column":
+			columns = append(columns, fields[1])
+		default:
+			return nil, nil, fmt.Errorf("storage: unknown manifest directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if tableName == "" {
+		return nil, nil, fmt.Errorf("storage: manifest names no table")
+	}
+	t := NewTable(tableName)
+	corrupt := make(map[string][]uint64)
+	for _, name := range columns {
+		f, err := os.Open(filepath.Join(dir, name+".col"))
+		if err != nil {
+			return nil, nil, err
+		}
+		col, bad, err := ReadColumn(f, name)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: loading %s: %w", name, err)
+		}
+		if len(bad) > 0 {
+			corrupt[name] = bad
+		}
+		if err := t.AddColumn(col); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, corrupt, nil
+}

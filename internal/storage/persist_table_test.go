@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+func TestSaveLoadTable(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("orders")
+	qty, _ := NewColumn("qty", TinyInt)
+	price, _ := NewColumn("price", Int)
+	for i := uint64(0); i < 200; i++ {
+		qty.Append(i % 50)
+		price.Append(i * 31)
+	}
+	region := NewStrColumn("region", []string{"ASIA", "EUROPE"}) // 2 rows
+	_ = region
+	for _, c := range []*Column{qty, price} {
+		if err := tb.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hard, err := tb.Harden(LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTable(dir, hard); err != nil {
+		t.Fatal(err)
+	}
+	got, corrupt, err := LoadTable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 0 {
+		t.Fatalf("clean table reported %v", corrupt)
+	}
+	if got.Name() != "orders" || got.Rows() != 200 || len(got.Columns()) != 2 {
+		t.Fatalf("reloaded table %s/%d/%d", got.Name(), got.Rows(), len(got.Columns()))
+	}
+	for i := 0; i < 200; i++ {
+		if got.MustColumn("qty").Value(i) != uint64(i%50) {
+			t.Fatalf("qty %d differs", i)
+		}
+		if got.MustColumn("price").Value(i) != uint64(i*31) {
+			t.Fatalf("price %d differs", i)
+		}
+	}
+	if got.MustColumn("qty").Code().A() != hard.MustColumn("qty").Code().A() {
+		t.Fatal("code lost across the round trip")
+	}
+}
+
+func TestLoadTableSurfacesAtRestCorruption(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("t")
+	v, _ := NewColumn("v", ShortInt)
+	for i := uint64(0); i < 100; i++ {
+		v.Append(i)
+	}
+	h, _ := v.Harden(an.MustNew(63877, 16))
+	if err := tb.AddColumn(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTable(dir, tb); err != nil {
+		t.Fatal(err)
+	}
+	// Flip payload bits in the stored file.
+	path := filepath.Join(dir, "v.col")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 1 << 2
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, corrupt, err := LoadTable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt["v"]) != 1 {
+		t.Fatalf("corrupt map %v", corrupt)
+	}
+	if got.Rows() != 100 {
+		t.Fatal("table truncated")
+	}
+}
+
+func TestLoadTableErrors(t *testing.T) {
+	if _, _, err := LoadTable(t.TempDir()); err == nil {
+		t.Error("missing manifest must error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadTable(dir); err == nil {
+		t.Error("malformed manifest must error")
+	}
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "MANIFEST"), []byte("table t\ncolumn ghost\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadTable(dir2); err == nil {
+		t.Error("missing column file must error")
+	}
+}

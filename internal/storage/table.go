@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+)
+
+// Table groups equally long columns, DSM-style: record i of the table is
+// position i across all columns (Section 4).
+type Table struct {
+	name    string
+	columns []*Column
+	byName  map[string]*Column
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{name: name, byName: make(map[string]*Column)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// AddColumn attaches a column; all columns must have equal length.
+func (t *Table) AddColumn(c *Column) error {
+	if _, dup := t.byName[c.Name()]; dup {
+		return fmt.Errorf("storage: duplicate column %q in table %q", c.Name(), t.name)
+	}
+	if len(t.columns) > 0 && c.Len() != t.columns[0].Len() {
+		return fmt.Errorf("storage: column %q has %d rows, table %q has %d",
+			c.Name(), c.Len(), t.name, t.columns[0].Len())
+	}
+	t.columns = append(t.columns, c)
+	t.byName[c.Name()] = c
+	return nil
+}
+
+// Column returns the named column.
+func (t *Table) Column(name string) (*Column, error) {
+	c, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no column %q in table %q", name, t.name)
+	}
+	return c, nil
+}
+
+// MustColumn is Column but panics on a missing name; query plans use it
+// for statically known schemas.
+func (t *Table) MustColumn(name string) *Column {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Columns returns all columns in attachment order.
+func (t *Table) Columns() []*Column { return t.columns }
+
+// Rows returns the number of records.
+func (t *Table) Rows() int {
+	if len(t.columns) == 0 {
+		return 0
+	}
+	return t.columns[0].Len()
+}
+
+// Bytes returns the summed data-array footprint of all columns plus their
+// dictionaries and string heaps (each counted once). Heaps and
+// dictionaries never grow under hardening - only the fixed-width arrays
+// widen - which is why the end-to-end storage overhead of AHEAD stays
+// well below DMR's 2x (Figure 1b).
+func (t *Table) Bytes() int {
+	total := 0
+	seenDict := make(map[*Dict]bool)
+	seenHeap := make(map[*StringHeap]bool)
+	for _, c := range t.columns {
+		total += c.Bytes()
+		if d := c.Dict(); d != nil && !seenDict[d] {
+			seenDict[d] = true
+			total += d.Bytes()
+		}
+		if h := c.Heap(); h != nil && !seenHeap[h] {
+			seenHeap[h] = true
+			total += h.Bytes()
+		}
+	}
+	return total
+}
+
+// CodeChooser selects the AN code for a column during table hardening.
+// The paper's end-to-end policy (Section 6.2) hardens with the largest
+// known super A for the column's data width; the Figure 8 experiment
+// instead selects the smallest A for a target minimum bit-flip weight.
+type CodeChooser func(dataBits uint) (*an.Code, error)
+
+// LargestCodeChooser picks the largest published super A whose code fits
+// the next native register width, the Section 6 default. Data wider than
+// the published tables (the 48-bit resbig / heap-reference domain) is
+// hardened with the strongest 32-bit constant; like the paper's resbig,
+// its exact minimum-bit-flip-weight guarantee at that width is not
+// published ("tbc" in Table 3), but the code detects every non-multiple.
+func LargestCodeChooser(dataBits uint) (*an.Code, error) {
+	if dataBits > 48 {
+		return nil, fmt.Errorf("storage: no hardening beyond 48-bit data, got %d", dataBits)
+	}
+	if dataBits > 32 {
+		return an.New(32417, dataBits)
+	}
+	budget := dataBits * 2
+	if budget > 64 {
+		budget = 64
+	}
+	return an.LargestKnown(dataBits, budget)
+}
+
+// MinBFWCodeChooser picks the smallest super A guaranteeing the given
+// minimum bit-flip weight (the Figure 8 sweep). Widths beyond the
+// published tables reuse the 32-bit constant with the caveat described at
+// LargestCodeChooser.
+func MinBFWCodeChooser(minBFW int) CodeChooser {
+	return func(dataBits uint) (*an.Code, error) {
+		if dataBits > 32 && dataBits <= 48 {
+			a, ok := an.SuperA(32, minBFW)
+			if !ok {
+				return nil, fmt.Errorf("storage: no published A for min bfw %d at wide data", minBFW)
+			}
+			return an.New(a, dataBits)
+		}
+		return an.ForMinBFW(dataBits, minBFW)
+	}
+}
+
+// Harden returns a hardened copy of the table: every column encoded with
+// the code the chooser assigns to its data width. Dictionaries are shared
+// with the source table (they are immutable).
+func (t *Table) Harden(choose CodeChooser) (*Table, error) {
+	out := NewTable(t.name)
+	for _, c := range t.columns {
+		bits := c.Kind().DataBits()
+		if c.Kind() == Str {
+			bits = c.Dict().Bits()
+			// Dictionary codes harden at their byte-compressed width so
+			// the table keeps one code per width class.
+			w, err := widthForBits(bits)
+			if err != nil {
+				return nil, err
+			}
+			bits = uint(w) * 8
+		}
+		if bits > 48 {
+			bits = 48 // resbig and heap-reference limit (Section 6.1)
+		}
+		code, err := choose(bits)
+		if err != nil {
+			return nil, fmt.Errorf("storage: hardening %s.%s: %w", t.name, c.Name(), err)
+		}
+		hc, err := c.Harden(code)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddColumn(hc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Replicate returns a deep copy of the table's columns - the second
+// replica DMR keeps in a distinct memory region.
+func (t *Table) Replicate() (*Table, error) {
+	out := NewTable(t.name)
+	for _, c := range t.columns {
+		cp := &Column{name: c.name, kind: c.kind, width: c.width, code: c.code, dict: c.dict, heap: c.heap}
+		cp.u8 = append([]uint8(nil), c.u8...)
+		cp.u16 = append([]uint16(nil), c.u16...)
+		cp.u32 = append([]uint32(nil), c.u32...)
+		cp.u64 = append([]uint64(nil), c.u64...)
+		if err := out.AddColumn(cp); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

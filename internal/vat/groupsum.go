@@ -1,0 +1,140 @@
+package vat
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+	"ahead/internal/hashmap"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// DimAttr names one group attribute reached through a dimension join: for
+// every surviving fact row, FK is probed against HT (decoded key ->
+// build position, an ops.HashBuild table) and Attr is fetched at the
+// matched position.
+type DimAttr struct {
+	FK   *storage.Column
+	HT   *hashmap.U64
+	Attr *storage.Column
+}
+
+// GroupSum is the vectorized grouped-aggregation sink: it drains the
+// pipeline batch by batch, resolves the group attributes through the
+// dimension tables, and accumulates the hardened (or plain) measure per
+// group - the vector-at-a-time form of the ops.GroupBy + ops.SumGrouped
+// tail. Group keys pack 16 bits per component like the column-at-a-time
+// engine. It returns the decoded group tuples and sums.
+func GroupSum(in Operator, dims []DimAttr, measure *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	if len(dims) == 0 || len(dims) > 4 {
+		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", len(dims))
+	}
+	detect := o.detect()
+	log := o.log()
+	mCode := measure.Code()
+	var acc *an.Code
+	if mCode != nil {
+		acc, err = an.New(mCode.A(), 48)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	ht := hashmap.New(1024)
+	var rawSums []uint64
+	pos := make([]uint32, VectorSize)
+	for {
+		n, done, err := in.Next(pos)
+		if err != nil {
+			return nil, nil, err
+		}
+	rows:
+		for _, p := range pos[:n] {
+			var packed uint64
+			tuple := make([]uint64, len(dims))
+			for c, dim := range dims {
+				fkv := dim.FK.Get(int(p))
+				if code := dim.FK.Code(); code != nil {
+					d, ok := code.Check(fkv)
+					if !ok {
+						if detect && log != nil {
+							log.Record(dim.FK.Name(), uint64(p))
+						}
+						continue rows
+					}
+					fkv = d
+				}
+				bp, hit := dim.HT.Get(fkv)
+				if !hit {
+					// The pipeline's semijoins guarantee membership;
+					// a miss here means the FK flipped after the join
+					// under late detection - drop the row silently,
+					// exactly the documented caveat.
+					continue rows
+				}
+				av := dim.Attr.Get(int(bp))
+				if code := dim.Attr.Code(); code != nil {
+					d, ok := code.Check(av)
+					if !ok {
+						if detect && log != nil {
+							log.Record(dim.Attr.Name(), uint64(bp))
+						}
+						continue rows
+					}
+					av = d
+				}
+				if av >= 1<<16 {
+					return nil, nil, fmt.Errorf("vat: group component %q value %d exceeds 16 bits", dim.Attr.Name(), av)
+				}
+				tuple[c] = av
+				packed |= av << (16 * uint(c))
+			}
+			mv := measure.Get(int(p))
+			if mCode != nil && detect {
+				if _, ok := mCode.Check(mv); !ok {
+					if log != nil {
+						log.Record(measure.Name(), uint64(p))
+					}
+					continue rows
+				}
+			}
+			gid, inserted := ht.GetOrInsert(packed, uint32(len(groups)))
+			if inserted {
+				groups = append(groups, tuple)
+				rawSums = append(rawSums, 0)
+			}
+			rawSums[gid] += mv // hardened: (Σd)·A under the widened code
+		}
+		if done {
+			break
+		}
+	}
+
+	sums = make([]uint64, len(rawSums))
+	for g, s := range rawSums {
+		if acc == nil {
+			sums[g] = s
+			continue
+		}
+		d, ok := acc.Check(s)
+		if !ok {
+			if detect && log != nil {
+				log.Record(ops.VecLogName("sum("+measure.Name()+")"), uint64(g))
+			}
+			continue
+		}
+		sums[g] = d
+	}
+	return groups, sums, nil
+}
+
+// GroupSumResult canonicalizes GroupSum output into the shared Result
+// form so the two engines' answers compare directly.
+func GroupSumResult(groups [][]uint64, sums []uint64) (*ops.Result, error) {
+	if len(groups) != len(sums) {
+		return nil, fmt.Errorf("vat: %d groups vs %d sums", len(groups), len(sums))
+	}
+	r := &ops.Result{Keys: groups, Aggs: sums}
+	r.Sort()
+	return r, nil
+}

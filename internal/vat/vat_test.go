@@ -1,0 +1,194 @@
+package vat
+
+import (
+	"testing"
+
+	"ahead/internal/an"
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+	"ahead/internal/ssb"
+	"ahead/internal/storage"
+)
+
+// q1Pipeline runs the Q1.1 flight through the vector-at-a-time engine
+// over the given physical tables (plain or hardened).
+func q1Pipeline(t *testing.T, lineorder, date *storage.Table, o *Opts) uint64 {
+	t.Helper()
+	// Build the date hash set with the column-at-a-time machinery (the
+	// build side is tiny; both engines share it).
+	opsOpts := &ops.Opts{Detect: o.detect(), Log: o.log()}
+	yearSel, err := ops.Filter(date.MustColumn("d_year"), 1993, 1993, opsOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := ops.HashBuild(date.MustColumn("d_datekey"), yearSel, opsOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scan, err := NewScan(lineorder.MustColumn("lo_discount"), 1, 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filt, err := NewFilter(scan, lineorder.MustColumn("lo_quantity"), 0, 24, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := NewSemiJoin(filt, lineorder.MustColumn("lo_orderdate"), ht, o)
+	sum, _, err := SumProduct(join, lineorder.MustColumn("lo_extendedprice"), lineorder.MustColumn("lo_discount"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func TestVATAgreesWithColumnAtATime(t *testing.T) {
+	data, err := ssb.Generate(0.004, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := exec.Run(db, exec.Unprotected, ops.Scalar, ssb.Queries["Q1.1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Aggs[0]
+	if want == 0 {
+		t.Fatal("degenerate workload")
+	}
+
+	// Unprotected vector-at-a-time.
+	got := q1Pipeline(t, db.Plain("lineorder"), db.Plain("date"), &Opts{})
+	if got != want {
+		t.Fatalf("unprotected VAT = %d, want %d", got, want)
+	}
+	// Hardened, late (no per-value checks).
+	got = q1Pipeline(t, db.Hardened("lineorder"), db.Hardened("date"), &Opts{})
+	if got != want {
+		t.Fatalf("late VAT = %d, want %d", got, want)
+	}
+	// Hardened, continuous.
+	log := ops.NewErrorLog()
+	got = q1Pipeline(t, db.Hardened("lineorder"), db.Hardened("date"), &Opts{Detect: true, Log: log})
+	if got != want {
+		t.Fatalf("continuous VAT = %d, want %d", got, want)
+	}
+	if log.Count() != 0 {
+		t.Fatalf("clean data logged %d", log.Count())
+	}
+}
+
+func TestVATContinuousDetection(t *testing.T) {
+	data, err := ssb.Generate(0.004, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := db.Hardened("lineorder")
+	// Flip bits in the scanned filter column: the source operator is the
+	// first to touch them.
+	disc := lo.MustColumn("lo_discount")
+	disc.Corrupt(100, 1<<4)
+	disc.Corrupt(2000, 1<<9)
+	log := ops.NewErrorLog()
+	q1Pipeline(t, lo, db.Hardened("date"), &Opts{Detect: true, Log: log})
+	pos, err := log.Positions("lo_discount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 2 || pos[0] != 100 || pos[1] != 2000 {
+		t.Fatalf("positions %v", pos)
+	}
+	// Without detection the flips pass silently (the late caveat).
+	log2 := ops.NewErrorLog()
+	q1Pipeline(t, lo, db.Hardened("date"), &Opts{Log: log2})
+	if log2.Count() != 0 {
+		t.Fatal("late VAT must not detect")
+	}
+}
+
+func TestOperatorEdgeCases(t *testing.T) {
+	col, err := storage.NewColumn("v", storage.TinyInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ { // spans several batches
+		col.Append(uint64(i % 100))
+	}
+	// Inverted range: empty scan.
+	scan, err := NewScan(col, 5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]uint32, VectorSize)
+	n, done, err := scan.Next(pos)
+	if err != nil || n != 0 || !done {
+		t.Fatalf("inverted scan: n=%d done=%v err=%v", n, done, err)
+	}
+	// Bounds clamp: hi beyond the width selects everything.
+	scan, _ = NewScan(col, 0, 1<<40, nil)
+	total := 0
+	for {
+		n, done, err := scan.Next(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		if done {
+			break
+		}
+	}
+	if total != 3000 {
+		t.Fatalf("clamped scan selected %d", total)
+	}
+	// Filter that drains multiple upstream batches before producing.
+	scan, _ = NewScan(col, 0, 99, nil)
+	filt, err := NewFilter(scan, col, 99, 99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for {
+		n, done, err := filt.Next(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		if done {
+			break
+		}
+	}
+	if total != 30 {
+		t.Fatalf("selective filter found %d, want 30", total)
+	}
+}
+
+func TestSumProductRejectsMixedHardening(t *testing.T) {
+	plain, _ := storage.NewColumn("a", storage.TinyInt)
+	plain.Append(1)
+	other, _ := storage.NewColumn("b", storage.TinyInt)
+	other.Append(2)
+	hardened, err := other.Harden(mustCode(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := NewScan(plain, 0, 255, nil)
+	if _, _, err := SumProduct(scan, plain, hardened, nil); err == nil {
+		t.Fatal("mixed hardening must error")
+	}
+}
+
+func mustCode(t *testing.T) *an.Code {
+	t.Helper()
+	c, err := storage.LargestCodeChooser(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
