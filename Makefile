@@ -1,0 +1,33 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# targets.
+
+GO ?= go
+
+.PHONY: all build test race lint bench-smoke clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The morsel-parallel layer's acceptance gate: everything race-clean.
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# One iteration of every benchmark, plus the serial-vs-parallel SSB
+# comparison that asserts bit-identical results and error logs.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/ahead-ssb -sf 0.01 -runs 1 -compare -parallel 0 \
+		-json ssb-timings.json
+
+clean:
+	rm -f ssb-timings.json

@@ -10,6 +10,12 @@
 // curves flatten beyond that as the loops go memory-bound); Hamming and
 // CRC report scalar and blocked kernels (see DESIGN.md on the SIMD
 // substitution).
+//
+// -fig 12 (also part of the default run) measures the morsel-driven
+// parallel scaling of the continuous-detection filter: one hardened
+// column scanned serially and on worker pools of growing size, with the
+// selection vectors and detected-error positions verified identical at
+// every pool size. -parallel caps the largest pool (0 = GOMAXPROCS).
 package main
 
 import (
@@ -18,15 +24,21 @@ import (
 	"math/big"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"ahead/internal/an"
 	"ahead/internal/coding"
+	"ahead/internal/exec"
+	"ahead/internal/faults"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (9 or 10; 0 = both)")
+	fig := flag.Int("fig", 0, "figure to regenerate (9, 10 or 12; 0 = all)")
 	n := flag.Int("n", 1<<22, "number of 16-bit values per measurement")
+	par := flag.Int("parallel", 0, "largest worker pool for -fig 12 (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *fig == 0 || *fig == 9 {
@@ -37,6 +49,12 @@ func main() {
 	}
 	if *fig == 0 || *fig == 10 {
 		figure10()
+	}
+	if *fig == 0 || *fig == 12 {
+		if err := morselScaling(*n, *par); err != nil {
+			fmt.Fprintln(os.Stderr, "ahead-micro:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -179,6 +197,102 @@ func figure10() {
 	fmt.Printf("%-8d %14s %14s %16.1f\n", 127, "-", "-", float64(dB.Nanoseconds())/bigIters)
 	fmt.Println("\n(paper: sub-microsecond per inverse across all widths - on-the-fly")
 	fmt.Println(" computation at query time is viable; the same holds here)")
+}
+
+// morselScaling measures the continuous-detection filter over one
+// hardened column, serial vs morsel-parallel at growing pool sizes. A few
+// injected bit flips keep the error vectors non-empty, so the check also
+// covers the log-merge invariant: every pool size must report the exact
+// serial positions.
+func morselScaling(n, par int) error {
+	maxWorkers := par
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("== Morsel scaling: continuous-detection filter over %d hardened 16-bit values ==\n", n)
+	code, err := an.New(63877, 16)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(13))
+	plain, err := storage.NewColumn("v", storage.ShortInt)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		plain.Append(uint64(rng.Uint32()) & 0xFFFF)
+	}
+	col, err := plain.Harden(code)
+	if err != nil {
+		return err
+	}
+	inj := faults.NewInjector(17)
+	if _, err := inj.FlipRandom(col, 8, 1); err != nil {
+		return err
+	}
+
+	const lo, hi = uint64(0x2000), uint64(0xA000)
+	measure := func(pool *exec.Pool) (*ops.Sel, *ops.ErrorLog, time.Duration, error) {
+		var sel *ops.Sel
+		var log *ops.ErrorLog
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < 3; r++ {
+			log = ops.NewErrorLog()
+			o := &ops.Opts{Detect: true, Flavor: ops.Blocked, Log: log}
+			if pool != nil {
+				o.Par = pool
+			}
+			start := time.Now()
+			s, err := ops.Filter(col, lo, hi, o)
+			d := time.Since(start)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			sel = s
+			if d < best {
+				best = d
+			}
+		}
+		return sel, log, best, nil
+	}
+
+	baseSel, baseLog, baseDur, err := measure(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %12s %9s %7s\n", "workers", "filter[ms]", "speedup", "check")
+	fmt.Printf("%-8s %12.2f %8.2fx %7s\n", "serial", ms(baseDur), 1.0, "-")
+	for w := 2; w <= maxWorkers; w *= 2 {
+		pool := exec.NewPool(w)
+		sel, log, dur, err := measure(pool)
+		pool.Close()
+		if err != nil {
+			return err
+		}
+		if !selEqual(baseSel, sel) {
+			return fmt.Errorf("ahead-micro: %d-worker selection diverges from serial", w)
+		}
+		if !baseLog.Equal(log) {
+			return fmt.Errorf("ahead-micro: %d-worker error log diverges from serial", w)
+		}
+		fmt.Printf("%-8d %12.2f %8.2fx %7s\n", w, ms(dur), float64(baseDur)/float64(dur), "OK")
+	}
+	fmt.Printf("\n(%d injected flips; every pool size reproduced the serial selection\n", baseLog.Count())
+	fmt.Println(" and the serial error-vector positions exactly)")
+	fmt.Println()
+	return nil
+}
+
+func selEqual(a, b *ops.Sel) bool {
+	if len(a.Pos) != len(b.Pos) || a.Hardened != b.Hardened {
+		return false
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func bigOdd(rng *rand.Rand, width uint, count int) []*big.Int {

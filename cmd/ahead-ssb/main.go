@@ -10,6 +10,13 @@
 //
 // -sf scales the data (1.0 = 6M lineorder rows; default 0.05 keeps a laptop
 // run in seconds), -runs averages repeated executions per measurement.
+//
+// -parallel n runs the queries morsel-parallel on a pool of n workers
+// (0 = GOMAXPROCS, 1 = serial). -compare measures every query and mode
+// both serially and on the pool, prints the speedups, and verifies that
+// results and detected-error logs are bit-identical - exiting nonzero on
+// any divergence (the CI acceptance check). -json writes the
+// measurements to a file for the benchmark artifact.
 package main
 
 import (
@@ -28,24 +35,37 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions per measurement")
 	seed := flag.Int64("seed", 1, "generator seed")
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 6, 7, 8, 11; 0 = all)")
+	par := flag.Int("parallel", 1, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	compare := flag.Bool("compare", false, "compare serial vs parallel execution and verify identical output")
+	jsonPath := flag.String("json", "", "write timing measurements as JSON to this file")
 	flag.Parse()
 
-	if err := run(*sf, *seed, *runs, *fig); err != nil {
+	if err := run(*sf, *seed, *runs, *fig, *par, *compare, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ahead-ssb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed int64, runs, fig int) error {
+func run(sf float64, seed int64, runs, fig, par int, compare bool, jsonPath string) error {
 	fmt.Printf("Generating SSB data at sf=%v ...\n", sf)
 	suite, data, err := ssb.NewSuite(sf, seed, runs)
 	if err != nil {
 		return err
 	}
+	defer suite.Close()
 	for t, n := range data.Rows() {
 		fmt.Printf("  %-10s %8d rows\n", t, n)
 	}
 	fmt.Println()
+
+	if compare {
+		return runCompare(suite, par, jsonPath)
+	}
+	if par != 1 {
+		suite.WithParallelism(par)
+		fmt.Printf("Worker pool: %d workers, %d-value morsels\n\n",
+			suite.Workers(), suite.Pool().MorselSize())
+	}
 
 	all := fig == 0
 	if all || fig == 1 {
@@ -73,6 +93,63 @@ func run(sf float64, seed int64, runs, fig int) error {
 			return err
 		}
 	}
+	if jsonPath != "" {
+		ms, err := suite.RunAll(ops.Blocked)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(jsonPath, ms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCompare measures every query under every mode serially and on the
+// pool, prints the per-configuration speedup, and verifies the parallel
+// results and error logs are identical to the serial ones.
+func runCompare(suite *ssb.Suite, par int, jsonPath string) error {
+	if par == 1 {
+		return fmt.Errorf("-compare needs a worker pool; pass -parallel 0 (GOMAXPROCS) or >= 2")
+	}
+	serial, err := suite.RunAll(ops.Blocked)
+	if err != nil {
+		return err
+	}
+	suite.WithParallelism(par)
+	fmt.Printf("== Serial vs parallel (blocked flavor, %d workers, %d-value morsels) ==\n",
+		suite.Workers(), suite.Pool().MorselSize())
+	parallel, err := suite.RunAll(ops.Blocked)
+	if err != nil {
+		return err
+	}
+	// RunAll emits in fixed QueryNames x Modes order, so the slices align.
+	fmt.Printf("%-6s %-14s %12s %12s %9s\n", "query", "mode", "serial[ms]", "parallel[ms]", "speedup")
+	for i, sm := range serial {
+		pm := parallel[i]
+		fmt.Printf("%-6s %-14s %12.2f %12.2f %8.2fx\n",
+			sm.Query, sm.Mode.String(), sm.Nanos/1e6, pm.Nanos/1e6, sm.Nanos/pm.Nanos)
+	}
+	fmt.Println()
+	if err := suite.VerifySerialParallel(ops.Blocked, nil); err != nil {
+		return fmt.Errorf("serial/parallel verification FAILED: %w", err)
+	}
+	fmt.Println("verification OK: parallel results and error logs identical to serial for all queries and modes")
+	if jsonPath != "" {
+		return writeJSON(jsonPath, append(serial, parallel...))
+	}
+	return nil
+}
+
+func writeJSON(path string, ms []ssb.Measurement) error {
+	data, err := ssb.MeasurementsJSON(ms)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d measurements to %s\n", len(ms), path)
 	return nil
 }
 

@@ -245,14 +245,56 @@ func (db *DB) RepairHardened(table, column string, log *ops.ErrorLog) (int, erro
 // against the mode-specific view a Query provides.
 type QueryFunc func(q *Query) (*ops.Result, error)
 
+// RunOption tunes one query execution.
+type RunOption func(*runCfg)
+
+type runCfg struct {
+	pool      *Pool
+	transient bool
+}
+
+// WithPool attaches a shared worker pool: the AN-aware kernels run
+// morsel-parallel on it, and DMR/TMR replicas execute as independent
+// pool jobs voting at the barrier. One pool amortizes across many runs
+// (the SSB harness holds one for the whole suite).
+func WithPool(p *Pool) RunOption {
+	return func(c *runCfg) { c.pool = p }
+}
+
+// WithParallelism runs the query on a transient pool of n workers
+// (n <= 0 means GOMAXPROCS, n == 1 stays serial) that is torn down when
+// the run returns. Repeated runs should share a pool via WithPool
+// instead.
+func WithParallelism(n int) RunOption {
+	return func(c *runCfg) {
+		if n == 1 {
+			return
+		}
+		c.pool = NewPool(n)
+		c.transient = true
+	}
+}
+
 // Run executes the plan under the given mode and flavor. For DMR it runs
 // the plan on both replicas and votes. The returned ErrorLog carries the
 // error vectors the AN-aware operators filled (empty without induced
-// faults).
-func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc) (*ops.Result, *ops.ErrorLog, error) {
+// faults); parallel execution merges per-morsel and per-replica logs in
+// input order, so the log is position-identical to a serial run.
+func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (*ops.Result, *ops.ErrorLog, error) {
+	var cfg runCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.transient {
+		defer cfg.pool.Close()
+	}
+	pool := cfg.pool
 	log := ops.NewErrorLog()
 	switch m {
 	case DMR:
+		if pool != nil && pool.Workers() > 1 {
+			return runReplicated(db, m, flavor, plan, pool, log, 2)
+		}
 		q1 := &Query{db: db, mode: m, flavor: flavor, log: log}
 		r1, err := plan(q1)
 		if err != nil {
@@ -268,6 +310,9 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc) (*ops.Result, *ops.E
 		}
 		return r1, log, nil
 	case TMR:
+		if pool != nil && pool.Workers() > 1 {
+			return runReplicated(db, m, flavor, plan, pool, log, 3)
+		}
 		results := make([]*ops.Result, 3)
 		for i := range results {
 			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i}
@@ -277,19 +322,62 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc) (*ops.Result, *ops.E
 			}
 			results[i] = r
 		}
-		// Majority vote: any two agreeing replicas mask the third.
-		switch {
-		case results[0].Equal(results[1]):
-			return results[0], log, nil
-		case results[0].Equal(results[2]) || results[1].Equal(results[2]):
-			return results[2], log, nil
-		default:
-			return nil, log, fmt.Errorf("exec: TMR voter found no majority among three replicas")
-		}
+		return voteTMR(results, log)
 	default:
-		q := &Query{db: db, mode: m, flavor: flavor, log: log}
+		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool}
 		r, err := plan(q)
 		return r, log, err
+	}
+}
+
+// runReplicated executes n replica plans as independent pool jobs and
+// votes at the barrier. Every replica runs against its own data copy
+// with a private error log; the logs merge in replica order, matching
+// the serial replica-after-replica execution exactly. The replica
+// queries keep the pool, so each replica's kernels additionally run
+// morsel-parallel - the two levels share the worker set through work
+// stealing.
+func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool, log *ops.ErrorLog, n int) (*ops.Result, *ops.ErrorLog, error) {
+	results := make([]*ops.Result, n)
+	errs := make([]error, n)
+	logs := make([]*ops.ErrorLog, n)
+	jobs := make([]func(), n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() {
+			logs[i] = ops.NewErrorLog()
+			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool}
+			results[i], errs[i] = plan(q)
+		}
+	}
+	pool.Jobs(jobs...)
+	for _, l := range logs {
+		log.Merge(l)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, log, err
+		}
+	}
+	if n == 2 {
+		if err := ops.Vote(results[0], results[1]); err != nil {
+			return results[0], log, err
+		}
+		return results[0], log, nil
+	}
+	return voteTMR(results, log)
+}
+
+// voteTMR applies the majority vote: any two agreeing replicas mask the
+// third.
+func voteTMR(results []*ops.Result, log *ops.ErrorLog) (*ops.Result, *ops.ErrorLog, error) {
+	switch {
+	case results[0].Equal(results[1]):
+		return results[0], log, nil
+	case results[0].Equal(results[2]) || results[1].Equal(results[2]):
+		return results[2], log, nil
+	default:
+		return nil, log, fmt.Errorf("exec: TMR voter found no majority among three replicas")
 	}
 }
 
@@ -301,6 +389,7 @@ type Query struct {
 	log        *ops.ErrorLog
 	replicaIdx int // 0 = primary, 1/2 = DMR/TMR replicas
 	deltaCache map[string]*storage.Column
+	pool       *Pool
 }
 
 // Mode returns the execution mode.
@@ -309,16 +398,25 @@ func (q *Query) Mode() Mode { return q.mode }
 // Log returns the query's error log.
 func (q *Query) Log() *ops.ErrorLog { return q.log }
 
+// Pool returns the worker pool the query runs on (nil when serial).
+func (q *Query) Pool() *Pool { return q.pool }
+
 // Opts returns the operator options implementing the mode's detection
 // behaviour.
 func (q *Query) Opts() *ops.Opts {
 	detect := q.mode == Continuous || q.mode == ContinuousReencoding
-	return &ops.Opts{
+	o := &ops.Opts{
 		Detect:    detect,
 		HardenIDs: detect,
 		Flavor:    q.flavor,
 		Log:       q.log,
 	}
+	// Assign through a typed check so a nil *Pool never becomes a
+	// non-nil Parallel interface value.
+	if q.pool != nil {
+		o.Par = q.pool
+	}
+	return o
 }
 
 // Col returns the physical column a plan must use for table.column under

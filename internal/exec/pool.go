@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselSize is the number of values per morsel. 64K values keeps
+// a morsel's working set inside the L2 cache at every column width the
+// engine stores (1-8 bytes per value) while leaving enough morsels per
+// SSB column for the stealing to balance skew.
+const DefaultMorselSize = 64 * 1024
+
+// Pool is the shared morsel scheduler: a fixed set of workers, one
+// mutex-guarded deque per worker, and work stealing between them.
+// Morsel-driven parallelism (Leis et al., the execution model AHEAD's
+// overhead argument presumes) splits every kernel's input into fixed-size
+// value ranges; a kernel dispatches its morsels round-robin across the
+// worker queues, the submitting goroutine participates in draining its
+// own task set, and idle workers steal from the front of busy workers'
+// queues. Caller participation makes nested submission safe: a worker
+// that submits a task set from inside a task (the DMR replica jobs do)
+// drains it itself when every other worker is busy, so the pool cannot
+// deadlock on nesting.
+//
+// Pool implements ops.Parallel; attach one to a query with WithPool (or
+// a transient one with WithParallelism).
+type Pool struct {
+	workers []*pworker
+	morsel  int
+	notify  chan struct{}
+	quit    chan struct{}
+	next    atomic.Uint64 // round-robin dispatch cursor
+	closed  atomic.Bool
+}
+
+// pworker is one worker's state. The owner pops from the tail (LIFO
+// keeps a worker on the cache-warm end of its run of morsels); thieves
+// steal from the head (FIFO takes the coldest, largest-remaining run).
+type pworker struct {
+	mu    sync.Mutex
+	queue []ptask
+}
+
+// ptask is one scheduled morsel (or replica job) of a task set.
+type ptask struct {
+	set        *taskSet
+	morsel     int
+	start, end int
+}
+
+// taskSet is one ForEach/Jobs submission: the shared kernel closure and
+// the completion barrier.
+type taskSet struct {
+	fn      func(morsel, start, end int)
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// NewPool starts a pool of n workers; n <= 0 means GOMAXPROCS. Morsels
+// default to DefaultMorselSize values.
+func NewPool(n int) *Pool {
+	return NewPoolMorsel(n, DefaultMorselSize)
+}
+
+// NewPoolMorsel is NewPool with an explicit morsel size (tests shrink it
+// to force many morsels onto few workers).
+func NewPoolMorsel(n, morselSize int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if morselSize <= 0 {
+		morselSize = DefaultMorselSize
+	}
+	p := &Pool{
+		workers: make([]*pworker, n),
+		morsel:  morselSize,
+		notify:  make(chan struct{}, n),
+		quit:    make(chan struct{}),
+	}
+	for i := range p.workers {
+		p.workers[i] = &pworker{}
+	}
+	for i := range p.workers {
+		go p.run(i)
+	}
+	return p
+}
+
+// Workers returns the worker count (ops.Parallel).
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// MorselSize returns the values-per-morsel granularity (ops.Parallel).
+func (p *Pool) MorselSize() int { return p.morsel }
+
+// Close stops the workers. Queued task sets must have completed; ForEach
+// and Jobs must not be called after Close.
+func (p *Pool) Close() {
+	if p != nil && p.closed.CompareAndSwap(false, true) {
+		close(p.quit)
+	}
+}
+
+// ForEach splits [0, total) into morsels and runs fn once per morsel,
+// returning when all morsels have finished. Morsel indices are dense:
+// morsel m covers [m*MorselSize, min((m+1)*MorselSize, total)), so
+// callers can collect per-morsel partial states into a slice and merge
+// them in morsel order (ops.Parallel).
+func (p *Pool) ForEach(total int, fn func(morsel, start, end int)) {
+	if total <= 0 {
+		return
+	}
+	ms := p.morsel
+	count := (total + ms - 1) / ms
+	p.runSet(count, fn, func(m int) (int, int) {
+		start := m * ms
+		return start, min(start+ms, total)
+	})
+}
+
+// Jobs runs the given functions as independent pool jobs and waits for
+// all of them - the replicated-execution barrier DMR/TMR vote at.
+func (p *Pool) Jobs(fns ...func()) {
+	p.runSet(len(fns), func(m, _, _ int) { fns[m]() }, func(m int) (int, int) {
+		return m, m + 1
+	})
+}
+
+// runSet dispatches count tasks across the worker deques and
+// participates in draining them until the whole set is done.
+func (p *Pool) runSet(count int, fn func(morsel, start, end int), span func(m int) (start, end int)) {
+	if count <= 0 {
+		return
+	}
+	if p == nil || len(p.workers) < 2 || count == 1 {
+		for m := 0; m < count; m++ {
+			s, e := span(m)
+			fn(m, s, e)
+		}
+		return
+	}
+	set := &taskSet{fn: fn, done: make(chan struct{})}
+	set.pending.Store(int64(count))
+	base := int(p.next.Add(1) % uint64(len(p.workers)))
+	for m := 0; m < count; m++ {
+		s, e := span(m)
+		w := p.workers[(base+m)%len(p.workers)]
+		w.mu.Lock()
+		w.queue = append(w.queue, ptask{set: set, morsel: m, start: s, end: e})
+		w.mu.Unlock()
+		select {
+		case p.notify <- struct{}{}:
+		default:
+		}
+	}
+	// Participate: drain this set's remaining tasks, then wait for the
+	// ones other workers already popped.
+	for {
+		t, ok := p.grabSet(set)
+		if !ok {
+			break
+		}
+		p.execTask(t)
+	}
+	<-set.done
+}
+
+// run is the worker loop: drain the queues, sleep when empty.
+func (p *Pool) run(self int) {
+	for {
+		t, ok := p.grab(self)
+		if !ok {
+			select {
+			case <-p.notify:
+				continue
+			case <-p.quit:
+				return
+			}
+		}
+		p.execTask(t)
+	}
+}
+
+func (p *Pool) execTask(t ptask) {
+	t.set.fn(t.morsel, t.start, t.end)
+	if t.set.pending.Add(-1) == 0 {
+		close(t.set.done)
+	}
+}
+
+// grab pops from the worker's own tail or steals from another head.
+func (p *Pool) grab(self int) (ptask, bool) {
+	w := p.workers[self]
+	w.mu.Lock()
+	if n := len(w.queue); n > 0 {
+		t := w.queue[n-1]
+		w.queue = w.queue[:n-1]
+		w.mu.Unlock()
+		return t, true
+	}
+	w.mu.Unlock()
+	for i := 1; i < len(p.workers); i++ {
+		v := p.workers[(self+i)%len(p.workers)]
+		v.mu.Lock()
+		if len(v.queue) > 0 {
+			t := v.queue[0]
+			v.queue = v.queue[:copy(v.queue, v.queue[1:])]
+			v.mu.Unlock()
+			return t, true
+		}
+		v.mu.Unlock()
+	}
+	return ptask{}, false
+}
+
+// grabSet removes one still-queued task of the given set, newest first.
+func (p *Pool) grabSet(set *taskSet) (ptask, bool) {
+	for _, w := range p.workers {
+		w.mu.Lock()
+		for i := len(w.queue) - 1; i >= 0; i-- {
+			if w.queue[i].set == set {
+				t := w.queue[i]
+				w.queue = append(w.queue[:i], w.queue[i+1:]...)
+				w.mu.Unlock()
+				return t, true
+			}
+		}
+		w.mu.Unlock()
+	}
+	return ptask{}, false
+}

@@ -39,11 +39,62 @@ func GroupBy(keys []*Vec, o *Opts) (gids []uint32, groups [][]uint64, err error)
 			return nil, nil, fmt.Errorf("ops: group-by key vectors of unequal length")
 		}
 	}
+	if p := o.par(n); p != nil {
+		parts, err := runMorsels(p, n, o.log(), func(log *ErrorLog, start, end int) (groupByPart, error) {
+			return groupByRange(keys, o, log, start, end)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Merge the per-morsel group tables in morsel order: every local
+		// first occurrence maps onto a global dense id via one shared
+		// table, which reproduces the serial first-occurrence order
+		// because morsels tile the rows left to right.
+		gids = make([]uint32, n)
+		global := hashmap.New(1024)
+		ms := p.MorselSize()
+		for m, part := range parts {
+			remap := make([]uint32, len(part.packed))
+			for li, pk := range part.packed {
+				id, inserted := global.GetOrInsert(pk, uint32(len(groups)))
+				if inserted {
+					groups = append(groups, part.groups[li])
+				}
+				remap[li] = id
+			}
+			off := m * ms
+			for j, lg := range part.gids {
+				if lg == ^uint32(0) {
+					gids[off+j] = lg
+				} else {
+					gids[off+j] = remap[lg]
+				}
+			}
+		}
+		return gids, groups, nil
+	}
+	part, err := groupByRange(keys, o, o.log(), 0, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return part.gids, part.groups, nil
+}
+
+// groupByPart is one morsel's local group table: per-row local ids
+// (^uint32(0) for corrupted keys), and per local group - in
+// first-occurrence order - the packed key and the decoded tuple.
+type groupByPart struct {
+	gids   []uint32
+	packed []uint64
+	groups [][]uint64
+}
+
+// groupByRange is the morsel kernel of GroupBy over rows [start, end).
+func groupByRange(keys []*Vec, o *Opts, log *ErrorLog, start, end int) (groupByPart, error) {
 	detect := o.detect()
-	log := o.log()
-	gids = make([]uint32, n)
+	part := groupByPart{gids: make([]uint32, end-start)}
 	ht := hashmap.New(1024)
-	for i := 0; i < n; i++ {
+	for i := start; i < end; i++ {
 		var packed uint64
 		bad := false
 		tuple := make([]uint64, len(keys))
@@ -60,22 +111,23 @@ func GroupBy(keys []*Vec, o *Opts) (gids []uint32, groups [][]uint64, err error)
 				v = k.Value(i)
 			}
 			if v >= 1<<16 {
-				return nil, nil, fmt.Errorf("ops: group key component %q value %d exceeds 16 bits", k.Name, v)
+				return groupByPart{}, fmt.Errorf("ops: group key component %q value %d exceeds 16 bits", k.Name, v)
 			}
 			tuple[c] = v
 			packed |= v << (16 * uint(c))
 		}
 		if bad {
-			gids[i] = ^uint32(0)
+			part.gids[i-start] = ^uint32(0)
 			continue
 		}
-		id, inserted := ht.GetOrInsert(packed, uint32(len(groups)))
+		id, inserted := ht.GetOrInsert(packed, uint32(len(part.groups)))
 		if inserted {
-			groups = append(groups, tuple)
+			part.groups = append(part.groups, tuple)
+			part.packed = append(part.packed, packed)
 		}
-		gids[i] = id
+		part.gids[i-start] = id
 	}
-	return gids, groups, nil
+	return part, nil
 }
 
 // SumGrouped sums the value vector per group id. Hardened vectors are
@@ -96,12 +148,48 @@ func SumGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) 
 	out := &Vec{Name: "sum(" + vals.Name + ")", Vals: make([]uint64, numGroups), Code: acc}
 	detect := o.detect()
 	log := o.log()
-	for i, g := range gids {
+	if p := o.par(vals.Len()); p != nil {
+		parts, err := runMorsels(p, vals.Len(), log, func(plog *ErrorLog, start, end int) ([]uint64, error) {
+			part := make([]uint64, numGroups)
+			if err := sumGroupedRange(vals, gids, part, numGroups, o, plog, start, end); err != nil {
+				return nil, err
+			}
+			return part, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Raw code words add in the 64-bit ring, so per-morsel partial
+		// sums merge by addition into exactly the serial totals (Eq. 5).
+		for _, part := range parts {
+			for g, s := range part {
+				out.Vals[g] += s
+			}
+		}
+	} else if err := sumGroupedRange(vals, gids, out.Vals, numGroups, o, log, 0, vals.Len()); err != nil {
+		return nil, err
+	}
+	if acc != nil && detect {
+		for g, s := range out.Vals {
+			if _, ok := acc.Check(s); !ok && log != nil {
+				log.Record(VecLogName(out.Name), uint64(g))
+			}
+		}
+	}
+	return out, nil
+}
+
+// sumGroupedRange is the morsel kernel of SumGrouped: it accumulates
+// rows [start, end) into dst.
+func sumGroupedRange(vals *Vec, gids []uint32, dst []uint64, numGroups int, o *Opts, log *ErrorLog, start, end int) error {
+	detect := o.detect()
+	for i := start; i < end; i++ {
+		g := gids[i]
 		if g == ^uint32(0) {
 			continue
 		}
 		if int(g) >= numGroups {
-			return nil, fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+			return fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
 		}
 		v := vals.Vals[i]
 		if vals.Code != nil && detect {
@@ -112,16 +200,9 @@ func SumGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) 
 				continue
 			}
 		}
-		out.Vals[g] += v
+		dst[g] += v
 	}
-	if acc != nil && detect {
-		for g, s := range out.Vals {
-			if _, ok := acc.Check(s); !ok && log != nil {
-				log.Record(VecLogName(out.Name), uint64(g))
-			}
-		}
-	}
-	return out, nil
+	return nil
 }
 
 // SumTotal sums a whole vector into a single value under the widened
@@ -139,55 +220,83 @@ func SumProduct(a, b *Vec, o *Opts) (*Vec, error) {
 	if a.Len() != b.Len() {
 		return nil, fmt.Errorf("ops: sum-product over unequal lengths %d/%d", a.Len(), b.Len())
 	}
+	if (a.Code == nil) != (b.Code == nil) {
+		return nil, fmt.Errorf("ops: sum-product needs both inputs plain or both hardened")
+	}
 	detect := o.detect()
 	log := o.log()
-	var sum uint64
-	switch {
-	case a.Code == nil && b.Code == nil:
-		for i, av := range a.Vals {
-			sum += av * b.Vals[i]
-		}
-		return &Vec{Name: "sum(" + a.Name + "*" + b.Name + ")", Vals: []uint64{sum}}, nil
-	case a.Code != nil && b.Code != nil:
+	var invB uint64
+	if b.Code != nil {
 		// (d_a·A_a)·(d_b·A_b)·A_b^-1 = d_a·d_b·A_a (Eq. 7c). The inverse
 		// is taken in the full 64-bit ring the accumulation runs in, so
 		// the congruence is exact whenever the true product fits 64 bits
 		// - guaranteed by the register mapping of Section 6.1.
-		invB := an.InverseMod2N(b.Code.A(), 64)
-		for i, av := range a.Vals {
-			bv := b.Vals[i]
-			if detect {
-				okA := a.Code.IsValid(av)
-				okB := b.Code.IsValid(bv)
-				if !okA || !okB {
-					if log != nil {
-						if !okA {
-							log.Record(VecLogName(a.Name), uint64(i))
-						}
-						if !okB {
-							log.Record(VecLogName(b.Name), uint64(i))
-						}
-					}
-					continue
-				}
-			}
-			sum += av * bv * invB
+		invB = an.InverseMod2N(b.Code.A(), 64)
+	}
+	var sum uint64
+	if p := o.par(a.Len()); p != nil {
+		// Ring addition is associative and commutative, so per-morsel
+		// partial sums merged in any order equal the serial sum exactly.
+		parts, err := runMorsels(p, a.Len(), log, func(plog *ErrorLog, start, end int) (uint64, error) {
+			return sumProductRange(a, b, invB, o, plog, start, end), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		// Fall through below for the hardened result.
-	default:
-		return nil, fmt.Errorf("ops: sum-product needs both inputs plain or both hardened")
+		for _, s := range parts {
+			sum += s
+		}
+	} else {
+		sum = sumProductRange(a, b, invB, o, log, 0, a.Len())
+	}
+	name := "sum(" + a.Name + "*" + b.Name + ")"
+	if a.Code == nil {
+		return &Vec{Name: name, Vals: []uint64{sum}}, nil
 	}
 	acc, err := wideCode(a.Code)
 	if err != nil {
 		return nil, err
 	}
-	out := &Vec{Name: "sum(" + a.Name + "*" + b.Name + ")", Vals: []uint64{sum}, Code: acc}
+	out := &Vec{Name: name, Vals: []uint64{sum}, Code: acc}
 	if detect && acc != nil {
 		if _, ok := acc.Check(sum); !ok && log != nil {
 			log.Record(VecLogName(out.Name), 0)
 		}
 	}
 	return out, nil
+}
+
+// sumProductRange is the morsel kernel of SumProduct over rows
+// [start, end).
+func sumProductRange(a, b *Vec, invB uint64, o *Opts, log *ErrorLog, start, end int) uint64 {
+	detect := o.detect()
+	var sum uint64
+	if a.Code == nil {
+		for i := start; i < end; i++ {
+			sum += a.Vals[i] * b.Vals[i]
+		}
+		return sum
+	}
+	for i := start; i < end; i++ {
+		av, bv := a.Vals[i], b.Vals[i]
+		if detect {
+			okA := a.Code.IsValid(av)
+			okB := b.Code.IsValid(bv)
+			if !okA || !okB {
+				if log != nil {
+					if !okA {
+						log.Record(VecLogName(a.Name), uint64(i))
+					}
+					if !okB {
+						log.Record(VecLogName(b.Name), uint64(i))
+					}
+				}
+				continue
+			}
+		}
+		sum += av * bv * invB
+	}
+	return sum
 }
 
 // SumDiffGrouped computes Σ (a[i]-b[i]) per group, the Q4.x profit
@@ -211,12 +320,46 @@ func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, err
 	out := &Vec{Name: "sum(" + a.Name + "-" + b.Name + ")", Vals: make([]uint64, numGroups), Code: acc}
 	detect := o.detect()
 	log := o.log()
-	for i, g := range gids {
+	if p := o.par(a.Len()); p != nil {
+		parts, err := runMorsels(p, a.Len(), log, func(plog *ErrorLog, start, end int) ([]uint64, error) {
+			part := make([]uint64, numGroups)
+			if err := sumDiffRange(a, b, gids, part, numGroups, o, plog, start, end); err != nil {
+				return nil, err
+			}
+			return part, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range parts {
+			for g, s := range part {
+				out.Vals[g] += s
+			}
+		}
+	} else if err := sumDiffRange(a, b, gids, out.Vals, numGroups, o, log, 0, a.Len()); err != nil {
+		return nil, err
+	}
+	if acc != nil && detect {
+		for g, s := range out.Vals {
+			if _, ok := acc.Check(s); !ok && log != nil {
+				log.Record(VecLogName(out.Name), uint64(g))
+			}
+		}
+	}
+	return out, nil
+}
+
+// sumDiffRange is the morsel kernel of SumDiffGrouped over rows
+// [start, end).
+func sumDiffRange(a, b *Vec, gids []uint32, dst []uint64, numGroups int, o *Opts, log *ErrorLog, start, end int) error {
+	detect := o.detect()
+	for i := start; i < end; i++ {
+		g := gids[i]
 		if g == ^uint32(0) {
 			continue
 		}
 		if int(g) >= numGroups {
-			return nil, fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+			return fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
 		}
 		av, bv := a.Vals[i], b.Vals[i]
 		if a.Code != nil && detect {
@@ -234,14 +377,7 @@ func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, err
 				continue
 			}
 		}
-		out.Vals[g] += av - bv
+		dst[g] += av - bv
 	}
-	if acc != nil && detect {
-		for g, s := range out.Vals {
-			if _, ok := acc.Check(s); !ok && log != nil {
-				log.Record(VecLogName(out.Name), uint64(g))
-			}
-		}
-	}
-	return out, nil
+	return nil
 }

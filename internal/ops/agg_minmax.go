@@ -22,15 +22,67 @@ func MinMaxGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (mins, maxs
 	}
 	mins = &Vec{Name: "min(" + vals.Name + ")", Vals: make([]uint64, numGroups), Code: vals.Code}
 	maxs = &Vec{Name: "max(" + vals.Name + ")", Vals: make([]uint64, numGroups), Code: vals.Code}
-	seen := make([]bool, numGroups)
+	if p := o.par(len(gids)); p != nil {
+		parts, err := runMorsels(p, len(gids), o.log(), func(log *ErrorLog, start, end int) (minMaxPart, error) {
+			return minMaxRange(vals, gids, numGroups, o, log, start, end)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Min/max combine is order-insensitive, but merging in morsel
+		// order keeps the pattern uniform with the other aggregates.
+		seen := make([]bool, numGroups)
+		for _, part := range parts {
+			for g := range part.seen {
+				if !part.seen[g] {
+					continue
+				}
+				if !seen[g] {
+					seen[g] = true
+					mins.Vals[g], maxs.Vals[g] = part.mins[g], part.maxs[g]
+					continue
+				}
+				if part.mins[g] < mins.Vals[g] {
+					mins.Vals[g] = part.mins[g]
+				}
+				if part.maxs[g] > maxs.Vals[g] {
+					maxs.Vals[g] = part.maxs[g]
+				}
+			}
+		}
+		return mins, maxs, nil
+	}
+	part, err := minMaxRange(vals, gids, numGroups, o, o.log(), 0, len(gids))
+	if err != nil {
+		return nil, nil, err
+	}
+	copy(mins.Vals, part.mins)
+	copy(maxs.Vals, part.maxs)
+	return mins, maxs, nil
+}
+
+// minMaxPart is one morsel's partial min/max state; seen marks groups the
+// morsel actually touched (empty groups must not contribute their zero).
+type minMaxPart struct {
+	mins, maxs []uint64
+	seen       []bool
+}
+
+// minMaxRange is the morsel kernel of MinMaxGrouped over rows [start, end).
+func minMaxRange(vals *Vec, gids []uint32, numGroups int, o *Opts, log *ErrorLog, start, end int) (minMaxPart, error) {
+	part := minMaxPart{
+		mins: make([]uint64, numGroups),
+		maxs: make([]uint64, numGroups),
+		seen: make([]bool, numGroups),
+	}
 	detect := o.detect()
-	log := o.log()
-	for i, g := range gids {
+	for i := start; i < end; i++ {
+		g := gids[i]
 		if g == ^uint32(0) {
 			continue
 		}
 		if int(g) >= numGroups {
-			return nil, nil, fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+			return minMaxPart{}, fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
 		}
 		v := vals.Vals[i]
 		if vals.Code != nil && detect {
@@ -41,20 +93,20 @@ func MinMaxGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (mins, maxs
 				continue
 			}
 		}
-		if !seen[g] {
-			seen[g] = true
-			mins.Vals[g], maxs.Vals[g] = v, v
+		if !part.seen[g] {
+			part.seen[g] = true
+			part.mins[g], part.maxs[g] = v, v
 			continue
 		}
 		// Code-word order equals data order under one A (Eq. 6).
-		if v < mins.Vals[g] {
-			mins.Vals[g] = v
+		if v < part.mins[g] {
+			part.mins[g] = v
 		}
-		if v > maxs.Vals[g] {
-			maxs.Vals[g] = v
+		if v > part.maxs[g] {
+			part.maxs[g] = v
 		}
 	}
-	return mins, maxs, nil
+	return part, nil
 }
 
 // CountGrouped counts rows per group. When harden is non-nil the counts

@@ -71,6 +71,30 @@ func (l *ErrorLog) Positions(col string) ([]uint64, error) {
 	return out, nil
 }
 
+// Merge appends all entries of other, preserving their order - the
+// per-morsel and per-replica logs of parallel execution concatenate into
+// the query log this way (see runMorsels for the ordering invariant).
+func (l *ErrorLog) Merge(other *ErrorLog) {
+	if other == nil || len(other.entries) == 0 {
+		return
+	}
+	l.entries = append(l.entries, other.entries...)
+}
+
+// Equal reports whether two logs hold identical entry sequences - the
+// serial-vs-parallel equivalence check of the tests and CI smoke run.
+func (l *ErrorLog) Equal(other *ErrorLog) bool {
+	if len(l.entries) != len(other.entries) {
+		return false
+	}
+	for i, e := range l.entries {
+		if e != other.entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Err returns a non-nil error summarizing the log when corruption was
 // detected, for callers that treat any detection as query failure.
 func (l *ErrorLog) Err() error {

@@ -24,6 +24,11 @@ type Opts struct {
 	HardenIDs bool
 	Flavor    Flavor
 	Log       *ErrorLog
+	// Par runs the kernels morsel-parallel when non-nil (exec.Pool
+	// implements it); nil means serial execution. Parallel kernels give
+	// every morsel a private error log and merge them in morsel order,
+	// so detected-error positions match the serial path exactly.
+	Par Parallel
 }
 
 // posMul returns the factor applied to emitted positions.
@@ -62,36 +67,50 @@ func Filter(col *storage.Column, lo, hi uint64, o *Opts) (*Sel, error) {
 	if lo > hi {
 		return &Sel{Hardened: o != nil && o.HardenIDs}, nil
 	}
-	var pos []uint64
-	var err error
-	switch {
-	case col.Code() == nil:
-		pos, err = filterPlain(col, lo, hi, o)
-	case o.detect():
-		pos, err = filterChecked(col, lo, hi, o)
-	default:
-		code := col.Code()
-		if hi > code.MaxData() {
-			hi = code.MaxData()
+	if p := o.par(col.Len()); p != nil {
+		parts, err := runMorsels(p, col.Len(), o.log(), func(log *ErrorLog, start, end int) ([]uint64, error) {
+			return filterRange(col, lo, hi, o, log, start, end)
+		})
+		if err != nil {
+			return nil, err
 		}
-		pos, err = filterHardenedRaw(col, code.Encode(lo), code.Encode(hi), o)
+		return &Sel{Pos: concat(parts), Hardened: o != nil && o.HardenIDs}, nil
 	}
+	pos, err := filterRange(col, lo, hi, o, o.log(), 0, col.Len())
 	if err != nil {
 		return nil, err
 	}
 	return &Sel{Pos: pos, Hardened: o != nil && o.HardenIDs}, nil
 }
 
-func filterPlain(col *storage.Column, lo, hi uint64, o *Opts) ([]uint64, error) {
+// filterRange is the morsel kernel of Filter: it scans rows [start, end)
+// and emits global positions.
+func filterRange(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
+	switch {
+	case col.Code() == nil:
+		return filterPlain(col, lo, hi, o, start, end)
+	case o.detect():
+		return filterChecked(col, lo, hi, o, log, start, end)
+	default:
+		code := col.Code()
+		if hi > code.MaxData() {
+			hi = code.MaxData()
+		}
+		return filterHardenedRaw(col, code.Encode(lo), code.Encode(hi), o, start, end)
+	}
+}
+
+func filterPlain(col *storage.Column, lo, hi uint64, o *Opts, start, end int) ([]uint64, error) {
+	base := uint64(start)
 	switch {
 	case col.U8() != nil:
-		return rangeScan(col.U8(), clamp8(lo), clamp8(hi), o.posMul(), o.flavor()), nil
+		return rangeScan(col.U8()[start:end], clamp8(lo), clamp8(hi), base, o.posMul(), o.flavor()), nil
 	case col.U16() != nil:
-		return rangeScan(col.U16(), clamp16(lo), clamp16(hi), o.posMul(), o.flavor()), nil
+		return rangeScan(col.U16()[start:end], clamp16(lo), clamp16(hi), base, o.posMul(), o.flavor()), nil
 	case col.U32() != nil:
-		return rangeScan(col.U32(), clamp32(lo), clamp32(hi), o.posMul(), o.flavor()), nil
+		return rangeScan(col.U32()[start:end], clamp32(lo), clamp32(hi), base, o.posMul(), o.flavor()), nil
 	case col.U64() != nil:
-		return rangeScan(col.U64(), lo, hi, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U64()[start:end], lo, hi, base, o.posMul(), o.flavor()), nil
 	default:
 		return nil, fmt.Errorf("ops: empty column %q", col.Name())
 	}
@@ -99,28 +118,30 @@ func filterPlain(col *storage.Column, lo, hi uint64, o *Opts) ([]uint64, error) 
 
 // filterHardenedRaw compares raw code words against hardened bounds (the
 // Late-detection fast path: same scan as unprotected, just wider words).
-func filterHardenedRaw(col *storage.Column, loC, hiC uint64, o *Opts) ([]uint64, error) {
+func filterHardenedRaw(col *storage.Column, loC, hiC uint64, o *Opts, start, end int) ([]uint64, error) {
+	base := uint64(start)
 	switch {
 	case col.U16() != nil:
-		return rangeScan(col.U16(), uint16(loC), uint16(hiC), o.posMul(), o.flavor()), nil
+		return rangeScan(col.U16()[start:end], uint16(loC), uint16(hiC), base, o.posMul(), o.flavor()), nil
 	case col.U32() != nil:
-		return rangeScan(col.U32(), uint32(loC), uint32(hiC), o.posMul(), o.flavor()), nil
+		return rangeScan(col.U32()[start:end], uint32(loC), uint32(hiC), base, o.posMul(), o.flavor()), nil
 	case col.U64() != nil:
-		return rangeScan(col.U64(), loC, hiC, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U64()[start:end], loC, hiC, base, o.posMul(), o.flavor()), nil
 	default:
 		return nil, fmt.Errorf("ops: hardened column %q has unexpected width", col.Name())
 	}
 }
 
-func filterChecked(col *storage.Column, lo, hi uint64, o *Opts) ([]uint64, error) {
+func filterChecked(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
 	code := col.Code()
+	base := uint64(start)
 	switch {
 	case col.U16() != nil:
-		return rangeScanChecked(col.U16(), code, lo, hi, col.Name(), o.log(), o.posMul(), o.flavor()), nil
+		return rangeScanChecked(col.U16()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor()), nil
 	case col.U32() != nil:
-		return rangeScanChecked(col.U32(), code, lo, hi, col.Name(), o.log(), o.posMul(), o.flavor()), nil
+		return rangeScanChecked(col.U32()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor()), nil
 	case col.U64() != nil:
-		return rangeScanChecked(col.U64(), code, lo, hi, col.Name(), o.log(), o.posMul(), o.flavor()), nil
+		return rangeScanChecked(col.U64()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor()), nil
 	default:
 		return nil, fmt.Errorf("ops: hardened column %q has unexpected width", col.Name())
 	}
@@ -133,10 +154,28 @@ func FilterSel(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts) (*Sel, err
 	if lo > hi {
 		return &Sel{Hardened: sel.Hardened}, nil
 	}
-	out := &Sel{Pos: make([]uint64, 0, sel.Len()), Hardened: sel.Hardened}
+	if p := o.par(sel.Len()); p != nil {
+		parts, err := runMorsels(p, sel.Len(), o.log(), func(log *ErrorLog, start, end int) ([]uint64, error) {
+			return filterSelRange(col, lo, hi, sel, o, log, start, end)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Sel{Pos: concat(parts), Hardened: sel.Hardened}, nil
+	}
+	pos, err := filterSelRange(col, lo, hi, sel, o, o.log(), 0, sel.Len())
+	if err != nil {
+		return nil, err
+	}
+	return &Sel{Pos: pos, Hardened: sel.Hardened}, nil
+}
+
+// filterSelRange is the morsel kernel of FilterSel: it refines the
+// selection entries with global indices [start, end).
+func filterSelRange(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
+	out := make([]uint64, 0, end-start)
 	code := col.Code()
 	detect := o.detect()
-	log := o.log()
 	var loC, hiC uint64 = lo, hi
 	if code != nil && !detect {
 		if hiC > code.MaxData() {
@@ -145,7 +184,7 @@ func FilterSel(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts) (*Sel, err
 		loC, hiC = code.Encode(loC), code.Encode(hiC)
 	}
 	span := hiC - loC
-	for i := range sel.Pos {
+	for i := start; i < end; i++ {
 		pos, ok := sel.At(i, log)
 		if !ok {
 			continue
@@ -160,12 +199,12 @@ func FilterSel(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts) (*Sel, err
 				continue
 			}
 			if d-lo <= hi-lo {
-				out.Pos = append(out.Pos, sel.Pos[i])
+				out = append(out, sel.Pos[i])
 			}
 			continue
 		}
 		if v-loC <= span {
-			out.Pos = append(out.Pos, sel.Pos[i])
+			out = append(out, sel.Pos[i])
 		}
 	}
 	return out, nil
@@ -192,30 +231,31 @@ func clamp32(v uint64) uint32 {
 	return uint32(v)
 }
 
-// rangeScan emits i*posMul for every data[i] in [lo, hi]. The Blocked
-// flavor uses predicated emission - the append index advances by a
-// comparison result instead of a taken branch - mirroring the
+// rangeScan emits (base+i)*posMul for every data[i] in [lo, hi]; base is
+// the morsel's global row offset (0 for a serial whole-column scan). The
+// Blocked flavor uses predicated emission - the append index advances by
+// a comparison result instead of a taken branch - mirroring the
 // compare+movemask structure of the SIMD prototype.
-func rangeScan[T an.Unsigned](data []T, lo, hi T, posMul uint64, f Flavor) []uint64 {
+func rangeScan[T an.Unsigned](data []T, lo, hi T, base, posMul uint64, f Flavor) []uint64 {
 	if f == Blocked {
-		return rangeScanBlocked(data, lo, hi, posMul)
+		return rangeScanBlocked(data, lo, hi, base, posMul)
 	}
 	span := hi - lo
 	out := make([]uint64, 0, len(data)/4+16)
 	for i, v := range data {
 		if v-lo <= span {
-			out = append(out, uint64(i)*posMul)
+			out = append(out, (base+uint64(i))*posMul)
 		}
 	}
 	return out
 }
 
-func rangeScanBlocked[T an.Unsigned](data []T, lo, hi T, posMul uint64) []uint64 {
+func rangeScanBlocked[T an.Unsigned](data []T, lo, hi T, base, posMul uint64) []uint64 {
 	span := hi - lo
 	out := make([]uint64, len(data))
 	n := 0
 	for i, v := range data {
-		out[n] = uint64(i) * posMul
+		out[n] = (base + uint64(i)) * posMul
 		if v-lo <= span {
 			n++
 		}
@@ -225,8 +265,9 @@ func rangeScanBlocked[T an.Unsigned](data []T, lo, hi T, posMul uint64) []uint64
 
 // rangeScanChecked is the continuous-detection scan of Algorithm 1: soften
 // with the inverse, verify the domain bound, then evaluate the predicate
-// on the in-register decoded value.
-func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, colName string, log *ErrorLog, posMul uint64, f Flavor) []uint64 {
+// on the in-register decoded value. Corruptions are logged at their
+// global position base+i.
+func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, colName string, log *ErrorLog, base, posMul uint64, f Flavor) []uint64 {
 	if lo > code.MaxData() {
 		return nil
 	}
@@ -245,11 +286,11 @@ func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, col
 			d := v * inv & mask
 			if d > dmax {
 				if log != nil {
-					log.Record(colName, uint64(i))
+					log.Record(colName, base+uint64(i))
 				}
 				continue
 			}
-			out[n] = uint64(i) * posMul
+			out[n] = (base + uint64(i)) * posMul
 			if d-tlo <= span {
 				n++
 			}
@@ -261,12 +302,12 @@ func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, col
 		d := v * inv & mask
 		if d > dmax {
 			if log != nil {
-				log.Record(colName, uint64(i))
+				log.Record(colName, base+uint64(i))
 			}
 			continue
 		}
 		if d-tlo <= span {
-			out = append(out, uint64(i)*posMul)
+			out = append(out, (base+uint64(i))*posMul)
 		}
 	}
 	return out

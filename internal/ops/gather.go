@@ -12,16 +12,34 @@ import (
 // operators keep computing on protected data. With Detect set, every
 // fetched value is verified (continuous detection).
 func Gather(col *storage.Column, sel *Sel, o *Opts) (*Vec, error) {
-	out := &Vec{Name: col.Name(), Vals: make([]uint64, 0, sel.Len()), Code: col.Code()}
-	log := o.log()
+	if p := o.par(sel.Len()); p != nil {
+		parts, err := runMorsels(p, sel.Len(), o.log(), func(log *ErrorLog, start, end int) ([]uint64, error) {
+			return gatherRange(col, sel, o, log, start, end)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Vec{Name: col.Name(), Vals: concat(parts), Code: col.Code()}, nil
+	}
+	vals, err := gatherRange(col, sel, o, o.log(), 0, sel.Len())
+	if err != nil {
+		return nil, err
+	}
+	return &Vec{Name: col.Name(), Vals: vals, Code: col.Code()}, nil
+}
+
+// gatherRange is the morsel kernel of Gather: it fetches the selection
+// entries with global indices [start, end).
+func gatherRange(col *storage.Column, sel *Sel, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
+	out := make([]uint64, 0, end-start)
 	detect := o.detect()
 	code := col.Code()
-	for i := range sel.Pos {
+	for i := start; i < end; i++ {
 		pos, ok := sel.At(i, log)
 		if !ok {
 			// A corrupted virtual ID loses the row; keep vector
 			// positions aligned by emitting a zero value.
-			out.Vals = append(out.Vals, 0)
+			out = append(out, 0)
 			continue
 		}
 		if pos >= uint64(col.Len()) {
@@ -33,7 +51,7 @@ func Gather(col *storage.Column, sel *Sel, o *Opts) (*Vec, error) {
 				log.Record(col.Name(), pos)
 			}
 		}
-		out.Vals = append(out.Vals, v)
+		out = append(out, v)
 	}
 	return out, nil
 }
@@ -41,11 +59,28 @@ func Gather(col *storage.Column, sel *Sel, o *Opts) (*Vec, error) {
 // GatherAt fetches column values at plain positions (e.g. the build-side
 // rows matched by a join probe).
 func GatherAt(col *storage.Column, positions []uint32, o *Opts) (*Vec, error) {
-	out := &Vec{Name: col.Name(), Vals: make([]uint64, 0, len(positions)), Code: col.Code()}
-	log := o.log()
+	if p := o.par(len(positions)); p != nil {
+		parts, err := runMorsels(p, len(positions), o.log(), func(log *ErrorLog, start, end int) ([]uint64, error) {
+			return gatherAtRange(col, positions, o, log, start, end)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Vec{Name: col.Name(), Vals: concat(parts), Code: col.Code()}, nil
+	}
+	vals, err := gatherAtRange(col, positions, o, o.log(), 0, len(positions))
+	if err != nil {
+		return nil, err
+	}
+	return &Vec{Name: col.Name(), Vals: vals, Code: col.Code()}, nil
+}
+
+// gatherAtRange is the morsel kernel of GatherAt.
+func gatherAtRange(col *storage.Column, positions []uint32, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
+	out := make([]uint64, 0, end-start)
 	detect := o.detect()
 	code := col.Code()
-	for _, p := range positions {
+	for _, p := range positions[start:end] {
 		if int(p) >= col.Len() {
 			return nil, fmt.Errorf("ops: position %d beyond column %q (%d rows)", p, col.Name(), col.Len())
 		}
@@ -55,7 +90,7 @@ func GatherAt(col *storage.Column, positions []uint32, o *Opts) (*Vec, error) {
 				log.Record(col.Name(), uint64(p))
 			}
 		}
-		out.Vals = append(out.Vals, v)
+		out = append(out, v)
 	}
 	return out, nil
 }

@@ -51,7 +51,52 @@ func HashBuild(col *storage.Column, sel *Sel, o *Opts) (*hashmap.U64, error) {
 // set they are verified first, so a flipped FK is reported instead of
 // silently dropping the row.
 func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, []uint32, error) {
-	log := o.log()
+	total := col.Len()
+	if sel != nil {
+		total = sel.Len()
+	}
+	if p := o.par(total); p != nil {
+		parts, err := runMorsels(p, total, o.log(), func(log *ErrorLog, start, end int) (probePart, error) {
+			return hashProbeRange(col, ht, sel, o, log, start, end)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		hardened := o != nil && o.HardenIDs
+		if sel != nil {
+			hardened = sel.Hardened
+		}
+		out := &Sel{Hardened: hardened}
+		var matches []uint32
+		for _, part := range parts {
+			out.Pos = append(out.Pos, part.pos...)
+			matches = append(matches, part.matches...)
+		}
+		return out, matches, nil
+	}
+	part, err := hashProbeRange(col, ht, sel, o, o.log(), 0, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	hardened := o != nil && o.HardenIDs
+	if sel != nil {
+		hardened = sel.Hardened
+	}
+	return &Sel{Pos: part.pos, Hardened: hardened}, part.matches, nil
+}
+
+// probePart is one morsel's probe output: surviving probe-side positions
+// and, aligned with them, matched build-side positions.
+type probePart struct {
+	pos     []uint64
+	matches []uint32
+}
+
+// hashProbeRange is the morsel kernel of HashProbe: with sel nil it
+// probes column rows [start, end), otherwise the selection entries with
+// global indices [start, end). The build table is only read, so
+// concurrent morsels share it safely.
+func hashProbeRange(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts, log *ErrorLog, start, end int) (probePart, error) {
 	detect := o.detect()
 	code := col.Code()
 	var inv, mask, dmax uint64
@@ -59,12 +104,13 @@ func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, [
 		inv, mask, dmax = code.AInv(), code.CodeMask(), code.MaxData()
 	}
 
+	part := probePart{
+		pos:     make([]uint64, 0, (end-start)/4+16),
+		matches: make([]uint32, 0, (end-start)/4+16),
+	}
 	if sel == nil {
-		out := &Sel{Pos: make([]uint64, 0, col.Len()/4+16), Hardened: o != nil && o.HardenIDs}
-		matches := make([]uint32, 0, col.Len()/4+16)
 		posMul := o.posMul()
-		n := col.Len()
-		for i := 0; i < n; i++ {
+		for i := start; i < end; i++ {
 			v := col.Get(i)
 			if code != nil {
 				d := v * inv & mask
@@ -77,22 +123,20 @@ func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, [
 				v = d
 			}
 			if bp, ok := ht.Get(v); ok {
-				out.Pos = append(out.Pos, uint64(i)*posMul)
-				matches = append(matches, bp)
+				part.pos = append(part.pos, uint64(i)*posMul)
+				part.matches = append(part.matches, bp)
 			}
 		}
-		return out, matches, nil
+		return part, nil
 	}
 
-	out := &Sel{Pos: make([]uint64, 0, sel.Len()), Hardened: sel.Hardened}
-	matches := make([]uint32, 0, sel.Len())
-	for i := range sel.Pos {
+	for i := start; i < end; i++ {
 		pos, ok := sel.At(i, log)
 		if !ok {
 			continue
 		}
 		if pos >= uint64(col.Len()) {
-			return nil, nil, fmt.Errorf("ops: position %d beyond column %q", pos, col.Name())
+			return probePart{}, fmt.Errorf("ops: position %d beyond column %q", pos, col.Name())
 		}
 		v := col.Get(int(pos))
 		if code != nil {
@@ -106,11 +150,11 @@ func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, [
 			v = d
 		}
 		if bp, ok := ht.Get(v); ok {
-			out.Pos = append(out.Pos, sel.Pos[i])
-			matches = append(matches, bp)
+			part.pos = append(part.pos, sel.Pos[i])
+			part.matches = append(part.matches, bp)
 		}
 	}
-	return out, matches, nil
+	return part, nil
 }
 
 // SemiJoin keeps only the probe rows whose FK value is present in the

@@ -1,0 +1,97 @@
+package ops
+
+// Parallel is the contract between the kernels and the morsel scheduler
+// (internal/exec.Pool implements it). A runner splits [0, total) into
+// dense fixed-size morsels - morsel m covers
+// [m*MorselSize, min((m+1)*MorselSize, total)) - and runs fn once per
+// morsel, possibly concurrently, returning only when every morsel has
+// finished. Kernels collect per-morsel partial states into a slice
+// indexed by morsel and merge them in morsel order, which restores the
+// serial left-to-right row order for every order-sensitive output:
+// emitted positions, value vectors, and - the detection-critical
+// invariant - the error log (see runMorsels).
+type Parallel interface {
+	// Workers returns the worker count; 1 means serial.
+	Workers() int
+	// MorselSize returns the values-per-morsel granularity.
+	MorselSize() int
+	// ForEach runs fn per morsel of [0, total) and waits for all.
+	ForEach(total int, fn func(morsel, start, end int))
+}
+
+// par returns the runner when morsel-parallelism is worthwhile for n
+// input rows: a runner is attached, it has at least two workers, and the
+// input spans more than one morsel (a single morsel gains nothing).
+func (o *Opts) par(n int) Parallel {
+	if o == nil || o.Par == nil {
+		return nil
+	}
+	p := o.Par
+	if p.Workers() < 2 || p.MorselSize() <= 0 || n <= p.MorselSize() {
+		return nil
+	}
+	return p
+}
+
+// morselCount returns the number of morsels a runner splits total into.
+func morselCount(p Parallel, total int) int {
+	ms := p.MorselSize()
+	if ms <= 0 || total <= 0 {
+		return 1
+	}
+	return (total + ms - 1) / ms
+}
+
+// runMorsels runs fn once per morsel of [0, total), handing every morsel
+// a private error log, and merges the logs into dst in morsel order.
+//
+// This is the error-vector merge invariant the parallel engine rests on:
+// each kernel records corruptions with *global* row positions (fn
+// receives the global [start, end) bounds), and because morsels tile the
+// input left to right, concatenating the per-morsel logs by morsel index
+// reproduces exactly the entry sequence the serial kernel would have
+// written. Continuous and ContinuousReencoding therefore report
+// identical error positions - and identical entry order - no matter how
+// many workers executed the scan. On a morsel error the logs up to and
+// including the failing morsel are merged (mirroring how far the serial
+// scan would have come) and the first error in morsel order is returned.
+func runMorsels[T any](p Parallel, total int, dst *ErrorLog, fn func(log *ErrorLog, start, end int) (T, error)) ([]T, error) {
+	count := morselCount(p, total)
+	outs := make([]T, count)
+	logs := make([]*ErrorLog, count)
+	errs := make([]error, count)
+	p.ForEach(total, func(m, start, end int) {
+		l := NewErrorLog()
+		logs[m] = l
+		outs[m], errs[m] = fn(l, start, end)
+	})
+	for m, err := range errs {
+		if err != nil {
+			if dst != nil {
+				for _, l := range logs[:m+1] {
+					dst.Merge(l)
+				}
+			}
+			return nil, err
+		}
+	}
+	if dst != nil {
+		for _, l := range logs {
+			dst.Merge(l)
+		}
+	}
+	return outs, nil
+}
+
+// concat merges per-morsel output slices in morsel order.
+func concat[T any](parts [][]T) []T {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

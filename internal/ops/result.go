@@ -48,7 +48,7 @@ func (r *Result) Sort() {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
+	sort.SliceStable(idx, func(a, b int) bool {
 		return lessTuple(r.Keys[idx[a]], r.Keys[idx[b]])
 	})
 	keys := make([][]uint64, len(idx))

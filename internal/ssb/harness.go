@@ -1,6 +1,7 @@
 package ssb
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"time"
@@ -12,11 +13,12 @@ import (
 
 // Measurement is one (query, mode, flavor) timing.
 type Measurement struct {
-	Query  string
-	Mode   exec.Mode
-	Flavor ops.Flavor
-	Nanos  float64 // average nanoseconds per run
-	Rows   int     // result rows (sanity)
+	Query   string
+	Mode    exec.Mode
+	Flavor  ops.Flavor
+	Nanos   float64 // best-of-runs nanoseconds
+	Rows    int     // result rows (sanity)
+	Workers int     // pool workers the run used (1 = serial)
 }
 
 // Suite runs the SSB benchmark: all 13 queries under the selected modes
@@ -25,6 +27,50 @@ type Suite struct {
 	DB     *exec.DB
 	Runs   int
 	Warmup int
+
+	pool *exec.Pool
+}
+
+// WithParallelism attaches a shared worker pool of n workers (n <= 0
+// means GOMAXPROCS) that every subsequent Measure uses; n == 1 removes
+// the pool and returns the suite to serial execution. Close releases the
+// workers.
+func (s *Suite) WithParallelism(n int) *Suite {
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
+	if n != 1 {
+		s.pool = exec.NewPool(n)
+	}
+	return s
+}
+
+// Pool returns the suite's shared worker pool (nil when serial).
+func (s *Suite) Pool() *exec.Pool { return s.pool }
+
+// Workers reports the suite's degree of parallelism (1 when serial).
+func (s *Suite) Workers() int {
+	if s.pool == nil {
+		return 1
+	}
+	return s.pool.Workers()
+}
+
+// Close releases the suite's worker pool, if any.
+func (s *Suite) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
+}
+
+// runOpts returns the exec options carrying the suite's pool.
+func (s *Suite) runOpts() []exec.RunOption {
+	if s.pool == nil {
+		return nil
+	}
+	return []exec.RunOption{exec.WithPool(s.pool)}
 }
 
 // NewSuite generates data at the scale factor and builds the per-mode
@@ -57,9 +103,10 @@ func (s *Suite) Measure(query string, mode exec.Mode, flavor ops.Flavor) (Measur
 	if !ok {
 		return Measurement{}, fmt.Errorf("ssb: unknown query %q", query)
 	}
+	opts := s.runOpts()
 	var rows int
 	for i := 0; i < s.Warmup; i++ {
-		r, _, err := exec.Run(s.DB, mode, flavor, plan)
+		r, _, err := exec.Run(s.DB, mode, flavor, plan, opts...)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("ssb: %s under %v: %w", query, mode, err)
 		}
@@ -71,7 +118,7 @@ func (s *Suite) Measure(query string, mode exec.Mode, flavor ops.Flavor) (Measur
 	best := time.Duration(1<<63 - 1)
 	for i := 0; i < s.Runs; i++ {
 		start := time.Now()
-		if _, _, err := exec.Run(s.DB, mode, flavor, plan); err != nil {
+		if _, _, err := exec.Run(s.DB, mode, flavor, plan, opts...); err != nil {
 			return Measurement{}, err
 		}
 		if d := time.Since(start); d < best {
@@ -79,12 +126,86 @@ func (s *Suite) Measure(query string, mode exec.Mode, flavor ops.Flavor) (Measur
 		}
 	}
 	return Measurement{
-		Query:  query,
-		Mode:   mode,
-		Flavor: flavor,
-		Nanos:  float64(best.Nanoseconds()),
-		Rows:   rows,
+		Query:   query,
+		Mode:    mode,
+		Flavor:  flavor,
+		Nanos:   float64(best.Nanoseconds()),
+		Rows:    rows,
+		Workers: s.Workers(),
 	}, nil
+}
+
+// Run executes one query once under the suite's pool (if any) and returns
+// the result and error log - the non-timing entry point Verify uses.
+func (s *Suite) Run(query string, mode exec.Mode, flavor ops.Flavor) (*ops.Result, *ops.ErrorLog, error) {
+	plan, ok := Queries[query]
+	if !ok {
+		return nil, nil, fmt.Errorf("ssb: unknown query %q", query)
+	}
+	return exec.Run(s.DB, mode, flavor, plan, s.runOpts()...)
+}
+
+// VerifySerialParallel runs every (query, mode) combination twice - once
+// serial, once on the suite's pool - and reports any result or
+// detected-error-log divergence. It is the acceptance check of the morsel
+// layer: parallel execution must be bit-identical to serial, including
+// the positions in the hardened error vectors. The suite must have a pool
+// attached; its pool state is restored on return.
+func (s *Suite) VerifySerialParallel(flavor ops.Flavor, queries []string) error {
+	if s.pool == nil {
+		return fmt.Errorf("ssb: VerifySerialParallel needs a pool (call WithParallelism first)")
+	}
+	if len(queries) == 0 {
+		queries = QueryNames
+	}
+	pool := s.pool
+	defer func() { s.pool = pool }()
+	for _, q := range queries {
+		for _, m := range exec.Modes {
+			s.pool = nil
+			sr, slog, err := s.Run(q, m, flavor)
+			if err != nil {
+				return fmt.Errorf("ssb: %s under %v serial: %w", q, m, err)
+			}
+			s.pool = pool
+			pr, plog, err := s.Run(q, m, flavor)
+			if err != nil {
+				return fmt.Errorf("ssb: %s under %v parallel: %w", q, m, err)
+			}
+			if !sr.Equal(pr) {
+				return fmt.Errorf("ssb: %s under %v: parallel result diverges from serial (%d vs %d rows)", q, m, pr.Rows(), sr.Rows())
+			}
+			if !slog.Equal(plog) {
+				return fmt.Errorf("ssb: %s under %v: parallel error log diverges from serial (%d vs %d entries)", q, m, plog.Count(), slog.Count())
+			}
+		}
+	}
+	return nil
+}
+
+// MeasurementsJSON renders measurements as indented JSON - the timing
+// artifact the CI benchmark-smoke job uploads.
+func MeasurementsJSON(ms []Measurement) ([]byte, error) {
+	type row struct {
+		Query   string  `json:"query"`
+		Mode    string  `json:"mode"`
+		Flavor  string  `json:"flavor"`
+		Nanos   float64 `json:"nanos"`
+		Rows    int     `json:"rows"`
+		Workers int     `json:"workers"`
+	}
+	rows := make([]row, len(ms))
+	for i, m := range ms {
+		rows[i] = row{
+			Query:   m.Query,
+			Mode:    m.Mode.String(),
+			Flavor:  m.Flavor.String(),
+			Nanos:   m.Nanos,
+			Rows:    m.Rows,
+			Workers: m.Workers,
+		}
+	}
+	return json.MarshalIndent(rows, "", "  ")
 }
 
 // RunAll measures every query under every mode for one flavor, returning
@@ -128,12 +249,22 @@ func RelativeRuntimes(ms []Measurement) map[string]map[exec.Mode]float64 {
 }
 
 // AverageRelative averages the per-query relative runtimes per mode - the
-// bars of Figure 1a.
+// bars of Figure 1a. It accumulates in the fixed QueryNames x Modes order
+// (not map order), so the float sums - and therefore serial-vs-parallel
+// comparison output - are byte-identical across runs.
 func AverageRelative(rel map[string]map[exec.Mode]float64) map[exec.Mode]float64 {
 	sum := make(map[exec.Mode]float64)
 	n := make(map[exec.Mode]int)
-	for _, per := range rel {
-		for m, v := range per {
+	for _, q := range QueryNames {
+		per := rel[q]
+		if per == nil {
+			continue
+		}
+		for _, m := range exec.Modes {
+			v, ok := per[m]
+			if !ok {
+				continue
+			}
 			sum[m] += v
 			n[m]++
 		}

@@ -19,6 +19,143 @@ type DimAttr struct {
 	Attr *storage.Column
 }
 
+// groupAcc accumulates grouped sums from position batches: the shared
+// kernel of GroupSum (one accumulator draining the whole pipeline) and
+// GroupSumParallel (one accumulator per morsel, merged afterwards).
+// Groups get dense ids in first-occurrence order; packed keeps the packed
+// key per group so accumulators merge without re-resolving tuples.
+type groupAcc struct {
+	dims    []DimAttr
+	measure *storage.Column
+	mCode   *an.Code
+	detect  bool
+	log     *ops.ErrorLog
+	ht      *hashmap.U64
+	groups  [][]uint64
+	packed  []uint64
+	rawSums []uint64
+}
+
+func newGroupAcc(dims []DimAttr, measure *storage.Column, o *Opts) *groupAcc {
+	return &groupAcc{
+		dims:    dims,
+		measure: measure,
+		mCode:   measure.Code(),
+		detect:  o.detect(),
+		log:     o.log(),
+		ht:      hashmap.New(1024),
+	}
+}
+
+// consume folds one batch of surviving positions into the accumulator.
+func (a *groupAcc) consume(pos []uint32) error {
+rows:
+	for _, p := range pos {
+		var packed uint64
+		tuple := make([]uint64, len(a.dims))
+		for c, dim := range a.dims {
+			fkv := dim.FK.Get(int(p))
+			if code := dim.FK.Code(); code != nil {
+				d, ok := code.Check(fkv)
+				if !ok {
+					if a.detect && a.log != nil {
+						a.log.Record(dim.FK.Name(), uint64(p))
+					}
+					continue rows
+				}
+				fkv = d
+			}
+			bp, hit := dim.HT.Get(fkv)
+			if !hit {
+				// The pipeline's semijoins guarantee membership; a miss
+				// here means the FK flipped after the join under late
+				// detection - drop the row silently, exactly the
+				// documented caveat.
+				continue rows
+			}
+			av := dim.Attr.Get(int(bp))
+			if code := dim.Attr.Code(); code != nil {
+				d, ok := code.Check(av)
+				if !ok {
+					if a.detect && a.log != nil {
+						a.log.Record(dim.Attr.Name(), uint64(bp))
+					}
+					continue rows
+				}
+				av = d
+			}
+			if av >= 1<<16 {
+				return fmt.Errorf("vat: group component %q value %d exceeds 16 bits", dim.Attr.Name(), av)
+			}
+			tuple[c] = av
+			packed |= av << (16 * uint(c))
+		}
+		mv := a.measure.Get(int(p))
+		if a.mCode != nil && a.detect {
+			if _, ok := a.mCode.Check(mv); !ok {
+				if a.log != nil {
+					a.log.Record(a.measure.Name(), uint64(p))
+				}
+				continue rows
+			}
+		}
+		gid, inserted := a.ht.GetOrInsert(packed, uint32(len(a.groups)))
+		if inserted {
+			a.groups = append(a.groups, tuple)
+			a.packed = append(a.packed, packed)
+			a.rawSums = append(a.rawSums, 0)
+		}
+		a.rawSums[gid] += mv // hardened: (Σd)·A under the widened code
+	}
+	return nil
+}
+
+// merge folds another accumulator's groups into this one, preserving
+// this accumulator's first-occurrence group order and appending the
+// other's unseen groups in their order. Called in morsel order it
+// reproduces the serial group numbering exactly. Hardened raw sums add
+// in the ring (Eq. 5), so the combined sum equals the serial one.
+func (a *groupAcc) merge(other *groupAcc) {
+	for g, pk := range other.packed {
+		gid, inserted := a.ht.GetOrInsert(pk, uint32(len(a.groups)))
+		if inserted {
+			a.groups = append(a.groups, other.groups[g])
+			a.packed = append(a.packed, pk)
+			a.rawSums = append(a.rawSums, 0)
+		}
+		a.rawSums[gid] += other.rawSums[g]
+	}
+}
+
+// finalize verifies (hardened case) and decodes the accumulated sums,
+// logging corrupt accumulators into log. It runs once, after any merging,
+// so the parallel path checks the same final values as the serial one.
+func (a *groupAcc) finalize(log *ops.ErrorLog) (groups [][]uint64, sums []uint64, err error) {
+	var acc *an.Code
+	if a.mCode != nil {
+		acc, err = an.New(a.mCode.A(), 48)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	sums = make([]uint64, len(a.rawSums))
+	for g, s := range a.rawSums {
+		if acc == nil {
+			sums[g] = s
+			continue
+		}
+		d, ok := acc.Check(s)
+		if !ok {
+			if a.detect && log != nil {
+				log.Record(ops.VecLogName("sum("+a.measure.Name()+")"), uint64(g))
+			}
+			continue
+		}
+		sums[g] = d
+	}
+	return a.groups, sums, nil
+}
+
 // GroupSum is the vectorized grouped-aggregation sink: it drains the
 // pipeline batch by batch, resolves the group attributes through the
 // dimension tables, and accumulates the hardened (or plain) measure per
@@ -29,103 +166,96 @@ func GroupSum(in Operator, dims []DimAttr, measure *storage.Column, o *Opts) (gr
 	if len(dims) == 0 || len(dims) > 4 {
 		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", len(dims))
 	}
-	detect := o.detect()
-	log := o.log()
-	mCode := measure.Code()
-	var acc *an.Code
-	if mCode != nil {
-		acc, err = an.New(mCode.A(), 48)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-
-	ht := hashmap.New(1024)
-	var rawSums []uint64
+	acc := newGroupAcc(dims, measure, o)
 	pos := make([]uint32, VectorSize)
 	for {
 		n, done, err := in.Next(pos)
 		if err != nil {
 			return nil, nil, err
 		}
-	rows:
-		for _, p := range pos[:n] {
-			var packed uint64
-			tuple := make([]uint64, len(dims))
-			for c, dim := range dims {
-				fkv := dim.FK.Get(int(p))
-				if code := dim.FK.Code(); code != nil {
-					d, ok := code.Check(fkv)
-					if !ok {
-						if detect && log != nil {
-							log.Record(dim.FK.Name(), uint64(p))
-						}
-						continue rows
-					}
-					fkv = d
-				}
-				bp, hit := dim.HT.Get(fkv)
-				if !hit {
-					// The pipeline's semijoins guarantee membership;
-					// a miss here means the FK flipped after the join
-					// under late detection - drop the row silently,
-					// exactly the documented caveat.
-					continue rows
-				}
-				av := dim.Attr.Get(int(bp))
-				if code := dim.Attr.Code(); code != nil {
-					d, ok := code.Check(av)
-					if !ok {
-						if detect && log != nil {
-							log.Record(dim.Attr.Name(), uint64(bp))
-						}
-						continue rows
-					}
-					av = d
-				}
-				if av >= 1<<16 {
-					return nil, nil, fmt.Errorf("vat: group component %q value %d exceeds 16 bits", dim.Attr.Name(), av)
-				}
-				tuple[c] = av
-				packed |= av << (16 * uint(c))
-			}
-			mv := measure.Get(int(p))
-			if mCode != nil && detect {
-				if _, ok := mCode.Check(mv); !ok {
-					if log != nil {
-						log.Record(measure.Name(), uint64(p))
-					}
-					continue rows
-				}
-			}
-			gid, inserted := ht.GetOrInsert(packed, uint32(len(groups)))
-			if inserted {
-				groups = append(groups, tuple)
-				rawSums = append(rawSums, 0)
-			}
-			rawSums[gid] += mv // hardened: (Σd)·A under the widened code
+		if err := acc.consume(pos[:n]); err != nil {
+			return nil, nil, err
 		}
 		if done {
 			break
 		}
 	}
+	return acc.finalize(o.log())
+}
 
-	sums = make([]uint64, len(rawSums))
-	for g, s := range rawSums {
-		if acc == nil {
-			sums[g] = s
-			continue
-		}
-		d, ok := acc.Check(s)
-		if !ok {
-			if detect && log != nil {
-				log.Record(ops.VecLogName("sum("+measure.Name()+")"), uint64(g))
-			}
-			continue
-		}
-		sums[g] = d
+// SourceFunc builds one pipeline instance covering fact rows
+// [start, end) - typically NewScanRange plus the filter/join stack -
+// using the supplied Opts (which carry the morsel's private error log
+// under GroupSumParallel).
+type SourceFunc func(start, end int, o *Opts) (Operator, error)
+
+// GroupSumParallel is the morsel-driven form of GroupSum: the fact rows
+// are cut into morsels, each morsel runs its own pipeline instance (built
+// by src) into a private accumulator with a private error log, and the
+// partial states merge in morsel order. Because every pipeline emits
+// global positions and merging preserves first-occurrence group order and
+// log entry order, the groups, sums, and detected-error positions are
+// identical to a serial GroupSum over the full extent. Without a pool (or
+// when the input is a single morsel) it degrades to exactly that.
+func GroupSumParallel(src SourceFunc, totalRows int, dims []DimAttr, measure *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	if len(dims) == 0 || len(dims) > 4 {
+		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", len(dims))
 	}
-	return groups, sums, nil
+	p := o.par(totalRows)
+	if p == nil {
+		in, err := src(0, totalRows, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return GroupSum(in, dims, measure, o)
+	}
+
+	ms := p.MorselSize()
+	count := (totalRows + ms - 1) / ms
+	parts := make([]*groupAcc, count)
+	logs := make([]*ops.ErrorLog, count)
+	errs := make([]error, count)
+	p.ForEach(totalRows, func(m, start, end int) {
+		logs[m] = ops.NewErrorLog()
+		mo := &Opts{Detect: o.detect(), Log: logs[m]}
+		in, err := src(start, end, mo)
+		if err != nil {
+			errs[m] = err
+			return
+		}
+		acc := newGroupAcc(dims, measure, mo)
+		pos := make([]uint32, VectorSize)
+		for {
+			n, done, err := in.Next(pos)
+			if err != nil {
+				errs[m] = err
+				return
+			}
+			if err := acc.consume(pos[:n]); err != nil {
+				errs[m] = err
+				return
+			}
+			if done {
+				break
+			}
+		}
+		parts[m] = acc
+	})
+
+	log := o.log()
+	total := newGroupAcc(dims, measure, o)
+	for m, part := range parts {
+		if log != nil {
+			log.Merge(logs[m])
+		}
+		if errs[m] != nil {
+			// Serial execution would have stopped here; drop the later
+			// morsels' logs and report the first error in row order.
+			return nil, nil, errs[m]
+		}
+		total.merge(part)
+	}
+	return total.finalize(log)
 }
 
 // GroupSumResult canonicalizes GroupSum output into the shared Result

@@ -1,0 +1,161 @@
+package vat
+
+import (
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/hashmap"
+	"ahead/internal/ops"
+	"ahead/internal/ssb"
+	"ahead/internal/storage"
+)
+
+// q21Source builds the Q2.1 pipeline over fact rows [start, end) - the
+// SourceFunc GroupSumParallel instantiates once per morsel. The hash
+// tables are built once and shared: probes are pure reads.
+func q21Source(t *testing.T, db *exec.DB, partHT, suppHT, dateHT *hashmap.U64) (SourceFunc, []DimAttr, *storage.Column) {
+	t.Helper()
+	lo := db.Hardened("lineorder")
+	part, date := db.Hardened("part"), db.Hardened("date")
+	src := func(start, end int, o *Opts) (Operator, error) {
+		scan, err := NewScanRange(lo.MustColumn("lo_orderkey"), 0, ^uint64(0), start, end, o)
+		if err != nil {
+			return nil, err
+		}
+		j1 := NewSemiJoin(scan, lo.MustColumn("lo_partkey"), partHT, o)
+		j2 := NewSemiJoin(j1, lo.MustColumn("lo_suppkey"), suppHT, o)
+		return NewSemiJoin(j2, lo.MustColumn("lo_orderdate"), dateHT, o), nil
+	}
+	dims := []DimAttr{
+		{FK: lo.MustColumn("lo_partkey"), HT: partHT, Attr: part.MustColumn("p_brand1")},
+		{FK: lo.MustColumn("lo_orderdate"), HT: dateHT, Attr: date.MustColumn("d_year")},
+	}
+	return src, dims, lo.MustColumn("lo_revenue")
+}
+
+// TestGroupSumParallelMatchesSerial runs the vectorized Q2.1 pipeline
+// serially and morsel-parallel, with corrupted revenue words spread
+// across morsels, and requires identical groups, sums, and detected-error
+// positions.
+func TestGroupSumParallelMatchesSerial(t *testing.T) {
+	data, err := ssb.Generate(0.01, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := db.Hardened("lineorder").MustColumn("lo_revenue")
+	// Dense stride: only the ~1% of rows surviving the semijoins reach
+	// the measure check, and detections must land in several morsels.
+	for i := 100; i < rev.Len(); i += 50 {
+		rev.Corrupt(i, 1<<9)
+	}
+
+	opsOpts := &ops.Opts{}
+	buildHT := func(tab *storage.Table, filterCol string, lov, hiv uint64, key string) *hashmap.U64 {
+		sel, err := ops.Filter(tab.MustColumn(filterCol), lov, hiv, opsOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ht, err := ops.HashBuild(tab.MustColumn(key), sel, opsOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ht
+	}
+	catDict := db.Plain("part").MustColumn("p_category").Dict()
+	mfgr12, _ := catDict.Code("MFGR#12")
+	regDict := db.Plain("supplier").MustColumn("s_region").Dict()
+	america, _ := regDict.Code("AMERICA")
+	partHT := buildHT(db.Hardened("part"), "p_category", uint64(mfgr12), uint64(mfgr12), "p_partkey")
+	suppHT := buildHT(db.Hardened("supplier"), "s_region", uint64(america), uint64(america), "s_suppkey")
+	dateHT := buildHT(db.Hardened("date"), "d_datekey", 0, ^uint64(0), "d_datekey")
+
+	src, dims, measure := q21Source(t, db, partHT, suppHT, dateHT)
+	totalRows := db.Hardened("lineorder").MustColumn("lo_orderkey").Len()
+
+	serialLog := ops.NewErrorLog()
+	serialIn, err := src(0, totalRows, &Opts{Detect: true, Log: serialLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGroups, sSums, err := GroupSum(serialIn, dims, measure, &Opts{Detect: true, Log: serialLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := exec.NewPoolMorsel(4, 4096)
+	defer pool.Close()
+	parLog := ops.NewErrorLog()
+	pGroups, pSums, err := GroupSumParallel(src, totalRows, dims, measure,
+		&Opts{Detect: true, Log: parLog, Par: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(pGroups) != len(sGroups) {
+		t.Fatalf("parallel built %d groups, serial %d", len(pGroups), len(sGroups))
+	}
+	for g := range sGroups {
+		if len(pGroups[g]) != len(sGroups[g]) {
+			t.Fatalf("group %d tuple width differs", g)
+		}
+		for c := range sGroups[g] {
+			if pGroups[g][c] != sGroups[g][c] {
+				t.Fatalf("group %d component %d: parallel %d vs serial %d",
+					g, c, pGroups[g][c], sGroups[g][c])
+			}
+		}
+		if pSums[g] != sSums[g] {
+			t.Fatalf("group %d sum: parallel %d vs serial %d", g, pSums[g], sSums[g])
+		}
+	}
+	if serialLog.Count() == 0 {
+		t.Fatal("serial run detected nothing; corruption setup is broken")
+	}
+	if !serialLog.Equal(parLog) {
+		t.Fatalf("parallel log (%d entries) differs from serial (%d entries)",
+			parLog.Count(), serialLog.Count())
+	}
+}
+
+// TestGroupSumParallelSerialFallback checks the no-pool path degrades to
+// plain GroupSum.
+func TestGroupSumParallelSerialFallback(t *testing.T) {
+	col, err := storage.NewColumn("k", storage.TinyInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure, err := storage.NewColumn("m", storage.ShortInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		col.Append(uint64(i % 4))
+		measure.Append(uint64(i))
+	}
+	ht := hashmap.New(8)
+	for k := uint64(0); k < 4; k++ {
+		ht.Put(k, uint32(k))
+	}
+	dims := []DimAttr{{FK: col, HT: ht, Attr: col}}
+	src := func(start, end int, o *Opts) (Operator, error) {
+		return NewScanRange(col, 0, 255, start, end, o)
+	}
+	groups, sums, err := GroupSumParallel(src, col.Len(), dims, measure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4", len(groups))
+	}
+	var total uint64
+	for _, s := range sums {
+		total += s
+	}
+	if total != 99*100/2 {
+		t.Fatalf("sums total %d, want %d", total, 99*100/2)
+	}
+}

@@ -37,6 +37,9 @@ type Operator interface {
 type Opts struct {
 	Detect bool
 	Log    *ops.ErrorLog
+	// Par runs GroupSumParallel's morsel pipelines on a worker pool when
+	// non-nil (exec.Pool implements it); nil keeps everything serial.
+	Par ops.Parallel
 }
 
 func (o *Opts) detect() bool { return o != nil && o.Detect }
@@ -45,6 +48,18 @@ func (o *Opts) log() *ops.ErrorLog {
 		return nil
 	}
 	return o.Log
+}
+
+// par returns the pool when parallel execution is on and worthwhile for
+// n rows, mirroring the gate of the column-at-a-time engine.
+func (o *Opts) par(n int) ops.Parallel {
+	if o == nil || o.Par == nil {
+		return nil
+	}
+	if o.Par.Workers() < 2 || n <= o.Par.MorselSize() {
+		return nil
+	}
+	return o.Par
 }
 
 // colRange precomputes the comparison constants for one range predicate
@@ -125,11 +140,24 @@ type Scan struct {
 
 // NewScan builds the source over the column's full extent.
 func NewScan(col *storage.Column, lo, hi uint64, o *Opts) (*Scan, error) {
+	return NewScanRange(col, lo, hi, 0, col.Len(), o)
+}
+
+// NewScanRange builds the source over rows [start, end) only - the morsel
+// form of NewScan. Emitted positions stay global, so downstream operators
+// and error logs see the same row numbers as a full scan.
+func NewScanRange(col *storage.Column, lo, hi uint64, start, end int, o *Opts) (*Scan, error) {
 	rng, err := newColRange(col, lo, hi, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Scan{rng: rng, rows: col.Len()}, nil
+	if start < 0 {
+		start = 0
+	}
+	if end > col.Len() {
+		end = col.Len()
+	}
+	return &Scan{rng: rng, next: start, rows: end}, nil
 }
 
 // Next implements Operator.
