@@ -215,6 +215,34 @@ func Repair(db *DB, table, column string, log *ErrorLog) (int, error) {
 	return db.RepairHardened(table, column, log)
 }
 
+// RecoveryReport describes what a supervised execution did: attempts,
+// repaired positions per column, quarantined columns, degradation.
+type RecoveryReport = exec.RecoveryReport
+
+// UnrecoverableError is the structured failure of a supervised
+// execution: corruption survived the full repair-and-retry budget.
+type UnrecoverableError = exec.UnrecoverableError
+
+// RecoveryOption tunes RunWithRecovery (exec.WithMaxRetries,
+// exec.WithDegradedFallback, exec.WithRecoveryRunOptions,
+// exec.WithReassert).
+type RecoveryOption = exec.RecoveryOption
+
+// RunWithRecovery executes the plan under supervised recovery: detected
+// corruption is repaired from the plain replica and the query retried
+// under a bounded budget; persistent faults quarantine the affected
+// columns and either degrade to DMR over the plain replicas or fail with
+// a structured *UnrecoverableError. This is the paper's Section 9
+// detect-then-correct loop made operational.
+func RunWithRecovery(db *DB, m Mode, f Flavor, plan QueryFunc, opts ...RecoveryOption) (*Result, *RecoveryReport, error) {
+	return exec.RunWithRecovery(db, m, f, plan, opts...)
+}
+
+// Scrub verifies every hardened column and repairs all corruption from
+// the plain replicas - the offline background-scrubber counterpart of
+// RunWithRecovery.
+func Scrub(db *DB) (map[string]int, error) { return db.Scrub() }
+
 // Accumulator verifies blocks of code words with one multiply+compare per
 // block (the Section 9 "detection every nth code word" extension): single
 // flips in a block are always detected, located by per-value re-scan.

@@ -17,6 +17,13 @@
 // results and detected-error logs are bit-identical - exiting nonzero on
 // any divergence (the CI acceptance check). -json writes the
 // measurements to a file for the benchmark artifact.
+//
+// -soak runs the self-healing campaign instead of the figures: all 13
+// queries execute under exec.RunWithRecovery while -inject transient
+// flips are placed into the hardened base data before every query. Each
+// query must return the fault-free answer (detect → repair → retry);
+// any wrong result, unrecoverable escalation, or unaccounted flip exits
+// nonzero - the CI recovery gate.
 package main
 
 import (
@@ -38,15 +45,23 @@ func main() {
 	par := flag.Int("parallel", 1, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	compare := flag.Bool("compare", false, "compare serial vs parallel execution and verify identical output")
 	jsonPath := flag.String("json", "", "write timing measurements as JSON to this file")
+	soak := flag.Bool("soak", false, "run the injection+recovery soak over all queries instead of the figures")
+	inject := flag.Int("inject", 8, "soak: transient flips injected before each query")
+	soakSeed := flag.Int64("soak-seed", 17, "soak: fault-injector seed")
+	retries := flag.Int("retries", exec.DefaultMaxRetries, "soak: recovery retry budget per query")
 	flag.Parse()
 
-	if err := run(*sf, *seed, *runs, *fig, *par, *compare, *jsonPath); err != nil {
+	if *soak && *inject < 1 {
+		fmt.Fprintln(os.Stderr, "ahead-ssb: -inject must be positive")
+		os.Exit(2)
+	}
+	if err := run(*sf, *seed, *runs, *fig, *par, *compare, *jsonPath, *soak, *inject, *soakSeed, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "ahead-ssb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed int64, runs, fig, par int, compare bool, jsonPath string) error {
+func run(sf float64, seed int64, runs, fig, par int, compare bool, jsonPath string, soak bool, inject int, soakSeed int64, retries int) error {
 	fmt.Printf("Generating SSB data at sf=%v ...\n", sf)
 	suite, data, err := ssb.NewSuite(sf, seed, runs)
 	if err != nil {
@@ -58,6 +73,9 @@ func run(sf float64, seed int64, runs, fig, par int, compare bool, jsonPath stri
 	}
 	fmt.Println()
 
+	if soak {
+		return runSoak(suite, par, inject, soakSeed, retries)
+	}
 	if compare {
 		return runCompare(suite, par, jsonPath)
 	}
@@ -102,6 +120,47 @@ func run(sf float64, seed int64, runs, fig, par int, compare bool, jsonPath stri
 			return err
 		}
 	}
+	return nil
+}
+
+// runSoak drives the self-healing campaign: injection before every
+// query, supervised recovery around every execution, fault-free answers
+// required everywhere.
+func runSoak(suite *ssb.Suite, par, inject int, soakSeed int64, retries int) error {
+	if par != 1 {
+		suite.WithParallelism(par)
+		fmt.Printf("Worker pool: %d workers\n", suite.Workers())
+	}
+	fmt.Printf("== Injection + recovery soak: %d flips before each query, retry budget %d ==\n",
+		inject, retries)
+	results, scrubbed, err := suite.SoakRecovery(ssb.SoakConfig{
+		Mode:       exec.Continuous,
+		Flavor:     ops.Blocked,
+		Flips:      inject,
+		Seed:       soakSeed,
+		MaxRetries: retries,
+	})
+	ssb.PrintSoakTable(os.Stdout, results, scrubbed)
+	if err != nil {
+		return err
+	}
+	repaired := 0
+	wrong := 0
+	for _, r := range results {
+		repaired += r.Repaired
+		if !r.ResultOK {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		return fmt.Errorf("soak FAILED: %d of %d queries returned wrong results after recovery", wrong, len(results))
+	}
+	if got, want := repaired+scrubbed, inject*len(results); got != want {
+		return fmt.Errorf("soak FAILED: %d injected flips but only %d accounted for (%d repaired + %d scrubbed)",
+			want, got, repaired, scrubbed)
+	}
+	fmt.Printf("soak OK: %d queries recovered, %d positions repaired on the fly, %d swept by the final scrub\n",
+		len(results), repaired, scrubbed)
 	return nil
 }
 

@@ -73,6 +73,67 @@ func TestFacadeTMRAndRepair(t *testing.T) {
 	}
 }
 
+// TestFacadeRunWithRecovery drives the self-healing wrapper through the
+// public API: transient corruption heals transparently; a quarantined
+// stuck column surfaces as the structured unrecoverable error.
+func TestFacadeRunWithRecovery(t *testing.T) {
+	col, err := ahead.NewColumn("v", ahead.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		col.Append(uint64(i))
+	}
+	tbl := ahead.NewTable("t")
+	if err := tbl.AddColumn(col); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ahead.NewDB([]*ahead.Table{tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := func(q *ahead.Query) (*ahead.Result, error) {
+		c, err := q.Col("t", "v")
+		if err != nil {
+			return nil, err
+		}
+		sel, err := ops.Filter(c, 0, 499, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		vec, err := ops.Gather(c, sel, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		vec = q.PreAggregate(vec)
+		sum, err := ops.SumTotal(vec, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		return q.FinishScalar(sum)
+	}
+	ref, _, err := ahead.Run(db, ahead.Unprotected, ahead.Scalar, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db.Hardened("t").MustColumn("v").Corrupt(100, 1<<5)
+	res, rep, err := ahead.RunWithRecovery(db, ahead.Continuous, ahead.Scalar, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(ref) || rep.Attempts != 2 || rep.RepairedCount() != 1 {
+		t.Fatalf("transient recovery: %v (report %v)", err, rep)
+	}
+
+	// Scrub is the offline sweep of the same repair machinery.
+	db.Hardened("t").MustColumn("v").Corrupt(7, 1<<2)
+	repaired, err := ahead.Scrub(db)
+	if err != nil || repaired["t.v"] != 1 {
+		t.Fatalf("scrub: %v, %v", repaired, err)
+	}
+}
+
 func TestFacadeAccumulatorAndPacking(t *testing.T) {
 	code, err := ahead.NewCode(29, 8) // 13-bit code words
 	if err != nil {

@@ -23,6 +23,8 @@ package exec
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"ahead/internal/an"
 	"ahead/internal/ops"
@@ -80,8 +82,10 @@ func (m Mode) String() string {
 	}
 }
 
-// usesHardenedData reports whether the mode reads AN-hardened base tables.
-func (m Mode) usesHardenedData() bool { return m >= EarlyOnetime && m != TMR }
+// UsesHardenedData reports whether the mode reads AN-hardened base
+// tables - the modes whose detections are value-granular and therefore
+// repairable by RunWithRecovery.
+func (m Mode) UsesHardenedData() bool { return m >= EarlyOnetime && m != TMR }
 
 // DB holds the physical data for all modes: the plain tables, the DMR
 // replica, and the hardened tables.
@@ -90,6 +94,19 @@ type DB struct {
 	replica  map[string]*storage.Table
 	replica2 map[string]*storage.Table
 	hardened map[string]*storage.Table
+
+	// colTable maps a column name to its owning table, the attribution
+	// the recovery loop needs to turn an error-log column into a repair
+	// target. Ambiguous names (present in several tables) map to "".
+	colTable map[string]string
+
+	// Quarantine state and the repair lock of the recovery layer (see
+	// recovery.go). quarantined guards the set of base columns whose
+	// corruption survived the retry budget - stuck-at faults repair
+	// cannot clear.
+	qmu         sync.Mutex
+	quarantined map[string]bool
+	recoverMu   sync.Mutex
 }
 
 // NewDB builds the per-mode physical storage from plain base tables,
@@ -97,16 +114,25 @@ type DB struct {
 // storage.LargestCodeChooser). The replica is a deep copy for DMR.
 func NewDB(tables []*storage.Table, choose storage.CodeChooser) (*DB, error) {
 	db := &DB{
-		plain:    make(map[string]*storage.Table),
-		replica:  make(map[string]*storage.Table),
-		replica2: make(map[string]*storage.Table),
-		hardened: make(map[string]*storage.Table),
+		plain:       make(map[string]*storage.Table),
+		replica:     make(map[string]*storage.Table),
+		replica2:    make(map[string]*storage.Table),
+		hardened:    make(map[string]*storage.Table),
+		colTable:    make(map[string]string),
+		quarantined: make(map[string]bool),
 	}
 	for _, t := range tables {
 		if _, dup := db.plain[t.Name()]; dup {
 			return nil, fmt.Errorf("exec: duplicate table %q", t.Name())
 		}
 		db.plain[t.Name()] = t
+		for _, c := range t.Columns() {
+			if _, seen := db.colTable[c.Name()]; seen {
+				db.colTable[c.Name()] = "" // ambiguous across tables
+			} else {
+				db.colTable[c.Name()] = t.Name()
+			}
+		}
 		r, err := t.Replicate()
 		if err != nil {
 			return nil, err
@@ -206,39 +232,155 @@ func heapBytes(t *storage.Table) int {
 	return total
 }
 
+// TableOf returns the table owning the named base column - the
+// attribution step that turns an error-log column into a repair target.
+// It reports !ok for unknown names, vec: intermediates, and names that
+// appear in more than one table (ambiguous attribution cannot be
+// repaired safely).
+func (db *DB) TableOf(column string) (string, bool) {
+	t, ok := db.colTable[column]
+	if !ok || t == "" {
+		return "", false
+	}
+	return t, true
+}
+
 // RepairHardened restores the corrupted positions an error log recorded
 // for one hardened column, re-encoding the values from the plain replica
 // - the "retransmission" correction sketched in Section 9: detection is
 // on value granularity, so once AHEAD knows *where* the flip happened,
-// any redundant copy repairs it. It returns the number of repaired
-// values; positions whose log entries are themselves corrupted are
-// reported as an error.
+// any redundant copy repairs it. It returns the number of distinct
+// repaired positions (the log may record one flip once per operator that
+// touched it - see ErrorLog.Positions).
+//
+// All decoded positions are validated against the column length before
+// anything is written; out-of-range entries (a corrupted log that still
+// decodes, or a log from a different column) are skipped and reported,
+// never allowed to strand the remaining repairable corruption mid-loop.
+// Positions whose log entries fail their AN check are reported as an
+// error by the decode step itself.
 func (db *DB) RepairHardened(table, column string, log *ops.ErrorLog) (int, error) {
 	positions, err := log.Positions(column)
 	if err != nil {
 		return 0, err
 	}
+	repaired, skipped, err := db.repairPositions(table, column, positions)
+	if err != nil {
+		return 0, err
+	}
+	if len(skipped) > 0 {
+		return len(repaired), fmt.Errorf("exec: %d repair positions beyond column %q (first %d); %d valid positions repaired",
+			len(skipped), column, skipped[0], len(repaired))
+	}
+	return len(repaired), nil
+}
+
+// repairPositions writes the plain-replica values back into the hardened
+// column at the given positions, returning the repaired and the skipped
+// (out-of-range) positions. It is the shared core of RepairHardened and
+// the recovery loop.
+func (db *DB) repairPositions(table, column string, positions []uint64) (repaired, skipped []uint64, err error) {
 	hTab, pTab := db.hardened[table], db.plain[table]
 	if hTab == nil || pTab == nil {
-		return 0, fmt.Errorf("exec: unknown table %q", table)
+		return nil, nil, fmt.Errorf("exec: unknown table %q", table)
 	}
 	hc, err := hTab.Column(column)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	pc, err := pTab.Column(column)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
-	repaired := 0
+	n := uint64(hc.Len())
 	for _, pos := range positions {
-		if pos >= uint64(hc.Len()) {
-			return repaired, fmt.Errorf("exec: repair position %d beyond column %q", pos, column)
+		if pos >= n {
+			skipped = append(skipped, pos)
+			continue
 		}
 		hc.Set(int(pos), pc.Get(int(pos))) // Set re-hardens
-		repaired++
+		repaired = append(repaired, pos)
 	}
-	return repaired, nil
+	return repaired, skipped, nil
+}
+
+// Scrub verifies every hardened column of every table and repairs all
+// corrupted positions from the plain replica - the offline counterpart
+// of RunWithRecovery's on-the-fly repair (a background scrubber in
+// production terms). It returns the number of repaired values per
+// "table.column" and the first error encountered.
+func (db *DB) Scrub() (map[string]int, error) {
+	names := make([]string, 0, len(db.hardened))
+	for name := range db.hardened {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]int)
+	for _, name := range names {
+		for _, hc := range db.hardened[name].Columns() {
+			if hc.Code() == nil {
+				continue
+			}
+			bad, err := hc.CheckAll()
+			if err != nil {
+				return out, err
+			}
+			if len(bad) == 0 {
+				continue
+			}
+			repaired, _, err := db.repairPositions(name, hc.Name(), bad)
+			if err != nil {
+				return out, err
+			}
+			out[name+"."+hc.Name()] = len(repaired)
+		}
+	}
+	return out, nil
+}
+
+// QuarantineColumn marks a base column as unrecoverable: its corruption
+// survived a full repair-and-retry budget (a stuck-at fault repair from
+// the replica cannot clear). Subsequent RunWithRecovery calls that see
+// detections in a quarantined column escalate immediately instead of
+// burning their retry budget again.
+func (db *DB) QuarantineColumn(column string) {
+	db.qmu.Lock()
+	db.quarantined[column] = true
+	db.qmu.Unlock()
+}
+
+// IsQuarantined reports whether the column is quarantined.
+func (db *DB) IsQuarantined(column string) bool {
+	db.qmu.Lock()
+	defer db.qmu.Unlock()
+	return db.quarantined[column]
+}
+
+// QuarantinedColumns returns the sorted quarantined column names.
+func (db *DB) QuarantinedColumns() []string {
+	db.qmu.Lock()
+	defer db.qmu.Unlock()
+	out := make([]string, 0, len(db.quarantined))
+	for c := range db.quarantined {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClearQuarantine lifts the quarantine for the given columns (all of
+// them when called without arguments) - after a scrub following hardware
+// replacement, for example.
+func (db *DB) ClearQuarantine(columns ...string) {
+	db.qmu.Lock()
+	defer db.qmu.Unlock()
+	if len(columns) == 0 {
+		db.quarantined = make(map[string]bool)
+		return
+	}
+	for _, c := range columns {
+		delete(db.quarantined, c)
+	}
 }
 
 // QueryFunc is a manually written physical query plan (Section 6.1), run

@@ -275,8 +275,8 @@ func TestStorageBytesAndModeHelpers(t *testing.T) {
 	if db.Plain("t") == nil || db.Hardened("t") == nil || db.Replica("t") == nil {
 		t.Fatal("table accessors")
 	}
-	if !Continuous.usesHardenedData() || Unprotected.usesHardenedData() {
-		t.Fatal("usesHardenedData")
+	if !Continuous.UsesHardenedData() || Unprotected.UsesHardenedData() {
+		t.Fatal("UsesHardenedData")
 	}
 }
 

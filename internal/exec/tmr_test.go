@@ -56,7 +56,7 @@ func TestTMRStorageAndNaming(t *testing.T) {
 	if TMR.String() != "TMR" {
 		t.Fatal("name")
 	}
-	if TMR.usesHardenedData() {
+	if TMR.UsesHardenedData() {
 		t.Fatal("TMR runs on plain replicas")
 	}
 	for _, m := range Modes {

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"testing"
+
+	"ahead/internal/an"
+	"ahead/internal/exec"
+	"ahead/internal/storage"
+)
+
+func guaranteedCode(t *testing.T, bfw int) *an.Code {
+	t.Helper()
+	a, ok := an.SuperA(8, bfw)
+	if !ok {
+		t.Fatalf("no super A for 8-bit data at min bfw %d", bfw)
+	}
+	code, err := an.New(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+// TestInjectorConcurrentPoolJobs shares one injector across parallel pool
+// jobs - the usage pattern of injection-adjacent tests since the morsel
+// layer landed. Run under -race (the CI race job does) this fails on the
+// old bare *rand.Rand; with the mutex every column still receives its
+// full, detectable flip budget.
+func TestInjectorConcurrentPoolJobs(t *testing.T) {
+	code := guaranteedCode(t, 2)
+	in := NewInjector(7)
+	pool := exec.NewPool(4)
+	defer pool.Close()
+
+	cols := make([]*storage.Column, 8)
+	for i := range cols {
+		cols[i] = hardenedColumn(t, 4096, code)
+	}
+	jobs := make([]func(), len(cols))
+	errs := make([]error, len(cols))
+	for i := range jobs {
+		i := i
+		jobs[i] = func() {
+			_, errs[i] = in.FlipRandom(cols[i], 64, 2)
+		}
+	}
+	pool.Jobs(jobs...)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	for i, c := range cols {
+		bad, err := c.CheckAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bad) != 64 {
+			t.Fatalf("column %d: detected %d of 64 weight-2 flips", i, len(bad))
+		}
+	}
+}
+
+// TestInjectorFork gives each goroutine its own derived injector; fork
+// sequences must be reproducible from the parent seed.
+func TestInjectorFork(t *testing.T) {
+	a := NewInjector(11)
+	b := NewInjector(11)
+	fa, fb := a.Fork(), b.Fork()
+	for i := 0; i < 50; i++ {
+		ma, err := fa.Mask(13, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := fb.Mask(13, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ma != mb {
+			t.Fatalf("fork draw %d diverges: %b vs %b", i, ma, mb)
+		}
+	}
+}
+
+func TestStuckFaultReasserts(t *testing.T) {
+	code := guaranteedCode(t, 2)
+	col := hardenedColumn(t, 64, code)
+	set := NewStuckSet()
+	in := NewInjector(3)
+
+	f, err := set.StickAt(in, col, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := col.Get(5)
+	if code.IsValid(faulty) {
+		t.Fatal("weight-2 flip within the guarantee must invalidate the word")
+	}
+	// A repair writes the correct value back ...
+	col.Set(5, 5)
+	if !code.IsValid(col.Get(5)) {
+		t.Fatal("repair did not restore a valid word")
+	}
+	// ... but the stuck bits reassert.
+	if n := set.Reassert(); n != 1 {
+		t.Fatalf("reassert touched %d words, want 1", n)
+	}
+	if got := col.Get(5); got != faulty {
+		t.Fatalf("after reassert word is %#x, want the faulty %#x", got, faulty)
+	}
+	if n := set.Reassert(); n != 0 {
+		t.Fatalf("idempotent reassert touched %d words", n)
+	}
+	if f.Position() != 5 || f.Mask() == 0 {
+		t.Fatalf("fault metadata: pos %d mask %#x", f.Position(), f.Mask())
+	}
+
+	// Release ends the fault: the next repair finally takes.
+	set.Release()
+	if set.Len() != 0 {
+		t.Fatal("release must drop all faults")
+	}
+	col.Set(5, 5)
+	if n := set.Reassert(); n != 0 {
+		t.Fatal("released set must not reassert")
+	}
+	if !code.IsValid(col.Get(5)) {
+		t.Fatal("repair after release must stick")
+	}
+
+	if _, err := set.StickAt(in, col, col.Len(), 2); err == nil {
+		t.Fatal("out-of-range stuck-at position must error")
+	}
+}

@@ -13,18 +13,42 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ahead/internal/storage"
 )
 
-// Injector produces reproducible bit flips.
+// Injector produces reproducible bit flips. It is safe for concurrent
+// use: the underlying rand.Rand is not, and injection-adjacent tests run
+// as parallel pool jobs since the morsel-execution layer landed, so every
+// draw from the source is serialized behind a mutex. The draw sequence -
+// and therefore reproducibility for a given seed - is only deterministic
+// when calls themselves arrive in a deterministic order (serial use, or
+// one injector per goroutine via Fork).
 type Injector struct {
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
 // NewInjector returns an injector seeded for reproducibility.
 func NewInjector(seed int64) *Injector {
 	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independently seeded injector. Concurrent campaigns
+// that need per-goroutine reproducibility (not just race freedom) give
+// each goroutine its own fork instead of sharing one draw sequence.
+func (in *Injector) Fork() *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return NewInjector(in.rng.Int63())
+}
+
+// intn is rand.Intn behind the injector's mutex.
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
 }
 
 // Mask returns a random error pattern of exactly weight distinct bits
@@ -35,7 +59,7 @@ func (in *Injector) Mask(width uint, weight int) (uint64, error) {
 	}
 	var mask uint64
 	for i := 0; i < weight; {
-		b := uint(in.rng.Intn(int(width)))
+		b := uint(in.intn(int(width)))
 		if mask&(1<<b) == 0 {
 			mask |= 1 << b
 			i++
@@ -70,7 +94,7 @@ func (in *Injector) FlipRandom(col *storage.Column, count, weight int) ([]int, e
 	seen := make(map[int]bool, count)
 	out := make([]int, 0, count)
 	for len(out) < count {
-		pos := in.rng.Intn(col.Len())
+		pos := in.intn(col.Len())
 		if seen[pos] {
 			continue
 		}
@@ -114,7 +138,7 @@ func Campaign(col *storage.Column, in *Injector, trials, weight int) (CampaignRe
 	}
 	res := CampaignResult{Weight: weight, Trials: trials}
 	for t := 0; t < trials; t++ {
-		pos := in.rng.Intn(col.Len())
+		pos := in.intn(col.Len())
 		orig := col.Get(pos)
 		mask, err := in.FlipAt(col, pos, weight)
 		if err != nil {

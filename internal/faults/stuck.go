@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"ahead/internal/storage"
+)
+
+// StuckFault models a persistent (stuck-at) hardware fault: the bits
+// under Mask of one physical word are stuck at the faulty values they
+// flipped to, so any repair that rewrites the word is immediately
+// re-corrupted. Transient flips (FlipAt) disappear once repaired; a
+// stuck fault reasserts itself, which is what drives the recovery loop
+// into retry exhaustion and quarantine.
+type StuckFault struct {
+	col   *storage.Column
+	pos   int
+	mask  uint64
+	stuck uint64 // faulty values of the bits under mask
+}
+
+// Position returns the affected array position.
+func (f *StuckFault) Position() int { return f.pos }
+
+// Mask returns the stuck bit pattern.
+func (f *StuckFault) Mask() uint64 { return f.mask }
+
+// assert forces the stuck bits back to their faulty values, leaving all
+// other bits of the word as they are. It reports whether the word had to
+// be changed (i.e. something repaired it since the last assert).
+func (f *StuckFault) assert() bool {
+	cur := f.col.Get(f.pos)
+	target := (cur &^ f.mask) | f.stuck
+	if target == cur {
+		return false
+	}
+	f.col.Corrupt(f.pos, cur^target)
+	return true
+}
+
+// StuckSet is a collection of persistent faults. Reassert replays every
+// fault, simulating cells that hold their faulty value across writes -
+// the recovery layer's WithReassert hook calls it after each repair pass.
+// A StuckSet is safe for concurrent use.
+type StuckSet struct {
+	mu     sync.Mutex
+	faults []*StuckFault
+}
+
+// NewStuckSet returns an empty persistent-fault set.
+func NewStuckSet() *StuckSet { return &StuckSet{} }
+
+// StickAt injects a random flip of the given weight at position pos (as
+// FlipAt does) and registers it in the set as persistent: every Reassert
+// re-applies it until Release is called.
+func (s *StuckSet) StickAt(in *Injector, col *storage.Column, pos, weight int) (*StuckFault, error) {
+	if pos < 0 || pos >= col.Len() {
+		return nil, fmt.Errorf("faults: stuck-at position %d out of range [0,%d)", pos, col.Len())
+	}
+	mask, err := in.FlipAt(col, pos, weight)
+	if err != nil {
+		return nil, err
+	}
+	f := &StuckFault{col: col, pos: pos, mask: mask, stuck: col.Get(pos) & mask}
+	s.mu.Lock()
+	s.faults = append(s.faults, f)
+	s.mu.Unlock()
+	return f, nil
+}
+
+// Reassert re-applies every registered fault and returns how many words
+// had been repaired since the previous call (and are now faulty again).
+func (s *StuckSet) Reassert() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.faults {
+		if f.assert() {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of registered persistent faults.
+func (s *StuckSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.faults)
+}
+
+// Release drops all registered faults without touching the data: the
+// cells stop reasserting (e.g. after hardware replacement), so a
+// subsequent repair finally takes.
+func (s *StuckSet) Release() {
+	s.mu.Lock()
+	s.faults = nil
+	s.mu.Unlock()
+}

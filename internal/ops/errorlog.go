@@ -10,6 +10,8 @@ package ops
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"ahead/internal/an"
 )
@@ -43,6 +45,13 @@ func NewErrorLog() *ErrorLog { return &ErrorLog{} }
 // RepairHardened) only acts on exact base-column entries.
 func VecLogName(vec string) string { return "vec:" + vec }
 
+// IsVecColumn reports whether a log column name lives in the vec:
+// intermediate namespace. Detections there point at transient operator
+// outputs: re-running the query recomputes them, so recovery retries
+// without a repair step, whereas base-column entries are repaired from
+// the plain replica first.
+func IsVecColumn(name string) bool { return strings.HasPrefix(name, "vec:") }
+
 // Record notes a corrupted value at plain position pos of column col.
 func (l *ErrorLog) Record(col string, pos uint64) {
 	l.entries = append(l.entries, ErrorEntry{Column: col, HardenedPos: PosCode.Encode(pos)})
@@ -54,8 +63,13 @@ func (l *ErrorLog) Count() int { return len(l.entries) }
 // Entries returns the raw hardened entries.
 func (l *ErrorLog) Entries() []ErrorEntry { return l.entries }
 
-// Positions decodes and verifies the recorded positions for one column.
-// An error is returned if the log itself was corrupted.
+// Positions decodes and verifies the recorded positions for one column,
+// returning them sorted and deduplicated. Continuous detection records the
+// same corrupted position once per operator that touches it (a filter and
+// a later gather both log it); repairing from such a log must not rewrite
+// positions repeatedly or inflate repair counts, so the raw entry stream
+// collapses to the distinct position set here. An error is returned if the
+// log itself was corrupted.
 func (l *ErrorLog) Positions(col string) ([]uint64, error) {
 	var out []uint64
 	for _, e := range l.entries {
@@ -68,7 +82,47 @@ func (l *ErrorLog) Positions(col string) ([]uint64, error) {
 		}
 		out = append(out, pos)
 	}
-	return out, nil
+	if len(out) == 0 {
+		return nil, nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	distinct := out[:1]
+	for _, p := range out[1:] {
+		if p != distinct[len(distinct)-1] {
+			distinct = append(distinct, p)
+		}
+	}
+	return distinct, nil
+}
+
+// Columns returns the distinct column names with recorded detections,
+// sorted for deterministic iteration.
+func (l *ErrorLog) Columns() []string {
+	seen := make(map[string]bool, 4)
+	var out []string
+	for _, e := range l.entries {
+		if !seen[e.Column] {
+			seen[e.Column] = true
+			out = append(out, e.Column)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PartitionColumns splits the distinct detection columns into repairable
+// base columns and vec: intermediates (both sorted). The recovery loop
+// repairs the former from the plain replica and merely re-executes for the
+// latter.
+func (l *ErrorLog) PartitionColumns() (base, vec []string) {
+	for _, c := range l.Columns() {
+		if IsVecColumn(c) {
+			vec = append(vec, c)
+		} else {
+			base = append(base, c)
+		}
+	}
+	return base, vec
 }
 
 // Merge appends all entries of other, preserving their order - the

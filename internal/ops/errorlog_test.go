@@ -1,0 +1,58 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPositionsDeduplicatesAndSorts covers the double-repair fix:
+// Continuous detection logs a corrupted position once per operator that
+// touches it, but Positions must collapse the stream to the distinct
+// sorted set so repairs are applied (and counted) exactly once.
+func TestPositionsDeduplicatesAndSorts(t *testing.T) {
+	log := NewErrorLog()
+	log.Record("col", 42)
+	log.Record("col", 7)
+	log.Record("col", 42) // second operator touching position 42
+	log.Record("col", 7)  // and 7 again
+	log.Record("col", 42)
+	log.Record("other", 42)
+	if log.Count() != 6 {
+		t.Fatalf("raw entry count %d, want 6 (dedup must not drop raw entries)", log.Count())
+	}
+	pos, err := log.Positions("col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos, []uint64{7, 42}) {
+		t.Fatalf("positions %v, want [7 42]", pos)
+	}
+	if pos, err := log.Positions("missing"); err != nil || pos != nil {
+		t.Fatalf("missing column: %v, %v", pos, err)
+	}
+}
+
+func TestColumnsPartition(t *testing.T) {
+	log := NewErrorLog()
+	log.Record("lo_revenue", 1)
+	log.Record(VecLogName("sum"), 0)
+	log.Record("lo_discount", 2)
+	log.Record("lo_revenue", 3)
+	if got := log.Columns(); !reflect.DeepEqual(got, []string{"lo_discount", "lo_revenue", "vec:sum"}) {
+		t.Fatalf("columns %v", got)
+	}
+	base, vec := log.PartitionColumns()
+	if !reflect.DeepEqual(base, []string{"lo_discount", "lo_revenue"}) {
+		t.Fatalf("base %v", base)
+	}
+	if !reflect.DeepEqual(vec, []string{"vec:sum"}) {
+		t.Fatalf("vec %v", vec)
+	}
+	if !IsVecColumn(VecLogName("x")) || IsVecColumn("lo_revenue") {
+		t.Fatal("IsVecColumn misclassifies")
+	}
+	empty := NewErrorLog()
+	if b, v := empty.PartitionColumns(); b != nil || v != nil {
+		t.Fatalf("empty log partition %v %v", b, v)
+	}
+}

@@ -1,0 +1,142 @@
+package ssb
+
+import (
+	"fmt"
+	"io"
+
+	"ahead/internal/exec"
+	"ahead/internal/faults"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// SoakConfig parameterizes an injection soak: all 13 SSB queries run
+// under supervised recovery while transient faults are injected into the
+// hardened base data before every query.
+type SoakConfig struct {
+	Mode       exec.Mode  // detection variant; must read hardened data
+	Flavor     ops.Flavor // kernel flavor (zero value = Scalar)
+	Flips      int        // flips injected before each query (default 8)
+	Seed       int64      // injector seed
+	MaxRetries int        // recovery retry budget (default exec.DefaultMaxRetries)
+}
+
+// SoakQueryResult is one query's outcome under the soak.
+type SoakQueryResult struct {
+	Query    string
+	Column   string // column injected before this query
+	Injected int
+	Attempts int
+	Repaired int // distinct positions repaired during recovery
+	ResultOK bool
+	Report   *exec.RecoveryReport
+}
+
+// soakTargets returns the hardened lineorder columns eligible for
+// injection plus the flip weight that stays within each code's published
+// detection guarantee (weight 2 up to 32 data bits, single flips for the
+// wide heap-reference codes - any AN code detects ±2^i).
+func (s *Suite) soakTargets() (cols []*storage.Column, weights []int) {
+	for _, c := range s.DB.Hardened("lineorder").Columns() {
+		code := c.Code()
+		if code == nil {
+			continue
+		}
+		w := 2
+		if code.DataBits() > 32 {
+			w = 1
+		}
+		cols = append(cols, c)
+		weights = append(weights, w)
+	}
+	return cols, weights
+}
+
+// SoakRecovery runs the injection soak: for every query it computes the
+// fault-free reference, injects cfg.Flips transient flips into one
+// hardened lineorder column (round-robin over all hardened columns, so
+// the 13 queries cover every width class and code), executes the query
+// via exec.RunWithRecovery on the suite's pool, and verifies the
+// recovered result against the reference. Faults in columns a query does
+// not touch stay latent until a later query - or the final Scrub, whose
+// repair count is returned - picks them up; either way every query must
+// come back with the fault-free answer.
+func (s *Suite) SoakRecovery(cfg SoakConfig) ([]SoakQueryResult, int, error) {
+	if cfg.Flips <= 0 {
+		cfg.Flips = 8
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = exec.DefaultMaxRetries
+	}
+	if !cfg.Mode.UsesHardenedData() {
+		return nil, 0, fmt.Errorf("ssb: soak needs a hardened detection mode, got %v", cfg.Mode)
+	}
+
+	// Fault-free references first: injection below corrupts the hardened
+	// tables, and repairs trickle in query by query.
+	refs := make(map[string]*ops.Result, len(QueryNames))
+	for _, q := range QueryNames {
+		r, _, err := s.Run(q, cfg.Mode, cfg.Flavor)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ssb: fault-free reference for %s: %w", q, err)
+		}
+		refs[q] = r
+	}
+
+	cols, weights := s.soakTargets()
+	inj := faults.NewInjector(cfg.Seed)
+	recOpts := []exec.RecoveryOption{exec.WithMaxRetries(cfg.MaxRetries)}
+	if runOpts := s.runOpts(); len(runOpts) > 0 {
+		recOpts = append(recOpts, exec.WithRecoveryRunOptions(runOpts...))
+	}
+
+	var out []SoakQueryResult
+	for i, q := range QueryNames {
+		col, weight := cols[i%len(cols)], weights[i%len(cols)]
+		injected, err := inj.FlipRandom(col, cfg.Flips, weight)
+		if err != nil {
+			return out, 0, fmt.Errorf("ssb: injecting into %s before %s: %w", col.Name(), q, err)
+		}
+		res, rep, err := exec.RunWithRecovery(s.DB, cfg.Mode, cfg.Flavor, Queries[q], recOpts...)
+		r := SoakQueryResult{
+			Query:    q,
+			Column:   col.Name(),
+			Injected: len(injected),
+			Report:   rep,
+			Attempts: rep.Attempts,
+			Repaired: rep.RepairedCount(),
+		}
+		if err != nil {
+			out = append(out, r)
+			return out, 0, fmt.Errorf("ssb: %s under recovery: %w", q, err)
+		}
+		r.ResultOK = res.Equal(refs[q])
+		out = append(out, r)
+	}
+
+	// Sweep the latent corruption queries never touched.
+	scrubbed, err := s.DB.Scrub()
+	if err != nil {
+		return out, 0, fmt.Errorf("ssb: final scrub: %w", err)
+	}
+	total := 0
+	for _, n := range scrubbed {
+		total += n
+	}
+	return out, total, nil
+}
+
+// PrintSoakTable renders the soak outcome, one row per query.
+func PrintSoakTable(w io.Writer, results []SoakQueryResult, scrubbed int) {
+	fmt.Fprintf(w, "%-6s %-18s %9s %9s %9s %7s\n",
+		"query", "injected column", "flips", "attempts", "repaired", "result")
+	for _, r := range results {
+		verdict := "OK"
+		if !r.ResultOK {
+			verdict = "WRONG"
+		}
+		fmt.Fprintf(w, "%-6s %-18s %9d %9d %9d %7s\n",
+			r.Query, r.Column, r.Injected, r.Attempts, r.Repaired, verdict)
+	}
+	fmt.Fprintf(w, "final scrub repaired %d latent positions\n", scrubbed)
+}

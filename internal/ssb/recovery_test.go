@@ -1,0 +1,144 @@
+package ssb
+
+import (
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/faults"
+	"ahead/internal/ops"
+)
+
+// TestSoakRecoveryAllQueries runs the full injection soak: all 13 SSB
+// queries under supervised recovery with transient flips injected before
+// every query. Every query must come back with the fault-free answer,
+// and every injected flip must be accounted for - repaired during
+// recovery or swept by the final scrub.
+func TestSoakRecoveryAllQueries(t *testing.T) {
+	suite, _, err := NewSuite(0.005, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer suite.Close()
+	const flips = 5
+	results, scrubbed, err := suite.SoakRecovery(SoakConfig{
+		Mode:   exec.Continuous,
+		Flavor: ops.Blocked,
+		Flips:  flips,
+		Seed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(QueryNames) {
+		t.Fatalf("soaked %d queries, want %d", len(results), len(QueryNames))
+	}
+	totalRepaired := 0
+	for _, r := range results {
+		if !r.ResultOK {
+			t.Errorf("%s: recovered result differs from the fault-free reference (injected %s, report %v)",
+				r.Query, r.Column, r.Report)
+		}
+		if r.Attempts < 1 || r.Injected != flips {
+			t.Errorf("%s: odd accounting %+v", r.Query, r)
+		}
+		totalRepaired += r.Repaired
+	}
+	if got, want := totalRepaired+scrubbed, flips*len(QueryNames); got != want {
+		t.Fatalf("accounted for %d flips (%d repaired + %d scrubbed), injected %d",
+			got, totalRepaired, scrubbed, want)
+	}
+	if totalRepaired == 0 {
+		t.Fatal("soak never exercised the repair path")
+	}
+	if q := suite.DB.QuarantinedColumns(); len(q) != 0 {
+		t.Fatalf("transient soak must not quarantine, got %v", q)
+	}
+}
+
+// TestSoakRecoverySerialParallelEquivalence is the PR 1 equivalence
+// invariant extended through the recovery loop: identical injections into
+// identical data must produce identical RecoveryReports - attempts,
+// repaired positions per column, escalations - whether each attempt runs
+// serially or morsel-parallel.
+func TestSoakRecoverySerialParallelEquivalence(t *testing.T) {
+	cfg := SoakConfig{Mode: exec.Continuous, Flavor: ops.Blocked, Flips: 4, Seed: 7}
+	run := func(workers int) ([]SoakQueryResult, int) {
+		t.Helper()
+		suite, _, err := NewSuite(0.005, 11, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer suite.Close()
+		if workers != 1 {
+			suite.WithParallelism(workers)
+		}
+		results, scrubbed, err := suite.SoakRecovery(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, scrubbed
+	}
+	serial, sScrub := run(1)
+	parallel, pScrub := run(4)
+	if sScrub != pScrub {
+		t.Fatalf("scrub sweep diverges: %d serial vs %d parallel", sScrub, pScrub)
+	}
+	for i, s := range serial {
+		p := parallel[i]
+		if s.Query != p.Query || s.Column != p.Column || s.Injected != p.Injected ||
+			s.Attempts != p.Attempts || s.Repaired != p.Repaired || s.ResultOK != p.ResultOK {
+			t.Fatalf("%s: soak rows diverge:\nserial:   %+v\nparallel: %+v", s.Query, s, p)
+		}
+		if !s.Report.Equal(p.Report) {
+			t.Fatalf("%s: recovery reports diverge:\nserial:   %v\nparallel: %v", s.Query, s.Report, p.Report)
+		}
+	}
+}
+
+// TestRecoveryStuckAtOnSSBData drives the escalation path on real SSB
+// data and a real query plan: a stuck-at fault in the part foreign key
+// exhausts the budget under Q2.1, quarantines lo_partkey, and the
+// degraded DMR fallback still returns the fault-free answer - serial and
+// parallel alike.
+func TestRecoveryStuckAtOnSSBData(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		suite, _, err := NewSuite(0.005, 11, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers != 1 {
+			suite.WithParallelism(workers)
+		}
+		ref, _, err := suite.Run("Q2.1", exec.Continuous, ops.Blocked)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fk := suite.DB.Hardened("lineorder").MustColumn("lo_partkey")
+		set := faults.NewStuckSet()
+		if _, err := set.StickAt(faults.NewInjector(3), fk, 100, 2); err != nil {
+			t.Fatal(err)
+		}
+		recOpts := []exec.RecoveryOption{
+			exec.WithReassert(func() { set.Reassert() }),
+			exec.WithDegradedFallback(true),
+		}
+		if workers != 1 {
+			recOpts = append(recOpts, exec.WithRecoveryRunOptions(exec.WithPool(suite.Pool())))
+		}
+		res, rep, err := exec.RunWithRecovery(suite.DB, exec.Continuous, ops.Blocked, Queries["Q2.1"], recOpts...)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Attempts != 1+exec.DefaultMaxRetries || !rep.Degraded || rep.FinalMode != exec.DMR {
+			t.Fatalf("workers=%d: report %v", workers, rep)
+		}
+		if !suite.DB.IsQuarantined("lo_partkey") {
+			t.Fatalf("workers=%d: lo_partkey not quarantined", workers)
+		}
+		if !res.Equal(ref) {
+			t.Fatalf("workers=%d: degraded result differs from fault-free answer", workers)
+		}
+		suite.Close()
+	}
+}
