@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench-smoke clean
+# Knobs of the benchmark-regression harness (make bench-json).
+BENCH_SF ?= 0.1
+BENCH_TOLERANCE ?= 0.20
+
+.PHONY: all build test race lint bench-smoke bench-json clean
 
 all: build test
 
@@ -28,6 +32,16 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/ahead-ssb -sf 0.01 -runs 1 -compare -parallel 0 \
 		-json ssb-timings.json
+
+# The benchmark-regression harness: kernel micro-benchmarks plus an SSB
+# subset (serial and pool-parallel, Unprotected/Early/Continuous),
+# written to BENCH_kernels.json and gated against the committed baseline
+# (median-normalized ns/op within BENCH_TOLERANCE, near-absolute
+# allocs/op). Regenerate the baseline after an intentional perf change:
+#   go run ./cmd/ahead-bench -sf 0.1 -json bench/baseline.json
+bench-json:
+	$(GO) run ./cmd/ahead-bench -sf $(BENCH_SF) -json BENCH_kernels.json \
+		-baseline bench/baseline.json -tolerance $(BENCH_TOLERANCE)
 
 clean:
 	rm -f ssb-timings.json

@@ -63,6 +63,58 @@ func ssbDB(b *testing.B) *exec.DB {
 	return benchDB
 }
 
+// fusedBenchDB caches the larger SF 0.1 database of the fused-kernel
+// comparison (BenchmarkFilterGatherSum); the figure benchmarks above stay
+// on the small ssbDB.
+var (
+	fusedBenchOnce sync.Once
+	fusedBenchDB   *exec.DB
+)
+
+func fusedDB(b *testing.B) *exec.DB {
+	b.Helper()
+	fusedBenchOnce.Do(func() {
+		data, err := ssb.Generate(0.1, 1) // 600k lineorder rows
+		if err != nil {
+			panic(err)
+		}
+		db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+		if err != nil {
+			panic(err)
+		}
+		fusedBenchDB = db
+	})
+	return fusedBenchDB
+}
+
+// BenchmarkFilterGatherSum compares the fused scan->semijoin->sum-product
+// tail of the Q1.1 flight (ops.FusedFilterSemiSumProduct, DESIGN.md
+// section 5e) against the materializing filter->gather->sum pipeline it
+// replaces, per mode at SF 0.1. The fused variant is the acceptance
+// subject of the zero-allocation layer: it should run >=1.5x faster than
+// the materializing pipeline for the Unprotected and Continuous modes.
+func BenchmarkFilterGatherSum(b *testing.B) {
+	db := fusedDB(b)
+	plans := []struct {
+		name string
+		plan exec.QueryFunc
+	}{
+		{"fused", ssb.Queries["Q1.1"]},
+		{"materialized", ssb.Q11Materialized},
+	}
+	for _, mode := range []exec.Mode{exec.Unprotected, exec.LateOnetime, exec.Continuous} {
+		for _, p := range plans {
+			b.Run(mode.String()+"/"+p.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := exec.Run(db, mode, ops.Blocked, p.plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig1And6And11_SSB times every SSB query under every mode, in
 // both kernel flavors. Relative per-query numbers (Figures 6/11) and the
 // cross-query average (Figure 1a) follow from the per-mode timings;

@@ -1,0 +1,157 @@
+// Package benchfmt defines the schema-stable JSON format of the
+// benchmark-regression harness (cmd/ahead-bench) and the tolerance gate
+// CI applies between a fresh run and the committed baseline.
+//
+// Wall-clock numbers are not comparable across machines, so the gate
+// never compares raw ns/op: each benchmark's cur/base ratio is compared
+// against the median ratio across all benchmarks - the machine-speed
+// estimate - and only benchmarks regressing relative to that bulk fail.
+// Allocation counts are deterministic for a fixed workload shape (fixed
+// worker count and morsel size), so they compare near-absolutely, with a
+// small slack for runtime/toolchain drift.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema is the format identifier embedded in every report.
+const Schema = "ahead-bench/v1"
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is one full harness run.
+type Report struct {
+	Schema      string  `json:"schema"`
+	ScaleFactor float64 `json:"scale_factor"`
+	Workers     int     `json:"workers"`
+	// Reference names the benchmark readers should use to put the other
+	// ns/op numbers in context (the gate itself normalizes by the median
+	// cur/base ratio, not by this entry).
+	Reference  string  `json:"reference"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Sort orders the entries by name, making the serialized report stable
+// regardless of benchmark execution order.
+func (r *Report) Sort() {
+	sort.Slice(r.Benchmarks, func(i, j int) bool { return r.Benchmarks[i].Name < r.Benchmarks[j].Name })
+}
+
+// Entry returns the named measurement.
+func (r *Report) Entry(name string) (Entry, bool) {
+	for _, e := range r.Benchmarks {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Write serializes the report (sorted, indented, trailing newline).
+func Write(path string, r *Report) error {
+	r.Sort()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads and validates a report.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	if r.Reference == "" {
+		return nil, fmt.Errorf("benchfmt: %s: missing reference benchmark", path)
+	}
+	return &r, nil
+}
+
+// Violation is one regression the gate found.
+type Violation struct {
+	Name   string
+	Reason string
+}
+
+func (v Violation) String() string { return v.Name + ": " + v.Reason }
+
+// Speed estimates how much slower (or faster) the current machine/run is
+// than the baseline's: the median of the per-benchmark cur/base ns/op
+// ratios. The median is the robust choice - a genuine regression moves
+// only its own benchmark's ratio, not the bulk of the distribution, while
+// a slower machine moves every ratio together. Returns 1 when no
+// benchmark is shared.
+func Speed(cur, base *Report) float64 {
+	var ratios []float64
+	for _, b := range base.Benchmarks {
+		if c, ok := cur.Entry(b.Name); ok && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			ratios = append(ratios, c.NsPerOp/b.NsPerOp)
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2]
+}
+
+// Compare gates cur against base. A violation is reported when
+//
+//   - a baseline benchmark is missing from the current run (silently
+//     dropping coverage must fail, not pass);
+//   - a benchmark's cur/base ns/op ratio exceeds the median ratio across
+//     all shared benchmarks (the machine-speed estimate, see Speed) by
+//     more than tol (relative, e.g. 0.20 = 20%) - so a uniformly slower
+//     machine passes while a single slowed-down benchmark fails;
+//   - allocations per op exceed the baseline by more than 25% plus a
+//     flat slack of 4 (toolchain drift, not a pooling regression).
+//
+// New benchmarks present only in cur pass silently: adding coverage
+// must not require regenerating the baseline in the same change.
+func Compare(cur, base *Report, tol float64) []Violation {
+	var out []Violation
+	speed := Speed(cur, base)
+	for _, b := range base.Benchmarks {
+		c, ok := cur.Entry(b.Name)
+		if !ok {
+			out = append(out, Violation{Name: b.Name, Reason: "benchmark missing from current run"})
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > 0 {
+			if ratio := c.NsPerOp / b.NsPerOp; ratio > speed*(1+tol) {
+				out = append(out, Violation{
+					Name: b.Name,
+					Reason: fmt.Sprintf("ns/op ratio %.3f exceeds machine-speed estimate %.3f by more than %.0f%%",
+						ratio, speed, tol*100),
+				})
+			}
+		}
+		if allowed := b.AllocsPerOp + b.AllocsPerOp/4 + 4; c.AllocsPerOp > allowed {
+			out = append(out, Violation{
+				Name:   b.Name,
+				Reason: fmt.Sprintf("allocs/op %d exceeds baseline %d (allowed %d)", c.AllocsPerOp, b.AllocsPerOp, allowed),
+			})
+		}
+	}
+	return out
+}

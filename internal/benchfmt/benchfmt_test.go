@@ -1,0 +1,118 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func report(ref string, entries ...Entry) *Report {
+	return &Report{
+		Schema:      Schema,
+		ScaleFactor: 0.1,
+		Workers:     4,
+		Reference:   ref,
+		Benchmarks:  entries,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := report("ref",
+		Entry{Name: "zeta", NsPerOp: 100, AllocsPerOp: 3, BytesPerOp: 128},
+		Entry{Name: "ref", NsPerOp: 50, MBPerS: 800, AllocsPerOp: 1, BytesPerOp: 64},
+	)
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Reference != "ref" || got.Workers != 4 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Benchmarks) != 2 || got.Benchmarks[0].Name != "ref" || got.Benchmarks[1].Name != "zeta" {
+		t.Fatalf("entries not sorted on write: %+v", got.Benchmarks)
+	}
+	if e, ok := got.Entry("ref"); !ok || e.MBPerS != 800 || e.BytesPerOp != 64 {
+		t.Fatalf("entry lost fields: %+v", e)
+	}
+}
+
+func TestReadRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := report("ref", Entry{Name: "ref", NsPerOp: 1})
+	r.Schema = "other/v9"
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("Read accepted a foreign schema")
+	}
+}
+
+func TestCompareNormalizesByMedianRatio(t *testing.T) {
+	base := report("a",
+		Entry{Name: "a", NsPerOp: 100},
+		Entry{Name: "b", NsPerOp: 200},
+		Entry{Name: "k", NsPerOp: 300},
+	)
+	// Machine twice as slow across the board: no violation.
+	cur := report("a",
+		Entry{Name: "a", NsPerOp: 200},
+		Entry{Name: "b", NsPerOp: 400},
+		Entry{Name: "k", NsPerOp: 600},
+	)
+	if s := Speed(cur, base); s != 2 {
+		t.Fatalf("Speed = %v, want 2", s)
+	}
+	if v := Compare(cur, base, 0.20); len(v) != 0 {
+		t.Fatalf("uniform slowdown flagged: %v", v)
+	}
+	// k regressed 50% relative to the bulk: violation, and only k - the
+	// median is unaffected by the outlier itself.
+	cur.Benchmarks[2].NsPerOp = 900
+	v := Compare(cur, base, 0.20)
+	if len(v) != 1 || v[0].Name != "k" {
+		t.Fatalf("relative regression not flagged: %v", v)
+	}
+	// Within tolerance: no violation.
+	cur.Benchmarks[2].NsPerOp = 690
+	if v := Compare(cur, base, 0.20); len(v) != 0 {
+		t.Fatalf("in-tolerance drift flagged: %v", v)
+	}
+}
+
+func TestCompareAllocRule(t *testing.T) {
+	base := report("ref",
+		Entry{Name: "ref", NsPerOp: 100, AllocsPerOp: 8},
+		Entry{Name: "k", NsPerOp: 100, AllocsPerOp: 8},
+	)
+	cur := report("ref",
+		Entry{Name: "ref", NsPerOp: 100, AllocsPerOp: 8},
+		Entry{Name: "k", NsPerOp: 100, AllocsPerOp: 14}, // allowed: 8 + 2 + 4 = 14
+	)
+	if v := Compare(cur, base, 0.20); len(v) != 0 {
+		t.Fatalf("alloc slack not honored: %v", v)
+	}
+	cur.Benchmarks[1].AllocsPerOp = 15
+	v := Compare(cur, base, 0.20)
+	if len(v) != 1 || v[0].Name != "k" {
+		t.Fatalf("alloc regression not flagged: %v", v)
+	}
+}
+
+func TestCompareMissingBenchmarks(t *testing.T) {
+	base := report("ref",
+		Entry{Name: "ref", NsPerOp: 100},
+		Entry{Name: "gone", NsPerOp: 100},
+	)
+	cur := report("ref",
+		Entry{Name: "ref", NsPerOp: 100},
+		Entry{Name: "brand-new", NsPerOp: 100},
+	)
+	v := Compare(cur, base, 0.20)
+	if len(v) != 1 || v[0].Name != "gone" {
+		t.Fatalf("dropped benchmark must fail, new one must pass: %v", v)
+	}
+}

@@ -561,6 +561,13 @@ func (q *Query) Opts() *ops.Opts {
 	return o
 }
 
+// FuseOperators reports whether the plan may run fused operator chains
+// (ops.FusedFilterSemiSumProduct and friends) instead of materializing
+// every intermediate. All modes fuse except ContinuousReencoding, whose
+// defining trait - re-hardening each operator output with a next-smaller
+// A - requires exactly the intermediates fusion eliminates.
+func (q *Query) FuseOperators() bool { return q.mode != ContinuousReencoding }
+
 // Col returns the physical column a plan must use for table.column under
 // the current mode: the plain column (Unprotected), the replica column
 // (DMR second pass), the Δ-softened column (EarlyOnetime - verified and

@@ -149,9 +149,10 @@ func SumGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) 
 	detect := o.detect()
 	log := o.log()
 	if p := o.par(vals.Len()); p != nil {
-		parts, err := runMorsels(p, vals.Len(), log, func(plog *ErrorLog, start, end int) ([]uint64, error) {
-			part := make([]uint64, numGroups)
-			if err := sumGroupedRange(vals, gids, part, numGroups, o, plog, start, end); err != nil {
+		parts, err := runMorsels(p, vals.Len(), log, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
+			part := borrowU64Zeroed(numGroups)
+			if err := sumGroupedRange(vals, gids, *part, numGroups, o, plog, start, end); err != nil {
+				releaseU64(part)
 				return nil, err
 			}
 			return part, nil
@@ -162,9 +163,10 @@ func SumGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) 
 		// Raw code words add in the 64-bit ring, so per-morsel partial
 		// sums merge by addition into exactly the serial totals (Eq. 5).
 		for _, part := range parts {
-			for g, s := range part {
+			for g, s := range *part {
 				out.Vals[g] += s
 			}
+			releaseU64(part)
 		}
 	} else if err := sumGroupedRange(vals, gids, out.Vals, numGroups, o, log, 0, vals.Len()); err != nil {
 		return nil, err
@@ -321,9 +323,10 @@ func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, err
 	detect := o.detect()
 	log := o.log()
 	if p := o.par(a.Len()); p != nil {
-		parts, err := runMorsels(p, a.Len(), log, func(plog *ErrorLog, start, end int) ([]uint64, error) {
-			part := make([]uint64, numGroups)
-			if err := sumDiffRange(a, b, gids, part, numGroups, o, plog, start, end); err != nil {
+		parts, err := runMorsels(p, a.Len(), log, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
+			part := borrowU64Zeroed(numGroups)
+			if err := sumDiffRange(a, b, gids, *part, numGroups, o, plog, start, end); err != nil {
+				releaseU64(part)
 				return nil, err
 			}
 			return part, nil
@@ -332,9 +335,10 @@ func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, err
 			return nil, err
 		}
 		for _, part := range parts {
-			for g, s := range part {
+			for g, s := range *part {
 				out.Vals[g] += s
 			}
+			releaseU64(part)
 		}
 	} else if err := sumDiffRange(a, b, gids, out.Vals, numGroups, o, log, 0, a.Len()); err != nil {
 		return nil, err

@@ -68,49 +68,61 @@ func Filter(col *storage.Column, lo, hi uint64, o *Opts) (*Sel, error) {
 		return &Sel{Hardened: o != nil && o.HardenIDs}, nil
 	}
 	if p := o.par(col.Len()); p != nil {
-		parts, err := runMorsels(p, col.Len(), o.log(), func(log *ErrorLog, start, end int) ([]uint64, error) {
+		parts, err := runMorsels(p, col.Len(), o.log(), func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return filterRange(col, lo, hi, o, log, start, end)
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Sel{Pos: concat(parts), Hardened: o != nil && o.HardenIDs}, nil
+		return &Sel{Pos: concatOwned(parts), Hardened: o != nil && o.HardenIDs}, nil
 	}
 	pos, err := filterRange(col, lo, hi, o, o.log(), 0, col.Len())
 	if err != nil {
 		return nil, err
 	}
-	return &Sel{Pos: pos, Hardened: o != nil && o.HardenIDs}, nil
+	return &Sel{Pos: ownU64(pos), Hardened: o != nil && o.HardenIDs}, nil
 }
 
 // filterRange is the morsel kernel of Filter: it scans rows [start, end)
-// and emits global positions.
-func filterRange(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
+// and emits global positions into a borrowed scratch buffer whose
+// ownership transfers to the caller (see scratch.go). The buffer's
+// capacity covers end-start emissions, so the kernels below never grow
+// it.
+func filterRange(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, start, end int) (*[]uint64, error) {
+	buf := borrowU64(end - start)
+	var out []uint64
+	var err error
 	switch {
 	case col.Code() == nil:
-		return filterPlain(col, lo, hi, o, start, end)
+		out, err = filterPlain(col, lo, hi, o, start, end, *buf)
 	case o.detect():
-		return filterChecked(col, lo, hi, o, log, start, end)
+		out, err = filterChecked(col, lo, hi, o, log, start, end, *buf)
 	default:
 		code := col.Code()
 		if hi > code.MaxData() {
 			hi = code.MaxData()
 		}
-		return filterHardenedRaw(col, code.Encode(lo), code.Encode(hi), o, start, end)
+		out, err = filterHardenedRaw(col, code.Encode(lo), code.Encode(hi), o, start, end, *buf)
 	}
+	if err != nil {
+		releaseU64(buf)
+		return nil, err
+	}
+	*buf = out
+	return buf, nil
 }
 
-func filterPlain(col *storage.Column, lo, hi uint64, o *Opts, start, end int) ([]uint64, error) {
+func filterPlain(col *storage.Column, lo, hi uint64, o *Opts, start, end int, buf []uint64) ([]uint64, error) {
 	base := uint64(start)
 	switch {
 	case col.U8() != nil:
-		return rangeScan(col.U8()[start:end], clamp8(lo), clamp8(hi), base, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U8()[start:end], clamp8(lo), clamp8(hi), base, o.posMul(), o.flavor(), buf), nil
 	case col.U16() != nil:
-		return rangeScan(col.U16()[start:end], clamp16(lo), clamp16(hi), base, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U16()[start:end], clamp16(lo), clamp16(hi), base, o.posMul(), o.flavor(), buf), nil
 	case col.U32() != nil:
-		return rangeScan(col.U32()[start:end], clamp32(lo), clamp32(hi), base, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U32()[start:end], clamp32(lo), clamp32(hi), base, o.posMul(), o.flavor(), buf), nil
 	case col.U64() != nil:
-		return rangeScan(col.U64()[start:end], lo, hi, base, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U64()[start:end], lo, hi, base, o.posMul(), o.flavor(), buf), nil
 	default:
 		return nil, fmt.Errorf("ops: empty column %q", col.Name())
 	}
@@ -118,30 +130,30 @@ func filterPlain(col *storage.Column, lo, hi uint64, o *Opts, start, end int) ([
 
 // filterHardenedRaw compares raw code words against hardened bounds (the
 // Late-detection fast path: same scan as unprotected, just wider words).
-func filterHardenedRaw(col *storage.Column, loC, hiC uint64, o *Opts, start, end int) ([]uint64, error) {
+func filterHardenedRaw(col *storage.Column, loC, hiC uint64, o *Opts, start, end int, buf []uint64) ([]uint64, error) {
 	base := uint64(start)
 	switch {
 	case col.U16() != nil:
-		return rangeScan(col.U16()[start:end], uint16(loC), uint16(hiC), base, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U16()[start:end], uint16(loC), uint16(hiC), base, o.posMul(), o.flavor(), buf), nil
 	case col.U32() != nil:
-		return rangeScan(col.U32()[start:end], uint32(loC), uint32(hiC), base, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U32()[start:end], uint32(loC), uint32(hiC), base, o.posMul(), o.flavor(), buf), nil
 	case col.U64() != nil:
-		return rangeScan(col.U64()[start:end], loC, hiC, base, o.posMul(), o.flavor()), nil
+		return rangeScan(col.U64()[start:end], loC, hiC, base, o.posMul(), o.flavor(), buf), nil
 	default:
 		return nil, fmt.Errorf("ops: hardened column %q has unexpected width", col.Name())
 	}
 }
 
-func filterChecked(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
+func filterChecked(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, start, end int, buf []uint64) ([]uint64, error) {
 	code := col.Code()
 	base := uint64(start)
 	switch {
 	case col.U16() != nil:
-		return rangeScanChecked(col.U16()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor()), nil
+		return rangeScanChecked(col.U16()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor(), buf), nil
 	case col.U32() != nil:
-		return rangeScanChecked(col.U32()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor()), nil
+		return rangeScanChecked(col.U32()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor(), buf), nil
 	case col.U64() != nil:
-		return rangeScanChecked(col.U64()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor()), nil
+		return rangeScanChecked(col.U64()[start:end], code, lo, hi, col.Name(), log, base, o.posMul(), o.flavor(), buf), nil
 	default:
 		return nil, fmt.Errorf("ops: hardened column %q has unexpected width", col.Name())
 	}
@@ -155,25 +167,27 @@ func FilterSel(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts) (*Sel, err
 		return &Sel{Hardened: sel.Hardened}, nil
 	}
 	if p := o.par(sel.Len()); p != nil {
-		parts, err := runMorsels(p, sel.Len(), o.log(), func(log *ErrorLog, start, end int) ([]uint64, error) {
+		parts, err := runMorsels(p, sel.Len(), o.log(), func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return filterSelRange(col, lo, hi, sel, o, log, start, end)
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Sel{Pos: concat(parts), Hardened: sel.Hardened}, nil
+		return &Sel{Pos: concatOwned(parts), Hardened: sel.Hardened}, nil
 	}
 	pos, err := filterSelRange(col, lo, hi, sel, o, o.log(), 0, sel.Len())
 	if err != nil {
 		return nil, err
 	}
-	return &Sel{Pos: pos, Hardened: sel.Hardened}, nil
+	return &Sel{Pos: ownU64(pos), Hardened: sel.Hardened}, nil
 }
 
 // filterSelRange is the morsel kernel of FilterSel: it refines the
-// selection entries with global indices [start, end).
-func filterSelRange(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
-	out := make([]uint64, 0, end-start)
+// selection entries with global indices [start, end), emitting into a
+// borrowed scratch buffer whose ownership transfers to the caller.
+func filterSelRange(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts, log *ErrorLog, start, end int) (*[]uint64, error) {
+	buf := borrowU64(end - start)
+	out := (*buf)[:0]
 	code := col.Code()
 	detect := o.detect()
 	var loC, hiC uint64 = lo, hi
@@ -207,7 +221,8 @@ func filterSelRange(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts, log *
 			out = append(out, sel.Pos[i])
 		}
 	}
-	return out, nil
+	*buf = out
+	return buf, nil
 }
 
 func clamp8(v uint64) uint8 {
@@ -235,13 +250,15 @@ func clamp32(v uint64) uint32 {
 // the morsel's global row offset (0 for a serial whole-column scan). The
 // Blocked flavor uses predicated emission - the append index advances by
 // a comparison result instead of a taken branch - mirroring the
-// compare+movemask structure of the SIMD prototype.
-func rangeScan[T an.Unsigned](data []T, lo, hi T, base, posMul uint64, f Flavor) []uint64 {
+// compare+movemask structure of the SIMD prototype. Emissions go into
+// buf, whose capacity must cover len(data) entries (the scratch arena
+// guarantees it), so neither flavor ever allocates.
+func rangeScan[T an.Unsigned](data []T, lo, hi T, base, posMul uint64, f Flavor, buf []uint64) []uint64 {
 	if f == Blocked {
-		return rangeScanBlocked(data, lo, hi, base, posMul)
+		return rangeScanBlocked(data, lo, hi, base, posMul, buf)
 	}
 	span := hi - lo
-	out := make([]uint64, 0, len(data)/4+16)
+	out := buf[:0]
 	for i, v := range data {
 		if v-lo <= span {
 			out = append(out, (base+uint64(i))*posMul)
@@ -250,9 +267,9 @@ func rangeScan[T an.Unsigned](data []T, lo, hi T, base, posMul uint64, f Flavor)
 	return out
 }
 
-func rangeScanBlocked[T an.Unsigned](data []T, lo, hi T, base, posMul uint64) []uint64 {
+func rangeScanBlocked[T an.Unsigned](data []T, lo, hi T, base, posMul uint64, buf []uint64) []uint64 {
 	span := hi - lo
-	out := make([]uint64, len(data))
+	out := buf[:len(data)]
 	n := 0
 	for i, v := range data {
 		out[n] = (base + uint64(i)) * posMul
@@ -260,16 +277,17 @@ func rangeScanBlocked[T an.Unsigned](data []T, lo, hi T, base, posMul uint64) []
 			n++
 		}
 	}
-	return out[:n:n]
+	return out[:n]
 }
 
 // rangeScanChecked is the continuous-detection scan of Algorithm 1: soften
 // with the inverse, verify the domain bound, then evaluate the predicate
 // on the in-register decoded value. Corruptions are logged at their
-// global position base+i.
-func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, colName string, log *ErrorLog, base, posMul uint64, f Flavor) []uint64 {
+// global position base+i. Like rangeScan, emissions fill buf without
+// allocating.
+func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, colName string, log *ErrorLog, base, posMul uint64, f Flavor, buf []uint64) []uint64 {
 	if lo > code.MaxData() {
-		return nil
+		return buf[:0]
 	}
 	inv := T(code.AInv())
 	mask := T(code.CodeMask())
@@ -280,7 +298,7 @@ func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, col
 	}
 	span := thi - tlo
 	if f == Blocked {
-		out := make([]uint64, len(data))
+		out := buf[:len(data)]
 		n := 0
 		for i, v := range data {
 			d := v * inv & mask
@@ -295,9 +313,9 @@ func rangeScanChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, col
 				n++
 			}
 		}
-		return out[:n:n]
+		return out[:n]
 	}
-	out := make([]uint64, 0, len(data)/4+16)
+	out := buf[:0]
 	for i, v := range data {
 		d := v * inv & mask
 		if d > dmax {

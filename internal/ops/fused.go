@@ -1,0 +1,669 @@
+package ops
+
+import (
+	"fmt"
+
+	"ahead/internal/an"
+	"ahead/internal/hashmap"
+	"ahead/internal/storage"
+)
+
+// Fused kernels (DESIGN.md section 5e).
+//
+// The materializing pipeline of the SSB plans writes every intermediate -
+// selection vectors, gathered value vectors - to memory only for the next
+// operator to read it straight back. The kernels below fuse the
+// scan->semijoin->aggregate tails of the SSB flights into single passes
+// that keep the per-row state in registers, folding Algorithm 1's
+// inverse-based detection into the same pass for the Continuous variant.
+//
+// Mode semantics mirror the materializing operator chain exactly:
+//
+//   - plain columns (Unprotected/DMR/Early): predicates and sums on the
+//     stored values, no checks.
+//   - hardened without Detect (LateOnetime): predicates compare raw code
+//     words against hardened bounds (Eq. 6), join keys soften silently,
+//     and the aggregation inputs are softened with verification - the
+//     PreAggregate Δ of the variant - logging corruptions into the vec:
+//     namespace and decoding regardless, like Vec.Soften.
+//   - hardened with Detect (Continuous): every touched value is softened
+//     and verified in-pass (Algorithm 1); corrupted rows are logged at
+//     their global row position under the base-column name and dropped,
+//     and the final sums are domain-checked under the widened
+//     accumulator code.
+//
+// Fusion changes the shape of the error log, not the detection: entries
+// appear in global row order instead of grouping by operator pass, and a
+// row corrupt in several operators logs once per touched column rather
+// than once per operator. ErrorLog.Positions - the repair interface -
+// returns identical position sets, and fused serial and fused parallel
+// runs produce byte-identical logs for any morsel size: the kernels log
+// per stage and merge the stage logs back into row order per block
+// (mergeStageLogs), so the sequence is chunking-independent.
+//
+// Internally the row loop is blocked: each block of fusedBlockRows fact
+// rows runs the width-specialized scan kernels of the materializing
+// Filter column-at-a-time into a pooled position buffer that stays
+// cache-resident, and only the join probe and the aggregation walk rows
+// individually. This keeps the typed tight loops (the entire point of
+// the columnar layout) while never materializing a full-size
+// intermediate.
+//
+// The ContinuousReencoding variant is deliberately not fused: its
+// defining trait is re-hardening every operator *output*, and fusion
+// removes exactly those outputs (exec.Query.FuseOperators gates it).
+
+// RangePred is an inclusive plain-domain range predicate on one column,
+// the normal form of every SSB comparison (equality is lo == hi).
+type RangePred struct {
+	Col    *storage.Column
+	Lo, Hi uint64
+}
+
+// fusedPred is a RangePred with the per-mode comparison operands
+// precomputed once per kernel invocation instead of once per row.
+type fusedPred struct {
+	col   *storage.Column
+	code  *an.Code
+	lo    uint64 // comparison base (encoded for raw hardened compare)
+	span  uint64 // hi-lo in the comparison domain
+	inv   uint64
+	mask  uint64
+	dmax  uint64
+	empty bool // statically unsatisfiable range
+}
+
+func makeFusedPred(p RangePred, detect bool) fusedPred {
+	f := fusedPred{col: p.Col, code: p.Col.Code()}
+	lo, hi := p.Lo, p.Hi
+	if lo > hi {
+		f.empty = true
+		return f
+	}
+	switch {
+	case f.code == nil:
+		f.lo, f.span = lo, hi-lo
+	case detect:
+		f.inv, f.mask, f.dmax = f.code.AInv(), f.code.CodeMask(), f.code.MaxData()
+		if lo > f.dmax {
+			f.empty = true
+			return f
+		}
+		if hi > f.dmax {
+			hi = f.dmax
+		}
+		f.lo, f.span = lo, hi-lo
+	default:
+		// Raw code-word comparison: the multiplication's monotony makes
+		// the hardened bounds transfer (Eq. 6), same as filterHardenedRaw.
+		if lo > f.code.MaxData() {
+			f.empty = true
+			return f
+		}
+		if hi > f.code.MaxData() {
+			hi = f.code.MaxData()
+		}
+		f.lo = f.code.Encode(lo)
+		f.span = f.code.Encode(hi) - f.lo
+	}
+	return f
+}
+
+// fusedBlockRows is the unit of the blocked row loop: large enough to
+// amortize per-block bookkeeping, small enough that the position buffer
+// and the touched column slices stay cache-resident.
+const fusedBlockRows = 4096
+
+// maxFusedStages bounds the per-kernel stage-log array (predicates plus
+// the probe/aggregate stage); the SSB flights use at most three stages.
+const maxFusedStages = 8
+
+// scanBlock scans fact rows [bs, be) against the predicate, emitting the
+// passing global positions into buf via the same width-specialized
+// kernels the materializing Filter uses (posMul 1: fused positions never
+// materialize, so they stay plain).
+func (f *fusedPred) scanBlock(bs, be int, detect bool, flavor Flavor, log *ErrorLog, buf []uint64) []uint64 {
+	c := f.col
+	base := uint64(bs)
+	lo, hi := f.lo, f.lo+f.span
+	if f.code != nil && detect {
+		switch {
+		case c.U16() != nil:
+			return rangeScanChecked(c.U16()[bs:be], f.code, lo, hi, c.Name(), log, base, 1, flavor, buf)
+		case c.U32() != nil:
+			return rangeScanChecked(c.U32()[bs:be], f.code, lo, hi, c.Name(), log, base, 1, flavor, buf)
+		default:
+			return rangeScanChecked(c.U64()[bs:be], f.code, lo, hi, c.Name(), log, base, 1, flavor, buf)
+		}
+	}
+	// Plain values, or raw code words against hardened bounds (Eq. 6):
+	// either way an unchecked typed range scan.
+	switch {
+	case c.U8() != nil:
+		return rangeScan(c.U8()[bs:be], clamp8(lo), clamp8(hi), base, 1, flavor, buf)
+	case c.U16() != nil:
+		return rangeScan(c.U16()[bs:be], clamp16(lo), clamp16(hi), base, 1, flavor, buf)
+	case c.U32() != nil:
+		return rangeScan(c.U32()[bs:be], clamp32(lo), clamp32(hi), base, 1, flavor, buf)
+	default:
+		return rangeScan(c.U64()[bs:be], lo, hi, base, 1, flavor, buf)
+	}
+}
+
+// refineBlock keeps the positions of pos whose value passes the
+// predicate, compacting in place (the FilterSel of the fused pipeline).
+func (f *fusedPred) refineBlock(detect bool, log *ErrorLog, pos []uint64) []uint64 {
+	c := f.col
+	lo, hi := f.lo, f.lo+f.span
+	if f.code != nil && detect {
+		switch {
+		case c.U16() != nil:
+			return refineChecked(c.U16(), f.code, lo, hi, c.Name(), log, pos)
+		case c.U32() != nil:
+			return refineChecked(c.U32(), f.code, lo, hi, c.Name(), log, pos)
+		default:
+			return refineChecked(c.U64(), f.code, lo, hi, c.Name(), log, pos)
+		}
+	}
+	switch {
+	case c.U8() != nil:
+		return refineRange(c.U8(), clamp8(lo), clamp8(hi), pos)
+	case c.U16() != nil:
+		return refineRange(c.U16(), clamp16(lo), clamp16(hi), pos)
+	case c.U32() != nil:
+		return refineRange(c.U32(), clamp32(lo), clamp32(hi), pos)
+	default:
+		return refineRange(c.U64(), lo, hi, pos)
+	}
+}
+
+func refineRange[T an.Unsigned](data []T, lo, hi T, pos []uint64) []uint64 {
+	span := hi - lo
+	out := pos[:0]
+	for _, p := range pos {
+		if data[p]-lo <= span {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// refineChecked is rangeScanChecked over a position list: soften, verify
+// the domain bound (Algorithm 1), then compare in the plain domain.
+func refineChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, name string, log *ErrorLog, pos []uint64) []uint64 {
+	inv := T(code.AInv())
+	mask := T(code.CodeMask())
+	dmax := T(code.MaxData())
+	tlo, thi := T(lo), T(hi)
+	if uint64(dmax) < hi {
+		thi = dmax
+	}
+	span := thi - tlo
+	out := pos[:0]
+	for _, p := range pos {
+		d := data[p] * inv & mask
+		if d > dmax {
+			if log != nil {
+				log.Record(name, p)
+			}
+			continue
+		}
+		if d-tlo <= span {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// mergeStageLogs interleaves the per-stage logs of one block back into
+// global row order and appends them to dst, then resets the stage logs.
+// PosCode.Encode is monotone, so hardened positions compare like plain
+// ones. A row logs in at most one stage - a row dropped by a predicate
+// never reaches the next stage - so a position merge with stage order as
+// the tiebreak reproduces exactly the sequence a row-at-a-time loop
+// would have written, independent of block and morsel boundaries.
+func mergeStageLogs(dst *ErrorLog, stages []*ErrorLog) {
+	var idx [maxFusedStages]int
+	for {
+		best := -1
+		var bestPos uint64
+		for s, sl := range stages {
+			if idx[s] < len(sl.entries) {
+				if p := sl.entries[idx[s]].HardenedPos; best == -1 || p < bestPos {
+					best, bestPos = s, p
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		sl := stages[best]
+		for idx[best] < len(sl.entries) && sl.entries[idx[best]].HardenedPos == bestPos {
+			dst.entries = append(dst.entries, sl.entries[idx[best]])
+			idx[best]++
+		}
+	}
+	for _, sl := range stages {
+		sl.Reset()
+	}
+}
+
+// fusedCol is a column with its softening constants precomputed.
+type fusedCol struct {
+	col  *storage.Column
+	code *an.Code
+	inv  uint64
+	mask uint64
+	dmax uint64
+}
+
+func makeFusedCol(c *storage.Column) fusedCol {
+	f := fusedCol{col: c, code: c.Code()}
+	if f.code != nil {
+		f.inv, f.mask, f.dmax = f.code.AInv(), f.code.CodeMask(), f.code.MaxData()
+	}
+	return f
+}
+
+// FusedFilterSemiSumProduct runs the whole Q1.x tail in one pass over the
+// fact table: conjunctive range predicates, a semijoin of fk against the
+// build table ht, and the sum of a*b over the surviving rows - with no
+// intermediate selection or value vector. Predicates short-circuit left
+// to right, so a row failing the first predicate never touches the later
+// columns, exactly like the materializing filter cascade.
+func FusedFilterSemiSumProduct(preds []RangePred, fk *storage.Column, ht *hashmap.U64, a, b *storage.Column, o *Opts) (*Vec, error) {
+	n := fk.Len()
+	for _, p := range preds {
+		if p.Col.Len() != n {
+			return nil, fmt.Errorf("ops: fused scan over unequal column lengths %d/%d", p.Col.Len(), n)
+		}
+	}
+	if a.Len() != n || b.Len() != n {
+		return nil, fmt.Errorf("ops: fused sum-product over unequal column lengths")
+	}
+	if (a.Code() == nil) != (b.Code() == nil) {
+		return nil, fmt.Errorf("ops: fused sum-product needs both inputs plain or both hardened")
+	}
+	detect := o.detect()
+	log := o.log()
+	name := "sum(" + a.Name() + "*" + b.Name() + ")"
+
+	if len(preds) >= maxFusedStages {
+		return nil, fmt.Errorf("ops: fused scan over %d predicates (max %d)", len(preds), maxFusedStages-1)
+	}
+	fps := make([]fusedPred, len(preds))
+	for i, p := range preds {
+		fps[i] = makeFusedPred(p, detect)
+		if fps[i].empty {
+			return fusedSumOut(name, 0, a.Code(), detect, log)
+		}
+	}
+	flavor := o.flavor()
+	fkc := makeFusedCol(fk)
+	ac, bc := makeFusedCol(a), makeFusedCol(b)
+	var invB uint64
+	if bc.code != nil {
+		// (d_a·A_a)·(d_b·A_b)·A_b^-1 = d_a·d_b·A_a (Eq. 7c).
+		invB = an.InverseMod2N(bc.code.A(), 64)
+	}
+
+	var sum uint64
+	if p := o.par(n); p != nil {
+		// Ring addition commutes, so per-morsel partial sums merged in
+		// any order equal the serial sum exactly (Eq. 5).
+		parts, err := runMorsels(p, n, log, func(plog *ErrorLog, start, end int) (uint64, error) {
+			return fusedQ1Range(fps, fkc, ht, ac, bc, invB, detect, flavor, plog, start, end), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range parts {
+			sum += s
+		}
+	} else {
+		sum = fusedQ1Range(fps, fkc, ht, ac, bc, invB, detect, flavor, log, 0, n)
+	}
+	return fusedSumOut(name, sum, a.Code(), detect, log)
+}
+
+// fusedQ1Range is the morsel kernel of FusedFilterSemiSumProduct over
+// fact rows [start, end): per block, the first predicate scans
+// column-at-a-time into a pooled position buffer, the remaining
+// predicates compact it in place, and the survivors probe and
+// accumulate row-at-a-time.
+func fusedQ1Range(preds []fusedPred, fk fusedCol, ht *hashmap.U64, a, b fusedCol, invB uint64, detect bool, flavor Flavor, log *ErrorLog, start, end int) uint64 {
+	buf := borrowU64(fusedBlockRows)
+	defer releaseU64(buf)
+	// One pooled log per stage, merged back into row order per block, so
+	// the entry sequence is independent of block and morsel boundaries.
+	var stages [maxFusedStages]*ErrorLog
+	nStages := len(preds) + 1
+	if log != nil {
+		for s := 0; s < nStages; s++ {
+			stages[s] = borrowLog()
+		}
+		defer func() {
+			for s := 0; s < nStages; s++ {
+				releaseLog(stages[s])
+			}
+		}()
+	}
+
+	var sum uint64
+	for bs := start; bs < end; bs += fusedBlockRows {
+		be := bs + fusedBlockRows
+		if be > end {
+			be = end
+		}
+		var pos []uint64
+		if len(preds) == 0 {
+			pos = (*buf)[:be-bs]
+			for i := range pos {
+				pos[i] = uint64(bs + i)
+			}
+		} else {
+			pos = preds[0].scanBlock(bs, be, detect, flavor, stages[0], *buf)
+			for pi := 1; pi < len(preds); pi++ {
+				pos = preds[pi].refineBlock(detect, stages[pi], pos)
+			}
+		}
+		sum += fusedProbeSum(fk, ht, a, b, invB, detect, stages[len(preds)], pos)
+		if log != nil {
+			mergeStageLogs(log, stages[:nStages])
+		}
+	}
+	return sum
+}
+
+// fusedProbeSum runs the semijoin probe and the sum-product accumulation
+// over the surviving positions of one block.
+func fusedProbeSum(fk fusedCol, ht *hashmap.U64, a, b fusedCol, invB uint64, detect bool, log *ErrorLog, pos []uint64) uint64 {
+	var sum uint64
+	for _, p := range pos {
+		i := int(p)
+		// Semijoin probe: soften the FK into the build table's plain
+		// key domain; a corrupted FK is reported (Continuous) or
+		// silently dropped (Late), never silently matched.
+		kv := fk.col.Get(i)
+		if fk.code != nil {
+			d := kv * fk.inv & fk.mask
+			if d > fk.dmax {
+				if detect && log != nil {
+					log.Record(fk.col.Name(), p)
+				}
+				continue
+			}
+			kv = d
+		}
+		if _, ok := ht.Get(kv); !ok {
+			continue
+		}
+		av, bv := a.col.Get(i), b.col.Get(i)
+		switch {
+		case a.code == nil:
+			sum += av * bv
+		case detect:
+			da := av * a.inv & a.mask
+			db := bv * b.inv & b.mask
+			okA, okB := da <= a.dmax, db <= b.dmax
+			if !okA || !okB {
+				if log != nil {
+					if !okA {
+						log.Record(a.col.Name(), p)
+					}
+					if !okB {
+						log.Record(b.col.Name(), p)
+					}
+				}
+				continue
+			}
+			sum += av * bv * invB
+		default:
+			// LateOnetime: the PreAggregate Δ folded into the pass -
+			// verify and log, but decode and accumulate regardless,
+			// like Vec.Soften with detect set.
+			da := av * a.inv & a.mask
+			db := bv * b.inv & b.mask
+			if log != nil {
+				if da > a.dmax {
+					log.Record(VecLogName(a.col.Name()), p)
+				}
+				if db > b.dmax {
+					log.Record(VecLogName(b.col.Name()), p)
+				}
+			}
+			sum += da * db
+		}
+	}
+	return sum
+}
+
+// fusedSumOut wraps a fused scalar sum into the Vec the materializing
+// SumProduct would have produced: plain when the inputs decode to plain
+// (Unprotected/Early/Late), hardened under the widened accumulator code
+// with a final domain check when Continuous.
+func fusedSumOut(name string, sum uint64, code *an.Code, detect bool, log *ErrorLog) (*Vec, error) {
+	if code == nil || !detect {
+		return &Vec{Name: name, Vals: []uint64{sum}}, nil
+	}
+	acc, err := wideCode(code)
+	if err != nil {
+		return nil, err
+	}
+	out := &Vec{Name: name, Vals: []uint64{sum}, Code: acc}
+	if _, ok := acc.Check(sum); !ok && log != nil {
+		log.Record(VecLogName(name), 0)
+	}
+	return out, nil
+}
+
+// FusedGatherSumGrouped fuses the gather->PreAggregate->SumGrouped tail
+// of the grouped SSB flights: it fetches the measure column at the
+// selected positions and accumulates straight into the per-group sums,
+// never materializing the gathered vector.
+func FusedGatherSumGrouped(col *storage.Column, sel *Sel, gids []uint32, numGroups int, o *Opts) (*Vec, error) {
+	if sel.Len() != len(gids) {
+		return nil, fmt.Errorf("ops: %d selected rows vs %d group ids", sel.Len(), len(gids))
+	}
+	detect := o.detect()
+	log := o.log()
+	fc := makeFusedCol(col)
+	out, acc, err := fusedGroupOut("sum("+col.Name()+")", fc.code, numGroups, detect)
+	if err != nil {
+		return nil, err
+	}
+	if p := o.par(sel.Len()); p != nil {
+		parts, err := runMorsels(p, sel.Len(), log, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
+			part := borrowU64Zeroed(numGroups)
+			if err := fusedGatherSumRange(fc, sel, gids, *part, numGroups, detect, plog, start, end); err != nil {
+				releaseU64(part)
+				return nil, err
+			}
+			return part, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range parts {
+			for g, s := range *part {
+				out.Vals[g] += s
+			}
+			releaseU64(part)
+		}
+	} else if err := fusedGatherSumRange(fc, sel, gids, out.Vals, numGroups, detect, log, 0, sel.Len()); err != nil {
+		return nil, err
+	}
+	fusedGroupCheck(out, acc, detect, log)
+	return out, nil
+}
+
+// fusedGatherSumRange is the morsel kernel of FusedGatherSumGrouped over
+// selection entries [start, end).
+func fusedGatherSumRange(c fusedCol, sel *Sel, gids []uint32, dst []uint64, numGroups int, detect bool, log *ErrorLog, start, end int) error {
+	for i := start; i < end; i++ {
+		pos, ok := sel.At(i, log)
+		if !ok {
+			continue
+		}
+		if pos >= uint64(c.col.Len()) {
+			return fmt.Errorf("ops: position %d beyond column %q (%d rows)", pos, c.col.Name(), c.col.Len())
+		}
+		v := c.col.Get(int(pos))
+		valid := true
+		if c.code != nil {
+			d := v * c.inv & c.mask
+			if d > c.dmax {
+				valid = false
+				if log != nil {
+					if detect {
+						log.Record(c.col.Name(), pos)
+					} else {
+						log.Record(VecLogName(c.col.Name()), uint64(i))
+					}
+				}
+			}
+			if !detect {
+				// LateOnetime accumulates the softened value, corrupt
+				// or not (the Soften semantics of the PreAggregate Δ).
+				v, valid = d, true
+			}
+		}
+		g := gids[i]
+		if g == ^uint32(0) {
+			continue
+		}
+		if int(g) >= numGroups {
+			return fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+		}
+		if valid {
+			dst[g] += v
+		}
+	}
+	return nil
+}
+
+// FusedGatherSumDiffGrouped is FusedGatherSumGrouped for the Q4.x profit
+// aggregate: per selected row it fetches a and b and accumulates a-b into
+// the row's group. Both columns must share one code (Eq. 5 needs a common
+// A for the raw difference to be the code word of the difference).
+func FusedGatherSumDiffGrouped(a, b *storage.Column, sel *Sel, gids []uint32, numGroups int, o *Opts) (*Vec, error) {
+	if sel.Len() != len(gids) {
+		return nil, fmt.Errorf("ops: %d selected rows vs %d group ids", sel.Len(), len(gids))
+	}
+	if (a.Code() == nil) != (b.Code() == nil) {
+		return nil, fmt.Errorf("ops: fused sum-diff needs both inputs plain or both hardened")
+	}
+	if a.Code() != nil && a.Code().A() != b.Code().A() {
+		return nil, fmt.Errorf("ops: fused sum-diff across different As (%d vs %d)", a.Code().A(), b.Code().A())
+	}
+	detect := o.detect()
+	log := o.log()
+	ac, bc := makeFusedCol(a), makeFusedCol(b)
+	out, acc, err := fusedGroupOut("sum("+a.Name()+"-"+b.Name()+")", ac.code, numGroups, detect)
+	if err != nil {
+		return nil, err
+	}
+	if p := o.par(sel.Len()); p != nil {
+		parts, err := runMorsels(p, sel.Len(), log, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
+			part := borrowU64Zeroed(numGroups)
+			if err := fusedGatherSumDiffRange(ac, bc, sel, gids, *part, numGroups, detect, plog, start, end); err != nil {
+				releaseU64(part)
+				return nil, err
+			}
+			return part, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range parts {
+			for g, s := range *part {
+				out.Vals[g] += s
+			}
+			releaseU64(part)
+		}
+	} else if err := fusedGatherSumDiffRange(ac, bc, sel, gids, out.Vals, numGroups, detect, log, 0, sel.Len()); err != nil {
+		return nil, err
+	}
+	fusedGroupCheck(out, acc, detect, log)
+	return out, nil
+}
+
+// fusedGatherSumDiffRange is the morsel kernel of
+// FusedGatherSumDiffGrouped over selection entries [start, end).
+func fusedGatherSumDiffRange(a, b fusedCol, sel *Sel, gids []uint32, dst []uint64, numGroups int, detect bool, log *ErrorLog, start, end int) error {
+	for i := start; i < end; i++ {
+		pos, ok := sel.At(i, log)
+		if !ok {
+			continue
+		}
+		if pos >= uint64(a.col.Len()) || pos >= uint64(b.col.Len()) {
+			return fmt.Errorf("ops: position %d beyond columns %q/%q", pos, a.col.Name(), b.col.Name())
+		}
+		av, bv := a.col.Get(int(pos)), b.col.Get(int(pos))
+		valid := true
+		if a.code != nil {
+			da := av * a.inv & a.mask
+			db := bv * b.inv & b.mask
+			okA, okB := da <= a.dmax, db <= b.dmax
+			if log != nil {
+				if !okA {
+					if detect {
+						log.Record(a.col.Name(), pos)
+					} else {
+						log.Record(VecLogName(a.col.Name()), uint64(i))
+					}
+				}
+				if !okB {
+					if detect {
+						log.Record(b.col.Name(), pos)
+					} else {
+						log.Record(VecLogName(b.col.Name()), uint64(i))
+					}
+				}
+			}
+			if detect {
+				valid = okA && okB
+			} else {
+				av, bv = da, db
+			}
+		}
+		g := gids[i]
+		if g == ^uint32(0) {
+			continue
+		}
+		if int(g) >= numGroups {
+			return fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
+		}
+		if valid {
+			dst[g] += av - bv
+		}
+	}
+	return nil
+}
+
+// fusedGroupOut allocates the per-group output vector of a fused grouped
+// aggregate: hardened under the widened accumulator code for Continuous,
+// plain otherwise (Late decodes while accumulating).
+func fusedGroupOut(name string, code *an.Code, numGroups int, detect bool) (*Vec, *an.Code, error) {
+	var acc *an.Code
+	if code != nil && detect {
+		var err error
+		if acc, err = wideCode(code); err != nil {
+			return nil, nil, err
+		}
+	}
+	return &Vec{Name: name, Vals: make([]uint64, numGroups), Code: acc}, acc, nil
+}
+
+// fusedGroupCheck domain-checks the final group sums under the widened
+// code - catching flips during the additions themselves (R1(iii)).
+func fusedGroupCheck(out *Vec, acc *an.Code, detect bool, log *ErrorLog) {
+	if acc == nil || !detect {
+		return
+	}
+	for g, s := range out.Vals {
+		if _, ok := acc.Check(s); !ok && log != nil {
+			log.Record(VecLogName(out.Name), uint64(g))
+		}
+	}
+}

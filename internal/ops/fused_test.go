@@ -1,0 +1,392 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+
+	"ahead/internal/hashmap"
+	"ahead/internal/storage"
+)
+
+func buildTestHT(keys ...uint64) *hashmap.U64 {
+	ht := hashmap.New(len(keys) * 2)
+	for i, k := range keys {
+		ht.Put(k, uint32(i))
+	}
+	return ht
+}
+
+// q1Fixture is a small Q1-shaped fact table in plain and hardened form.
+type q1Fixture struct {
+	disc, qty, od, price     *storage.Column // plain
+	discH, qtyH, odH, priceH *storage.Column // hardened
+	ht                       *hashmap.U64
+	n                        int
+}
+
+func newQ1Fixture(t *testing.T, n int) *q1Fixture {
+	t.Helper()
+	disc := make([]uint64, n)
+	qty := make([]uint64, n)
+	od := make([]uint64, n)
+	price := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		disc[i] = uint64(i % 11)
+		qty[i] = uint64((i * 7) % 50)
+		od[i] = uint64(100 + i%6)
+		price[i] = uint64(1000 + (i*13)%500)
+	}
+	f := &q1Fixture{n: n, ht: buildTestHT(100, 101, 102)}
+	f.disc = tinyColumn(t, "lo_discount", disc)
+	f.qty = tinyColumn(t, "lo_quantity", qty)
+	f.od = intColumn(t, "lo_orderdate", od)
+	f.price = intColumn(t, "lo_extendedprice", price)
+	f.discH = harden(t, f.disc, code8)
+	f.qtyH = harden(t, f.qty, code8)
+	f.odH = harden(t, f.od, code32)
+	f.priceH = harden(t, f.price, code32)
+	return f
+}
+
+// materializedQ1 runs the operator-at-a-time pipeline the fused kernel
+// replaces, with the given columns and the mode behaviour o encodes.
+// late applies the PreAggregate Δ (soften with verification) before the
+// final aggregation, mirroring exec.Query.PreAggregate under LateOnetime.
+func materializedQ1(t *testing.T, discC, qtyC, odC, priceC *storage.Column, ht *hashmap.U64, o *Opts, late bool, log *ErrorLog) *Vec {
+	t.Helper()
+	sel, err := Filter(discC, 1, 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err = FilterSel(qtyC, 0, 24, sel, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err = SemiJoin(odC, ht, sel, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price, err := Gather(priceC, sel, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := Gather(discC, sel, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late {
+		price = price.Soften(true, log)
+		disc = disc.Soften(true, log)
+	}
+	rev, err := SumProduct(price, disc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rev
+}
+
+func fusedQ1(t *testing.T, f *q1Fixture, discC, qtyC, odC, priceC *storage.Column, o *Opts) *Vec {
+	t.Helper()
+	rev, err := FusedFilterSemiSumProduct([]RangePred{
+		{Col: discC, Lo: 1, Hi: 3},
+		{Col: qtyC, Lo: 0, Hi: 24},
+	}, odC, f.ht, priceC, discC, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rev
+}
+
+func TestFusedQ1MatchesMaterializedPlain(t *testing.T) {
+	f := newQ1Fixture(t, 500)
+	o := &Opts{}
+	want := materializedQ1(t, f.disc, f.qty, f.od, f.price, f.ht, o, false, nil)
+	got := fusedQ1(t, f, f.disc, f.qty, f.od, f.price, o)
+	if !reflect.DeepEqual(got.Vals, want.Vals) {
+		t.Fatalf("fused %v != materialized %v", got.Vals, want.Vals)
+	}
+	if got.Code != nil {
+		t.Fatal("plain fused sum must stay plain")
+	}
+	if want.Vals[0] == 0 {
+		t.Fatal("fixture selects nothing; test is vacuous")
+	}
+}
+
+func TestFusedQ1MatchesMaterializedLate(t *testing.T) {
+	f := newQ1Fixture(t, 500)
+	wlog, flog := NewErrorLog(), NewErrorLog()
+	want := materializedQ1(t, f.discH, f.qtyH, f.odH, f.priceH, f.ht, &Opts{Log: wlog}, true, wlog)
+	got := fusedQ1(t, f, f.discH, f.qtyH, f.odH, f.priceH, &Opts{Log: flog})
+	if !reflect.DeepEqual(got.Vals, want.Vals) {
+		t.Fatalf("fused %v != materialized %v", got.Vals, want.Vals)
+	}
+	if got.Code != nil || want.Code != nil {
+		t.Fatal("late sums decode to plain")
+	}
+	if wlog.Count() != 0 || flog.Count() != 0 {
+		t.Fatalf("clean data logged errors: %d/%d", wlog.Count(), flog.Count())
+	}
+}
+
+func TestFusedQ1MatchesMaterializedContinuous(t *testing.T) {
+	f := newQ1Fixture(t, 500)
+	wlog, flog := NewErrorLog(), NewErrorLog()
+	wo := &Opts{Detect: true, HardenIDs: true, Log: wlog}
+	fo := &Opts{Detect: true, HardenIDs: true, Log: flog}
+	want := materializedQ1(t, f.discH, f.qtyH, f.odH, f.priceH, f.ht, wo, false, nil)
+	got := fusedQ1(t, f, f.discH, f.qtyH, f.odH, f.priceH, fo)
+	if !reflect.DeepEqual(got.Vals, want.Vals) {
+		t.Fatalf("fused %v != materialized %v", got.Vals, want.Vals)
+	}
+	if got.Code == nil || got.Code.A() != want.Code.A() {
+		t.Fatal("continuous fused sum must carry the widened accumulator code")
+	}
+	if wlog.Count() != 0 || flog.Count() != 0 {
+		t.Fatalf("clean data logged errors: %d/%d", wlog.Count(), flog.Count())
+	}
+}
+
+// TestFusedQ1ContinuousDetection corrupts one value in every touched
+// column and checks the fused pass drops the same rows from the sum and
+// reports the same per-column positions as the materializing pipeline.
+func TestFusedQ1ContinuousDetection(t *testing.T) {
+	mk := func() *q1Fixture {
+		f := newQ1Fixture(t, 500)
+		// Row 12 passes both predicates (disc 1, qty 34? -> recompute):
+		// pick rows by construction instead: disc[i]=i%11, qty[i]=(7i)%50,
+		// od[i]=100+i%6. Row 45: disc 1, qty 15, od 103 (no ht hit).
+		// Row 1: disc 1, qty 7, od 101 - survives everything.
+		f.discH.Corrupt(1, 1<<2)   // corrupt a surviving row's discount
+		f.qtyH.Corrupt(12, 1<<3)   // corrupt a quantity
+		f.odH.Corrupt(23, 1<<5)    // corrupt an orderdate
+		f.priceH.Corrupt(34, 1<<7) // corrupt a price
+		return f
+	}
+
+	wlog, flog := NewErrorLog(), NewErrorLog()
+	fm := mk()
+	want := materializedQ1(t, fm.discH, fm.qtyH, fm.odH, fm.priceH, fm.ht, &Opts{Detect: true, HardenIDs: true, Log: wlog}, false, nil)
+	ff := mk()
+	got := fusedQ1(t, ff, ff.discH, ff.qtyH, ff.odH, ff.priceH, &Opts{Detect: true, HardenIDs: true, Log: flog})
+
+	if !reflect.DeepEqual(got.Vals, want.Vals) {
+		t.Fatalf("fused %v != materialized %v under corruption", got.Vals, want.Vals)
+	}
+	for _, col := range []string{"lo_discount", "lo_quantity", "lo_orderdate", "lo_extendedprice"} {
+		wantPos, err := wlog.Positions(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPos, err := flog.Positions(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotPos, wantPos) {
+			t.Fatalf("%s: fused positions %v != materialized %v", col, gotPos, wantPos)
+		}
+	}
+	if n, _ := flog.Positions("lo_discount"); len(n) == 0 {
+		t.Fatal("corrupted discount was not detected; test is vacuous")
+	}
+}
+
+// TestFusedQ1SerialVsParallel asserts the morsel invariant for the fused
+// kernel: identical sums and byte-identical logs for any morsel split.
+func TestFusedQ1SerialVsParallel(t *testing.T) {
+	for _, detect := range []bool{false, true} {
+		f := newQ1Fixture(t, 3000)
+		f.discH.Corrupt(7, 1<<2)
+		f.priceH.Corrupt(100, 1<<6)
+		slog := NewErrorLog()
+		serial := fusedQ1(t, f, f.discH, f.qtyH, f.odH, f.priceH, &Opts{Detect: detect, HardenIDs: detect, Log: slog})
+		for _, morsel := range []int{128, 999, 2048} {
+			plog := NewErrorLog()
+			po := &Opts{Detect: detect, HardenIDs: detect, Log: plog, Par: serialMorsels{workers: 4, morsel: morsel}}
+			par := fusedQ1(t, f, f.discH, f.qtyH, f.odH, f.priceH, po)
+			if !reflect.DeepEqual(par.Vals, serial.Vals) {
+				t.Fatalf("detect=%v morsel=%d: parallel %v != serial %v", detect, morsel, par.Vals, serial.Vals)
+			}
+			if !plog.Equal(slog) {
+				t.Fatalf("detect=%v morsel=%d: parallel log diverges from serial", detect, morsel)
+			}
+		}
+	}
+}
+
+// groupFixture builds a measure pair, selection and group ids for the
+// fused grouped-aggregation kernels.
+type groupFixture struct {
+	rev, cost   *storage.Column
+	revH, costH *storage.Column
+	sel         *Sel
+	selH        *Sel
+	gids        []uint32
+	numGroups   int
+}
+
+func newGroupFixture(t *testing.T, n int) *groupFixture {
+	t.Helper()
+	rev := make([]uint64, n)
+	cost := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		rev[i] = uint64(5000 + (i*17)%1000)
+		cost[i] = uint64((i * 3) % 2000)
+	}
+	f := &groupFixture{numGroups: 7}
+	f.rev = intColumn(t, "lo_revenue", rev)
+	f.cost = intColumn(t, "lo_supplycost", cost)
+	f.revH = harden(t, f.rev, code32)
+	f.costH = harden(t, f.cost, code32)
+	// Select three of every four rows, with group ids cycling over the
+	// groups and an occasional corrupted-key sentinel.
+	f.sel = &Sel{}
+	f.selH = &Sel{Hardened: true}
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			continue
+		}
+		f.sel.Pos = append(f.sel.Pos, uint64(i))
+		f.selH.Pos = append(f.selH.Pos, PosCode.Encode(uint64(i)))
+		g := uint32(i % f.numGroups)
+		if i%97 == 13 {
+			g = ^uint32(0) // corrupted-key row: skipped by aggregation
+		}
+		f.gids = append(f.gids, g)
+	}
+	return f
+}
+
+func TestFusedGatherSumGroupedMatchesMaterialized(t *testing.T) {
+	n := 1200
+	cases := []struct {
+		name   string
+		detect bool
+		late   bool
+		col    func(f *groupFixture) *storage.Column
+		sel    func(f *groupFixture) *Sel
+	}{
+		{"plain", false, false, func(f *groupFixture) *storage.Column { return f.rev }, func(f *groupFixture) *Sel { return f.sel }},
+		{"late", false, true, func(f *groupFixture) *storage.Column { return f.revH }, func(f *groupFixture) *Sel { return f.sel }},
+		{"continuous", true, false, func(f *groupFixture) *storage.Column { return f.revH }, func(f *groupFixture) *Sel { return f.selH }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newGroupFixture(t, n)
+			col, sel := tc.col(f), tc.sel(f)
+			if tc.detect {
+				col.Corrupt(8, 1<<4) // row 8 is selected (8%4 != 3)
+			}
+			wlog, flog := NewErrorLog(), NewErrorLog()
+			wo := &Opts{Detect: tc.detect, HardenIDs: tc.detect, Log: wlog}
+			meas, err := Gather(col, sel, wo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.late {
+				meas = meas.Soften(true, wlog)
+			}
+			want, err := SumGrouped(meas, f.gids, f.numGroups, wo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fo := &Opts{Detect: tc.detect, HardenIDs: tc.detect, Log: flog}
+			got, err := FusedGatherSumGrouped(col, sel, f.gids, f.numGroups, fo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Vals, want.Vals) {
+				t.Fatalf("fused %v != materialized %v", got.Vals, want.Vals)
+			}
+			if (got.Code == nil) != (want.Code == nil) {
+				t.Fatalf("code mismatch: fused %v, materialized %v", got.Code, want.Code)
+			}
+			if got.Name != want.Name {
+				t.Fatalf("name mismatch: %q vs %q", got.Name, want.Name)
+			}
+			if tc.detect {
+				wantPos, _ := wlog.Positions(col.Name())
+				gotPos, _ := flog.Positions(col.Name())
+				if len(wantPos) == 0 || !reflect.DeepEqual(gotPos, wantPos) {
+					t.Fatalf("positions: fused %v != materialized %v", gotPos, wantPos)
+				}
+			}
+		})
+	}
+}
+
+func TestFusedGatherSumDiffGroupedMatchesMaterialized(t *testing.T) {
+	f := newGroupFixture(t, 1200)
+	f.revH.Corrupt(16, 1<<3)
+	f.costH.Corrupt(40, 1<<5)
+	wlog, flog := NewErrorLog(), NewErrorLog()
+	wo := &Opts{Detect: true, HardenIDs: true, Log: wlog}
+	rev, err := Gather(f.revH, f.selH, wo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := Gather(f.costH, f.selH, wo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SumDiffGrouped(rev, cost, f.gids, f.numGroups, wo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := &Opts{Detect: true, HardenIDs: true, Log: flog}
+	got, err := FusedGatherSumDiffGrouped(f.revH, f.costH, f.selH, f.gids, f.numGroups, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Vals, want.Vals) {
+		t.Fatalf("fused %v != materialized %v", got.Vals, want.Vals)
+	}
+	if got.Name != want.Name {
+		t.Fatalf("name mismatch: %q vs %q", got.Name, want.Name)
+	}
+	for _, c := range []string{"lo_revenue", "lo_supplycost"} {
+		wantPos, _ := wlog.Positions(c)
+		gotPos, _ := flog.Positions(c)
+		if len(wantPos) == 0 || !reflect.DeepEqual(gotPos, wantPos) {
+			t.Fatalf("%s positions: fused %v != materialized %v", c, gotPos, wantPos)
+		}
+	}
+}
+
+func TestFusedGroupedSerialVsParallel(t *testing.T) {
+	f := newGroupFixture(t, 4000)
+	f.revH.Corrupt(16, 1<<3)
+	slog := NewErrorLog()
+	so := &Opts{Detect: true, HardenIDs: true, Log: slog}
+	serial, err := FusedGatherSumGrouped(f.revH, f.selH, f.gids, f.numGroups, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, morsel := range []int{100, 777, 2000} {
+		plog := NewErrorLog()
+		po := &Opts{Detect: true, HardenIDs: true, Log: plog, Par: serialMorsels{workers: 4, morsel: morsel}}
+		par, err := FusedGatherSumGrouped(f.revH, f.selH, f.gids, f.numGroups, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par.Vals, serial.Vals) {
+			t.Fatalf("morsel=%d: parallel %v != serial %v", morsel, par.Vals, serial.Vals)
+		}
+		if !plog.Equal(slog) {
+			t.Fatalf("morsel=%d: parallel log diverges from serial", morsel)
+		}
+	}
+}
+
+func TestFusedEmptyPredicate(t *testing.T) {
+	f := newQ1Fixture(t, 100)
+	rev, err := FusedFilterSemiSumProduct([]RangePred{
+		{Col: f.disc, Lo: 5, Hi: 4}, // inverted: statically empty
+	}, f.od, f.ht, f.price, f.disc, &Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Vals[0] != 0 {
+		t.Fatalf("empty predicate must sum to 0, got %d", rev.Vals[0])
+	}
+}

@@ -13,25 +13,27 @@ import (
 // fetched value is verified (continuous detection).
 func Gather(col *storage.Column, sel *Sel, o *Opts) (*Vec, error) {
 	if p := o.par(sel.Len()); p != nil {
-		parts, err := runMorsels(p, sel.Len(), o.log(), func(log *ErrorLog, start, end int) ([]uint64, error) {
+		parts, err := runMorsels(p, sel.Len(), o.log(), func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return gatherRange(col, sel, o, log, start, end)
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Vec{Name: col.Name(), Vals: concat(parts), Code: col.Code()}, nil
+		return &Vec{Name: col.Name(), Vals: concatOwned(parts), Code: col.Code()}, nil
 	}
 	vals, err := gatherRange(col, sel, o, o.log(), 0, sel.Len())
 	if err != nil {
 		return nil, err
 	}
-	return &Vec{Name: col.Name(), Vals: vals, Code: col.Code()}, nil
+	return &Vec{Name: col.Name(), Vals: ownU64(vals), Code: col.Code()}, nil
 }
 
 // gatherRange is the morsel kernel of Gather: it fetches the selection
-// entries with global indices [start, end).
-func gatherRange(col *storage.Column, sel *Sel, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
-	out := make([]uint64, 0, end-start)
+// entries with global indices [start, end) into a borrowed scratch
+// buffer whose ownership transfers to the caller.
+func gatherRange(col *storage.Column, sel *Sel, o *Opts, log *ErrorLog, start, end int) (*[]uint64, error) {
+	buf := borrowU64(end - start)
+	out := (*buf)[:0]
 	detect := o.detect()
 	code := col.Code()
 	for i := start; i < end; i++ {
@@ -43,6 +45,7 @@ func gatherRange(col *storage.Column, sel *Sel, o *Opts, log *ErrorLog, start, e
 			continue
 		}
 		if pos >= uint64(col.Len()) {
+			releaseU64(buf)
 			return nil, fmt.Errorf("ops: position %d beyond column %q (%d rows)", pos, col.Name(), col.Len())
 		}
 		v := col.Get(int(pos))
@@ -53,35 +56,38 @@ func gatherRange(col *storage.Column, sel *Sel, o *Opts, log *ErrorLog, start, e
 		}
 		out = append(out, v)
 	}
-	return out, nil
+	*buf = out
+	return buf, nil
 }
 
 // GatherAt fetches column values at plain positions (e.g. the build-side
 // rows matched by a join probe).
 func GatherAt(col *storage.Column, positions []uint32, o *Opts) (*Vec, error) {
 	if p := o.par(len(positions)); p != nil {
-		parts, err := runMorsels(p, len(positions), o.log(), func(log *ErrorLog, start, end int) ([]uint64, error) {
+		parts, err := runMorsels(p, len(positions), o.log(), func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return gatherAtRange(col, positions, o, log, start, end)
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Vec{Name: col.Name(), Vals: concat(parts), Code: col.Code()}, nil
+		return &Vec{Name: col.Name(), Vals: concatOwned(parts), Code: col.Code()}, nil
 	}
 	vals, err := gatherAtRange(col, positions, o, o.log(), 0, len(positions))
 	if err != nil {
 		return nil, err
 	}
-	return &Vec{Name: col.Name(), Vals: vals, Code: col.Code()}, nil
+	return &Vec{Name: col.Name(), Vals: ownU64(vals), Code: col.Code()}, nil
 }
 
 // gatherAtRange is the morsel kernel of GatherAt.
-func gatherAtRange(col *storage.Column, positions []uint32, o *Opts, log *ErrorLog, start, end int) ([]uint64, error) {
-	out := make([]uint64, 0, end-start)
+func gatherAtRange(col *storage.Column, positions []uint32, o *Opts, log *ErrorLog, start, end int) (*[]uint64, error) {
+	buf := borrowU64(end - start)
+	out := (*buf)[:0]
 	detect := o.detect()
 	code := col.Code()
 	for _, p := range positions[start:end] {
 		if int(p) >= col.Len() {
+			releaseU64(buf)
 			return nil, fmt.Errorf("ops: position %d beyond column %q (%d rows)", p, col.Name(), col.Len())
 		}
 		v := col.Get(int(p))
@@ -92,7 +98,8 @@ func gatherAtRange(col *storage.Column, positions []uint32, o *Opts, log *ErrorL
 		}
 		out = append(out, v)
 	}
-	return out, nil
+	*buf = out
+	return buf, nil
 }
 
 // Delta is the Δ detect-and-decode operator of Section 5.1: it verifies

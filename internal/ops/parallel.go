@@ -61,10 +61,17 @@ func runMorsels[T any](p Parallel, total int, dst *ErrorLog, fn func(log *ErrorL
 	logs := make([]*ErrorLog, count)
 	errs := make([]error, count)
 	p.ForEach(total, func(m, start, end int) {
-		l := NewErrorLog()
+		l := borrowLog()
 		logs[m] = l
 		outs[m], errs[m] = fn(l, start, end)
 	})
+	defer func() {
+		// Merge copies the entries, so the pooled logs can go back
+		// immediately; dst itself is the caller's and never pooled.
+		for _, l := range logs {
+			releaseLog(l)
+		}
+	}()
 	for m, err := range errs {
 		if err != nil {
 			if dst != nil {
@@ -81,17 +88,4 @@ func runMorsels[T any](p Parallel, total int, dst *ErrorLog, fn func(log *ErrorL
 		}
 	}
 	return outs, nil
-}
-
-// concat merges per-morsel output slices in morsel order.
-func concat[T any](parts [][]T) []T {
-	n := 0
-	for _, p := range parts {
-		n += len(p)
-	}
-	out := make([]T, 0, n)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
 }

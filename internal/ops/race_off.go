@@ -1,0 +1,6 @@
+//go:build !race
+
+package ops
+
+// raceEnabled gates the strict zero-allocation assertions; see race_on.go.
+const raceEnabled = false

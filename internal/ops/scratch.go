@@ -1,0 +1,151 @@
+package ops
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch memory for the kernel hot path (DESIGN.md section 5e).
+//
+// Every morsel of every scan used to allocate its own position buffer and
+// every parallel aggregation its own per-morsel partial array - allocator
+// rent the paper's C++ prototype never paid, and rent that scales with
+// worker count under the morsel pool. The arena below recycles those
+// buffers through size-classed sync.Pools so the steady-state per-morsel
+// allocation count is zero.
+//
+// Ownership rules:
+//
+//   - Kernels borrow with borrowU64/borrowU64Zeroed and return a borrowed
+//     buffer (as *[]uint64) to their caller; ownership transfers with the
+//     return value.
+//   - The operator entry points (Filter, Gather, SumGrouped, ...) are the
+//     only owners of query-visible results. They copy borrowed contents
+//     into exact-size owned slices (ownU64, concatOwned) and release the
+//     scratch; borrowed memory never escapes into a Sel, Vec or Result.
+//   - Error logs follow the same discipline: runMorsels borrows one
+//     private log per morsel, merges them into the caller's log in morsel
+//     order, and releases them. A released log's entries have always been
+//     copied out, so the append path of a live log never aliases pooled
+//     memory.
+//   - On an error return the in-flight borrows of unfinished morsels are
+//     dropped instead of released; the GC reclaims them. Errors are
+//     schema-level and never on the steady-state path.
+type scratchClass struct {
+	pool sync.Pool
+	size int
+}
+
+// Size classes are powers of two from 1<<scratchMinBits to
+// 1<<scratchMaxBits values. Borrows above the top class fall back to the
+// plain allocator and are dropped on release (whole-column serial scans
+// at large scale factors; the morsel path always fits a class).
+const (
+	scratchMinBits = 8
+	scratchMaxBits = 22
+)
+
+var u64Classes = func() []*scratchClass {
+	cs := make([]*scratchClass, scratchMaxBits-scratchMinBits+1)
+	for i := range cs {
+		size := 1 << (scratchMinBits + i)
+		c := &scratchClass{size: size}
+		c.pool.New = func() any {
+			b := make([]uint64, 0, size)
+			return &b
+		}
+		cs[i] = c
+	}
+	return cs
+}()
+
+// classFor returns the smallest size class holding n values, or nil when
+// n exceeds the largest class.
+func classFor(n int) *scratchClass {
+	if n <= 1<<scratchMinBits {
+		return u64Classes[0]
+	}
+	idx := bits.Len(uint(n-1)) - scratchMinBits
+	if idx >= len(u64Classes) {
+		return nil
+	}
+	return u64Classes[idx]
+}
+
+// borrowU64 returns a zero-length scratch buffer with capacity >= n.
+func borrowU64(n int) *[]uint64 {
+	c := classFor(n)
+	if c == nil {
+		b := make([]uint64, 0, n)
+		return &b
+	}
+	p := c.pool.Get().(*[]uint64)
+	*p = (*p)[:0]
+	return p
+}
+
+// borrowU64Zeroed returns a zeroed length-n scratch buffer (the shape of
+// a per-morsel aggregation partial).
+func borrowU64Zeroed(n int) *[]uint64 {
+	p := borrowU64(n)
+	*p = (*p)[:n]
+	clear(*p)
+	return p
+}
+
+// releaseU64 returns a borrowed buffer to its size class. Buffers that
+// outgrew every class are dropped.
+func releaseU64(p *[]uint64) {
+	if p == nil {
+		return
+	}
+	c := classFor(cap(*p))
+	if c == nil || c.size > cap(*p) {
+		// Above the top class, or an off-class capacity from the
+		// fallback allocator: not reusable as a class member.
+		return
+	}
+	c.pool.Put(p)
+}
+
+// ownU64 copies a borrowed buffer into an exact-size owned slice and
+// releases the scratch - the one allocation per operator output the
+// zero-allocation budget documents.
+func ownU64(p *[]uint64) []uint64 {
+	out := make([]uint64, len(*p))
+	copy(out, *p)
+	releaseU64(p)
+	return out
+}
+
+// concatOwned merges borrowed per-morsel buffers in morsel order into one
+// exact-size owned slice, releasing every part.
+func concatOwned(parts []*[]uint64) []uint64 {
+	n := 0
+	for _, p := range parts {
+		n += len(*p)
+	}
+	out := make([]uint64, 0, n)
+	for _, p := range parts {
+		out = append(out, *p...)
+		releaseU64(p)
+	}
+	return out
+}
+
+// logPool recycles the per-morsel private error logs of runMorsels.
+var logPool = sync.Pool{New: func() any { return NewErrorLog() }}
+
+// borrowLog returns an empty error log from the pool.
+func borrowLog() *ErrorLog {
+	l := logPool.Get().(*ErrorLog)
+	l.Reset()
+	return l
+}
+
+// releaseLog returns a log to the pool once its entries have been merged.
+func releaseLog(l *ErrorLog) {
+	if l != nil {
+		logPool.Put(l)
+	}
+}

@@ -1,0 +1,198 @@
+package ops
+
+import (
+	"testing"
+)
+
+// serialMorsels is a deterministic Parallel stub: it runs the morsels
+// serially in morsel order, which exercises the exact merge paths of
+// runMorsels without scheduler nondeterminism - the right harness for
+// allocation accounting.
+type serialMorsels struct{ workers, morsel int }
+
+func (s serialMorsels) Workers() int    { return s.workers }
+func (s serialMorsels) MorselSize() int { return s.morsel }
+func (s serialMorsels) ForEach(total int, fn func(m, start, end int)) {
+	for m, start := 0, 0; start < total; m, start = m+1, start+s.morsel {
+		end := start + s.morsel
+		if end > total {
+			end = total
+		}
+		fn(m, start, end)
+	}
+}
+
+func TestScratchBorrowReleaseRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 1 << 12, 1 << scratchMaxBits, 1<<scratchMaxBits + 1} {
+		p := borrowU64(n)
+		if len(*p) != 0 {
+			t.Fatalf("borrowU64(%d): len %d, want 0", n, len(*p))
+		}
+		if cap(*p) < n {
+			t.Fatalf("borrowU64(%d): cap %d too small", n, cap(*p))
+		}
+		*p = append(*p, 1, 2, 3)
+		releaseU64(p)
+	}
+	// Zeroed borrows must come back clean even after a dirty release.
+	d := borrowU64(64)
+	*d = (*d)[:64]
+	for i := range *d {
+		(*d)[i] = ^uint64(0)
+	}
+	releaseU64(d)
+	z := borrowU64Zeroed(64)
+	if len(*z) != 64 {
+		t.Fatalf("borrowU64Zeroed: len %d, want 64", len(*z))
+	}
+	for i, v := range *z {
+		if v != 0 {
+			t.Fatalf("borrowU64Zeroed: dirty value %d at %d", v, i)
+		}
+	}
+	releaseU64(z)
+}
+
+func TestScratchOwnAndConcat(t *testing.T) {
+	p := borrowU64(8)
+	*p = append(*p, 10, 20, 30)
+	owned := ownU64(p)
+	if len(owned) != 3 || cap(owned) != 3 {
+		t.Fatalf("ownU64: len/cap %d/%d, want 3/3", len(owned), cap(owned))
+	}
+	if owned[0] != 10 || owned[2] != 30 {
+		t.Fatalf("ownU64: wrong contents %v", owned)
+	}
+
+	a, b := borrowU64(4), borrowU64(4)
+	*a = append(*a, 1, 2)
+	*b = append(*b, 3)
+	got := concatOwned([]*[]uint64{a, b})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("concatOwned: %v", got)
+	}
+}
+
+func TestClassForBoundaries(t *testing.T) {
+	if c := classFor(1); c == nil || c.size != 1<<scratchMinBits {
+		t.Fatalf("classFor(1) must be the smallest class")
+	}
+	if c := classFor(1 << scratchMinBits); c == nil || c.size != 1<<scratchMinBits {
+		t.Fatalf("classFor(min) must stay in the smallest class")
+	}
+	if c := classFor(1<<scratchMinBits + 1); c == nil || c.size != 1<<(scratchMinBits+1) {
+		t.Fatalf("classFor(min+1) must round up one class")
+	}
+	if c := classFor(1 << scratchMaxBits); c == nil || c.size != 1<<scratchMaxBits {
+		t.Fatalf("classFor(max) must be the largest class")
+	}
+	if c := classFor(1<<scratchMaxBits + 1); c != nil {
+		t.Fatalf("classFor above the largest class must be nil")
+	}
+}
+
+// TestMorselKernelZeroAllocs asserts the tentpole invariant: one warm
+// filter morsel - borrow, scan, release - allocates nothing.
+func TestMorselKernelZeroAllocs(t *testing.T) {
+	vals := make([]uint64, 4096)
+	for i := range vals {
+		vals[i] = uint64(i % 64)
+	}
+	col := tinyColumn(t, "v", vals)
+	o := &Opts{}
+
+	run := func() {
+		buf, err := filterRange(col, 8, 40, o, nil, 1024, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		releaseU64(buf)
+	}
+	run() // warm the pool
+	allocs := testing.AllocsPerRun(200, run)
+	if raceEnabled {
+		t.Skipf("race instrumentation changes alloc counts (measured %.1f)", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("warm filter morsel allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestOperatorAllocsIndependentOfMorselCount pins the steady-state
+// budget of a whole parallel operator call: the per-call constant (the
+// morsel bookkeeping slices and the owned output) does not grow with the
+// number of morsels, because every per-morsel buffer and error log is
+// pooled.
+func TestOperatorAllocsIndependentOfMorselCount(t *testing.T) {
+	vals := make([]uint64, 1<<14)
+	for i := range vals {
+		vals[i] = uint64(i % 64)
+	}
+	col := tinyColumn(t, "v", vals)
+
+	measure := func(morsel int) float64 {
+		o := &Opts{Par: serialMorsels{workers: 4, morsel: morsel}}
+		run := func() {
+			sel, err := Filter(col, 8, 40, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = sel
+		}
+		run() // warm the pools
+		return testing.AllocsPerRun(50, run)
+	}
+	few := measure(1 << 13) // 2 morsels
+	many := measure(1 << 8) // 64 morsels
+	if raceEnabled {
+		t.Skipf("race instrumentation changes alloc counts (measured %.1f vs %.1f)", few, many)
+	}
+	// 62 extra morsels may not cost 62 extra allocations: the only
+	// allowed growth is the three bookkeeping slices scaling in *size*,
+	// not count. Allow a tiny slack for size-class jumps.
+	if many > few+4 {
+		t.Fatalf("allocs grew with morsel count: %.1f (2 morsels) vs %.1f (64 morsels)", few, many)
+	}
+	if many > 16 {
+		t.Fatalf("parallel Filter call allocated %.1f times, budget 16", many)
+	}
+}
+
+// TestFusedKernelZeroAllocs pins the fused Q1 tail: after warmup the
+// whole fused scan-semijoin-aggregate pass costs a small constant
+// (bookkeeping slices and the one-element output Vec), with zero
+// per-morsel allocations.
+func TestFusedKernelZeroAllocs(t *testing.T) {
+	n := 1 << 13
+	disc := make([]uint64, n)
+	qty := make([]uint64, n)
+	od := make([]uint64, n)
+	price := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		disc[i] = uint64(i % 11)
+		qty[i] = uint64(i % 50)
+		od[i] = uint64(100 + i%6)
+		price[i] = uint64(1000 + i%500)
+	}
+	discC := tinyColumn(t, "lo_discount", disc)
+	qtyC := tinyColumn(t, "lo_quantity", qty)
+	odC := intColumn(t, "lo_orderdate", od)
+	priceC := intColumn(t, "lo_extendedprice", price)
+	ht := buildTestHT(100, 101, 102)
+
+	o := &Opts{Par: serialMorsels{workers: 4, morsel: 1 << 10}}
+	preds := []RangePred{{Col: discC, Lo: 1, Hi: 3}, {Col: qtyC, Lo: 0, Hi: 24}}
+	run := func() {
+		if _, err := FusedFilterSemiSumProduct(preds, odC, ht, priceC, discC, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(50, run)
+	if raceEnabled {
+		t.Skipf("race instrumentation changes alloc counts (measured %.1f)", allocs)
+	}
+	if allocs > 16 {
+		t.Fatalf("fused Q1 pass allocated %.1f times, budget 16", allocs)
+	}
+}

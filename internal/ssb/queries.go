@@ -204,11 +204,57 @@ func gatherFact(q *exec.Query, col string, sel *ops.Sel) (*ops.Vec, error) {
 
 // q1Flight is the shared shape of the three Q1.x flights: lineorder local
 // filters, a date semijoin, and the discounted-revenue scalar aggregate.
+// All modes except ContinuousReencoding take the fused single-pass tail;
+// q1FlightMaterialized keeps the operator-at-a-time pipeline (and serves
+// as the benchmark baseline fusion is measured against).
 func q1Flight(q *exec.Query, datePreds []pred, discLo, discHi, qtyLo, qtyHi uint64) (*ops.Result, error) {
 	dateHT, err := buildDim(q, "date", "d_datekey", datePreds)
 	if err != nil {
 		return nil, err
 	}
+	if q.FuseOperators() {
+		disc, err := q.Col("lineorder", "lo_discount")
+		if err != nil {
+			return nil, err
+		}
+		qty, err := q.Col("lineorder", "lo_quantity")
+		if err != nil {
+			return nil, err
+		}
+		od, err := q.Col("lineorder", "lo_orderdate")
+		if err != nil {
+			return nil, err
+		}
+		price, err := q.Col("lineorder", "lo_extendedprice")
+		if err != nil {
+			return nil, err
+		}
+		rev, err := ops.FusedFilterSemiSumProduct([]ops.RangePred{
+			{Col: disc, Lo: discLo, Hi: discHi},
+			{Col: qty, Lo: qtyLo, Hi: qtyHi},
+		}, od, dateHT, price, disc, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		return q.FinishScalar(rev)
+	}
+	return q1Tail(q, dateHT, discLo, discHi, qtyLo, qtyHi)
+}
+
+// q1FlightMaterialized is the operator-at-a-time Q1.x pipeline: every
+// intermediate (selection vectors, gathered measure vectors) is
+// materialized between operators.
+func q1FlightMaterialized(q *exec.Query, datePreds []pred, discLo, discHi, qtyLo, qtyHi uint64) (*ops.Result, error) {
+	dateHT, err := buildDim(q, "date", "d_datekey", datePreds)
+	if err != nil {
+		return nil, err
+	}
+	return q1Tail(q, dateHT, discLo, discHi, qtyLo, qtyHi)
+}
+
+// q1Tail is the materializing filter-semijoin-aggregate tail shared by
+// the unfused path and the ContinuousReencoding variant.
+func q1Tail(q *exec.Query, dateHT *hashmap.U64, discLo, discHi, qtyLo, qtyHi uint64) (*ops.Result, error) {
 	sel, err := filterTable(q, "lineorder", []pred{
 		{col: "lo_discount", lo: discLo, hi: discHi},
 		{col: "lo_quantity", lo: qtyLo, hi: qtyHi},
@@ -260,6 +306,26 @@ func Q13(q *exec.Query) (*ops.Result, error) {
 	}, 5, 7, 26, 35)
 }
 
+// Q11Materialized is Q1.1 forced through the operator-at-a-time pipeline
+// regardless of mode - the baseline the fused-kernel benchmarks compare
+// against.
+func Q11Materialized(q *exec.Query) (*ops.Result, error) {
+	return q1FlightMaterialized(q, []pred{{col: "d_year", lo: 1993, hi: 1993}}, 1, 3, 0, 24)
+}
+
+// Q12Materialized is the materializing Q1.2.
+func Q12Materialized(q *exec.Query) (*ops.Result, error) {
+	return q1FlightMaterialized(q, []pred{{col: "d_yearmonthnum", lo: 199401, hi: 199401}}, 4, 6, 26, 35)
+}
+
+// Q13Materialized is the materializing Q1.3.
+func Q13Materialized(q *exec.Query) (*ops.Result, error) {
+	return q1FlightMaterialized(q, []pred{
+		{col: "d_weeknuminyear", lo: 6, hi: 6},
+		{col: "d_year", lo: 1994, hi: 1994},
+	}, 5, 7, 26, 35)
+}
+
 // groupSpec names one group attribute gathered through a dimension join.
 type groupSpec struct {
 	fkCol    string
@@ -294,18 +360,32 @@ func starGroupBy(q *exec.Query, sel *ops.Sel, joins []groupSpec, measure string)
 		}
 		keys = append(keys, q.PreAggregate(vec))
 	}
-	meas, err := gatherFact(q, measure, sel)
-	if err != nil {
-		return nil, err
-	}
-	meas = q.PreAggregate(meas)
 	gids, groups, err := ops.GroupBy(keys, q.Opts())
 	if err != nil {
 		return nil, err
 	}
-	sums, err := ops.SumGrouped(meas, gids, len(groups), q.Opts())
-	if err != nil {
-		return nil, err
+	var sums *ops.Vec
+	if q.FuseOperators() {
+		// Fused tail: the measure column feeds the per-group sums
+		// directly, never materializing the gathered vector.
+		c, err := q.Col("lineorder", measure)
+		if err != nil {
+			return nil, err
+		}
+		sums, err = ops.FusedGatherSumGrouped(c, sel, gids, len(groups), q.Opts())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		meas, err := gatherFact(q, measure, sel)
+		if err != nil {
+			return nil, err
+		}
+		meas = q.PreAggregate(meas)
+		sums, err = ops.SumGrouped(meas, gids, len(groups), q.Opts())
+		if err != nil {
+			return nil, err
+		}
 	}
 	return q.Finish(groups, sums)
 }
@@ -335,23 +415,39 @@ func starGroupByProfit(q *exec.Query, sel *ops.Sel, joins []groupSpec) (*ops.Res
 		}
 		keys = append(keys, q.PreAggregate(vec))
 	}
-	rev, err := gatherFact(q, "lo_revenue", sel)
-	if err != nil {
-		return nil, err
-	}
-	cost, err := gatherFact(q, "lo_supplycost", sel)
-	if err != nil {
-		return nil, err
-	}
-	rev = q.PreAggregate(rev)
-	cost = q.PreAggregate(cost)
 	gids, groups, err := ops.GroupBy(keys, q.Opts())
 	if err != nil {
 		return nil, err
 	}
-	sums, err := ops.SumDiffGrouped(rev, cost, gids, len(groups), q.Opts())
-	if err != nil {
-		return nil, err
+	var sums *ops.Vec
+	if q.FuseOperators() {
+		rev, err := q.Col("lineorder", "lo_revenue")
+		if err != nil {
+			return nil, err
+		}
+		cost, err := q.Col("lineorder", "lo_supplycost")
+		if err != nil {
+			return nil, err
+		}
+		sums, err = ops.FusedGatherSumDiffGrouped(rev, cost, sel, gids, len(groups), q.Opts())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rev, err := gatherFact(q, "lo_revenue", sel)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := gatherFact(q, "lo_supplycost", sel)
+		if err != nil {
+			return nil, err
+		}
+		rev = q.PreAggregate(rev)
+		cost = q.PreAggregate(cost)
+		sums, err = ops.SumDiffGrouped(rev, cost, gids, len(groups), q.Opts())
+		if err != nil {
+			return nil, err
+		}
 	}
 	return q.Finish(groups, sums)
 }
