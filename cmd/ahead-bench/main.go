@@ -188,10 +188,23 @@ func run() error {
 		h.add("query/Q1.1/"+mode.String()+"/materialized", benchQuery(mode, ssb.Q11Materialized))
 	}
 
-	// SSB subset: one scan-heavy and one join/group-heavy query, serial
-	// and pool-parallel.
-	for _, q := range []string{"Q1.1", "Q2.1"} {
-		for _, mode := range benchModes {
+	// Fused probe cascade vs. materializing pipeline on the Q4.1 flight
+	// (three joins, two group attributes, profit aggregate) - the deepest
+	// cascade the fused group kernel covers. Materialized runs the same
+	// plan with fusion disabled, so the pair isolates exactly the
+	// intermediate position vectors the cascade eliminates.
+	for _, mode := range benchModes {
+		h.add("query/Q4.1/"+mode.String()+"/fused", benchQuery(mode, ssb.Queries["Q4.1"]))
+		h.add("query/Q4.1/"+mode.String()+"/materialized",
+			benchQuery(mode, ssb.Queries["Q4.1"], exec.WithFusion(false)))
+	}
+
+	// SSB subset: one scan-heavy, one join/group-heavy and one
+	// profit-cascade query, serial and pool-parallel, with the
+	// reencoding mode included as the hardening cost ceiling.
+	ssbModes := append(append([]exec.Mode{}, benchModes...), exec.ContinuousReencoding)
+	for _, q := range []string{"Q1.1", "Q2.1", "Q4.1"} {
+		for _, mode := range ssbModes {
 			h.add("ssb/"+q+"/"+mode.String()+"/serial", benchQuery(mode, ssb.Queries[q]))
 			h.add("ssb/"+q+"/"+mode.String()+"/pool", benchQuery(mode, ssb.Queries[q], exec.WithPool(pool)))
 		}

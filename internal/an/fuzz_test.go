@@ -1,0 +1,106 @@
+package an
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// fuzzCode normalizes arbitrary fuzz input into valid code parameters:
+// A is forced odd, > 1 and at most 31 bits; the data width lands in
+// [1, 32], so |C| = |D| + |A| always fits 64-bit code words.
+func fuzzCode(t *testing.T, a, dataBits uint64) *Code {
+	t.Helper()
+	a &= 1<<31 - 1
+	a |= 1
+	if a < 3 {
+		a = 3
+	}
+	db := uint(dataBits)%32 + 1
+	c, err := New(a, db)
+	if err != nil {
+		t.Fatalf("New(%d, %d) after normalization: %v", a, db, err)
+	}
+	return c
+}
+
+// FuzzEncodeDecodeRoundTrip checks the core AN identity for arbitrary
+// parameters: encoding any data word yields a code word that decodes,
+// checks, and naive-decodes back to the (domain-masked) input, in both
+// the unsigned and signed domains.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint64(29), uint64(8), uint64(200))
+	f.Add(uint64(233), uint64(8), uint64(255))
+	f.Add(uint64(32417), uint64(32), uint64(123456789))
+	f.Add(uint64(3), uint64(1), uint64(1))
+	f.Add(uint64(61), uint64(24), uint64(1)<<20)
+	f.Fuzz(func(t *testing.T, a, dataBits, d uint64) {
+		c := fuzzCode(t, a, dataBits)
+		want := d & c.MaxData()
+		cw := c.Encode(d)
+		if got := c.Decode(cw); got != want {
+			t.Fatalf("%v: Decode(Encode(%d)) = %d, want %d", c, d, got, want)
+		}
+		got, ok := c.Check(cw)
+		if !ok || got != want {
+			t.Fatalf("%v: Check(Encode(%d)) = (%d, %v), want (%d, true)", c, d, got, ok, want)
+		}
+		if got := c.DecodeNaive(cw); got != want {
+			t.Fatalf("%v: DecodeNaive(Encode(%d)) = %d, want %d", c, d, got, want)
+		}
+
+		// Signed domain: map d into [MinSigned, MaxSigned] and round-trip.
+		span := uint64(c.MaxSigned()-c.MinSigned()) + 1
+		ds := c.MinSigned() + int64(d%span)
+		scw := c.EncodeSigned(ds)
+		sgot, ok := c.CheckSigned(scw)
+		if !ok || sgot != ds {
+			t.Fatalf("%v: CheckSigned(EncodeSigned(%d)) = (%d, %v)", c, ds, sgot, ok)
+		}
+		if !c.IsValidSigned(scw) {
+			t.Fatalf("%v: IsValidSigned rejected EncodeSigned(%d)", c, ds)
+		}
+	})
+}
+
+// FuzzDetectNoFalsePositive checks both detection formulations never
+// flag a valid code word, that the refined inverse-based test (Section
+// 4.3) implies the textbook divisibility test, and that every word the
+// refined test accepts really is the encoding of its decode.
+func FuzzDetectNoFalsePositive(f *testing.F) {
+	f.Add(uint64(29), uint64(8), uint64(200), uint64(0))
+	f.Add(uint64(233), uint64(8), uint64(77), uint64(1)<<5)
+	f.Add(uint64(32417), uint64(32), uint64(987654321), uint64(1)<<40)
+	f.Add(uint64(641), uint64(16), uint64(65535), uint64(3))
+	f.Fuzz(func(t *testing.T, a, dataBits, d, flip uint64) {
+		c := fuzzCode(t, a, dataBits)
+		cw := c.Encode(d)
+		if !c.IsValid(cw) {
+			t.Fatalf("%v: IsValid flagged valid word %#x (d=%d)", c, cw, d)
+		}
+		if !c.IsValidNaive(cw) {
+			t.Fatalf("%v: IsValidNaive flagged valid word %#x (d=%d)", c, cw, d)
+		}
+		if _, ok := c.Check(cw); !ok {
+			t.Fatalf("%v: Check flagged valid word %#x (d=%d)", c, cw, d)
+		}
+
+		// An arbitrary (possibly corrupt) word accepted by the refined
+		// test must also pass the naive test and re-encode to itself.
+		w := (cw ^ flip) & c.CodeMask()
+		if c.IsValid(w) {
+			if !c.IsValidNaive(w) {
+				t.Fatalf("%v: refined accepts %#x but naive rejects it", c, w)
+			}
+			if re := c.Encode(c.Decode(w)); re != w {
+				t.Fatalf("%v: accepted word %#x re-encodes to %#x", c, w, re)
+			}
+		}
+
+		// A single-bit flip inside the code word is always detected: A is
+		// odd and > 1, so no power of two is a multiple of A.
+		bit := uint(flip) % c.CodeBits()
+		if flipped := cw ^ 1<<bit; c.IsValid(flipped) && bits.OnesCount64(cw^flipped) == 1 {
+			t.Fatalf("%v: single-bit flip at %d escaped detection (%#x -> %#x)", c, bit, cw, flipped)
+		}
+	})
+}

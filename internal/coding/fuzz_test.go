@@ -1,0 +1,106 @@
+package coding
+
+import (
+	"testing"
+)
+
+// fuzzSchemes instantiates every scheme the Section 7.1 sweep compares,
+// normalizing the fuzzed block size into [1, 64] and picking the AN
+// constant from the benchmark set.
+func fuzzSchemes(t *testing.T, blockSize, aSel uint64) []Scheme {
+	t.Helper()
+	bs := int(blockSize)%64 + 1
+	as := []uint64{29, 61, 233, 32417}
+	a := as[aSel%uint64(len(as))]
+	xor, err := NewXOR(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc, err := NewCRC(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anNaive, err := NewAN(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anRefined, err := NewAN(a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheme{xor, crc, anNaive, anRefined, NewHamming()}
+}
+
+// fuzzData reassembles the fuzzed byte string into the 16-bit values all
+// schemes operate on.
+func fuzzData(raw []byte) []uint16 {
+	data := make([]uint16, len(raw)/2)
+	for i := range data {
+		data[i] = uint16(raw[2*i]) | uint16(raw[2*i+1])<<8
+	}
+	return data
+}
+
+// FuzzSchemeRoundTrip checks harden-soften is the identity and that
+// detection stays silent on uncorrupted buffers, for every scheme and
+// both kernel flavors.
+func FuzzSchemeRoundTrip(f *testing.F) {
+	f.Add(uint64(3), uint64(0), []byte("hello, world"))
+	f.Add(uint64(15), uint64(3), []byte{0xff, 0xff, 0x00, 0x00, 0x12, 0x34})
+	f.Add(uint64(63), uint64(2), []byte{})
+	f.Fuzz(func(t *testing.T, blockSize, aSel uint64, raw []byte) {
+		if len(raw) > 1<<12 {
+			raw = raw[:1<<12]
+		}
+		data := fuzzData(raw)
+		for _, s := range fuzzSchemes(t, blockSize, aSel) {
+			for _, fl := range []Flavor{Scalar, Blocked} {
+				s.Resize(len(data))
+				s.Harden(data, fl)
+				if bad := s.Detect(fl); bad != 0 {
+					t.Fatalf("%s/%s: %d false positives on clean data", s.Name(), fl, bad)
+				}
+				dst := make([]uint16, len(data))
+				s.Soften(dst, fl)
+				for i := range data {
+					if dst[i] != data[i] {
+						t.Fatalf("%s/%s: round-trip broke at %d: %d != %d",
+							s.Name(), fl, i, dst[i], data[i])
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzSchemeDetectsBitFlip checks the schemes' shared guarantee: one
+// flipped bit inside a hardened data word never goes unnoticed.
+func FuzzSchemeDetectsBitFlip(f *testing.F) {
+	f.Add(uint64(3), uint64(0), uint64(0), []byte("some payload"))
+	f.Add(uint64(7), uint64(1), uint64(13), []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(uint64(31), uint64(3), uint64(5), []byte{0x01, 0x00})
+	f.Fuzz(func(t *testing.T, blockSize, aSel, bit uint64, raw []byte) {
+		if len(raw) > 1<<12 {
+			raw = raw[:1<<12]
+		}
+		data := fuzzData(raw)
+		if len(data) == 0 {
+			return
+		}
+		// Flip within the low 16 bits: present in the hardened form of
+		// every scheme (the checksum schemes store data words verbatim).
+		mask := uint64(1) << (bit % 16)
+		word := int(bit) % len(data)
+		for _, s := range fuzzSchemes(t, blockSize, aSel) {
+			for _, fl := range []Flavor{Scalar, Blocked} {
+				s.Resize(len(data))
+				s.Harden(data, fl)
+				s.Corrupt(word, mask)
+				if bad := s.Detect(fl); bad == 0 {
+					t.Fatalf("%s/%s: bit flip %#x in word %d escaped detection",
+						s.Name(), fl, mask, word)
+				}
+			}
+		}
+	})
+}

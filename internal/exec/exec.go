@@ -393,6 +393,7 @@ type RunOption func(*runCfg)
 type runCfg struct {
 	pool      *Pool
 	transient bool
+	noFuse    bool
 }
 
 // WithPool attaches a shared worker pool: the AN-aware kernels run
@@ -401,6 +402,14 @@ type runCfg struct {
 // (the SSB harness holds one for the whole suite).
 func WithPool(p *Pool) RunOption {
 	return func(c *runCfg) { c.pool = p }
+}
+
+// WithFusion toggles the fused operator chains (on by default). Passing
+// false forces the materializing operator-at-a-time pipeline under every
+// mode - the baseline the fused kernels are benchmarked against, and one
+// axis of the cross-mode differential test matrix.
+func WithFusion(enabled bool) RunOption {
+	return func(c *runCfg) { c.noFuse = !enabled }
 }
 
 // WithParallelism runs the query on a transient pool of n workers
@@ -435,14 +444,14 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 	switch m {
 	case DMR:
 		if pool != nil && pool.Workers() > 1 {
-			return runReplicated(db, m, flavor, plan, pool, log, 2)
+			return runReplicated(db, m, flavor, plan, pool, log, 2, cfg.noFuse)
 		}
-		q1 := &Query{db: db, mode: m, flavor: flavor, log: log}
+		q1 := &Query{db: db, mode: m, flavor: flavor, log: log, noFuse: cfg.noFuse}
 		r1, err := plan(q1)
 		if err != nil {
 			return nil, log, err
 		}
-		q2 := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: 1}
+		q2 := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: 1, noFuse: cfg.noFuse}
 		r2, err := plan(q2)
 		if err != nil {
 			return nil, log, err
@@ -453,11 +462,11 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		return r1, log, nil
 	case TMR:
 		if pool != nil && pool.Workers() > 1 {
-			return runReplicated(db, m, flavor, plan, pool, log, 3)
+			return runReplicated(db, m, flavor, plan, pool, log, 3, cfg.noFuse)
 		}
 		results := make([]*ops.Result, 3)
 		for i := range results {
-			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i}
+			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i, noFuse: cfg.noFuse}
 			r, err := plan(q)
 			if err != nil {
 				return nil, log, err
@@ -466,7 +475,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		}
 		return voteTMR(results, log)
 	default:
-		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool}
+		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool, noFuse: cfg.noFuse}
 		r, err := plan(q)
 		return r, log, err
 	}
@@ -479,7 +488,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 // queries keep the pool, so each replica's kernels additionally run
 // morsel-parallel - the two levels share the worker set through work
 // stealing.
-func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool, log *ops.ErrorLog, n int) (*ops.Result, *ops.ErrorLog, error) {
+func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool, log *ops.ErrorLog, n int, noFuse bool) (*ops.Result, *ops.ErrorLog, error) {
 	results := make([]*ops.Result, n)
 	errs := make([]error, n)
 	logs := make([]*ops.ErrorLog, n)
@@ -488,7 +497,7 @@ func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool
 		i := i
 		jobs[i] = func() {
 			logs[i] = ops.NewErrorLog()
-			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool}
+			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool, noFuse: noFuse}
 			results[i], errs[i] = plan(q)
 		}
 	}
@@ -532,6 +541,7 @@ type Query struct {
 	replicaIdx int // 0 = primary, 1/2 = DMR/TMR replicas
 	deltaCache map[string]*storage.Column
 	pool       *Pool
+	noFuse     bool
 }
 
 // Mode returns the execution mode.
@@ -565,8 +575,9 @@ func (q *Query) Opts() *ops.Opts {
 // (ops.FusedFilterSemiSumProduct and friends) instead of materializing
 // every intermediate. All modes fuse except ContinuousReencoding, whose
 // defining trait - re-hardening each operator output with a next-smaller
-// A - requires exactly the intermediates fusion eliminates.
-func (q *Query) FuseOperators() bool { return q.mode != ContinuousReencoding }
+// A - requires exactly the intermediates fusion eliminates. WithFusion
+// (false) forces the materializing pipeline everywhere.
+func (q *Query) FuseOperators() bool { return q.mode != ContinuousReencoding && !q.noFuse }
 
 // Col returns the physical column a plan must use for table.column under
 // the current mode: the plain column (Unprotected), the replica column

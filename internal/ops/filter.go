@@ -2,6 +2,7 @@ package ops
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ahead/internal/an"
 	"ahead/internal/storage"
@@ -278,6 +279,66 @@ func rangeScanBlocked[T an.Unsigned](data []T, lo, hi T, base, posMul uint64, bu
 		}
 	}
 	return out[:n]
+}
+
+// refineBitmapRange clears the bits of a block selection bitmap whose
+// column value falls outside [lo, hi]: bit i of words[w] selects row
+// base+64w+i (see the fused kernels' blockSel). Only set bits touch the
+// column, so refining an already-sparse bitmap stays cheap. Returns the
+// surviving bit count.
+func refineBitmapRange[T an.Unsigned](data []T, lo, hi T, base int, words []uint64) int {
+	span := hi - lo
+	count := 0
+	for w := range words {
+		word := words[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			if data[base+w*64+b]-lo > span {
+				words[w] &^= 1 << uint(b)
+			} else {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// refineBitmapChecked is refineBitmapRange with Algorithm 1 detection
+// folded in: soften with the inverse, verify the domain bound (logging
+// corruptions at their global row position), then compare decoded.
+func refineBitmapChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, name string, log *ErrorLog, base int, words []uint64) int {
+	inv := T(code.AInv())
+	mask := T(code.CodeMask())
+	dmax := T(code.MaxData())
+	tlo, thi := T(lo), T(hi)
+	if uint64(dmax) < hi {
+		thi = dmax
+	}
+	span := thi - tlo
+	count := 0
+	for w := range words {
+		word := words[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			row := base + w*64 + b
+			d := data[row] * inv & mask
+			if d > dmax {
+				if log != nil {
+					log.Record(name, uint64(row))
+				}
+				words[w] &^= 1 << uint(b)
+				continue
+			}
+			if d-tlo > span {
+				words[w] &^= 1 << uint(b)
+			} else {
+				count++
+			}
+		}
+	}
+	return count
 }
 
 // rangeScanChecked is the continuous-detection scan of Algorithm 1: soften

@@ -2,6 +2,7 @@ package ops
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ahead/internal/an"
 	"ahead/internal/hashmap"
@@ -114,8 +115,22 @@ func makeFusedPred(p RangePred, detect bool) fusedPred {
 // and the touched column slices stay cache-resident.
 const fusedBlockRows = 4096
 
+// fusedBlockWords is the bitmap length of one block: one bit per row.
+const fusedBlockWords = fusedBlockRows / 64
+
+// bitmapSelThreshold is the survivor count at which a block's selection
+// switches from a position list to a bitmap. At 1/8 of the block (512
+// rows) the 512-byte bitmap undercuts the >=4 KiB position list, and the
+// fixed 64-word sweep of the bitmap kernels is amortized over enough set
+// bits to beat the list's pointer chase; below it, the list's
+// touch-only-survivors property wins. Representations convert lazily:
+// dense blocks promote after the first scan, and a probe stage that
+// drops a bitmap below the threshold demotes it back to a list.
+const bitmapSelThreshold = fusedBlockRows / 8
+
 // maxFusedStages bounds the per-kernel stage-log array (predicates plus
-// the probe/aggregate stage); the SSB flights use at most three stages.
+// the probe/aggregate stages); the deepest SSB flight (Q4.x: four joins
+// behind the scan) uses six stages.
 const maxFusedStages = 8
 
 // scanBlock scans fact rows [bs, be) against the predicate, emitting the
@@ -215,6 +230,74 @@ func refineChecked[T an.Unsigned](data []T, code *an.Code, lo, hi uint64, name s
 	return out
 }
 
+// refineBitmapBlock is refineBlock over a bitmap selection: it clears
+// the bits of the rows failing the predicate (bit i of words[w] selects
+// row bs+64w+i) and returns the survivor count.
+func (f *fusedPred) refineBitmapBlock(bs int, detect bool, log *ErrorLog, words []uint64) int {
+	c := f.col
+	lo, hi := f.lo, f.lo+f.span
+	if f.code != nil && detect {
+		switch {
+		case c.U16() != nil:
+			return refineBitmapChecked(c.U16(), f.code, lo, hi, c.Name(), log, bs, words)
+		case c.U32() != nil:
+			return refineBitmapChecked(c.U32(), f.code, lo, hi, c.Name(), log, bs, words)
+		default:
+			return refineBitmapChecked(c.U64(), f.code, lo, hi, c.Name(), log, bs, words)
+		}
+	}
+	switch {
+	case c.U8() != nil:
+		return refineBitmapRange(c.U8(), clamp8(lo), clamp8(hi), bs, words)
+	case c.U16() != nil:
+		return refineBitmapRange(c.U16(), clamp16(lo), clamp16(hi), bs, words)
+	case c.U32() != nil:
+		return refineBitmapRange(c.U32(), clamp32(lo), clamp32(hi), bs, words)
+	default:
+		return refineBitmapRange(c.U64(), lo, hi, bs, words)
+	}
+}
+
+// fillBitmap selects the first n rows of a block bitmap and clears the
+// rest (the no-predicate case: every row enters the join cascade).
+func fillBitmap(words []uint64, n int) {
+	full := n / 64
+	for w := 0; w < full; w++ {
+		words[w] = ^uint64(0)
+	}
+	for w := full; w < len(words); w++ {
+		words[w] = 0
+	}
+	if r := n % 64; r != 0 {
+		words[full] = 1<<uint(r) - 1
+	}
+}
+
+// listToBitmap scatters a block's global positions into its bitmap.
+func listToBitmap(words []uint64, pos []uint64, bs int) {
+	for w := range words {
+		words[w] = 0
+	}
+	for _, p := range pos {
+		r := int(p) - bs
+		words[r>>6] |= 1 << (uint(r) & 63)
+	}
+}
+
+// bitmapToList compacts a block bitmap back into global positions,
+// appending to out (a scratch buffer sized for the whole block).
+func bitmapToList(words []uint64, bs int, out []uint64) []uint64 {
+	for w, word := range words {
+		base := bs + w<<6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			out = append(out, uint64(base+b))
+		}
+	}
+	return out
+}
+
 // mergeStageLogs interleaves the per-stage logs of one block back into
 // global row order and appends them to dst, then resets the stage logs.
 // PosCode.Encode is monotone, so hardened positions compare like plain
@@ -245,6 +328,73 @@ func mergeStageLogs(dst *ErrorLog, stages []*ErrorLog) {
 	}
 	for _, sl := range stages {
 		sl.Reset()
+	}
+}
+
+// keyedLog is a stage log whose entries carry an explicit merge key: the
+// hardened form of the *fact row* that caused the entry. The join stages
+// of the fused probe cascade log dimension-attribute corruptions at their
+// build-side position (the repairable coordinate), which is not monotone
+// in fact-row order - so unlike the scan stages, HardenedPos cannot serve
+// as the merge key. Keying every entry by its fact row lets
+// mergeKeyedStages reproduce the row-at-a-time log order independent of
+// block and morsel boundaries, keeping fused serial and fused pooled
+// logs byte-identical.
+type keyedLog struct {
+	log  *ErrorLog
+	keys []uint64
+}
+
+// record logs pos under col and keys the entry by the fact row. A nil
+// receiver or log (detection without logging) is a no-op.
+func (kl *keyedLog) record(col string, pos, factRow uint64) {
+	if kl == nil || kl.log == nil {
+		return
+	}
+	kl.log.Record(col, pos)
+	kl.keys = append(kl.keys, PosCode.Encode(factRow))
+}
+
+// syncKeys extends the key slice to cover entries the shared scan
+// kernels appended directly to the underlying log. Those kernels log at
+// the global row position, so the entry's own HardenedPos is its key.
+func (kl *keyedLog) syncKeys() {
+	if kl == nil || kl.log == nil {
+		return
+	}
+	for len(kl.keys) < len(kl.log.entries) {
+		kl.keys = append(kl.keys, kl.log.entries[len(kl.keys)].HardenedPos)
+	}
+}
+
+// mergeKeyedStages is mergeStageLogs over keyed stage logs: a k-way
+// merge by fact-row key with stage order as the tiebreak, appending to
+// dst and resetting the stages. PosCode.Encode is monotone, so hardened
+// keys compare like plain rows.
+func mergeKeyedStages(dst *ErrorLog, stages []keyedLog) {
+	var idx [maxFusedStages]int
+	for {
+		best := -1
+		var bestKey uint64
+		for s := range stages {
+			if idx[s] < len(stages[s].keys) {
+				if k := stages[s].keys[idx[s]]; best == -1 || k < bestKey {
+					best, bestKey = s, k
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		kl := &stages[best]
+		for idx[best] < len(kl.keys) && kl.keys[idx[best]] == bestKey {
+			dst.entries = append(dst.entries, kl.log.entries[idx[best]])
+			idx[best]++
+		}
+	}
+	for s := range stages {
+		stages[s].log.Reset()
+		stages[s].keys = stages[s].keys[:0]
 	}
 }
 
@@ -666,4 +816,534 @@ func fusedGroupCheck(out *Vec, acc *an.Code, detect bool, log *ErrorLog) {
 			log.Record(VecLogName(out.Name), uint64(g))
 		}
 	}
+}
+
+// FusedJoin is one dimension join of the fused probe cascade: the fact
+// table's FK column probed against the dimension's build table. A non-nil
+// Attr contributes the dimension attribute at the matched build position
+// as a group-key component; a nil Attr is a pure semijoin.
+type FusedJoin struct {
+	FK   *storage.Column
+	HT   *hashmap.U64
+	Attr *storage.Column
+}
+
+// maxKeyBitsetBits caps the dense key-membership index: a build table
+// whose largest key is at or beyond this keeps plain hash probes. At
+// 1<<22 bits the index tops out at 512 KiB - roomy for SSB's dense
+// integer surrogates, far too small to matter for pathological keys.
+const maxKeyBitsetBits = 1 << 22
+
+// fusedJoinCol is a FusedJoin with softening constants precomputed, the
+// attribute's group-key slot resolved, and - for dense key domains - a
+// bitset over the build table's key set. The bitset turns the dominant
+// cost of a selective semijoin (a cache-missing hash probe per fact row)
+// into an L1-resident bit test: pure semijoins never touch the table at
+// all, attribute joins only probe for rows the bitset already admitted.
+type fusedJoinCol struct {
+	fk      fusedCol
+	ht      *hashmap.U64
+	keyBits []uint64 // dense membership index over the build keys (nil: probe the table)
+	keyMax  uint64
+	attr    fusedCol
+	hasAttr bool
+	attrIdx int
+}
+
+// buildKeyBits constructs the dense membership bitset for a build table,
+// or nil when any key lies beyond the maxKeyBitsetBits cap.
+func buildKeyBits(ht *hashmap.U64) ([]uint64, uint64) {
+	var max uint64
+	dense := true
+	ht.Range(func(k uint64, _ uint32) bool {
+		if k >= maxKeyBitsetBits {
+			dense = false
+			return false
+		}
+		if k > max {
+			max = k
+		}
+		return true
+	})
+	if !dense {
+		return nil, 0
+	}
+	words := make([]uint64, max>>6+1)
+	ht.Range(func(k uint64, _ uint32) bool {
+		words[k>>6] |= 1 << (k & 63)
+		return true
+	})
+	return words, max
+}
+
+// probeRow probes one fact row: soften the FK into the build table's
+// plain key domain, look it up, and - for attribute joins - fetch,
+// verify and decode the group-key component at the matched build
+// position into attrBuf[rel]. It reports whether the row survives.
+//
+// Mode semantics mirror the materializing SemiJoin+GatherAt+GroupBy
+// chain: a corrupted FK is reported at the fact row (Continuous) or
+// silently dropped (Late); a corrupted attribute is reported at its
+// *build* position - the repairable coordinate - and drops the row
+// (Continuous), or logs into the vec: namespace and keeps the decoded
+// value (Late, the PreAggregate Δ folded into the pass).
+func (j *fusedJoinCol) probeRow(row, rel int, attrBuf []uint64, detect bool, kl *keyedLog) (bool, error) {
+	kv := j.fk.col.Get(row)
+	if j.fk.code != nil {
+		d := kv * j.fk.inv & j.fk.mask
+		if d > j.fk.dmax {
+			if detect {
+				kl.record(j.fk.col.Name(), uint64(row), uint64(row))
+			}
+			return false, nil
+		}
+		kv = d
+	}
+	if j.keyBits != nil {
+		if kv > j.keyMax || j.keyBits[kv>>6]&(1<<(kv&63)) == 0 {
+			return false, nil
+		}
+		if !j.hasAttr {
+			return true, nil // membership settled, no build position needed
+		}
+	}
+	bp, ok := j.ht.Get(kv)
+	if !ok {
+		return false, nil
+	}
+	if !j.hasAttr {
+		return true, nil
+	}
+	av := j.attr.col.Get(int(bp))
+	if j.attr.code != nil {
+		d := av * j.attr.inv & j.attr.mask
+		if d > j.attr.dmax {
+			if detect {
+				kl.record(j.attr.col.Name(), uint64(bp), uint64(row))
+				return false, nil
+			}
+			kl.record(VecLogName(j.attr.col.Name()), uint64(row), uint64(row))
+		}
+		av = d
+	}
+	if av >= 1<<16 {
+		return false, fmt.Errorf("ops: group key component %q value %d exceeds 16 bits", j.attr.col.Name(), av)
+	}
+	attrBuf[rel] = av
+	return true, nil
+}
+
+// probeBitmap probes the set rows of a block bitmap, clearing the bits
+// of dropped rows, and returns the survivor count.
+func (j *fusedJoinCol) probeBitmap(bs int, words []uint64, attrBuf []uint64, detect bool, kl *keyedLog) (int, error) {
+	count := 0
+	for w := range words {
+		word := words[w]
+		base := bs + w<<6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			bit := uint64(1) << uint(b)
+			word &^= bit
+			row := base + b
+			keep, err := j.probeRow(row, row-bs, attrBuf, detect, kl)
+			if err != nil {
+				return 0, err
+			}
+			if keep {
+				count++
+			} else {
+				words[w] &^= bit
+			}
+		}
+	}
+	return count, nil
+}
+
+// probeList probes a block's position list, compacting it in place.
+func (j *fusedJoinCol) probeList(bs int, pos []uint64, attrBuf []uint64, detect bool, kl *keyedLog) ([]uint64, error) {
+	out := pos[:0]
+	for _, p := range pos {
+		keep, err := j.probeRow(int(p), int(p)-bs, attrBuf, detect, kl)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// fusedGroupPart is one morsel's local group table: per local group - in
+// first-occurrence order - the packed key, the decoded tuple, and the
+// accumulated sum. Unlike groupByPart there are no per-row ids: the
+// fused kernel consumes every surviving row in-pass.
+type fusedGroupPart struct {
+	packed []uint64
+	groups [][]uint64
+	sums   []uint64
+}
+
+// fusedGrouper is the group/aggregate stage of the fused probe cascade:
+// it packs the per-row attribute components gathered by the join stages
+// into a composite key, assigns morsel-local dense group ids, and
+// accumulates the measure (or measure difference) per group.
+type fusedGrouper struct {
+	attrBufs [][]uint64
+	nAttrs   int
+	ma, mb   fusedCol
+	hasB     bool
+	detect   bool
+	ht       *hashmap.U64
+	part     fusedGroupPart
+}
+
+// consume folds one surviving fact row into the group table. The group
+// row is inserted *before* the measure is validated, mirroring the
+// materializing chain where GroupBy runs ahead of SumGrouped: a group
+// whose only row carries a corrupted measure still appears, with a zero
+// contribution (Continuous logs the measure's base column at the fact
+// row and skips the accumulation only).
+func (g *fusedGrouper) consume(row, rel int, kl *keyedLog) {
+	var packed uint64
+	for c := 0; c < g.nAttrs; c++ {
+		packed |= g.attrBufs[c][rel] << (16 * uint(c))
+	}
+	id, inserted := g.ht.GetOrInsert(packed, uint32(len(g.part.groups)))
+	if inserted {
+		tuple := make([]uint64, g.nAttrs)
+		for c := range tuple {
+			tuple[c] = g.attrBufs[c][rel]
+		}
+		g.part.groups = append(g.part.groups, tuple)
+		g.part.packed = append(g.part.packed, packed)
+		g.part.sums = append(g.part.sums, 0)
+	}
+	av := g.ma.col.Get(row)
+	var bv uint64
+	if g.hasB {
+		bv = g.mb.col.Get(row)
+	}
+	switch {
+	case g.ma.code == nil:
+		g.part.sums[id] += av - bv
+	case g.detect:
+		da := av * g.ma.inv & g.ma.mask
+		okA := da <= g.ma.dmax
+		okB := true
+		if g.hasB {
+			db := bv * g.mb.inv & g.mb.mask
+			okB = db <= g.mb.dmax
+		}
+		if !okA || !okB {
+			if !okA {
+				kl.record(g.ma.col.Name(), uint64(row), uint64(row))
+			}
+			if !okB {
+				kl.record(g.mb.col.Name(), uint64(row), uint64(row))
+			}
+			return
+		}
+		// Raw code words add and subtract in the 64-bit ring, so the
+		// accumulator holds the code word of the group total (Eq. 5),
+		// verified under the widened code by fusedGroupCheck.
+		g.part.sums[id] += av - bv
+	default:
+		// LateOnetime: verify, log into the vec: namespace at the fact
+		// row, and accumulate the softened value regardless.
+		da := av * g.ma.inv & g.ma.mask
+		if da > g.ma.dmax {
+			kl.record(VecLogName(g.ma.col.Name()), uint64(row), uint64(row))
+		}
+		if g.hasB {
+			db := bv * g.mb.inv & g.mb.mask
+			if db > g.mb.dmax {
+				kl.record(VecLogName(g.mb.col.Name()), uint64(row), uint64(row))
+			}
+			g.part.sums[id] += da - db
+		} else {
+			g.part.sums[id] += da
+		}
+	}
+}
+
+// consumeBitmap feeds the set rows of a block bitmap to the grouper.
+func (g *fusedGrouper) consumeBitmap(bs int, words []uint64, kl *keyedLog) {
+	for w, word := range words {
+		base := bs + w<<6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			row := base + b
+			g.consume(row, row-bs, kl)
+		}
+	}
+}
+
+// consumeList feeds a block's position list to the grouper.
+func (g *fusedGrouper) consumeList(bs int, pos []uint64, kl *keyedLog) {
+	for _, p := range pos {
+		g.consume(int(p), int(p)-bs, kl)
+	}
+}
+
+// fusedProbeGroupRange is the morsel kernel of FusedProbeGroupSum[Diff]
+// over fact rows [start, end): per block, the predicates select into a
+// position list or - above bitmapSelThreshold - a block bitmap, the join
+// cascade probes the surviving rows (gathering group-key components as
+// it matches), and the grouper packs keys and accumulates the measure,
+// all without materializing an inter-operator position vector. Stage
+// logs are keyed by fact row and k-way merged back per block, so the
+// entry sequence is independent of block and morsel boundaries.
+func fusedProbeGroupRange(preds []fusedPred, joins []fusedJoinCol, ma, mb fusedCol, hasB bool, nAttrs int, detect bool, flavor Flavor, log *ErrorLog, start, end int) (fusedGroupPart, error) {
+	posBuf := borrowU64(fusedBlockRows)
+	defer releaseU64(posBuf)
+	bmBuf := borrowU64(fusedBlockWords)
+	defer releaseU64(bmBuf)
+	words := (*bmBuf)[:fusedBlockWords]
+
+	g := &fusedGrouper{
+		attrBufs: make([][]uint64, nAttrs),
+		nAttrs:   nAttrs,
+		ma:       ma,
+		mb:       mb,
+		hasB:     hasB,
+		detect:   detect,
+		ht:       hashmap.New(1024),
+	}
+	var attrPtrs [4]*[]uint64
+	for c := 0; c < nAttrs; c++ {
+		attrPtrs[c] = borrowU64(fusedBlockRows)
+		g.attrBufs[c] = (*attrPtrs[c])[:fusedBlockRows]
+		defer releaseU64(attrPtrs[c])
+	}
+
+	nStages := len(preds) + len(joins) + 1
+	var stages [maxFusedStages]keyedLog
+	stageAt := func(s int) *keyedLog {
+		if log == nil {
+			return nil
+		}
+		return &stages[s]
+	}
+	if log != nil {
+		for s := 0; s < nStages; s++ {
+			stages[s].log = borrowLog()
+		}
+		defer func() {
+			for s := 0; s < nStages; s++ {
+				releaseLog(stages[s].log)
+			}
+		}()
+	}
+	stageLog := func(s int) *ErrorLog {
+		if log == nil {
+			return nil
+		}
+		return stages[s].log
+	}
+
+	for bs := start; bs < end; bs += fusedBlockRows {
+		be := bs + fusedBlockRows
+		if be > end {
+			be = end
+		}
+		var sel []uint64
+		useBitmap := false
+		count := 0
+		if len(preds) == 0 {
+			fillBitmap(words, be-bs)
+			useBitmap, count = true, be-bs
+		} else {
+			sel = preds[0].scanBlock(bs, be, detect, flavor, stageLog(0), *posBuf)
+			stageAt(0).syncKeys()
+			count = len(sel)
+			if count >= bitmapSelThreshold {
+				listToBitmap(words, sel, bs)
+				useBitmap = true
+			}
+			for pi := 1; pi < len(preds); pi++ {
+				if useBitmap {
+					count = preds[pi].refineBitmapBlock(bs, detect, stageLog(pi), words)
+					if count < bitmapSelThreshold {
+						sel = bitmapToList(words, bs, (*posBuf)[:0])
+						useBitmap = false
+					}
+				} else {
+					sel = preds[pi].refineBlock(detect, stageLog(pi), sel)
+					count = len(sel)
+				}
+				stageAt(pi).syncKeys()
+			}
+		}
+		for ji := range joins {
+			if count == 0 {
+				break
+			}
+			j := &joins[ji]
+			kl := stageAt(len(preds) + ji)
+			var ab []uint64
+			if j.hasAttr {
+				ab = g.attrBufs[j.attrIdx]
+			}
+			var err error
+			if useBitmap {
+				count, err = j.probeBitmap(bs, words, ab, detect, kl)
+				if err == nil && count < bitmapSelThreshold {
+					sel = bitmapToList(words, bs, (*posBuf)[:0])
+					useBitmap = false
+				}
+			} else {
+				sel, err = j.probeList(bs, sel, ab, detect, kl)
+				count = len(sel)
+			}
+			if err != nil {
+				return fusedGroupPart{}, err
+			}
+		}
+		if count > 0 {
+			kl := stageAt(nStages - 1)
+			if useBitmap {
+				g.consumeBitmap(bs, words, kl)
+			} else {
+				g.consumeList(bs, sel, kl)
+			}
+		}
+		if log != nil {
+			mergeKeyedStages(log, stages[:nStages])
+		}
+	}
+	return g.part, nil
+}
+
+// FusedProbeGroupSum runs the whole grouped-flight tail (Q2.x/Q3.x) in
+// one pass over the fact table: conjunctive range predicates, the
+// cascade of dimension-join probes, inline group-id assignment from the
+// matched dimension attributes, and the per-group measure sum - with no
+// materialized selection, match or value vector between the stages. It
+// returns the decoded group tuples in first-occurrence order and the
+// per-group sums, the inputs of exec.Query.Finish.
+func FusedProbeGroupSum(preds []RangePred, joins []FusedJoin, measure *storage.Column, o *Opts) ([][]uint64, *Vec, error) {
+	return fusedProbeGroup(preds, joins, measure, nil, o)
+}
+
+// FusedProbeGroupSumDiff is FusedProbeGroupSum with the Q4.x profit
+// aggregate: per surviving row it accumulates a-b into the row's group.
+// Both measures must share one code (Eq. 5 needs a common A for the raw
+// difference to be the code word of the difference).
+func FusedProbeGroupSumDiff(preds []RangePred, joins []FusedJoin, a, b *storage.Column, o *Opts) ([][]uint64, *Vec, error) {
+	if b == nil {
+		return nil, nil, fmt.Errorf("ops: fused sum-diff needs a second measure")
+	}
+	return fusedProbeGroup(preds, joins, a, b, o)
+}
+
+// fusedProbeGroup is the shared entry point of the fused probe cascade.
+func fusedProbeGroup(preds []RangePred, joins []FusedJoin, a, b *storage.Column, o *Opts) ([][]uint64, *Vec, error) {
+	hasB := b != nil
+	n := a.Len()
+	name := "sum(" + a.Name() + ")"
+	if hasB {
+		name = "sum(" + a.Name() + "-" + b.Name() + ")"
+		if b.Len() != n {
+			return nil, nil, fmt.Errorf("ops: fused sum-diff over unequal column lengths %d/%d", n, b.Len())
+		}
+		if (a.Code() == nil) != (b.Code() == nil) {
+			return nil, nil, fmt.Errorf("ops: fused sum-diff needs both inputs plain or both hardened")
+		}
+		if a.Code() != nil && a.Code().A() != b.Code().A() {
+			return nil, nil, fmt.Errorf("ops: fused sum-diff across different As (%d vs %d)", a.Code().A(), b.Code().A())
+		}
+	}
+	for _, p := range preds {
+		if p.Col.Len() != n {
+			return nil, nil, fmt.Errorf("ops: fused scan over unequal column lengths %d/%d", p.Col.Len(), n)
+		}
+	}
+	if len(joins) == 0 {
+		return nil, nil, fmt.Errorf("ops: fused probe cascade needs at least one join")
+	}
+	nAttrs := 0
+	fjs := make([]fusedJoinCol, len(joins))
+	for i, j := range joins {
+		if j.FK.Len() != n {
+			return nil, nil, fmt.Errorf("ops: fused probe over unequal column lengths %d/%d", j.FK.Len(), n)
+		}
+		fjs[i] = fusedJoinCol{fk: makeFusedCol(j.FK), ht: j.HT}
+		fjs[i].keyBits, fjs[i].keyMax = buildKeyBits(j.HT)
+		if j.Attr != nil {
+			fjs[i].attr = makeFusedCol(j.Attr)
+			fjs[i].hasAttr = true
+			fjs[i].attrIdx = nAttrs
+			nAttrs++
+		}
+	}
+	if nAttrs == 0 || nAttrs > 4 {
+		return nil, nil, fmt.Errorf("ops: fused group-by supports 1..4 key attributes, got %d", nAttrs)
+	}
+	if len(preds)+len(joins)+1 > maxFusedStages {
+		return nil, nil, fmt.Errorf("ops: fused cascade over %d stages (max %d)", len(preds)+len(joins)+1, maxFusedStages)
+	}
+	detect := o.detect()
+	log := o.log()
+	ac := makeFusedCol(a)
+	var bc fusedCol
+	if hasB {
+		bc = makeFusedCol(b)
+	}
+
+	fps := make([]fusedPred, len(preds))
+	for i, p := range preds {
+		fps[i] = makeFusedPred(p, detect)
+		if fps[i].empty {
+			out, acc, err := fusedGroupOut(name, ac.code, 0, detect)
+			if err != nil {
+				return nil, nil, err
+			}
+			fusedGroupCheck(out, acc, detect, log)
+			return nil, out, nil
+		}
+	}
+	flavor := o.flavor()
+
+	var groups [][]uint64
+	var sums []uint64
+	if p := o.par(n); p != nil {
+		parts, err := runMorsels(p, n, log, func(plog *ErrorLog, start, end int) (fusedGroupPart, error) {
+			return fusedProbeGroupRange(fps, fjs, ac, bc, hasB, nAttrs, detect, flavor, plog, start, end)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Merge the per-morsel group tables in morsel order: every local
+		// first occurrence maps onto a global dense id via one shared
+		// table (the GroupBy merge), and the local sums add into the
+		// global accumulator - ring addition, so the totals match the
+		// serial pass exactly (Eq. 5).
+		global := hashmap.New(1024)
+		for _, part := range parts {
+			for li, pk := range part.packed {
+				id, inserted := global.GetOrInsert(pk, uint32(len(groups)))
+				if inserted {
+					groups = append(groups, part.groups[li])
+					sums = append(sums, 0)
+				}
+				sums[id] += part.sums[li]
+			}
+		}
+	} else {
+		part, err := fusedProbeGroupRange(fps, fjs, ac, bc, hasB, nAttrs, detect, flavor, log, 0, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		groups, sums = part.groups, part.sums
+	}
+
+	out, acc, err := fusedGroupOut(name, ac.code, len(groups), detect)
+	if err != nil {
+		return nil, nil, err
+	}
+	copy(out.Vals, sums)
+	fusedGroupCheck(out, acc, detect, log)
+	return groups, out, nil
 }

@@ -1,0 +1,427 @@
+package ops
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ahead/internal/an"
+	"ahead/internal/hashmap"
+	"ahead/internal/storage"
+)
+
+// cascadeFixture is a small Q4-shaped star schema: three dimension joins
+// (two contributing group attributes, one pure semijoin), two measures
+// and a local predicate column, in plain and hardened form.
+type cascadeFixture struct {
+	n                *testing.T
+	fk1, fk2, fk3    *storage.Column
+	fk1H, fk2H, fk3H *storage.Column
+	attr1, attr3     *storage.Column
+	attr1H, attr3H   *storage.Column
+	rev, cost        *storage.Column
+	revH, costH      *storage.Column
+	qty, qtyH        *storage.Column
+	ht1, ht2, ht3    *hashmap.U64
+}
+
+func newCascadeFixture(t *testing.T, n int) *cascadeFixture {
+	t.Helper()
+	fk1 := make([]uint64, n)
+	fk2 := make([]uint64, n)
+	fk3 := make([]uint64, n)
+	qty := make([]uint64, n)
+	rev := make([]uint64, n)
+	cost := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		fk1[i] = uint64(100 + i%20)    // 16 of 20 keys in dim1
+		fk2[i] = uint64(200 + (i*3)%5) // 4 of 5 keys in dim2
+		fk3[i] = uint64(300 + (i*7)%9) // 8 of 9 keys in dim3
+		qty[i] = uint64((i * 7) % 50)
+		rev[i] = uint64(5000 + (i*17)%1000)
+		cost[i] = uint64((i * 3) % 2000)
+	}
+	a1 := make([]uint64, 16)
+	for bp := range a1 {
+		a1[bp] = uint64((bp * 5) % 12)
+	}
+	a3 := make([]uint64, 8)
+	for bp := range a3 {
+		a3[bp] = uint64(1992 + bp%6)
+	}
+	f := &cascadeFixture{}
+	f.fk1 = intColumn(t, "lo_custkey", fk1)
+	f.fk2 = intColumn(t, "lo_suppkey", fk2)
+	f.fk3 = intColumn(t, "lo_orderdate", fk3)
+	f.qty = tinyColumn(t, "lo_quantity", qty)
+	f.rev = intColumn(t, "lo_revenue", rev)
+	f.cost = intColumn(t, "lo_supplycost", cost)
+	f.attr1 = tinyColumn(t, "c_nation", a1)
+	f.attr3 = intColumn(t, "d_year", a3)
+	f.fk1H = harden(t, f.fk1, code32)
+	f.fk2H = harden(t, f.fk2, code32)
+	f.fk3H = harden(t, f.fk3, code32)
+	f.qtyH = harden(t, f.qty, code8)
+	f.revH = harden(t, f.rev, code32)
+	f.costH = harden(t, f.cost, code32)
+	f.attr1H = harden(t, f.attr1, code8)
+	f.attr3H = harden(t, f.attr3, code32)
+	keys1 := make([]uint64, 16)
+	for i := range keys1 {
+		keys1[i] = uint64(100 + i)
+	}
+	f.ht1 = buildTestHT(keys1...)
+	f.ht2 = buildTestHT(200, 201, 202, 203)
+	f.ht3 = buildTestHT(300, 301, 302, 303, 304, 305, 306, 307)
+	return f
+}
+
+// joins returns the fused join list in plain or hardened form.
+func (f *cascadeFixture) joins(hardened bool) []FusedJoin {
+	if hardened {
+		return []FusedJoin{
+			{FK: f.fk1H, HT: f.ht1, Attr: f.attr1H},
+			{FK: f.fk2H, HT: f.ht2},
+			{FK: f.fk3H, HT: f.ht3, Attr: f.attr3H},
+		}
+	}
+	return []FusedJoin{
+		{FK: f.fk1, HT: f.ht1, Attr: f.attr1},
+		{FK: f.fk2, HT: f.ht2},
+		{FK: f.fk3, HT: f.ht3, Attr: f.attr3},
+	}
+}
+
+// materializedCascade is the operator-at-a-time pipeline the fused probe
+// cascade replaces: filter, semijoin chain, per-attribute re-probe and
+// gather, group-by, grouped sum (or sum-diff when mb is non-nil). late
+// applies the PreAggregate Δ to the key and measure vectors, mirroring
+// exec.Query.PreAggregate under LateOnetime.
+func materializedCascade(t *testing.T, preds []RangePred, joins []FusedJoin, ma, mb *storage.Column, o *Opts, late bool, log *ErrorLog) ([][]uint64, *Vec) {
+	t.Helper()
+	var sel *Sel
+	var err error
+	for i, p := range preds {
+		if i == 0 {
+			sel, err = Filter(p.Col, p.Lo, p.Hi, o)
+		} else {
+			sel, err = FilterSel(p.Col, p.Lo, p.Hi, sel, o)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range joins {
+		sel, err = SemiJoin(j.FK, j.HT, sel, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []*Vec
+	for _, j := range joins {
+		if j.Attr == nil {
+			continue
+		}
+		_, bp, err := HashProbe(j.FK, j.HT, sel, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, err := GatherAt(j.Attr, bp, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if late {
+			vec = vec.Soften(true, log)
+		}
+		keys = append(keys, vec)
+	}
+	gids, groups, err := GroupBy(keys, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gather := func(c *storage.Column) *Vec {
+		v, err := Gather(c, sel, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if late {
+			v = v.Soften(true, log)
+		}
+		return v
+	}
+	var sums *Vec
+	if mb == nil {
+		sums, err = SumGrouped(gather(ma), gids, len(groups), o)
+	} else {
+		sums, err = SumDiffGrouped(gather(ma), gather(mb), gids, len(groups), o)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return groups, sums
+}
+
+func TestFusedCascadeMatchesMaterialized(t *testing.T) {
+	n := 10000 // two full blocks plus a partial one
+	cases := []struct {
+		name     string
+		hardened bool
+		detect   bool
+		late     bool
+		diff     bool
+	}{
+		{"plain/sum", false, false, false, false},
+		{"plain/diff", false, false, false, true},
+		{"late/sum", true, false, true, false},
+		{"late/diff", true, false, true, true},
+		{"continuous/sum", true, true, false, false},
+		{"continuous/diff", true, true, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newCascadeFixture(t, n)
+			ma, mb := f.rev, f.cost
+			if tc.hardened {
+				ma, mb = f.revH, f.costH
+			}
+			if !tc.diff {
+				mb = nil
+			}
+			wlog, flog := NewErrorLog(), NewErrorLog()
+			wo := &Opts{Detect: tc.detect, HardenIDs: tc.detect, Log: wlog}
+			fo := &Opts{Detect: tc.detect, HardenIDs: tc.detect, Log: flog}
+			wantGroups, want := materializedCascade(t, nil, f.joins(tc.hardened), ma, mb, wo, tc.late, wlog)
+
+			var gotGroups [][]uint64
+			var got *Vec
+			var err error
+			if tc.diff {
+				gotGroups, got, err = FusedProbeGroupSumDiff(nil, f.joins(tc.hardened), ma, mb, fo)
+			} else {
+				gotGroups, got, err = FusedProbeGroupSum(nil, f.joins(tc.hardened), ma, fo)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wantGroups) == 0 {
+				t.Fatal("fixture selects no groups; test is vacuous")
+			}
+			if !reflect.DeepEqual(gotGroups, wantGroups) {
+				t.Fatalf("fused groups %v != materialized %v", gotGroups, wantGroups)
+			}
+			if !reflect.DeepEqual(got.Vals, want.Vals) {
+				t.Fatalf("fused sums %v != materialized %v", got.Vals, want.Vals)
+			}
+			if got.Name != want.Name {
+				t.Fatalf("name mismatch: %q vs %q", got.Name, want.Name)
+			}
+			if (got.Code == nil) != (want.Code == nil) {
+				t.Fatalf("code mismatch: fused %v, materialized %v", got.Code, want.Code)
+			}
+			if wlog.Count() != 0 || flog.Count() != 0 {
+				t.Fatalf("clean data logged errors: %d/%d", wlog.Count(), flog.Count())
+			}
+		})
+	}
+}
+
+// TestFusedCascadeWithPredicates covers both selection representations:
+// a 50%-selectivity predicate keeps the blocks above bitmapSelThreshold
+// (bitmap refinement and bitmap probing), an ~8% one drops them below it
+// (position-list path), and the join cascade demotes dense blocks as the
+// probes thin them out.
+func TestFusedCascadeWithPredicates(t *testing.T) {
+	n := 10000
+	cases := []struct {
+		name   string
+		lo, hi uint64
+	}{
+		{"dense-bitmap", 0, 24}, // ~50% of each block
+		{"sparse-list", 0, 3},   // ~8%, below the threshold
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, hardened := range []bool{false, true} {
+				f := newCascadeFixture(t, n)
+				qty, ma := f.qty, f.rev
+				if hardened {
+					qty, ma = f.qtyH, f.revH
+				}
+				preds := []RangePred{{Col: qty, Lo: tc.lo, Hi: tc.hi}}
+				wlog, flog := NewErrorLog(), NewErrorLog()
+				wo := &Opts{Detect: hardened, HardenIDs: hardened, Log: wlog}
+				fo := &Opts{Detect: hardened, HardenIDs: hardened, Log: flog}
+				wantGroups, want := materializedCascade(t, preds, f.joins(hardened), ma, nil, wo, false, wlog)
+				gotGroups, got, err := FusedProbeGroupSum(preds, f.joins(hardened), ma, fo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotGroups, wantGroups) {
+					t.Fatalf("hardened=%v: fused groups %v != materialized %v", hardened, gotGroups, wantGroups)
+				}
+				if !reflect.DeepEqual(got.Vals, want.Vals) {
+					t.Fatalf("hardened=%v: fused sums %v != materialized %v", hardened, got.Vals, want.Vals)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedCascadeDetection corrupts a fact FK, a dimension attribute (a
+// *build-side* position) and both measures, and checks the fused pass
+// drops the same rows and reports the same repairable per-column
+// positions as the materializing pipeline.
+func TestFusedCascadeDetection(t *testing.T) {
+	n := 8000
+	mk := func() *cascadeFixture {
+		f := newCascadeFixture(t, n)
+		f.fk1H.Corrupt(41, 1<<9)  // fact row 41 survives all joins (41%20=1, hits)
+		f.attr1H.Corrupt(1, 1<<2) // dim1 build row 1: every fact row with fk1=101
+		// Measure faults sit on fk1=102 rows: they must not share a row
+		// with the corrupt c_nation build slot (fk1=101), because the
+		// fused pass short-circuits a dropped row and would never touch
+		// its measure, while the materializing pipeline still gathers it.
+		f.revH.Corrupt(162, 1<<11)  // 162%20=2, 162%5=2, 162%9=0: survives all joins
+		f.costH.Corrupt(322, 1<<12) // likewise
+		return f
+	}
+	wlog, flog := NewErrorLog(), NewErrorLog()
+	fm := mk()
+	wantGroups, want := materializedCascade(t, nil, fm.joins(true), fm.revH, fm.costH,
+		&Opts{Detect: true, HardenIDs: true, Log: wlog}, false, nil)
+	ff := mk()
+	gotGroups, got, err := FusedProbeGroupSumDiff(nil, ff.joins(true), ff.revH, ff.costH,
+		&Opts{Detect: true, HardenIDs: true, Log: flog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotGroups, wantGroups) {
+		t.Fatalf("fused groups %v != materialized %v under corruption", gotGroups, wantGroups)
+	}
+	if !reflect.DeepEqual(got.Vals, want.Vals) {
+		t.Fatalf("fused sums %v != materialized %v under corruption", got.Vals, want.Vals)
+	}
+	for _, col := range []string{"lo_custkey", "c_nation", "lo_revenue", "lo_supplycost"} {
+		wantPos, err := wlog.Positions(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPos, err := flog.Positions(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wantPos) == 0 {
+			t.Fatalf("%s: corruption was not detected; test is vacuous", col)
+		}
+		if !reflect.DeepEqual(gotPos, wantPos) {
+			t.Fatalf("%s: fused positions %v != materialized %v", col, gotPos, wantPos)
+		}
+	}
+}
+
+// TestFusedCascadeSerialVsParallel asserts the morsel invariant for the
+// probe cascade: identical groups, sums and byte-identical logs for any
+// morsel split - including the build-position attribute entries whose
+// log order only the fact-row merge keys can reproduce.
+func TestFusedCascadeSerialVsParallel(t *testing.T) {
+	n := 12000
+	for _, detect := range []bool{false, true} {
+		f := newCascadeFixture(t, n)
+		f.fk1H.Corrupt(41, 1<<9)
+		f.revH.Corrupt(161, 1<<11)
+		if detect {
+			// A corrupt group attribute under late detection decodes to a
+			// garbage key and (correctly) errors on the 16-bit guard in
+			// both engines, so attr faults are a detect-mode-only case.
+			f.attr1H.Corrupt(1, 1<<2)
+			f.attr3H.Corrupt(5, 1<<6)
+		}
+		slog := NewErrorLog()
+		so := &Opts{Detect: detect, HardenIDs: detect, Log: slog}
+		sGroups, serial, err := FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, f.costH, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, morsel := range []int{512, 999, 1777, 5000} {
+			plog := NewErrorLog()
+			po := &Opts{Detect: detect, HardenIDs: detect, Log: plog, Par: serialMorsels{workers: 4, morsel: morsel}}
+			pGroups, par, err := FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, f.costH, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pGroups, sGroups) {
+				t.Fatalf("detect=%v morsel=%d: parallel groups %v != serial %v", detect, morsel, pGroups, sGroups)
+			}
+			if !reflect.DeepEqual(par.Vals, serial.Vals) {
+				t.Fatalf("detect=%v morsel=%d: parallel sums %v != serial %v", detect, morsel, par.Vals, serial.Vals)
+			}
+			if !plog.Equal(slog) {
+				t.Fatalf("detect=%v morsel=%d: parallel log diverges from serial", detect, morsel)
+			}
+		}
+		if detect && slog.Count() == 0 {
+			t.Fatal("corruption was not detected; test is vacuous")
+		}
+	}
+}
+
+func TestFusedCascadeValidation(t *testing.T) {
+	f := newCascadeFixture(t, 200)
+	o := &Opts{}
+	fails := func(err error, frag string) {
+		t.Helper()
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Fatalf("want error containing %q, got %v", frag, err)
+		}
+	}
+	_, _, err := FusedProbeGroupSum(nil, nil, f.rev, o)
+	fails(err, "at least one join")
+
+	_, _, err = FusedProbeGroupSum(nil, []FusedJoin{{FK: f.fk2, HT: f.ht2}}, f.rev, o)
+	fails(err, "1..4 key attributes")
+
+	five := []FusedJoin{
+		{FK: f.fk1, HT: f.ht1, Attr: f.attr1},
+		{FK: f.fk1, HT: f.ht1, Attr: f.attr1},
+		{FK: f.fk1, HT: f.ht1, Attr: f.attr1},
+		{FK: f.fk1, HT: f.ht1, Attr: f.attr1},
+		{FK: f.fk1, HT: f.ht1, Attr: f.attr1},
+	}
+	_, _, err = FusedProbeGroupSum(nil, five, f.rev, o)
+	fails(err, "1..4 key attributes")
+
+	manyPreds := make([]RangePred, 4)
+	for i := range manyPreds {
+		manyPreds[i] = RangePred{Col: f.qty, Lo: 0, Hi: 49}
+	}
+	_, _, err = FusedProbeGroupSum(manyPreds, five[:4], f.rev, o)
+	fails(err, "stages")
+
+	_, _, err = FusedProbeGroupSumDiff(nil, f.joins(false), f.rev, nil, o)
+	fails(err, "second measure")
+
+	_, _, err = FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, f.cost, o)
+	fails(err, "both inputs plain or both hardened")
+
+	badB := harden(t, f.cost, an.MustNew(233, 32))
+	_, _, err = FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, badB, o)
+	fails(err, "different As")
+
+	wide := intColumn(t, "wide_attr", []uint64{1 << 16})
+	wj := []FusedJoin{{FK: f.fk1, HT: buildTestHT(100), Attr: wide}}
+	_, _, err = FusedProbeGroupSum(nil, wj, f.rev, o)
+	fails(err, "exceeds 16 bits")
+}
+
+func TestFusedCascadeEmptyPredicate(t *testing.T) {
+	f := newCascadeFixture(t, 300)
+	groups, sums, err := FusedProbeGroupSum([]RangePred{
+		{Col: f.qty, Lo: 5, Hi: 4}, // inverted: statically empty
+	}, f.joins(false), f.rev, &Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 || len(sums.Vals) != 0 {
+		t.Fatalf("empty predicate must yield no groups, got %d/%d", len(groups), len(sums.Vals))
+	}
+}

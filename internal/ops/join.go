@@ -55,6 +55,10 @@ func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, [
 	if sel != nil {
 		total = sel.Len()
 	}
+	hardened := o != nil && o.HardenIDs
+	if sel != nil {
+		hardened = sel.Hardened
+	}
 	if p := o.par(total); p != nil {
 		parts, err := runMorsels(p, total, o.log(), func(log *ErrorLog, start, end int) (probePart, error) {
 			return hashProbeRange(col, ht, sel, o, log, start, end)
@@ -62,34 +66,28 @@ func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, [
 		if err != nil {
 			return nil, nil, err
 		}
-		hardened := o != nil && o.HardenIDs
-		if sel != nil {
-			hardened = sel.Hardened
+		posParts := make([]*[]uint64, len(parts))
+		matchParts := make([]*[]uint32, len(parts))
+		for m, part := range parts {
+			posParts[m], matchParts[m] = part.pos, part.matches
 		}
-		out := &Sel{Hardened: hardened}
-		var matches []uint32
-		for _, part := range parts {
-			out.Pos = append(out.Pos, part.pos...)
-			matches = append(matches, part.matches...)
-		}
-		return out, matches, nil
+		return &Sel{Pos: concatOwned(posParts), Hardened: hardened}, concatOwnedU32(matchParts), nil
 	}
 	part, err := hashProbeRange(col, ht, sel, o, o.log(), 0, total)
 	if err != nil {
 		return nil, nil, err
 	}
-	hardened := o != nil && o.HardenIDs
-	if sel != nil {
-		hardened = sel.Hardened
-	}
-	return &Sel{Pos: part.pos, Hardened: hardened}, part.matches, nil
+	return &Sel{Pos: ownU64(part.pos), Hardened: hardened}, ownU32(part.matches), nil
 }
 
 // probePart is one morsel's probe output: surviving probe-side positions
-// and, aligned with them, matched build-side positions.
+// and, aligned with them, matched build-side positions. Both buffers are
+// borrowed from the scratch arena; ownership transfers to HashProbe,
+// which copies them into owned slices (ownU64/concatOwned and the u32
+// twins) before they become query-visible.
 type probePart struct {
-	pos     []uint64
-	matches []uint32
+	pos     *[]uint64
+	matches *[]uint32
 }
 
 // hashProbeRange is the morsel kernel of HashProbe: with sel nil it
@@ -104,10 +102,10 @@ func hashProbeRange(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts, log
 		inv, mask, dmax = code.AInv(), code.CodeMask(), code.MaxData()
 	}
 
-	part := probePart{
-		pos:     make([]uint64, 0, (end-start)/4+16),
-		matches: make([]uint32, 0, (end-start)/4+16),
-	}
+	// The borrowed buffers cover end-start emissions (every probe row can
+	// match), so the append paths below never grow them.
+	part := probePart{pos: borrowU64(end - start), matches: borrowU32(end - start)}
+	outPos, outMatch := (*part.pos)[:0], (*part.matches)[:0]
 	if sel == nil {
 		posMul := o.posMul()
 		for i := start; i < end; i++ {
@@ -123,10 +121,11 @@ func hashProbeRange(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts, log
 				v = d
 			}
 			if bp, ok := ht.Get(v); ok {
-				part.pos = append(part.pos, uint64(i)*posMul)
-				part.matches = append(part.matches, bp)
+				outPos = append(outPos, uint64(i)*posMul)
+				outMatch = append(outMatch, bp)
 			}
 		}
+		*part.pos, *part.matches = outPos, outMatch
 		return part, nil
 	}
 
@@ -136,6 +135,8 @@ func hashProbeRange(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts, log
 			continue
 		}
 		if pos >= uint64(col.Len()) {
+			releaseU64(part.pos)
+			releaseU32(part.matches)
 			return probePart{}, fmt.Errorf("ops: position %d beyond column %q", pos, col.Name())
 		}
 		v := col.Get(int(pos))
@@ -150,10 +151,11 @@ func hashProbeRange(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts, log
 			v = d
 		}
 		if bp, ok := ht.Get(v); ok {
-			part.pos = append(part.pos, sel.Pos[i])
-			part.matches = append(part.matches, bp)
+			outPos = append(outPos, sel.Pos[i])
+			outMatch = append(outMatch, bp)
 		}
 	}
+	*part.pos, *part.matches = outPos, outMatch
 	return part, nil
 }
 

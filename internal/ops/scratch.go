@@ -12,17 +12,20 @@ import (
 // rent the paper's C++ prototype never paid, and rent that scales with
 // worker count under the morsel pool. The arena below recycles those
 // buffers through size-classed sync.Pools so the steady-state per-morsel
-// allocation count is zero.
+// allocation count is zero. Two element types share one implementation:
+// uint64 (positions, bitmaps, aggregation partials) and uint32 (matched
+// build-side positions of the hash probe).
 //
 // Ownership rules:
 //
-//   - Kernels borrow with borrowU64/borrowU64Zeroed and return a borrowed
-//     buffer (as *[]uint64) to their caller; ownership transfers with the
-//     return value.
-//   - The operator entry points (Filter, Gather, SumGrouped, ...) are the
-//     only owners of query-visible results. They copy borrowed contents
-//     into exact-size owned slices (ownU64, concatOwned) and release the
-//     scratch; borrowed memory never escapes into a Sel, Vec or Result.
+//   - Kernels borrow with borrowU64/borrowU64Zeroed/borrowU32 and return a
+//     borrowed buffer (as a pointer) to their caller; ownership transfers
+//     with the return value.
+//   - The operator entry points (Filter, Gather, HashProbe, SumGrouped,
+//     ...) are the only owners of query-visible results. They copy
+//     borrowed contents into exact-size owned slices (ownU64, concatOwned
+//     and the u32 twins) and release the scratch; borrowed memory never
+//     escapes into a Sel, Vec or Result.
 //   - Error logs follow the same discipline: runMorsels borrows one
 //     private log per morsel, merges them into the caller's log in morsel
 //     order, and releases them. A released log's entries have always been
@@ -31,7 +34,7 @@ import (
 //   - On an error return the in-flight borrows of unfinished morsels are
 //     dropped instead of released; the GC reclaims them. Errors are
 //     schema-level and never on the steady-state path.
-type scratchClass struct {
+type scratchClass[T any] struct {
 	pool sync.Pool
 	size int
 }
@@ -45,44 +48,92 @@ const (
 	scratchMaxBits = 22
 )
 
-var u64Classes = func() []*scratchClass {
-	cs := make([]*scratchClass, scratchMaxBits-scratchMinBits+1)
+func newScratchClasses[T any]() []*scratchClass[T] {
+	cs := make([]*scratchClass[T], scratchMaxBits-scratchMinBits+1)
 	for i := range cs {
 		size := 1 << (scratchMinBits + i)
-		c := &scratchClass{size: size}
+		c := &scratchClass[T]{size: size}
 		c.pool.New = func() any {
-			b := make([]uint64, 0, size)
+			b := make([]T, 0, size)
 			return &b
 		}
 		cs[i] = c
 	}
 	return cs
-}()
+}
+
+var (
+	u64Classes = newScratchClasses[uint64]()
+	u32Classes = newScratchClasses[uint32]()
+)
 
 // classFor returns the smallest size class holding n values, or nil when
 // n exceeds the largest class.
-func classFor(n int) *scratchClass {
+func classFor[T any](cs []*scratchClass[T], n int) *scratchClass[T] {
 	if n <= 1<<scratchMinBits {
-		return u64Classes[0]
+		return cs[0]
 	}
 	idx := bits.Len(uint(n-1)) - scratchMinBits
-	if idx >= len(u64Classes) {
+	if idx >= len(cs) {
 		return nil
 	}
-	return u64Classes[idx]
+	return cs[idx]
 }
 
-// borrowU64 returns a zero-length scratch buffer with capacity >= n.
-func borrowU64(n int) *[]uint64 {
-	c := classFor(n)
+// borrow returns a zero-length scratch buffer with capacity >= n.
+func borrow[T any](cs []*scratchClass[T], n int) *[]T {
+	c := classFor(cs, n)
 	if c == nil {
-		b := make([]uint64, 0, n)
+		b := make([]T, 0, n)
 		return &b
 	}
-	p := c.pool.Get().(*[]uint64)
+	p := c.pool.Get().(*[]T)
 	*p = (*p)[:0]
 	return p
 }
+
+// release returns a borrowed buffer to its size class. Buffers that
+// outgrew every class are dropped.
+func release[T any](cs []*scratchClass[T], p *[]T) {
+	if p == nil {
+		return
+	}
+	c := classFor(cs, cap(*p))
+	if c == nil || c.size > cap(*p) {
+		// Above the top class, or an off-class capacity from the
+		// fallback allocator: not reusable as a class member.
+		return
+	}
+	c.pool.Put(p)
+}
+
+// own copies a borrowed buffer into an exact-size owned slice and
+// releases the scratch - the one allocation per operator output the
+// zero-allocation budget documents.
+func own[T any](cs []*scratchClass[T], p *[]T) []T {
+	out := make([]T, len(*p))
+	copy(out, *p)
+	release(cs, p)
+	return out
+}
+
+// concat merges borrowed per-morsel buffers in morsel order into one
+// exact-size owned slice, releasing every part.
+func concat[T any](cs []*scratchClass[T], parts []*[]T) []T {
+	n := 0
+	for _, p := range parts {
+		n += len(*p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, *p...)
+		release(cs, p)
+	}
+	return out
+}
+
+// borrowU64 returns a zero-length uint64 scratch buffer with capacity >= n.
+func borrowU64(n int) *[]uint64 { return borrow(u64Classes, n) }
 
 // borrowU64Zeroed returns a zeroed length-n scratch buffer (the shape of
 // a per-morsel aggregation partial).
@@ -93,45 +144,28 @@ func borrowU64Zeroed(n int) *[]uint64 {
 	return p
 }
 
-// releaseU64 returns a borrowed buffer to its size class. Buffers that
-// outgrew every class are dropped.
-func releaseU64(p *[]uint64) {
-	if p == nil {
-		return
-	}
-	c := classFor(cap(*p))
-	if c == nil || c.size > cap(*p) {
-		// Above the top class, or an off-class capacity from the
-		// fallback allocator: not reusable as a class member.
-		return
-	}
-	c.pool.Put(p)
-}
+// releaseU64 returns a borrowed uint64 buffer to its size class.
+func releaseU64(p *[]uint64) { release(u64Classes, p) }
 
-// ownU64 copies a borrowed buffer into an exact-size owned slice and
-// releases the scratch - the one allocation per operator output the
-// zero-allocation budget documents.
-func ownU64(p *[]uint64) []uint64 {
-	out := make([]uint64, len(*p))
-	copy(out, *p)
-	releaseU64(p)
-	return out
-}
+// ownU64 copies a borrowed uint64 buffer into an owned slice and releases
+// the scratch.
+func ownU64(p *[]uint64) []uint64 { return own(u64Classes, p) }
 
-// concatOwned merges borrowed per-morsel buffers in morsel order into one
-// exact-size owned slice, releasing every part.
-func concatOwned(parts []*[]uint64) []uint64 {
-	n := 0
-	for _, p := range parts {
-		n += len(*p)
-	}
-	out := make([]uint64, 0, n)
-	for _, p := range parts {
-		out = append(out, *p...)
-		releaseU64(p)
-	}
-	return out
-}
+// concatOwned merges borrowed per-morsel uint64 buffers in morsel order.
+func concatOwned(parts []*[]uint64) []uint64 { return concat(u64Classes, parts) }
+
+// borrowU32 returns a zero-length uint32 scratch buffer with capacity >= n.
+func borrowU32(n int) *[]uint32 { return borrow(u32Classes, n) }
+
+// releaseU32 returns a borrowed uint32 buffer to its size class.
+func releaseU32(p *[]uint32) { release(u32Classes, p) }
+
+// ownU32 copies a borrowed uint32 buffer into an owned slice and releases
+// the scratch.
+func ownU32(p *[]uint32) []uint32 { return own(u32Classes, p) }
+
+// concatOwnedU32 merges borrowed per-morsel uint32 buffers in morsel order.
+func concatOwnedU32(parts []*[]uint32) []uint32 { return concat(u32Classes, parts) }
 
 // logPool recycles the per-morsel private error logs of runMorsels.
 var logPool = sync.Pool{New: func() any { return NewErrorLog() }}

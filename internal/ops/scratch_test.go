@@ -74,20 +74,23 @@ func TestScratchOwnAndConcat(t *testing.T) {
 }
 
 func TestClassForBoundaries(t *testing.T) {
-	if c := classFor(1); c == nil || c.size != 1<<scratchMinBits {
+	if c := classFor(u64Classes, 1); c == nil || c.size != 1<<scratchMinBits {
 		t.Fatalf("classFor(1) must be the smallest class")
 	}
-	if c := classFor(1 << scratchMinBits); c == nil || c.size != 1<<scratchMinBits {
+	if c := classFor(u64Classes, 1<<scratchMinBits); c == nil || c.size != 1<<scratchMinBits {
 		t.Fatalf("classFor(min) must stay in the smallest class")
 	}
-	if c := classFor(1<<scratchMinBits + 1); c == nil || c.size != 1<<(scratchMinBits+1) {
+	if c := classFor(u64Classes, 1<<scratchMinBits+1); c == nil || c.size != 1<<(scratchMinBits+1) {
 		t.Fatalf("classFor(min+1) must round up one class")
 	}
-	if c := classFor(1 << scratchMaxBits); c == nil || c.size != 1<<scratchMaxBits {
+	if c := classFor(u64Classes, 1<<scratchMaxBits); c == nil || c.size != 1<<scratchMaxBits {
 		t.Fatalf("classFor(max) must be the largest class")
 	}
-	if c := classFor(1<<scratchMaxBits + 1); c != nil {
+	if c := classFor(u64Classes, 1<<scratchMaxBits+1); c != nil {
 		t.Fatalf("classFor above the largest class must be nil")
+	}
+	if c := classFor(u32Classes, 1); c == nil || c.size != 1<<scratchMinBits {
+		t.Fatalf("classFor(u32, 1) must be the smallest class")
 	}
 }
 
@@ -194,5 +197,72 @@ func TestFusedKernelZeroAllocs(t *testing.T) {
 	}
 	if allocs > 16 {
 		t.Fatalf("fused Q1 pass allocated %.1f times, budget 16", allocs)
+	}
+}
+
+// TestProbeKernelZeroAllocs pins the probe morsel: one warm
+// hashProbeRange pass - borrow both buffers, probe, release - allocates
+// nothing, so parallel HashProbe costs no per-morsel garbage.
+func TestProbeKernelZeroAllocs(t *testing.T) {
+	vals := make([]uint64, 4096)
+	for i := range vals {
+		vals[i] = uint64(100 + i%8)
+	}
+	col := intColumn(t, "fk", vals)
+	ht := buildTestHT(100, 101, 102, 103)
+	o := &Opts{}
+
+	run := func() {
+		part, err := hashProbeRange(col, ht, nil, o, nil, 1024, 3072)
+		if err != nil {
+			t.Fatal(err)
+		}
+		releaseU64(part.pos)
+		releaseU32(part.matches)
+	}
+	run() // warm the pools
+	allocs := testing.AllocsPerRun(200, run)
+	if raceEnabled {
+		t.Skipf("race instrumentation changes alloc counts (measured %.1f)", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("warm probe morsel allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestProbeAllocsIndependentOfMorselCount is the HashProbe twin of
+// TestOperatorAllocsIndependentOfMorselCount: splitting the probe into
+// 64 morsels instead of 2 must not add allocations beyond the
+// bookkeeping slices, because every morsel's probePart is pooled.
+func TestProbeAllocsIndependentOfMorselCount(t *testing.T) {
+	vals := make([]uint64, 1<<14)
+	for i := range vals {
+		vals[i] = uint64(100 + i%8)
+	}
+	col := intColumn(t, "fk", vals)
+	ht := buildTestHT(100, 101, 102, 103)
+
+	measure := func(morsel int) float64 {
+		o := &Opts{Par: serialMorsels{workers: 4, morsel: morsel}}
+		run := func() {
+			sel, matches, err := HashProbe(col, ht, nil, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = sel, matches
+		}
+		run() // warm the pools
+		return testing.AllocsPerRun(50, run)
+	}
+	few := measure(1 << 13) // 2 morsels
+	many := measure(1 << 8) // 64 morsels
+	if raceEnabled {
+		t.Skipf("race instrumentation changes alloc counts (measured %.1f vs %.1f)", few, many)
+	}
+	if many > few+4 {
+		t.Fatalf("allocs grew with morsel count: %.1f (2 morsels) vs %.1f (64 morsels)", few, many)
+	}
+	if many > 16 {
+		t.Fatalf("parallel HashProbe call allocated %.1f times, budget 16", many)
 	}
 }

@@ -1,0 +1,160 @@
+package ssb
+
+import (
+	"fmt"
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// diffModes is the differential matrix of ISSUE: the four hardened
+// detection variants, each crossed with serial/pooled execution and
+// fused/materializing operator chains. (Under ContinuousReencoding the
+// fusion flag is a no-op - the mode never fuses - which makes it the
+// matrix's built-in control row.)
+var diffModes = []exec.Mode{exec.EarlyOnetime, exec.LateOnetime, exec.Continuous, exec.ContinuousReencoding}
+
+// firstDivergence walks two results in row order and describes the first
+// cell where they disagree, so a differential failure points at the
+// exact group and column instead of dumping both result sets.
+func firstDivergence(want, got *ops.Result) string {
+	if want.Rows() != got.Rows() {
+		return fmt.Sprintf("row count %d vs %d", want.Rows(), got.Rows())
+	}
+	for r := 0; r < want.Rows(); r++ {
+		if len(want.Keys[r]) != len(got.Keys[r]) {
+			return fmt.Sprintf("row %d: key width %d vs %d", r, len(want.Keys[r]), len(got.Keys[r]))
+		}
+		for c := range want.Keys[r] {
+			if want.Keys[r][c] != got.Keys[r][c] {
+				return fmt.Sprintf("row %d key[%d]: %d vs %d", r, c, want.Keys[r][c], got.Keys[r][c])
+			}
+		}
+		if want.Aggs[r] != got.Aggs[r] {
+			return fmt.Sprintf("row %d agg: %d vs %d", r, want.Aggs[r], got.Aggs[r])
+		}
+	}
+	return "results identical"
+}
+
+// TestDifferentialCrossMode runs every SSB query under every hardened
+// mode x {serial, pooled} x {fused, materializing} and requires each
+// configuration to reproduce the unprotected reference result exactly,
+// with empty and (serial vs pooled) byte-identical error logs.
+func TestDifferentialCrossMode(t *testing.T) {
+	data, err := Generate(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := exec.NewPool(4)
+	defer pool.Close()
+
+	for _, name := range QueryNames {
+		plan := Queries[name]
+		ref, _, err := exec.Run(db, exec.Unprotected, ops.Blocked, plan)
+		if err != nil {
+			t.Fatalf("%s unprotected: %v", name, err)
+		}
+		for _, mode := range diffModes {
+			for _, fused := range []bool{true, false} {
+				var logs [2]*ops.ErrorLog
+				for i, pooled := range []bool{false, true} {
+					opts := []exec.RunOption{exec.WithFusion(fused)}
+					if pooled {
+						opts = append(opts, exec.WithPool(pool))
+					}
+					got, log, err := exec.Run(db, mode, ops.Blocked, plan, opts...)
+					if err != nil {
+						t.Fatalf("%s %v fused=%v pooled=%v: %v", name, mode, fused, pooled, err)
+					}
+					if !ref.Equal(got) {
+						t.Fatalf("%s %v fused=%v pooled=%v diverges: %s",
+							name, mode, fused, pooled, firstDivergence(ref, got))
+					}
+					if log.Count() != 0 {
+						t.Fatalf("%s %v fused=%v pooled=%v: %d errors logged on clean data",
+							name, mode, fused, pooled, log.Count())
+					}
+					logs[i] = log
+				}
+				if !logs[0].Equal(logs[1]) {
+					t.Fatalf("%s %v fused=%v: serial and pooled logs differ", name, mode, fused)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialFaultLogs injects revenue corruption and requires,
+// under Continuous detection, that (a) fused and materializing plans
+// drop the same rows and produce the same result, (b) serial and pooled
+// logs are byte-identical within each plan shape, and (c) all four
+// configurations report the same set of corrupted lo_revenue positions.
+func TestDifferentialFaultLogs(t *testing.T) {
+	data, err := Generate(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := db.Hardened("lineorder").MustColumn("lo_revenue")
+	for i := 50; i < rev.Len(); i += 97 {
+		rev.Corrupt(i, 1<<13)
+	}
+	pool := exec.NewPool(4)
+	defer pool.Close()
+
+	for _, name := range []string{"Q3.1", "Q4.1"} {
+		plan := Queries[name]
+		var results [2]*ops.Result
+		var positions [2][]uint64
+		for fi, fused := range []bool{true, false} {
+			var logs [2]*ops.ErrorLog
+			for i, pooled := range []bool{false, true} {
+				opts := []exec.RunOption{exec.WithFusion(fused)}
+				if pooled {
+					opts = append(opts, exec.WithPool(pool))
+				}
+				got, log, err := exec.Run(db, exec.Continuous, ops.Blocked, plan, opts...)
+				if err != nil {
+					t.Fatalf("%s fused=%v pooled=%v: %v", name, fused, pooled, err)
+				}
+				logs[i] = log
+				if results[fi] == nil {
+					results[fi] = got
+				} else if !results[fi].Equal(got) {
+					t.Fatalf("%s fused=%v: pooled result diverges: %s",
+						name, fused, firstDivergence(results[fi], got))
+				}
+			}
+			if !logs[0].Equal(logs[1]) {
+				t.Fatalf("%s fused=%v: serial and pooled fault logs differ (%d vs %d entries)",
+					name, fused, logs[0].Count(), logs[1].Count())
+			}
+			pos, err := logs[0].Positions("lo_revenue")
+			if err != nil {
+				t.Fatalf("%s fused=%v: %v", name, fused, err)
+			}
+			if len(pos) == 0 {
+				t.Fatalf("%s fused=%v: corruption went undetected; test is vacuous", name, fused)
+			}
+			positions[fi] = pos
+		}
+		if !results[0].Equal(results[1]) {
+			t.Fatalf("%s: fused and materializing results diverge under faults: %s",
+				name, firstDivergence(results[1], results[0]))
+		}
+		if fmt.Sprint(positions[0]) != fmt.Sprint(positions[1]) {
+			t.Fatalf("%s: fused logged lo_revenue positions %v, materializing %v",
+				name, positions[0], positions[1])
+		}
+	}
+}

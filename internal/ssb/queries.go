@@ -334,10 +334,58 @@ type groupSpec struct {
 	attr     string
 }
 
+// starGroupByFused runs the whole grouped tail as one fused pass over
+// the fact table (ops.FusedProbeGroupSum / FusedProbeGroupSumDiff): the
+// join cascade probes, the group ids assign and the measure accumulates
+// block-at-a-time, with no materialized selection, match or value vector
+// between the stages. measureB empty selects the plain sum; otherwise
+// the Q4.x profit difference measure-measureB.
+func starGroupByFused(q *exec.Query, joins []groupSpec, measure, measureB string) (*ops.Result, error) {
+	fjs := make([]ops.FusedJoin, len(joins))
+	for i, j := range joins {
+		fk, err := q.Col("lineorder", j.fkCol)
+		if err != nil {
+			return nil, err
+		}
+		fjs[i] = ops.FusedJoin{FK: fk, HT: j.ht}
+		if j.attr != "" {
+			attr, err := q.Col(j.dimTable, j.attr)
+			if err != nil {
+				return nil, err
+			}
+			fjs[i].Attr = attr
+		}
+	}
+	ma, err := q.Col("lineorder", measure)
+	if err != nil {
+		return nil, err
+	}
+	var groups [][]uint64
+	var sums *ops.Vec
+	if measureB == "" {
+		groups, sums, err = ops.FusedProbeGroupSum(nil, fjs, ma, q.Opts())
+	} else {
+		mb, errB := q.Col("lineorder", measureB)
+		if errB != nil {
+			return nil, errB
+		}
+		groups, sums, err = ops.FusedProbeGroupSumDiff(nil, fjs, ma, mb, q.Opts())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return q.Finish(groups, sums)
+}
+
 // starGroupBy runs the shared tail of the grouped flights: semijoin the
 // fact table against every dimension (sel nil means the whole fact
 // table), gather the group attributes and the measure, group and sum.
+// Without a precomputed fact selection the whole tail collapses into the
+// fused probe cascade (all modes except ContinuousReencoding).
 func starGroupBy(q *exec.Query, sel *ops.Sel, joins []groupSpec, measure string) (*ops.Result, error) {
+	if sel == nil && q.FuseOperators() {
+		return starGroupByFused(q, joins, measure, "")
+	}
 	var err error
 	for _, j := range joins {
 		fk, err := q.Col("lineorder", j.fkCol)
@@ -393,6 +441,9 @@ func starGroupBy(q *exec.Query, sel *ops.Sel, joins []groupSpec, measure string)
 // starGroupByProfit is starGroupBy with the Q4.x revenue-supplycost
 // aggregate.
 func starGroupByProfit(q *exec.Query, sel *ops.Sel, joins []groupSpec) (*ops.Result, error) {
+	if sel == nil && q.FuseOperators() {
+		return starGroupByFused(q, joins, "lo_revenue", "lo_supplycost")
+	}
 	var err error
 	for _, j := range joins {
 		fk, err := q.Col("lineorder", j.fkCol)

@@ -25,26 +25,42 @@ type DimAttr struct {
 // Groups get dense ids in first-occurrence order; packed keeps the packed
 // key per group so accumulators merge without re-resolving tuples.
 type groupAcc struct {
-	dims    []DimAttr
-	measure *storage.Column
-	mCode   *an.Code
-	detect  bool
-	log     *ops.ErrorLog
-	ht      *hashmap.U64
-	groups  [][]uint64
-	packed  []uint64
-	rawSums []uint64
+	dims     []DimAttr
+	measure  *storage.Column
+	measureB *storage.Column // nil: plain sum; else sum of measure-measureB
+	mCode    *an.Code
+	mbCode   *an.Code
+	detect   bool
+	log      *ops.ErrorLog
+	ht       *hashmap.U64
+	groups   [][]uint64
+	packed   []uint64
+	rawSums  []uint64
 }
 
-func newGroupAcc(dims []DimAttr, measure *storage.Column, o *Opts) *groupAcc {
-	return &groupAcc{
-		dims:    dims,
-		measure: measure,
-		mCode:   measure.Code(),
-		detect:  o.detect(),
-		log:     o.log(),
-		ht:      hashmap.New(1024),
+func newGroupAcc(dims []DimAttr, measure, measureB *storage.Column, o *Opts) *groupAcc {
+	a := &groupAcc{
+		dims:     dims,
+		measure:  measure,
+		measureB: measureB,
+		mCode:    measure.Code(),
+		detect:   o.detect(),
+		log:      o.log(),
+		ht:       hashmap.New(1024),
 	}
+	if measureB != nil {
+		a.mbCode = measureB.Code()
+	}
+	return a
+}
+
+// sumName is the aggregate's vec: log label, matching the
+// column-at-a-time engine's output naming.
+func (a *groupAcc) sumName() string {
+	if a.measureB != nil {
+		return "sum(" + a.measure.Name() + "-" + a.measureB.Name() + ")"
+	}
+	return "sum(" + a.measure.Name() + ")"
 }
 
 // consume folds one batch of surviving positions into the accumulator.
@@ -91,10 +107,24 @@ rows:
 			packed |= av << (16 * uint(c))
 		}
 		mv := a.measure.Get(int(p))
+		var mbv uint64
+		if a.measureB != nil {
+			mbv = a.measureB.Get(int(p))
+		}
 		if a.mCode != nil && a.detect {
-			if _, ok := a.mCode.Check(mv); !ok {
+			_, okA := a.mCode.Check(mv)
+			okB := true
+			if a.measureB != nil {
+				_, okB = a.mbCode.Check(mbv)
+			}
+			if !okA || !okB {
 				if a.log != nil {
-					a.log.Record(a.measure.Name(), uint64(p))
+					if !okA {
+						a.log.Record(a.measure.Name(), uint64(p))
+					}
+					if !okB {
+						a.log.Record(a.measureB.Name(), uint64(p))
+					}
 				}
 				continue rows
 			}
@@ -105,7 +135,7 @@ rows:
 			a.packed = append(a.packed, packed)
 			a.rawSums = append(a.rawSums, 0)
 		}
-		a.rawSums[gid] += mv // hardened: (Σd)·A under the widened code
+		a.rawSums[gid] += mv - mbv // hardened: (Σd)·A under the widened code
 	}
 	return nil
 }
@@ -147,7 +177,7 @@ func (a *groupAcc) finalize(log *ops.ErrorLog) (groups [][]uint64, sums []uint64
 		d, ok := acc.Check(s)
 		if !ok {
 			if a.detect && log != nil {
-				log.Record(ops.VecLogName("sum("+a.measure.Name()+")"), uint64(g))
+				log.Record(ops.VecLogName(a.sumName()), uint64(g))
 			}
 			continue
 		}
@@ -163,10 +193,40 @@ func (a *groupAcc) finalize(log *ops.ErrorLog) (groups [][]uint64, sums []uint64
 // tail. Group keys pack 16 bits per component like the column-at-a-time
 // engine. It returns the decoded group tuples and sums.
 func GroupSum(in Operator, dims []DimAttr, measure *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	return groupSum(in, dims, measure, nil, o)
+}
+
+// GroupSumDiff is GroupSum with the Q4.x profit aggregate: per surviving
+// row it accumulates measure-measureB into the row's group. Both
+// measures must share one code, so the raw difference is the code word
+// of the difference (Eq. 5).
+func GroupSumDiff(in Operator, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	if err := checkDiffMeasures(measure, measureB); err != nil {
+		return nil, nil, err
+	}
+	return groupSum(in, dims, measure, measureB, o)
+}
+
+// checkDiffMeasures validates the code pairing of a difference aggregate.
+func checkDiffMeasures(a, b *storage.Column) error {
+	if b == nil {
+		return fmt.Errorf("vat: group-sum-diff needs a second measure")
+	}
+	if (a.Code() == nil) != (b.Code() == nil) {
+		return fmt.Errorf("vat: group-sum-diff needs both measures plain or both hardened")
+	}
+	if a.Code() != nil && a.Code().A() != b.Code().A() {
+		return fmt.Errorf("vat: group-sum-diff across different As (%d vs %d)", a.Code().A(), b.Code().A())
+	}
+	return nil
+}
+
+// groupSum is the shared serial core of GroupSum and GroupSumDiff.
+func groupSum(in Operator, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
 	if len(dims) == 0 || len(dims) > 4 {
 		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", len(dims))
 	}
-	acc := newGroupAcc(dims, measure, o)
+	acc := newGroupAcc(dims, measure, measureB, o)
 	pos := make([]uint32, VectorSize)
 	for {
 		n, done, err := in.Next(pos)
@@ -198,6 +258,19 @@ type SourceFunc func(start, end int, o *Opts) (Operator, error)
 // identical to a serial GroupSum over the full extent. Without a pool (or
 // when the input is a single morsel) it degrades to exactly that.
 func GroupSumParallel(src SourceFunc, totalRows int, dims []DimAttr, measure *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	return groupSumParallel(src, totalRows, dims, measure, nil, o)
+}
+
+// GroupSumDiffParallel is the morsel-driven form of GroupSumDiff.
+func GroupSumDiffParallel(src SourceFunc, totalRows int, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	if err := checkDiffMeasures(measure, measureB); err != nil {
+		return nil, nil, err
+	}
+	return groupSumParallel(src, totalRows, dims, measure, measureB, o)
+}
+
+// groupSumParallel is the shared morsel-driven core.
+func groupSumParallel(src SourceFunc, totalRows int, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
 	if len(dims) == 0 || len(dims) > 4 {
 		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", len(dims))
 	}
@@ -207,7 +280,7 @@ func GroupSumParallel(src SourceFunc, totalRows int, dims []DimAttr, measure *st
 		if err != nil {
 			return nil, nil, err
 		}
-		return GroupSum(in, dims, measure, o)
+		return groupSum(in, dims, measure, measureB, o)
 	}
 
 	ms := p.MorselSize()
@@ -223,7 +296,7 @@ func GroupSumParallel(src SourceFunc, totalRows int, dims []DimAttr, measure *st
 			errs[m] = err
 			return
 		}
-		acc := newGroupAcc(dims, measure, mo)
+		acc := newGroupAcc(dims, measure, measureB, mo)
 		pos := make([]uint32, VectorSize)
 		for {
 			n, done, err := in.Next(pos)
@@ -243,7 +316,7 @@ func GroupSumParallel(src SourceFunc, totalRows int, dims []DimAttr, measure *st
 	})
 
 	log := o.log()
-	total := newGroupAcc(dims, measure, o)
+	total := newGroupAcc(dims, measure, measureB, o)
 	for m, part := range parts {
 		if log != nil {
 			log.Merge(logs[m])

@@ -140,3 +140,125 @@ func TestGroupSumValidation(t *testing.T) {
 		t.Error("length mismatch must error")
 	}
 }
+
+// q21ProfitPipeline is q21Pipeline with the Q4-style difference
+// aggregate: grouped sum(lo_revenue - lo_supplycost).
+func q21ProfitPipeline(t *testing.T, db *exec.DB, hardened bool, o *Opts) *ops.Result {
+	t.Helper()
+	pick := func(name string) *storage.Table {
+		if hardened {
+			return db.Hardened(name)
+		}
+		return db.Plain(name)
+	}
+	lo, part, supp, date := pick("lineorder"), pick("part"), pick("supplier"), pick("date")
+	opsOpts := &ops.Opts{Detect: o.detect(), Log: o.log()}
+
+	buildHT := func(tab *storage.Table, filterCol string, lov, hiv uint64, key string) *hashmap.U64 {
+		sel, err := ops.Filter(tab.MustColumn(filterCol), lov, hiv, opsOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ht, err := ops.HashBuild(tab.MustColumn(key), sel, opsOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ht
+	}
+	catDict := db.Plain("part").MustColumn("p_category").Dict()
+	mfgr12, _ := catDict.Code("MFGR#12")
+	regDict := db.Plain("supplier").MustColumn("s_region").Dict()
+	america, _ := regDict.Code("AMERICA")
+
+	partHT := buildHT(part, "p_category", uint64(mfgr12), uint64(mfgr12), "p_partkey")
+	suppHT := buildHT(supp, "s_region", uint64(america), uint64(america), "s_suppkey")
+	dateHT := buildHT(date, "d_datekey", 0, ^uint64(0), "d_datekey")
+
+	scan, err := NewScan(lo.MustColumn("lo_orderkey"), 0, ^uint64(0), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := NewSemiJoin(scan, lo.MustColumn("lo_partkey"), partHT, o)
+	j2 := NewSemiJoin(j1, lo.MustColumn("lo_suppkey"), suppHT, o)
+	j3 := NewSemiJoin(j2, lo.MustColumn("lo_orderdate"), dateHT, o)
+	groups, sums, err := GroupSumDiff(j3, []DimAttr{
+		{FK: lo.MustColumn("lo_partkey"), HT: partHT, Attr: part.MustColumn("p_brand1")},
+		{FK: lo.MustColumn("lo_orderdate"), HT: dateHT, Attr: date.MustColumn("d_year")},
+	}, lo.MustColumn("lo_revenue"), lo.MustColumn("lo_supplycost"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GroupSumResult(groups, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestVATGroupSumDiff checks the profit aggregate against the obvious
+// reference - two plain grouped sums subtracted per group - and then
+// requires the hardened late and continuous runs to reproduce it.
+func TestVATGroupSumDiff(t *testing.T) {
+	data, err := ssb.Generate(0.005, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := q21Pipeline(t, db, false, &Opts{})
+	if ref.Rows() == 0 {
+		t.Fatal("degenerate workload")
+	}
+	// Reference: plain diff pipeline (sum(rev) and sum(cost) share the
+	// survivor set and group order, so the difference is exact).
+	want := q21ProfitPipeline(t, db, false, &Opts{})
+	if want.Rows() != ref.Rows() {
+		t.Fatalf("profit aggregate changed the group set: %d vs %d rows", want.Rows(), ref.Rows())
+	}
+	// Hardened, late.
+	if got := q21ProfitPipeline(t, db, true, &Opts{}); !got.Equal(want) {
+		t.Fatal("late VAT profit aggregate differs from plain")
+	}
+	// Hardened, continuous.
+	log := ops.NewErrorLog()
+	got := q21ProfitPipeline(t, db, true, &Opts{Detect: true, Log: log})
+	if !got.Equal(want) {
+		t.Fatal("continuous VAT profit aggregate differs from plain")
+	}
+	if log.Count() != 0 {
+		t.Fatalf("clean data logged %d", log.Count())
+	}
+	// A corrupt supplycost word must be logged and its row dropped.
+	cost := db.Hardened("lineorder").MustColumn("lo_supplycost")
+	for i := 0; i < cost.Len(); i += 3 {
+		cost.Corrupt(i, 1<<7)
+	}
+	dlog := ops.NewErrorLog()
+	q21ProfitPipeline(t, db, true, &Opts{Detect: true, Log: dlog})
+	if pos, err := dlog.Positions("lo_supplycost"); err != nil || len(pos) == 0 {
+		t.Fatalf("supplycost error vector: %v, %v", pos, err)
+	}
+}
+
+func TestGroupSumDiffValidation(t *testing.T) {
+	col, _ := storage.NewColumn("v", storage.TinyInt)
+	col.Append(1)
+	scan, err := NewScan(col, 0, 255, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := hashmap.New(8)
+	ht.Put(1, 0)
+	dims := []DimAttr{{FK: col, HT: ht, Attr: col}}
+	if _, _, err := GroupSumDiff(scan, dims, col, nil, nil); err == nil {
+		t.Error("nil second measure must error")
+	}
+	src := func(start, end int, o *Opts) (Operator, error) {
+		return NewScanRange(col, 0, 255, start, end, o)
+	}
+	if _, _, err := GroupSumDiffParallel(src, col.Len(), dims, col, nil, nil); err == nil {
+		t.Error("nil second measure must error in the parallel form")
+	}
+}
