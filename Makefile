@@ -7,7 +7,7 @@ GO ?= go
 BENCH_SF ?= 0.1
 BENCH_TOLERANCE ?= 0.20
 
-.PHONY: all build test race lint bench-smoke bench-json clean
+.PHONY: all build test race lint bench-smoke bench-json serve-smoke clean
 
 all: build test
 
@@ -43,5 +43,13 @@ bench-json:
 	$(GO) run ./cmd/ahead-bench -sf $(BENCH_SF) -json BENCH_kernels.json \
 		-baseline bench/baseline.json -tolerance $(BENCH_TOLERANCE)
 
+# The serving layer's acceptance gate: boot ahead-serve at SF 0.01
+# with fault injection, drive it with ahead-loadgen, check /metrics
+# (zero failures, balanced scratch arena, detections observed), verify
+# a SIGTERM drain, then prove overload sheds with 429s.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 clean:
 	rm -f ssb-timings.json
+	rm -rf bin

@@ -35,6 +35,7 @@ import (
 	"ahead/internal/fixedpoint"
 	"ahead/internal/ops"
 	"ahead/internal/sdc"
+	"ahead/internal/server"
 	"ahead/internal/storage"
 )
 
@@ -317,3 +318,30 @@ func SaveTable(dir string, t *Table) error { return storage.SaveTable(dir, t) }
 func LoadTable(dir string) (*Table, map[string][]uint64, error) {
 	return storage.LoadTable(dir)
 }
+
+// ParseMode resolves a mode label ("continuous", "dmr", ...) case-
+// insensitively. Unknown labels are an error, never a silent
+// Unprotected fallback.
+func ParseMode(s string) (Mode, error) { return exec.ParseMode(s) }
+
+// ParseFlavor resolves a kernel-flavor label ("scalar" or "blocked").
+func ParseFlavor(s string) (Flavor, error) { return ops.ParseFlavor(s) }
+
+// ServerConfig configures the hardened query service; NewQueryServer
+// returns an http.Handler serving prepared SSB flights and ad-hoc
+// requests with admission control, per-request deadlines, cancellation,
+// self-healing execution, and Prometheus-text metrics. See
+// cmd/ahead-serve for the full process wiring (signals, drain).
+type ServerConfig = server.Config
+
+// QueryServer is the hardened query service (an http.Handler).
+type QueryServer = server.Server
+
+// NewQueryServer builds a query server over an SSB database.
+func NewQueryServer(cfg ServerConfig) (*QueryServer, error) { return server.New(cfg) }
+
+// LiveScratch reports the number of scratch-arena buffers currently
+// borrowed by running operators. It returns to its baseline when no
+// queries are in flight - the invariant the serving layer's leak checks
+// and /metrics gauge are built on.
+func LiveScratch() int64 { return ops.LiveScratch() }

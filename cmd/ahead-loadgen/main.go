@@ -1,0 +1,271 @@
+// Command ahead-loadgen drives a running ahead-serve instance with a
+// closed-loop workload: N workers each keep one request outstanding,
+// optionally paced to a target aggregate QPS, mixing prepared flights
+// with a fault-injection rate that plants bit flips mid-run. At the
+// end it prints a latency/throughput/detection report and exits
+// nonzero if the server misbehaved (unexpected statuses, or overload
+// absorbed without shedding).
+//
+//	ahead-loadgen -addr http://localhost:8080 -concurrency 64 \
+//	    -duration 15s -inject-rate 0.05 -heal
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type queryRequest struct {
+	Query      string `json:"query,omitempty"`
+	Mode       string `json:"mode,omitempty"`
+	Flavor     string `json:"flavor,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	Heal       bool   `json:"heal,omitempty"`
+}
+
+type queryResponse struct {
+	Query    string              `json:"query"`
+	Rows     int                 `json:"rows"`
+	Detected map[string][]uint64 `json:"detected,omitempty"`
+	Recovery *struct {
+		Attempts int                 `json:"attempts"`
+		Repaired map[string][]uint64 `json:"repaired,omitempty"`
+		Degraded bool                `json:"degraded,omitempty"`
+	} `json:"recovery,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// tally aggregates one worker's observations; workers keep their own
+// and the main goroutine merges, so the hot path takes no locks.
+type tally struct {
+	statuses  map[int]int
+	latencies []time.Duration
+	detected  int
+	repaired  int
+	retries   int
+	degraded  int
+	injected  int
+	badBodies int
+}
+
+func newTally() *tally { return &tally{statuses: make(map[int]int)} }
+
+func (t *tally) merge(o *tally) {
+	for k, v := range o.statuses {
+		t.statuses[k] += v
+	}
+	t.latencies = append(t.latencies, o.latencies...)
+	t.detected += o.detected
+	t.repaired += o.repaired
+	t.retries += o.retries
+	t.degraded += o.degraded
+	t.injected += o.injected
+	t.badBodies += o.badBodies
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "server base URL")
+		concurrency = flag.Int("concurrency", 16, "closed-loop workers")
+		qps         = flag.Float64("qps", 0, "target aggregate QPS (0 = unpaced)")
+		duration    = flag.Duration("duration", 15*time.Second, "run length")
+		queries     = flag.String("queries", "Q1.1,Q1.2,Q1.3,Q2.1,Q2.2,Q2.3,Q3.1,Q3.2,Q3.3,Q3.4,Q4.1,Q4.2,Q4.3", "comma-separated prepared queries to mix")
+		mode        = flag.String("mode", "continuous", "execution mode for every request")
+		heal        = flag.Bool("heal", false, "request self-healing execution")
+		injectRate  = flag.Float64("inject-rate", 0, "per-request probability of planting a fault first")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-query deadline (0 = server default)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	names := strings.Split(*queries, ",")
+
+	// Pacing: a shared ticket channel filled at the target rate; the
+	// unpaced mode leaves it nil so workers free-run closed-loop.
+	var tickets chan struct{}
+	stop := make(chan struct{})
+	if *qps > 0 {
+		tickets = make(chan struct{}, *concurrency)
+		interval := time.Duration(float64(time.Second) / *qps)
+		go func() {
+			tk := time.NewTicker(interval)
+			defer tk.Stop()
+			for {
+				select {
+				case <-tk.C:
+					select {
+					case tickets <- struct{}{}:
+					default: // server saturated; drop the ticket
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	tallies := make([]*tally, *concurrency)
+	begin := time.Now()
+	deadline := begin.Add(*duration)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		tallies[w] = newTally()
+		go func(w int, tl *tally) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			client := &http.Client{Timeout: 2 * time.Minute}
+			for time.Now().Before(deadline) {
+				if tickets != nil {
+					select {
+					case <-tickets:
+					case <-time.After(time.Until(deadline)):
+						return
+					}
+				}
+				if *injectRate > 0 && rng.Float64() < *injectRate {
+					if postInject(client, *addr) {
+						tl.injected++
+					}
+				}
+				req := queryRequest{
+					Query:      names[rng.Intn(len(names))],
+					Mode:       *mode,
+					Heal:       *heal,
+					DeadlineMS: *deadlineMS,
+				}
+				runOne(client, *addr, req, tl)
+			}
+		}(w, tallies[w])
+	}
+	wg.Wait()
+	close(stop)
+	elapsed := time.Since(begin)
+
+	total := newTally()
+	for _, tl := range tallies {
+		total.merge(tl)
+	}
+	ok := report(total, elapsed, *concurrency)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func postInject(client *http.Client, addr string) bool {
+	resp, err := client.Post(addr+"/inject", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+func runOne(client *http.Client, addr string, req queryRequest, tl *tally) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatalf("marshal: %v", err)
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tl.statuses[-1]++
+		return
+	}
+	defer resp.Body.Close()
+	tl.statuses[resp.StatusCode]++
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return
+	}
+	tl.latencies = append(tl.latencies, time.Since(start))
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		tl.badBodies++
+		return
+	}
+	for _, pos := range qr.Detected {
+		tl.detected += len(pos)
+	}
+	if qr.Recovery != nil {
+		for _, pos := range qr.Recovery.Repaired {
+			tl.repaired += len(pos)
+		}
+		if qr.Recovery.Attempts > 1 {
+			tl.retries += qr.Recovery.Attempts - 1
+		}
+		if qr.Recovery.Degraded {
+			tl.degraded++
+		}
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// report prints the run summary and returns false on protocol
+// violations: any status outside {200, 429, 503, 504}, or undecodable
+// success bodies. 429 is the server doing its job under overload.
+func report(t *tally, elapsed time.Duration, concurrency int) bool {
+	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
+	served := t.statuses[http.StatusOK]
+	fmt.Printf("=== ahead-loadgen report ===\n")
+	fmt.Printf("duration        %v (concurrency %d)\n", elapsed.Round(time.Millisecond), concurrency)
+	fmt.Printf("served          %d (%.1f qps)\n", served, float64(served)/elapsed.Seconds())
+	var codes []int
+	for c := range t.statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		label := http.StatusText(c)
+		if c == -1 {
+			label = "transport error"
+		}
+		fmt.Printf("status %-4d     %d (%s)\n", c, t.statuses[c], label)
+	}
+	if served > 0 {
+		fmt.Printf("latency p50     %v\n", percentile(t.latencies, 0.50).Round(time.Microsecond))
+		fmt.Printf("latency p95     %v\n", percentile(t.latencies, 0.95).Round(time.Microsecond))
+		fmt.Printf("latency p99     %v\n", percentile(t.latencies, 0.99).Round(time.Microsecond))
+	}
+	fmt.Printf("faults injected %d\n", t.injected)
+	fmt.Printf("detected        %d positions\n", t.detected)
+	fmt.Printf("repaired        %d positions (%d retries, %d degraded)\n", t.repaired, t.retries, t.degraded)
+
+	ok := true
+	for c := range t.statuses {
+		switch c {
+		case http.StatusOK, http.StatusTooManyRequests,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		default:
+			fmt.Printf("FAIL: unexpected status %d (%d responses)\n", c, t.statuses[c])
+			ok = false
+		}
+	}
+	if t.badBodies > 0 {
+		fmt.Printf("FAIL: %d success responses failed to decode\n", t.badBodies)
+		ok = false
+	}
+	if served == 0 {
+		fmt.Printf("FAIL: no queries served\n")
+		ok = false
+	}
+	return ok
+}

@@ -1,0 +1,105 @@
+// Command ahead-serve boots the hardened query service: it generates
+// the SSB database at the requested scale factor once, hardens it, and
+// serves prepared flights and ad-hoc requests over HTTP until SIGTERM,
+// then drains gracefully.
+//
+//	ahead-serve -addr :8080 -sf 0.01 -inject-seed 42
+//
+// With -inject-seed set, POST /inject plants bit flips into hardened
+// base columns so detection (and, with {"heal":true}, repair) can be
+// exercised end to end; leave it unset for a clean server.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ahead/internal/exec"
+	"ahead/internal/faults"
+	"ahead/internal/server"
+	"ahead/internal/ssb"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		sf           = flag.Float64("sf", 0.01, "SSB scale factor")
+		seed         = flag.Int64("seed", 1, "data-generation seed")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "morsel-pool workers (0 = serial)")
+		maxInFlight  = flag.Int("max-inflight", 8, "concurrently executing queries")
+		maxQueue     = flag.Int("max-queue", 64, "bounded wait queue before 429")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "max wait for an execution slot")
+		deadline     = flag.Duration("deadline", 10*time.Second, "default per-query deadline")
+		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "cap on requested deadlines")
+		injectSeed   = flag.Int64("inject-seed", 0, "enable POST /inject with this fault seed (0 = disabled)")
+		drainWait    = flag.Duration("drain", 30*time.Second, "max graceful-drain wait on SIGTERM")
+	)
+	flag.Parse()
+
+	log.Printf("generating SSB at SF %g (seed %d)...", *sf, *seed)
+	start := time.Now()
+	suite, _, err := ssb.NewSuite(*sf, *seed, 1)
+	if err != nil {
+		log.Fatalf("build database: %v", err)
+	}
+	log.Printf("database ready in %v", time.Since(start).Round(time.Millisecond))
+
+	var pool *exec.Pool
+	if *workers > 0 {
+		pool = exec.NewPool(*workers)
+		defer pool.Close()
+	}
+	cfg := server.Config{
+		DB:              suite.DB,
+		Pool:            pool,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		QueueTimeout:    *queueTimeout,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	}
+	if *injectSeed != 0 {
+		cfg.Injector = faults.NewInjector(*injectSeed)
+		log.Printf("fault injection enabled (seed %d)", *injectSeed)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("configure server: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (inflight %d, queue %d)", *addr, *maxInFlight, *maxQueue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("listen: %v", err)
+	case got := <-sig:
+		log.Printf("%v: draining (up to %v)...", got, *drainWait)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	fmt.Println("bye")
+}

@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+func TestRunWithContextPreCancelled(t *testing.T) {
+	db, err := NewDB(testTables(t), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = Run(db, Continuous, ops.Scalar, sumPlan, WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunWithContextMidPlanCancellation cancels between two operators of
+// a plan running on a real pool: the next operator must observe the
+// cancellation, the run must return context.Canceled, and - the
+// shutdown-ordering guarantee - no borrowed scratch buffer may stay
+// live after the run returns.
+func TestRunWithContextMidPlanCancellation(t *testing.T) {
+	db, err := NewDB(testTables(t), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPoolMorsel(4, 8) // 100 rows / 8 per morsel: plenty of morsels
+	defer pool.Close()
+
+	before := ops.LiveScratch()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan := func(q *Query) (*ops.Result, error) {
+		vCol, err := q.Col("t", "v")
+		if err != nil {
+			return nil, err
+		}
+		sel, err := ops.Filter(vCol, 0, 49, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		cancel()
+		wCol, err := q.Col("t", "w")
+		if err != nil {
+			return nil, err
+		}
+		vec, err := ops.Gather(wCol, sel, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		sum, err := ops.SumTotal(vec, q.Opts())
+		if err != nil {
+			return nil, err
+		}
+		return q.FinishScalar(sum)
+	}
+	_, _, err = Run(db, Continuous, ops.Scalar, plan, WithPool(pool), WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-plan cancellation returned %v, want context.Canceled", err)
+	}
+	if got := ops.LiveScratch(); got != before {
+		t.Fatalf("scratch leak: %d live buffers before, %d after cancelled run", before, got)
+	}
+}
+
+// TestCancelledRunsDoNotAccumulateScratch hammers the cancellation path
+// and asserts the arena balance is stable - the AllocsPerRun-style
+// regression gate for the borrow/release pairing under early exit.
+func TestCancelledRunsDoNotAccumulateScratch(t *testing.T) {
+	db, err := NewDB(testTables(t), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPoolMorsel(4, 8)
+	defer pool.Close()
+	before := ops.LiveScratch()
+	for i := 0; i < 200; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		plan := func(q *Query) (*ops.Result, error) {
+			vCol, err := q.Col("t", "v")
+			if err != nil {
+				return nil, err
+			}
+			sel, err := ops.Filter(vCol, 0, 49, q.Opts())
+			if err != nil {
+				return nil, err
+			}
+			cancel()
+			wCol, err := q.Col("t", "w")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ops.Gather(wCol, sel, q.Opts()); err != nil {
+				return nil, err
+			}
+			t.Fatal("gather after cancel must not succeed")
+			return nil, nil
+		}
+		if _, _, err := Run(db, Continuous, ops.Scalar, plan, WithPool(pool), WithContext(ctx)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if got := ops.LiveScratch(); got != before {
+		t.Fatalf("scratch leak after 200 cancelled runs: %d -> %d live buffers", before, got)
+	}
+}

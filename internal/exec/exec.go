@@ -22,8 +22,10 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"ahead/internal/an"
@@ -79,6 +81,31 @@ func (m Mode) String() string {
 		return "TMR"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode resolves a mode label (the String names, case-insensitive;
+// "reencoding" and "continuousreencoding" both name the reencoding
+// variant). Unknown labels are an error - callers must never fall back
+// to Unprotected silently, or a typo would serve unhardened data.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "unprotected":
+		return Unprotected, nil
+	case "dmr":
+		return DMR, nil
+	case "early", "earlyonetime":
+		return EarlyOnetime, nil
+	case "late", "lateonetime":
+		return LateOnetime, nil
+	case "continuous":
+		return Continuous, nil
+	case "reencoding", "continuousreencoding":
+		return ContinuousReencoding, nil
+	case "tmr":
+		return TMR, nil
+	default:
+		return Unprotected, fmt.Errorf("exec: unknown mode %q", s)
 	}
 }
 
@@ -154,6 +181,17 @@ func NewDB(tables []*storage.Table, choose storage.CodeChooser) (*DB, error) {
 
 // Plain returns the unprotected table.
 func (db *DB) Plain(name string) *storage.Table { return db.plain[name] }
+
+// Tables returns the sorted base-table names - the enumeration the
+// serving layer's fault injector and readiness probe walk.
+func (db *DB) Tables() []string {
+	names := make([]string, 0, len(db.plain))
+	for name := range db.plain {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Hardened returns the AN-hardened table.
 func (db *DB) Hardened(name string) *storage.Table { return db.hardened[name] }
@@ -394,6 +432,7 @@ type runCfg struct {
 	pool      *Pool
 	transient bool
 	noFuse    bool
+	ctx       context.Context
 }
 
 // WithPool attaches a shared worker pool: the AN-aware kernels run
@@ -410,6 +449,17 @@ func WithPool(p *Pool) RunOption {
 // axis of the cross-mode differential test matrix.
 func WithFusion(enabled bool) RunOption {
 	return func(c *runCfg) { c.noFuse = !enabled }
+}
+
+// WithContext bounds the run: deadlines and cancellations on ctx stop
+// the query at the next operator entry or morsel boundary, returning
+// ctx.Err(). A run that completes before cancellation is untouched -
+// its result and error log are byte-identical to an unbounded run, so
+// serving-layer deadlines never perturb detection determinism. Aborted
+// runs release every borrowed scratch buffer before returning (see
+// ops.LiveScratch).
+func WithContext(ctx context.Context) RunOption {
+	return func(c *runCfg) { c.ctx = ctx }
 }
 
 // WithParallelism runs the query on a transient pool of n workers
@@ -441,17 +491,22 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 	}
 	pool := cfg.pool
 	log := ops.NewErrorLog()
+	if cfg.ctx != nil {
+		if err := cfg.ctx.Err(); err != nil {
+			return nil, log, err
+		}
+	}
 	switch m {
 	case DMR:
 		if pool != nil && pool.Workers() > 1 {
-			return runReplicated(db, m, flavor, plan, pool, log, 2, cfg.noFuse)
+			return runReplicated(db, m, flavor, plan, pool, log, 2, cfg)
 		}
-		q1 := &Query{db: db, mode: m, flavor: flavor, log: log, noFuse: cfg.noFuse}
+		q1 := &Query{db: db, mode: m, flavor: flavor, log: log, noFuse: cfg.noFuse, ctx: cfg.ctx}
 		r1, err := plan(q1)
 		if err != nil {
 			return nil, log, err
 		}
-		q2 := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: 1, noFuse: cfg.noFuse}
+		q2 := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: 1, noFuse: cfg.noFuse, ctx: cfg.ctx}
 		r2, err := plan(q2)
 		if err != nil {
 			return nil, log, err
@@ -462,11 +517,11 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		return r1, log, nil
 	case TMR:
 		if pool != nil && pool.Workers() > 1 {
-			return runReplicated(db, m, flavor, plan, pool, log, 3, cfg.noFuse)
+			return runReplicated(db, m, flavor, plan, pool, log, 3, cfg)
 		}
 		results := make([]*ops.Result, 3)
 		for i := range results {
-			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i, noFuse: cfg.noFuse}
+			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i, noFuse: cfg.noFuse, ctx: cfg.ctx}
 			r, err := plan(q)
 			if err != nil {
 				return nil, log, err
@@ -475,7 +530,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		}
 		return voteTMR(results, log)
 	default:
-		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool, noFuse: cfg.noFuse}
+		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool, noFuse: cfg.noFuse, ctx: cfg.ctx}
 		r, err := plan(q)
 		return r, log, err
 	}
@@ -488,7 +543,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 // queries keep the pool, so each replica's kernels additionally run
 // morsel-parallel - the two levels share the worker set through work
 // stealing.
-func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool, log *ops.ErrorLog, n int, noFuse bool) (*ops.Result, *ops.ErrorLog, error) {
+func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool, log *ops.ErrorLog, n int, cfg runCfg) (*ops.Result, *ops.ErrorLog, error) {
 	results := make([]*ops.Result, n)
 	errs := make([]error, n)
 	logs := make([]*ops.ErrorLog, n)
@@ -497,7 +552,7 @@ func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool
 		i := i
 		jobs[i] = func() {
 			logs[i] = ops.NewErrorLog()
-			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool, noFuse: noFuse}
+			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool, noFuse: cfg.noFuse, ctx: cfg.ctx}
 			results[i], errs[i] = plan(q)
 		}
 	}
@@ -542,6 +597,7 @@ type Query struct {
 	deltaCache map[string]*storage.Column
 	pool       *Pool
 	noFuse     bool
+	ctx        context.Context
 }
 
 // Mode returns the execution mode.
@@ -562,6 +618,7 @@ func (q *Query) Opts() *ops.Opts {
 		HardenIDs: detect,
 		Flavor:    q.flavor,
 		Log:       q.log,
+		Ctx:       q.ctx,
 	}
 	// Assign through a typed check so a nil *Pool never becomes a
 	// non-nil Parallel interface value.

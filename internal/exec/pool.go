@@ -94,6 +94,23 @@ func (p *Pool) Workers() int { return len(p.workers) }
 // MorselSize returns the values-per-morsel granularity (ops.Parallel).
 func (p *Pool) MorselSize() int { return p.morsel }
 
+// QueueDepth returns the number of queued-but-not-started tasks across
+// all worker deques - the backlog gauge the serving layer's /metrics
+// exports. It is a racy snapshot by nature; each deque is read under
+// its own lock.
+func (p *Pool) QueueDepth() int {
+	if p == nil {
+		return 0
+	}
+	depth := 0
+	for _, w := range p.workers {
+		w.mu.Lock()
+		depth += len(w.queue)
+		w.mu.Unlock()
+	}
+	return depth
+}
+
 // Close stops the workers. Queued task sets must have completed; ForEach
 // and Jobs must not be called after Close.
 func (p *Pool) Close() {

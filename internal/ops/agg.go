@@ -33,6 +33,9 @@ func GroupBy(keys []*Vec, o *Opts) (gids []uint32, groups [][]uint64, err error)
 	if len(keys) == 0 || len(keys) > 4 {
 		return nil, nil, fmt.Errorf("ops: group-by supports 1..4 key columns, got %d", len(keys))
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	n := keys[0].Len()
 	for _, k := range keys[1:] {
 		if k.Len() != n {
@@ -40,7 +43,7 @@ func GroupBy(keys []*Vec, o *Opts) (gids []uint32, groups [][]uint64, err error)
 		}
 	}
 	if p := o.par(n); p != nil {
-		parts, err := runMorsels(p, n, o.log(), func(log *ErrorLog, start, end int) (groupByPart, error) {
+		parts, err := runMorsels(p, n, o, o.log(), nil, func(log *ErrorLog, start, end int) (groupByPart, error) {
 			return groupByRange(keys, o, log, start, end)
 		})
 		if err != nil {
@@ -141,6 +144,9 @@ func SumGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) 
 	if vals.Len() != len(gids) {
 		return nil, fmt.Errorf("ops: %d values vs %d group ids", vals.Len(), len(gids))
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	acc, err := wideCode(vals.Code)
 	if err != nil {
 		return nil, err
@@ -149,7 +155,7 @@ func SumGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) 
 	detect := o.detect()
 	log := o.log()
 	if p := o.par(vals.Len()); p != nil {
-		parts, err := runMorsels(p, vals.Len(), log, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
+		parts, err := runMorsels(p, vals.Len(), o, log, dropU64, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
 			part := borrowU64Zeroed(numGroups)
 			if err := sumGroupedRange(vals, gids, *part, numGroups, o, plog, start, end); err != nil {
 				releaseU64(part)
@@ -225,6 +231,9 @@ func SumProduct(a, b *Vec, o *Opts) (*Vec, error) {
 	if (a.Code == nil) != (b.Code == nil) {
 		return nil, fmt.Errorf("ops: sum-product needs both inputs plain or both hardened")
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	detect := o.detect()
 	log := o.log()
 	var invB uint64
@@ -239,7 +248,7 @@ func SumProduct(a, b *Vec, o *Opts) (*Vec, error) {
 	if p := o.par(a.Len()); p != nil {
 		// Ring addition is associative and commutative, so per-morsel
 		// partial sums merged in any order equal the serial sum exactly.
-		parts, err := runMorsels(p, a.Len(), log, func(plog *ErrorLog, start, end int) (uint64, error) {
+		parts, err := runMorsels(p, a.Len(), o, log, nil, func(plog *ErrorLog, start, end int) (uint64, error) {
 			return sumProductRange(a, b, invB, o, plog, start, end), nil
 		})
 		if err != nil {
@@ -315,6 +324,9 @@ func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, err
 	if a.Code != nil && a.Code.A() != b.Code.A() {
 		return nil, fmt.Errorf("ops: sum-diff across different As (%d vs %d); reencode first", a.Code.A(), b.Code.A())
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	acc, err := wideCode(a.Code)
 	if err != nil {
 		return nil, err
@@ -323,7 +335,7 @@ func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, err
 	detect := o.detect()
 	log := o.log()
 	if p := o.par(a.Len()); p != nil {
-		parts, err := runMorsels(p, a.Len(), log, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
+		parts, err := runMorsels(p, a.Len(), o, log, dropU64, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
 			part := borrowU64Zeroed(numGroups)
 			if err := sumDiffRange(a, b, gids, *part, numGroups, o, plog, start, end); err != nil {
 				releaseU64(part)

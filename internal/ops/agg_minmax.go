@@ -20,10 +20,13 @@ func MinMaxGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (mins, maxs
 	if vals.Len() != len(gids) {
 		return nil, nil, fmt.Errorf("ops: %d values vs %d group ids", vals.Len(), len(gids))
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	mins = &Vec{Name: "min(" + vals.Name + ")", Vals: make([]uint64, numGroups), Code: vals.Code}
 	maxs = &Vec{Name: "max(" + vals.Name + ")", Vals: make([]uint64, numGroups), Code: vals.Code}
 	if p := o.par(len(gids)); p != nil {
-		parts, err := runMorsels(p, len(gids), o.log(), func(log *ErrorLog, start, end int) (minMaxPart, error) {
+		parts, err := runMorsels(p, len(gids), o, o.log(), nil, func(log *ErrorLog, start, end int) (minMaxPart, error) {
 			return minMaxRange(vals, gids, numGroups, o, log, start, end)
 		})
 		if err != nil {

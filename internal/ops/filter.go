@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -30,6 +31,21 @@ type Opts struct {
 	// every morsel a private error log and merge them in morsel order,
 	// so detected-error positions match the serial path exactly.
 	Par Parallel
+	// Ctx, when non-nil, bounds the execution: every operator entry
+	// point checks it once, and the morsel runner checks it before
+	// dispatching each morsel, so a cancelled query stops scheduling
+	// new work within one morsel boundary. Completed runs are
+	// unaffected - the error-log merge stays byte-identical to serial.
+	Ctx context.Context
+}
+
+// ctxErr reports the cancellation state of the query's context, nil when
+// no context is attached or it is still live.
+func (o *Opts) ctxErr() error {
+	if o == nil || o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // posMul returns the factor applied to emitted positions.
@@ -68,8 +84,11 @@ func Filter(col *storage.Column, lo, hi uint64, o *Opts) (*Sel, error) {
 	if lo > hi {
 		return &Sel{Hardened: o != nil && o.HardenIDs}, nil
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	if p := o.par(col.Len()); p != nil {
-		parts, err := runMorsels(p, col.Len(), o.log(), func(log *ErrorLog, start, end int) (*[]uint64, error) {
+		parts, err := runMorsels(p, col.Len(), o, o.log(), dropU64, func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return filterRange(col, lo, hi, o, log, start, end)
 		})
 		if err != nil {
@@ -167,8 +186,11 @@ func FilterSel(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts) (*Sel, err
 	if lo > hi {
 		return &Sel{Hardened: sel.Hardened}, nil
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	if p := o.par(sel.Len()); p != nil {
-		parts, err := runMorsels(p, sel.Len(), o.log(), func(log *ErrorLog, start, end int) (*[]uint64, error) {
+		parts, err := runMorsels(p, sel.Len(), o, o.log(), dropU64, func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return filterSelRange(col, lo, hi, sel, o, log, start, end)
 		})
 		if err != nil {

@@ -434,6 +434,9 @@ func FusedFilterSemiSumProduct(preds []RangePred, fk *storage.Column, ht *hashma
 	if (a.Code() == nil) != (b.Code() == nil) {
 		return nil, fmt.Errorf("ops: fused sum-product needs both inputs plain or both hardened")
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	detect := o.detect()
 	log := o.log()
 	name := "sum(" + a.Name() + "*" + b.Name() + ")"
@@ -461,7 +464,7 @@ func FusedFilterSemiSumProduct(preds []RangePred, fk *storage.Column, ht *hashma
 	if p := o.par(n); p != nil {
 		// Ring addition commutes, so per-morsel partial sums merged in
 		// any order equal the serial sum exactly (Eq. 5).
-		parts, err := runMorsels(p, n, log, func(plog *ErrorLog, start, end int) (uint64, error) {
+		parts, err := runMorsels(p, n, o, log, nil, func(plog *ErrorLog, start, end int) (uint64, error) {
 			return fusedQ1Range(fps, fkc, ht, ac, bc, invB, detect, flavor, plog, start, end), nil
 		})
 		if err != nil {
@@ -615,6 +618,9 @@ func FusedGatherSumGrouped(col *storage.Column, sel *Sel, gids []uint32, numGrou
 	if sel.Len() != len(gids) {
 		return nil, fmt.Errorf("ops: %d selected rows vs %d group ids", sel.Len(), len(gids))
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	detect := o.detect()
 	log := o.log()
 	fc := makeFusedCol(col)
@@ -623,7 +629,7 @@ func FusedGatherSumGrouped(col *storage.Column, sel *Sel, gids []uint32, numGrou
 		return nil, err
 	}
 	if p := o.par(sel.Len()); p != nil {
-		parts, err := runMorsels(p, sel.Len(), log, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
+		parts, err := runMorsels(p, sel.Len(), o, log, dropU64, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
 			part := borrowU64Zeroed(numGroups)
 			if err := fusedGatherSumRange(fc, sel, gids, *part, numGroups, detect, plog, start, end); err != nil {
 				releaseU64(part)
@@ -706,6 +712,9 @@ func FusedGatherSumDiffGrouped(a, b *storage.Column, sel *Sel, gids []uint32, nu
 	if a.Code() != nil && a.Code().A() != b.Code().A() {
 		return nil, fmt.Errorf("ops: fused sum-diff across different As (%d vs %d)", a.Code().A(), b.Code().A())
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	detect := o.detect()
 	log := o.log()
 	ac, bc := makeFusedCol(a), makeFusedCol(b)
@@ -714,7 +723,7 @@ func FusedGatherSumDiffGrouped(a, b *storage.Column, sel *Sel, gids []uint32, nu
 		return nil, err
 	}
 	if p := o.par(sel.Len()); p != nil {
-		parts, err := runMorsels(p, sel.Len(), log, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
+		parts, err := runMorsels(p, sel.Len(), o, log, dropU64, func(plog *ErrorLog, start, end int) (*[]uint64, error) {
 			part := borrowU64Zeroed(numGroups)
 			if err := fusedGatherSumDiffRange(ac, bc, sel, gids, *part, numGroups, detect, plog, start, end); err != nil {
 				releaseU64(part)
@@ -849,6 +858,12 @@ type fusedJoinCol struct {
 	hasAttr bool
 	attrIdx int
 }
+
+// BuildKeyBits exposes the dense build-key membership index to operator
+// implementations outside the package (the vectorized vat pipeline).
+// It returns the bitset and the largest key, or nil when the key domain
+// exceeds the cap and the hash table must be probed instead.
+func BuildKeyBits(ht *hashmap.U64) ([]uint64, uint64) { return buildKeyBits(ht) }
 
 // buildKeyBits constructs the dense membership bitset for a build table,
 // or nil when any key lies beyond the maxKeyBitsetBits cap.
@@ -1263,6 +1278,9 @@ func fusedProbeGroup(preds []RangePred, joins []FusedJoin, a, b *storage.Column,
 	if len(joins) == 0 {
 		return nil, nil, fmt.Errorf("ops: fused probe cascade needs at least one join")
 	}
+	if err := o.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	nAttrs := 0
 	fjs := make([]fusedJoinCol, len(joins))
 	for i, j := range joins {
@@ -1309,7 +1327,7 @@ func fusedProbeGroup(preds []RangePred, joins []FusedJoin, a, b *storage.Column,
 	var groups [][]uint64
 	var sums []uint64
 	if p := o.par(n); p != nil {
-		parts, err := runMorsels(p, n, log, func(plog *ErrorLog, start, end int) (fusedGroupPart, error) {
+		parts, err := runMorsels(p, n, o, log, nil, func(plog *ErrorLog, start, end int) (fusedGroupPart, error) {
 			return fusedProbeGroupRange(fps, fjs, ac, bc, hasB, nAttrs, detect, flavor, plog, start, end)
 		})
 		if err != nil {

@@ -12,8 +12,11 @@ import (
 // operators keep computing on protected data. With Detect set, every
 // fetched value is verified (continuous detection).
 func Gather(col *storage.Column, sel *Sel, o *Opts) (*Vec, error) {
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	if p := o.par(sel.Len()); p != nil {
-		parts, err := runMorsels(p, sel.Len(), o.log(), func(log *ErrorLog, start, end int) (*[]uint64, error) {
+		parts, err := runMorsels(p, sel.Len(), o, o.log(), dropU64, func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return gatherRange(col, sel, o, log, start, end)
 		})
 		if err != nil {
@@ -63,8 +66,11 @@ func gatherRange(col *storage.Column, sel *Sel, o *Opts, log *ErrorLog, start, e
 // GatherAt fetches column values at plain positions (e.g. the build-side
 // rows matched by a join probe).
 func GatherAt(col *storage.Column, positions []uint32, o *Opts) (*Vec, error) {
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	if p := o.par(len(positions)); p != nil {
-		parts, err := runMorsels(p, len(positions), o.log(), func(log *ErrorLog, start, end int) (*[]uint64, error) {
+		parts, err := runMorsels(p, len(positions), o, o.log(), dropU64, func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return gatherAtRange(col, positions, o, log, start, end)
 		})
 		if err != nil {

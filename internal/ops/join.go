@@ -16,6 +16,9 @@ import (
 // the data domain as that common ground also serves joins between columns
 // of different widths. With Detect set the build keys are verified.
 func HashBuild(col *storage.Column, sel *Sel, o *Opts) (*hashmap.U64, error) {
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	ht := hashmap.New(sel.Len())
 	log := o.log()
 	detect := o.detect()
@@ -51,6 +54,9 @@ func HashBuild(col *storage.Column, sel *Sel, o *Opts) (*hashmap.U64, error) {
 // set they are verified first, so a flipped FK is reported instead of
 // silently dropping the row.
 func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, []uint32, error) {
+	if err := o.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	total := col.Len()
 	if sel != nil {
 		total = sel.Len()
@@ -60,7 +66,7 @@ func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, [
 		hardened = sel.Hardened
 	}
 	if p := o.par(total); p != nil {
-		parts, err := runMorsels(p, total, o.log(), func(log *ErrorLog, start, end int) (probePart, error) {
+		parts, err := runMorsels(p, total, o, o.log(), dropProbePart, func(log *ErrorLog, start, end int) (probePart, error) {
 			return hashProbeRange(col, ht, sel, o, log, start, end)
 		})
 		if err != nil {
@@ -88,6 +94,13 @@ func HashProbe(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, [
 type probePart struct {
 	pos     *[]uint64
 	matches *[]uint32
+}
+
+// dropProbePart releases one morsel's borrowed probe output - the drop
+// callback for aborted HashProbe runs.
+func dropProbePart(p probePart) {
+	releaseU64(p.pos)
+	releaseU32(p.matches)
 }
 
 // hashProbeRange is the morsel kernel of HashProbe: with sel nil it
@@ -162,7 +175,107 @@ func hashProbeRange(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts, log
 // SemiJoin keeps only the probe rows whose FK value is present in the
 // build table, discarding the matched positions - the cheaper form used
 // when the dimension contributes no group attribute (Q1.x date filter).
+// For dense build-key domains the per-row hash probe is replaced by an
+// L1-resident bitset test over the build keys (the same buildKeyBits
+// index the fused cascade uses); sparse domains fall back to HashProbe.
 func SemiJoin(col *storage.Column, ht *hashmap.U64, sel *Sel, o *Opts) (*Sel, error) {
+	if bits, keyMax := buildKeyBits(ht); bits != nil {
+		return semiJoinBits(col, bits, keyMax, sel, o)
+	}
 	out, _, err := HashProbe(col, ht, sel, o)
 	return out, err
+}
+
+// semiJoinBits is the dense-domain SemiJoin: membership is one bit test
+// against the build-key bitset, so the build table itself is never
+// touched on the probe side. Detection semantics match HashProbe - a
+// corrupted FK is reported at the probe row instead of silently
+// dropping it.
+func semiJoinBits(col *storage.Column, bits []uint64, keyMax uint64, sel *Sel, o *Opts) (*Sel, error) {
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
+	total := col.Len()
+	if sel != nil {
+		total = sel.Len()
+	}
+	hardened := o != nil && o.HardenIDs
+	if sel != nil {
+		hardened = sel.Hardened
+	}
+	if p := o.par(total); p != nil {
+		parts, err := runMorsels(p, total, o, o.log(), dropU64, func(log *ErrorLog, start, end int) (*[]uint64, error) {
+			return semiJoinBitsRange(col, bits, keyMax, sel, o, log, start, end)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Sel{Pos: concatOwned(parts), Hardened: hardened}, nil
+	}
+	part, err := semiJoinBitsRange(col, bits, keyMax, sel, o, o.log(), 0, total)
+	if err != nil {
+		return nil, err
+	}
+	return &Sel{Pos: ownU64(part), Hardened: hardened}, nil
+}
+
+// semiJoinBitsRange is the morsel kernel of semiJoinBits: with sel nil
+// it tests column rows [start, end), otherwise the selection entries
+// with global indices [start, end).
+func semiJoinBitsRange(col *storage.Column, bits []uint64, keyMax uint64, sel *Sel, o *Opts, log *ErrorLog, start, end int) (*[]uint64, error) {
+	detect := o.detect()
+	code := col.Code()
+	var inv, mask, dmax uint64
+	if code != nil {
+		inv, mask, dmax = code.AInv(), code.CodeMask(), code.MaxData()
+	}
+	buf := borrowU64(end - start)
+	out := (*buf)[:0]
+	if sel == nil {
+		posMul := o.posMul()
+		for i := start; i < end; i++ {
+			v := col.Get(i)
+			if code != nil {
+				d := v * inv & mask
+				if d > dmax {
+					if detect && log != nil {
+						log.Record(col.Name(), uint64(i))
+					}
+					continue
+				}
+				v = d
+			}
+			if v <= keyMax && bits[v>>6]&(1<<(v&63)) != 0 {
+				out = append(out, uint64(i)*posMul)
+			}
+		}
+		*buf = out
+		return buf, nil
+	}
+	for i := start; i < end; i++ {
+		pos, ok := sel.At(i, log)
+		if !ok {
+			continue
+		}
+		if pos >= uint64(col.Len()) {
+			releaseU64(buf)
+			return nil, fmt.Errorf("ops: position %d beyond column %q", pos, col.Name())
+		}
+		v := col.Get(int(pos))
+		if code != nil {
+			d := v * inv & mask
+			if d > dmax {
+				if detect && log != nil {
+					log.Record(col.Name(), pos)
+				}
+				continue
+			}
+			v = d
+		}
+		if v <= keyMax && bits[v>>6]&(1<<(v&63)) != 0 {
+			out = append(out, sel.Pos[i])
+		}
+	}
+	*buf = out
+	return buf, nil
 }

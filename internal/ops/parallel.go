@@ -55,12 +55,24 @@ func morselCount(p Parallel, total int) int {
 // many workers executed the scan. On a morsel error the logs up to and
 // including the failing morsel are merged (mirroring how far the serial
 // scan would have come) and the first error in morsel order is returned.
-func runMorsels[T any](p Parallel, total int, dst *ErrorLog, fn func(log *ErrorLog, start, end int) (T, error)) ([]T, error) {
+//
+// When o carries a context, it is checked before each morsel kernel
+// runs: once cancelled, remaining morsels return the context error
+// without touching data, so an aborted run stops within one morsel
+// boundary. On any error return the outputs of morsels that DID
+// complete are handed to drop (non-nil for kernels whose outputs hold
+// borrowed scratch), keeping the arena balanced under cancellation -
+// the shutdown-ordering guarantee the serving layer's drain relies on.
+func runMorsels[T any](p Parallel, total int, o *Opts, dst *ErrorLog, drop func(T), fn func(log *ErrorLog, start, end int) (T, error)) ([]T, error) {
 	count := morselCount(p, total)
 	outs := make([]T, count)
 	logs := make([]*ErrorLog, count)
 	errs := make([]error, count)
 	p.ForEach(total, func(m, start, end int) {
+		if err := o.ctxErr(); err != nil {
+			errs[m] = err
+			return
+		}
 		l := borrowLog()
 		logs[m] = l
 		outs[m], errs[m] = fn(l, start, end)
@@ -79,6 +91,13 @@ func runMorsels[T any](p Parallel, total int, dst *ErrorLog, fn func(log *ErrorL
 					dst.Merge(l)
 				}
 			}
+			if drop != nil {
+				for i, e := range errs {
+					if e == nil && logs[i] != nil {
+						drop(outs[i])
+					}
+				}
+			}
 			return nil, err
 		}
 	}
@@ -89,3 +108,7 @@ func runMorsels[T any](p Parallel, total int, dst *ErrorLog, fn func(log *ErrorL
 	}
 	return outs, nil
 }
+
+// dropU64 releases one morsel's borrowed uint64 output buffer - the drop
+// callback of the position/value-emitting kernels.
+func dropU64(p *[]uint64) { releaseU64(p) }

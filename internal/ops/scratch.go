@@ -3,6 +3,7 @@ package ops
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Scratch memory for the kernel hot path (DESIGN.md section 5e).
@@ -31,9 +32,13 @@ import (
 //     order, and releases them. A released log's entries have always been
 //     copied out, so the append path of a live log never aliases pooled
 //     memory.
-//   - On an error return the in-flight borrows of unfinished morsels are
-//     dropped instead of released; the GC reclaims them. Errors are
-//     schema-level and never on the steady-state path.
+//   - On an error or cancellation return, runMorsels releases the
+//     borrows of every morsel that completed (its drop callback); a
+//     morsel that failed mid-kernel releases its own borrows before
+//     returning the error. Cancellation IS a steady-state path under the
+//     serving layer, so aborted runs must leave the arena balanced -
+//     LiveScratch tracks the outstanding borrow count and must return to
+//     zero once all queries drain.
 type scratchClass[T any] struct {
 	pool sync.Pool
 	size int
@@ -67,6 +72,19 @@ var (
 	u32Classes = newScratchClasses[uint32]()
 )
 
+// liveScratch counts borrowed-but-not-released scratch buffers. Every
+// borrow increments; every release (including the own/concat copies and
+// the above-class drops) decrements. A balanced arena reads zero once no
+// query is in flight - the leak invariant the serving layer's drain and
+// the cancellation tests assert.
+var liveScratch atomic.Int64
+
+// LiveScratch returns the number of scratch-arena buffers currently
+// borrowed and not yet released. It is exposed for leak detection: after
+// all queries have drained (completed, failed, or cancelled) it must be
+// zero.
+func LiveScratch() int64 { return liveScratch.Load() }
+
 // classFor returns the smallest size class holding n values, or nil when
 // n exceeds the largest class.
 func classFor[T any](cs []*scratchClass[T], n int) *scratchClass[T] {
@@ -82,6 +100,7 @@ func classFor[T any](cs []*scratchClass[T], n int) *scratchClass[T] {
 
 // borrow returns a zero-length scratch buffer with capacity >= n.
 func borrow[T any](cs []*scratchClass[T], n int) *[]T {
+	liveScratch.Add(1)
 	c := classFor(cs, n)
 	if c == nil {
 		b := make([]T, 0, n)
@@ -93,11 +112,13 @@ func borrow[T any](cs []*scratchClass[T], n int) *[]T {
 }
 
 // release returns a borrowed buffer to its size class. Buffers that
-// outgrew every class are dropped.
+// outgrew every class are dropped (the GC reclaims them), but still
+// count as released for the LiveScratch balance.
 func release[T any](cs []*scratchClass[T], p *[]T) {
 	if p == nil {
 		return
 	}
+	liveScratch.Add(-1)
 	c := classFor(cs, cap(*p))
 	if c == nil || c.size > cap(*p) {
 		// Above the top class, or an off-class capacity from the

@@ -2,6 +2,7 @@ package ops
 
 import (
 	"fmt"
+	"strings"
 
 	"ahead/internal/an"
 )
@@ -25,6 +26,19 @@ func (f Flavor) String() string {
 		return "scalar"
 	}
 	return "blocked"
+}
+
+// ParseFlavor resolves a flavor label (case-insensitive); unknown labels
+// are an error.
+func ParseFlavor(s string) (Flavor, error) {
+	switch strings.ToLower(s) {
+	case "scalar":
+		return Scalar, nil
+	case "blocked":
+		return Blocked, nil
+	default:
+		return Scalar, fmt.Errorf("ops: unknown flavor %q", s)
+	}
 }
 
 // Sel is a selection vector: the materialized virtual IDs of qualifying

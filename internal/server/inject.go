@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"ahead/internal/exec"
+	"ahead/internal/faults"
+	"ahead/internal/storage"
+)
+
+// injector plants bit flips into hardened base columns so the serving
+// path's detection can be observed end to end. Targets rotate through
+// every hardened column in the database; narrow codes get weight-2
+// flips (two bits) because a single flip in a short code word is more
+// likely to land on another code word.
+type injector struct {
+	in      *faults.Injector
+	targets []*storage.Column
+	byName  map[string]*storage.Column
+	next    atomic.Uint64
+}
+
+func newInjector(db *exec.DB, in *faults.Injector) (*injector, error) {
+	inj := &injector{in: in, byName: make(map[string]*storage.Column)}
+	for _, name := range db.Tables() {
+		hard := db.Hardened(name)
+		if hard == nil {
+			continue
+		}
+		for _, col := range hard.Columns() {
+			if !col.IsHardened() || col.Len() == 0 {
+				continue
+			}
+			inj.targets = append(inj.targets, col)
+			inj.byName[col.Name()] = col
+		}
+	}
+	if len(inj.targets) == 0 {
+		return nil, fmt.Errorf("server: no hardened columns to inject into")
+	}
+	return inj, nil
+}
+
+// flipWeight follows the soak-test policy: short code words take
+// double flips so the corruption is not masked by the code itself.
+func flipWeight(col *storage.Column) int {
+	if col.Code().DataBits() <= 32 {
+		return 2
+	}
+	return 1
+}
+
+// InjectRequest is the body of POST /inject. All fields are optional:
+// the default plants one flip into the next hardened column in
+// rotation with the per-width default weight.
+type InjectRequest struct {
+	// Col names a hardened column to target; empty rotates.
+	Col string `json:"col,omitempty"`
+	// Count is the number of positions to corrupt (default 1, max 64).
+	Count int `json:"count,omitempty"`
+	// Weight is the number of bits to flip per position; 0 uses the
+	// per-width default.
+	Weight int `json:"weight,omitempty"`
+}
+
+// InjectResponse reports where the corruption landed, so a client (or
+// the load harness) can check the subsequent detections against it.
+type InjectResponse struct {
+	Col       string   `json:"col"`
+	Positions []uint64 `json:"positions"`
+	Weight    int      `json:"weight"`
+}
+
+const maxInjectCount = 64
+
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
+	if s.inject == nil {
+		writeError(w, http.StatusForbidden, "fault injection disabled")
+		return
+	}
+	var req InjectRequest
+	if err := decodeRequest(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Count < 0 || req.Count > maxInjectCount || req.Weight < 0 {
+		writeError(w, http.StatusBadRequest, "count must be 0..%d, weight >= 0", maxInjectCount)
+		return
+	}
+	if req.Count == 0 {
+		req.Count = 1
+	}
+	col := s.inject.targets[s.inject.next.Add(1)%uint64(len(s.inject.targets))]
+	if req.Col != "" {
+		c, ok := s.inject.byName[req.Col]
+		if !ok {
+			writeError(w, http.StatusNotFound, "no hardened column %q", req.Col)
+			return
+		}
+		col = c
+	}
+	weight := req.Weight
+	if weight == 0 {
+		weight = flipWeight(col)
+	}
+	// Each request flips with a forked child stream: concurrent inject
+	// requests stay deterministic in aggregate (the parent only serves
+	// fork seeds) without serializing on one rand.
+	flipped, err := s.inject.in.Fork().FlipRandom(col, req.Count, weight)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "inject: %v", err)
+		return
+	}
+	pos := make([]uint64, len(flipped))
+	for i, p := range flipped {
+		pos[i] = uint64(p)
+	}
+	s.metrics.injected.Add(uint64(len(pos)))
+	writeJSON(w, http.StatusOK, InjectResponse{Col: col.Name(), Positions: pos, Weight: weight})
+}

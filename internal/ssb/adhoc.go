@@ -1,0 +1,215 @@
+package ssb
+
+import (
+	"fmt"
+
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+)
+
+// LookupQuery returns the prepared plan for one of the 13 SSB flights.
+func LookupQuery(name string) (exec.QueryFunc, bool) {
+	fn, ok := Queries[name]
+	return fn, ok
+}
+
+// Ad-hoc requests: the serving layer accepts a small declarative
+// scan/filter/group form next to the prepared flights. A spec compiles
+// against a DB into an exec.QueryFunc, so one compiled request runs
+// under every execution mode like the hand-written plans. Compilation
+// validates the whole spec against the schema up front - the handler's
+// guarantee that a malformed request is a 400, never a panic or a
+// silently degraded run.
+
+// AdHocLimits bound a spec: conjunctive predicates and group-by width
+// are capped so a hostile request cannot explode the plan.
+const (
+	MaxAdHocPreds   = 8
+	MaxAdHocGroupBy = 4
+)
+
+// AdHocPred is one inclusive range predicate; equality is lo == hi.
+// An inverted range (lo > hi) selects nothing, matching ops.Filter.
+type AdHocPred struct {
+	Col string `json:"col"`
+	Lo  uint64 `json:"lo"`
+	Hi  uint64 `json:"hi"`
+}
+
+// AdHocSpec is a single-table scan/filter/group request.
+//
+//   - Agg "count": row count (per group, or one scalar).
+//   - Agg "sum": Σ agg_col.
+//   - Agg "sumproduct": Σ agg_col*agg_col2, scalar only.
+//
+// All referenced columns must belong to Table.
+type AdHocSpec struct {
+	Table   string      `json:"table"`
+	Preds   []AdHocPred `json:"preds,omitempty"`
+	GroupBy []string    `json:"group_by,omitempty"`
+	Agg     string      `json:"agg"`
+	AggCol  string      `json:"agg_col,omitempty"`
+	AggCol2 string      `json:"agg_col2,omitempty"`
+}
+
+// CompileAdHoc validates the spec against the schema and returns the
+// plan. Every schema error surfaces here, before anything runs.
+func CompileAdHoc(db *exec.DB, s AdHocSpec) (exec.QueryFunc, error) {
+	tab := db.Plain(s.Table)
+	if tab == nil {
+		return nil, fmt.Errorf("ssb: unknown table %q", s.Table)
+	}
+	if len(s.Preds) > MaxAdHocPreds {
+		return nil, fmt.Errorf("ssb: %d predicates (max %d)", len(s.Preds), MaxAdHocPreds)
+	}
+	if len(s.GroupBy) > MaxAdHocGroupBy {
+		return nil, fmt.Errorf("ssb: %d group-by columns (max %d)", len(s.GroupBy), MaxAdHocGroupBy)
+	}
+	checkCol := func(name string) error {
+		if name == "" {
+			return fmt.Errorf("ssb: empty column name")
+		}
+		if _, err := tab.Column(name); err != nil {
+			return fmt.Errorf("ssb: table %q has no column %q", s.Table, name)
+		}
+		return nil
+	}
+	for _, p := range s.Preds {
+		if err := checkCol(p.Col); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range s.GroupBy {
+		if err := checkCol(g); err != nil {
+			return nil, err
+		}
+	}
+	switch s.Agg {
+	case "count":
+		if s.AggCol != "" || s.AggCol2 != "" {
+			return nil, fmt.Errorf("ssb: count takes no aggregate column")
+		}
+	case "sum":
+		if err := checkCol(s.AggCol); err != nil {
+			return nil, err
+		}
+		if s.AggCol2 != "" {
+			return nil, fmt.Errorf("ssb: sum takes one aggregate column")
+		}
+	case "sumproduct":
+		if err := checkCol(s.AggCol); err != nil {
+			return nil, err
+		}
+		if err := checkCol(s.AggCol2); err != nil {
+			return nil, err
+		}
+		if len(s.GroupBy) > 0 {
+			return nil, fmt.Errorf("ssb: sumproduct is scalar only")
+		}
+	default:
+		return nil, fmt.Errorf("ssb: unknown aggregate %q (count, sum, sumproduct)", s.Agg)
+	}
+	// The unfiltered scan needs some column to enumerate rows over.
+	cols := tab.Columns()
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("ssb: table %q has no columns", s.Table)
+	}
+	anyCol := cols[0].Name()
+	spec := s // plans outlive the request decode; keep a copy
+	return func(q *exec.Query) (*ops.Result, error) {
+		return runAdHoc(q, spec, anyCol)
+	}, nil
+}
+
+// runAdHoc executes a compiled spec under the query's mode.
+func runAdHoc(q *exec.Query, s AdHocSpec, anyCol string) (*ops.Result, error) {
+	var sel *ops.Sel
+	if len(s.Preds) == 0 {
+		var err error
+		if sel, err = allRows(q, s.Table, anyCol); err != nil {
+			return nil, err
+		}
+	} else {
+		ps := make([]pred, len(s.Preds))
+		for i, p := range s.Preds {
+			ps[i] = pred{col: p.Col, lo: p.Lo, hi: p.Hi}
+		}
+		var err error
+		if sel, err = filterTable(q, s.Table, ps); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(s.GroupBy) == 0 {
+		switch s.Agg {
+		case "count":
+			return q.FinishScalar(&ops.Vec{Name: "count", Vals: []uint64{uint64(sel.Len())}})
+		case "sum":
+			vec, err := gatherAdHoc(q, s.Table, s.AggCol, sel)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := ops.SumTotal(q.PreAggregate(vec), q.Opts())
+			if err != nil {
+				return nil, err
+			}
+			return q.FinishScalar(sum)
+		default: // sumproduct, by validation
+			a, err := gatherAdHoc(q, s.Table, s.AggCol, sel)
+			if err != nil {
+				return nil, err
+			}
+			b, err := gatherAdHoc(q, s.Table, s.AggCol2, sel)
+			if err != nil {
+				return nil, err
+			}
+			sum, err := ops.SumProduct(q.PreAggregate(a), q.PreAggregate(b), q.Opts())
+			if err != nil {
+				return nil, err
+			}
+			return q.FinishScalar(sum)
+		}
+	}
+
+	keys := make([]*ops.Vec, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		vec, err := gatherAdHoc(q, s.Table, g, sel)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = q.PreAggregate(vec)
+	}
+	gids, groups, err := ops.GroupBy(keys, q.Opts())
+	if err != nil {
+		return nil, err
+	}
+	var sums *ops.Vec
+	if s.Agg == "count" {
+		if sums, err = ops.CountGrouped(gids, len(groups), nil); err != nil {
+			return nil, err
+		}
+	} else {
+		meas, err := gatherAdHoc(q, s.Table, s.AggCol, sel)
+		if err != nil {
+			return nil, err
+		}
+		if sums, err = ops.SumGrouped(q.PreAggregate(meas), gids, len(groups), q.Opts()); err != nil {
+			return nil, err
+		}
+	}
+	return q.Finish(groups, sums)
+}
+
+// gatherAdHoc fetches one column of the spec's table at the selection,
+// applying the mode's reencoding like the hand-written plans do.
+func gatherAdHoc(q *exec.Query, table, col string, sel *ops.Sel) (*ops.Vec, error) {
+	c, err := q.Col(table, col)
+	if err != nil {
+		return nil, err
+	}
+	vec, err := ops.Gather(c, sel, q.Opts())
+	if err != nil {
+		return nil, err
+	}
+	return q.Reencode(vec)
+}

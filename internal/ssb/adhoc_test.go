@@ -1,0 +1,88 @@
+package ssb
+
+import (
+	"strings"
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+)
+
+func TestAdHocValidation(t *testing.T) {
+	suite, _, err := NewSuite(0.002, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []AdHocSpec{
+		{Table: "nope", Agg: "count"},
+		{Table: "lineorder", Agg: "median"},
+		{Table: "lineorder", Agg: "sum"}, // missing agg_col
+		{Table: "lineorder", Agg: "sum", AggCol: "no_such_col"},
+		{Table: "lineorder", Agg: "count", Preds: []AdHocPred{{Col: "bogus"}}},
+		{Table: "lineorder", Agg: "count", GroupBy: []string{"bogus"}},
+		{Table: "lineorder", Agg: "sumproduct", AggCol: "lo_extendedprice", AggCol2: "lo_discount", GroupBy: []string{"lo_discount"}},
+		{Table: "lineorder", Agg: "count", GroupBy: []string{"lo_discount", "lo_quantity", "lo_tax", "lo_shipmode", "lo_orderpriority"}},
+		{Table: "lineorder", Agg: "count", Preds: make([]AdHocPred, MaxAdHocPreds+1)},
+	}
+	for i, s := range bad {
+		if _, err := CompileAdHoc(suite.DB, s); err == nil {
+			t.Errorf("spec %d compiled, want error", i)
+		}
+	}
+}
+
+// TestAdHocAgainstPreparedQ11: the ad-hoc form of Q1.1's fact-local part
+// (filter lineorder, sum-product price*discount without the date
+// semijoin) must agree across all modes, like the prepared flights do.
+func TestAdHocModesAgree(t *testing.T) {
+	suite, _, err := NewSuite(0.002, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []AdHocSpec{
+		{Table: "lineorder", Agg: "count",
+			Preds: []AdHocPred{{Col: "lo_discount", Lo: 1, Hi: 3}}},
+		{Table: "lineorder", Agg: "sumproduct", AggCol: "lo_extendedprice", AggCol2: "lo_discount",
+			Preds: []AdHocPred{{Col: "lo_discount", Lo: 1, Hi: 3}, {Col: "lo_quantity", Lo: 0, Hi: 24}}},
+		{Table: "lineorder", Agg: "sum", AggCol: "lo_revenue",
+			Preds:   []AdHocPred{{Col: "lo_quantity", Lo: 10, Hi: 30}},
+			GroupBy: []string{"lo_discount"}},
+		{Table: "supplier", Agg: "count", GroupBy: []string{"s_region"}},
+	}
+	for si, spec := range specs {
+		plan, err := CompileAdHoc(suite.DB, spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", si, err)
+		}
+		ref, _, err := exec.Run(suite.DB, exec.Unprotected, ops.Scalar, plan)
+		if err != nil {
+			t.Fatalf("spec %d unprotected: %v", si, err)
+		}
+		for _, m := range exec.Modes {
+			res, log, err := exec.Run(suite.DB, m, ops.Scalar, plan)
+			if err != nil {
+				t.Fatalf("spec %d under %v: %v", si, m, err)
+			}
+			if log.Count() != 0 {
+				t.Fatalf("spec %d under %v: spurious log entries", si, m)
+			}
+			if !res.Equal(ref) {
+				t.Fatalf("spec %d under %v: result diverges from unprotected", si, m)
+			}
+		}
+	}
+}
+
+func TestLookupQuery(t *testing.T) {
+	for _, name := range QueryNames {
+		if _, ok := LookupQuery(name); !ok {
+			t.Errorf("prepared query %q missing from registry", name)
+		}
+	}
+	if _, ok := LookupQuery("Q9.9"); ok {
+		t.Error("unknown query must not resolve")
+	}
+	if !strings.HasPrefix(QueryNames[0], "Q1") {
+		t.Error("query names out of order")
+	}
+}

@@ -212,22 +212,28 @@ func (f *Filter) Next(pos []uint32) (int, bool, error) {
 }
 
 // SemiJoin keeps upstream positions whose (softened) FK value hits the
-// build table.
+// build table. For dense key domains the constructor caches a bitset
+// over the build keys so membership is one L1-resident bit test per
+// vector entry instead of a cache-missing hash probe.
 type SemiJoin struct {
-	in     Operator
-	col    *storage.Column
-	code   *an.Code
-	ht     *hashmap.U64
-	detect bool
-	log    *ops.ErrorLog
-	buf    []uint32
+	in      Operator
+	col     *storage.Column
+	code    *an.Code
+	ht      *hashmap.U64
+	keyBits []uint64 // dense membership index over the build keys (nil: probe the table)
+	keyMax  uint64
+	detect  bool
+	log     *ops.ErrorLog
+	buf     []uint32
 }
 
 // NewSemiJoin stacks an FK-membership predicate onto in. The hash table
 // maps decoded key values to build positions (ops.HashBuild output).
 func NewSemiJoin(in Operator, col *storage.Column, ht *hashmap.U64, o *Opts) *SemiJoin {
+	bits, keyMax := ops.BuildKeyBits(ht)
 	return &SemiJoin{
 		in: in, col: col, code: col.Code(), ht: ht,
+		keyBits: bits, keyMax: keyMax,
 		detect: o.detect(), log: o.log(),
 		buf: make([]uint32, VectorSize),
 	}
@@ -257,7 +263,13 @@ func (j *SemiJoin) Next(pos []uint32) (int, bool, error) {
 				}
 				v = d
 			}
-			if _, hit := j.ht.Get(v); hit {
+			var hit bool
+			if j.keyBits != nil {
+				hit = v <= j.keyMax && j.keyBits[v>>6]&(1<<(v&63)) != 0
+			} else {
+				_, hit = j.ht.Get(v)
+			}
+			if hit {
 				pos[out] = p
 				out++
 			}
