@@ -7,7 +7,7 @@ GO ?= go
 BENCH_SF ?= 0.1
 BENCH_TOLERANCE ?= 0.20
 
-.PHONY: all build test race lint bench-smoke bench-json serve-smoke clean
+.PHONY: all build test race lint bench-smoke bench-json serve-smoke cluster-smoke clean
 
 all: build test
 
@@ -49,6 +49,14 @@ bench-json:
 # a SIGTERM drain, then prove overload sheds with 429s.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# The distributed layer's acceptance gate: boot 3 hash-partitioned
+# shards, a scatter-gather router, and a single-node reference; prove
+# merged results match the reference byte for byte, injected faults are
+# detected at the merge point, and a killed shard is quarantined with
+# explicit degraded (2/3) service instead of errors.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 clean:
 	rm -f ssb-timings.json

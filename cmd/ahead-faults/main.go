@@ -107,7 +107,7 @@ func run(k uint, trials int, seed int64, slack, z float64) error {
 			empirical := float64(res.Undetected) / float64(res.Trials)
 			fmt.Printf("%7.4f/%.4f", empirical, probs[w])
 			if res.Undetected > 0 && w <= bfw {
-				return fmt.Errorf("GUARANTEE BROKEN: A=%d weight %d silent", a, w)
+				return fmt.Errorf("guarantee broken: A=%d weight %d silent", a, w)
 			}
 			// Statistical gate: the empirical rate may ride above the
 			// analytic one only by sampling noise.

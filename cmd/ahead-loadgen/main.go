@@ -37,13 +37,43 @@ type queryRequest struct {
 type queryResponse struct {
 	Query    string              `json:"query"`
 	Rows     int                 `json:"rows"`
+	Keys     [][]uint64          `json:"keys,omitempty"`
+	Aggs     []uint64            `json:"aggs"`
 	Detected map[string][]uint64 `json:"detected,omitempty"`
 	Recovery *struct {
 		Attempts int                 `json:"attempts"`
 		Repaired map[string][]uint64 `json:"repaired,omitempty"`
 		Degraded bool                `json:"degraded,omitempty"`
 	} `json:"recovery,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	// Coverage fields present only in router responses.
+	ShardsAnswered int     `json:"shards_answered,omitempty"`
+	ShardsTotal    int     `json:"shards_total,omitempty"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+}
+
+// sameResult reports whether two responses carry the identical result
+// relation - the differential check between a router and a single-node
+// reference.
+func sameResult(a, b *queryResponse) bool {
+	if a.Rows != b.Rows || len(a.Keys) != len(b.Keys) || len(a.Aggs) != len(b.Aggs) {
+		return false
+	}
+	for i := range a.Keys {
+		if len(a.Keys[i]) != len(b.Keys[i]) {
+			return false
+		}
+		for j := range a.Keys[i] {
+			if a.Keys[i][j] != b.Keys[i][j] {
+				return false
+			}
+		}
+	}
+	for i := range a.Aggs {
+		if a.Aggs[i] != b.Aggs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // tally aggregates one worker's observations; workers keep their own
@@ -57,6 +87,10 @@ type tally struct {
 	degraded  int
 	injected  int
 	badBodies int
+	// Differential-mode observations (-reference / -expect-shards).
+	mismatches    int
+	refErrors     int
+	shardMismatch int
 }
 
 func newTally() *tally { return &tally{statuses: make(map[int]int)} }
@@ -72,6 +106,9 @@ func (t *tally) merge(o *tally) {
 	t.degraded += o.degraded
 	t.injected += o.injected
 	t.badBodies += o.badBodies
+	t.mismatches += o.mismatches
+	t.refErrors += o.refErrors
+	t.shardMismatch += o.shardMismatch
 }
 
 func main() {
@@ -86,9 +123,18 @@ func main() {
 		injectRate  = flag.Float64("inject-rate", 0, "per-request probability of planting a fault first")
 		deadlineMS  = flag.Int64("deadline-ms", 0, "per-query deadline (0 = server default)")
 		seed        = flag.Int64("seed", 1, "workload seed")
+		reference   = flag.String("reference", "", "single-node reference base URL; every success is replayed there and the results must match byte for byte")
+		expect      = flag.String("expect-shards", "", "assert this \"answered/total\" shard coverage on every success (router targets only)")
 	)
 	flag.Parse()
 	names := strings.Split(*queries, ",")
+
+	var wantAnswered, wantTotal int
+	if *expect != "" {
+		if _, err := fmt.Sscanf(*expect, "%d/%d", &wantAnswered, &wantTotal); err != nil {
+			log.Fatalf("parse -expect-shards %q: %v", *expect, err)
+		}
+	}
 
 	// Pacing: a shared ticket channel filled at the target rate; the
 	// unpaced mode leaves it nil so workers free-run closed-loop.
@@ -144,7 +190,11 @@ func main() {
 					Heal:       *heal,
 					DeadlineMS: *deadlineMS,
 				}
-				runOne(client, *addr, req, tl)
+				runOne(client, *addr, req, tl, checks{
+					reference:    *reference,
+					wantAnswered: wantAnswered,
+					wantTotal:    wantTotal,
+				})
 			}
 		}(w, tallies[w])
 	}
@@ -172,7 +222,15 @@ func postInject(client *http.Client, addr string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-func runOne(client *http.Client, addr string, req queryRequest, tl *tally) {
+// checks are the optional per-response assertions of differential and
+// degraded-cluster runs.
+type checks struct {
+	reference    string
+	wantAnswered int
+	wantTotal    int
+}
+
+func runOne(client *http.Client, addr string, req queryRequest, tl *tally, ck checks) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatalf("marshal: %v", err)
@@ -195,6 +253,18 @@ func runOne(client *http.Client, addr string, req queryRequest, tl *tally) {
 		tl.badBodies++
 		return
 	}
+	if ck.wantTotal > 0 && (qr.ShardsAnswered != ck.wantAnswered || qr.ShardsTotal != ck.wantTotal) {
+		tl.shardMismatch++
+	}
+	if ck.reference != "" {
+		ref, rerr := fetchReference(client, ck.reference, body)
+		switch {
+		case rerr != nil:
+			tl.refErrors++
+		case !sameResult(&qr, ref):
+			tl.mismatches++
+		}
+	}
 	for _, pos := range qr.Detected {
 		tl.detected += len(pos)
 	}
@@ -209,6 +279,25 @@ func runOne(client *http.Client, addr string, req queryRequest, tl *tally) {
 			tl.degraded++
 		}
 	}
+}
+
+// fetchReference replays the same request body against the reference
+// server and decodes its result.
+func fetchReference(client *http.Client, addr string, body []byte) (*queryResponse, error) {
+	resp, err := client.Post(addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("reference status %d", resp.StatusCode)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, err
+	}
+	return &qr, nil
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -261,6 +350,18 @@ func report(t *tally, elapsed time.Duration, concurrency int) bool {
 	}
 	if t.badBodies > 0 {
 		fmt.Printf("FAIL: %d success responses failed to decode\n", t.badBodies)
+		ok = false
+	}
+	if t.mismatches > 0 {
+		fmt.Printf("FAIL: %d responses differed from the reference result\n", t.mismatches)
+		ok = false
+	}
+	if t.refErrors > 0 {
+		fmt.Printf("FAIL: %d reference replays failed\n", t.refErrors)
+		ok = false
+	}
+	if t.shardMismatch > 0 {
+		fmt.Printf("FAIL: %d responses missed the expected shard coverage\n", t.shardMismatch)
 		ok = false
 	}
 	if served == 0 {

@@ -1,0 +1,90 @@
+// Command ahead-router is the scatter-gather front end of a sharded
+// ahead-serve cluster. It fans each POST /query out to every healthy
+// shard's /partial endpoint, verifies the AN-hardened partial
+// aggregates at the merge point, and answers with the merged result -
+// a bit flip anywhere in a shard's response body is detected and
+// attributed to that shard, exactly like an in-memory flip.
+//
+//	ahead-router -addr :8080 \
+//	    -shards http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//
+// Shard health is probed continuously; a shard that fails consecutive
+// probes (or scatter requests) is quarantined with exponential-backoff
+// re-admission, and the cluster degrades to partial results - every
+// response carries shards_answered/shards_total so clients see the
+// coverage they got.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ahead/internal/cluster"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		shards          = flag.String("shards", "", "comma-separated shard base URLs, in shard order")
+		requestTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-shard scatter request timeout")
+		probeInterval   = flag.Duration("probe-interval", 500*time.Millisecond, "health-probe period")
+		probeTimeout    = flag.Duration("probe-timeout", 2*time.Second, "single-probe timeout")
+		quarantineAfter = flag.Int("quarantine-after", 3, "consecutive failures before quarantine")
+		backoffBase     = flag.Duration("backoff-base", 2*time.Second, "initial quarantine window")
+		backoffMax      = flag.Duration("backoff-max", 30*time.Second, "quarantine window cap")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards:          urls,
+		RequestTimeout:  *requestTimeout,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		QuarantineAfter: *quarantineAfter,
+		BackoffBase:     *backoffBase,
+		BackoffMax:      *backoffMax,
+	})
+	if err != nil {
+		log.Fatalf("configure router: %v", err)
+	}
+	defer rt.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("routing on %s over %d shards", *addr, len(urls))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("listen: %v", err)
+	case got := <-sig:
+		log.Printf("%v: shutting down...", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	fmt.Println("bye")
+}

@@ -8,6 +8,11 @@
 // With -inject-seed set, POST /inject plants bit flips into hardened
 // base columns so detection (and, with {"heal":true}, repair) can be
 // exercised end to end; leave it unset for a clean server.
+//
+// With -shard i/n the server owns only its hash-assigned slice of the
+// lineorder fact table (dimensions replicated) and additionally serves
+// POST /partial, the hardened partial-aggregate endpoint the
+// ahead-router scatter-gathers over.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"ahead/internal/cluster"
 	"ahead/internal/exec"
 	"ahead/internal/faults"
 	"ahead/internal/server"
@@ -41,16 +47,22 @@ func main() {
 		maxDeadline  = flag.Duration("max-deadline", 60*time.Second, "cap on requested deadlines")
 		injectSeed   = flag.Int64("inject-seed", 0, "enable POST /inject with this fault seed (0 = disabled)")
 		drainWait    = flag.Duration("drain", 30*time.Second, "max graceful-drain wait on SIGTERM")
+		shardSpec    = flag.String("shard", "", "serve one shard of a cluster, 1-based \"i/n\" (e.g. 2/3); empty = single node")
 	)
 	flag.Parse()
 
-	log.Printf("generating SSB at SF %g (seed %d)...", *sf, *seed)
+	shard, err := cluster.ParseShard(*shardSpec)
+	if err != nil {
+		log.Fatalf("parse -shard: %v", err)
+	}
+
+	log.Printf("generating SSB at SF %g (seed %d, shard %s)...", *sf, *seed, shard)
 	start := time.Now()
-	suite, _, err := ssb.NewSuite(*sf, *seed, 1)
+	suite, data, err := ssb.NewShardSuite(*sf, *seed, 1, shard)
 	if err != nil {
 		log.Fatalf("build database: %v", err)
 	}
-	log.Printf("database ready in %v", time.Since(start).Round(time.Millisecond))
+	log.Printf("database ready in %v (%d lineorder rows)", time.Since(start).Round(time.Millisecond), data.Lineorder.Rows())
 
 	var pool *exec.Pool
 	if *workers > 0 {
@@ -65,6 +77,7 @@ func main() {
 		QueueTimeout:    *queueTimeout,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		Shard:           shard,
 	}
 	if *injectSeed != 0 {
 		cfg.Injector = faults.NewInjector(*injectSeed)

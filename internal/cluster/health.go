@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardState tracks one shard's availability as seen by the router.
+// Failures (failed probes or failed scatter requests) accumulate; after
+// QuarantineAfter consecutive ones the shard is quarantined and the
+// router stops sending it work. Re-admission is probation with
+// exponential backoff: once the quarantine window elapses, the next
+// successful probe re-admits the shard, while a failure during or after
+// the window extends it with a doubled backoff (capped), so a flapping
+// shard converges to long quiet periods instead of thrashing the
+// scatter path.
+type shardState struct {
+	index int
+	url   string
+
+	mu          sync.Mutex
+	healthy     bool
+	consecFails int
+	level       uint      // backoff exponent for the next quarantine window
+	until       time.Time // earliest re-admission while quarantined
+
+	quarantines    atomic.Uint64 // total windows entered or extended (metric)
+	requestsFailed atomic.Uint64 // scatter requests lost to this shard (metric)
+	detected       atomic.Uint64 // last scraped shard-local detection counter
+}
+
+func newShardState(index int, url string) *shardState {
+	// Shards start healthy: the router is usable the moment it binds,
+	// and a dead shard is quarantined within QuarantineAfter probes.
+	return &shardState{index: index, url: url, healthy: true}
+}
+
+// Healthy reports whether the shard should receive work.
+func (s *shardState) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy
+}
+
+func (s *shardState) backoff(base, max time.Duration) time.Duration {
+	d := base << s.level
+	if d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	return d
+}
+
+// reportSuccess clears the failure streak and re-admits a quarantined
+// shard once its window has elapsed.
+func (s *shardState) reportSuccess(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consecFails = 0
+	if !s.healthy && !now.Before(s.until) {
+		s.healthy = true
+		s.level = 0
+	}
+}
+
+// reportFailure records one failed probe or scatter request, entering
+// or extending quarantine as the policy dictates.
+func (s *shardState) reportFailure(now time.Time, threshold int, base, max time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consecFails++
+	if s.healthy {
+		if s.consecFails < threshold {
+			return
+		}
+		s.healthy = false
+		s.until = now.Add(s.backoff(base, max))
+		s.level++
+		s.quarantines.Add(1)
+		return
+	}
+	// Already quarantined: a failure on or after the window boundary
+	// restarts it with a longer backoff.
+	if !now.Before(s.until) {
+		s.until = now.Add(s.backoff(base, max))
+		s.level++
+		s.quarantines.Add(1)
+	}
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardQuarantineAndBackoff drives one shardState through the full
+// lifecycle: healthy, quarantined after consecutive failures,
+// re-admitted after the window on a successful probe, and
+// exponentially backed off while it keeps failing.
+func TestShardQuarantineAndBackoff(t *testing.T) {
+	const threshold = 3
+	base, max := 2*time.Second, 30*time.Second
+	now := time.Unix(1000, 0)
+	s := newShardState(0, "http://x")
+
+	if !s.Healthy() {
+		t.Fatal("shards must start healthy")
+	}
+	// Failures below the threshold do not quarantine.
+	s.reportFailure(now, threshold, base, max)
+	s.reportFailure(now, threshold, base, max)
+	if !s.Healthy() {
+		t.Fatal("quarantined before the consecutive-failure threshold")
+	}
+	// A success resets the streak.
+	s.reportSuccess(now)
+	s.reportFailure(now, threshold, base, max)
+	s.reportFailure(now, threshold, base, max)
+	if !s.Healthy() {
+		t.Fatal("failure streak must reset on success")
+	}
+	// The threshold-th consecutive failure quarantines.
+	s.reportFailure(now, threshold, base, max)
+	if s.Healthy() {
+		t.Fatal("threshold reached but not quarantined")
+	}
+	if got := s.quarantines.Load(); got != 1 {
+		t.Fatalf("quarantines = %d, want 1", got)
+	}
+	// A success during the window does not re-admit.
+	s.reportSuccess(now.Add(base / 2))
+	if s.Healthy() {
+		t.Fatal("re-admitted before the backoff window elapsed")
+	}
+	// A failure past the window extends it with doubled backoff.
+	s.reportFailure(now.Add(base), threshold, base, max)
+	if s.Healthy() {
+		t.Fatal("must stay quarantined after a post-window failure")
+	}
+	if got := s.quarantines.Load(); got != 2 {
+		t.Fatalf("quarantines = %d, want 2 (window extended)", got)
+	}
+	// The second window is 2*base; success after it re-admits.
+	reAdmit := now.Add(base).Add(2 * base)
+	s.reportSuccess(reAdmit.Add(-time.Millisecond))
+	if s.Healthy() {
+		t.Fatal("re-admitted before the extended window elapsed")
+	}
+	s.reportSuccess(reAdmit)
+	if !s.Healthy() {
+		t.Fatal("must re-admit on success after the window")
+	}
+	// Re-admission resets the backoff level: the next quarantine is
+	// base-length again.
+	for i := 0; i < threshold; i++ {
+		s.reportFailure(reAdmit, threshold, base, max)
+	}
+	if s.Healthy() {
+		t.Fatal("second quarantine must engage")
+	}
+	s.reportSuccess(reAdmit.Add(base))
+	if !s.Healthy() {
+		t.Fatal("backoff level must reset after healthy service")
+	}
+}
+
+// TestShardBackoffCap keeps a shard failing and checks the window
+// never exceeds the cap.
+func TestShardBackoffCap(t *testing.T) {
+	base, max := time.Second, 8*time.Second
+	now := time.Unix(0, 0)
+	s := newShardState(0, "http://x")
+	for i := 0; i < 1; i++ {
+		s.reportFailure(now, 1, base, max)
+	}
+	// Walk far past where doubling would overflow the cap.
+	for i := 0; i < 80; i++ {
+		s.mu.Lock()
+		until := s.until
+		s.mu.Unlock()
+		if w := until.Sub(now); w > max {
+			t.Fatalf("window %v exceeds cap %v", w, max)
+		}
+		now = until
+		s.reportFailure(now, 1, base, max)
+	}
+}

@@ -1,0 +1,81 @@
+// Package cluster extends AHEAD's detection guarantee across process
+// boundaries: N ahead-serve shards each own a hash-partitioned slice of
+// the lineorder fact table (dimensions replicated), a scatter-gather
+// router fans queries out, and per-shard partial aggregates travel the
+// wire still AN-hardened. The router decodes and verifies only at the
+// merge point, so a bit flip in a shard's response body is detected
+// exactly like an in-memory flip - with per-shard attribution in the
+// merged error log (see DESIGN.md §7).
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Hash64 is the shard-assignment hash (splitmix64 finalizer): cheap,
+// deterministic across processes, and avalanching enough that the
+// low-entropy SSB key space spreads evenly. The exact function is part
+// of the partitioning contract - every shard and every loader must
+// agree on it, or rows would be double-counted or lost.
+func Hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// AssignShard maps a partition key to its owning shard in [0, shards).
+func AssignShard(key uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(Hash64(key) % uint64(shards))
+}
+
+// ShardSpec identifies one shard of a cluster: Index in [0, Count).
+// The zero value (Count 0) means "not sharded" - a single-node server.
+type ShardSpec struct {
+	Index int
+	Count int
+}
+
+// Sharded reports whether the spec names a real slice of a multi-shard
+// cluster.
+func (s ShardSpec) Sharded() bool { return s.Count > 1 }
+
+// String renders the 1-based "i/n" form used on the command line.
+func (s ShardSpec) String() string {
+	if s.Count == 0 {
+		return "1/1"
+	}
+	return fmt.Sprintf("%d/%d", s.Index+1, s.Count)
+}
+
+// ParseShard parses the 1-based "i/n" command-line form ("2/3" is the
+// second of three shards). "1/1" and "" both mean unsharded.
+func ParseShard(s string) (ShardSpec, error) {
+	if s == "" {
+		return ShardSpec{}, nil
+	}
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return ShardSpec{}, fmt.Errorf("cluster: shard spec %q is not i/n", s)
+	}
+	i, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("cluster: shard index %q: %w", parts[0], err)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("cluster: shard count %q: %w", parts[1], err)
+	}
+	if n < 1 || i < 1 || i > n {
+		return ShardSpec{}, fmt.Errorf("cluster: shard spec %q out of range (need 1 <= i <= n)", s)
+	}
+	if n == 1 {
+		return ShardSpec{}, nil
+	}
+	return ShardSpec{Index: i - 1, Count: n}, nil
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import "testing"
+
+// TestAssignShardPartitions checks the partitioning contract: every
+// key lands on exactly one shard in range, deterministically, and the
+// spread over a sequential key space (SSB order keys are dense
+// integers) is roughly even - the property that makes shard-parallel
+// scans balance.
+func TestAssignShardPartitions(t *testing.T) {
+	const shards = 3
+	const keys = 100_000
+	var counts [shards]int
+	for k := uint64(0); k < keys; k++ {
+		s := AssignShard(k, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("key %d assigned to shard %d, want [0,%d)", k, s, shards)
+		}
+		if again := AssignShard(k, shards); again != s {
+			t.Fatalf("key %d assigned to %d then %d", k, s, again)
+		}
+		counts[s]++
+	}
+	want := keys / shards
+	for s, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("shard %d holds %d of %d keys; spread beyond 10%% of even", s, c, keys)
+		}
+	}
+}
+
+func TestAssignShardSingle(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		if s := AssignShard(42, shards); s != 0 {
+			t.Fatalf("AssignShard(42, %d) = %d, want 0", shards, s)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ShardSpec
+		ok   bool
+	}{
+		{"", ShardSpec{}, true},
+		{"1/1", ShardSpec{}, true},
+		{"1/3", ShardSpec{Index: 0, Count: 3}, true},
+		{"3/3", ShardSpec{Index: 2, Count: 3}, true},
+		{"4/3", ShardSpec{}, false},
+		{"0/3", ShardSpec{}, false},
+		{"2", ShardSpec{}, false},
+		{"a/b", ShardSpec{}, false},
+		{"2/0", ShardSpec{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseShard(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseShard(%q): err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseShard(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	// String round-trips through ParseShard for real shards.
+	spec := ShardSpec{Index: 1, Count: 3}
+	back, err := ParseShard(spec.String())
+	if err != nil || back != spec {
+		t.Fatalf("round trip %v -> %q -> %v (%v)", spec, spec.String(), back, err)
+	}
+}

@@ -1,0 +1,485 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterConfig assembles a Router. Shards is the only required field.
+type RouterConfig struct {
+	// Shards lists the shard base URLs, one per partition, in shard
+	// order ("http://127.0.0.1:8081", ...).
+	Shards []string
+	// Client performs shard requests; nil uses a plain http.Client
+	// (timeouts come from per-request contexts, not the client).
+	Client *http.Client
+
+	// RequestTimeout bounds one scatter request to one shard
+	// (default 30s); the shard's own deadline applies underneath.
+	RequestTimeout time.Duration
+	// ProbeInterval is the health-probe period (default 500ms);
+	// ProbeTimeout bounds one probe (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// QuarantineAfter is the consecutive-failure threshold that
+	// quarantines a shard (default 3). BackoffBase/BackoffMax shape the
+	// exponential re-admission backoff (defaults 2s / 30s).
+	QuarantineAfter int
+	BackoffBase     time.Duration
+	BackoffMax      time.Duration
+}
+
+// Router is the scatter-gather front end: it fans each query out to
+// every healthy shard's /partial endpoint, verifies and decodes the
+// hardened partials at the merge point (Merger), and answers with the
+// cluster-wide result. Shard health is watched continuously; lost
+// shards degrade the service to partial results - explicit in every
+// response as shards_answered/shards_total - instead of failing it.
+type Router struct {
+	cfg    RouterConfig
+	mux    *http.ServeMux
+	shards []*shardState
+	client *http.Client
+	m      routerMetrics
+	rr     atomic.Uint64 // round-robin cursor for /inject
+
+	stop      chan struct{}
+	done      sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type routerMetrics struct {
+	served       atomic.Uint64
+	failed       atomic.Uint64
+	degraded     atomic.Uint64
+	detected     atomic.Uint64
+	shardsFailed atomic.Uint64
+}
+
+// NewRouter validates the config, builds the route table, and starts
+// the health-probe loop. Callers must Close the router to stop it.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard URL")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 2 * time.Second
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 30 * time.Second
+	}
+	rt := &Router{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		client: cfg.Client,
+		stop:   make(chan struct{}),
+	}
+	for i, u := range cfg.Shards {
+		rt.shards = append(rt.shards, newShardState(i, strings.TrimRight(u, "/")))
+	}
+	rt.mux.HandleFunc("POST /query", rt.handleQuery)
+	rt.mux.HandleFunc("POST /inject", rt.handleInject)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.done.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Close stops the health-probe loop. In-flight requests finish under
+// their own contexts.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.stop) })
+	rt.done.Wait()
+}
+
+// probeLoop watches every shard: /readyz decides health, and on
+// success the shard's /metrics is scraped for its local detection
+// counter so cluster-wide detections are visible on the router.
+func (rt *Router) probeLoop() {
+	defer rt.done.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		var wg sync.WaitGroup
+		for _, s := range rt.shards {
+			wg.Add(1)
+			go func(s *shardState) {
+				defer wg.Done()
+				rt.probe(s)
+			}(s)
+		}
+		wg.Wait()
+	}
+}
+
+func (rt *Router) probe(s *shardState) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	ok := rt.get(ctx, s.url+"/readyz") == nil
+	now := time.Now()
+	if !ok {
+		s.reportFailure(now, rt.cfg.QuarantineAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+		return
+	}
+	s.reportSuccess(now)
+	if v, err := rt.scrapeDetected(ctx, s.url); err == nil {
+		s.detected.Store(v)
+	}
+}
+
+func (rt *Router) get(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxShardResponseBytes))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// scrapeDetected pulls ahead_detected_errors_total from a shard's
+// Prometheus exposition.
+func (rt *Router) scrapeDetected(ctx context.Context, base string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, maxShardResponseBytes))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "ahead_detected_errors_total "); ok {
+			return strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("cluster: counter not found in %s/metrics", base)
+}
+
+// maxShardResponseBytes bounds a shard response body. Partial bodies
+// scale with group count (at most a few thousand groups in SSB), so
+// 32MB is generous even at large scale factors.
+const maxShardResponseBytes = 32 << 20
+
+// maxRequestBytes mirrors the serving layer's request cap.
+const maxRequestBytes = 1 << 20
+
+// RouterResponse is the body of a successful POST /query: the merged,
+// verified relation plus coverage (shards_answered/shards_total) and
+// the shard-attributed merged error log.
+type RouterResponse struct {
+	Query  string     `json:"query"`
+	Mode   string     `json:"mode"`
+	Flavor string     `json:"flavor"`
+	Rows   int        `json:"rows"`
+	Keys   [][]uint64 `json:"keys,omitempty"`
+	Aggs   []uint64   `json:"aggs"`
+	// Detected maps shard-attributed names ("shard1/lo_revenue" for an
+	// in-shard detection, "shard1/wire:aggs" for a flip caught in the
+	// response body at the merge point) to affected positions.
+	Detected map[string][]uint64 `json:"detected,omitempty"`
+	// ShardsAnswered/ShardsTotal make partial coverage explicit; a
+	// response with ShardsAnswered < ShardsTotal is Degraded.
+	ShardsAnswered int     `json:"shards_answered"`
+	ShardsTotal    int     `json:"shards_total"`
+	Degraded       bool    `json:"degraded,omitempty"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// shardReply is one shard's outcome within a scatter.
+type shardReply struct {
+	shard   *shardState
+	partial *Partial
+	// clientStatus/clientBody relay a shard-side 4xx (bad request) -
+	// the request is at fault, not the shard.
+	clientStatus int
+	clientBody   []byte
+	err          error // network, 5xx, malformed body: the shard is at fault
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		rt.m.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+
+	start := time.Now()
+	var healthy []*shardState
+	for _, s := range rt.shards {
+		if s.Healthy() {
+			healthy = append(healthy, s)
+		}
+	}
+	replies := make([]shardReply, len(healthy))
+	var wg sync.WaitGroup
+	for i, s := range healthy {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			replies[i] = rt.scatter(ctx, s, body)
+		}(i, s)
+	}
+	wg.Wait()
+
+	// Gather: decode and verify each partial at the merge point. A
+	// partial that fails structural checks (Merger.Add) counts as a
+	// shard failure, not a detection - the envelope itself is broken.
+	merger := NewMerger()
+	var first *Partial
+	var clientStatus int
+	var clientBody []byte
+	now := time.Now()
+	for i := range replies {
+		rep := &replies[i]
+		if rep.partial != nil {
+			if err := merger.Add(rep.partial); err != nil {
+				rep.err = err
+				rep.partial = nil
+			} else if first == nil {
+				first = rep.partial
+			}
+		}
+		switch {
+		case rep.err != nil:
+			rep.shard.requestsFailed.Add(1)
+			rt.m.shardsFailed.Add(1)
+			rep.shard.reportFailure(now, rt.cfg.QuarantineAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+		case rep.clientStatus != 0 && clientStatus == 0:
+			clientStatus, clientBody = rep.clientStatus, rep.clientBody
+		}
+	}
+
+	if merger.Answered() == 0 {
+		rt.m.failed.Add(1)
+		if clientStatus != 0 {
+			// Every shard agreed the request is malformed; relay one
+			// shard's verdict verbatim.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(clientStatus)
+			_, _ = w.Write(clientBody)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "no shards answered (%d configured)", len(rt.shards))
+		return
+	}
+
+	res := merger.Result()
+	resp := &RouterResponse{
+		Query:          first.Query,
+		Mode:           first.Mode,
+		Flavor:         first.Flavor,
+		Rows:           res.Rows(),
+		Keys:           res.Keys,
+		Aggs:           res.Aggs,
+		Detected:       merger.Detected(),
+		ShardsAnswered: merger.Answered(),
+		ShardsTotal:    len(rt.shards),
+		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	resp.Degraded = resp.ShardsAnswered < resp.ShardsTotal
+	if resp.Degraded {
+		rt.m.degraded.Add(1)
+	}
+	if n := merger.Detections(); n > 0 {
+		rt.m.detected.Add(uint64(n))
+	}
+	rt.m.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scatter sends one query to one shard's /partial and classifies the
+// outcome.
+func (rt *Router) scatter(ctx context.Context, s *shardState, body []byte) shardReply {
+	rep := shardReply{shard: s}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url+"/partial", bytes.NewReader(body))
+	if err != nil {
+		rep.err = err
+		return rep
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rep.err = err
+		return rep
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
+	if err != nil {
+		rep.err = err
+		return rep
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		p := new(Partial)
+		if err := json.Unmarshal(data, p); err != nil {
+			rep.err = fmt.Errorf("shard %d partial: %w", s.index, err)
+			return rep
+		}
+		rep.partial = p
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// Shed or draining: the shard is alive but declining work. The
+		// request goes unanswered by this shard with no health penalty;
+		// the probe loop notices a real drain via /readyz.
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		rep.clientStatus, rep.clientBody = resp.StatusCode, data
+	default:
+		rep.err = fmt.Errorf("shard %d status %d", s.index, resp.StatusCode)
+	}
+	return rep
+}
+
+// handleInject forwards a fault-injection request to one healthy shard
+// (round-robin), so soak and smoke harnesses can plant flips through
+// the router without knowing the shard topology.
+func (rt *Router) handleInject(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	n := len(rt.shards)
+	for off := 0; off < n; off++ {
+		s := rt.shards[(int(rt.rr.Add(1))+off)%n]
+		if !s.Healthy() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, s.url+"/inject", bytes.NewReader(body))
+		if rerr != nil {
+			cancel()
+			writeError(w, http.StatusInternalServerError, "%v", rerr)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, derr := rt.client.Do(req)
+		if derr != nil {
+			cancel()
+			s.reportFailure(time.Now(), rt.cfg.QuarantineAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+			continue
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
+		resp.Body.Close()
+		cancel()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(data)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "no healthy shards")
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is ready while at least one shard is; a fully dark
+// cluster flips it to 503.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	for _, s := range rt.shards {
+		if s.Healthy() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ready\n"))
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_, _ = w.Write([]byte("no healthy shards\n"))
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("ahead_router_queries_total", "Merged queries answered 200.", rt.m.served.Load())
+	counter("ahead_router_queries_failed_total", "Queries the router could not answer.", rt.m.failed.Load())
+	counter("ahead_router_queries_degraded_total", "Queries answered from a subset of shards.", rt.m.degraded.Load())
+	counter("ahead_router_detected_errors_total", "Corruptions observed at the merge point (wire and shard-local).", rt.m.detected.Load())
+	counter("ahead_router_shard_requests_failed_total", "Scatter requests lost to shard failures.", rt.m.shardsFailed.Load())
+
+	labeled := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	labeled("ahead_router_shard_up", "Whether the shard is healthy (1) or quarantined (0).", "gauge")
+	for _, s := range rt.shards {
+		up := 0
+		if s.Healthy() {
+			up = 1
+		}
+		fmt.Fprintf(w, "ahead_router_shard_up{shard=\"%d\"} %d\n", s.index, up)
+	}
+	labeled("ahead_router_shard_quarantines_total", "Quarantine windows entered or extended per shard.", "counter")
+	for _, s := range rt.shards {
+		fmt.Fprintf(w, "ahead_router_shard_quarantines_total{shard=\"%d\"} %d\n", s.index, s.quarantines.Load())
+	}
+	labeled("ahead_router_shard_detected_errors", "Shard-local detection counter at last scrape.", "gauge")
+	for _, s := range rt.shards {
+		fmt.Fprintf(w, "ahead_router_shard_detected_errors{shard=\"%d\"} %d\n", s.index, s.detected.Load())
+	}
+}

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ahead/internal/an"
+	"ahead/internal/ops"
+)
+
+// WireVersion is the partial-aggregate wire-format version. The router
+// rejects any other value as malformed (a version skew is a deployment
+// error, not a bit flip).
+const WireVersion = 1
+
+// KeyCode hardens group-key components on the wire. Group keys obey
+// the GroupBy contract (each component below 2^16), so the strongest
+// published 32-bit code covers them with room to spare - the same code
+// that protects positions and error-vector entries in memory.
+var KeyCode = ops.PosCode
+
+// WireAggCode hardens aggregate sums whose in-memory form is already
+// plain (Unprotected, DMR, Early and Late soften before or at the
+// aggregation). 48 data bits match the widened accumulator domain of
+// the in-memory kernels (ops.SumGrouped), so every sum a plan can
+// produce fits.
+var WireAggCode = an.MustNew(32417, 48)
+
+// Partial is one shard's partial-aggregate response: group key tuples
+// and per-group sums, every word AN-hardened. Under Continuous and
+// Reencoding the aggregate words are the shard's in-memory accumulator
+// words shipped verbatim (code parameters in AggA/AggBits); for the
+// softened modes the shard re-hardens the plain sums with WireAggCode
+// before serialization. Either way nothing on the wire is a plain
+// value: a flip anywhere in Keys or Aggs is caught by the router's
+// merge-point verification, exactly like an in-memory flip.
+type Partial struct {
+	Version int    `json:"version"`
+	Query   string `json:"query"`
+	Mode    string `json:"mode"`
+	Flavor  string `json:"flavor"`
+	Shard   int    `json:"shard"`
+	Shards  int    `json:"shards"`
+	Rows    int    `json:"rows"`
+
+	// KeyA/KeyBits and AggA/AggBits are the AN code parameters of the
+	// key components and aggregate words below.
+	KeyA    uint64 `json:"key_a"`
+	KeyBits uint   `json:"key_bits"`
+	AggA    uint64 `json:"agg_a"`
+	AggBits uint   `json:"agg_bits"`
+
+	// Keys holds one hardened tuple per group (empty tuple for scalar
+	// aggregates); Aggs the hardened per-group sums, index-aligned.
+	Keys [][]uint64 `json:"keys"`
+	Aggs []uint64   `json:"aggs"`
+
+	// Detected carries the shard-local error log of the run (base
+	// column or vec: intermediate -> positions within this shard's
+	// slice), so in-shard detections surface in the merged response
+	// with shard attribution.
+	Detected  map[string][]uint64 `json:"detected,omitempty"`
+	ElapsedMS float64             `json:"elapsed_ms"`
+}
+
+// EncodePartial hardens one shard's captured aggregate state for the
+// wire. groups and aggs are the exec.Capture contents: index-aligned,
+// aggs still carrying the accumulator code under Continuous/Reencoding
+// and plain otherwise.
+func EncodePartial(query, mode, flavor string, shard ShardSpec, groups [][]uint64, aggs *ops.Vec) (*Partial, error) {
+	if aggs == nil || len(groups) != aggs.Len() {
+		return nil, fmt.Errorf("cluster: %d groups vs %d aggregates", len(groups), aggs.Len())
+	}
+	p := &Partial{
+		Version: WireVersion,
+		Query:   query,
+		Mode:    mode,
+		Flavor:  flavor,
+		Shard:   shard.Index,
+		Shards:  shard.Count,
+		Rows:    len(groups),
+		KeyA:    KeyCode.A(),
+		KeyBits: KeyCode.DataBits(),
+		Keys:    make([][]uint64, len(groups)),
+		Aggs:    make([]uint64, aggs.Len()),
+	}
+	if p.Shards == 0 {
+		p.Shards = 1
+	}
+	for i, tuple := range groups {
+		hk := make([]uint64, len(tuple))
+		for j, k := range tuple {
+			if k > KeyCode.MaxData() {
+				return nil, fmt.Errorf("cluster: group key component %d exceeds the wire key domain", k)
+			}
+			hk[j] = KeyCode.Encode(k)
+		}
+		p.Keys[i] = hk
+	}
+	if code := aggs.Code; code != nil {
+		// Already hardened in memory: ship the accumulator words as-is.
+		p.AggA, p.AggBits = code.A(), code.DataBits()
+		copy(p.Aggs, aggs.Vals)
+	} else {
+		p.AggA, p.AggBits = WireAggCode.A(), WireAggCode.DataBits()
+		for i, v := range aggs.Vals {
+			if v > WireAggCode.MaxData() {
+				return nil, fmt.Errorf("cluster: aggregate %d exceeds the wire sum domain", v)
+			}
+			p.Aggs[i] = WireAggCode.Encode(v)
+		}
+	}
+	return p, nil
+}
+
+// ShardLogName attributes a detection to a shard in the merged error
+// log: "shard2/lo_revenue" for an in-shard base-column detection,
+// "shard2/wire:aggs" for a flip caught in the response body itself.
+func ShardLogName(shard int, col string) string {
+	return "shard" + strconv.Itoa(shard) + "/" + col
+}
+
+// Wire pseudo-columns of the merge-point verification.
+const (
+	WireKeysCol = "wire:keys"
+	WireAggsCol = "wire:aggs"
+)
+
+// Merger accumulates verified shard partials into the cluster-wide
+// result. It is the cluster's Δ point: every key component and
+// aggregate word is checked here, corruptions recorded with shard
+// attribution, and only verified plain values enter the merge - the
+// additive merge mirrors Eq. 5's "sum of code words is the code word
+// of the sum" after per-shard decoding.
+type Merger struct {
+	keys     map[string][]uint64
+	sums     map[string]uint64
+	order    []string // first-seen merge order (Result sorts at the end)
+	detected map[string][]uint64
+	nDetect  int
+	answered int
+}
+
+// NewMerger returns an empty merger.
+func NewMerger() *Merger {
+	return &Merger{
+		keys:     make(map[string][]uint64),
+		sums:     make(map[string]uint64),
+		detected: make(map[string][]uint64),
+	}
+}
+
+func (m *Merger) record(shard int, col string, pos uint64) {
+	name := ShardLogName(shard, col)
+	m.detected[name] = append(m.detected[name], pos)
+	m.nDetect++
+}
+
+func packTuple(t []uint64) string {
+	b := make([]byte, 0, 16*len(t))
+	for _, k := range t {
+		b = strconv.AppendUint(b, k, 16)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// Add verifies and merges one shard's partial. It returns an error
+// only for malformed envelopes (version skew, shape mismatches, absurd
+// code parameters) - those mark the shard failed. Bit flips inside the
+// hardened payload are not errors: they are detected, recorded against
+// the shard, and the affected words excluded, exactly as a single-node
+// run excludes an in-memory corruption it detected.
+func (m *Merger) Add(p *Partial) error {
+	if p.Version != WireVersion {
+		return fmt.Errorf("cluster: wire version %d, want %d", p.Version, WireVersion)
+	}
+	if len(p.Keys) != len(p.Aggs) {
+		return fmt.Errorf("cluster: %d key tuples vs %d aggregates", len(p.Keys), len(p.Aggs))
+	}
+	keyCode, err := an.New(p.KeyA, p.KeyBits)
+	if err != nil {
+		return fmt.Errorf("cluster: shard key code: %w", err)
+	}
+	aggCode, err := an.New(p.AggA, p.AggBits)
+	if err != nil {
+		return fmt.Errorf("cluster: shard agg code: %w", err)
+	}
+	for i := range p.Keys {
+		tuple := make([]uint64, len(p.Keys[i]))
+		ok := true
+		for j, hk := range p.Keys[i] {
+			k, valid := keyCode.Check(hk)
+			if !valid {
+				ok = false
+				break
+			}
+			tuple[j] = k
+		}
+		if !ok {
+			// A corrupted key component cannot be attributed to a
+			// group; the row is lost and the loss is reported.
+			m.record(p.Shard, WireKeysCol, uint64(i))
+			continue
+		}
+		pk := packTuple(tuple)
+		if _, seen := m.sums[pk]; !seen {
+			m.keys[pk] = tuple
+			m.order = append(m.order, pk)
+		}
+		v, valid := aggCode.Check(p.Aggs[i])
+		if !valid {
+			// The group survives with the shard's contribution
+			// dropped - the same shape a single-node run produces
+			// when the final accumulator word fails its check.
+			m.record(p.Shard, WireAggsCol, uint64(i))
+			v = 0
+		}
+		m.sums[pk] += v
+	}
+	for col, positions := range p.Detected {
+		name := ShardLogName(p.Shard, col)
+		m.detected[name] = append(m.detected[name], positions...)
+		m.nDetect += len(positions)
+	}
+	m.answered++
+	return nil
+}
+
+// Answered returns the number of shards merged so far.
+func (m *Merger) Answered() int { return m.answered }
+
+// Detections returns the number of corruptions recorded (wire-level
+// plus re-attributed shard-local ones).
+func (m *Merger) Detections() int { return m.nDetect }
+
+// Detected returns the merged, shard-attributed error log (nil when
+// clean). Position lists are sorted for deterministic responses.
+func (m *Merger) Detected() map[string][]uint64 {
+	if len(m.detected) == 0 {
+		return nil
+	}
+	for _, positions := range m.detected {
+		sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	}
+	return m.detected
+}
+
+// Result assembles the merged relation in the canonical sorted form -
+// byte-identical to the single-node ops.Result of the same query when
+// every shard answered clean.
+func (m *Merger) Result() *ops.Result {
+	r := &ops.Result{
+		Keys: make([][]uint64, 0, len(m.order)),
+		Aggs: make([]uint64, 0, len(m.order)),
+	}
+	for _, pk := range m.order {
+		r.Keys = append(r.Keys, m.keys[pk])
+		r.Aggs = append(r.Aggs, m.sums[pk])
+	}
+	r.Sort()
+	return r
+}

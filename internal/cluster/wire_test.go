@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"testing"
+
+	"ahead/internal/ops"
+)
+
+// partialOf builds one shard's partial from plain groups and sums (the
+// softened-mode encode path).
+func partialOf(t *testing.T, shard int, groups [][]uint64, sums []uint64) *Partial {
+	t.Helper()
+	p, err := EncodePartial("Q", "Continuous", "scalar", ShardSpec{Index: shard, Count: 3},
+		groups, &ops.Vec{Name: "sum", Vals: sums})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMergeAdds checks the clean merge: group union across shards,
+// contributions added, canonical sort order, exact sums.
+func TestMergeAdds(t *testing.T) {
+	m := NewMerger()
+	if err := m.Add(partialOf(t, 0, [][]uint64{{1993, 7}, {1994, 2}}, []uint64{100, 5})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(partialOf(t, 1, [][]uint64{{1994, 2}, {1992, 1}}, []uint64{40, 9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(partialOf(t, 2, nil, nil)); err != nil { // empty shard
+		t.Fatal(err)
+	}
+	if m.Answered() != 3 || m.Detections() != 0 {
+		t.Fatalf("answered %d detections %d, want 3/0", m.Answered(), m.Detections())
+	}
+	res := m.Result()
+	want := &ops.Result{
+		Keys: [][]uint64{{1992, 1}, {1993, 7}, {1994, 2}},
+		Aggs: []uint64{9, 100, 45},
+	}
+	want.Sort()
+	if !want.Equal(res) {
+		t.Fatalf("merged %v/%v, want %v/%v", res.Keys, res.Aggs, want.Keys, want.Aggs)
+	}
+}
+
+// TestMergeScalar merges single-row scalar partials (empty key tuple).
+func TestMergeScalar(t *testing.T) {
+	m := NewMerger()
+	for shard, v := range []uint64{10, 20, 12} {
+		if err := m.Add(partialOf(t, shard, [][]uint64{{}}, []uint64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := m.Result()
+	if res.Rows() != 1 || res.Aggs[0] != 42 || len(res.Keys[0]) != 0 {
+		t.Fatalf("scalar merge = %v/%v, want one keyless row summing 42", res.Keys, res.Aggs)
+	}
+}
+
+// TestMergeHardenedAggs ships aggregate words under an in-memory
+// accumulator code (the Continuous/Reencoding path) and checks they
+// decode to the plain sums at the merge point.
+func TestMergeHardenedAggs(t *testing.T) {
+	vals := []uint64{WireAggCode.Encode(7), WireAggCode.Encode(11)}
+	p, err := EncodePartial("Q", "Continuous", "scalar", ShardSpec{Index: 0, Count: 3},
+		[][]uint64{{1}, {2}}, &ops.Vec{Name: "sum", Vals: vals, Code: WireAggCode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Aggs[0] != vals[0] {
+		t.Fatalf("hardened words must ship verbatim, got %d want %d", p.Aggs[0], vals[0])
+	}
+	m := NewMerger()
+	if err := m.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Result()
+	if res.Aggs[0] != 7 || res.Aggs[1] != 11 {
+		t.Fatalf("decoded aggs %v, want [7 11]", res.Aggs)
+	}
+}
+
+// TestWireFlipDetectedAndAttributed flips one bit in a shard's
+// serialized aggregate word and requires the merge to detect it,
+// attribute it to that shard, and keep the group with the corrupted
+// contribution dropped - the cross-process analogue of an in-memory
+// flip at the aggregation Δ point.
+func TestWireFlipDetectedAndAttributed(t *testing.T) {
+	for bit := uint(0); bit < 48; bit += 7 {
+		m := NewMerger()
+		good := partialOf(t, 0, [][]uint64{{1993}}, []uint64{100})
+		bad := partialOf(t, 2, [][]uint64{{1993}}, []uint64{40})
+		bad.Aggs[0] ^= 1 << bit
+		if err := m.Add(good); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Add(bad); err != nil {
+			t.Fatalf("bit %d: a payload flip must be detected, not an envelope error: %v", bit, err)
+		}
+		if m.Detections() != 1 {
+			t.Fatalf("bit %d: %d detections, want 1", bit, m.Detections())
+		}
+		det := m.Detected()
+		pos, ok := det[ShardLogName(2, WireAggsCol)]
+		if !ok || len(pos) != 1 || pos[0] != 0 {
+			t.Fatalf("bit %d: detection not attributed to shard 2: %v", bit, det)
+		}
+		res := m.Result()
+		if res.Rows() != 1 || res.Aggs[0] != 100 {
+			t.Fatalf("bit %d: merged %v/%v, want the clean shard's 100 alone", bit, res.Keys, res.Aggs)
+		}
+	}
+}
+
+// TestWireKeyFlipDropsRow flips a key component: the row cannot be
+// attributed to a group, so it is dropped and reported against the
+// shard's wire:keys pseudo-column.
+func TestWireKeyFlipDropsRow(t *testing.T) {
+	m := NewMerger()
+	bad := partialOf(t, 1, [][]uint64{{1993}, {1994}}, []uint64{5, 6})
+	bad.Keys[1][0] ^= 1 << 9
+	if err := m.Add(bad); err != nil {
+		t.Fatal(err)
+	}
+	det := m.Detected()
+	if pos := det[ShardLogName(1, WireKeysCol)]; len(pos) != 1 || pos[0] != 1 {
+		t.Fatalf("key flip not attributed: %v", det)
+	}
+	if res := m.Result(); res.Rows() != 1 || res.Keys[0][0] != 1993 {
+		t.Fatalf("corrupted-key row must drop, got %v", res.Keys)
+	}
+}
+
+// TestMergeShardLocalDetections re-attributes a shard's own error log
+// into the merged one under the shard prefix.
+func TestMergeShardLocalDetections(t *testing.T) {
+	p := partialOf(t, 1, [][]uint64{{1}}, []uint64{2})
+	p.Detected = map[string][]uint64{"lo_revenue": {17, 3}}
+	m := NewMerger()
+	if err := m.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	pos := m.Detected()[ShardLogName(1, "lo_revenue")]
+	if len(pos) != 2 || pos[0] != 3 || pos[1] != 17 {
+		t.Fatalf("shard-local log not merged sorted: %v", m.Detected())
+	}
+	if m.Detections() != 2 {
+		t.Fatalf("detections %d, want 2", m.Detections())
+	}
+}
+
+// TestMergeRejectsMalformed covers the envelope errors that mark a
+// shard failed rather than detected.
+func TestMergeRejectsMalformed(t *testing.T) {
+	m := NewMerger()
+	ver := partialOf(t, 0, nil, nil)
+	ver.Version = 2
+	if err := m.Add(ver); err == nil {
+		t.Fatal("version skew must be rejected")
+	}
+	shape := partialOf(t, 0, [][]uint64{{1}}, []uint64{2})
+	shape.Aggs = nil
+	if err := m.Add(shape); err == nil {
+		t.Fatal("keys/aggs shape mismatch must be rejected")
+	}
+	code := partialOf(t, 0, [][]uint64{{1}}, []uint64{2})
+	code.AggA = 0
+	if err := m.Add(code); err == nil {
+		t.Fatal("absurd code parameters must be rejected")
+	}
+	if m.Answered() != 0 {
+		t.Fatalf("rejected partials must not count as answered, got %d", m.Answered())
+	}
+}
+
+// TestEncodePartialRejectsOversized guards the wire code domains.
+func TestEncodePartialRejectsOversized(t *testing.T) {
+	if _, err := EncodePartial("Q", "m", "f", ShardSpec{}, [][]uint64{{1 << 33}},
+		&ops.Vec{Vals: []uint64{1}}); err == nil {
+		t.Fatal("key beyond the wire key domain must be rejected")
+	}
+	if _, err := EncodePartial("Q", "m", "f", ShardSpec{}, [][]uint64{{1}},
+		&ops.Vec{Vals: []uint64{1 << 50}}); err == nil {
+		t.Fatal("sum beyond the wire agg domain must be rejected")
+	}
+}

@@ -433,6 +433,27 @@ type runCfg struct {
 	transient bool
 	noFuse    bool
 	ctx       context.Context
+	capture   *Capture
+}
+
+// Capture receives the pre-softening aggregate state of a run: the
+// group key tuples and the aggregate vector exactly as the plan handed
+// them to Finish - under Continuous and Reencoding still AN-hardened
+// under the widened accumulator code. The cluster layer serializes this
+// state onto the wire instead of the softened Result, so partial
+// aggregates stay inside the coded domain until the router's merge
+// point (DESIGN.md §7). Groups and Aggs are index-aligned and unsorted
+// (Finish canonicalizes only the Result).
+type Capture struct {
+	Groups [][]uint64
+	Aggs   *ops.Vec
+}
+
+// WithCapture stashes the final pre-softening groups and aggregates of
+// the run into c. Replicated modes (DMR/TMR) capture the primary
+// replica; the voter still compares the softened results.
+func WithCapture(c *Capture) RunOption {
+	return func(cfg *runCfg) { cfg.capture = c }
 }
 
 // WithPool attaches a shared worker pool: the AN-aware kernels run
@@ -501,7 +522,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		if pool != nil && pool.Workers() > 1 {
 			return runReplicated(db, m, flavor, plan, pool, log, 2, cfg)
 		}
-		q1 := &Query{db: db, mode: m, flavor: flavor, log: log, noFuse: cfg.noFuse, ctx: cfg.ctx}
+		q1 := &Query{db: db, mode: m, flavor: flavor, log: log, noFuse: cfg.noFuse, ctx: cfg.ctx, capture: cfg.capture}
 		r1, err := plan(q1)
 		if err != nil {
 			return nil, log, err
@@ -521,7 +542,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		}
 		results := make([]*ops.Result, 3)
 		for i := range results {
-			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i, noFuse: cfg.noFuse, ctx: cfg.ctx}
+			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i, noFuse: cfg.noFuse, ctx: cfg.ctx, capture: cfg.capture}
 			r, err := plan(q)
 			if err != nil {
 				return nil, log, err
@@ -530,7 +551,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		}
 		return voteTMR(results, log)
 	default:
-		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool, noFuse: cfg.noFuse, ctx: cfg.ctx}
+		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool, noFuse: cfg.noFuse, ctx: cfg.ctx, capture: cfg.capture}
 		r, err := plan(q)
 		return r, log, err
 	}
@@ -552,7 +573,7 @@ func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool
 		i := i
 		jobs[i] = func() {
 			logs[i] = ops.NewErrorLog()
-			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool, noFuse: cfg.noFuse, ctx: cfg.ctx}
+			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool, noFuse: cfg.noFuse, ctx: cfg.ctx, capture: cfg.capture}
 			results[i], errs[i] = plan(q)
 		}
 	}
@@ -598,6 +619,7 @@ type Query struct {
 	pool       *Pool
 	noFuse     bool
 	ctx        context.Context
+	capture    *Capture
 }
 
 // Mode returns the execution mode.
@@ -725,14 +747,23 @@ func (q *Query) Reencode(v *ops.Vec) (*ops.Vec, error) {
 }
 
 // Finish assembles and canonicalizes a grouped result, applying the
-// mode-appropriate final softening of the aggregates.
+// mode-appropriate final softening of the aggregates. When the run
+// carries a Capture, the primary replica's pre-softening state is
+// stashed first - groups and the (possibly still hardened) aggregate
+// vector, index-aligned, before NewResult sorts its own copy.
 func (q *Query) Finish(groups [][]uint64, aggs *ops.Vec) (*ops.Result, error) {
+	if q.capture != nil && q.replicaIdx == 0 {
+		q.capture.Groups, q.capture.Aggs = groups, aggs
+	}
 	detect := q.mode == Continuous || q.mode == ContinuousReencoding || q.mode == LateOnetime
 	return ops.NewResult(groups, aggs, detect, q.log)
 }
 
 // FinishScalar is Finish for single-value results.
 func (q *Query) FinishScalar(agg *ops.Vec) (*ops.Result, error) {
+	if q.capture != nil && q.replicaIdx == 0 {
+		q.capture.Groups, q.capture.Aggs = [][]uint64{{}}, agg
+	}
 	detect := q.mode == Continuous || q.mode == ContinuousReencoding || q.mode == LateOnetime
 	return ops.ScalarResult(agg, detect, q.log)
 }

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ahead/internal/cluster"
 	"ahead/internal/exec"
 	"ahead/internal/faults"
 	"ahead/internal/ops"
@@ -61,6 +62,12 @@ type Config struct {
 	// MaxDeadline clamps requested deadlines (default 60s).
 	DefaultDeadline time.Duration
 	MaxDeadline     time.Duration
+
+	// Shard identifies this server's slice of a multi-shard cluster;
+	// the zero value means single-node. It only labels the partials
+	// served on POST /partial - the DB must already hold the matching
+	// partition (ssb.NewShardSuite).
+	Shard cluster.ShardSpec
 
 	// Injector enables POST /inject, which flips bits in hardened base
 	// columns so detection can be observed end to end. Nil disables
@@ -126,6 +133,7 @@ func New(cfg Config) (*Server, error) {
 		s.inject = in
 	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /partial", s.handlePartial)
 	s.mux.HandleFunc("POST /inject", s.handleInject)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -393,6 +401,110 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
 	s.metrics.served.Add(1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePartial serves one shard's contribution to a scatter-gather
+// query: the same admission, deadline, and cancellation pipeline as
+// /query, but the response is a cluster.Partial - group keys and
+// aggregate sums still AN-hardened, decoded and verified only at the
+// router's merge point. Healing is a whole-query concern and not
+// meaningful per shard, so heal requests are rejected here.
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.wg.Done()
+
+	var req QueryRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.metrics.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Heal {
+		s.metrics.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "heal is not supported on /partial")
+		return
+	}
+	name, plan, mode, flavor, status, err := s.resolve(&req)
+	if err != nil {
+		s.metrics.failed.Add(1)
+		writeError(w, status, "%v", err)
+		return
+	}
+	d, err := s.deadline(&req)
+	if err != nil {
+		s.metrics.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	release, status, err := s.admit(ctx)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			s.metrics.shed.Add(1)
+		} else {
+			s.metrics.canceled.Add(1)
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	part, runErr := s.runPartial(ctx, name, plan, mode, flavor, &req)
+	elapsed := time.Since(start)
+	s.metrics.latency.observe(elapsed)
+
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			s.metrics.canceled.Add(1)
+			writeError(w, statusForCtx(ctx.Err()), "query cancelled: %v", runErr)
+			return
+		}
+		s.metrics.failed.Add(1)
+		writeError(w, http.StatusInternalServerError, "query failed: %v", runErr)
+		return
+	}
+	part.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	s.metrics.served.Add(1)
+	writeJSON(w, http.StatusOK, part)
+}
+
+// runPartial executes the plan with the pre-softening aggregate state
+// captured and hardens it for the wire. The shard's own error log
+// rides along so in-shard detections reach the merged response.
+func (s *Server) runPartial(ctx context.Context, name string, plan exec.QueryFunc, mode exec.Mode, flavor ops.Flavor, req *QueryRequest) (*cluster.Partial, error) {
+	runOpts := []exec.RunOption{exec.WithContext(ctx), exec.WithFusion(!req.NoFuse)}
+	if s.cfg.Pool != nil {
+		runOpts = append(runOpts, exec.WithPool(s.cfg.Pool))
+	}
+	var capture exec.Capture
+	runOpts = append(runOpts, exec.WithCapture(&capture))
+
+	_, log, err := exec.Run(s.cfg.DB, mode, flavor, plan, runOpts...)
+	if err != nil {
+		return nil, err
+	}
+	part, err := cluster.EncodePartial(name, mode.String(), flavor.String(), s.cfg.Shard, capture.Groups, capture.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	if log.Count() > 0 {
+		s.metrics.detected.Add(uint64(log.Count()))
+		part.Detected = make(map[string][]uint64)
+		for _, col := range log.Columns() {
+			pos, perr := log.Positions(col)
+			if perr != nil {
+				return nil, perr
+			}
+			part.Detected[col] = pos
+		}
+	}
+	return part, nil
 }
 
 // run executes the resolved plan and shapes the response. Healing

@@ -412,28 +412,23 @@ func starGroupBy(q *exec.Query, sel *ops.Sel, joins []groupSpec, measure string)
 	if err != nil {
 		return nil, err
 	}
-	var sums *ops.Vec
-	if q.FuseOperators() {
-		// Fused tail: the measure column feeds the per-group sums
-		// directly, never materializing the gathered vector.
-		c, err := q.Col("lineorder", measure)
-		if err != nil {
-			return nil, err
-		}
-		sums, err = ops.FusedGatherSumGrouped(c, sel, gids, len(groups), q.Opts())
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		meas, err := gatherFact(q, measure, sel)
-		if err != nil {
-			return nil, err
-		}
-		meas = q.PreAggregate(meas)
-		sums, err = ops.SumGrouped(meas, gids, len(groups), q.Opts())
-		if err != nil {
-			return nil, err
-		}
+	// Always materialize from here: this tail only runs when a prior
+	// selection exists (the sel == nil fused case returned above), and
+	// the fused grouped-sum kernels index gids by selection position -
+	// a contract the gather cascade cannot uphold once a detected
+	// corruption makes gatherDim drop an entry, shrinking keys (and
+	// with them gids) out of alignment with sel. The materializing
+	// gather keeps alignment by construction: a corrupted position
+	// contributes zero and a log record instead of skewing its
+	// neighbours' groups.
+	meas, err := gatherFact(q, measure, sel)
+	if err != nil {
+		return nil, err
+	}
+	meas = q.PreAggregate(meas)
+	sums, err := ops.SumGrouped(meas, gids, len(groups), q.Opts())
+	if err != nil {
+		return nil, err
 	}
 	return q.Finish(groups, sums)
 }
@@ -470,35 +465,22 @@ func starGroupByProfit(q *exec.Query, sel *ops.Sel, joins []groupSpec) (*ops.Res
 	if err != nil {
 		return nil, err
 	}
-	var sums *ops.Vec
-	if q.FuseOperators() {
-		rev, err := q.Col("lineorder", "lo_revenue")
-		if err != nil {
-			return nil, err
-		}
-		cost, err := q.Col("lineorder", "lo_supplycost")
-		if err != nil {
-			return nil, err
-		}
-		sums, err = ops.FusedGatherSumDiffGrouped(rev, cost, sel, gids, len(groups), q.Opts())
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		rev, err := gatherFact(q, "lo_revenue", sel)
-		if err != nil {
-			return nil, err
-		}
-		cost, err := gatherFact(q, "lo_supplycost", sel)
-		if err != nil {
-			return nil, err
-		}
-		rev = q.PreAggregate(rev)
-		cost = q.PreAggregate(cost)
-		sums, err = ops.SumDiffGrouped(rev, cost, gids, len(groups), q.Opts())
-		if err != nil {
-			return nil, err
-		}
+	// Same materializing-only tail as starGroupBy: with a prior
+	// selection, the fused diff kernel's gids-by-selection-index
+	// contract breaks under detected corruption.
+	rev, err := gatherFact(q, "lo_revenue", sel)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := gatherFact(q, "lo_supplycost", sel)
+	if err != nil {
+		return nil, err
+	}
+	rev = q.PreAggregate(rev)
+	cost = q.PreAggregate(cost)
+	sums, err := ops.SumDiffGrouped(rev, cost, gids, len(groups), q.Opts())
+	if err != nil {
+		return nil, err
 	}
 	return q.Finish(groups, sums)
 }

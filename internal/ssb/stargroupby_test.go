@@ -1,0 +1,134 @@
+package ssb
+
+import (
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// selThenGroupBy is the plan shape that used to be mis-planned: a fact
+// selection computed before the grouped star tail. starGroupBy must
+// take the materializing path here - the fused grouped-sum kernels
+// index group ids by selection position, a contract that breaks once a
+// detected corruption shrinks the gathered key vectors.
+func selThenGroupBy(q *exec.Query) (*ops.Result, error) {
+	sel, err := filterTable(q, "lineorder", []pred{{col: "lo_discount", lo: 1, hi: 3}})
+	if err != nil {
+		return nil, err
+	}
+	dateHT, err := buildDim(q, "date", "d_datekey", []pred{{col: "d_year", lo: 1993, hi: 1994}})
+	if err != nil {
+		return nil, err
+	}
+	return starGroupBy(q, sel, []groupSpec{
+		{fkCol: "lo_orderdate", ht: dateHT, dimTable: "date", attr: "d_year"},
+	}, "lo_revenue")
+}
+
+// selThenGroupByProfit is the same shape over the Q4.x profit tail.
+func selThenGroupByProfit(q *exec.Query) (*ops.Result, error) {
+	sel, err := filterTable(q, "lineorder", []pred{{col: "lo_quantity", lo: 0, hi: 24}})
+	if err != nil {
+		return nil, err
+	}
+	dateHT, err := buildDim(q, "date", "d_datekey", []pred{{col: "d_year", lo: 1993, hi: 1994}})
+	if err != nil {
+		return nil, err
+	}
+	return starGroupByProfit(q, sel, []groupSpec{
+		{fkCol: "lo_orderdate", ht: dateHT, dimTable: "date", attr: "d_year"},
+	})
+}
+
+// TestSelectionThenGroupBy runs both selection-then-group-by shapes
+// under every hardened mode x {fused, materializing} x {serial,
+// pooled} and requires the unprotected reference result exactly, with
+// nothing logged on clean data. Before starGroupBy always materialized
+// its tail for precomputed selections, the fused configurations ran a
+// kernel whose alignment contract does not survive detected
+// corruption.
+func TestSelectionThenGroupBy(t *testing.T) {
+	data, err := Generate(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := exec.NewPool(4)
+	defer pool.Close()
+
+	plans := map[string]exec.QueryFunc{
+		"sel+groupby": selThenGroupBy,
+		"sel+profit":  selThenGroupByProfit,
+	}
+	for name, plan := range plans {
+		ref, _, err := exec.Run(db, exec.Unprotected, ops.Blocked, plan)
+		if err != nil {
+			t.Fatalf("%s unprotected: %v", name, err)
+		}
+		if ref.Rows() == 0 {
+			t.Fatalf("%s: empty reference result; test is vacuous", name)
+		}
+		for _, mode := range diffModes {
+			for _, fused := range []bool{true, false} {
+				for _, pooled := range []bool{false, true} {
+					opts := []exec.RunOption{exec.WithFusion(fused)}
+					if pooled {
+						opts = append(opts, exec.WithPool(pool))
+					}
+					got, log, err := exec.Run(db, mode, ops.Blocked, plan, opts...)
+					if err != nil {
+						t.Fatalf("%s %v fused=%v pooled=%v: %v", name, mode, fused, pooled, err)
+					}
+					if !ref.Equal(got) {
+						t.Fatalf("%s %v fused=%v pooled=%v diverges: %s",
+							name, mode, fused, pooled, firstDivergence(ref, got))
+					}
+					if log.Count() != 0 {
+						t.Fatalf("%s %v fused=%v pooled=%v: %d errors logged on clean data",
+							name, mode, fused, pooled, log.Count())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelectionThenGroupByFaults corrupts the measure columns and
+// requires the selection-then-group-by tail to detect and soften -
+// never to fail - under Continuous, fused and materializing alike.
+func TestSelectionThenGroupByFaults(t *testing.T) {
+	data, err := Generate(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"lo_revenue", "lo_supplycost"} {
+		c := db.Hardened("lineorder").MustColumn(col)
+		for i := 10; i < c.Len(); i += 211 {
+			c.Corrupt(i, 1<<9)
+		}
+	}
+	plans := map[string]exec.QueryFunc{
+		"sel+groupby": selThenGroupBy,
+		"sel+profit":  selThenGroupByProfit,
+	}
+	for name, plan := range plans {
+		for _, fused := range []bool{true, false} {
+			_, log, err := exec.Run(db, exec.Continuous, ops.Blocked, plan, exec.WithFusion(fused))
+			if err != nil {
+				t.Fatalf("%s fused=%v: corrupted run must soften, got error: %v", name, fused, err)
+			}
+			if log.Count() == 0 {
+				t.Fatalf("%s fused=%v: corruption went undetected", name, fused)
+			}
+		}
+	}
+}

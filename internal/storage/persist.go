@@ -22,10 +22,21 @@ import (
 // Format (all little-endian):
 //
 //	magic "AHEADCO1" | kind u8 | width u8 | codeA u64 | codeBits u16 |
-//	rows u64 | dict? | heap? | payload | xorFold u64 (unprotected only)
+//	rows u64 | dict? | heap? | payload | xorFold u64
 //
 // dict: count u32, then len-u32-prefixed strings (Str columns).
 // heap: size u64, then the raw bytes (StrHeap columns).
+//
+// The fold covers the header fields, the dictionary, the heap, and the
+// payload in file order, and is written for hardened columns too: AN
+// code words only protect the values, so without the fold a flipped row
+// count (loading a silently truncated column), a flipped dictionary
+// byte (silently renaming a value), or a flipped code parameter (every
+// word "decoding" to garbage) would pass every per-word check. At load
+// time a
+// fold mismatch on an unprotected column is an error; on a hardened
+// column it is an error only when no code word accounts for it -
+// value-granular detections keep their repair story.
 
 var persistMagic = [8]byte{'A', 'H', 'E', 'A', 'D', 'C', 'O', '1'}
 
@@ -47,6 +58,13 @@ func WriteColumn(w io.Writer, c *Column) error {
 			return err
 		}
 	}
+	// The header participates in the fold: a flipped code parameter
+	// makes every stored word decode to garbage that still divides
+	// cleanly, so code-word checks alone cannot arbitrate it.
+	var fold uint64
+	for _, v := range []uint64{uint64(c.kind), uint64(c.width), codeA, uint64(codeBits), uint64(c.Len())} {
+		fold = foldMix(fold, v)
+	}
 	if c.dict != nil {
 		if err := binary.Write(bw, binary.LittleEndian, uint32(c.dict.Size())); err != nil {
 			return err
@@ -58,6 +76,7 @@ func WriteColumn(w io.Writer, c *Column) error {
 			if _, err := bw.WriteString(s); err != nil {
 				return err
 			}
+			fold = foldStr(fold, s)
 		}
 	}
 	if c.heap != nil {
@@ -67,12 +86,12 @@ func WriteColumn(w io.Writer, c *Column) error {
 		if _, err := bw.Write(c.heap.buf); err != nil {
 			return err
 		}
+		fold = foldStr(fold, string(c.heap.buf))
 	}
-	var fold uint64
 	n := c.Len()
 	for i := 0; i < n; i++ {
 		v := c.Get(i)
-		fold ^= v + 0x9E3779B97F4A7C15 + fold<<6
+		fold = foldMix(fold, v)
 		var err error
 		switch c.width {
 		case 1:
@@ -88,13 +107,24 @@ func WriteColumn(w io.Writer, c *Column) error {
 			return err
 		}
 	}
-	if c.code == nil {
-		// Unprotected payloads carry the fold; hardened ones self-verify.
-		if err := binary.Write(bw, binary.LittleEndian, fold); err != nil {
-			return err
-		}
+	if err := binary.Write(bw, binary.LittleEndian, fold); err != nil {
+		return err
 	}
 	return bw.Flush()
+}
+
+// foldMix folds one value into the running checksum.
+func foldMix(fold, v uint64) uint64 {
+	return fold ^ (v + 0x9E3779B97F4A7C15 + fold<<6)
+}
+
+// foldStr folds a string's length and bytes.
+func foldStr(fold uint64, s string) uint64 {
+	fold = foldMix(fold, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		fold = foldMix(fold, uint64(s[i]))
+	}
+	return fold
 }
 
 // ReadColumn deserializes a column written by WriteColumn and verifies
@@ -123,6 +153,9 @@ func ReadColumn(r io.Reader, name string) (*Column, []uint64, error) {
 	if width != 1 && width != 2 && width != 4 && width != 8 {
 		return nil, nil, fmt.Errorf("storage: corrupt header: width %d", width)
 	}
+	if kind > uint8(StrHeap) {
+		return nil, nil, fmt.Errorf("storage: corrupt header: kind %d", kind)
+	}
 	c := &Column{name: name, kind: Kind(kind), width: int(width)}
 	if codeA != 0 {
 		code, err := an.New(codeA, uint(codeBits))
@@ -131,13 +164,20 @@ func ReadColumn(r io.Reader, name string) (*Column, []uint64, error) {
 		}
 		c.code = code
 	}
+	var fold uint64
+	for _, v := range []uint64{uint64(kind), uint64(width), codeA, uint64(codeBits), rows} {
+		fold = foldMix(fold, v)
+	}
 	if c.kind == Str {
 		var count uint32
 		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 			return nil, nil, err
 		}
-		vals := make([]string, count)
-		for i := range vals {
+		// Append rather than preallocate: count is untrusted until the
+		// trailing fold verifies, and a flipped high bit must fail at
+		// EOF, not in make().
+		vals := make([]string, 0, min(int(count), 4096))
+		for i := uint32(0); i < count; i++ {
 			var l uint32
 			if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
 				return nil, nil, err
@@ -149,7 +189,8 @@ func ReadColumn(r io.Reader, name string) (*Column, []uint64, error) {
 			if _, err := io.ReadFull(br, buf); err != nil {
 				return nil, nil, err
 			}
-			vals[i] = string(buf)
+			vals = append(vals, string(buf))
+			fold = foldStr(fold, vals[i])
 		}
 		c.dict = NewDict(vals)
 	}
@@ -161,15 +202,36 @@ func ReadColumn(r io.Reader, name string) (*Column, []uint64, error) {
 		if size > 1<<40 {
 			return nil, nil, fmt.Errorf("storage: corrupt heap size %d", size)
 		}
-		buf := make([]byte, size)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, nil, err
+		// Same untrusted-length discipline as the dictionary: read in
+		// bounded chunks so a corrupt size fails at EOF, not in make().
+		buf := make([]byte, 0, min(int(size), 1<<20))
+		var chunk [64 << 10]byte
+		for read := uint64(0); read < size; {
+			n := uint64(len(chunk))
+			if size-read < n {
+				n = size - read
+			}
+			if _, err := io.ReadFull(br, chunk[:n]); err != nil {
+				return nil, nil, err
+			}
+			buf = append(buf, chunk[:n]...)
+			read += n
 		}
 		c.heap = &StringHeap{buf: buf}
+		fold = foldStr(fold, string(buf))
 	}
-	c.grow(int(rows))
-	var fold uint64
+	// The row count is untrusted until the trailing fold verifies, so
+	// grow in chunks as values arrive: a flipped high bit runs out of
+	// input instead of allocating the claimed capacity.
+	const growChunk = 64 << 10
 	for i := 0; i < int(rows); i++ {
+		if i%growChunk == 0 {
+			n := int(rows) - i
+			if n > growChunk {
+				n = growChunk
+			}
+			c.grow(n)
+		}
 		var v uint64
 		switch c.width {
 		case 1:
@@ -195,23 +257,28 @@ func ReadColumn(r io.Reader, name string) (*Column, []uint64, error) {
 				return nil, nil, err
 			}
 		}
-		fold ^= v + 0x9E3779B97F4A7C15 + fold<<6
+		fold = foldMix(fold, v)
 		c.setU64(i, v)
 	}
+	var want uint64
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, nil, err
+	}
 	if c.code == nil {
-		var want uint64
-		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
-			return nil, nil, err
-		}
 		if fold != want {
 			return nil, nil, fmt.Errorf("storage: unprotected column %q failed its load-time checksum", name)
 		}
 		return c, nil, nil
 	}
-	// Hardened columns self-verify on value granularity.
+	// Hardened columns self-verify on value granularity; the fold only
+	// arbitrates what the code words cannot see (row count, dictionary
+	// and heap bytes, the fold word itself).
 	bad, err := c.CheckAll()
 	if err != nil {
 		return nil, nil, err
+	}
+	if fold != want && len(bad) == 0 {
+		return nil, nil, fmt.Errorf("storage: hardened column %q failed its load-time checksum with every code word valid (metadata corruption)", name)
 	}
 	return c, bad, nil
 }

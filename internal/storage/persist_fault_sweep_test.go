@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+// hardenedFixture builds a hardened numeric column with a distinctive
+// value pattern.
+func hardenedFixture(t *testing.T, rows int) *Column {
+	t.Helper()
+	c, err := NewColumn("v", ShortInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < uint64(rows); i++ {
+		c.Append(i * 13 % 50000)
+	}
+	h, err := c.Harden(an.MustNew(63877, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHardenedTableRoundTrip saves a table mixing hardened integers,
+// dictionary strings and hardened heap references, loads it back, and
+// requires every value, code parameter and string to survive intact
+// with nothing flagged.
+func TestHardenedTableRoundTrip(t *testing.T) {
+	tbl := NewTable("mini")
+	num := hardenedFixture(t, 200)
+	if err := tbl.AddColumn(num); err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"ASIA", "EUROPE", "AMERICA", "AFRICA", "MIDDLE EAST"}
+	prios := []string{"1-URGENT", "5-LOW", "3-MEDIUM", "2-HIGH", "4-NOT SPECIFIED"}
+	regionVals := make([]string, num.Len())
+	prioVals := make([]string, num.Len())
+	for i := range regionVals {
+		regionVals[i] = regions[i%len(regions)]
+		prioVals[i] = prios[i%len(prios)]
+	}
+	region := NewStrColumn("region", regionVals)
+	if err := tbl.AddColumn(region); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewHeapStrColumn("prio", prioVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := LargestCodeChooser(48)
+	hh, err := hs.Harden(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn(hh); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := SaveTable(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, bad, err := LoadTable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean table flagged: %v", bad)
+	}
+	if got.Rows() != tbl.Rows() {
+		t.Fatalf("rows %d vs %d", got.Rows(), tbl.Rows())
+	}
+	gn, err := got.Column("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gn.Code() == nil || gn.Code().A() != num.Code().A() || gn.Code().DataBits() != num.Code().DataBits() {
+		t.Fatalf("hardened code lost: %v", gn.Code())
+	}
+	for i := 0; i < num.Len(); i++ {
+		if gn.Value(i) != num.Value(i) {
+			t.Fatalf("value %d: %d vs %d", i, gn.Value(i), num.Value(i))
+		}
+	}
+	for _, name := range []string{"region", "prio"} {
+		want, _ := tbl.Column(name)
+		have, err := got.Column(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < want.Len(); i++ {
+			ws, _ := want.Str(i)
+			hs, err := have.Str(i)
+			if err != nil || hs != ws {
+				t.Fatalf("%s[%d]: %q vs %q (%v)", name, i, hs, ws, err)
+			}
+		}
+	}
+}
+
+// sweepOutcome classifies one corrupted load: the file either fails to
+// load, loads with corruption reported, or loads bit-identical in its
+// decoded contents (the flip hit dead bits). What must never happen is
+// a clean load of different data.
+func sweepOutcome(t *testing.T, raw []byte, orig *Column, where string) {
+	t.Helper()
+	got, bad, err := ReadColumn(bytes.NewReader(raw), orig.Name())
+	if err != nil || len(bad) > 0 {
+		return // detected: error or flagged positions
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("%s: silent load with %d rows instead of %d", where, got.Len(), orig.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if got.Value(i) != orig.Value(i) {
+			t.Fatalf("%s: silent load with value %d changed (%d vs %d)",
+				where, i, got.Value(i), orig.Value(i))
+		}
+	}
+	if (got.Code() == nil) != (orig.Code() == nil) {
+		t.Fatalf("%s: silent load changed hardening", where)
+	}
+}
+
+// TestPersistFaultSweepHardened flips every bit of every byte of a
+// serialized hardened column - magic, header, payload, fold - and
+// requires each load to error, to report the corruption, or to decode
+// identically. No flip may silently load different data.
+func TestPersistFaultSweepHardened(t *testing.T) {
+	orig := hardenedFixture(t, 64)
+	var buf bytes.Buffer
+	if err := WriteColumn(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for off := 0; off < len(clean); off++ {
+		for bit := 0; bit < 8; bit++ {
+			raw := bytes.Clone(clean)
+			raw[off] ^= 1 << bit
+			sweepOutcome(t, raw, orig, byteLabel(off, bit))
+		}
+	}
+}
+
+// TestPersistFaultSweepUnprotected is the same sweep over an
+// unprotected column: the load-time fold (or a parse error) must catch
+// every consequential flip.
+func TestPersistFaultSweepUnprotected(t *testing.T) {
+	orig, err := NewColumn("v", Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		orig.Append(i * 999)
+	}
+	var buf bytes.Buffer
+	if err := WriteColumn(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for off := 0; off < len(clean); off++ {
+		for bit := 0; bit < 8; bit++ {
+			raw := bytes.Clone(clean)
+			raw[off] ^= 1 << bit
+			sweepOutcome(t, raw, orig, byteLabel(off, bit))
+		}
+	}
+}
+
+// TestPersistFaultSweepDict sweeps a dictionary column: the fold now
+// covers the dictionary bytes, so a flipped string byte must fail the
+// load instead of silently renaming a value.
+func TestPersistFaultSweepDict(t *testing.T) {
+	orig := NewStrColumn("region", []string{"ASIA", "EUROPE", "ASIA", "AMERICA", "AFRICA", "EUROPE"})
+	var buf bytes.Buffer
+	if err := WriteColumn(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for off := 0; off < len(clean); off++ {
+		for bit := 0; bit < 8; bit++ {
+			raw := bytes.Clone(clean)
+			raw[off] ^= 1 << bit
+			got, bad, err := ReadColumn(bytes.NewReader(raw), orig.Name())
+			if err != nil || len(bad) > 0 {
+				continue
+			}
+			if got.Len() != orig.Len() {
+				t.Fatalf("%s: silent load with %d rows", byteLabel(off, bit), got.Len())
+			}
+			for i := 0; i < orig.Len(); i++ {
+				want, _ := orig.Str(i)
+				have, serr := got.Str(i)
+				if serr != nil || have != want {
+					t.Fatalf("%s: silent load renamed row %d: %q vs %q (%v)",
+						byteLabel(off, bit), i, have, want, serr)
+				}
+			}
+		}
+	}
+}
+
+// TestPersistTruncationSweep cuts the serialized column at every
+// prefix length and requires each truncated load to fail - the fold
+// trails the payload, so no strict prefix parses.
+func TestPersistTruncationSweep(t *testing.T) {
+	orig := hardenedFixture(t, 64)
+	var buf bytes.Buffer
+	if err := WriteColumn(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for n := 0; n < len(clean); n++ {
+		if _, _, err := ReadColumn(bytes.NewReader(clean[:n]), "v"); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", n, len(clean))
+		}
+	}
+}
+
+// TestLoadTableFaultCases exercises the table-level wrappers: a
+// corrupted magic, a truncated file, and a flipped payload bit must
+// error or report - and the pre-corruption table must load clean.
+func TestLoadTableFaultCases(t *testing.T) {
+	tbl := NewTable("mini")
+	if err := tbl.AddColumn(hardenedFixture(t, 128)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveTable(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "v.col")
+	clean, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte, wantDetect bool) {
+		t.Helper()
+		if err := os.WriteFile(file, mutate(bytes.Clone(clean)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, bad, err := LoadTable(dir)
+		if err == nil && len(bad) == 0 {
+			t.Fatalf("%s: table loaded silently", name)
+		}
+		if wantDetect && err != nil {
+			t.Fatalf("%s: want value-granular detection, got refusal: %v", name, err)
+		}
+		if err := os.WriteFile(file, clean, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("corrupted magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, false)
+	check("truncated file", func(b []byte) []byte { return b[:len(b)-9] }, false)
+	check("flipped payload bit", func(b []byte) []byte { b[len(b)-100] ^= 1 << 4; return b }, true)
+
+	if _, bad, err := LoadTable(dir); err != nil || len(bad) != 0 {
+		t.Fatalf("restored table no longer loads clean: %v %v", err, bad)
+	}
+}
+
+func byteLabel(off, bit int) string {
+	return "byte " + itoa(off) + " bit " + itoa(bit)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

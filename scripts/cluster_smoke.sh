@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Cluster smoke gate (run by `make cluster-smoke` and the CI
+# cluster-smoke job), in three acts:
+#
+#   1. Differential: 3 shards + router + a single-node reference at
+#      SF 0.01. Every merged result the router returns must match the
+#      reference byte for byte at full 3/3 shard coverage, with zero
+#      failed queries and zero detections.
+#   2. Injection: the load generator plants faults through the router's
+#      /inject relay. Queries must keep succeeding at 3/3 coverage and
+#      the corruptions must surface in the router's merge-point
+#      detection counter - never as failures.
+#   3. Shard loss: kill one shard. The router must quarantine it and
+#      keep answering in explicit degraded mode (2/3 coverage), stay
+#      ready, and then drain cleanly on SIGTERM.
+set -euo pipefail
+
+REF_ADDR=127.0.0.1:18100
+S1_ADDR=127.0.0.1:18101
+S2_ADDR=127.0.0.1:18102
+S3_ADDR=127.0.0.1:18103
+RT_ADDR=127.0.0.1:18090
+REF=http://$REF_ADDR
+RT=http://$RT_ADDR
+
+REF_LOG=$(mktemp) S1_LOG=$(mktemp) S2_LOG=$(mktemp) S3_LOG=$(mktemp) RT_LOG=$(mktemp)
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
+    echo "--- router log ---"; cat "$RT_LOG"
+    rm -f "$REF_LOG" "$S1_LOG" "$S2_LOG" "$S3_LOG" "$RT_LOG"
+}
+trap cleanup EXIT
+
+go build -o bin/ahead-serve ./cmd/ahead-serve
+go build -o bin/ahead-router ./cmd/ahead-router
+go build -o bin/ahead-loadgen ./cmd/ahead-loadgen
+
+wait_ready() {
+    for _ in $(seq 1 120); do
+        if curl -fsS "$1/readyz" >/dev/null 2>&1; then return 0; fi
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "FAIL: $3 died during startup" >&2; exit 1
+        fi
+        sleep 0.5
+    done
+    echo "FAIL: $3 never became ready" >&2; exit 1
+}
+
+metric() { echo "$2" | awk -v m="$1" '$1 == m { print $2 }'; }
+
+echo "=== boot: 3 shards + single-node reference + router ==="
+./bin/ahead-serve -addr "$REF_ADDR" -sf 0.01 >"$REF_LOG" 2>&1 &
+REF_PID=$!; PIDS+=("$REF_PID")
+./bin/ahead-serve -addr "$S1_ADDR" -sf 0.01 -shard 1/3 -inject-seed 42 >"$S1_LOG" 2>&1 &
+S1_PID=$!; PIDS+=("$S1_PID")
+./bin/ahead-serve -addr "$S2_ADDR" -sf 0.01 -shard 2/3 -inject-seed 43 >"$S2_LOG" 2>&1 &
+S2_PID=$!; PIDS+=("$S2_PID")
+./bin/ahead-serve -addr "$S3_ADDR" -sf 0.01 -shard 3/3 -inject-seed 44 >"$S3_LOG" 2>&1 &
+S3_PID=$!; PIDS+=("$S3_PID")
+wait_ready "$REF" "$REF_PID" reference
+wait_ready "http://$S1_ADDR" "$S1_PID" shard1
+wait_ready "http://$S2_ADDR" "$S2_PID" shard2
+wait_ready "http://$S3_ADDR" "$S3_PID" shard3
+
+./bin/ahead-router -addr "$RT_ADDR" \
+    -shards "http://$S1_ADDR,http://$S2_ADDR,http://$S3_ADDR" \
+    -probe-interval 200ms -quarantine-after 3 -backoff-base 2s >"$RT_LOG" 2>&1 &
+RT_PID=$!; PIDS+=("$RT_PID")
+wait_ready "$RT" "$RT_PID" router
+
+echo "=== act 1: merged results must equal the single-node reference ==="
+./bin/ahead-loadgen -addr "$RT" -concurrency 16 -duration 10s -seed 7 \
+    -reference "$REF" -expect-shards 3/3
+
+METRICS=$(curl -fsS "$RT/metrics")
+SERVED=$(metric ahead_router_queries_total "$METRICS")
+FAILED=$(metric ahead_router_queries_failed_total "$METRICS")
+DETECTED=$(metric ahead_router_detected_errors_total "$METRICS")
+[ "$SERVED" -gt 0 ] || { echo "FAIL: router served nothing" >&2; exit 1; }
+[ "$FAILED" -eq 0 ] || { echo "FAIL: $FAILED router queries failed" >&2; exit 1; }
+[ "$DETECTED" -eq 0 ] || { echo "FAIL: $DETECTED detections without injection" >&2; exit 1; }
+
+echo "=== act 2: injected faults must be detected at the merge, not failed ==="
+./bin/ahead-loadgen -addr "$RT" -concurrency 16 -duration 10s -seed 11 \
+    -inject-rate 0.05 -expect-shards 3/3
+
+METRICS=$(curl -fsS "$RT/metrics")
+echo "$METRICS" | grep -E '^ahead_router' || true
+FAILED=$(metric ahead_router_queries_failed_total "$METRICS")
+DETECTED=$(metric ahead_router_detected_errors_total "$METRICS")
+[ "$FAILED" -eq 0 ] || { echo "FAIL: $FAILED router queries failed under injection" >&2; exit 1; }
+[ "$DETECTED" -gt 0 ] || { echo "FAIL: injected faults never surfaced at the merge" >&2; exit 1; }
+
+echo "=== act 3: shard loss must degrade service, not break it ==="
+kill -9 "$S3_PID"
+# Give the probe loop time to accumulate consecutive failures and
+# quarantine the dead shard (200ms probes, threshold 3).
+sleep 3
+
+./bin/ahead-loadgen -addr "$RT" -concurrency 8 -duration 5s -seed 13 \
+    -expect-shards 2/3
+
+METRICS=$(curl -fsS "$RT/metrics")
+DEGRADED=$(metric ahead_router_queries_degraded_total "$METRICS")
+UP3=$(echo "$METRICS" | awk '$1 == "ahead_router_shard_up{shard=\"2\"}" { print $2 }')
+QUAR3=$(echo "$METRICS" | awk '$1 == "ahead_router_shard_quarantines_total{shard=\"2\"}" { print $2 }')
+[ "$DEGRADED" -gt 0 ] || { echo "FAIL: no degraded responses after shard loss" >&2; exit 1; }
+[ "$UP3" = 0 ] || { echo "FAIL: dead shard still marked up" >&2; exit 1; }
+[ "$QUAR3" -gt 0 ] || { echo "FAIL: dead shard never quarantined" >&2; exit 1; }
+curl -fsS "$RT/readyz" >/dev/null || { echo "FAIL: router not ready in degraded mode" >&2; exit 1; }
+
+echo "--- graceful drain ---"
+kill -TERM "$RT_PID"
+for _ in $(seq 1 60); do
+    if ! kill -0 "$RT_PID" 2>/dev/null; then break; fi
+    sleep 0.5
+done
+if kill -0 "$RT_PID" 2>/dev/null; then
+    echo "FAIL: router did not drain within 30s" >&2; exit 1
+fi
+wait "$RT_PID" || true
+grep -q '^bye$' "$RT_LOG" || { echo "FAIL: router exited without draining" >&2; exit 1; }
+
+for spec in "$S1_PID:$S1_LOG:shard1" "$S2_PID:$S2_LOG:shard2" "$REF_PID:$REF_LOG:reference"; do
+    pid=${spec%%:*}; rest=${spec#*:}; log=${rest%%:*}; name=${rest#*:}
+    kill -TERM "$pid"
+    for _ in $(seq 1 60); do
+        if ! kill -0 "$pid" 2>/dev/null; then break; fi
+        sleep 0.5
+    done
+    wait "$pid" || true
+    grep -q '^bye$' "$log" || { echo "FAIL: $name exited without draining" >&2; exit 1; }
+done
+
+echo "cluster-smoke OK: served=$SERVED detected=$DETECTED degraded=$DEGRADED"
