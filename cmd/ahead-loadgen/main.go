@@ -45,9 +45,12 @@ type queryResponse struct {
 		Repaired map[string][]uint64 `json:"repaired,omitempty"`
 		Degraded bool                `json:"degraded,omitempty"`
 	} `json:"recovery,omitempty"`
-	// Coverage fields present only in router responses.
+	// Coverage fields present only in router responses. Degraded is
+	// the router's own claim that some slice went unanswered - it must
+	// agree with the counts.
 	ShardsAnswered int     `json:"shards_answered,omitempty"`
 	ShardsTotal    int     `json:"shards_total,omitempty"`
+	Degraded       bool    `json:"degraded,omitempty"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
 }
 
@@ -91,6 +94,10 @@ type tally struct {
 	mismatches    int
 	refErrors     int
 	shardMismatch int
+	// Router coverage observations: responses flagged degraded, and
+	// responses whose degraded flag contradicts their own counts.
+	clusterDegraded int
+	flagConflicts   int
 }
 
 func newTally() *tally { return &tally{statuses: make(map[int]int)} }
@@ -109,6 +116,8 @@ func (t *tally) merge(o *tally) {
 	t.mismatches += o.mismatches
 	t.refErrors += o.refErrors
 	t.shardMismatch += o.shardMismatch
+	t.clusterDegraded += o.clusterDegraded
+	t.flagConflicts += o.flagConflicts
 }
 
 func main() {
@@ -256,6 +265,12 @@ func runOne(client *http.Client, addr string, req queryRequest, tl *tally, ck ch
 	if ck.wantTotal > 0 && (qr.ShardsAnswered != ck.wantAnswered || qr.ShardsTotal != ck.wantTotal) {
 		tl.shardMismatch++
 	}
+	if qr.Degraded {
+		tl.clusterDegraded++
+	}
+	if qr.ShardsTotal > 0 && qr.Degraded != (qr.ShardsAnswered < qr.ShardsTotal) {
+		tl.flagConflicts++
+	}
 	if ck.reference != "" {
 		ref, rerr := fetchReference(client, ck.reference, body)
 		switch {
@@ -337,6 +352,9 @@ func report(t *tally, elapsed time.Duration, concurrency int) bool {
 	fmt.Printf("faults injected %d\n", t.injected)
 	fmt.Printf("detected        %d positions\n", t.detected)
 	fmt.Printf("repaired        %d positions (%d retries, %d degraded)\n", t.repaired, t.retries, t.degraded)
+	if t.clusterDegraded > 0 {
+		fmt.Printf("cluster         %d responses with degraded coverage\n", t.clusterDegraded)
+	}
 
 	ok := true
 	for c := range t.statuses {
@@ -362,6 +380,10 @@ func report(t *tally, elapsed time.Duration, concurrency int) bool {
 	}
 	if t.shardMismatch > 0 {
 		fmt.Printf("FAIL: %d responses missed the expected shard coverage\n", t.shardMismatch)
+		ok = false
+	}
+	if t.flagConflicts > 0 {
+		fmt.Printf("FAIL: %d responses whose degraded flag contradicts shards_answered/shards_total\n", t.flagConflicts)
 		ok = false
 	}
 	if served == 0 {

@@ -8,11 +8,22 @@
 //	ahead-router -addr :8080 \
 //	    -shards http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
 //
-// Shard health is probed continuously; a shard that fails consecutive
-// probes (or scatter requests) is quarantined with exponential-backoff
-// re-admission, and the cluster degrades to partial results - every
-// response carries shards_answered/shards_total so clients see the
-// coverage they got.
+// Each comma-separated slice may list replicas separated by "|", the
+// preferred one first:
+//
+//	ahead-router -addr :8080 \
+//	    -shards 'http://127.0.0.1:8081|http://127.0.0.1:9081,http://127.0.0.1:8082|http://127.0.0.1:9082'
+//
+// Shard health is probed continuously; a replica that fails
+// consecutive probes (or scatter requests) is quarantined with
+// exponential-backoff re-admission. With replicas configured the
+// router self-heals: policies promote a healthy peer when the
+// preferred replica is lost (optionally invoking -restart-cmd), slow
+// primaries are hedged after -hedge-delay, and shed (429/503) slices
+// are retried on a peer immediately. Only when a whole slice is out
+// does the cluster degrade to partial results - every response
+// carries shards_answered/shards_total so clients see the coverage
+// they got, and GET /alerts exposes the remediation history.
 package main
 
 import (
@@ -40,23 +51,43 @@ func main() {
 		quarantineAfter = flag.Int("quarantine-after", 3, "consecutive failures before quarantine")
 		backoffBase     = flag.Duration("backoff-base", 2*time.Second, "initial quarantine window")
 		backoffMax      = flag.Duration("backoff-max", 30*time.Second, "quarantine window cap")
+		recoverAfter    = flag.Int("recover-after", 3, "consecutive healthy probes that decay one backoff level")
+		hedgeDelay      = flag.Duration("hedge-delay", 100*time.Millisecond, "wait before hedging a slice request to its replica (0 disables)")
+		restartCmd      = flag.String("restart-cmd", "", "shell hook run when a replica exceeds its quarantine budget (gets AHEAD_SHARD_URL, AHEAD_SLICE, AHEAD_REPLICA)")
 	)
 	flag.Parse()
 
-	var urls []string
-	for _, u := range strings.Split(*shards, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
+	var slices [][]string
+	replicas := 0
+	for _, group := range strings.Split(*shards, ",") {
+		var reps []string
+		for _, u := range strings.Split(group, "|") {
+			if u = strings.TrimSpace(u); u != "" {
+				reps = append(reps, u)
+			}
+		}
+		if len(reps) > 0 {
+			slices = append(slices, reps)
+			replicas += len(reps)
 		}
 	}
+	// The config treats 0 as "use the default"; the flag treats 0 as
+	// "hedging off".
+	hedge := *hedgeDelay
+	if hedge <= 0 {
+		hedge = -1
+	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
-		Shards:          urls,
+		Slices:          slices,
 		RequestTimeout:  *requestTimeout,
 		ProbeInterval:   *probeInterval,
 		ProbeTimeout:    *probeTimeout,
 		QuarantineAfter: *quarantineAfter,
 		BackoffBase:     *backoffBase,
 		BackoffMax:      *backoffMax,
+		RecoverAfter:    *recoverAfter,
+		HedgeDelay:      hedge,
+		RestartCommand:  *restartCmd,
 	})
 	if err != nil {
 		log.Fatalf("configure router: %v", err)
@@ -70,7 +101,7 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("routing on %s over %d shards", *addr, len(urls))
+	log.Printf("routing on %s over %d slices (%d replicas)", *addr, len(slices), replicas)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

@@ -12,7 +12,10 @@
 // With -shard i/n the server owns only its hash-assigned slice of the
 // lineorder fact table (dimensions replicated) and additionally serves
 // POST /partial, the hardened partial-aggregate endpoint the
-// ahead-router scatter-gathers over.
+// ahead-router scatter-gathers over. -replica labels which replica of
+// the slice this instance is: replicas of one slice build identical
+// partitions (same sf/seed/shard), so the router can hedge requests
+// across them and merge whichever answers first.
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 		injectSeed   = flag.Int64("inject-seed", 0, "enable POST /inject with this fault seed (0 = disabled)")
 		drainWait    = flag.Duration("drain", 30*time.Second, "max graceful-drain wait on SIGTERM")
 		shardSpec    = flag.String("shard", "", "serve one shard of a cluster, 1-based \"i/n\" (e.g. 2/3); empty = single node")
+		replica      = flag.Int("replica", 0, "replica index of this shard's slice (0-based, informational)")
 	)
 	flag.Parse()
 
@@ -55,10 +59,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("parse -shard: %v", err)
 	}
+	if *replica < 0 {
+		log.Fatalf("-replica must be >= 0, got %d", *replica)
+	}
 
-	log.Printf("generating SSB at SF %g (seed %d, shard %s)...", *sf, *seed, shard)
+	log.Printf("generating SSB at SF %g (seed %d, shard %s, replica %d)...", *sf, *seed, shard, *replica)
 	start := time.Now()
-	suite, data, err := ssb.NewShardSuite(*sf, *seed, 1, shard)
+	suite, data, err := ssb.NewReplicaSuite(*sf, *seed, 1, shard, *replica)
 	if err != nil {
 		log.Fatalf("build database: %v", err)
 	}
@@ -78,6 +85,7 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		Shard:           shard,
+		Replica:         *replica,
 	}
 	if *injectSeed != 0 {
 		cfg.Injector = faults.NewInjector(*injectSeed)

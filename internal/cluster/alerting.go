@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Alert is one structured notification out of the remediation
+// pipeline: every health transition raises one, and every remediation
+// action raises another reporting what was done about it (Err set when
+// the action itself failed, e.g. a restart hook exiting nonzero).
+type Alert struct {
+	// Kind is "transition" or "remediation".
+	Kind       string     `json:"kind"`
+	Transition Transition `json:"transition"`
+	// Action is set on remediation alerts.
+	Action *Action `json:"action,omitempty"`
+	Err    string  `json:"error,omitempty"`
+	At     time.Time `json:"at"`
+}
+
+// AlertFunc receives alerts synchronously on the remediation
+// goroutine; implementations must not block (hand off to a channel or
+// log line). It is the integration point for paging, Slack hooks, or
+// test capture.
+type AlertFunc func(Alert)
+
+// alertRingSize bounds the in-memory alert history served on /alerts.
+const alertRingSize = 256
+
+// Alerter fans alerts out to the registered callbacks and keeps the
+// last alertRingSize of them for GET /alerts - the alert half of
+// evaluate -> remediate -> alert. Safe for concurrent use.
+type Alerter struct {
+	mu     sync.Mutex
+	cbs    []AlertFunc
+	recent []Alert // ring, recent[next] is the oldest once wrapped
+	next   int
+	total  uint64
+}
+
+// NewAlerter returns an alerter notifying the given callbacks (nil
+// entries are skipped).
+func NewAlerter(cbs ...AlertFunc) *Alerter {
+	a := &Alerter{}
+	for _, cb := range cbs {
+		if cb != nil {
+			a.cbs = append(a.cbs, cb)
+		}
+	}
+	return a
+}
+
+// Notify records the alert and invokes every callback.
+func (a *Alerter) Notify(al Alert) {
+	a.mu.Lock()
+	if len(a.recent) < alertRingSize {
+		a.recent = append(a.recent, al)
+	} else {
+		a.recent[a.next] = al
+	}
+	a.next = (a.next + 1) % alertRingSize
+	a.total++
+	cbs := a.cbs
+	a.mu.Unlock()
+	for _, cb := range cbs {
+		cb(al)
+	}
+}
+
+// Total returns the number of alerts raised since start.
+func (a *Alerter) Total() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Recent returns the retained alerts, oldest first.
+func (a *Alerter) Recent() []Alert {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Alert, 0, len(a.recent))
+	if len(a.recent) == alertRingSize {
+		out = append(out, a.recent[a.next:]...)
+		out = append(out, a.recent[:a.next]...)
+	} else {
+		out = append(out, a.recent...)
+	}
+	return out
+}

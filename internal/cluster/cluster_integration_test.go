@@ -372,14 +372,131 @@ func TestClusterDegradedOnShardLoss(t *testing.T) {
 		}
 		metrics, _ := io.ReadAll(mresp.Body)
 		mresp.Body.Close()
-		if strings.Contains(string(metrics), `ahead_router_shard_up{shard="2"} 0`) &&
-			strings.Contains(string(metrics), `ahead_router_shard_up{shard="0"} 1`) {
+		if strings.Contains(string(metrics), `ahead_router_shard_up{shard="2",replica="0"} 0`) &&
+			strings.Contains(string(metrics), `ahead_router_shard_up{shard="0",replica="0"} 1`) {
 			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("shard 2 never quarantined on /metrics:\n%s", metrics)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterReplicaTakeover is the self-healing acceptance gate: with
+// two replicas per slice, killing one slice's primary must NOT degrade
+// the cluster - the replica takes over (promoted by policy), every
+// query keeps full 3/3 coverage with results byte-identical to the
+// single-node reference, and the quarantine transition is recorded on
+// /alerts.
+func TestClusterReplicaTakeover(t *testing.T) {
+	buildFixture(t)
+	slices := make([][]string, fixtureShards)
+	var primaries []*httptest.Server
+	for i := 0; i < fixtureShards; i++ {
+		var reps []string
+		for r := 0; r < 2; r++ {
+			// Replicas of one slice share the read-only fixture DB: the
+			// same partition NewReplicaSuite would rebuild.
+			srv, err := server.New(server.Config{
+				DB:      fixture.shardDB[i],
+				Shard:   cluster.ShardSpec{Index: i, Count: fixtureShards},
+				Replica: r,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv)
+			t.Cleanup(ts.Close)
+			reps = append(reps, ts.URL)
+			if r == 0 {
+				primaries = append(primaries, ts)
+			}
+		}
+		slices[i] = reps
+	}
+	rts := bootRouter(t, cluster.RouterConfig{
+		Slices:          slices,
+		ProbeInterval:   20 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+		QuarantineAfter: 2,
+		BackoffBase:     time.Hour, // the dead primary stays out for the test's lifetime
+		RequestTimeout:  10 * time.Second,
+		HedgeDelay:      50 * time.Millisecond,
+	})
+
+	want, _, err := exec.Run(fixture.refDB, exec.Continuous, ops.Scalar, ssb.Queries["Q4.2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, status := postQuery(t, rts.URL, "Q4.2", "continuous")
+	if status != http.StatusOK || got.Degraded || got.ShardsAnswered != fixtureShards {
+		t.Fatalf("healthy replica cluster answered %d/%d degraded=%v (status %d)",
+			got.ShardsAnswered, got.ShardsTotal, got.Degraded, status)
+	}
+	if diff := sameRelation(want, got.Keys, got.Aggs); diff != "" {
+		t.Fatalf("replica cluster diverges from single node: %s", diff)
+	}
+
+	// Kill slice 1's primary. Every subsequent query must still answer
+	// 3/3 and match the reference: the hedge covers the window before
+	// quarantine, the replica covers everything after.
+	primaries[1].CloseClientConnections()
+	primaries[1].Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	promoted := false
+	for !promoted {
+		got, status = postQuery(t, rts.URL, "Q4.2", "continuous")
+		if status != http.StatusOK {
+			t.Fatalf("query failed (status %d) during primary loss; the replica must absorb it", status)
+		}
+		if got.Degraded || got.ShardsAnswered != fixtureShards {
+			t.Fatalf("coverage dropped to %d/%d degraded=%v: primary loss with a live replica must not degrade",
+				got.ShardsAnswered, got.ShardsTotal, got.Degraded)
+		}
+		if diff := sameRelation(want, got.Keys, got.Aggs); diff != "" {
+			t.Fatalf("takeover result diverges from single node: %s", diff)
+		}
+		mresp, err := http.Get(rts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics, _ := io.ReadAll(mresp.Body)
+		mresp.Body.Close()
+		promoted = strings.Contains(string(metrics), `ahead_router_slice_preferred_replica{shard="1"} 1`) &&
+			strings.Contains(string(metrics), `ahead_router_shard_up{shard="1",replica="0"} 0`)
+		if !promoted {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica 1.1 never promoted:\n%s", metrics)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The transition and its remediation are on the alert history.
+	aresp, err := http.Get(rts.URL + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	body := string(alerts)
+	if !strings.Contains(body, `"quarantined"`) || !strings.Contains(body, `"promote"`) {
+		t.Fatalf("/alerts missing the takeover history: %s", body)
+	}
+
+	// Steady state after promotion: still byte-identical, still 3/3.
+	got, status = postQuery(t, rts.URL, "Q4.2", "continuous")
+	if status != http.StatusOK || got.Degraded || got.ShardsAnswered != fixtureShards {
+		t.Fatalf("post-promotion coverage %d/%d degraded=%v (status %d)",
+			got.ShardsAnswered, got.ShardsTotal, got.Degraded, status)
+	}
+	if diff := sameRelation(want, got.Keys, got.Aggs); diff != "" {
+		t.Fatalf("post-promotion result diverges: %s", diff)
+	}
+	if len(got.Detected) != 0 {
+		t.Fatalf("takeover produced detections on clean data: %v", got.Detected)
 	}
 }
 

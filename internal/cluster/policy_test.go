@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// viewOf builds a two-replica, two-slice view with the given health;
+// preferred is replica 0 everywhere unless overridden.
+func viewOf(healthy map[[2]int]bool, preferred map[int]int) *ClusterView {
+	v := &ClusterView{}
+	for slice := 0; slice < 2; slice++ {
+		var rs []ReplicaView
+		for rep := 0; rep < 2; rep++ {
+			h, ok := healthy[[2]int{slice, rep}]
+			if !ok {
+				h = true
+			}
+			rs = append(rs, ReplicaView{
+				Slice: slice, Replica: rep,
+				URL:       fmt.Sprintf("http://s%d r%d", slice, rep),
+				Healthy:   h,
+				Preferred: rep == preferred[slice],
+			})
+		}
+		v.Slices = append(v.Slices, rs)
+	}
+	return v
+}
+
+func TestPromoteOnQuarantine(t *testing.T) {
+	p := PromoteOnQuarantine{}
+	tr := Transition{Slice: 0, Replica: 0, From: StateHealthy, To: StateQuarantined, Reason: "probe-failures"}
+
+	// Preferred replica lost, healthy peer available: promote the peer.
+	view := viewOf(map[[2]int]bool{{0, 0}: false}, map[int]int{})
+	acts := p.Evaluate(tr, view)
+	if len(acts) != 1 || acts[0].Kind != ActionPromote || acts[0].Replica != 1 || acts[0].Slice != 0 {
+		t.Fatalf("want promote shard0.1, got %v", acts)
+	}
+
+	// Non-preferred replica lost: the slice is unaffected, no action.
+	tr2 := tr
+	tr2.Replica = 1
+	if acts := p.Evaluate(tr2, viewOf(map[[2]int]bool{{0, 1}: false}, map[int]int{})); len(acts) != 0 {
+		t.Fatalf("non-preferred loss must not promote, got %v", acts)
+	}
+
+	// Both replicas down: nothing to promote.
+	if acts := p.Evaluate(tr, viewOf(map[[2]int]bool{{0, 0}: false, {0, 1}: false}, map[int]int{})); len(acts) != 0 {
+		t.Fatalf("no healthy peer, want no action, got %v", acts)
+	}
+
+	// Recovery while the preferred replica is quarantined: promote the
+	// recovered one back.
+	rec := Transition{Slice: 0, Replica: 0, From: StateQuarantined, To: StateHealthy, Reason: "reprobe"}
+	view = viewOf(map[[2]int]bool{{0, 1}: false}, map[int]int{0: 1})
+	acts = p.Evaluate(rec, view)
+	if len(acts) != 1 || acts[0].Kind != ActionPromote || acts[0].Replica != 0 {
+		t.Fatalf("recovery should promote the recovered replica, got %v", acts)
+	}
+	// Recovery while the preferred replica is healthy: leave it alone.
+	if acts := p.Evaluate(rec, viewOf(nil, map[int]int{0: 1})); len(acts) != 0 {
+		t.Fatalf("recovery with a healthy preferred must not flap preference, got %v", acts)
+	}
+}
+
+func TestReprobeAndRestartPolicies(t *testing.T) {
+	tr := Transition{Slice: 1, Replica: 0, From: StateHealthy, To: StateQuarantined}
+	if acts := (ReprobeOnQuarantine{}).Evaluate(tr, &ClusterView{}); len(acts) != 1 || acts[0].Kind != ActionReprobe {
+		t.Fatalf("quarantine must trigger a reprobe, got %v", acts)
+	}
+	rec := tr
+	rec.From, rec.To = StateQuarantined, StateHealthy
+	if acts := (ReprobeOnQuarantine{}).Evaluate(rec, &ClusterView{}); len(acts) != 0 {
+		t.Fatalf("recovery must not reprobe, got %v", acts)
+	}
+
+	view := viewOf(map[[2]int]bool{{1, 0}: false}, map[int]int{})
+	view.Slices[1][0].Quarantines = 2
+	rp := RestartAfterQuarantines{After: 3}
+	if acts := rp.Evaluate(tr, view); len(acts) != 0 {
+		t.Fatalf("below the quarantine threshold, want no restart, got %v", acts)
+	}
+	view.Slices[1][0].Quarantines = 3
+	acts := rp.Evaluate(tr, view)
+	if len(acts) != 1 || acts[0].Kind != ActionRestart || acts[0].Slice != 1 {
+		t.Fatalf("threshold reached, want restart shard1.0, got %v", acts)
+	}
+}
+
+// opsRecorder mocks ClusterOps and records every call.
+type opsRecorder struct {
+	promoted  [][2]int
+	reprobed  [][2]int
+	restarted []string
+	restartErr error
+	promoteRet bool
+}
+
+func (o *opsRecorder) Promote(slice, replica int) bool {
+	o.promoted = append(o.promoted, [2]int{slice, replica})
+	return o.promoteRet
+}
+func (o *opsRecorder) Reprobe(slice, replica int) {
+	o.reprobed = append(o.reprobed, [2]int{slice, replica})
+}
+func (o *opsRecorder) Restart(slice, replica int, url string) error {
+	o.restarted = append(o.restarted, url)
+	return o.restartErr
+}
+
+// TestRemediatorPipeline runs one transition through the remediator
+// and checks the alerts, counters, and op calls line up: one
+// transition alert plus one alert per executed action.
+func TestRemediatorPipeline(t *testing.T) {
+	var got []Alert
+	alerter := NewAlerter(func(al Alert) { got = append(got, al) })
+	ops := &opsRecorder{promoteRet: true, restartErr: fmt.Errorf("hook exploded")}
+	r := NewRemediator(ops, alerter)
+
+	tr := Transition{Slice: 0, Replica: 0, To: StateQuarantined, Reason: "probe-failures", At: time.Unix(9, 0)}
+	r.Remediate(tr, []Action{
+		{Kind: ActionPromote, Slice: 0, Replica: 1, Policy: "p"},
+		{Kind: ActionReprobe, Slice: 0, Replica: 0, Policy: "r"},
+		{Kind: ActionRestart, Slice: 0, Replica: 0, URL: "http://x", Policy: "s"},
+	})
+
+	if len(got) != 4 {
+		t.Fatalf("want 4 alerts (1 transition + 3 remediations), got %d: %v", len(got), got)
+	}
+	if got[0].Kind != "transition" || got[0].Transition.Reason != "probe-failures" {
+		t.Fatalf("first alert must be the transition, got %+v", got[0])
+	}
+	if got[3].Action == nil || got[3].Action.Kind != ActionRestart || got[3].Err == "" {
+		t.Fatalf("restart failure must alert with the error, got %+v", got[3])
+	}
+	if len(ops.promoted) != 1 || ops.promoted[0] != [2]int{0, 1} {
+		t.Fatalf("promote not applied: %v", ops.promoted)
+	}
+	if len(ops.reprobed) != 1 || len(ops.restarted) != 1 {
+		t.Fatalf("reprobe/restart not applied: %v %v", ops.reprobed, ops.restarted)
+	}
+	if r.Transitions(StateQuarantined) != 1 || r.Actions(ActionPromote) != 1 ||
+		r.Actions(ActionRestart) != 1 || r.ActionErrors() != 1 {
+		t.Fatal("remediator counters out of step")
+	}
+	if alerter.Total() != 4 || len(alerter.Recent()) != 4 {
+		t.Fatalf("alerter retained %d/%d, want 4", alerter.Total(), len(alerter.Recent()))
+	}
+
+	// A promote that changed nothing (already preferred) is silent.
+	got = nil
+	ops.promoteRet = false
+	r.Remediate(tr, []Action{{Kind: ActionPromote, Slice: 0, Replica: 1, Policy: "p"}})
+	if len(got) != 1 || got[0].Kind != "transition" {
+		t.Fatalf("no-op promote must not alert, got %v", got)
+	}
+}
+
+// TestAlerterRingWraps overfills the ring and checks the retained
+// window is the most recent alerts, oldest first.
+func TestAlerterRingWraps(t *testing.T) {
+	a := NewAlerter()
+	for i := 0; i < alertRingSize+10; i++ {
+		a.Notify(Alert{Kind: "transition", Transition: Transition{Slice: i}})
+	}
+	recent := a.Recent()
+	if len(recent) != alertRingSize {
+		t.Fatalf("retained %d, want %d", len(recent), alertRingSize)
+	}
+	if recent[0].Transition.Slice != 10 || recent[alertRingSize-1].Transition.Slice != alertRingSize+9 {
+		t.Fatalf("ring order wrong: first %d last %d", recent[0].Transition.Slice, recent[alertRingSize-1].Transition.Slice)
+	}
+	if a.Total() != alertRingSize+10 {
+		t.Fatalf("total %d", a.Total())
+	}
+}
+
+// TestRunRestartCommand executes a real hook and checks the replica
+// identity reaches it through the environment.
+func TestRunRestartCommand(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "restarted")
+	if err := runRestartCommand("echo \"$AHEAD_SLICE.$AHEAD_REPLICA $AHEAD_SHARD_URL\" > "+out, 2, 1, "http://victim"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "2.1 http://victim\n" {
+		t.Fatalf("hook saw %q", data)
+	}
+	if err := runRestartCommand("exit 3", 0, 0, "u"); err == nil {
+		t.Fatal("failing hook must surface its error")
+	}
+}

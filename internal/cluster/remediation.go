@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ClusterOps is the surface the remediator acts through - implemented
+// by the Router, mocked in tests. Keeping actions behind an interface
+// keeps policies and the remediator free of router internals.
+type ClusterOps interface {
+	// Promote makes the replica its slice's preferred scatter target;
+	// it reports whether the preference actually changed.
+	Promote(slice, replica int) bool
+	// Reprobe health-checks the replica immediately, out of band with
+	// the probe loop.
+	Reprobe(slice, replica int)
+	// Restart invokes the deployment's restart hook for the replica.
+	Restart(slice, replica int, url string) error
+}
+
+// Remediator executes the actions policies decide on and raises one
+// alert per transition plus one per action - the remediate half of
+// evaluate -> remediate -> alert.
+type Remediator struct {
+	ops     ClusterOps
+	alerter *Alerter
+
+	transitions [2]atomic.Uint64 // indexed by HealthState (To)
+	actions     [3]atomic.Uint64 // indexed by ActionKind
+	actionErrs  atomic.Uint64
+}
+
+// NewRemediator wires the remediator to its action surface and alert
+// sink.
+func NewRemediator(ops ClusterOps, alerter *Alerter) *Remediator {
+	return &Remediator{ops: ops, alerter: alerter}
+}
+
+// Remediate handles one transition end to end: alert it, execute every
+// action, alert each outcome. Action failures are alerted and counted,
+// never fatal - remediation is best-effort by design.
+func (r *Remediator) Remediate(tr Transition, actions []Action) {
+	if int(tr.To) < len(r.transitions) {
+		r.transitions[tr.To].Add(1)
+	}
+	r.alerter.Notify(Alert{Kind: "transition", Transition: tr, At: tr.At})
+	for _, act := range actions {
+		var err error
+		switch act.Kind {
+		case ActionPromote:
+			if !r.ops.Promote(act.Slice, act.Replica) {
+				continue // already preferred; nothing happened, nothing to alert
+			}
+		case ActionReprobe:
+			r.ops.Reprobe(act.Slice, act.Replica)
+		case ActionRestart:
+			err = r.ops.Restart(act.Slice, act.Replica, act.URL)
+		default:
+			err = fmt.Errorf("cluster: unknown action kind %d", act.Kind)
+		}
+		if int(act.Kind) < len(r.actions) {
+			r.actions[act.Kind].Add(1)
+		}
+		al := Alert{Kind: "remediation", Transition: tr, At: tr.At}
+		a := act
+		al.Action = &a
+		if err != nil {
+			r.actionErrs.Add(1)
+			al.Err = err.Error()
+		}
+		r.alerter.Notify(al)
+	}
+}
+
+// Transitions returns how many transitions into the given state were
+// remediated.
+func (r *Remediator) Transitions(to HealthState) uint64 {
+	if int(to) >= len(r.transitions) {
+		return 0
+	}
+	return r.transitions[to].Load()
+}
+
+// Actions returns how many actions of the given kind were executed.
+func (r *Remediator) Actions(kind ActionKind) uint64 {
+	if int(kind) >= len(r.actions) {
+		return 0
+	}
+	return r.actions[kind].Load()
+}
+
+// ActionErrors returns how many executed actions failed.
+func (r *Remediator) ActionErrors() uint64 { return r.actionErrs.Load() }
+
+// restartCommandTimeout bounds one restart-hook invocation.
+const restartCommandTimeout = 30 * time.Second
+
+// runRestartCommand executes the configured shell hook with the
+// replica's identity in the environment (AHEAD_SHARD_URL, AHEAD_SLICE,
+// AHEAD_REPLICA), so one command template serves every replica.
+func runRestartCommand(command string, slice, replica int, url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), restartCommandTimeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "/bin/sh", "-c", command)
+	cmd.Env = append(cmd.Environ(),
+		"AHEAD_SHARD_URL="+url,
+		"AHEAD_SLICE="+strconv.Itoa(slice),
+		"AHEAD_REPLICA="+strconv.Itoa(replica),
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("cluster: restart hook for shard%d.%d: %w (output: %.200s)", slice, replica, err, out)
+	}
+	return nil
+}

@@ -15,16 +15,21 @@ import (
 	"time"
 )
 
-// RouterConfig assembles a Router. Shards is the only required field.
+// RouterConfig assembles a Router. Exactly one of Slices and Shards is
+// required.
 type RouterConfig struct {
-	// Shards lists the shard base URLs, one per partition, in shard
-	// order ("http://127.0.0.1:8081", ...).
+	// Slices lists the replica sets, one per hash slice, in slice
+	// order: Slices[i] holds the base URLs of every ahead-serve
+	// instance serving slice i, preferred (primary) first.
+	Slices [][]string
+	// Shards is the single-replica shorthand: one URL per slice.
+	// Ignored when Slices is set.
 	Shards []string
 	// Client performs shard requests; nil uses a plain http.Client
 	// (timeouts come from per-request contexts, not the client).
 	Client *http.Client
 
-	// RequestTimeout bounds one scatter request to one shard
+	// RequestTimeout bounds one scatter request to one replica
 	// (default 30s); the shard's own deadline applies underneath.
 	RequestTimeout time.Duration
 	// ProbeInterval is the health-probe period (default 500ms);
@@ -32,45 +37,110 @@ type RouterConfig struct {
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
 	// QuarantineAfter is the consecutive-failure threshold that
-	// quarantines a shard (default 3). BackoffBase/BackoffMax shape the
-	// exponential re-admission backoff (defaults 2s / 30s).
+	// quarantines a replica (default 3). BackoffBase/BackoffMax shape
+	// the exponential re-admission backoff (defaults 2s / 30s).
 	QuarantineAfter int
 	BackoffBase     time.Duration
 	BackoffMax      time.Duration
+	// RecoverAfter is the consecutive-success streak that decays one
+	// backoff level once a replica is back (default 3) - a flapper
+	// keeps escalating, only sustained health earns the base window
+	// back.
+	RecoverAfter int
+
+	// HedgeDelay is how long the scatter waits on a slice's preferred
+	// replica before duplicating the request to the next one (first
+	// valid partial wins, the loser is canceled). 0 uses the default
+	// 100ms; negative disables hedging. A quarantined or shedding
+	// preferred replica is bypassed immediately regardless.
+	HedgeDelay time.Duration
+
+	// Policies drive remediation on health transitions; nil installs
+	// the defaults (promote + reprobe, plus restart-after-3-quarantines
+	// when RestartCommand is set).
+	Policies []Policy
+	// RestartCommand is the optional shell hook ActionRestart runs,
+	// with AHEAD_SHARD_URL/AHEAD_SLICE/AHEAD_REPLICA in the
+	// environment.
+	RestartCommand string
+	// OnAlert receives every structured alert (transitions and
+	// remediation outcomes) in addition to the /alerts ring.
+	OnAlert AlertFunc
 }
 
-// Router is the scatter-gather front end: it fans each query out to
-// every healthy shard's /partial endpoint, verifies and decodes the
-// hardened partials at the merge point (Merger), and answers with the
-// cluster-wide result. Shard health is watched continuously; lost
-// shards degrade the service to partial results - explicit in every
-// response as shards_answered/shards_total - instead of failing it.
+// Router is the scatter-gather front end of a replicated shard
+// cluster: it fans each query out to every slice's preferred replica
+// (hedging to peers on delay, shed, or failure), verifies and decodes
+// the hardened partials at the merge point (Merger), and answers with
+// the cluster-wide result. Replica health is watched continuously and
+// fed through the policy engine: quarantines promote a peer, trigger
+// an immediate reprobe, optionally run a restart hook, and always
+// raise structured alerts. Only a slice with no live replica degrades
+// the response - explicit in shards_answered/shards_total.
 type Router struct {
 	cfg    RouterConfig
 	mux    *http.ServeMux
-	shards []*shardState
+	slices []*sliceState
+	all    []*shardState // flattened, for probes, /inject and /metrics
 	client *http.Client
 	m      routerMetrics
 	rr     atomic.Uint64 // round-robin cursor for /inject
+
+	alerter    *Alerter
+	remediator *Remediator
+	events     chan Transition
 
 	stop      chan struct{}
 	done      sync.WaitGroup
 	closeOnce sync.Once
 }
 
+// sliceState is one hash slice's replica set plus the scatter
+// preference the promote action steers.
+type sliceState struct {
+	index     int
+	replicas  []*shardState
+	preferred atomic.Int32
+}
+
+// healthyOrder returns the slice's healthy replicas, preferred first,
+// wrapping in replica order - the order scatterSlice contacts them in.
+func (sl *sliceState) healthyOrder() []*shardState {
+	n := len(sl.replicas)
+	pref := int(sl.preferred.Load()) % n
+	out := make([]*shardState, 0, n)
+	for i := 0; i < n; i++ {
+		if s := sl.replicas[(pref+i)%n]; s.Healthy() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 type routerMetrics struct {
-	served       atomic.Uint64
-	failed       atomic.Uint64
-	degraded     atomic.Uint64
-	detected     atomic.Uint64
-	shardsFailed atomic.Uint64
+	served        atomic.Uint64
+	failed        atomic.Uint64
+	degraded      atomic.Uint64
+	detected      atomic.Uint64
+	shardsFailed  atomic.Uint64
+	shardsShed    atomic.Uint64
+	hedges        atomic.Uint64
+	hedgeWins     atomic.Uint64
+	hedgeDups     atomic.Uint64
+	eventsDropped atomic.Uint64
 }
 
 // NewRouter validates the config, builds the route table, and starts
-// the health-probe loop. Callers must Close the router to stop it.
+// the health-probe and remediation loops. Callers must Close the
+// router to stop them.
 func NewRouter(cfg RouterConfig) (*Router, error) {
-	if len(cfg.Shards) == 0 {
-		return nil, fmt.Errorf("cluster: router needs at least one shard URL")
+	if len(cfg.Slices) == 0 {
+		for _, u := range cfg.Shards {
+			cfg.Slices = append(cfg.Slices, []string{u})
+		}
+	}
+	if len(cfg.Slices) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one slice")
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
@@ -93,22 +163,48 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 30 * time.Second
 	}
-	rt := &Router{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		client: cfg.Client,
-		stop:   make(chan struct{}),
+	if cfg.RecoverAfter <= 0 {
+		cfg.RecoverAfter = 3
 	}
-	for i, u := range cfg.Shards {
-		rt.shards = append(rt.shards, newShardState(i, strings.TrimRight(u, "/")))
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = 100 * time.Millisecond
+	}
+	if cfg.Policies == nil {
+		cfg.Policies = []Policy{PromoteOnQuarantine{}, ReprobeOnQuarantine{}}
+		if cfg.RestartCommand != "" {
+			cfg.Policies = append(cfg.Policies, RestartAfterQuarantines{After: 3})
+		}
+	}
+	rt := &Router{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		client:  cfg.Client,
+		alerter: NewAlerter(cfg.OnAlert),
+		events:  make(chan Transition, 64),
+		stop:    make(chan struct{}),
+	}
+	rt.remediator = NewRemediator(rt, rt.alerter)
+	for i, urls := range cfg.Slices {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("cluster: slice %d has no replica URLs", i)
+		}
+		sl := &sliceState{index: i}
+		for r, u := range urls {
+			s := newShardState(i, r, strings.TrimRight(u, "/"))
+			sl.replicas = append(sl.replicas, s)
+			rt.all = append(rt.all, s)
+		}
+		rt.slices = append(rt.slices, sl)
 	}
 	rt.mux.HandleFunc("POST /query", rt.handleQuery)
 	rt.mux.HandleFunc("POST /inject", rt.handleInject)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
-	rt.done.Add(1)
+	rt.mux.HandleFunc("GET /alerts", rt.handleAlerts)
+	rt.done.Add(2)
 	go rt.probeLoop()
+	go rt.remediationLoop()
 	return rt, nil
 }
 
@@ -117,15 +213,125 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rt.mux.ServeHTTP(w, r)
 }
 
-// Close stops the health-probe loop. In-flight requests finish under
-// their own contexts.
+// Close stops the health-probe and remediation loops. In-flight
+// requests finish under their own contexts.
 func (rt *Router) Close() {
 	rt.closeOnce.Do(func() { close(rt.stop) })
 	rt.done.Wait()
 }
 
-// probeLoop watches every shard: /readyz decides health, and on
-// success the shard's /metrics is scraped for its local detection
+// Alerts returns the retained alert history (oldest first) - the same
+// view GET /alerts serves.
+func (rt *Router) Alerts() []Alert { return rt.alerter.Recent() }
+
+// noteSuccess records a healthy probe or request and feeds any
+// re-admission transition to the policy engine.
+func (rt *Router) noteSuccess(s *shardState, reason string) {
+	now := time.Now()
+	if s.reportSuccess(now, rt.cfg.RecoverAfter) {
+		rt.emit(Transition{
+			Slice: s.slice, Replica: s.replica, URL: s.url,
+			From: StateQuarantined, To: StateHealthy, Reason: reason, At: now,
+		})
+	}
+}
+
+// noteFailure records a failed probe or request and feeds any
+// quarantine transition to the policy engine.
+func (rt *Router) noteFailure(s *shardState, reason string) {
+	now := time.Now()
+	if s.reportFailure(now, rt.cfg.QuarantineAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax) {
+		rt.emit(Transition{
+			Slice: s.slice, Replica: s.replica, URL: s.url,
+			From: StateHealthy, To: StateQuarantined, Reason: reason, At: now,
+		})
+	}
+}
+
+// emit hands a transition to the remediation loop without ever
+// blocking the serving or probe path; overflow is counted, not waited
+// on.
+func (rt *Router) emit(tr Transition) {
+	select {
+	case rt.events <- tr:
+	default:
+		rt.m.eventsDropped.Add(1)
+	}
+}
+
+// remediationLoop is the evaluate -> remediate -> alert pump: each
+// health transition is evaluated by every policy against a fresh
+// cluster view and the decided actions executed.
+func (rt *Router) remediationLoop() {
+	defer rt.done.Done()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case tr := <-rt.events:
+			view := rt.view()
+			var actions []Action
+			for _, p := range rt.cfg.Policies {
+				actions = append(actions, p.Evaluate(tr, view)...)
+			}
+			rt.remediator.Remediate(tr, actions)
+		}
+	}
+}
+
+// view snapshots replica health for policy evaluation.
+func (rt *Router) view() *ClusterView {
+	v := &ClusterView{Slices: make([][]ReplicaView, len(rt.slices))}
+	for i, sl := range rt.slices {
+		pref := int(sl.preferred.Load())
+		for _, s := range sl.replicas {
+			v.Slices[i] = append(v.Slices[i], ReplicaView{
+				Slice: s.slice, Replica: s.replica, URL: s.url,
+				Healthy:     s.Healthy(),
+				Preferred:   s.replica == pref,
+				Quarantines: s.quarantines.Load(),
+			})
+		}
+	}
+	return v
+}
+
+// Promote implements ClusterOps: point the slice's scatter preference
+// at the replica. Reports whether the preference changed.
+func (rt *Router) Promote(slice, replica int) bool {
+	if slice < 0 || slice >= len(rt.slices) {
+		return false
+	}
+	sl := rt.slices[slice]
+	if replica < 0 || replica >= len(sl.replicas) {
+		return false
+	}
+	return sl.preferred.Swap(int32(replica)) != int32(replica)
+}
+
+// Reprobe implements ClusterOps: health-check the replica now, out of
+// band with the probe loop.
+func (rt *Router) Reprobe(slice, replica int) {
+	if slice < 0 || slice >= len(rt.slices) {
+		return
+	}
+	sl := rt.slices[slice]
+	if replica < 0 || replica >= len(sl.replicas) {
+		return
+	}
+	rt.probe(sl.replicas[replica], "reprobe")
+}
+
+// Restart implements ClusterOps: run the configured restart hook.
+func (rt *Router) Restart(slice, replica int, url string) error {
+	if rt.cfg.RestartCommand == "" {
+		return fmt.Errorf("cluster: no restart command configured")
+	}
+	return runRestartCommand(rt.cfg.RestartCommand, slice, replica, url)
+}
+
+// probeLoop watches every replica: /readyz decides health, and on
+// success the replica's /metrics is scraped for its local detection
 // counter so cluster-wide detections are visible on the router.
 func (rt *Router) probeLoop() {
 	defer rt.done.Done()
@@ -138,27 +344,25 @@ func (rt *Router) probeLoop() {
 		case <-t.C:
 		}
 		var wg sync.WaitGroup
-		for _, s := range rt.shards {
+		for _, s := range rt.all {
 			wg.Add(1)
 			go func(s *shardState) {
 				defer wg.Done()
-				rt.probe(s)
+				rt.probe(s, "probe-failures")
 			}(s)
 		}
 		wg.Wait()
 	}
 }
 
-func (rt *Router) probe(s *shardState) {
+func (rt *Router) probe(s *shardState, reason string) {
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
 	defer cancel()
-	ok := rt.get(ctx, s.url+"/readyz") == nil
-	now := time.Now()
-	if !ok {
-		s.reportFailure(now, rt.cfg.QuarantineAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+	if rt.get(ctx, s.url+"/readyz") != nil {
+		rt.noteFailure(s, reason)
 		return
 	}
-	s.reportSuccess(now)
+	rt.noteSuccess(s, reason)
 	if v, err := rt.scrapeDetected(ctx, s.url); err == nil {
 		s.detected.Store(v)
 	}
@@ -225,8 +429,9 @@ type RouterResponse struct {
 	// in-shard detection, "shard1/wire:aggs" for a flip caught in the
 	// response body at the merge point) to affected positions.
 	Detected map[string][]uint64 `json:"detected,omitempty"`
-	// ShardsAnswered/ShardsTotal make partial coverage explicit; a
-	// response with ShardsAnswered < ShardsTotal is Degraded.
+	// ShardsAnswered/ShardsTotal count hash slices, not replicas: a
+	// slice answers when any of its replicas does. A response with
+	// ShardsAnswered < ShardsTotal is Degraded.
 	ShardsAnswered int     `json:"shards_answered"`
 	ShardsTotal    int     `json:"shards_total"`
 	Degraded       bool    `json:"degraded,omitempty"`
@@ -247,15 +452,35 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// shardReply is one shard's outcome within a scatter.
-type shardReply struct {
-	shard   *shardState
+// attempt is one replica request's classified outcome within a slice
+// scatter.
+type attempt struct {
+	rep     *shardState
 	partial *Partial
 	// clientStatus/clientBody relay a shard-side 4xx (bad request) -
-	// the request is at fault, not the shard.
+	// the request is at fault, not the replica.
 	clientStatus int
 	clientBody   []byte
-	err          error // network, 5xx, malformed body: the shard is at fault
+	// shed marks 429/503 backpressure: the replica is alive but
+	// declining work - no health penalty, but the slice retries a peer.
+	shed bool
+	err  error // network, 5xx, malformed body: the replica is at fault
+}
+
+// sliceReply is one slice's outcome: the winning partial (if any), or
+// why there is none.
+type sliceReply struct {
+	slice     *sliceState
+	partial   *Partial
+	winner    *shardState
+	hedgedWin bool // a non-preferred replica answered first
+	// clientStatus/clientBody carry the slice's 4xx verdict, if that is
+	// how it ended.
+	clientStatus int
+	clientBody   []byte
+	contacted    bool // at least one replica was healthy enough to try
+	sheds        int  // backpressure replies observed
+	failures     int  // replica failures observed
 }
 
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -269,76 +494,79 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	var healthy []*shardState
-	for _, s := range rt.shards {
-		if s.Healthy() {
-			healthy = append(healthy, s)
-		}
-	}
-	replies := make([]shardReply, len(healthy))
+	replies := make([]sliceReply, len(rt.slices))
 	var wg sync.WaitGroup
-	for i, s := range healthy {
+	for i, sl := range rt.slices {
 		wg.Add(1)
-		go func(i int, s *shardState) {
+		go func(i int, sl *sliceState) {
 			defer wg.Done()
-			replies[i] = rt.scatter(ctx, s, body)
-		}(i, s)
+			replies[i] = rt.scatterSlice(ctx, sl, body)
+		}(i, sl)
 	}
 	wg.Wait()
 
-	// Gather: decode and verify each partial at the merge point. A
-	// partial that fails structural checks (Merger.Add) counts as a
-	// shard failure, not a detection - the envelope itself is broken.
+	// Gather: decode and verify each winning partial at the merge
+	// point. A partial that fails structural checks (Merger.Add) counts
+	// as a replica failure, not a detection - the envelope itself is
+	// broken.
 	merger := NewMerger()
-	var first *Partial
+	contacted, client4xx := 0, 0
 	var clientStatus int
 	var clientBody []byte
-	now := time.Now()
 	for i := range replies {
 		rep := &replies[i]
-		if rep.partial != nil {
+		if !rep.contacted {
+			continue
+		}
+		contacted++
+		switch {
+		case rep.partial != nil:
 			if err := merger.Add(rep.partial); err != nil {
-				rep.err = err
-				rep.partial = nil
-			} else if first == nil {
-				first = rep.partial
+				rt.m.shardsFailed.Add(1)
+				rep.winner.requestsFailed.Add(1)
+				rt.noteFailure(rep.winner, "envelope-error")
+				continue
+			}
+			if rep.hedgedWin {
+				rt.m.hedgeWins.Add(1)
+			}
+		case rep.clientStatus != 0:
+			client4xx++
+			if clientStatus == 0 {
+				clientStatus, clientBody = rep.clientStatus, rep.clientBody
 			}
 		}
-		switch {
-		case rep.err != nil:
-			rep.shard.requestsFailed.Add(1)
-			rt.m.shardsFailed.Add(1)
-			rep.shard.reportFailure(now, rt.cfg.QuarantineAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
-		case rep.clientStatus != 0 && clientStatus == 0:
-			clientStatus, clientBody = rep.clientStatus, rep.clientBody
-		}
 	}
+	rt.m.hedgeDups.Add(uint64(merger.Duplicates()))
 
 	if merger.Answered() == 0 {
 		rt.m.failed.Add(1)
-		if clientStatus != 0 {
-			// Every shard agreed the request is malformed; relay one
-			// shard's verdict verbatim.
+		if contacted > 0 && client4xx == contacted {
+			// Every contacted slice judged the request malformed - a
+			// real consensus, safe to relay one shard's verdict. A mix
+			// of 4xx with sheds, failures, or silence is not agreement:
+			// the request may be fine and the cluster unwell, so answer
+			// 503.
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(clientStatus)
 			_, _ = w.Write(clientBody)
 			return
 		}
-		writeError(w, http.StatusServiceUnavailable, "no shards answered (%d configured)", len(rt.shards))
+		writeError(w, http.StatusServiceUnavailable, "no shards answered (%d slices configured)", len(rt.slices))
 		return
 	}
 
 	res := merger.Result()
 	resp := &RouterResponse{
-		Query:          first.Query,
-		Mode:           first.Mode,
-		Flavor:         first.Flavor,
+		Query:          merger.Query(),
+		Mode:           merger.Mode(),
+		Flavor:         merger.Flavor(),
 		Rows:           res.Rows(),
 		Keys:           res.Keys,
 		Aggs:           res.Aggs,
 		Detected:       merger.Detected(),
 		ShardsAnswered: merger.Answered(),
-		ShardsTotal:    len(rt.shards),
+		ShardsTotal:    len(rt.slices),
 		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1e3,
 	}
 	resp.Degraded = resp.ShardsAnswered < resp.ShardsTotal
@@ -352,59 +580,138 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// scatter sends one query to one shard's /partial and classifies the
+// scatterSlice serves one slice of the scatter from its replica set:
+// the preferred replica is asked first; after HedgeDelay (or
+// immediately on a shed or failure) the request is duplicated to the
+// next healthy replica. The first valid partial wins and the losers
+// are canceled. Failures penalize the failing replica's health; sheds
+// do not.
+func (rt *Router) scatterSlice(ctx context.Context, sl *sliceState, body []byte) sliceReply {
+	out := sliceReply{slice: sl}
+	order := sl.healthyOrder()
+	if len(order) == 0 {
+		return out
+	}
+	out.contacted = true
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the losing replica once a winner returns
+
+	results := make(chan attempt, len(order))
+	launched := 0
+	launch := func() {
+		s := order[launched]
+		launched++
+		go func() {
+			results <- rt.request(cctx, s, body)
+		}()
+	}
+	launch()
+	var hedge <-chan time.Time
+	if len(order) > 1 && rt.cfg.HedgeDelay > 0 {
+		t := time.NewTimer(rt.cfg.HedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+	for pending := 1; pending > 0; {
+		select {
+		case <-hedge:
+			hedge = nil
+			if launched < len(order) {
+				rt.m.hedges.Add(1)
+				launch()
+				pending++
+			}
+		case a := <-results:
+			pending--
+			switch {
+			case a.partial != nil:
+				out.partial = a.partial
+				out.winner = a.rep
+				out.hedgedWin = a.rep != order[0]
+				return out
+			case a.clientStatus != 0:
+				// A 4xx verdict is about the request, not the replica;
+				// no peer would judge it differently.
+				out.clientStatus, out.clientBody = a.clientStatus, a.clientBody
+				return out
+			case a.shed:
+				out.sheds++
+				a.rep.sheds.Add(1)
+				rt.m.shardsShed.Add(1)
+				// Backpressure sheds carry no health penalty, but the
+				// slice still needs an answer: retry on the next
+				// replica at once instead of dropping the rows.
+				if launched < len(order) {
+					launch()
+					pending++
+				}
+			default:
+				out.failures++
+				a.rep.requestsFailed.Add(1)
+				rt.m.shardsFailed.Add(1)
+				rt.noteFailure(a.rep, "scatter-failure")
+				if launched < len(order) {
+					launch()
+					pending++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// request sends one query to one replica's /partial and classifies the
 // outcome.
-func (rt *Router) scatter(ctx context.Context, s *shardState, body []byte) shardReply {
-	rep := shardReply{shard: s}
+func (rt *Router) request(ctx context.Context, s *shardState, body []byte) attempt {
+	a := attempt{rep: s}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url+"/partial", bytes.NewReader(body))
 	if err != nil {
-		rep.err = err
-		return rep
+		a.err = err
+		return a
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		rep.err = err
-		return rep
+		a.err = err
+		return a
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
 	if err != nil {
-		rep.err = err
-		return rep
+		a.err = err
+		return a
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		p := new(Partial)
 		if err := json.Unmarshal(data, p); err != nil {
-			rep.err = fmt.Errorf("shard %d partial: %w", s.index, err)
-			return rep
+			a.err = fmt.Errorf("%s partial: %w", s.Name(), err)
+			return a
 		}
-		rep.partial = p
+		a.partial = p
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
-		// Shed or draining: the shard is alive but declining work. The
-		// request goes unanswered by this shard with no health penalty;
-		// the probe loop notices a real drain via /readyz.
+		// Shed or draining: the replica is alive but declining work.
+		a.shed = true
 	case resp.StatusCode >= 400 && resp.StatusCode < 500:
-		rep.clientStatus, rep.clientBody = resp.StatusCode, data
+		a.clientStatus, a.clientBody = resp.StatusCode, data
 	default:
-		rep.err = fmt.Errorf("shard %d status %d", s.index, resp.StatusCode)
+		a.err = fmt.Errorf("%s status %d", s.Name(), resp.StatusCode)
 	}
-	return rep
+	return a
 }
 
-// handleInject forwards a fault-injection request to one healthy shard
-// (round-robin), so soak and smoke harnesses can plant flips through
-// the router without knowing the shard topology.
+// handleInject forwards a fault-injection request to one healthy
+// replica (round-robin over all of them), so soak and smoke harnesses
+// can plant flips through the router without knowing the topology.
 func (rt *Router) handleInject(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	n := len(rt.shards)
+	n := len(rt.all)
 	for off := 0; off < n; off++ {
-		s := rt.shards[(int(rt.rr.Add(1))+off)%n]
+		s := rt.all[(int(rt.rr.Add(1))+off)%n]
 		if !s.Healthy() {
 			continue
 		}
@@ -419,7 +726,7 @@ func (rt *Router) handleInject(w http.ResponseWriter, r *http.Request) {
 		resp, derr := rt.client.Do(req)
 		if derr != nil {
 			cancel()
-			s.reportFailure(time.Now(), rt.cfg.QuarantineAfter, rt.cfg.BackoffBase, rt.cfg.BackoffMax)
+			rt.noteFailure(s, "scatter-failure")
 			continue
 		}
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
@@ -438,10 +745,10 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("ok\n"))
 }
 
-// handleReadyz is ready while at least one shard is; a fully dark
+// handleReadyz is ready while at least one replica is; a fully dark
 // cluster flips it to 503.
 func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	for _, s := range rt.shards {
+	for _, s := range rt.all {
 		if s.Healthy() {
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write([]byte("ready\n"))
@@ -452,6 +759,13 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("no healthy shards\n"))
 }
 
+// handleAlerts serves the retained alert history, oldest first.
+func (rt *Router) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Alerts []Alert `json:"alerts"`
+	}{Alerts: rt.alerter.Recent()})
+}
+
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	counter := func(name, help string, v uint64) {
@@ -459,27 +773,46 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	counter("ahead_router_queries_total", "Merged queries answered 200.", rt.m.served.Load())
 	counter("ahead_router_queries_failed_total", "Queries the router could not answer.", rt.m.failed.Load())
-	counter("ahead_router_queries_degraded_total", "Queries answered from a subset of shards.", rt.m.degraded.Load())
+	counter("ahead_router_queries_degraded_total", "Queries answered from a subset of slices.", rt.m.degraded.Load())
 	counter("ahead_router_detected_errors_total", "Corruptions observed at the merge point (wire and shard-local).", rt.m.detected.Load())
-	counter("ahead_router_shard_requests_failed_total", "Scatter requests lost to shard failures.", rt.m.shardsFailed.Load())
+	counter("ahead_router_shard_requests_failed_total", "Scatter requests lost to replica failures.", rt.m.shardsFailed.Load())
+	counter("ahead_router_shards_shed_total", "Scatter requests a replica shed with 429/503 backpressure.", rt.m.shardsShed.Load())
+	counter("ahead_router_hedges_total", "Hedge requests launched after the hedge delay.", rt.m.hedges.Load())
+	counter("ahead_router_hedge_wins_total", "Merged partials won by a non-preferred replica.", rt.m.hedgeWins.Load())
+	counter("ahead_router_hedge_duplicates_total", "Duplicate partials for an already-merged slice, skipped.", rt.m.hedgeDups.Load())
+	counter("ahead_router_alerts_total", "Structured alerts raised by the remediation pipeline.", rt.alerter.Total())
+	counter("ahead_router_remediation_errors_total", "Remediation actions that failed.", rt.remediator.ActionErrors())
+	counter("ahead_router_events_dropped_total", "Health transitions dropped on remediation-queue overflow.", rt.m.eventsDropped.Load())
 
 	labeled := func(name, help, typ string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
-	labeled("ahead_router_shard_up", "Whether the shard is healthy (1) or quarantined (0).", "gauge")
-	for _, s := range rt.shards {
+	labeled("ahead_router_health_transitions_total", "Replica health transitions remediated, by destination state.", "counter")
+	for _, st := range []HealthState{StateHealthy, StateQuarantined} {
+		fmt.Fprintf(w, "ahead_router_health_transitions_total{to=%q} %d\n", st.String(), rt.remediator.Transitions(st))
+	}
+	labeled("ahead_router_remediations_total", "Remediation actions executed, by kind.", "counter")
+	for _, k := range []ActionKind{ActionPromote, ActionReprobe, ActionRestart} {
+		fmt.Fprintf(w, "ahead_router_remediations_total{action=%q} %d\n", k.String(), rt.remediator.Actions(k))
+	}
+	labeled("ahead_router_shard_up", "Whether the replica is healthy (1) or quarantined (0).", "gauge")
+	for _, s := range rt.all {
 		up := 0
 		if s.Healthy() {
 			up = 1
 		}
-		fmt.Fprintf(w, "ahead_router_shard_up{shard=\"%d\"} %d\n", s.index, up)
+		fmt.Fprintf(w, "ahead_router_shard_up{shard=\"%d\",replica=\"%d\"} %d\n", s.slice, s.replica, up)
 	}
-	labeled("ahead_router_shard_quarantines_total", "Quarantine windows entered or extended per shard.", "counter")
-	for _, s := range rt.shards {
-		fmt.Fprintf(w, "ahead_router_shard_quarantines_total{shard=\"%d\"} %d\n", s.index, s.quarantines.Load())
+	labeled("ahead_router_shard_quarantines_total", "Quarantine windows entered or extended per replica.", "counter")
+	for _, s := range rt.all {
+		fmt.Fprintf(w, "ahead_router_shard_quarantines_total{shard=\"%d\",replica=\"%d\"} %d\n", s.slice, s.replica, s.quarantines.Load())
 	}
 	labeled("ahead_router_shard_detected_errors", "Shard-local detection counter at last scrape.", "gauge")
-	for _, s := range rt.shards {
-		fmt.Fprintf(w, "ahead_router_shard_detected_errors{shard=\"%d\"} %d\n", s.index, s.detected.Load())
+	for _, s := range rt.all {
+		fmt.Fprintf(w, "ahead_router_shard_detected_errors{shard=\"%d\",replica=\"%d\"} %d\n", s.slice, s.replica, s.detected.Load())
+	}
+	labeled("ahead_router_slice_preferred_replica", "Replica index the slice's scatter currently prefers.", "gauge")
+	for _, sl := range rt.slices {
+		fmt.Fprintf(w, "ahead_router_slice_preferred_replica{shard=\"%d\"} %d\n", sl.index, sl.preferred.Load())
 	}
 }

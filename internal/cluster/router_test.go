@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ahead/internal/ops"
+)
+
+// stubPartialJSON builds a valid serialized Partial for one slice.
+func stubPartialJSON(t *testing.T, slice int, query string, sum uint64) []byte {
+	t.Helper()
+	p, err := EncodePartial(query, "continuous", "scalar", ShardSpec{Index: slice, Count: 3},
+		[][]uint64{{1993}}, &ops.Vec{Name: "sum", Vals: []uint64{sum}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// newStubShard boots a fake ahead-serve replica: always-ready /readyz,
+// a zero /metrics detection counter, and the given /partial behavior.
+func newStubShard(t *testing.T, partial http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ahead_detected_errors_total 0")
+	})
+	mux.HandleFunc("/partial", partial)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// serveStub answers /partial with the body after an optional delay,
+// aborting early if the router canceled the request (the losing side
+// of a hedge).
+func serveStub(delay time.Duration, status int, body []byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if status != http.StatusOK {
+			w.WriteHeader(status)
+		}
+		_, _ = w.Write(body)
+	}
+}
+
+func newTestRouter(t *testing.T, cfg RouterConfig) *Router {
+	t.Helper()
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// routerQuery posts one query straight at the handler.
+func routerQuery(t *testing.T, rt *Router) (*RouterResponse, int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{"query":"Q"}`))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	body := w.Body.Bytes()
+	if w.Code != http.StatusOK {
+		return nil, w.Code, body
+	}
+	resp := new(RouterResponse)
+	if err := json.Unmarshal(body, resp); err != nil {
+		t.Fatalf("decode router response: %v (%s)", err, body)
+	}
+	return resp, w.Code, body
+}
+
+// quietProbes keeps the probe loop effectively off so tests drive
+// health through the scatter path alone.
+const quietProbes = time.Hour
+
+// TestHedgedScatterSlowPrimary pins request hedging: a slow preferred
+// replica is raced against its peer after the hedge delay, the peer's
+// partial wins, and the response is full-coverage and correct - with
+// the hedge visible in the metrics.
+func TestHedgedScatterSlowPrimary(t *testing.T) {
+	body := stubPartialJSON(t, 0, "Q", 100)
+	slow := newStubShard(t, serveStub(2*time.Second, http.StatusOK, body))
+	fast := newStubShard(t, serveStub(0, http.StatusOK, body))
+	rt := newTestRouter(t, RouterConfig{
+		Slices:        [][]string{{slow.URL, fast.URL}},
+		HedgeDelay:    20 * time.Millisecond,
+		ProbeInterval: quietProbes,
+	})
+
+	start := time.Now()
+	resp, code, _ := routerQuery(t, rt)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge never fired: query took %v waiting on the slow primary", elapsed)
+	}
+	if resp.ShardsAnswered != 1 || resp.ShardsTotal != 1 || resp.Degraded {
+		t.Fatalf("coverage %d/%d degraded=%v, want full", resp.ShardsAnswered, resp.ShardsTotal, resp.Degraded)
+	}
+	if len(resp.Aggs) != 1 || resp.Aggs[0] != 100 {
+		t.Fatalf("aggs %v, want [100]", resp.Aggs)
+	}
+	if rt.m.hedges.Load() == 0 || rt.m.hedgeWins.Load() == 0 {
+		t.Fatalf("hedges=%d wins=%d, want both > 0", rt.m.hedges.Load(), rt.m.hedgeWins.Load())
+	}
+	// Neither replica was penalized: the loser was canceled, not failed.
+	for _, s := range rt.all {
+		if !s.Healthy() || s.requestsFailed.Load() != 0 {
+			t.Fatalf("%s penalized by a hedge race", s.Name())
+		}
+	}
+}
+
+// TestShedRetriesOnReplica pins the shed-rows bugfix: a 429 from the
+// preferred replica must not silently drop the slice from the merge -
+// the replica peer is asked instead, the shed is counted in its own
+// metric, and the shedding replica takes no health penalty.
+func TestShedRetriesOnReplica(t *testing.T) {
+	shedding := newStubShard(t, serveStub(0, http.StatusTooManyRequests, []byte(`{"error":"queue full"}`)))
+	calm := newStubShard(t, serveStub(0, http.StatusOK, stubPartialJSON(t, 0, "Q", 77)))
+	rt := newTestRouter(t, RouterConfig{
+		Slices:        [][]string{{shedding.URL, calm.URL}},
+		HedgeDelay:    -1, // hedging off: the retry must come from the shed itself
+		ProbeInterval: quietProbes,
+	})
+
+	resp, code, _ := routerQuery(t, rt)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Degraded || resp.ShardsAnswered != 1 || resp.Aggs[0] != 77 {
+		t.Fatalf("shed slice must be re-served by the replica: %+v", resp)
+	}
+	if got := rt.m.shardsShed.Load(); got != 1 {
+		t.Fatalf("shards_shed_total = %d, want 1", got)
+	}
+	if rt.m.shardsFailed.Load() != 0 {
+		t.Fatal("a shed must not count as a shard failure")
+	}
+	if !rt.all[0].Healthy() {
+		t.Fatal("backpressure must not cost the replica its health")
+	}
+}
+
+// TestAllRepliesShedDegrades: when every replica of a slice sheds, the
+// slice goes unanswered and the response degrades - but each shed is
+// still counted.
+func TestAllRepliesShedDegrades(t *testing.T) {
+	shed1 := newStubShard(t, serveStub(0, http.StatusServiceUnavailable, []byte(`{"error":"draining"}`)))
+	shed2 := newStubShard(t, serveStub(0, http.StatusTooManyRequests, []byte(`{"error":"queue full"}`)))
+	ok := newStubShard(t, serveStub(0, http.StatusOK, stubPartialJSON(t, 1, "Q", 5)))
+	rt := newTestRouter(t, RouterConfig{
+		Slices:        [][]string{{shed1.URL, shed2.URL}, {ok.URL}},
+		HedgeDelay:    -1,
+		ProbeInterval: quietProbes,
+	})
+	resp, code, _ := routerQuery(t, rt)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Degraded || resp.ShardsAnswered != 1 || resp.ShardsTotal != 2 {
+		t.Fatalf("want explicit 1/2 degraded coverage, got %+v", resp)
+	}
+	if got := rt.m.shardsShed.Load(); got != 2 {
+		t.Fatalf("shards_shed_total = %d, want 2", got)
+	}
+}
+
+// TestClientErrorConsensus pins the 4xx relay fix: a shard's 4xx
+// verdict is relayed only when every contacted slice agrees; a mix of
+// 4xx and shed (or failure) is a 503, because the cluster never
+// actually judged the request together.
+func TestClientErrorConsensus(t *testing.T) {
+	badReq := []byte(`{"error":"unknown query \"Qx\""}`)
+	fourOhFour := newStubShard(t, serveStub(0, http.StatusNotFound, badReq))
+	shed := newStubShard(t, serveStub(0, http.StatusTooManyRequests, []byte(`{"error":"busy"}`)))
+
+	// One 404 + one shed: no consensus, must answer 503.
+	rt := newTestRouter(t, RouterConfig{
+		Slices:        [][]string{{fourOhFour.URL}, {shed.URL}},
+		HedgeDelay:    -1,
+		ProbeInterval: quietProbes,
+	})
+	_, code, body := routerQuery(t, rt)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("4xx+shed answered %d (%s), want 503: one shard's verdict is not consensus", code, body)
+	}
+
+	// Unanimous 404: relay the verdict verbatim.
+	fourOhFour2 := newStubShard(t, serveStub(0, http.StatusNotFound, badReq))
+	rt2 := newTestRouter(t, RouterConfig{
+		Slices:        [][]string{{fourOhFour.URL}, {fourOhFour2.URL}},
+		HedgeDelay:    -1,
+		ProbeInterval: quietProbes,
+	})
+	_, code, body = routerQuery(t, rt2)
+	if code != http.StatusNotFound || !strings.Contains(string(body), "unknown query") {
+		t.Fatalf("unanimous 404 answered %d (%s), want the relayed verdict", code, body)
+	}
+}
+
+// TestEnvelopeMismatchFailsSlice: a replica answering with a partial
+// for a different query is a broken envelope - its slice drops out
+// (degraded), the replica is penalized, and the merged response keeps
+// the consistent envelope.
+func TestEnvelopeMismatchFailsSlice(t *testing.T) {
+	good := newStubShard(t, serveStub(0, http.StatusOK, stubPartialJSON(t, 0, "Q", 10)))
+	rogue := newStubShard(t, serveStub(0, http.StatusOK, stubPartialJSON(t, 1, "Q-other", 20)))
+	rt := newTestRouter(t, RouterConfig{
+		Slices:        [][]string{{good.URL}, {rogue.URL}},
+		HedgeDelay:    -1,
+		ProbeInterval: quietProbes,
+	})
+	resp, code, _ := routerQuery(t, rt)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Degraded || resp.ShardsAnswered != 1 || resp.Query != "Q" {
+		t.Fatalf("mismatched envelope must fail its slice, got %+v", resp)
+	}
+	if rt.all[1].requestsFailed.Load() == 0 {
+		t.Fatal("rogue replica not penalized for the broken envelope")
+	}
+}
+
+// TestQuarantinePromoteRestartAlerts drives the full evaluate ->
+// remediate -> alert pipeline against a dead primary: probes
+// quarantine it, the policy promotes the replica (scatter keeps full
+// coverage), the restart hook fires with the replica's identity in the
+// environment, and every step surfaces on /alerts and /metrics.
+func TestQuarantinePromoteRestartAlerts(t *testing.T) {
+	dead := newStubShard(t, serveStub(0, http.StatusOK, nil))
+	dead.Close() // connection refused from the start
+	alive := newStubShard(t, serveStub(0, http.StatusOK, stubPartialJSON(t, 0, "Q", 9)))
+
+	restartMark := filepath.Join(t.TempDir(), "restarted")
+	alertc := make(chan Alert, 128)
+	rt := newTestRouter(t, RouterConfig{
+		Slices:          [][]string{{dead.URL, alive.URL}},
+		ProbeInterval:   10 * time.Millisecond,
+		ProbeTimeout:    200 * time.Millisecond,
+		QuarantineAfter: 2,
+		BackoffBase:     20 * time.Millisecond,
+		BackoffMax:      40 * time.Millisecond,
+		HedgeDelay:      -1,
+		RestartCommand:  "echo \"$AHEAD_SLICE.$AHEAD_REPLICA\" > " + restartMark,
+		Policies: []Policy{
+			PromoteOnQuarantine{},
+			ReprobeOnQuarantine{},
+			RestartAfterQuarantines{After: 1},
+		},
+		OnAlert: func(al Alert) {
+			select {
+			case alertc <- al:
+			default:
+			}
+		},
+	})
+
+	// The quarantine transition must arrive, then the promotion must
+	// land on the slice preference.
+	deadline := time.After(10 * time.Second)
+	var sawQuarantine, sawPromote, sawRestart bool
+	for !(sawQuarantine && sawPromote && sawRestart) {
+		select {
+		case al := <-alertc:
+			switch {
+			case al.Kind == "transition" && al.Transition.To == StateQuarantined:
+				sawQuarantine = true
+			case al.Kind == "remediation" && al.Action != nil && al.Action.Kind == ActionPromote:
+				sawPromote = true
+				if al.Action.Replica != 1 {
+					t.Fatalf("promoted replica %d, want 1", al.Action.Replica)
+				}
+			case al.Kind == "remediation" && al.Action != nil && al.Action.Kind == ActionRestart:
+				sawRestart = true
+				if al.Err != "" {
+					t.Fatalf("restart hook failed: %s", al.Err)
+				}
+			}
+		case <-deadline:
+			t.Fatalf("pipeline incomplete: quarantine=%v promote=%v restart=%v (alerts: %+v)",
+				sawQuarantine, sawPromote, sawRestart, rt.Alerts())
+		}
+	}
+	if got := rt.slices[0].preferred.Load(); got != 1 {
+		t.Fatalf("slice preference %d, want promoted replica 1", got)
+	}
+	if data, err := os.ReadFile(restartMark); err != nil || strings.TrimSpace(string(data)) != "0.0" {
+		t.Fatalf("restart hook evidence %q (%v), want \"0.0\"", data, err)
+	}
+
+	// Queries keep full coverage through the promoted replica.
+	resp, code, _ := routerQuery(t, rt)
+	if code != http.StatusOK || resp.Degraded || resp.ShardsAnswered != 1 || resp.Aggs[0] != 9 {
+		t.Fatalf("promoted replica must carry the slice, got %+v (status %d)", resp, code)
+	}
+
+	// The pipeline is visible on the endpoints.
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	metrics := w.Body.String()
+	for _, line := range []string{
+		`ahead_router_shard_up{shard="0",replica="0"} 0`,
+		`ahead_router_shard_up{shard="0",replica="1"} 1`,
+		`ahead_router_slice_preferred_replica{shard="0"} 1`,
+		`ahead_router_remediations_total{action="promote"} `,
+		`ahead_router_health_transitions_total{to="quarantined"} `,
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Fatalf("metrics missing %q:\n%s", line, metrics)
+		}
+	}
+	req = httptest.NewRequest(http.MethodGet, "/alerts", nil)
+	w = httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if body := w.Body.String(); !strings.Contains(body, `"quarantined"`) || !strings.Contains(body, `"promote"`) {
+		t.Fatalf("/alerts missing the pipeline history: %s", body)
+	}
+}

@@ -42,6 +42,7 @@ type Partial struct {
 	Flavor  string `json:"flavor"`
 	Shard   int    `json:"shard"`
 	Shards  int    `json:"shards"`
+	Replica int    `json:"replica,omitempty"`
 	Rows    int    `json:"rows"`
 
 	// KeyA/KeyBits and AggA/AggBits are the AN code parameters of the
@@ -140,6 +141,18 @@ type Merger struct {
 	detected map[string][]uint64
 	nDetect  int
 	answered int
+
+	// Envelope pinned by the first accepted partial; later partials
+	// must agree or they are rejected as malformed - the merged
+	// response's Query/Mode/Flavor are these, never a blind trust of
+	// whichever shard replied first.
+	query, mode, flavor string
+	// seen dedupes hedged duplicates: with request hedging a slice's
+	// primary and replica can both answer, and only the first partial
+	// per slice may contribute - a duplicate silently double-counting
+	// the slice's rows would corrupt every aggregate it touches.
+	seen       map[int]bool
+	duplicates int
 }
 
 // NewMerger returns an empty merger.
@@ -148,6 +161,7 @@ func NewMerger() *Merger {
 		keys:     make(map[string][]uint64),
 		sums:     make(map[string]uint64),
 		detected: make(map[string][]uint64),
+		seen:     make(map[int]bool),
 	}
 }
 
@@ -168,16 +182,29 @@ func packTuple(t []uint64) string {
 
 // Add verifies and merges one shard's partial. It returns an error
 // only for malformed envelopes (version skew, shape mismatches, absurd
-// code parameters) - those mark the shard failed. Bit flips inside the
-// hardened payload are not errors: they are detected, recorded against
-// the shard, and the affected words excluded, exactly as a single-node
-// run excludes an in-memory corruption it detected.
+// code parameters, or a Query/Mode/Flavor that disagrees with the
+// partials merged before it) - those mark the shard failed. A hedged
+// duplicate for an already-merged slice is neither: it is skipped and
+// counted, never double-merged. Bit flips inside the hardened payload
+// are not errors: they are detected, recorded against the shard, and
+// the affected words excluded, exactly as a single-node run excludes
+// an in-memory corruption it detected.
 func (m *Merger) Add(p *Partial) error {
 	if p.Version != WireVersion {
 		return fmt.Errorf("cluster: wire version %d, want %d", p.Version, WireVersion)
 	}
 	if len(p.Keys) != len(p.Aggs) {
 		return fmt.Errorf("cluster: %d key tuples vs %d aggregates", len(p.Keys), len(p.Aggs))
+	}
+	if m.answered == 0 {
+		m.query, m.mode, m.flavor = p.Query, p.Mode, p.Flavor
+	} else if p.Query != m.query || p.Mode != m.mode || p.Flavor != m.flavor {
+		return fmt.Errorf("cluster: partial envelope %s/%s/%s disagrees with merged %s/%s/%s",
+			p.Query, p.Mode, p.Flavor, m.query, m.mode, m.flavor)
+	}
+	if m.seen[p.Shard] {
+		m.duplicates++
+		return nil
 	}
 	keyCode, err := an.New(p.KeyA, p.KeyBits)
 	if err != nil {
@@ -187,6 +214,7 @@ func (m *Merger) Add(p *Partial) error {
 	if err != nil {
 		return fmt.Errorf("cluster: shard agg code: %w", err)
 	}
+	m.seen[p.Shard] = true
 	for i := range p.Keys {
 		tuple := make([]uint64, len(p.Keys[i]))
 		ok := true
@@ -228,8 +256,17 @@ func (m *Merger) Add(p *Partial) error {
 	return nil
 }
 
-// Answered returns the number of shards merged so far.
+// Answered returns the number of distinct slices merged so far.
 func (m *Merger) Answered() int { return m.answered }
+
+// Duplicates returns how many hedged duplicate partials were skipped.
+func (m *Merger) Duplicates() int { return m.duplicates }
+
+// Query, Mode and Flavor return the envelope pinned by the first
+// accepted partial - every later partial was verified against it.
+func (m *Merger) Query() string  { return m.query }
+func (m *Merger) Mode() string   { return m.mode }
+func (m *Merger) Flavor() string { return m.flavor }
 
 // Detections returns the number of corruptions recorded (wire-level
 // plus re-attributed shard-local ones).

@@ -175,6 +175,70 @@ func TestMergeRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestMergeRejectsEnvelopeMismatch pins envelope consistency: partials
+// for a different query, mode, or flavor than the ones already merged
+// are malformed (a routing or shard bug), never silently summed into a
+// relation they don't belong to.
+func TestMergeRejectsEnvelopeMismatch(t *testing.T) {
+	mismatches := []struct {
+		field   string
+		mutate  func(p *Partial)
+	}{
+		{"query", func(p *Partial) { p.Query = "Q-other" }},
+		{"mode", func(p *Partial) { p.Mode = "early" }},
+		{"flavor", func(p *Partial) { p.Flavor = "vector" }},
+	}
+	for _, tc := range mismatches {
+		m := NewMerger()
+		if err := m.Add(partialOf(t, 0, [][]uint64{{1}}, []uint64{2})); err != nil {
+			t.Fatal(err)
+		}
+		bad := partialOf(t, 1, [][]uint64{{1}}, []uint64{3})
+		tc.mutate(bad)
+		if err := m.Add(bad); err == nil {
+			t.Fatalf("%s mismatch must be rejected", tc.field)
+		}
+		if m.Answered() != 1 {
+			t.Fatalf("%s mismatch: answered %d, want 1", tc.field, m.Answered())
+		}
+		if res := m.Result(); res.Aggs[0] != 2 {
+			t.Fatalf("%s mismatch leaked into the merge: %v", tc.field, res.Aggs)
+		}
+	}
+	// The pinned envelope is what the first partial declared.
+	m := NewMerger()
+	if err := m.Add(partialOf(t, 0, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Query() != "Q" || m.Mode() != "Continuous" || m.Flavor() != "scalar" {
+		t.Fatalf("envelope %s/%s/%s not pinned", m.Query(), m.Mode(), m.Flavor())
+	}
+}
+
+// TestMergeDeduplicatesHedgedSlice pins hedge dedup: when a slice's
+// primary and replica both answer, only the first partial contributes;
+// the duplicate is skipped and counted, never double-summed.
+func TestMergeDeduplicatesHedgedSlice(t *testing.T) {
+	m := NewMerger()
+	if err := m.Add(partialOf(t, 0, [][]uint64{{1993}}, []uint64{100})); err != nil {
+		t.Fatal(err)
+	}
+	// The replica computed the identical partial for the same slice.
+	if err := m.Add(partialOf(t, 0, [][]uint64{{1993}}, []uint64{100})); err != nil {
+		t.Fatalf("hedged duplicate must be skipped, not rejected: %v", err)
+	}
+	if err := m.Add(partialOf(t, 1, [][]uint64{{1993}}, []uint64{40})); err != nil {
+		t.Fatal(err)
+	}
+	if m.Answered() != 2 || m.Duplicates() != 1 {
+		t.Fatalf("answered %d duplicates %d, want 2/1", m.Answered(), m.Duplicates())
+	}
+	res := m.Result()
+	if res.Rows() != 1 || res.Aggs[0] != 140 {
+		t.Fatalf("merged %v/%v, want single group summing 140 (not 240)", res.Keys, res.Aggs)
+	}
+}
+
 // TestEncodePartialRejectsOversized guards the wire code domains.
 func TestEncodePartialRejectsOversized(t *testing.T) {
 	if _, err := EncodePartial("Q", "m", "f", ShardSpec{}, [][]uint64{{1 << 33}},

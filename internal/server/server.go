@@ -68,6 +68,10 @@ type Config struct {
 	// served on POST /partial - the DB must already hold the matching
 	// partition (ssb.NewShardSuite).
 	Shard cluster.ShardSpec
+	// Replica identifies which replica of the shard's slice this
+	// server is (0-based). It is informational - stamped on partials so
+	// the router's logs and metrics can attribute hedged answers.
+	Replica int
 
 	// Injector enables POST /inject, which flips bits in hardened base
 	// columns so detection can be observed end to end. Nil disables
@@ -493,6 +497,7 @@ func (s *Server) runPartial(ctx context.Context, name string, plan exec.QueryFun
 	if err != nil {
 		return nil, err
 	}
+	part.Replica = s.cfg.Replica
 	if log.Count() > 0 {
 		s.metrics.detected.Add(uint64(log.Count()))
 		part.Detected = make(map[string][]uint64)

@@ -69,3 +69,17 @@ func NewShardSuite(sf float64, seed int64, runs int, shard cluster.ShardSpec) (*
 	}
 	return &Suite{DB: db, Runs: runs, Warmup: 1}, data, nil
 }
+
+// NewReplicaSuite builds one replica of a shard's partition. Every
+// replica of a slice runs the identical deterministic pipeline -
+// same generation, same hash partition, same physical storage - so
+// any replica's AN-encoded partial is byte-interchangeable with its
+// peers' and the router may merge whichever answers first. The
+// replica index carries no data meaning; it exists so callers keep
+// one constructor for both roles.
+func NewReplicaSuite(sf float64, seed int64, runs int, shard cluster.ShardSpec, replica int) (*Suite, *Data, error) {
+	if replica < 0 {
+		return nil, nil, fmt.Errorf("ssb: replica index %d must be >= 0", replica)
+	}
+	return NewShardSuite(sf, seed, runs, shard)
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Cluster smoke gate (run by `make cluster-smoke` and the CI
-# cluster-smoke job), in three acts:
+# cluster-smoke job), in four acts:
 #
 #   1. Differential: 3 shards + router + a single-node reference at
 #      SF 0.01. Every merged result the router returns must match the
@@ -10,25 +10,42 @@
 #      /inject relay. Queries must keep succeeding at 3/3 coverage and
 #      the corruptions must surface in the router's merge-point
 #      detection counter - never as failures.
-#   3. Shard loss: kill one shard. The router must quarantine it and
-#      keep answering in explicit degraded mode (2/3 coverage), stay
-#      ready, and then drain cleanly on SIGTERM.
+#   3. Shard loss: kill one shard of the single-replica router. It must
+#      quarantine it and keep answering in explicit degraded mode (2/3
+#      coverage), stay ready, and then drain cleanly on SIGTERM.
+#   4. Replica takeover: a second router with two replicas per slice.
+#      Killing a primary must NOT degrade service - the policy engine
+#      quarantines it, promotes the replica, records the transition on
+#      /alerts, and every response stays 3/3 and byte-identical to the
+#      single-node reference.
 set -euo pipefail
 
 REF_ADDR=127.0.0.1:18100
 S1_ADDR=127.0.0.1:18101
 S2_ADDR=127.0.0.1:18102
 S3_ADDR=127.0.0.1:18103
+P1_ADDR=127.0.0.1:18104
+P2_ADDR=127.0.0.1:18105
+P3_ADDR=127.0.0.1:18106
+R1_ADDR=127.0.0.1:18107
+R2_ADDR=127.0.0.1:18108
+R3_ADDR=127.0.0.1:18109
 RT_ADDR=127.0.0.1:18090
+RT2_ADDR=127.0.0.1:18091
 REF=http://$REF_ADDR
 RT=http://$RT_ADDR
+RT2=http://$RT2_ADDR
 
-REF_LOG=$(mktemp) S1_LOG=$(mktemp) S2_LOG=$(mktemp) S3_LOG=$(mktemp) RT_LOG=$(mktemp)
+REF_LOG=$(mktemp) S1_LOG=$(mktemp) S2_LOG=$(mktemp) S3_LOG=$(mktemp)
+P1_LOG=$(mktemp) P2_LOG=$(mktemp) P3_LOG=$(mktemp)
+R1_LOG=$(mktemp) R2_LOG=$(mktemp) R3_LOG=$(mktemp) RT_LOG=$(mktemp) RT2_LOG=$(mktemp)
 PIDS=()
 cleanup() {
     for p in "${PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
     echo "--- router log ---"; cat "$RT_LOG"
-    rm -f "$REF_LOG" "$S1_LOG" "$S2_LOG" "$S3_LOG" "$RT_LOG"
+    echo "--- replica router log ---"; cat "$RT2_LOG"
+    rm -f "$REF_LOG" "$S1_LOG" "$S2_LOG" "$S3_LOG" "$P1_LOG" "$P2_LOG" "$P3_LOG" \
+        "$R1_LOG" "$R2_LOG" "$R3_LOG" "$RT_LOG" "$RT2_LOG"
 }
 trap cleanup EXIT
 
@@ -103,14 +120,14 @@ sleep 3
 
 METRICS=$(curl -fsS "$RT/metrics")
 DEGRADED=$(metric ahead_router_queries_degraded_total "$METRICS")
-UP3=$(echo "$METRICS" | awk '$1 == "ahead_router_shard_up{shard=\"2\"}" { print $2 }')
-QUAR3=$(echo "$METRICS" | awk '$1 == "ahead_router_shard_quarantines_total{shard=\"2\"}" { print $2 }')
+UP3=$(echo "$METRICS" | awk '$1 == "ahead_router_shard_up{shard=\"2\",replica=\"0\"}" { print $2 }')
+QUAR3=$(echo "$METRICS" | awk '$1 == "ahead_router_shard_quarantines_total{shard=\"2\",replica=\"0\"}" { print $2 }')
 [ "$DEGRADED" -gt 0 ] || { echo "FAIL: no degraded responses after shard loss" >&2; exit 1; }
 [ "$UP3" = 0 ] || { echo "FAIL: dead shard still marked up" >&2; exit 1; }
 [ "$QUAR3" -gt 0 ] || { echo "FAIL: dead shard never quarantined" >&2; exit 1; }
 curl -fsS "$RT/readyz" >/dev/null || { echo "FAIL: router not ready in degraded mode" >&2; exit 1; }
 
-echo "--- graceful drain ---"
+echo "--- drain the single-replica router ---"
 kill -TERM "$RT_PID"
 for _ in $(seq 1 60); do
     if ! kill -0 "$RT_PID" 2>/dev/null; then break; fi
@@ -122,7 +139,79 @@ fi
 wait "$RT_PID" || true
 grep -q '^bye$' "$RT_LOG" || { echo "FAIL: router exited without draining" >&2; exit 1; }
 
-for spec in "$S1_PID:$S1_LOG:shard1" "$S2_PID:$S2_LOG:shard2" "$REF_PID:$REF_LOG:reference"; do
+echo "=== act 4: killing a primary must promote its replica, not degrade ==="
+# A fresh 3-slice x 2-replica tier: clean primaries (acts 1-3 planted
+# persistent corruption in S1/S2 via /inject, so they cannot back a
+# byte-identical comparison) plus a second replica of each slice -
+# identical deterministic partitions from the same (sf, seed, shard).
+./bin/ahead-serve -addr "$P1_ADDR" -sf 0.01 -shard 1/3 >"$P1_LOG" 2>&1 &
+P1_PID=$!; PIDS+=("$P1_PID")
+./bin/ahead-serve -addr "$P2_ADDR" -sf 0.01 -shard 2/3 >"$P2_LOG" 2>&1 &
+P2_PID=$!; PIDS+=("$P2_PID")
+./bin/ahead-serve -addr "$P3_ADDR" -sf 0.01 -shard 3/3 >"$P3_LOG" 2>&1 &
+P3_PID=$!; PIDS+=("$P3_PID")
+./bin/ahead-serve -addr "$R1_ADDR" -sf 0.01 -shard 1/3 -replica 1 >"$R1_LOG" 2>&1 &
+R1_PID=$!; PIDS+=("$R1_PID")
+./bin/ahead-serve -addr "$R2_ADDR" -sf 0.01 -shard 2/3 -replica 1 >"$R2_LOG" 2>&1 &
+R2_PID=$!; PIDS+=("$R2_PID")
+./bin/ahead-serve -addr "$R3_ADDR" -sf 0.01 -shard 3/3 -replica 1 >"$R3_LOG" 2>&1 &
+R3_PID=$!; PIDS+=("$R3_PID")
+wait_ready "http://$P1_ADDR" "$P1_PID" primary1
+wait_ready "http://$P2_ADDR" "$P2_PID" primary2
+wait_ready "http://$P3_ADDR" "$P3_PID" primary3
+wait_ready "http://$R1_ADDR" "$R1_PID" replica1
+wait_ready "http://$R2_ADDR" "$R2_PID" replica2
+wait_ready "http://$R3_ADDR" "$R3_PID" replica3
+
+./bin/ahead-router -addr "$RT2_ADDR" \
+    -shards "http://$P1_ADDR|http://$R1_ADDR,http://$P2_ADDR|http://$R2_ADDR,http://$P3_ADDR|http://$R3_ADDR" \
+    -probe-interval 200ms -quarantine-after 3 -backoff-base 2s -hedge-delay 50ms >"$RT2_LOG" 2>&1 &
+RT2_PID=$!; PIDS+=("$RT2_PID")
+wait_ready "$RT2" "$RT2_PID" replica-router
+
+# Healthy baseline: full coverage, byte-identical to the single node.
+./bin/ahead-loadgen -addr "$RT2" -concurrency 8 -duration 5s -seed 17 \
+    -reference "$REF" -expect-shards 3/3
+
+# Kill slice 2's primary mid-flight; the replica must absorb every query.
+kill -9 "$P2_PID"
+sleep 2
+./bin/ahead-loadgen -addr "$RT2" -concurrency 8 -duration 5s -seed 19 \
+    -reference "$REF" -expect-shards 3/3
+
+METRICS=$(curl -fsS "$RT2/metrics")
+echo "$METRICS" | grep -E '^ahead_router' || true
+DEGRADED2=$(metric ahead_router_queries_degraded_total "$METRICS")
+UP2=$(echo "$METRICS" | awk '$1 == "ahead_router_shard_up{shard=\"1\",replica=\"0\"}" { print $2 }')
+PREF2=$(echo "$METRICS" | awk '$1 == "ahead_router_slice_preferred_replica{shard=\"1\"}" { print $2 }')
+PROMOTES=$(echo "$METRICS" | awk '$1 == "ahead_router_remediations_total{action=\"promote\"}" { print $2 }')
+TRANSITIONS=$(echo "$METRICS" | awk '$1 == "ahead_router_health_transitions_total{to=\"quarantined\"}" { print $2 }')
+[ "$DEGRADED2" -eq 0 ] || { echo "FAIL: $DEGRADED2 degraded responses despite live replicas" >&2; exit 1; }
+[ "$UP2" = 0 ] || { echo "FAIL: killed primary still marked up" >&2; exit 1; }
+[ "$PREF2" = 1 ] || { echo "FAIL: slice 2 never promoted its replica (preferred=$PREF2)" >&2; exit 1; }
+[ "$PROMOTES" -gt 0 ] || { echo "FAIL: no promote remediation recorded" >&2; exit 1; }
+[ "$TRANSITIONS" -gt 0 ] || { echo "FAIL: no quarantine transition recorded" >&2; exit 1; }
+
+ALERTS=$(curl -fsS "$RT2/alerts")
+echo "$ALERTS" | grep -q '"quarantined"' || { echo "FAIL: /alerts missing the quarantine transition" >&2; exit 1; }
+echo "$ALERTS" | grep -q '"promote"' || { echo "FAIL: /alerts missing the promote remediation" >&2; exit 1; }
+
+echo "--- graceful drain ---"
+kill -TERM "$RT2_PID"
+for _ in $(seq 1 60); do
+    if ! kill -0 "$RT2_PID" 2>/dev/null; then break; fi
+    sleep 0.5
+done
+if kill -0 "$RT2_PID" 2>/dev/null; then
+    echo "FAIL: replica router did not drain within 30s" >&2; exit 1
+fi
+wait "$RT2_PID" || true
+grep -q '^bye$' "$RT2_LOG" || { echo "FAIL: replica router exited without draining" >&2; exit 1; }
+
+for spec in "$S1_PID:$S1_LOG:shard1" "$S2_PID:$S2_LOG:shard2" \
+            "$P1_PID:$P1_LOG:primary1" "$P3_PID:$P3_LOG:primary3" \
+            "$R1_PID:$R1_LOG:replica1" "$R2_PID:$R2_LOG:replica2" \
+            "$R3_PID:$R3_LOG:replica3" "$REF_PID:$REF_LOG:reference"; do
     pid=${spec%%:*}; rest=${spec#*:}; log=${rest%%:*}; name=${rest#*:}
     kill -TERM "$pid"
     for _ in $(seq 1 60); do
@@ -133,4 +222,4 @@ for spec in "$S1_PID:$S1_LOG:shard1" "$S2_PID:$S2_LOG:shard2" "$REF_PID:$REF_LOG
     grep -q '^bye$' "$log" || { echo "FAIL: $name exited without draining" >&2; exit 1; }
 done
 
-echo "cluster-smoke OK: served=$SERVED detected=$DETECTED degraded=$DEGRADED"
+echo "cluster-smoke OK: served=$SERVED detected=$DETECTED degraded=$DEGRADED promotes=$PROMOTES"
