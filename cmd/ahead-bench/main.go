@@ -117,6 +117,8 @@ func run() error {
 	workers := flag.Int("workers", 4, "pool workers (fixed, for deterministic morsel counts)")
 	benchtime := flag.String("benchtime", "300ms", "per-repetition measuring time")
 	repeats := flag.Int("repeat", 3, "repetitions per benchmark (fastest one is kept)")
+	minSpeedup := flag.Float64("packed-speedup", 1.5,
+		"minimum packed/wide serial Late scan-bandwidth ratio (0: no gate)")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		return err
@@ -171,6 +173,40 @@ func run() error {
 		}
 	}
 
+	// Direct-on-compressed pairs: the same range predicate over
+	// lo_discount (16-bit code words, lane-packed three per 64-bit word)
+	// on the packed SWAR kernels vs the wide arrays (NoPacked). SetBytes
+	// stays the logical 8-byte width, so MB/s reads as unpacked-equivalent
+	// scan bandwidth and the pair's ratio is the packed speedup.
+	disc := db.Hardened("lineorder").MustColumn("lo_discount")
+	if disc.Packed() == nil {
+		return fmt.Errorf("lo_discount carries no packed mirror; packed-scan benches are vacuous")
+	}
+	for _, v := range []struct {
+		variant string
+		detect  bool
+	}{{"Late", false}, {"Continuous", true}} {
+		for _, par := range []string{"serial", "pool"} {
+			for _, rep := range []string{"packed-scan", "wide-scan"} {
+				name := "kernel/" + rep + "/" + v.variant + "/" + par
+				o := &ops.Opts{Detect: v.detect, Log: ops.NewErrorLog(), NoPacked: rep == "wide-scan"}
+				if par == "pool" {
+					o.Par = pool
+				}
+				h.add(name, func(b *testing.B, fail func(error)) {
+					b.SetBytes(int64(8 * disc.Len()))
+					for i := 0; i < b.N; i++ {
+						o.Log.Reset()
+						if _, err := ops.Filter(disc, 1, 3, o); err != nil {
+							fail(err)
+							return
+						}
+					}
+				})
+			}
+		}
+	}
+
 	benchQuery := func(mode exec.Mode, plan exec.QueryFunc, opts ...exec.RunOption) func(b *testing.B, fail func(error)) {
 		return func(b *testing.B, fail func(error)) {
 			for i := 0; i < b.N; i++ {
@@ -186,6 +222,15 @@ func run() error {
 	for _, mode := range benchModes {
 		h.add("query/Q1.1/"+mode.String()+"/fused", benchQuery(mode, ssb.Queries["Q1.1"]))
 		h.add("query/Q1.1/"+mode.String()+"/materialized", benchQuery(mode, ssb.Q11Materialized))
+	}
+
+	// Fused-vs-packed pairs on the Q1.1 flight: the fused plan's stage-0
+	// scans run on the packed mirrors by default; WithPacked(false) is the
+	// wide A/B twin of the same plan.
+	for _, mode := range []exec.Mode{exec.LateOnetime, exec.Continuous} {
+		h.add("query/Q1.1/"+mode.String()+"/fused-packed", benchQuery(mode, ssb.Queries["Q1.1"]))
+		h.add("query/Q1.1/"+mode.String()+"/fused-wide",
+			benchQuery(mode, ssb.Queries["Q1.1"], exec.WithPacked(false)))
 	}
 
 	// Fused probe cascade vs. materializing pipeline on the Q4.1 flight
@@ -211,6 +256,35 @@ func run() error {
 	}
 	if err := h.run(); err != nil {
 		return err
+	}
+
+	// The packed kernels earn their keep or fail the harness: the serial
+	// Late pair's bandwidth ratio is the headline claim of the
+	// direct-on-compressed change and is gated directly, not just against
+	// the baseline's drift tolerance.
+	if *minSpeedup > 0 {
+		mbps := func(name string) (float64, error) {
+			for _, e := range h.report.Benchmarks {
+				if e.Name == name {
+					return e.MBPerS, nil
+				}
+			}
+			return 0, fmt.Errorf("benchmark %s missing from report", name)
+		}
+		packed, err := mbps("kernel/packed-scan/Late/serial")
+		if err != nil {
+			return err
+		}
+		wide, err := mbps("kernel/wide-scan/Late/serial")
+		if err != nil {
+			return err
+		}
+		ratio := packed / wide
+		fmt.Printf("packed Late scan: %.0f MB/s vs wide %.0f MB/s (%.2fx, gate %.2fx)\n",
+			packed, wide, ratio, *minSpeedup)
+		if ratio < *minSpeedup {
+			return fmt.Errorf("packed Late scan speedup %.2fx below the %.2fx gate", ratio, *minSpeedup)
+		}
 	}
 
 	if err := benchfmt.Write(*jsonPath, &h.report); err != nil {

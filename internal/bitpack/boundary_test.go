@@ -1,0 +1,160 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+// scanRef is the scalar reference ScanRange must match: decode (or
+// compare raw against encoded bounds) value by value via Get.
+func scanRef(v *Vector, lo, hi uint64, detect bool) (out, errs []uint32) {
+	if lo > hi {
+		return nil, nil
+	}
+	if v.code != nil {
+		if lo > v.code.MaxData() {
+			return nil, nil
+		}
+		if hi > v.code.MaxData() {
+			hi = v.code.MaxData()
+		}
+	}
+	for i := 0; i < v.Len(); i++ {
+		raw := v.Get(i)
+		switch {
+		case v.code == nil:
+			if raw-lo <= hi-lo {
+				out = append(out, uint32(i))
+			}
+		case detect:
+			d, ok := v.code.Check(raw)
+			if !ok {
+				errs = append(errs, uint32(i))
+			} else if d-lo <= hi-lo {
+				out = append(out, uint32(i))
+			}
+		default:
+			loC, hiC := v.code.Encode(lo), v.code.Encode(hi)
+			if raw-loC <= hiC-loC {
+				out = append(out, uint32(i))
+			}
+		}
+	}
+	return out, errs
+}
+
+// The tail of a packed vector - the final, partially filled word, and
+// values straddling the last word boundary - must scan exactly like the
+// interior. Cover every width (63- and 64-bit values straddle or fill
+// whole words, the SWAR-hostile extremes) at lengths that are not a
+// multiple of the per-word value count.
+func TestVectorScanRangeTailBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, bits := range []uint{1, 7, 8, 13, 16, 21, 31, 32, 33, 48, 63, 64} {
+		perWord := int(64 / bits)
+		if perWord == 0 {
+			perWord = 1
+		}
+		for _, n := range []int{0, 1, perWord, perWord + 1, 3*perWord - 1, 3*perWord + 1, 64, 65, 127} {
+			v, err := New(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mask := maskFor(bits)
+			for i := 0; i < n; i++ {
+				v.Append(rng.Uint64() & mask)
+			}
+			lo := rng.Uint64() & mask
+			hi := rng.Uint64() & mask
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			got, _ := v.ScanRange(lo, hi, false, nil, nil)
+			want, _ := scanRef(v, lo, hi, false)
+			if len(got) != len(want) {
+				t.Fatalf("bits=%d n=%d [%d,%d]: %d matches, want %d", bits, n, lo, hi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("bits=%d n=%d: match %d = %d, want %d", bits, n, i, got[i], want[i])
+				}
+			}
+			// The full range must select every value - a missed tail
+			// value or a phantom garbage lane both break the count.
+			all, _ := v.ScanRange(0, mask, false, nil, nil)
+			if len(all) != n {
+				t.Fatalf("bits=%d n=%d: full scan found %d", bits, n, len(all))
+			}
+		}
+	}
+}
+
+// Hardened scans at the widest supported code (|C| = 64, values fill
+// whole words) and at 63 bits (values straddle every other boundary),
+// with and without detection.
+func TestVectorScanRangeWideCodeTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dataBits := range []uint{48} {
+		code, err := an.New(32417, dataBits) // 15-bit A: 63-bit codes
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 63, 64, 65, 100} {
+			v, err := NewHardened(code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = rng.Uint64() & (1<<20 - 1)
+				v.AppendValue(vals[i])
+			}
+			lo, hi := uint64(1<<10), uint64(1<<18)
+			for _, detect := range []bool{false, true} {
+				got, errs := v.ScanRange(lo, hi, detect, nil, nil)
+				want, _ := scanRef(v, lo, hi, detect)
+				if len(errs) != 0 {
+					t.Fatalf("bits=%d n=%d detect=%v: clean data flagged %d", code.CodeBits(), n, detect, len(errs))
+				}
+				if len(got) != len(want) {
+					t.Fatalf("bits=%d n=%d detect=%v: %d matches, want %d", code.CodeBits(), n, detect, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("bits=%d n=%d: match %d = %d, want %d", code.CodeBits(), n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Set/Corrupt on values straddling the final word boundary must not
+// damage neighbors, and a corruption planted in the very last value of
+// an odd-length vector must be detected by the checked scan.
+func TestVectorTailCorruptionDetected(t *testing.T) {
+	code, err := an.New(32417, 48) // 63-bit codes: every second value straddles
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 65
+	v, err := NewHardened(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v.AppendValue(uint64(i))
+	}
+	v.Corrupt(n-1, 1<<62)
+	_, errs := v.ScanRange(0, code.MaxData(), true, nil, nil)
+	if len(errs) != 1 || int(errs[0]) != n-1 {
+		t.Fatalf("tail corruption: errs = %v", errs)
+	}
+	for i := 0; i < n-1; i++ {
+		if v.Value(i) != uint64(i) {
+			t.Fatalf("neighbor %d damaged by tail corrupt", i)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package bitpack
+
+import (
+	"testing"
+
+	"ahead/internal/an"
+)
+
+// fuzzValues decodes the fuzz byte stream into one value per byte.
+func fuzzValues(data []byte, mask uint64) []uint64 {
+	vals := make([]uint64, 0, len(data))
+	for _, b := range data {
+		vals = append(vals, uint64(b)&mask)
+	}
+	return vals
+}
+
+// FuzzBitpackRoundTrip checks that packing arbitrary values at an
+// arbitrary width - dense (Vector) and lane-aligned (Lanes) - round
+// trips exactly through Append/Get and Set/Get, including the straddled
+// and partially filled tail words.
+func FuzzBitpackRoundTrip(f *testing.F) {
+	f.Add(uint8(13), []byte{0, 1, 2, 3, 200, 255})
+	f.Add(uint8(63), []byte{255, 254, 1})
+	f.Add(uint8(64), []byte{42})
+	f.Add(uint8(16), []byte{9, 9, 9, 9, 9, 9, 9})
+	f.Add(uint8(1), []byte{0, 1, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, bitsSel uint8, data []byte) {
+		bits := uint(bitsSel)%64 + 1
+		mask := maskFor(bits)
+		vals := fuzzValues(data, mask)
+
+		v, err := New(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range vals {
+			v.Append(d)
+		}
+		if v.Len() != len(vals) {
+			t.Fatalf("bits=%d: Len %d, want %d", bits, v.Len(), len(vals))
+		}
+		for i, d := range vals {
+			if got := v.Get(i); got != d {
+				t.Fatalf("bits=%d: Get(%d) = %d, want %d", bits, i, got, d)
+			}
+		}
+		// Overwrite in place (reversed values) and re-verify: Set must
+		// not leak into neighboring packed values.
+		for i, d := range vals {
+			v.Set(i, mask-d)
+		}
+		for i, d := range vals {
+			if got := v.Get(i); got != mask-d {
+				t.Fatalf("bits=%d: after Set, Get(%d) = %d, want %d", bits, i, got, mask-d)
+			}
+		}
+
+		if bits > MaxLaneBits {
+			return
+		}
+		l, err := NewLanes(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range vals {
+			l.Append(d)
+		}
+		for i, d := range vals {
+			if got := l.Get(i); got != d {
+				t.Fatalf("lanes bits=%d: Get(%d) = %d, want %d", bits, i, got, d)
+			}
+		}
+		for i, d := range vals {
+			l.Set(i, mask-d)
+		}
+		for i, d := range vals {
+			if got := l.Get(i); got != mask-d {
+				t.Fatalf("lanes bits=%d: after Set, Get(%d) = %d, want %d", bits, i, got, mask-d)
+			}
+		}
+	})
+}
+
+// FuzzPackedScanDetectOrReject pins the packed-representation detection
+// guarantee: for arbitrary values and an arbitrary fault mask, the
+// checked scan either flags the corrupted row or treats it exactly as
+// the scalar recomputation of the corrupted word dictates - never a
+// silent wrong match. Single-bit flips (below every super A's minimum
+// bit-flip weight) must always be flagged, and the dense and
+// lane-aligned representations must agree position for position, on
+// both the checked and the raw (late, encoded-bounds) paths.
+func FuzzPackedScanDetectOrReject(f *testing.F) {
+	f.Add(uint64(29), uint64(8), uint16(3), uint64(1)<<5, uint8(10), uint8(90), []byte{1, 2, 3, 40, 50, 60, 70, 80, 90, 100})
+	f.Add(uint64(233), uint64(8), uint16(0), uint64(1)<<12, uint8(0), uint8(255), []byte{255, 0, 128})
+	f.Add(uint64(61), uint64(16), uint16(7), uint64(3), uint8(5), uint8(5), []byte{5, 5, 5, 5, 5, 5, 5, 5})
+	f.Add(uint64(32417), uint64(16), uint16(100), uint64(1)<<30, uint8(1), uint8(200), []byte{9, 200, 17})
+	f.Fuzz(func(t *testing.T, a, dataBits uint64, idxRaw uint16, flip uint64, loSel, hiSel uint8, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// Normalize into a code whose words fit the lane layout:
+		// A odd, >1, at most 15 bits; data width in [1,16] - |C| <= 31.
+		a = a&(1<<15-1) | 1
+		if a < 3 {
+			a = 3
+		}
+		db := uint(dataBits)%16 + 1
+		code, err := an.New(a, db)
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", a, db, err)
+		}
+		vals := fuzzValues(data, code.MaxData())
+		n := len(vals)
+		idx := int(idxRaw) % n
+		lo := uint64(loSel) % (code.MaxData() + 1)
+		hi := uint64(hiSel) % (code.MaxData() + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+
+		build := func() (*Vector, *Lanes) {
+			v, err := Pack(vals, 0, code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := PackLanes(vals, 0, code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v, l
+		}
+		// Both representations must agree entry for entry; out32/out64
+		// carry the same indices in different integer widths.
+		agree := func(what string, out32 []uint32, out64 []uint64) {
+			if len(out32) != len(out64) {
+				t.Fatalf("%s: dense %d entries, lanes %d", what, len(out32), len(out64))
+			}
+			for i := range out32 {
+				if uint64(out32[i]) != out64[i] {
+					t.Fatalf("%s: entry %d dense=%d lanes=%d", what, i, out32[i], out64[i])
+				}
+			}
+		}
+
+		// Part 1: a single-bit flip inside the code word is always below
+		// the minimum bit-flip weight - it must be flagged, and never
+		// emitted as a match, by both representations.
+		bit := uint(flip) % code.CodeBits()
+		v, l := build()
+		v.Corrupt(idx, 1<<bit)
+		l.Corrupt(idx, 1<<bit)
+		outV, errsV := v.ScanRange(0, code.MaxData(), true, nil, nil)
+		outL, errsL := l.ScanRangeCheckedInto(0, code.MaxData(), 0, n, 1, nil, nil)
+		agree("single-bit out", outV, outL)
+		agree("single-bit errs", errsV, errsL)
+		found := false
+		for _, e := range errsV {
+			if int(e) == idx {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("single-bit flip at bit %d of row %d escaped detection", bit, idx)
+		}
+		for _, p := range outV {
+			if int(p) == idx {
+				t.Fatalf("corrupted row %d emitted as a match", idx)
+			}
+		}
+
+		// Part 2: an arbitrary fault mask. The corrupted word either
+		// fails verification (row in errs) or still decodes validly - in
+		// which case the match decision must equal the scalar predicate
+		// on the decoded corrupted value. Either way: no silent wrong
+		// match against the stored word.
+		mask := flip & code.CodeMask()
+		if mask == 0 {
+			return
+		}
+		v, l = build()
+		v.Corrupt(idx, mask)
+		l.Corrupt(idx, mask)
+		if v.Get(idx) != l.Get(idx) {
+			t.Fatalf("representations diverged on corrupted word: dense %#x lanes %#x", v.Get(idx), l.Get(idx))
+		}
+		outV, errsV = v.ScanRange(lo, hi, true, nil, nil)
+		outL, errsL = l.ScanRangeCheckedInto(lo, hi, 0, n, 1, nil, nil)
+		agree("masked out", outV, outL)
+		agree("masked errs", errsV, errsL)
+		inErrs, inOut := false, false
+		for _, e := range errsV {
+			if int(e) == idx {
+				inErrs = true
+			}
+		}
+		for _, p := range outV {
+			if int(p) == idx {
+				inOut = true
+			}
+		}
+		d, ok := code.Check(v.Get(idx))
+		switch {
+		case !ok && !inErrs:
+			t.Fatalf("invalid corrupted word at %d not flagged", idx)
+		case !ok && inOut:
+			t.Fatalf("invalid corrupted word at %d emitted as a match", idx)
+		case ok && inErrs:
+			t.Fatalf("still-valid corrupted word at %d flagged as corrupt", idx)
+		case ok && inOut != (d >= lo && d <= hi):
+			t.Fatalf("corrupted word at %d decodes to %d; match=%v disagrees with [%d,%d]", idx, d, inOut, lo, hi)
+		}
+
+		// Late path: raw code words against encoded bounds must agree
+		// across representations on the same corrupted data.
+		rawV, _ := v.ScanRange(lo, hi, false, nil, nil)
+		rawL := l.ScanRangeRawInto(code.Encode(lo), code.Encode(hi), 0, n, 1, nil)
+		agree("late raw", rawV, rawL)
+	})
+}

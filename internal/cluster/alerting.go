@@ -14,8 +14,8 @@ type Alert struct {
 	Kind       string     `json:"kind"`
 	Transition Transition `json:"transition"`
 	// Action is set on remediation alerts.
-	Action *Action `json:"action,omitempty"`
-	Err    string  `json:"error,omitempty"`
+	Action *Action   `json:"action,omitempty"`
+	Err    string    `json:"error,omitempty"`
 	At     time.Time `json:"at"`
 }
 

@@ -94,9 +94,9 @@ func TestReprobeAndRestartPolicies(t *testing.T) {
 
 // opsRecorder mocks ClusterOps and records every call.
 type opsRecorder struct {
-	promoted  [][2]int
-	reprobed  [][2]int
-	restarted []string
+	promoted   [][2]int
+	reprobed   [][2]int
+	restarted  []string
 	restartErr error
 	promoteRet bool
 }

@@ -181,8 +181,8 @@ func TestMergeRejectsMalformed(t *testing.T) {
 // relation they don't belong to.
 func TestMergeRejectsEnvelopeMismatch(t *testing.T) {
 	mismatches := []struct {
-		field   string
-		mutate  func(p *Partial)
+		field  string
+		mutate func(p *Partial)
 	}{
 		{"query", func(p *Partial) { p.Query = "Q-other" }},
 		{"mode", func(p *Partial) { p.Mode = "early" }},

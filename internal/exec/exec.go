@@ -432,6 +432,7 @@ type runCfg struct {
 	pool      *Pool
 	transient bool
 	noFuse    bool
+	noPacked  bool
 	ctx       context.Context
 	capture   *Capture
 }
@@ -470,6 +471,16 @@ func WithPool(p *Pool) RunOption {
 // axis of the cross-mode differential test matrix.
 func WithFusion(enabled bool) RunOption {
 	return func(c *runCfg) { c.noFuse = !enabled }
+}
+
+// WithPacked toggles the direct-on-compressed scan kernels (on by
+// default). Passing false forces the wide kernels even on columns that
+// carry a packed lane mirror - the A/B switch of the fused-vs-packed
+// bench pairs and the packed differential suite. Results, error logs
+// and entry order are identical either way (ops/packed.go); only
+// throughput differs.
+func WithPacked(enabled bool) RunOption {
+	return func(c *runCfg) { c.noPacked = !enabled }
 }
 
 // WithContext bounds the run: deadlines and cancellations on ctx stop
@@ -522,12 +533,12 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		if pool != nil && pool.Workers() > 1 {
 			return runReplicated(db, m, flavor, plan, pool, log, 2, cfg)
 		}
-		q1 := &Query{db: db, mode: m, flavor: flavor, log: log, noFuse: cfg.noFuse, ctx: cfg.ctx, capture: cfg.capture}
+		q1 := &Query{db: db, mode: m, flavor: flavor, log: log, noFuse: cfg.noFuse, noPacked: cfg.noPacked, ctx: cfg.ctx, capture: cfg.capture}
 		r1, err := plan(q1)
 		if err != nil {
 			return nil, log, err
 		}
-		q2 := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: 1, noFuse: cfg.noFuse, ctx: cfg.ctx}
+		q2 := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: 1, noFuse: cfg.noFuse, noPacked: cfg.noPacked, ctx: cfg.ctx}
 		r2, err := plan(q2)
 		if err != nil {
 			return nil, log, err
@@ -542,7 +553,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		}
 		results := make([]*ops.Result, 3)
 		for i := range results {
-			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i, noFuse: cfg.noFuse, ctx: cfg.ctx, capture: cfg.capture}
+			q := &Query{db: db, mode: m, flavor: flavor, log: log, replicaIdx: i, noFuse: cfg.noFuse, noPacked: cfg.noPacked, ctx: cfg.ctx, capture: cfg.capture}
 			r, err := plan(q)
 			if err != nil {
 				return nil, log, err
@@ -551,7 +562,7 @@ func Run(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, opts ...RunOption) (
 		}
 		return voteTMR(results, log)
 	default:
-		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool, noFuse: cfg.noFuse, ctx: cfg.ctx, capture: cfg.capture}
+		q := &Query{db: db, mode: m, flavor: flavor, log: log, pool: pool, noFuse: cfg.noFuse, noPacked: cfg.noPacked, ctx: cfg.ctx, capture: cfg.capture}
 		r, err := plan(q)
 		return r, log, err
 	}
@@ -573,7 +584,7 @@ func runReplicated(db *DB, m Mode, flavor ops.Flavor, plan QueryFunc, pool *Pool
 		i := i
 		jobs[i] = func() {
 			logs[i] = ops.NewErrorLog()
-			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool, noFuse: cfg.noFuse, ctx: cfg.ctx, capture: cfg.capture}
+			q := &Query{db: db, mode: m, flavor: flavor, log: logs[i], replicaIdx: i, pool: pool, noFuse: cfg.noFuse, noPacked: cfg.noPacked, ctx: cfg.ctx, capture: cfg.capture}
 			results[i], errs[i] = plan(q)
 		}
 	}
@@ -618,6 +629,7 @@ type Query struct {
 	deltaCache map[string]*storage.Column
 	pool       *Pool
 	noFuse     bool
+	noPacked   bool
 	ctx        context.Context
 	capture    *Capture
 }
@@ -640,6 +652,7 @@ func (q *Query) Opts() *ops.Opts {
 		HardenIDs: detect,
 		Flavor:    q.flavor,
 		Log:       q.log,
+		NoPacked:  q.noPacked,
 		Ctx:       q.ctx,
 	}
 	// Assign through a typed check so a nil *Pool never becomes a

@@ -26,6 +26,11 @@ type Opts struct {
 	HardenIDs bool
 	Flavor    Flavor
 	Log       *ErrorLog
+	// NoPacked forces the wide kernels even on columns that carry a
+	// packed lane mirror - the A/B switch of the fused-vs-packed bench
+	// pairs and the packed differential tests. Results are identical
+	// either way (see packed.go); only throughput differs.
+	NoPacked bool
 	// Par runs the kernels morsel-parallel when non-nil (exec.Pool
 	// implements it); nil means serial execution. Parallel kernels give
 	// every morsel a private error log and merge them in morsel order,
@@ -109,6 +114,9 @@ func Filter(col *storage.Column, lo, hi uint64, o *Opts) (*Sel, error) {
 // capacity covers end-start emissions, so the kernels below never grow
 // it.
 func filterRange(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, start, end int) (*[]uint64, error) {
+	if l := o.packedLanes(col); l != nil {
+		return filterPackedRange(col, l, lo, hi, o, log, start, end)
+	}
 	buf := borrowU64(end - start)
 	var out []uint64
 	var err error
@@ -119,6 +127,13 @@ func filterRange(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, sta
 		out, err = filterChecked(col, lo, hi, o, log, start, end, *buf)
 	default:
 		code := col.Code()
+		if lo > code.MaxData() {
+			// A lower bound beyond the data domain selects nothing;
+			// encoding it would wrap past the comparable code range and
+			// the unsigned range trick would select everything instead.
+			out = (*buf)[:0]
+			break
+		}
 		if hi > code.MaxData() {
 			hi = code.MaxData()
 		}
@@ -215,6 +230,12 @@ func filterSelRange(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts, log *
 	detect := o.detect()
 	var loC, hiC uint64 = lo, hi
 	if code != nil && !detect {
+		if loC > code.MaxData() {
+			// Same convention as filterRange: a lower bound beyond the
+			// data domain selects nothing rather than wrapping.
+			*buf = out
+			return buf, nil
+		}
 		if hiC > code.MaxData() {
 			hiC = code.MaxData()
 		}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"ahead/internal/an"
+	"ahead/internal/bitpack"
 	"ahead/internal/hashmap"
 	"ahead/internal/storage"
 )
@@ -66,16 +67,17 @@ type RangePred struct {
 type fusedPred struct {
 	col   *storage.Column
 	code  *an.Code
-	lo    uint64 // comparison base (encoded for raw hardened compare)
-	span  uint64 // hi-lo in the comparison domain
+	lanes *bitpack.Lanes // packed mirror for the block scan, or nil
+	lo    uint64         // comparison base (encoded for raw hardened compare)
+	span  uint64         // hi-lo in the comparison domain
 	inv   uint64
 	mask  uint64
 	dmax  uint64
 	empty bool // statically unsatisfiable range
 }
 
-func makeFusedPred(p RangePred, detect bool) fusedPred {
-	f := fusedPred{col: p.Col, code: p.Col.Code()}
+func makeFusedPred(p RangePred, detect bool, o *Opts) fusedPred {
+	f := fusedPred{col: p.Col, code: p.Col.Code(), lanes: o.packedLanes(p.Col)}
 	lo, hi := p.Lo, p.Hi
 	if lo > hi {
 		f.empty = true
@@ -141,6 +143,24 @@ func (f *fusedPred) scanBlock(bs, be int, detect bool, flavor Flavor, log *Error
 	c := f.col
 	base := uint64(bs)
 	lo, hi := f.lo, f.lo+f.span
+	if f.lanes != nil {
+		// Direct-on-compressed block scan (see packed.go): SWAR over the
+		// lane mirror for the raw compare, per-lane Algorithm 1 for
+		// Continuous. Positions and log entries match the wide kernels.
+		if detect {
+			ebuf := borrowU64(be - bs)
+			out, errs := f.lanes.ScanRangeCheckedInto(lo, hi, bs, be, 1, buf[:0], (*ebuf)[:0])
+			if log != nil {
+				for _, e := range errs {
+					log.Record(c.Name(), e)
+				}
+			}
+			*ebuf = errs
+			releaseU64(ebuf)
+			return out
+		}
+		return f.lanes.ScanRangeRawInto(lo, hi, bs, be, 1, buf[:0])
+	}
 	if f.code != nil && detect {
 		switch {
 		case c.U16() != nil:
@@ -446,7 +466,7 @@ func FusedFilterSemiSumProduct(preds []RangePred, fk *storage.Column, ht *hashma
 	}
 	fps := make([]fusedPred, len(preds))
 	for i, p := range preds {
-		fps[i] = makeFusedPred(p, detect)
+		fps[i] = makeFusedPred(p, detect, o)
 		if fps[i].empty {
 			return fusedSumOut(name, 0, a.Code(), detect, log)
 		}
@@ -902,7 +922,7 @@ func buildKeyBits(ht *hashmap.U64) ([]uint64, uint64) {
 // *build* position - the repairable coordinate - and drops the row
 // (Continuous), or logs into the vec: namespace and keeps the decoded
 // value (Late, the PreAggregate Δ folded into the pass).
-func (j *fusedJoinCol) probeRow(row, rel int, attrBuf []uint64, detect bool, kl *keyedLog) (bool, error) {
+func (j *fusedJoinCol) probeRow(row, rel int, attrBuf []uint16, detect bool, kl *keyedLog) (bool, error) {
 	kv := j.fk.col.Get(row)
 	if j.fk.code != nil {
 		d := kv * j.fk.inv & j.fk.mask
@@ -944,13 +964,16 @@ func (j *fusedJoinCol) probeRow(row, rel int, attrBuf []uint64, detect bool, kl 
 	if av >= 1<<16 {
 		return false, fmt.Errorf("ops: group key component %q value %d exceeds 16 bits", j.attr.col.Name(), av)
 	}
-	attrBuf[rel] = av
+	// The 16-bit bound just checked is what lets the staging buffer live
+	// in the arena's u16 class: a quarter of the block footprint the old
+	// uint64 staging paid per attribute.
+	attrBuf[rel] = uint16(av)
 	return true, nil
 }
 
 // probeBitmap probes the set rows of a block bitmap, clearing the bits
 // of dropped rows, and returns the survivor count.
-func (j *fusedJoinCol) probeBitmap(bs int, words []uint64, attrBuf []uint64, detect bool, kl *keyedLog) (int, error) {
+func (j *fusedJoinCol) probeBitmap(bs int, words []uint64, attrBuf []uint16, detect bool, kl *keyedLog) (int, error) {
 	count := 0
 	for w := range words {
 		word := words[w]
@@ -975,7 +998,7 @@ func (j *fusedJoinCol) probeBitmap(bs int, words []uint64, attrBuf []uint64, det
 }
 
 // probeList probes a block's position list, compacting it in place.
-func (j *fusedJoinCol) probeList(bs int, pos []uint64, attrBuf []uint64, detect bool, kl *keyedLog) ([]uint64, error) {
+func (j *fusedJoinCol) probeList(bs int, pos []uint64, attrBuf []uint16, detect bool, kl *keyedLog) ([]uint64, error) {
 	out := pos[:0]
 	for _, p := range pos {
 		keep, err := j.probeRow(int(p), int(p)-bs, attrBuf, detect, kl)
@@ -1004,7 +1027,7 @@ type fusedGroupPart struct {
 // into a composite key, assigns morsel-local dense group ids, and
 // accumulates the measure (or measure difference) per group.
 type fusedGrouper struct {
-	attrBufs [][]uint64
+	attrBufs [][]uint16
 	nAttrs   int
 	ma, mb   fusedCol
 	hasB     bool
@@ -1022,13 +1045,13 @@ type fusedGrouper struct {
 func (g *fusedGrouper) consume(row, rel int, kl *keyedLog) {
 	var packed uint64
 	for c := 0; c < g.nAttrs; c++ {
-		packed |= g.attrBufs[c][rel] << (16 * uint(c))
+		packed |= uint64(g.attrBufs[c][rel]) << (16 * uint(c))
 	}
 	id, inserted := g.ht.GetOrInsert(packed, uint32(len(g.part.groups)))
 	if inserted {
 		tuple := make([]uint64, g.nAttrs)
 		for c := range tuple {
-			tuple[c] = g.attrBufs[c][rel]
+			tuple[c] = uint64(g.attrBufs[c][rel])
 		}
 		g.part.groups = append(g.part.groups, tuple)
 		g.part.packed = append(g.part.packed, packed)
@@ -1118,7 +1141,7 @@ func fusedProbeGroupRange(preds []fusedPred, joins []fusedJoinCol, ma, mb fusedC
 	words := (*bmBuf)[:fusedBlockWords]
 
 	g := &fusedGrouper{
-		attrBufs: make([][]uint64, nAttrs),
+		attrBufs: make([][]uint16, nAttrs),
 		nAttrs:   nAttrs,
 		ma:       ma,
 		mb:       mb,
@@ -1126,11 +1149,11 @@ func fusedProbeGroupRange(preds []fusedPred, joins []fusedJoinCol, ma, mb fusedC
 		detect:   detect,
 		ht:       hashmap.New(1024),
 	}
-	var attrPtrs [4]*[]uint64
+	var attrPtrs [4]*[]uint16
 	for c := 0; c < nAttrs; c++ {
-		attrPtrs[c] = borrowU64(fusedBlockRows)
+		attrPtrs[c] = borrowU16(fusedBlockRows)
 		g.attrBufs[c] = (*attrPtrs[c])[:fusedBlockRows]
-		defer releaseU64(attrPtrs[c])
+		defer releaseU16(attrPtrs[c])
 	}
 
 	nStages := len(preds) + len(joins) + 1
@@ -1197,7 +1220,7 @@ func fusedProbeGroupRange(preds []fusedPred, joins []fusedJoinCol, ma, mb fusedC
 			}
 			j := &joins[ji]
 			kl := stageAt(len(preds) + ji)
-			var ab []uint64
+			var ab []uint16
 			if j.hasAttr {
 				ab = g.attrBufs[j.attrIdx]
 			}
@@ -1312,7 +1335,7 @@ func fusedProbeGroup(preds []RangePred, joins []FusedJoin, a, b *storage.Column,
 
 	fps := make([]fusedPred, len(preds))
 	for i, p := range preds {
-		fps[i] = makeFusedPred(p, detect)
+		fps[i] = makeFusedPred(p, detect, o)
 		if fps[i].empty {
 			out, acc, err := fusedGroupOut(name, ac.code, 0, detect)
 			if err != nil {

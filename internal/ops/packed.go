@@ -1,0 +1,231 @@
+package ops
+
+import (
+	"fmt"
+
+	"ahead/internal/bitpack"
+	"ahead/internal/storage"
+)
+
+// Direct-on-compressed kernels (DESIGN.md section 5g).
+//
+// Narrow hardened columns carry a lane-aligned packed mirror
+// (storage.Column.Packed): the same AN code words bit-packed so one
+// 64-bit word holds several lanes. The kernels below evaluate range and
+// equality predicates on those words without unpacking - the Late path
+// compares all lanes of a word at once with SWAR arithmetic against
+// hardened bounds (monotony, Eq. 6), the Continuous path folds
+// Algorithm-1 soften-and-verify into the same pass lane by lane. Both
+// emit exactly the positions, error-log entries and entry order of the
+// wide kernels, so enabling the packed path changes throughput and
+// nothing else; Opts.NoPacked forces the wide path for A/B pairs.
+
+// packedLanes returns the packed mirror the scan kernels may read for
+// col, or nil when the column has none, the mirror is stale, or the
+// query opted out.
+func (o *Opts) packedLanes(col *storage.Column) *bitpack.Lanes {
+	if o != nil && o.NoPacked {
+		return nil
+	}
+	l := col.Packed()
+	if l == nil || l.Len() != col.Len() {
+		return nil
+	}
+	return l
+}
+
+// filterPackedRange is the packed morsel kernel of Filter over rows
+// [start, end): the direct-on-compressed twin of filterHardenedRaw
+// (Late: SWAR over encoded bounds) and filterChecked (Continuous:
+// per-lane Algorithm 1). Positions and per-morsel error entries match
+// the wide kernels exactly.
+func filterPackedRange(col *storage.Column, l *bitpack.Lanes, lo, hi uint64, o *Opts, log *ErrorLog, start, end int) (*[]uint64, error) {
+	code := col.Code()
+	buf := borrowU64(end - start)
+	if o.detect() {
+		// The error slice is scratch too: ScanRangeCheckedInto emits
+		// plain global row indices, which are re-recorded under the
+		// column name in row order - the same entries, in the same
+		// order, filterChecked writes while scanning.
+		ebuf := borrowU64(end - start)
+		out, errs := l.ScanRangeCheckedInto(lo, hi, start, end, o.posMul(), (*buf)[:0], (*ebuf)[:0])
+		if log != nil {
+			for _, e := range errs {
+				log.Record(col.Name(), e)
+			}
+		}
+		*ebuf = errs
+		releaseU64(ebuf)
+		*buf = out
+		return buf, nil
+	}
+	// Late: harden the bounds and compare raw code words. A lower bound
+	// beyond the data domain selects nothing (the fused predicate's
+	// convention; Encode would wrap it past the comparable range).
+	if lo > code.MaxData() {
+		*buf = (*buf)[:0]
+		return buf, nil
+	}
+	if hi > code.MaxData() {
+		hi = code.MaxData()
+	}
+	out := l.ScanRangeRawInto(code.Encode(lo), code.Encode(hi), start, end, o.posMul(), (*buf)[:0])
+	*buf = out
+	return buf, nil
+}
+
+// PackedVec is the packed sibling of Vec: gathered code words that
+// stayed bit-packed across the operator boundary instead of widening to
+// uint64 at the first gather. Downstream packed kernels (SumPacked, the
+// vat packed probe) read it in place.
+type PackedVec struct {
+	Name string
+	L    *bitpack.Lanes
+}
+
+// Len returns the number of gathered values.
+func (p *PackedVec) Len() int { return p.L.Len() }
+
+// packedPart is one morsel's gathered lanes in a borrowed word buffer
+// (lane indices are morsel-local; the merge re-bases them).
+type packedPart struct {
+	buf *[]uint64
+	n   int
+}
+
+// dropPacked releases one morsel's borrowed packed-word buffer - the
+// drop callback of the packed gather under cancellation.
+func dropPacked(p packedPart) { releasePacked(p.buf) }
+
+// GatherPacked materializes the column values at the selected positions
+// without leaving the packed representation: the result lanes hold the
+// same raw code words Gather would widen into a Vec. With Detect set
+// every fetched word is verified (continuous detection), logging exactly
+// the entries Gather logs. The column must carry a packed mirror.
+func GatherPacked(col *storage.Column, sel *Sel, o *Opts) (*PackedVec, error) {
+	l := col.Packed()
+	if l == nil {
+		return nil, fmt.Errorf("ops: column %q has no packed representation", col.Name())
+	}
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
+	out, err := bitpack.NewHardenedLanes(col.Code())
+	if err != nil {
+		return nil, err
+	}
+	if p := o.par(sel.Len()); p != nil {
+		parts, err := runMorsels(p, sel.Len(), o, o.log(), dropPacked, func(log *ErrorLog, start, end int) (packedPart, error) {
+			return gatherPackedRange(col, l, sel, o, log, start, end)
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Morsel-local lanes re-pack serially in morsel order: lane
+		// alignment differs per morsel start, so words cannot concat.
+		out.Grow(sel.Len())
+		for _, part := range parts {
+			out.AppendWords(*part.buf, part.n)
+			releasePacked(part.buf)
+		}
+		return &PackedVec{Name: col.Name(), L: out}, nil
+	}
+	part, err := gatherPackedRange(col, l, sel, o, o.log(), 0, sel.Len())
+	if err != nil {
+		return nil, err
+	}
+	out.AppendWords(*part.buf, part.n)
+	releasePacked(part.buf)
+	return &PackedVec{Name: col.Name(), L: out}, nil
+}
+
+// gatherPackedRange is the morsel kernel of GatherPacked: it fetches the
+// selection entries with global indices [start, end) into a borrowed
+// packed-word buffer laid out like l, starting at lane 0.
+func gatherPackedRange(col *storage.Column, l *bitpack.Lanes, sel *Sel, o *Opts, log *ErrorLog, start, end int) (packedPart, error) {
+	need := l.WordsFor(end - start)
+	buf := borrowPacked(need)
+	words := (*buf)[:need]
+	clear(words)
+	detect := o.detect()
+	code := col.Code()
+	for i := start; i < end; i++ {
+		pos, ok := sel.At(i, log)
+		if !ok {
+			// A corrupted virtual ID loses the row; keep lane positions
+			// aligned by leaving the zero lane, like Gather's zero value.
+			continue
+		}
+		if pos >= uint64(l.Len()) {
+			releasePacked(buf)
+			return packedPart{}, fmt.Errorf("ops: position %d beyond column %q (%d rows)", pos, col.Name(), l.Len())
+		}
+		v := l.Get(int(pos))
+		if detect && !code.IsValid(v) && log != nil {
+			log.Record(col.Name(), pos)
+		}
+		l.PutLane(words, i-start, v)
+	}
+	*buf = words
+	return packedPart{buf: buf, n: end - start}, nil
+}
+
+// SumPacked sums a packed vector's values straight off the lanes: raw
+// code words add in the 64-bit ring to the code word of the total under
+// the widened accumulator code (Eq. 5), exactly like SumTotal over the
+// widened Vec. With detect set every lane is verified first and the
+// final sum is domain-checked (computational error detection, R1(iii)).
+func SumPacked(pv *PackedVec, o *Opts) (*Vec, error) {
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
+	acc, err := wideCode(pv.L.Code())
+	if err != nil {
+		return nil, err
+	}
+	detect := o.detect()
+	log := o.log()
+	var sum uint64
+	if p := o.par(pv.Len()); p != nil {
+		parts, err := runMorsels(p, pv.Len(), o, log, nil, func(plog *ErrorLog, start, end int) (uint64, error) {
+			return sumPackedRange(pv, o, plog, start, end), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range parts {
+			sum += s
+		}
+	} else {
+		sum = sumPackedRange(pv, o, log, 0, pv.Len())
+	}
+	out := &Vec{Name: "sum(" + pv.Name + ")", Vals: []uint64{sum}, Code: acc}
+	if acc != nil && detect {
+		if _, ok := acc.Check(sum); !ok && log != nil {
+			log.Record(VecLogName(out.Name), 0)
+		}
+	}
+	return out, nil
+}
+
+// sumPackedRange is the morsel kernel of SumPacked over lanes
+// [start, end).
+func sumPackedRange(pv *PackedVec, o *Opts, log *ErrorLog, start, end int) uint64 {
+	l := pv.L
+	code := l.Code()
+	detect := o.detect()
+	var sum uint64
+	for i := start; i < end; i++ {
+		v := l.Get(i)
+		if detect && code != nil {
+			if !code.IsValid(v) {
+				if log != nil {
+					log.Record(VecLogName(pv.Name), uint64(i))
+				}
+				continue
+			}
+		}
+		sum += v
+	}
+	return sum
+}

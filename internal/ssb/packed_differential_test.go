@@ -1,0 +1,131 @@
+package ssb
+
+import (
+	"fmt"
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// TestPackedDifferentialCrossMode is the A/B differential of the
+// direct-on-compressed kernels: every SSB query under every hardened
+// mode x {serial, pooled} x {fused, materializing}, run once on the
+// packed path (the default) and once with WithPacked(false), must
+// produce identical results and byte-identical error logs. Together
+// with TestDifferentialCrossMode (which pins the default path to the
+// unprotected reference) this proves enabling the packed kernels
+// changes throughput and nothing else.
+func TestPackedDifferentialCrossMode(t *testing.T) {
+	data, err := Generate(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Hardened("lineorder").MustColumn("lo_discount").Packed() == nil {
+		t.Fatal("lo_discount must carry a packed mirror; the A/B pair is vacuous without it")
+	}
+	pool := exec.NewPool(4)
+	defer pool.Close()
+
+	for _, name := range QueryNames {
+		plan := Queries[name]
+		for _, mode := range diffModes {
+			for _, fused := range []bool{true, false} {
+				for _, pooled := range []bool{false, true} {
+					opts := []exec.RunOption{exec.WithFusion(fused)}
+					if pooled {
+						opts = append(opts, exec.WithPool(pool))
+					}
+					want, wantLog, err := exec.Run(db, mode, ops.Blocked, plan, append(opts, exec.WithPacked(false))...)
+					if err != nil {
+						t.Fatalf("%s %v fused=%v pooled=%v wide: %v", name, mode, fused, pooled, err)
+					}
+					got, gotLog, err := exec.Run(db, mode, ops.Blocked, plan, opts...)
+					if err != nil {
+						t.Fatalf("%s %v fused=%v pooled=%v packed: %v", name, mode, fused, pooled, err)
+					}
+					if !want.Equal(got) {
+						t.Fatalf("%s %v fused=%v pooled=%v: packed diverges from wide: %s",
+							name, mode, fused, pooled, firstDivergence(want, got))
+					}
+					if !gotLog.Equal(wantLog) {
+						t.Fatalf("%s %v fused=%v pooled=%v: packed log differs from wide (%d vs %d entries)",
+							name, mode, fused, pooled, gotLog.Count(), wantLog.Count())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedDifferentialFaultLogs injects single-bit faults into
+// lo_discount - a 16-bit-code column the packed scan kernels serve -
+// and requires the packed and wide paths to drop the same rows and log
+// the same corrupted positions, in the same order, serial and pooled.
+func TestPackedDifferentialFaultLogs(t *testing.T) {
+	data, err := Generate(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := db.Hardened("lineorder").MustColumn("lo_discount")
+	if disc.Packed() == nil {
+		t.Fatal("lo_discount must carry a packed mirror")
+	}
+	for i := 30; i < disc.Len(); i += 113 {
+		disc.Corrupt(i, 1<<uint(i%16))
+	}
+	pool := exec.NewPool(4)
+	defer pool.Close()
+
+	for _, name := range []string{"Q1.1", "Q1.2"} {
+		plan := Queries[name]
+		for _, fused := range []bool{true, false} {
+			for _, pooled := range []bool{false, true} {
+				opts := []exec.RunOption{exec.WithFusion(fused)}
+				if pooled {
+					opts = append(opts, exec.WithPool(pool))
+				}
+				want, wantLog, err := exec.Run(db, exec.Continuous, ops.Blocked, plan, append(opts, exec.WithPacked(false))...)
+				if err != nil {
+					t.Fatalf("%s fused=%v pooled=%v wide: %v", name, fused, pooled, err)
+				}
+				got, gotLog, err := exec.Run(db, exec.Continuous, ops.Blocked, plan, opts...)
+				if err != nil {
+					t.Fatalf("%s fused=%v pooled=%v packed: %v", name, fused, pooled, err)
+				}
+				if !want.Equal(got) {
+					t.Fatalf("%s fused=%v pooled=%v: packed result diverges under faults: %s",
+						name, fused, pooled, firstDivergence(want, got))
+				}
+				wantPos, err := wantLog.Positions("lo_discount")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(wantPos) == 0 {
+					t.Fatalf("%s fused=%v: corruption went undetected; test is vacuous", name, fused)
+				}
+				gotPos, err := gotLog.Positions("lo_discount")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(gotPos) != fmt.Sprint(wantPos) {
+					t.Fatalf("%s fused=%v pooled=%v: packed logged %v, wide %v",
+						name, fused, pooled, gotPos, wantPos)
+				}
+				if !gotLog.Equal(wantLog) {
+					t.Fatalf("%s fused=%v pooled=%v: packed log differs from wide (%d vs %d entries)",
+						name, fused, pooled, gotLog.Count(), wantLog.Count())
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ahead/internal/an"
+	"ahead/internal/bitpack"
 )
 
 // Column is a fixed-width dense array of values, the DSM storage unit of a
@@ -25,7 +26,20 @@ type Column struct {
 	code *an.Code    // non-nil iff the column stores code words
 	dict *Dict       // non-nil iff the column is dictionary-encoded
 	heap *StringHeap // non-nil iff the column is heap-backed (StrHeap)
+
+	// packed is the lane-aligned mirror of a narrow hardened column (see
+	// Packed): same code words, bit-packed so the SWAR kernels can scan
+	// several per 64-bit word. The wide array stays authoritative - Get,
+	// Bytes and the fallback kernels never consult the mirror - and every
+	// mutation path (grow/setU64) keeps the two in lockstep.
+	packed *bitpack.Lanes
 }
+
+// MaxPackedBits is the widest code a column maintains a packed mirror
+// for. At W bits per lane the SWAR kernels fit 64/(W+1) lanes per word;
+// beyond 20 bits that drops under three and the packed scan stops
+// out-running the wide one, so the column falls back to the wide path.
+const MaxPackedBits = 20
 
 // NewColumn creates an empty unprotected column of the given kind. Str
 // columns must be created with NewStrColumn.
@@ -118,6 +132,12 @@ func (c *Column) grow(n int) {
 	default:
 		c.u64 = append(c.u64, make([]uint64, n)...)
 	}
+	if c.packed != nil {
+		c.packed.Grow(n)
+		for j := 0; j < n; j++ {
+			c.packed.Append(0)
+		}
+	}
 }
 
 func (c *Column) setU64(i int, v uint64) {
@@ -131,6 +151,38 @@ func (c *Column) setU64(i int, v uint64) {
 	default:
 		c.u64[i] = v
 	}
+	if c.packed != nil {
+		c.packed.Set(i, v)
+	}
+}
+
+// Packed returns the lane-aligned mirror of a narrow hardened column, or
+// nil when the column does not qualify (unprotected, or code wider than
+// MaxPackedBits). The mirror holds the same raw code words as the wide
+// array - flips injected through Corrupt land in both, masked to the
+// code width like the fault framework's masks - so the packed kernels
+// and the wide kernels observe identical data.
+func (c *Column) Packed() *bitpack.Lanes { return c.packed }
+
+// initPacked (re)builds the packed mirror from the wide array. Bulk
+// constructors (Harden, Reencode, Slice, Replicate, the persist loader)
+// call it once after filling; incremental mutations afterwards flow
+// through grow/setU64 and keep the mirror in lockstep.
+func (c *Column) initPacked() {
+	c.packed = nil
+	if c.code == nil || c.code.CodeBits() > MaxPackedBits {
+		return
+	}
+	l, err := bitpack.NewHardenedLanes(c.code)
+	if err != nil {
+		return
+	}
+	n := c.Len()
+	l.Grow(n)
+	for i := 0; i < n; i++ {
+		l.Append(c.Get(i))
+	}
+	c.packed = l
 }
 
 // Get returns the raw physical value at position i: the plain value for
@@ -232,6 +284,7 @@ func (c *Column) Harden(code *an.Code) (*Column, error) {
 	for i := 0; i < n; i++ {
 		out.setU64(i, code.Encode(c.Get(i)))
 	}
+	out.initPacked()
 	return out, nil
 }
 
@@ -307,6 +360,7 @@ func (c *Column) Reencode(next *an.Code) (*Column, error) {
 			return nil, err
 		}
 		c.code = next
+		c.initPacked()
 		return c, nil
 	}
 	out := &Column{name: c.name, kind: c.kind, width: width, code: next, dict: c.dict, heap: c.heap}
@@ -315,6 +369,7 @@ func (c *Column) Reencode(next *an.Code) (*Column, error) {
 	for i := 0; i < n; i++ {
 		out.setU64(i, c.code.Reencode(c.Get(i), next))
 	}
+	out.initPacked()
 	return out, nil
 }
 

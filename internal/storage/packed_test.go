@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+// lanesMirrorColumn asserts the packed mirror holds exactly the wide
+// array's code words, lane for lane.
+func lanesMirrorColumn(t *testing.T, c *Column) {
+	t.Helper()
+	l := c.Packed()
+	if l == nil {
+		t.Fatalf("column %q must carry a packed mirror", c.Name())
+	}
+	if l.Len() != c.Len() {
+		t.Fatalf("mirror holds %d lanes, column %d rows", l.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if got, want := l.Get(i), c.Get(i); got != want {
+			t.Fatalf("lane %d holds %d, wide array %d", i, got, want)
+		}
+	}
+}
+
+func TestPackedMirrorSelection(t *testing.T) {
+	c, _ := NewColumn("v", TinyInt)
+	for i := 0; i < 100; i++ {
+		c.Append(uint64(i % 50))
+	}
+	if c.Packed() != nil {
+		t.Fatal("unprotected column must not carry a mirror")
+	}
+	h, err := c.Harden(an.MustNew(233, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 data bits + 8 code-parameter bits = 16 <= MaxPackedBits.
+	lanesMirrorColumn(t, h)
+
+	// A 32-bit domain under a 15-bit A needs 47 bits per word: too wide
+	// to win from packing (fewer than 3 lanes per word).
+	w, _ := NewColumn("w", Int)
+	for i := 0; i < 10; i++ {
+		w.Append(uint64(i) << 20)
+	}
+	hw, err := w.Harden(an.MustNew(32417, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Packed() != nil {
+		t.Fatal("47-bit code words must not be mirrored (CodeBits > MaxPackedBits)")
+	}
+}
+
+// TestPackedMirrorTracksMutations pins the lockstep contract: every
+// mutation path of the wide array (Append, AppendRaw, Set, Corrupt)
+// lands in the mirror too.
+func TestPackedMirrorTracksMutations(t *testing.T) {
+	c, _ := NewColumn("v", TinyInt)
+	for i := 0; i < 65; i++ { // not a multiple of the lane count
+		c.Append(uint64(i % 50))
+	}
+	code := an.MustNew(233, 8)
+	h, err := c.Harden(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Append(42)
+	h.AppendRaw(code.Encode(17))
+	h.Set(3, 9)
+	h.Corrupt(7, 1<<5)
+	h.Corrupt(65, 1<<15) // the appended row, top code bit
+	lanesMirrorColumn(t, h)
+	if h.Packed().Get(7) == code.Encode(7%50) {
+		t.Fatal("corruption did not reach the mirror")
+	}
+}
+
+// TestPackedMirrorSurvivesBulkConstructors covers the bulk paths that
+// rebuild rather than track: Reencode (both the in-place and the
+// copying branch), table Slice and Replicate, and the persist loader.
+func TestPackedMirrorSurvivesBulkConstructors(t *testing.T) {
+	c, _ := NewColumn("v", TinyInt)
+	for i := 0; i < 100; i++ {
+		c.Append(uint64(i % 50))
+	}
+	h, err := c.Harden(an.MustNew(233, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-place reencode: 59 needs 6 bits, 8+6=14 stays in width 2.
+	re, err := h.Reencode(an.MustNew(59, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanesMirrorColumn(t, re)
+
+	// Widening reencode beyond MaxPackedBits drops the mirror.
+	wide, err := re.Reencode(an.MustNew(32417, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Packed() != nil {
+		t.Fatal("reencode past MaxPackedBits must drop the mirror")
+	}
+
+	// Table Slice and Replicate rebuild mirrors on their copies.
+	h2, err := c.Harden(an.MustNew(233, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable("t")
+	if err := tbl.AddColumn(h2); err != nil {
+		t.Fatal(err)
+	}
+	sl, err := tbl.Slice([]int{5, 3, 99, 0, 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanesMirrorColumn(t, sl.Columns()[0])
+	rep, err := tbl.Replicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanesMirrorColumn(t, rep.Columns()[0])
+
+	// Persist round trip: the loader rebuilds the mirror after the
+	// payload verifies.
+	var buf bytes.Buffer
+	if err := WriteColumn(&buf, h2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, bad, err := ReadColumn(&buf, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean column loaded with %d bad positions", len(bad))
+	}
+	lanesMirrorColumn(t, loaded)
+}

@@ -280,5 +280,6 @@ func ReadColumn(r io.Reader, name string) (*Column, []uint64, error) {
 	if fold != want && len(bad) == 0 {
 		return nil, nil, fmt.Errorf("storage: hardened column %q failed its load-time checksum with every code word valid (metadata corruption)", name)
 	}
+	c.initPacked()
 	return c, bad, nil
 }

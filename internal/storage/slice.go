@@ -21,6 +21,7 @@ func (t *Table) Slice(rows []int) (*Table, error) {
 			}
 			nc.setU64(i, c.Get(r))
 		}
+		nc.initPacked()
 		if err := out.AddColumn(nc); err != nil {
 			return nil, err
 		}

@@ -177,6 +177,7 @@ func (t *Table) Replicate() (*Table, error) {
 		cp.u16 = append([]uint16(nil), c.u16...)
 		cp.u32 = append([]uint32(nil), c.u32...)
 		cp.u64 = append([]uint64(nil), c.u64...)
+		cp.initPacked()
 		if err := out.AddColumn(cp); err != nil {
 			return nil, err
 		}

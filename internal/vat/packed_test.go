@@ -1,0 +1,132 @@
+package vat
+
+import (
+	"testing"
+
+	"ahead/internal/an"
+	"ahead/internal/hashmap"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// packedProbeFixture builds an n-row FK column hardened with a 12-bit A
+// (20 code bits: wide storage widens to u32, the mirror keeps ~21 bits
+// per lane) and a build set containing every third key.
+func packedProbeFixture(tb testing.TB, n, dim int) (*storage.Column, *hashmap.U64) {
+	tb.Helper()
+	c, err := storage.NewColumn("fk", storage.TinyInt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		c.Append(uint64(i*7) % uint64(dim))
+	}
+	h, err := c.Harden(an.MustNew(3989, 8))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if h.Packed() == nil {
+		tb.Fatal("20-bit code words must carry a packed mirror")
+	}
+	ht := hashmap.New(dim / 3)
+	for k := 0; k < dim; k += 3 {
+		ht.Put(uint64(k), uint32(k))
+	}
+	return h, ht
+}
+
+// drain pulls the pipeline dry and returns every surviving position.
+func drain(tb testing.TB, op Operator) []uint32 {
+	tb.Helper()
+	var out []uint32
+	pos := make([]uint32, VectorSize)
+	for {
+		n, done, err := op.Next(pos)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, pos[:n]...)
+		if done {
+			return out
+		}
+	}
+}
+
+// TestSemiJoinPackedProbeMatchesWide: the packed-input probe keeps
+// exactly the positions, and logs exactly the detections, of the
+// wide-array probe - clean and with injected faults, late and
+// continuous.
+func TestSemiJoinPackedProbeMatchesWide(t *testing.T) {
+	col, ht := packedProbeFixture(t, 5_000, 200)
+	col.Corrupt(11, 1<<5)
+	col.Corrupt(3333, 1<<18)
+	for _, detect := range []bool{false, true} {
+		wantLog, gotLog := ops.NewErrorLog(), ops.NewErrorLog()
+		wideOpts := &Opts{Detect: detect, Log: wantLog, NoPacked: true}
+		scan, err := NewScan(col, 0, ^uint64(0), wideOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide := NewSemiJoin(scan, col, ht, wideOpts)
+		if wide.lanes != nil {
+			t.Fatal("NoPacked probe must read the wide array")
+		}
+		want := drain(t, wide)
+
+		packedOpts := &Opts{Detect: detect, Log: gotLog}
+		scan, err = NewScan(col, 0, ^uint64(0), packedOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed := NewSemiJoin(scan, col, ht, packedOpts)
+		if packed.lanes == nil {
+			t.Fatal("mirrored column must enable the packed probe")
+		}
+		got := drain(t, packed)
+
+		if len(got) != len(want) {
+			t.Fatalf("detect=%v: packed probe kept %d, wide %d", detect, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("detect=%v: position %d differs: %d vs %d", detect, i, got[i], want[i])
+			}
+		}
+		if !gotLog.Equal(wantLog) {
+			t.Fatalf("detect=%v: packed log %v, wide %v", detect, gotLog.Entries(), wantLog.Entries())
+		}
+		if detect && wantLog.Count() != 2 {
+			t.Fatalf("continuous probe logged %d faults, want 2", wantLog.Count())
+		}
+	}
+}
+
+// The bench pair of the packed-input probe: same pipeline, FK keys read
+// from the packed lanes vs the widened u32 array.
+func benchSemiJoinProbe(b *testing.B, noPacked bool) {
+	col, ht := packedProbeFixture(b, 1_000_000, 3_000)
+	o := &Opts{Detect: true, Log: ops.NewErrorLog(), NoPacked: noPacked}
+	b.SetBytes(int64(col.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, err := NewScan(col, 0, ^uint64(0), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		join := NewSemiJoin(scan, col, ht, o)
+		pos := make([]uint32, VectorSize)
+		for {
+			n, done, err := join.Next(pos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = n
+			if done {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkVATSemiJoinPackedProbe(b *testing.B) { benchSemiJoinProbe(b, false) }
+func BenchmarkVATSemiJoinWideProbe(b *testing.B)   { benchSemiJoinProbe(b, true) }

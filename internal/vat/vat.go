@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"ahead/internal/an"
+	"ahead/internal/bitpack"
 	"ahead/internal/hashmap"
 	"ahead/internal/ops"
 	"ahead/internal/storage"
@@ -37,6 +38,10 @@ type Operator interface {
 type Opts struct {
 	Detect bool
 	Log    *ops.ErrorLog
+	// NoPacked forces the semijoin probe to read FK keys from the wide
+	// array even when the column carries a packed lane mirror - the A/B
+	// switch of the packed-probe bench pair. Results are identical.
+	NoPacked bool
 	// Par runs GroupSumParallel's morsel pipelines on a worker pool when
 	// non-nil (exec.Pool implements it); nil keeps everything serial.
 	Par ops.Parallel
@@ -219,6 +224,7 @@ type SemiJoin struct {
 	in      Operator
 	col     *storage.Column
 	code    *an.Code
+	lanes   *bitpack.Lanes // packed mirror of col (nil: read the wide array)
 	ht      *hashmap.U64
 	keyBits []uint64 // dense membership index over the build keys (nil: probe the table)
 	keyMax  uint64
@@ -229,10 +235,20 @@ type SemiJoin struct {
 
 // NewSemiJoin stacks an FK-membership predicate onto in. The hash table
 // maps decoded key values to build positions (ops.HashBuild output).
+// When the FK column carries a packed lane mirror the probe reads its
+// code words from the lanes instead of the wide array: codes between 17
+// and MaxPackedBits bits widen to u32 storage, so the mirror keeps ~1.5x
+// more keys per cache line for the same raw words and detections.
 func NewSemiJoin(in Operator, col *storage.Column, ht *hashmap.U64, o *Opts) *SemiJoin {
 	bits, keyMax := ops.BuildKeyBits(ht)
+	var lanes *bitpack.Lanes
+	if o == nil || !o.NoPacked {
+		if l := col.Packed(); l != nil && l.Len() == col.Len() {
+			lanes = l
+		}
+	}
 	return &SemiJoin{
-		in: in, col: col, code: col.Code(), ht: ht,
+		in: in, col: col, code: col.Code(), lanes: lanes, ht: ht,
 		keyBits: bits, keyMax: keyMax,
 		detect: o.detect(), log: o.log(),
 		buf: make([]uint32, VectorSize),
@@ -248,7 +264,12 @@ func (j *SemiJoin) Next(pos []uint32) (int, bool, error) {
 		}
 		out := 0
 		for _, p := range j.buf[:n] {
-			v := j.col.Get(int(p))
+			var v uint64
+			if j.lanes != nil {
+				v = j.lanes.Get(int(p))
+			} else {
+				v = j.col.Get(int(p))
+			}
 			if j.code != nil {
 				d, ok := j.code.Check(v)
 				if !ok {
