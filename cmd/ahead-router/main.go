@@ -54,6 +54,7 @@ func main() {
 		recoverAfter    = flag.Int("recover-after", 3, "consecutive healthy probes that decay one backoff level")
 		hedgeDelay      = flag.Duration("hedge-delay", 100*time.Millisecond, "wait before hedging a slice request to its replica (0 disables)")
 		restartCmd      = flag.String("restart-cmd", "", "shell hook run when a replica exceeds its quarantine budget (gets AHEAD_SHARD_URL, AHEAD_SLICE, AHEAD_REPLICA)")
+		syncOnQuar      = flag.Bool("sync-on-quarantine", false, "on quarantine, order the victim to anti-entropy sync its hardened columns from a healthy peer in its slice")
 	)
 	flag.Parse()
 
@@ -78,16 +79,17 @@ func main() {
 		hedge = -1
 	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
-		Slices:          slices,
-		RequestTimeout:  *requestTimeout,
-		ProbeInterval:   *probeInterval,
-		ProbeTimeout:    *probeTimeout,
-		QuarantineAfter: *quarantineAfter,
-		BackoffBase:     *backoffBase,
-		BackoffMax:      *backoffMax,
-		RecoverAfter:    *recoverAfter,
-		HedgeDelay:      hedge,
-		RestartCommand:  *restartCmd,
+		Slices:           slices,
+		RequestTimeout:   *requestTimeout,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		QuarantineAfter:  *quarantineAfter,
+		BackoffBase:      *backoffBase,
+		BackoffMax:       *backoffMax,
+		RecoverAfter:     *recoverAfter,
+		HedgeDelay:       hedge,
+		RestartCommand:   *restartCmd,
+		SyncOnQuarantine: *syncOnQuar,
 	})
 	if err != nil {
 		log.Fatalf("configure router: %v", err)

@@ -52,6 +52,8 @@ func main() {
 		drainWait    = flag.Duration("drain", 30*time.Second, "max graceful-drain wait on SIGTERM")
 		shardSpec    = flag.String("shard", "", "serve one shard of a cluster, 1-based \"i/n\" (e.g. 2/3); empty = single node")
 		replica      = flag.Int("replica", 0, "replica index of this shard's slice (0-based, informational)")
+		snapshotDir  = flag.String("snapshot-dir", "", "write a chunked hardened snapshot of every table here at boot and register it as a repair source")
+		dropPlain    = flag.Bool("drop-plain-repair", false, "discard the in-process plain repair copies; repairs must come from -snapshot-dir or a peer (testing/low-memory)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,21 @@ func main() {
 		log.Fatalf("build database: %v", err)
 	}
 	log.Printf("database ready in %v (%d lineorder rows)", time.Since(start).Round(time.Millisecond), data.Lineorder.Rows())
+
+	if *snapshotDir != "" {
+		snapStart := time.Now()
+		if err := suite.DB.SaveSnapshot(*snapshotDir); err != nil {
+			log.Fatalf("write snapshot to %s: %v", *snapshotDir, err)
+		}
+		src := exec.NewSnapshotRepairSource(*snapshotDir)
+		defer src.Close()
+		suite.DB.RegisterRepairSource(src)
+		log.Printf("snapshot written to %s in %v (registered as repair source)", *snapshotDir, time.Since(snapStart).Round(time.Millisecond))
+	}
+	if *dropPlain {
+		suite.DB.DropPlainRepair()
+		log.Printf("plain repair copies dropped; repairs served by %d registered source(s)", len(suite.DB.RepairSources()))
+	}
 
 	var pool *exec.Pool
 	if *workers > 0 {

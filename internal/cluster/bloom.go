@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Bloom is the compact chunk-digest summary the anti-entropy protocol
+// exchanges first: a replica folds every (table, column, chunk, crc)
+// entry it holds into the filter, and a peer tests its own entries
+// against it. A miss proves the chunks differ; a hit only makes
+// sameness likely (false positives at roughly 1% for the sizing below),
+// so suspect columns - quarantined, or with local AN detections - go on
+// to the exact per-chunk CRC list regardless. The filter saves
+// bandwidth, never correctness.
+type Bloom struct {
+	bits []uint64
+	k    int
+}
+
+// bloomBitsPerEntry sizes the filter: ~10 bits and 7 hash probes per
+// entry give ~1% false positives.
+const (
+	bloomBitsPerEntry = 10
+	bloomK            = 7
+)
+
+// NewBloom sizes a filter for n entries (power-of-two words, minimum
+// one).
+func NewBloom(n int) *Bloom {
+	words := 1
+	for words*64 < n*bloomBitsPerEntry {
+		words *= 2
+	}
+	return &Bloom{bits: make([]uint64, words), k: bloomK}
+}
+
+// splitmix64 is the probe-index derivation: k successive avalanches of
+// the entry hash give k independent bit positions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Add folds one entry hash into the filter.
+func (b *Bloom) Add(h uint64) {
+	mask := uint64(len(b.bits)*64 - 1)
+	for i := 0; i < b.k; i++ {
+		h = splitmix64(h)
+		bit := h & mask
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// Has reports whether the entry hash may be in the filter (false means
+// definitely absent).
+func (b *Bloom) Has(h uint64) bool {
+	mask := uint64(len(b.bits)*64 - 1)
+	for i := 0; i < b.k; i++ {
+		h = splitmix64(h)
+		bit := h & mask
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serializes the filter bits for the JSON digest summary.
+func (b *Bloom) Encode() string {
+	raw := make([]byte, len(b.bits)*8)
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(raw[i*8:], w)
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// DecodeBloom rebuilds a filter from its wire form. The word count must
+// be a non-zero power of two - the probe mask depends on it.
+func DecodeBloom(encoded string, k int) (*Bloom, error) {
+	raw, err := base64.StdEncoding.DecodeString(encoded)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bloom filter: %w", err)
+	}
+	if len(raw) == 0 || len(raw)%8 != 0 {
+		return nil, fmt.Errorf("cluster: bloom filter has %d bytes, want a multiple of 8", len(raw))
+	}
+	words := len(raw) / 8
+	if words&(words-1) != 0 {
+		return nil, fmt.Errorf("cluster: bloom filter word count %d is not a power of two", words)
+	}
+	if k <= 0 || k > 32 {
+		return nil, fmt.Errorf("cluster: bloom filter k %d out of range", k)
+	}
+	b := &Bloom{bits: make([]uint64, words), k: k}
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	return b, nil
+}
+
+// K returns the probe count, for the wire summary.
+func (b *Bloom) K() int { return b.k }
+
+// ChunkEntryHash is the canonical entry hash for one chunk digest:
+// FNV-1a over the framed table name, column name, chunk index, and CRC,
+// so both sides of the exchange derive identical filter probes.
+func ChunkEntryHash(table, column string, chunk int, crc uint32) uint64 {
+	h := fnv.New64a()
+	var num [8]byte
+	binary.LittleEndian.PutUint64(num[:], uint64(len(table)))
+	h.Write(num[:])
+	h.Write([]byte(table))
+	binary.LittleEndian.PutUint64(num[:], uint64(len(column)))
+	h.Write(num[:])
+	h.Write([]byte(column))
+	binary.LittleEndian.PutUint64(num[:], uint64(chunk))
+	h.Write(num[:])
+	binary.LittleEndian.PutUint64(num[:], uint64(crc))
+	h.Write(num[:])
+	return h.Sum64()
+}

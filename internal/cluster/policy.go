@@ -60,6 +60,12 @@ const (
 	// named replica (systemd kick, container respawn, operator page -
 	// whatever the deployment wires in).
 	ActionRestart
+	// ActionSyncFromPeer tells the named replica to run an anti-entropy
+	// pass against a healthy peer in its slice (POST /sync/from-peer):
+	// diverged or corrupted column chunks are fetched AN-encoded,
+	// verified on receipt, healed in place, and the replica's column
+	// quarantines lifted once the data checks clean.
+	ActionSyncFromPeer
 )
 
 func (k ActionKind) String() string {
@@ -70,6 +76,8 @@ func (k ActionKind) String() string {
 		return "reprobe"
 	case ActionRestart:
 		return "restart"
+	case ActionSyncFromPeer:
+		return "sync-from-peer"
 	}
 	return fmt.Sprintf("action(%d)", int(k))
 }
@@ -204,6 +212,27 @@ func (p RestartAfterQuarantines) Evaluate(tr Transition, view *ClusterView) []Ac
 	for _, r := range view.slice(tr.Slice) {
 		if r.Replica == tr.Replica && r.Quarantines >= after {
 			return []Action{{Kind: ActionRestart, Slice: tr.Slice, Replica: tr.Replica, URL: tr.URL, Policy: p.Name()}}
+		}
+	}
+	return nil
+}
+
+// SyncFromPeerOnQuarantine follows a quarantine entry with an
+// anti-entropy pass: the victim replica pulls its hardened columns
+// level with a healthy peer in its slice, healing whatever corruption
+// or divergence got it quarantined. No action when the slice has no
+// healthy peer to be authoritative.
+type SyncFromPeerOnQuarantine struct{}
+
+func (SyncFromPeerOnQuarantine) Name() string { return "sync-from-peer-on-quarantine" }
+
+func (p SyncFromPeerOnQuarantine) Evaluate(tr Transition, view *ClusterView) []Action {
+	if tr.To != StateQuarantined {
+		return nil
+	}
+	for _, r := range view.slice(tr.Slice) {
+		if r.Healthy && r.Replica != tr.Replica {
+			return []Action{{Kind: ActionSyncFromPeer, Slice: tr.Slice, Replica: tr.Replica, URL: tr.URL, Policy: p.Name()}}
 		}
 	}
 	return nil

@@ -92,12 +92,38 @@ func TestReprobeAndRestartPolicies(t *testing.T) {
 	}
 }
 
+func TestSyncFromPeerOnQuarantine(t *testing.T) {
+	p := SyncFromPeerOnQuarantine{}
+	tr := Transition{Slice: 0, Replica: 0, URL: "http://victim", From: StateHealthy, To: StateQuarantined}
+
+	// Quarantine with a healthy peer: sync the victim from the slice.
+	acts := p.Evaluate(tr, viewOf(map[[2]int]bool{{0, 0}: false}, map[int]int{}))
+	if len(acts) != 1 || acts[0].Kind != ActionSyncFromPeer || acts[0].Slice != 0 ||
+		acts[0].Replica != 0 || acts[0].URL != "http://victim" {
+		t.Fatalf("want sync-from-peer shard0.0, got %v", acts)
+	}
+
+	// No healthy peer: nothing authoritative to sync from.
+	if acts := p.Evaluate(tr, viewOf(map[[2]int]bool{{0, 0}: false, {0, 1}: false}, map[int]int{})); len(acts) != 0 {
+		t.Fatalf("no healthy peer, want no action, got %v", acts)
+	}
+
+	// Recovery transitions never trigger a sync.
+	rec := tr
+	rec.From, rec.To = StateQuarantined, StateHealthy
+	if acts := p.Evaluate(rec, viewOf(nil, map[int]int{})); len(acts) != 0 {
+		t.Fatalf("recovery must not sync, got %v", acts)
+	}
+}
+
 // opsRecorder mocks ClusterOps and records every call.
 type opsRecorder struct {
 	promoted   [][2]int
 	reprobed   [][2]int
 	restarted  []string
+	synced     [][2]int
 	restartErr error
+	syncErr    error
 	promoteRet bool
 }
 
@@ -111,6 +137,10 @@ func (o *opsRecorder) Reprobe(slice, replica int) {
 func (o *opsRecorder) Restart(slice, replica int, url string) error {
 	o.restarted = append(o.restarted, url)
 	return o.restartErr
+}
+func (o *opsRecorder) SyncFromPeer(slice, replica int, url string) error {
+	o.synced = append(o.synced, [2]int{slice, replica})
+	return o.syncErr
 }
 
 // TestRemediatorPipeline runs one transition through the remediator

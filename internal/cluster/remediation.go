@@ -21,6 +21,9 @@ type ClusterOps interface {
 	Reprobe(slice, replica int)
 	// Restart invokes the deployment's restart hook for the replica.
 	Restart(slice, replica int, url string) error
+	// SyncFromPeer tells the replica to run an anti-entropy pass
+	// against a healthy peer in its slice.
+	SyncFromPeer(slice, replica int, url string) error
 }
 
 // Remediator executes the actions policies decide on and raises one
@@ -31,7 +34,7 @@ type Remediator struct {
 	alerter *Alerter
 
 	transitions [2]atomic.Uint64 // indexed by HealthState (To)
-	actions     [3]atomic.Uint64 // indexed by ActionKind
+	actions     [4]atomic.Uint64 // indexed by ActionKind
 	actionErrs  atomic.Uint64
 }
 
@@ -60,6 +63,8 @@ func (r *Remediator) Remediate(tr Transition, actions []Action) {
 			r.ops.Reprobe(act.Slice, act.Replica)
 		case ActionRestart:
 			err = r.ops.Restart(act.Slice, act.Replica, act.URL)
+		case ActionSyncFromPeer:
+			err = r.ops.SyncFromPeer(act.Slice, act.Replica, act.URL)
 		default:
 			err = fmt.Errorf("cluster: unknown action kind %d", act.Kind)
 		}

@@ -63,6 +63,12 @@ type RouterConfig struct {
 	// with AHEAD_SHARD_URL/AHEAD_SLICE/AHEAD_REPLICA in the
 	// environment.
 	RestartCommand string
+	// SyncOnQuarantine adds SyncFromPeerOnQuarantine to the default
+	// policy stack: every quarantine entry triggers an anti-entropy
+	// pass on the victim, pulling its hardened columns level with a
+	// healthy peer in the slice. Ignored when Policies is set
+	// explicitly.
+	SyncOnQuarantine bool
 	// OnAlert receives every structured alert (transitions and
 	// remediation outcomes) in addition to the /alerts ring.
 	OnAlert AlertFunc
@@ -171,6 +177,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	if cfg.Policies == nil {
 		cfg.Policies = []Policy{PromoteOnQuarantine{}, ReprobeOnQuarantine{}}
+		if cfg.SyncOnQuarantine {
+			cfg.Policies = append(cfg.Policies, SyncFromPeerOnQuarantine{})
+		}
 		if cfg.RestartCommand != "" {
 			cfg.Policies = append(cfg.Policies, RestartAfterQuarantines{After: 3})
 		}
@@ -328,6 +337,61 @@ func (rt *Router) Restart(slice, replica int, url string) error {
 		return fmt.Errorf("cluster: no restart command configured")
 	}
 	return runRestartCommand(rt.cfg.RestartCommand, slice, replica, url)
+}
+
+// syncFromPeerTimeout bounds one remediation-driven anti-entropy pass.
+// Digest exchange is cheap; the budget is for chunk transfer on a
+// badly diverged column.
+const syncFromPeerTimeout = 2 * time.Minute
+
+// SyncFromPeer implements ClusterOps: tell the quarantined replica to
+// pull its hardened columns level with a healthy peer in its slice.
+// The target does the verifying (every fetched word must AN-check
+// before it is written), so the router only picks the peer and relays
+// the order.
+func (rt *Router) SyncFromPeer(slice, replica int, url string) error {
+	if slice < 0 || slice >= len(rt.slices) {
+		return fmt.Errorf("cluster: sync-from-peer: slice %d out of range", slice)
+	}
+	sl := rt.slices[slice]
+	if replica < 0 || replica >= len(sl.replicas) {
+		return fmt.Errorf("cluster: sync-from-peer: replica %d out of range in slice %d", replica, slice)
+	}
+	var peer *shardState
+	for _, s := range sl.replicas {
+		if s.replica != replica && s.Healthy() {
+			peer = s
+			break
+		}
+	}
+	if peer == nil {
+		return fmt.Errorf("cluster: sync-from-peer: slice %d has no healthy peer for shard%d.%d", slice, slice, replica)
+	}
+	target := url
+	if target == "" {
+		target = sl.replicas[replica].url
+	}
+	body, err := json.Marshal(SyncFromPeerRequest{Peer: peer.url})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), syncFromPeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/sync/from-peer", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: sync-from-peer shard%d.%d from %s: %w", slice, replica, peer.url, err)
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: sync-from-peer shard%d.%d from %s: status %d: %.200s", slice, replica, peer.url, resp.StatusCode, msg)
+	}
+	return nil
 }
 
 // probeLoop watches every replica: /readyz decides health, and on
@@ -792,7 +856,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "ahead_router_health_transitions_total{to=%q} %d\n", st.String(), rt.remediator.Transitions(st))
 	}
 	labeled("ahead_router_remediations_total", "Remediation actions executed, by kind.", "counter")
-	for _, k := range []ActionKind{ActionPromote, ActionReprobe, ActionRestart} {
+	for _, k := range []ActionKind{ActionPromote, ActionReprobe, ActionRestart, ActionSyncFromPeer} {
 		fmt.Fprintf(w, "ahead_router_remediations_total{action=%q} %d\n", k.String(), rt.remediator.Actions(k))
 	}
 	labeled("ahead_router_shard_up", "Whether the replica is healthy (1) or quarantined (0).", "gauge")

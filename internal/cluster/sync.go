@@ -1,0 +1,259 @@
+// Anti-entropy replica sync: the wire protocol replicas use to find and
+// heal diverged column chunks. The exchange is three escalating
+// round-trip shapes, each cheaper than shipping data:
+//
+//  1. GET /sync/digests - per-column metadata plus one bloom filter
+//     folding every (table, column, chunk, crc) entry the peer holds.
+//  2. GET /sync/digests?table=T&column=C - the exact per-chunk CRC list
+//     for one column, fetched when the bloom (or local suspicion -
+//     quarantine, AN detections) says the column may differ.
+//  3. GET /sync/chunk?... - one chunk's raw code words. Still
+//     AN-encoded: the receiver re-verifies the transport CRC and every
+//     word against the column's code before writing anything, the same
+//     end-to-end discipline as the query wire format (wire.go).
+//
+// The types here are the versioned JSON bodies; SyncClient is the
+// fetching side; PeerRepairSource adapts a peer to the exec package's
+// RepairSource interface (structurally - no exec import) so
+// RunWithRecovery can heal straight from a replica.
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// SyncVersion is the anti-entropy wire version; mismatches are refused,
+// never guessed at.
+const SyncVersion = 1
+
+// maxSyncResponseBytes bounds one sync response body (a full chunk of
+// 64K words as JSON numbers fits comfortably).
+const maxSyncResponseBytes = 32 << 20
+
+// ColumnDigest summarizes one hardened column on a replica.
+type ColumnDigest struct {
+	Table    string `json:"table"`
+	Column   string `json:"column"`
+	Rows     int    `json:"rows"`
+	Chunks   int    `json:"chunks"`
+	CodeA    uint64 `json:"code_a"`
+	CodeBits uint   `json:"code_bits"`
+}
+
+// DigestSummary is the body of GET /sync/digests: everything a peer
+// needs to decide which columns to look at closer.
+type DigestSummary struct {
+	Version   int            `json:"version"`
+	ChunkRows int            `json:"chunk_rows"`
+	Columns   []ColumnDigest `json:"columns"`
+	BloomK    int            `json:"bloom_k"`
+	Bloom     string         `json:"bloom"`
+}
+
+// ChunkCRCList is the body of GET /sync/digests?table=&column=: the
+// exact per-chunk CRCs of one column.
+type ChunkCRCList struct {
+	Version   int      `json:"version"`
+	Table     string   `json:"table"`
+	Column    string   `json:"column"`
+	ChunkRows int      `json:"chunk_rows"`
+	CRCs      []uint32 `json:"crcs"`
+}
+
+// ChunkPayload is the body of GET /sync/chunk: one chunk's raw AN code
+// words plus a transport CRC over their canonical little-endian
+// encoding, so JSON-level damage is caught before the per-word AN check
+// even runs.
+type ChunkPayload struct {
+	Version   int      `json:"version"`
+	Table     string   `json:"table"`
+	Column    string   `json:"column"`
+	ChunkRows int      `json:"chunk_rows"`
+	Chunk     int      `json:"chunk"`
+	Words     []uint64 `json:"words"`
+	CRC       uint32   `json:"crc"`
+}
+
+// WordsCRC is the transport checksum of a chunk payload: CRC32 over the
+// words' 8-byte little-endian encoding, width-independent so both sides
+// compute it without knowing each other's physical layout.
+func WordsCRC(words []uint64) uint32 {
+	var b [8]byte
+	crc := uint32(0)
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(b[:], w)
+		crc = crc32.Update(crc, crc32.IEEETable, b[:])
+	}
+	return crc
+}
+
+// SyncFromPeerRequest is the body of POST /sync/from-peer: the replica
+// receiving it syncs its hardened columns against the named peer.
+type SyncFromPeerRequest struct {
+	Peer string `json:"peer"`
+}
+
+// ColumnSyncReport is one column's outcome in a sync run.
+type ColumnSyncReport struct {
+	Table         string `json:"table"`
+	Column        string `json:"column"`
+	ChunksChecked int    `json:"chunks_checked"`
+	ChunksHealed  int    `json:"chunks_healed"`
+	WordsChanged  int    `json:"words_changed"`
+	Cleared       bool   `json:"cleared,omitempty"` // quarantine lifted
+	Skipped       string `json:"skipped,omitempty"` // why the column was not synced
+}
+
+// SyncReport is the body of a successful POST /sync/from-peer.
+type SyncReport struct {
+	Version int                `json:"version"`
+	Peer    string             `json:"peer"`
+	Columns []ColumnSyncReport `json:"columns"`
+}
+
+// TotalHealed sums the healed chunks across columns.
+func (r *SyncReport) TotalHealed() int {
+	n := 0
+	for _, c := range r.Columns {
+		n += c.ChunksHealed
+	}
+	return n
+}
+
+// SyncClient fetches the anti-entropy endpoints of one peer replica.
+type SyncClient struct {
+	base   string
+	client *http.Client
+}
+
+// NewSyncClient builds a client for the peer's base URL ("http://host:
+// port"). A nil http.Client gets a 30s-timeout default.
+func NewSyncClient(base string, client *http.Client) *SyncClient {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &SyncClient{base: base, client: client}
+}
+
+// Base returns the peer base URL.
+func (c *SyncClient) Base() string { return c.base }
+
+// get fetches one sync URL into out, enforcing the size cap, status,
+// and wire version.
+func (c *SyncClient) get(ctx context.Context, path string, out interface{ version() int }) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSyncResponseBytes+1))
+	if err != nil {
+		return err
+	}
+	if len(body) > maxSyncResponseBytes {
+		return fmt.Errorf("cluster: sync response from %s exceeds %d bytes", c.base, maxSyncResponseBytes)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: sync %s%s: status %d: %.200s", c.base, path, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("cluster: sync %s%s: %w", c.base, path, err)
+	}
+	if v := out.version(); v != SyncVersion {
+		return fmt.Errorf("cluster: sync %s%s: wire version %d, want %d", c.base, path, v, SyncVersion)
+	}
+	return nil
+}
+
+func (d *DigestSummary) version() int { return d.Version }
+func (l *ChunkCRCList) version() int  { return l.Version }
+func (p *ChunkPayload) version() int  { return p.Version }
+
+// Digests fetches the peer's digest summary and decodes its bloom
+// filter.
+func (c *SyncClient) Digests(ctx context.Context) (*DigestSummary, *Bloom, error) {
+	var sum DigestSummary
+	if err := c.get(ctx, "/sync/digests", &sum); err != nil {
+		return nil, nil, err
+	}
+	bloom, err := DecodeBloom(sum.Bloom, sum.BloomK)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &sum, bloom, nil
+}
+
+// ColumnCRCs fetches the exact chunk CRC list of one column.
+func (c *SyncClient) ColumnCRCs(ctx context.Context, table, column string) (*ChunkCRCList, error) {
+	path := "/sync/digests?table=" + url.QueryEscape(table) + "&column=" + url.QueryEscape(column)
+	var list ChunkCRCList
+	if err := c.get(ctx, path, &list); err != nil {
+		return nil, err
+	}
+	if list.Table != table || list.Column != column {
+		return nil, fmt.Errorf("cluster: sync %s: CRC list for %s.%s, asked for %s.%s",
+			c.base, list.Table, list.Column, table, column)
+	}
+	return &list, nil
+}
+
+// FetchChunk fetches one chunk's code words, verifying the envelope
+// (column identity, chunk coordinates) and the transport CRC. The words
+// are still AN-encoded; the caller verifies them against the column's
+// code before use.
+func (c *SyncClient) FetchChunk(ctx context.Context, table, column string, chunkRows, chunk int) ([]uint64, error) {
+	path := "/sync/chunk?table=" + url.QueryEscape(table) +
+		"&column=" + url.QueryEscape(column) +
+		"&chunk_rows=" + strconv.Itoa(chunkRows) +
+		"&chunk=" + strconv.Itoa(chunk)
+	var p ChunkPayload
+	if err := c.get(ctx, path, &p); err != nil {
+		return nil, err
+	}
+	if p.Table != table || p.Column != column || p.ChunkRows != chunkRows || p.Chunk != chunk {
+		return nil, fmt.Errorf("cluster: sync %s: chunk envelope %s.%s[%d@%d], asked for %s.%s[%d@%d]",
+			c.base, p.Table, p.Column, p.Chunk, p.ChunkRows, table, column, chunk, chunkRows)
+	}
+	if got := WordsCRC(p.Words); got != p.CRC {
+		return nil, fmt.Errorf("cluster: sync %s: chunk %s.%s[%d] failed its transport CRC", c.base, table, column, chunk)
+	}
+	return p.Words, nil
+}
+
+// PeerRepairSource adapts a peer replica to the exec package's
+// RepairSource interface (structurally, to keep cluster free of an exec
+// dependency): RunWithRecovery pulls chunks straight from the peer when
+// the local plain mirror is gone.
+type PeerRepairSource struct {
+	c       *SyncClient
+	timeout time.Duration
+}
+
+// NewPeerRepairSource builds a repair source over the peer's base URL.
+func NewPeerRepairSource(base string, client *http.Client) *PeerRepairSource {
+	return &PeerRepairSource{c: NewSyncClient(base, client), timeout: 30 * time.Second}
+}
+
+// Name identifies the peer in repair errors and reports.
+func (p *PeerRepairSource) Name() string { return "peer:" + p.c.Base() }
+
+// FetchChunk fetches one chunk from the peer. The transport CRC is
+// verified here; the AN check happens in the repair path.
+func (p *PeerRepairSource) FetchChunk(table, column string, chunkRows, chunk int) ([]uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	return p.c.FetchChunk(ctx, table, column, chunkRows, chunk)
+}

@@ -134,6 +134,13 @@ type DB struct {
 	qmu         sync.Mutex
 	quarantined map[string]bool
 	recoverMu   sync.Mutex
+
+	// Fallback repair plumbing (repair_source.go): when the plain mirror
+	// is unavailable for repair, repairPositions pulls verified chunks
+	// from these sources instead (local snapshot, peer replica).
+	srcMu           sync.Mutex
+	repairSources   []RepairSource
+	plainRepairGone bool
 }
 
 // NewDB builds the per-mode physical storage from plain base tables,
@@ -313,33 +320,35 @@ func (db *DB) RepairHardened(table, column string, log *ops.ErrorLog) (int, erro
 	return len(repaired), nil
 }
 
-// repairPositions writes the plain-replica values back into the hardened
-// column at the given positions, returning the repaired and the skipped
+// repairPositions writes good values back into the hardened column at
+// the given positions, returning the repaired and the skipped
 // (out-of-range) positions. It is the shared core of RepairHardened and
-// the recovery loop.
+// the recovery loop. The plain mirror is the first choice; when it is
+// unavailable for repair (DropPlainRepair, or no plain copy), the
+// registered repair sources - local snapshot, peer replica - serve
+// AN-verified chunks instead (repair_source.go).
 func (db *DB) repairPositions(table, column string, positions []uint64) (repaired, skipped []uint64, err error) {
-	hTab, pTab := db.hardened[table], db.plain[table]
-	if hTab == nil || pTab == nil {
+	hTab := db.hardened[table]
+	if hTab == nil {
 		return nil, nil, fmt.Errorf("exec: unknown table %q", table)
 	}
 	hc, err := hTab.Column(column)
 	if err != nil {
 		return nil, nil, err
 	}
-	pc, err := pTab.Column(column)
-	if err != nil {
-		return nil, nil, err
-	}
-	n := uint64(hc.Len())
-	for _, pos := range positions {
-		if pos >= n {
-			skipped = append(skipped, pos)
-			continue
+	if pc := db.plainRepairColumn(table, column); pc != nil {
+		n := uint64(hc.Len())
+		for _, pos := range positions {
+			if pos >= n {
+				skipped = append(skipped, pos)
+				continue
+			}
+			hc.Set(int(pos), pc.Get(int(pos))) // Set re-hardens
+			repaired = append(repaired, pos)
 		}
-		hc.Set(int(pos), pc.Get(int(pos))) // Set re-hardens
-		repaired = append(repaired, pos)
+		return repaired, skipped, nil
 	}
-	return repaired, skipped, nil
+	return db.repairFromSources(table, column, hc, positions)
 }
 
 // Scrub verifies every hardened column of every table and repairs all

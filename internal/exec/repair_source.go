@@ -1,0 +1,341 @@
+// Repair sources: where recovery gets good words from when the
+// in-process plain mirror is gone. The paper's correction story
+// (Section 9) only needs *some* redundant copy once detection has said
+// where the flip is; a real deployment of RunWithRecovery holds hardened
+// data only, so the redundancy lives in a local snapshot on disk or in a
+// peer replica. Both are served chunk-at-a-time in the persist format's
+// granularity and AN-verified word-by-word on receipt - a corrupt
+// snapshot or a corrupt peer cannot heal a column into a worse state,
+// only fail to heal it.
+package exec
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ahead/internal/storage"
+)
+
+// RepairSource supplies raw hardened code words for one chunk of a
+// column. Implementations: SnapshotRepairSource (local disk) and the
+// cluster package's peer-replica source (HTTP). FetchChunk returns the
+// words for rows [chunk*chunkRows, min((chunk+1)*chunkRows, rows));
+// callers AN-verify every word before writing anything.
+type RepairSource interface {
+	Name() string
+	FetchChunk(table, column string, chunkRows, chunk int) ([]uint64, error)
+}
+
+// RegisterRepairSource adds a fallback repair source, tried in
+// registration order when the plain mirror cannot serve a repair.
+func (db *DB) RegisterRepairSource(src RepairSource) {
+	db.srcMu.Lock()
+	db.repairSources = append(db.repairSources, src)
+	db.srcMu.Unlock()
+}
+
+// RepairSources returns the registered fallback sources.
+func (db *DB) RepairSources() []RepairSource {
+	db.srcMu.Lock()
+	defer db.srcMu.Unlock()
+	return append([]RepairSource(nil), db.repairSources...)
+}
+
+// DropPlainRepair marks the in-process plain mirrors unavailable *for
+// repair*: repairPositions skips them and goes straight to the
+// registered repair sources, modeling a production replica that holds
+// hardened data only. The plain tables themselves stay - Unprotected
+// and DMR execution, dictionaries, and reference runs still read them.
+func (db *DB) DropPlainRepair() {
+	db.srcMu.Lock()
+	db.plainRepairGone = true
+	db.srcMu.Unlock()
+}
+
+// PlainRepairAvailable reports whether repairs may use the plain mirror.
+func (db *DB) PlainRepairAvailable() bool {
+	db.srcMu.Lock()
+	defer db.srcMu.Unlock()
+	return !db.plainRepairGone
+}
+
+// plainRepairColumn returns the plain mirror of table.column when plain
+// repair is available, else nil.
+func (db *DB) plainRepairColumn(table, column string) *storage.Column {
+	if !db.PlainRepairAvailable() {
+		return nil
+	}
+	pTab := db.plain[table]
+	if pTab == nil {
+		return nil
+	}
+	pc, err := pTab.Column(column)
+	if err != nil {
+		return nil
+	}
+	return pc
+}
+
+// repairFromSources heals the given positions of a hardened column from
+// the registered repair sources, chunk by chunk at the persist format's
+// default granularity. A source's chunk is accepted only when it has the
+// right length and every word passes the column's AN check; otherwise
+// the next source is tried. Positions in a chunk no source can serve
+// make the repair fail - recovery then escalates as usual.
+func (db *DB) repairFromSources(table, column string, hc *storage.Column, positions []uint64) (repaired, skipped []uint64, err error) {
+	code := hc.Code()
+	if code == nil {
+		return nil, nil, fmt.Errorf("exec: column %q is not hardened", column)
+	}
+	n := uint64(hc.Len())
+	chunkRows := storage.DefaultChunkRows
+	byChunk := make(map[int][]uint64)
+	for _, pos := range positions {
+		if pos >= n {
+			skipped = append(skipped, pos)
+			continue
+		}
+		chunk := int(pos) / chunkRows
+		byChunk[chunk] = append(byChunk[chunk], pos)
+	}
+	if len(byChunk) == 0 {
+		return nil, skipped, nil
+	}
+	sources := db.RepairSources()
+	if len(sources) == 0 {
+		return nil, skipped, fmt.Errorf("exec: no plain mirror and no repair source registered for column %q", column)
+	}
+	chunks := make([]int, 0, len(byChunk))
+	for chunk := range byChunk {
+		chunks = append(chunks, chunk)
+	}
+	sort.Ints(chunks)
+	for _, chunk := range chunks {
+		start := chunk * chunkRows
+		want := min(hc.Len()-start, chunkRows)
+		var lastErr error
+		healed := false
+		for _, src := range sources {
+			words, err := src.FetchChunk(table, column, chunkRows, chunk)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if len(words) != want {
+				lastErr = fmt.Errorf("source %s returned %d words for chunk %d, want %d", src.Name(), len(words), chunk, want)
+				continue
+			}
+			// Verify-on-receipt: the whole chunk must be clean, not just
+			// the positions under repair - a source serving corrupt words
+			// is not trusted for any of them.
+			valid := true
+			for _, w := range words {
+				if _, ok := code.Check(w); !ok {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				lastErr = fmt.Errorf("source %s served chunk %d with invalid code words", src.Name(), chunk)
+				continue
+			}
+			for _, pos := range byChunk[chunk] {
+				hc.Set(int(pos), code.Decode(words[int(pos)-start])) // Set re-hardens
+				repaired = append(repaired, pos)
+			}
+			healed = true
+			break
+		}
+		if !healed {
+			return repaired, skipped, fmt.Errorf("exec: no repair source could heal %s.%s chunk %d: %v", table, column, chunk, lastErr)
+		}
+	}
+	return repaired, skipped, nil
+}
+
+// SaveSnapshot persists every hardened table as a chunked columnar
+// snapshot under dir/<table>/ - the local redundancy a
+// SnapshotRepairSource later repairs from.
+func (db *DB) SaveSnapshot(dir string) error {
+	names := make([]string, 0, len(db.hardened))
+	for name := range db.hardened {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := storage.SaveTable(filepath.Join(dir, name), db.hardened[name]); err != nil {
+			return fmt.Errorf("exec: snapshot of %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// UseHardened replaces the hardened copy of a known table - typically
+// with a snapshot-loaded table whose columns carry verified code words
+// and rebuilt packed mirrors.
+func (db *DB) UseHardened(t *storage.Table) error {
+	if db.hardened[t.Name()] == nil {
+		return fmt.Errorf("exec: unknown table %q", t.Name())
+	}
+	if t.Rows() != db.hardened[t.Name()].Rows() {
+		return fmt.Errorf("exec: table %q has %d rows, expected %d", t.Name(), t.Rows(), db.hardened[t.Name()].Rows())
+	}
+	db.hardened[t.Name()] = t
+	return nil
+}
+
+// ColumnChunkCRCs returns the per-chunk CRCs of a hardened column's
+// current in-memory contents - the digests the anti-entropy protocol
+// compares across replicas.
+func (db *DB) ColumnChunkCRCs(table, column string, chunkRows int) ([]uint32, error) {
+	hc, err := db.hardenedColumn(table, column)
+	if err != nil {
+		return nil, err
+	}
+	return storage.ColumnChunkCRCs(hc, chunkRows)
+}
+
+// ChunkWords returns the raw code words of one chunk of a hardened
+// column - the payload a replica serves to a syncing peer. Words are
+// served as stored; the receiver AN-verifies them.
+func (db *DB) ChunkWords(table, column string, chunkRows, chunk int) ([]uint64, error) {
+	hc, err := db.hardenedColumn(table, column)
+	if err != nil {
+		return nil, err
+	}
+	if chunkRows <= 0 {
+		return nil, fmt.Errorf("exec: chunk granularity %d", chunkRows)
+	}
+	start := chunk * chunkRows
+	if chunk < 0 || start >= hc.Len() {
+		return nil, fmt.Errorf("exec: %s.%s has no chunk %d at granularity %d", table, column, chunk, chunkRows)
+	}
+	n := min(hc.Len()-start, chunkRows)
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = hc.Get(start + i)
+	}
+	return words, nil
+}
+
+// HealChunk overwrites one chunk of a hardened column with words fetched
+// from an authoritative peer, after AN-verifying every word - the apply
+// step of anti-entropy. The plain mirrors (base and DMR replicas, when
+// present) are kept in lockstep so every execution mode observes the
+// healed values. It returns the number of positions whose stored word
+// actually changed.
+func (db *DB) HealChunk(table, column string, chunkRows, chunk int, words []uint64) (int, error) {
+	hc, err := db.hardenedColumn(table, column)
+	if err != nil {
+		return 0, err
+	}
+	code := hc.Code()
+	if chunkRows <= 0 {
+		return 0, fmt.Errorf("exec: chunk granularity %d", chunkRows)
+	}
+	start := chunk * chunkRows
+	if chunk < 0 || start >= hc.Len() {
+		return 0, fmt.Errorf("exec: %s.%s has no chunk %d at granularity %d", table, column, chunk, chunkRows)
+	}
+	if want := min(hc.Len()-start, chunkRows); len(words) != want {
+		return 0, fmt.Errorf("exec: chunk %d of %s.%s holds %d words, got %d", chunk, table, column, want, len(words))
+	}
+	for i, w := range words {
+		if _, ok := code.Check(w); !ok {
+			return 0, fmt.Errorf("exec: refusing to heal %s.%s chunk %d: invalid code word at offset %d", table, column, chunk, i)
+		}
+	}
+	db.recoverMu.Lock()
+	defer db.recoverMu.Unlock()
+	changed := 0
+	for i, w := range words {
+		pos := start + i
+		d := code.Decode(w)
+		if hc.Get(pos) != w {
+			hc.Set(pos, d) // Set re-hardens
+			changed++
+		}
+		for _, mirror := range []map[string]*storage.Table{db.plain, db.replica, db.replica2} {
+			if t := mirror[table]; t != nil {
+				if pc, err := t.Column(column); err == nil && pc.Get(pos) != d {
+					pc.Set(pos, d)
+				}
+			}
+		}
+	}
+	return changed, nil
+}
+
+func (db *DB) hardenedColumn(table, column string) (*storage.Column, error) {
+	hTab := db.hardened[table]
+	if hTab == nil {
+		return nil, fmt.Errorf("exec: unknown table %q", table)
+	}
+	hc, err := hTab.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	if hc.Code() == nil {
+		return nil, fmt.Errorf("exec: column %s.%s is not hardened", table, column)
+	}
+	return hc, nil
+}
+
+// SnapshotRepairSource serves repair chunks from a columnar snapshot
+// directory written by DB.SaveSnapshot. Snapshot files are opened
+// lazily and kept open; every read is CRC-verified by the snapshot
+// reader, and the repair path AN-verifies each word on top.
+type SnapshotRepairSource struct {
+	dir  string
+	mu   sync.Mutex
+	open map[string]*storage.ColumnSnapshot
+}
+
+// NewSnapshotRepairSource creates a repair source over dir.
+func NewSnapshotRepairSource(dir string) *SnapshotRepairSource {
+	return &SnapshotRepairSource{dir: dir, open: make(map[string]*storage.ColumnSnapshot)}
+}
+
+// Name identifies the source in errors and reports.
+func (s *SnapshotRepairSource) Name() string { return "snapshot:" + s.dir }
+
+// FetchChunk reads rows [chunk*chunkRows, ...) from the column's
+// snapshot file, whatever granularity the file itself was written with.
+func (s *SnapshotRepairSource) FetchChunk(table, column string, chunkRows, chunk int) ([]uint64, error) {
+	if chunkRows <= 0 || chunk < 0 {
+		return nil, fmt.Errorf("exec: snapshot fetch with granularity %d chunk %d", chunkRows, chunk)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := table + "/" + column
+	snap := s.open[key]
+	if snap == nil {
+		var err error
+		snap, err = storage.OpenColumnSnapshot(filepath.Join(s.dir, table, column+".col"), column)
+		if err != nil {
+			return nil, err
+		}
+		s.open[key] = snap
+	}
+	start := chunk * chunkRows
+	if start >= snap.Rows() {
+		return nil, fmt.Errorf("exec: snapshot %s has no chunk %d at granularity %d", key, chunk, chunkRows)
+	}
+	return snap.ReadRows(start, min(snap.Rows()-start, chunkRows))
+}
+
+// Close releases all snapshot files.
+func (s *SnapshotRepairSource) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for key, snap := range s.open {
+		if err := snap.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.open, key)
+	}
+	return first
+}

@@ -1,0 +1,231 @@
+package exec
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ahead/internal/cluster"
+	"ahead/internal/faults"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// corruptW plants the same transient flips the plain-mirror recovery
+// tests use, so source-backed healing can be compared one-to-one.
+func corruptW(t *testing.T, db *DB) {
+	t.Helper()
+	w := db.Hardened("t").MustColumn("w")
+	inj := faults.NewInjector(21)
+	for _, pos := range []int{15, 16} { // inside the sumPlan filter range
+		if _, err := inj.FlipAt(w, pos, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotRepairHealsLikePlain is the satellite acceptance path for
+// the local snapshot: two identically corrupted DBs, one healing from
+// its in-process plain mirror, one with the mirror dropped and only a
+// snapshot source registered. Result and recovery report must be
+// byte-identical - where the good words came from must be invisible to
+// the query.
+func TestSnapshotRepairHealsLikePlain(t *testing.T) {
+	dbPlain, dbSnap := recoveryDB(t), recoveryDB(t)
+	ref := unprotectedRef(t, dbPlain)
+
+	dir := t.TempDir()
+	if err := dbSnap.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	src := NewSnapshotRepairSource(dir)
+	defer src.Close()
+	dbSnap.RegisterRepairSource(src)
+	dbSnap.DropPlainRepair()
+	if dbSnap.PlainRepairAvailable() {
+		t.Fatal("plain repair must be gone after DropPlainRepair")
+	}
+
+	corruptW(t, dbPlain)
+	corruptW(t, dbSnap)
+
+	resPlain, repPlain, err := RunWithRecovery(dbPlain, Continuous, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSnap, repSnap, err := RunWithRecovery(dbSnap, Continuous, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resSnap.Equal(ref) || !resSnap.Equal(resPlain) {
+		t.Fatal("snapshot-healed result differs from the plain-healed answer")
+	}
+	if !repSnap.Equal(repPlain) {
+		t.Fatalf("recovery reports diverge:\nplain:    %v\nsnapshot: %v", repPlain, repSnap)
+	}
+	if bad, err := dbSnap.Hardened("t").MustColumn("w").CheckAll(); err != nil || len(bad) != 0 {
+		t.Fatalf("column not clean after snapshot repair: %v, %v", bad, err)
+	}
+}
+
+// TestRepairFailsWithoutAnySource: plain mirror dropped, nothing
+// registered - the repair must fail loudly, never silently keep the
+// corrupt words.
+func TestRepairFailsWithoutAnySource(t *testing.T) {
+	db := recoveryDB(t)
+	db.DropPlainRepair()
+	db.Hardened("t").MustColumn("w").Corrupt(15, 1<<4)
+	_, _, err := RunWithRecovery(db, Continuous, ops.Scalar, sumPlan)
+	if err == nil {
+		t.Fatal("recovery without any repair source must fail")
+	}
+	if !strings.Contains(err.Error(), "no plain mirror and no repair source") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRepairRejectsCorruptSource: a snapshot whose words do not pass
+// the AN check must be rejected whole - verify-on-receipt - and with no
+// other source the recovery fails rather than writing bad words.
+func TestRepairRejectsCorruptSource(t *testing.T) {
+	db := recoveryDB(t)
+	dir := t.TempDir()
+
+	// Snapshot a corrupted table, then corrupt the live column elsewhere:
+	// the snapshot serves AN-invalid words for the chunk under repair.
+	w := db.Hardened("t").MustColumn("w")
+	good := w.Value(40)
+	w.Corrupt(40, 1<<9)
+	if err := db.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	w.Set(40, good) // heal the live copy; the snapshot stays dirty
+
+	src := NewSnapshotRepairSource(dir)
+	defer src.Close()
+	db.RegisterRepairSource(src)
+	db.DropPlainRepair()
+	w.Corrupt(15, 1<<4)
+
+	_, _, err := RunWithRecovery(db, Continuous, ops.Scalar, sumPlan)
+	if err == nil {
+		t.Fatal("a source serving invalid code words must not heal")
+	}
+	if !strings.Contains(err.Error(), "invalid code words") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The corrupt snapshot must not have been written into the column:
+	// position 15 still carries the injected fault, nothing else changed.
+	bad, cerr := w.CheckAll()
+	if cerr != nil || len(bad) != 1 || bad[0] != 15 {
+		t.Fatalf("rejected source must leave the column untouched, got bad=%v err=%v", bad, cerr)
+	}
+}
+
+// peerHandler serves GET /sync/chunk from a healthy twin DB - the
+// minimal peer surface PeerRepairSource needs, without pulling the
+// server package into exec's tests.
+func peerHandler(t *testing.T, db *DB) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/sync/chunk" {
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query()
+		chunkRows, _ := strconv.Atoi(q.Get("chunk_rows"))
+		chunk, _ := strconv.Atoi(q.Get("chunk"))
+		words, err := db.ChunkWords(q.Get("table"), q.Get("column"), chunkRows, chunk)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(&cluster.ChunkPayload{
+			Version: cluster.SyncVersion, Table: q.Get("table"), Column: q.Get("column"),
+			ChunkRows: chunkRows, Chunk: chunk,
+			Words: words, CRC: cluster.WordsCRC(words),
+		})
+	})
+}
+
+// TestPeerRepairHealsLikePlain is the satellite acceptance path for the
+// peer replica: the victim's plain mirror is gone and its only repair
+// source is a healthy peer over HTTP. Result and report must match the
+// plain-mirror healing run exactly.
+func TestPeerRepairHealsLikePlain(t *testing.T) {
+	dbPlain, dbVictim, dbPeer := recoveryDB(t), recoveryDB(t), recoveryDB(t)
+	ref := unprotectedRef(t, dbPlain)
+
+	peer := httptest.NewServer(peerHandler(t, dbPeer))
+	defer peer.Close()
+	dbVictim.RegisterRepairSource(cluster.NewPeerRepairSource(peer.URL, nil))
+	dbVictim.DropPlainRepair()
+
+	corruptW(t, dbPlain)
+	corruptW(t, dbVictim)
+
+	resPlain, repPlain, err := RunWithRecovery(dbPlain, Continuous, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPeer, repPeer, err := RunWithRecovery(dbVictim, Continuous, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resPeer.Equal(ref) || !resPeer.Equal(resPlain) {
+		t.Fatal("peer-healed result differs from the plain-healed answer")
+	}
+	if !repPeer.Equal(repPlain) {
+		t.Fatalf("recovery reports diverge:\nplain: %v\npeer:  %v", repPlain, repPeer)
+	}
+	if bad, err := dbVictim.Hardened("t").MustColumn("w").CheckAll(); err != nil || len(bad) != 0 {
+		t.Fatalf("column not clean after peer repair: %v, %v", bad, err)
+	}
+}
+
+// TestSnapshotRoundTripDifferential: write a snapshot, reload it from
+// disk, swap it in as the hardened store (packed mirrors rebuilt by the
+// loader), and require the full mode matrix to reproduce the in-memory
+// DB's answers exactly - the CI round-trip gate.
+func TestSnapshotRoundTripDifferential(t *testing.T) {
+	db := recoveryDB(t)
+	dir := t.TempDir()
+	if err := db.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, repairable, err := storage.LoadTable(dir + "/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairable) != 0 {
+		t.Fatalf("clean snapshot reported repairable positions: %v", repairable)
+	}
+
+	db2 := recoveryDB(t)
+	if err := db2.UseHardened(loaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.UseHardened(storage.NewTable("nope")); err == nil {
+		t.Fatal("UseHardened must reject unknown tables")
+	}
+
+	for _, mode := range []Mode{Unprotected, EarlyOnetime, LateOnetime, Continuous, ContinuousReencoding} {
+		want, _, err := Run(db, mode, ops.Scalar, sumPlan)
+		if err != nil {
+			t.Fatalf("%v in-memory: %v", mode, err)
+		}
+		got, log, err := Run(db2, mode, ops.Scalar, sumPlan)
+		if err != nil {
+			t.Fatalf("%v reloaded: %v", mode, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("%v: reloaded snapshot diverges from the in-memory DB", mode)
+		}
+		if log.Count() != 0 {
+			t.Fatalf("%v: %d errors logged on a clean reloaded snapshot", mode, log.Count())
+		}
+	}
+}

@@ -149,13 +149,25 @@ func filterRange(col *storage.Column, lo, hi uint64, o *Opts, log *ErrorLog, sta
 
 func filterPlain(col *storage.Column, lo, hi uint64, o *Opts, start, end int, buf []uint64) ([]uint64, error) {
 	base := uint64(start)
+	// A lower bound beyond the storage domain selects nothing - the same
+	// convention as the hardened paths. Clamping it down to the type max
+	// (as the upper bound is) would instead select the max value itself.
 	switch {
 	case col.U8() != nil:
-		return rangeScan(col.U8()[start:end], clamp8(lo), clamp8(hi), base, o.posMul(), o.flavor(), buf), nil
+		if lo > 0xFF {
+			return buf[:0], nil
+		}
+		return rangeScan(col.U8()[start:end], uint8(lo), clamp8(hi), base, o.posMul(), o.flavor(), buf), nil
 	case col.U16() != nil:
-		return rangeScan(col.U16()[start:end], clamp16(lo), clamp16(hi), base, o.posMul(), o.flavor(), buf), nil
+		if lo > 0xFFFF {
+			return buf[:0], nil
+		}
+		return rangeScan(col.U16()[start:end], uint16(lo), clamp16(hi), base, o.posMul(), o.flavor(), buf), nil
 	case col.U32() != nil:
-		return rangeScan(col.U32()[start:end], clamp32(lo), clamp32(hi), base, o.posMul(), o.flavor(), buf), nil
+		if lo > 0xFFFFFFFF {
+			return buf[:0], nil
+		}
+		return rangeScan(col.U32()[start:end], uint32(lo), clamp32(hi), base, o.posMul(), o.flavor(), buf), nil
 	case col.U64() != nil:
 		return rangeScan(col.U64()[start:end], lo, hi, base, o.posMul(), o.flavor(), buf), nil
 	default:

@@ -21,7 +21,12 @@ type metrics struct {
 	detected      atomic.Uint64 // detected corrupt positions (all queries)
 	repairRetries atomic.Uint64 // extra attempts spent by healing runs
 	injected      atomic.Uint64 // bit flips planted via /inject
-	latency       latencyHist
+
+	syncRuns         atomic.Uint64 // completed /sync/from-peer passes
+	syncFailed       atomic.Uint64 // failed /sync/from-peer passes
+	syncHealedChunks atomic.Uint64 // chunks healed from peers
+
+	latency latencyHist
 }
 
 func newMetrics() *metrics { return &metrics{} }
@@ -69,6 +74,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("ahead_detected_errors_total", "Corrupt positions detected during query execution.", m.detected.Load())
 	counter("ahead_repair_retries_total", "Extra execution attempts spent by healing runs.", m.repairRetries.Load())
 	counter("ahead_injected_faults_total", "Bit flips planted via /inject.", m.injected.Load())
+	counter("ahead_sync_runs_total", "Completed anti-entropy passes (POST /sync/from-peer).", m.syncRuns.Load())
+	counter("ahead_sync_failed_total", "Failed anti-entropy passes.", m.syncFailed.Load())
+	counter("ahead_sync_healed_chunks_total", "Column chunks healed from peer replicas.", m.syncHealedChunks.Load())
 
 	gauge("ahead_inflight_queries", "Queries currently executing.", int64(len(s.sem)))
 	gauge("ahead_queued_queries", "Queries waiting for an execution slot.", s.queued.Load())

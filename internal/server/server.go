@@ -142,6 +142,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /sync/digests", s.handleSyncDigests)
+	s.mux.HandleFunc("GET /sync/chunk", s.handleSyncChunk)
+	s.mux.HandleFunc("POST /sync/from-peer", s.handleSyncFromPeer)
 	return s, nil
 }
 

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ahead/internal/cluster"
+	"ahead/internal/exec"
+	"ahead/internal/faults"
+	"ahead/internal/ssb"
+	"ahead/internal/storage"
+)
+
+// tinyDBRows is tinyDB with a custom row count, for schema-mismatch
+// sync cases where the peer's column shape must differ.
+func tinyDBRows(t *testing.T, rows uint64) *exec.DB {
+	t.Helper()
+	tb := storage.NewTable("t")
+	v, err := storage.NewColumn("v", storage.TinyInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := storage.NewColumn("w", storage.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < rows; i++ {
+		v.Append(i % 50)
+		w.Append(i * 3)
+	}
+	for _, c := range []*storage.Column{v, w} {
+		if err := tb.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := exec.NewDB([]*storage.Table{tb}, storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func syncTestServer(t *testing.T, db *exec.DB) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSyncDigestsEndpoints(t *testing.T) {
+	db := tinyDB(t)
+	_, ts := syncTestServer(t, db)
+
+	var sum cluster.DigestSummary
+	if code := getJSON(t, ts.URL+"/sync/digests", &sum); code != http.StatusOK {
+		t.Fatalf("summary status %d", code)
+	}
+	if sum.Version != cluster.SyncVersion || len(sum.Columns) != 2 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	bloom, err := cluster.DecodeBloom(sum.Bloom, sum.BloomK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sum.Columns {
+		crcs, err := db.ColumnChunkCRCs(c.Table, c.Column, sum.ChunkRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(crcs) != c.Chunks {
+			t.Fatalf("%s.%s: %d chunks in digest, %d locally", c.Table, c.Column, c.Chunks, len(crcs))
+		}
+		for chunk, crc := range crcs {
+			if !bloom.Has(cluster.ChunkEntryHash(c.Table, c.Column, chunk, crc)) {
+				t.Fatalf("bloom misses %s.%s chunk %d", c.Table, c.Column, chunk)
+			}
+		}
+	}
+
+	var exact cluster.ChunkCRCList
+	if code := getJSON(t, ts.URL+"/sync/digests?table=t&column=w", &exact); code != http.StatusOK {
+		t.Fatalf("exact status %d", code)
+	}
+	want, _ := db.ColumnChunkCRCs("t", "w", exact.ChunkRows)
+	if len(exact.CRCs) != len(want) || exact.CRCs[0] != want[0] {
+		t.Fatalf("exact CRCs %v, want %v", exact.CRCs, want)
+	}
+
+	var dummy json.RawMessage
+	if code := getJSON(t, ts.URL+"/sync/digests?table=t", &dummy); code != http.StatusBadRequest {
+		t.Fatalf("half-specified column filter must 400, got %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/sync/digests?table=t&column=missing", &dummy); code != http.StatusNotFound {
+		t.Fatalf("unknown column must 404, got %d", code)
+	}
+}
+
+func TestSyncChunkEndpoint(t *testing.T) {
+	db := tinyDB(t)
+	_, ts := syncTestServer(t, db)
+
+	var payload cluster.ChunkPayload
+	if code := getJSON(t, ts.URL+"/sync/chunk?table=t&column=w&chunk_rows=65536&chunk=0", &payload); code != http.StatusOK {
+		t.Fatalf("chunk status %d", code)
+	}
+	if len(payload.Words) != 256 || payload.CRC != cluster.WordsCRC(payload.Words) {
+		t.Fatalf("payload: %d words, crc %d", len(payload.Words), payload.CRC)
+	}
+	var dummy json.RawMessage
+	if code := getJSON(t, ts.URL+"/sync/chunk?table=t&column=w&chunk_rows=0&chunk=0", &dummy); code != http.StatusBadRequest {
+		t.Fatalf("zero granularity must 400, got %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/sync/chunk?table=t&column=w&chunk_rows=65536&chunk=7", &dummy); code != http.StatusNotFound {
+		t.Fatalf("out-of-range chunk must 404, got %d", code)
+	}
+}
+
+func postSync(t *testing.T, url, peer string) (int, cluster.SyncReport, string) {
+	t.Helper()
+	body, _ := json.Marshal(cluster.SyncFromPeerRequest{Peer: peer})
+	resp, err := http.Post(url+"/sync/from-peer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report cluster.SyncReport
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("decode sync report: %v\n%s", err, data)
+		}
+	}
+	return resp.StatusCode, report, string(data)
+}
+
+// TestSyncFromPeerHealsCorruptReplica is the PR's acceptance path: a
+// replica whose plain repair copy is gone carries a corrupted,
+// quarantined hardened column; one POST /sync/from-peer against a
+// healthy peer must heal it chunk-by-chunk via the digest diff, lift
+// the quarantine, and make query results identical to the peer's.
+func TestSyncFromPeerHealsCorruptReplica(t *testing.T) {
+	dbPeer, dbVictim := tinyDB(t), tinyDB(t)
+	_, tsPeer := syncTestServer(t, dbPeer)
+	_, tsVictim := syncTestServer(t, dbVictim)
+
+	query := QueryRequest{
+		AdHoc: &ssb.AdHocSpec{
+			Table: "t", Agg: "sum", AggCol: "w",
+			Preds:   []ssb.AdHocPred{{Col: "v", Lo: 10, Hi: 19}},
+			GroupBy: []string{"v"},
+		},
+		Mode: "continuous",
+	}
+	resp, refData := postQuery(t, tsPeer.URL, query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer reference query: %d\n%s", resp.StatusCode, refData)
+	}
+	ref := decodeResponse(t, refData)
+
+	// The victim loses its plain repair copy and takes in-guarantee hits
+	// in the hardened column; a prior recovery escalation quarantined it.
+	dbVictim.DropPlainRepair()
+	w := dbVictim.Hardened("t").MustColumn("w")
+	inj := faults.NewInjector(99)
+	for _, pos := range []int{3, 77, 200} {
+		if _, err := inj.FlipAt(w, pos, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dbVictim.QuarantineColumn("w")
+
+	code, report, raw := postSync(t, tsVictim.URL, tsPeer.URL)
+	if code != http.StatusOK {
+		t.Fatalf("sync status %d: %s", code, raw)
+	}
+	if report.TotalHealed() == 0 {
+		t.Fatalf("sync healed nothing: %s", raw)
+	}
+	var wReport *cluster.ColumnSyncReport
+	for i := range report.Columns {
+		if report.Columns[i].Column == "w" {
+			wReport = &report.Columns[i]
+		}
+	}
+	if wReport == nil || wReport.Skipped != "" || wReport.ChunksHealed == 0 || wReport.WordsChanged != 3 {
+		t.Fatalf("w column report: %+v", wReport)
+	}
+	if !wReport.Cleared || dbVictim.IsQuarantined("w") {
+		t.Fatal("quarantine must be lifted once the column checks clean")
+	}
+	if bad, err := w.CheckAll(); err != nil || len(bad) != 0 {
+		t.Fatalf("column not clean after sync: %v, %v", bad, err)
+	}
+
+	// The healed replica answers exactly like the peer, with no
+	// detections - result rows, keys, aggregates all identical.
+	resp, gotData := postQuery(t, tsVictim.URL, query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed replica query: %d\n%s", resp.StatusCode, gotData)
+	}
+	got := decodeResponse(t, gotData)
+	if got.Rows != ref.Rows || len(got.Detected) != 0 {
+		t.Fatalf("healed replica: rows %d (want %d), detected %v", got.Rows, ref.Rows, got.Detected)
+	}
+	for r := range ref.Keys {
+		for c := range ref.Keys[r] {
+			if got.Keys[r][c] != ref.Keys[r][c] {
+				t.Fatalf("row %d key %d: %d vs %d", r, c, got.Keys[r][c], ref.Keys[r][c])
+			}
+		}
+	}
+	for r := range ref.Aggs {
+		if got.Aggs[r] != ref.Aggs[r] {
+			t.Fatalf("row %d agg: %d vs %d", r, got.Aggs[r], ref.Aggs[r])
+		}
+	}
+
+	// The pass is visible in the metrics.
+	mresp, err := http.Get(tsVictim.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(metrics), "ahead_sync_runs_total 1") {
+		t.Fatal("sync run not counted in /metrics")
+	}
+	if !strings.Contains(string(metrics), "ahead_sync_healed_chunks_total 1") {
+		t.Fatal("healed chunks not counted in /metrics")
+	}
+}
+
+// TestSyncFromPeerCleanIsNoop: identical replicas agree via the bloom
+// summary alone - nothing fetched, nothing healed, nothing skipped.
+func TestSyncFromPeerCleanIsNoop(t *testing.T) {
+	dbPeer, dbVictim := tinyDB(t), tinyDB(t)
+	_, tsPeer := syncTestServer(t, dbPeer)
+	_, tsVictim := syncTestServer(t, dbVictim)
+
+	code, report, raw := postSync(t, tsVictim.URL, tsPeer.URL)
+	if code != http.StatusOK {
+		t.Fatalf("sync status %d: %s", code, raw)
+	}
+	if report.TotalHealed() != 0 || len(report.Columns) != 2 {
+		t.Fatalf("clean sync report: %s", raw)
+	}
+	for _, cr := range report.Columns {
+		if cr.Skipped != "" || cr.ChunksHealed != 0 {
+			t.Fatalf("clean column report: %+v", cr)
+		}
+	}
+}
+
+// TestSyncFromPeerValidation: bad peers and bad requests fail loudly.
+func TestSyncFromPeerValidation(t *testing.T) {
+	db := tinyDB(t)
+	_, ts := syncTestServer(t, db)
+
+	if code, _, raw := postSync(t, ts.URL, ""); code != http.StatusBadRequest {
+		t.Fatalf("empty peer must 400, got %d: %s", code, raw)
+	}
+	if code, _, raw := postSync(t, ts.URL, "http://127.0.0.1:1"); code != http.StatusBadGateway {
+		t.Fatalf("unreachable peer must 502, got %d: %s", code, raw)
+	}
+}
+
+// TestSyncFromPeerSchemaMismatch: a peer with a different row count is
+// never authoritative - its columns are skipped, local data untouched.
+func TestSyncFromPeerSchemaMismatch(t *testing.T) {
+	dbVictim := tinyDB(t)
+	dbPeer := tinyDBRows(t, 128)
+	_, tsPeer := syncTestServer(t, dbPeer)
+	_, tsVictim := syncTestServer(t, dbVictim)
+
+	code, report, raw := postSync(t, tsVictim.URL, tsPeer.URL)
+	if code != http.StatusOK {
+		t.Fatalf("sync status %d: %s", code, raw)
+	}
+	for _, cr := range report.Columns {
+		if cr.Skipped == "" || cr.ChunksHealed != 0 {
+			t.Fatalf("mismatched column must be skipped: %+v", cr)
+		}
+	}
+}

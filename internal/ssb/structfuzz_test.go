@@ -1,0 +1,353 @@
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/faults"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// Structure-aware differential fuzzing: instead of mutating bytes, the
+// fuzzer draws a random star schema (one fact table plus dimension
+// tables, random kinds and row counts), a set of random ad-hoc queries
+// over it, and a fault campaign whose flip weights stay within each
+// code's published detection guarantee. The properties are the same
+// ones the hand-written SSB differential suite pins, but quantified
+// over arbitrary schemas:
+//
+//  1. On clean data every hardened mode x {serial, pooled} x {fused,
+//     materializing} reproduces the unprotected reference exactly with
+//     empty error logs.
+//  2. Under in-guarantee faults every configuration detects-or-rejects:
+//     a result that differs from the reference must come with a
+//     non-empty error log (silent wrong answers are the one forbidden
+//     outcome), and serial and pooled runs agree on both result and
+//     log.
+//  3. Supervised recovery returns the exact reference result.
+
+// structKinds are the column kinds the schema generator draws from -
+// all four width classes, so every published code family is exercised.
+var structKinds = []storage.Kind{storage.TinyInt, storage.ShortInt, storage.Int, storage.BigInt}
+
+// structValueBits caps generated values: key-ish columns (index 0 and
+// 1) stay low-cardinality so group-bys have realistic shapes, measures
+// stay within 16 bits so sums and products cannot overflow the
+// aggregate domain even after AN re-encoding.
+func structValueBits(kind storage.Kind, colIdx int) uint {
+	bits := kind.DataBits()
+	cap := uint(16)
+	if colIdx < 2 {
+		cap = 4
+	}
+	if bits > cap {
+		bits = cap
+	}
+	return bits
+}
+
+// buildStructSchema draws the random star schema: table 0 is the fact
+// table, the rest are dimensions with fewer rows.
+func buildStructSchema(rng *rand.Rand) ([]*storage.Table, error) {
+	nTables := 1 + rng.Intn(3)
+	tables := make([]*storage.Table, 0, nTables)
+	for ti := 0; ti < nTables; ti++ {
+		name := fmt.Sprintf("t%d", ti)
+		rows := 8 + rng.Intn(56)
+		if ti == 0 {
+			rows = 64 + rng.Intn(192)
+		}
+		tab := storage.NewTable(name)
+		nCols := 2 + rng.Intn(3)
+		for ci := 0; ci < nCols; ci++ {
+			kind := structKinds[rng.Intn(len(structKinds))]
+			// Column names are globally unique: quarantine and repair
+			// bookkeeping key on bare column names.
+			col, err := storage.NewColumn(fmt.Sprintf("%s_c%d", name, ci), kind)
+			if err != nil {
+				return nil, err
+			}
+			mask := uint64(1)<<structValueBits(kind, ci) - 1
+			for r := 0; r < rows; r++ {
+				col.Append(rng.Uint64() & mask)
+			}
+			if err := tab.AddColumn(col); err != nil {
+				return nil, err
+			}
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}
+
+// randomStructSpec draws one valid ad-hoc spec over the table. Validity
+// is by construction: CompileAdHoc failing on a generated spec is a
+// generator bug the property check turns into a test failure.
+func randomStructSpec(rng *rand.Rand, tab *storage.Table) AdHocSpec {
+	cols := tab.Columns()
+	pick := func() string { return cols[rng.Intn(len(cols))].Name() }
+	spec := AdHocSpec{Table: tab.Name()}
+	for i := rng.Intn(3); i > 0; i-- {
+		a, b := rng.Uint64()&0xFFFF, rng.Uint64()&0xFFFF
+		// Mostly ordered ranges; occasionally inverted (selects nothing)
+		// or equality, both legal spec shapes.
+		switch rng.Intn(8) {
+		case 0:
+			a, b = b, a
+		case 1:
+			b = a
+		default:
+			if a > b {
+				a, b = b, a
+			}
+		}
+		spec.Preds = append(spec.Preds, AdHocPred{Col: pick(), Lo: a, Hi: b})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		g := pick()
+		dup := false
+		for _, have := range spec.GroupBy {
+			dup = dup || have == g
+		}
+		if !dup {
+			spec.GroupBy = append(spec.GroupBy, g)
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		spec.Agg = "count"
+	case 1:
+		spec.Agg = "sum"
+		spec.AggCol = pick()
+	default:
+		if len(spec.GroupBy) > 0 {
+			spec.Agg = "sum"
+			spec.AggCol = pick()
+		} else {
+			spec.Agg = "sumproduct"
+			spec.AggCol, spec.AggCol2 = pick(), pick()
+		}
+	}
+	return spec
+}
+
+// structFaultTargets mirrors soakTargets over every table of the
+// random schema: each hardened column is eligible, with the flip
+// weight its code's published guarantee covers (weight 2 up to 32 data
+// bits, single flips for the wide codes).
+func structFaultTargets(db *exec.DB) (cols []*storage.Column, weights []int) {
+	for _, name := range db.Tables() {
+		for _, c := range db.Hardened(name).Columns() {
+			code := c.Code()
+			if code == nil {
+				continue
+			}
+			w := 2
+			if code.DataBits() > 32 {
+				w = 1
+			}
+			cols = append(cols, c)
+			weights = append(weights, w)
+		}
+	}
+	return cols, weights
+}
+
+// structPlan is one compiled spec plus its fault-free reference.
+type structPlan struct {
+	spec AdHocSpec
+	plan exec.QueryFunc
+	ref  *ops.Result
+}
+
+// structDifferentialProperty is the whole property, shared by the
+// deterministic test and the native fuzz target: build the schema from
+// seed, check the clean differential matrix, inject in-guarantee
+// faults from faultSeed, check detect-or-reject plus serial/pooled
+// agreement, recover, and verify the data ends fully healed.
+func structDifferentialProperty(t *testing.T, seed, faultSeed int64, flips int) {
+	rng := rand.New(rand.NewSource(seed))
+	tables, err := buildStructSchema(rng)
+	if err != nil {
+		t.Fatalf("seed %d: build schema: %v", seed, err)
+	}
+	db, err := exec.NewDB(tables, storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatalf("seed %d: harden schema: %v", seed, err)
+	}
+	pool := exec.NewPool(2)
+	defer pool.Close()
+
+	var plans []structPlan
+	for _, tab := range tables {
+		n := 1
+		if tab == tables[0] {
+			n = 2 // the fact table gets an extra query, like real workloads
+		}
+		for i := 0; i < n; i++ {
+			spec := randomStructSpec(rng, tab)
+			plan, err := CompileAdHoc(db, spec)
+			if err != nil {
+				t.Fatalf("seed %d: generated spec %+v does not compile: %v", seed, spec, err)
+			}
+			ref, _, err := exec.Run(db, exec.Unprotected, ops.Blocked, plan)
+			if err != nil {
+				t.Fatalf("seed %d: unprotected reference for %+v: %v", seed, spec, err)
+			}
+			plans = append(plans, structPlan{spec: spec, plan: plan, ref: ref})
+		}
+	}
+
+	// Property 1: clean data, full differential matrix.
+	for _, p := range plans {
+		for _, mode := range diffModes {
+			for _, fused := range []bool{true, false} {
+				var logs [2]*ops.ErrorLog
+				for i, pooled := range []bool{false, true} {
+					opts := []exec.RunOption{exec.WithFusion(fused)}
+					if pooled {
+						opts = append(opts, exec.WithPool(pool))
+					}
+					got, log, err := exec.Run(db, mode, ops.Blocked, p.plan, opts...)
+					if err != nil {
+						t.Fatalf("seed %d: %+v %v fused=%v pooled=%v: %v", seed, p.spec, mode, fused, pooled, err)
+					}
+					if !p.ref.Equal(got) {
+						t.Fatalf("seed %d: %+v %v fused=%v pooled=%v diverges on clean data: %s",
+							seed, p.spec, mode, fused, pooled, firstDivergence(p.ref, got))
+					}
+					if log.Count() != 0 {
+						t.Fatalf("seed %d: %+v %v: %d errors logged on clean data", seed, p.spec, mode, log.Count())
+					}
+					logs[i] = log
+				}
+				if !logs[0].Equal(logs[1]) {
+					t.Fatalf("seed %d: %+v %v fused=%v: serial and pooled logs differ", seed, p.spec, mode, fused)
+				}
+			}
+		}
+	}
+
+	// Fault campaign: in-guarantee flips into up to two random hardened
+	// columns. The unprotected references stay valid - injection only
+	// touches the hardened replicas.
+	cols, weights := structFaultTargets(db)
+	if len(cols) == 0 {
+		t.Fatalf("seed %d: schema has no hardened columns", seed)
+	}
+	inj := faults.NewInjector(faultSeed)
+	if flips < 1 {
+		flips = 1
+	}
+	if flips > 6 {
+		flips = 6
+	}
+	for n := 1 + rng.Intn(2); n > 0; n-- {
+		i := rng.Intn(len(cols))
+		count := flips
+		if count > cols[i].Len() {
+			count = cols[i].Len()
+		}
+		if _, err := inj.FlipRandom(cols[i], count, weights[i]); err != nil {
+			t.Fatalf("seed %d: injecting into %s: %v", seed, cols[i].Name(), err)
+		}
+	}
+
+	// Property 2: detect-or-reject, serial == pooled.
+	for _, p := range plans {
+		for _, mode := range diffModes {
+			var results [2]*ops.Result
+			var logs [2]*ops.ErrorLog
+			var errs [2]error
+			for i, pooled := range []bool{false, true} {
+				var opts []exec.RunOption
+				if pooled {
+					opts = append(opts, exec.WithPool(pool))
+				}
+				results[i], logs[i], errs[i] = exec.Run(db, mode, ops.Blocked, p.plan, opts...)
+			}
+			if (errs[0] == nil) != (errs[1] == nil) {
+				t.Fatalf("seed %d: %+v %v: serial err %v, pooled err %v", seed, p.spec, mode, errs[0], errs[1])
+			}
+			if errs[0] != nil {
+				continue // both rejected outright: a legal detect-or-reject outcome
+			}
+			if !results[0].Equal(results[1]) {
+				t.Fatalf("seed %d: %+v %v: serial and pooled results diverge under faults: %s",
+					seed, p.spec, mode, firstDivergence(results[0], results[1]))
+			}
+			if !logs[0].Equal(logs[1]) {
+				t.Fatalf("seed %d: %+v %v: serial and pooled fault logs differ (%d vs %d entries)",
+					seed, p.spec, mode, logs[0].Count(), logs[1].Count())
+			}
+			// Detect-or-reject holds for every mode that checks data at
+			// rest before using it. LateOnetime is deliberately excluded:
+			// a corrupted code word can flip a filter decision and be
+			// discarded before the late check ever sees it - the exact
+			// vulnerability window the paper cites as motivation for
+			// continuous recoding, reproduced here by the fuzzer.
+			if mode != exec.LateOnetime && !results[0].Equal(p.ref) && logs[0].Count() == 0 {
+				t.Fatalf("seed %d: %+v %v: silent wrong answer - result diverges with an empty error log: %s",
+					seed, p.spec, mode, firstDivergence(p.ref, results[0]))
+			}
+		}
+	}
+
+	// Property 3: supervised recovery heals back to the exact reference.
+	for _, p := range plans {
+		res, rep, err := exec.RunWithRecovery(db, exec.Continuous, ops.Blocked, p.plan)
+		if err != nil {
+			t.Fatalf("seed %d: %+v under recovery: %v", seed, p.spec, err)
+		}
+		if !res.Equal(p.ref) {
+			t.Fatalf("seed %d: %+v: recovered result wrong after %d attempts: %s",
+				seed, p.spec, rep.Attempts, firstDivergence(p.ref, res))
+		}
+	}
+
+	// Queries only heal what they read; the scrub sweeps the latent rest
+	// and the whole schema must check clean afterwards.
+	if _, err := db.Scrub(); err != nil {
+		t.Fatalf("seed %d: final scrub: %v", seed, err)
+	}
+	for i, c := range cols {
+		bad, err := c.CheckAll()
+		if err != nil {
+			t.Fatalf("seed %d: post-scrub check of %s: %v", seed, c.Name(), err)
+		}
+		if len(bad) != 0 {
+			t.Fatalf("seed %d: %s still has %d bad positions after scrub (weight %d)", seed, c.Name(), len(bad), weights[i])
+		}
+	}
+}
+
+// TestStructuredSchemaDifferential pins the property on fixed seeds so
+// plain `go test` exercises the generator matrix deterministically.
+func TestStructuredSchemaDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schema matrix is not short")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			structDifferentialProperty(t, seed, seed*101+7, 4)
+		})
+	}
+}
+
+// FuzzRandomSchemaDifferential lets the fuzzer explore the schema,
+// workload, and fault space. Everything is derived from the three
+// integers, so every crash reproduces from its corpus entry.
+func FuzzRandomSchemaDifferential(f *testing.F) {
+	f.Add(int64(1), int64(108), int64(4))
+	f.Add(int64(7), int64(3), int64(1))
+	f.Add(int64(42), int64(42), int64(6))
+	f.Add(int64(-9), int64(0), int64(2))
+	f.Fuzz(func(t *testing.T, seed, faultSeed, flips int64) {
+		structDifferentialProperty(t, seed, faultSeed, int(flips%7))
+	})
+}

@@ -4,282 +4,422 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"ahead/internal/an"
 )
 
-// Column persistence. AHEAD's end-to-end story extends naturally to data
-// at rest: a hardened column is written as its code words, so corruption
-// picked up on disk, on the wire, or in the buffer pool is detected by
-// the same AN machinery the query operators use - no separate checksum
-// needed (compare the related-work HDFS discussion, where block checksums
-// protect only the disk hop and leave in-memory data vulnerable).
-// Unprotected columns get an XOR fold over the payload instead, verified
-// once at load time - exactly the weaker, coarser guarantee the paper
-// contrasts AHEAD with.
+// Column persistence, version 2: a chunked, self-describing snapshot
+// format. AHEAD's end-to-end story extends naturally to data at rest: a
+// hardened column is written as its code words, so corruption picked up
+// on disk, on the wire, or in the buffer pool is detected by the same AN
+// machinery the query operators use - no separate checksum needed for
+// the values themselves (compare the related-work HDFS discussion, where
+// block checksums protect only the disk hop and leave in-memory data
+// vulnerable).
 //
-// Format (all little-endian):
+// What the code words cannot see is structure: a flipped row count, a
+// flipped dictionary byte, a flipped code parameter. Version 1 covered
+// those with a single trailing XOR fold over the whole file, which meant
+// one flipped byte condemned the entire column and nothing could be
+// read lazily. Version 2 frames every section with its own CRC instead:
 //
-//	magic "AHEADCO1" | kind u8 | width u8 | codeA u64 | codeBits u16 |
-//	rows u64 | dict? | heap? | payload | xorFold u64
+//	magic "AHEADCO2"
+//	header: ULEB128 kind | width | codeA | codeBits | rows | chunkRows
+//	headerCRC u32le   (over magic + header bytes)
+//	dict?: ULEB128 count, then per entry ULEB128 len + bytes
+//	dictCRC u32le     (Str columns; over the dict section bytes)
+//	heap?: ULEB128 size + bytes
+//	heapCRC u32le     (StrHeap columns; over the heap section bytes)
+//	chunk 0 payload | chunkCRC u32le
+//	chunk 1 payload | chunkCRC u32le
+//	...
 //
-// dict: count u32, then len-u32-prefixed strings (Str columns).
-// heap: size u64, then the raw bytes (StrHeap columns).
+// Each chunk holds up to chunkRows values at the column's physical
+// width, little-endian; the last chunk may be short. Chunk sizes are
+// implied by the (CRC-protected) header, so a reader can seek straight
+// to chunk i without touching the rest of the file - the basis of the
+// lazy ColumnSnapshot reader and of the per-chunk digests the replica
+// anti-entropy protocol exchanges.
 //
-// The fold covers the header fields, the dictionary, the heap, and the
-// payload in file order, and is written for hardened columns too: AN
-// code words only protect the values, so without the fold a flipped row
-// count (loading a silently truncated column), a flipped dictionary
-// byte (silently renaming a value), or a flipped code parameter (every
-// word "decoding" to garbage) would pass every per-word check. At load
-// time a
-// fold mismatch on an unprotected column is an error; on a hardened
-// column it is an error only when no code word accounts for it -
-// value-granular detections keep their repair story.
+// Load semantics keep the v1 contract: a CRC mismatch on the header,
+// dictionary, or heap is an error (metadata has no repair story); a
+// chunk CRC mismatch on an unprotected column is an error; a chunk CRC
+// mismatch on a hardened column is an error only when no code word in
+// that chunk accounts for it (that covers a flipped CRC byte itself) -
+// value-granular AN detections are reported as repairable positions,
+// and only the affected chunk's worth of trust is in question.
 
-var persistMagic = [8]byte{'A', 'H', 'E', 'A', 'D', 'C', 'O', '1'}
+var persistMagic = [8]byte{'A', 'H', 'E', 'A', 'D', 'C', 'O', '2'}
 
-// WriteColumn serializes the column.
-func WriteColumn(w io.Writer, c *Column) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(persistMagic[:]); err != nil {
-		return err
+// DefaultChunkRows is the chunk granularity WriteColumn uses: ~64K code
+// words per chunk, so a flipped chunk costs at most 64K values to
+// re-fetch rather than the whole column.
+const DefaultChunkRows = 64 << 10
+
+// maxChunkRows bounds the chunk granularity a file may declare, which in
+// turn bounds the per-chunk buffer a reader allocates before the first
+// read can fail (8 MiB at width 8).
+const maxChunkRows = 1 << 20
+
+// maxPersistRows bounds the row count a header may declare. Loads grow
+// incrementally per chunk, so the cap only guards the int conversion.
+const maxPersistRows = 1 << 48
+
+// NumChunks returns the number of chunks a column of rows values splits
+// into at the given chunk granularity.
+func NumChunks(rows, chunkRows int) int {
+	if rows <= 0 || chunkRows <= 0 {
+		return 0
 	}
-	var codeA uint64
-	var codeBits uint16
+	return (rows + chunkRows - 1) / chunkRows
+}
+
+// WriteColumn serializes the column at the default chunk granularity.
+func WriteColumn(w io.Writer, c *Column) error {
+	return WriteColumnChunked(w, c, DefaultChunkRows)
+}
+
+// WriteColumnChunked serializes the column with chunkRows values per
+// CRC-framed chunk. Smaller chunks mean finer re-fetch granularity and
+// more digest entries; DefaultChunkRows is the production setting.
+func WriteColumnChunked(w io.Writer, c *Column, chunkRows int) error {
+	if chunkRows <= 0 || chunkRows > maxChunkRows {
+		return fmt.Errorf("storage: chunk granularity %d out of range [1, %d]", chunkRows, maxChunkRows)
+	}
+	bw := bufio.NewWriter(w)
+	var codeA, codeBits uint64
 	if c.code != nil {
 		codeA = c.code.A()
-		codeBits = uint16(c.code.DataBits())
+		codeBits = uint64(c.code.DataBits())
 	}
-	hdr := []interface{}{uint8(c.kind), uint8(c.width), codeA, codeBits, uint64(c.Len())}
-	for _, v := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
+	hdr := make([]byte, 0, 8+6*binary.MaxVarintLen64)
+	hdr = append(hdr, persistMagic[:]...)
+	for _, v := range []uint64{uint64(c.kind), uint64(c.width), codeA, codeBits, uint64(c.Len()), uint64(chunkRows)} {
+		hdr = binary.AppendUvarint(hdr, v)
 	}
-	// The header participates in the fold: a flipped code parameter
-	// makes every stored word decode to garbage that still divides
-	// cleanly, so code-word checks alone cannot arbitrate it.
-	var fold uint64
-	for _, v := range []uint64{uint64(c.kind), uint64(c.width), codeA, uint64(codeBits), uint64(c.Len())} {
-		fold = foldMix(fold, v)
-	}
-	if c.dict != nil {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(c.dict.Size())); err != nil {
-			return err
-		}
+	bw.Write(hdr)
+	writeCRC(bw, crc32.ChecksumIEEE(hdr))
+	if c.kind == Str && c.dict != nil {
+		var sec []byte
+		sec = binary.AppendUvarint(sec, uint64(c.dict.Size()))
 		for _, s := range c.dict.Values() {
-			if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
-				return err
-			}
-			if _, err := bw.WriteString(s); err != nil {
-				return err
-			}
-			fold = foldStr(fold, s)
+			sec = binary.AppendUvarint(sec, uint64(len(s)))
+			sec = append(sec, s...)
 		}
+		bw.Write(sec)
+		writeCRC(bw, crc32.ChecksumIEEE(sec))
 	}
-	if c.heap != nil {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.heap.buf))); err != nil {
-			return err
-		}
-		if _, err := bw.Write(c.heap.buf); err != nil {
-			return err
-		}
-		fold = foldStr(fold, string(c.heap.buf))
+	if c.kind == StrHeap && c.heap != nil {
+		sz := binary.AppendUvarint(nil, uint64(len(c.heap.buf)))
+		bw.Write(sz)
+		bw.Write(c.heap.buf)
+		crc := crc32.ChecksumIEEE(sz)
+		crc = crc32.Update(crc, crc32.IEEETable, c.heap.buf)
+		writeCRC(bw, crc)
 	}
 	n := c.Len()
-	for i := 0; i < n; i++ {
-		v := c.Get(i)
-		fold = foldMix(fold, v)
-		var err error
-		switch c.width {
-		case 1:
-			err = bw.WriteByte(uint8(v))
-		case 2:
-			err = binary.Write(bw, binary.LittleEndian, uint16(v))
-		case 4:
-			err = binary.Write(bw, binary.LittleEndian, uint32(v))
-		default:
-			err = binary.Write(bw, binary.LittleEndian, v)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, binary.LittleEndian, fold); err != nil {
-		return err
+	payload := make([]byte, 0, min(n, chunkRows)*c.width)
+	for start := 0; start < n; start += chunkRows {
+		end := min(start+chunkRows, n)
+		payload = appendChunkPayload(payload[:0], c, start, end)
+		bw.Write(payload)
+		writeCRC(bw, crc32.ChecksumIEEE(payload))
 	}
 	return bw.Flush()
 }
 
-// foldMix folds one value into the running checksum.
-func foldMix(fold, v uint64) uint64 {
-	return fold ^ (v + 0x9E3779B97F4A7C15 + fold<<6)
-}
-
-// foldStr folds a string's length and bytes.
-func foldStr(fold uint64, s string) uint64 {
-	fold = foldMix(fold, uint64(len(s)))
-	for i := 0; i < len(s); i++ {
-		fold = foldMix(fold, uint64(s[i]))
-	}
-	return fold
-}
-
-// ReadColumn deserializes a column written by WriteColumn and verifies
-// its integrity: unprotected payloads against the stored fold, hardened
-// payloads by AN-validating every code word (returning the corrupted
-// positions alongside the column so callers can repair rather than
-// refuse).
-func ReadColumn(r io.Reader, name string) (*Column, []uint64, error) {
-	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, nil, err
-	}
-	if magic != persistMagic {
-		return nil, nil, fmt.Errorf("storage: not an AHEAD column file")
-	}
-	var kind, width uint8
-	var codeA uint64
-	var codeBits uint16
-	var rows uint64
-	for _, v := range []interface{}{&kind, &width, &codeA, &codeBits, &rows} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return nil, nil, err
+// appendChunkPayload serializes rows [start, end) of the column's
+// physical words at its width, little-endian - the exact bytes a chunk
+// carries on disk and on the anti-entropy wire, so CRCs computed from
+// memory, snapshot, and peer agree byte-for-byte.
+func appendChunkPayload(dst []byte, c *Column, start, end int) []byte {
+	for i := start; i < end; i++ {
+		v := c.Get(i)
+		switch c.width {
+		case 1:
+			dst = append(dst, byte(v))
+		case 2:
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(v))
+		case 4:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		default:
+			dst = binary.LittleEndian.AppendUint64(dst, v)
 		}
 	}
+	return dst
+}
+
+// ColumnChunkCRCs computes the per-chunk CRCs of the column's current
+// in-memory contents at the given granularity - what WriteColumnChunked
+// would store. Replicas compare these against a peer's digests to find
+// diverged chunks without shipping data.
+func ColumnChunkCRCs(c *Column, chunkRows int) ([]uint32, error) {
+	if chunkRows <= 0 || chunkRows > maxChunkRows {
+		return nil, fmt.Errorf("storage: chunk granularity %d out of range [1, %d]", chunkRows, maxChunkRows)
+	}
+	n := c.Len()
+	crcs := make([]uint32, 0, NumChunks(n, chunkRows))
+	var payload []byte
+	for start := 0; start < n; start += chunkRows {
+		end := min(start+chunkRows, n)
+		payload = appendChunkPayload(payload[:0], c, start, end)
+		crcs = append(crcs, crc32.ChecksumIEEE(payload))
+	}
+	return crcs, nil
+}
+
+func writeCRC(bw *bufio.Writer, crc uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], crc)
+	bw.Write(b[:])
+}
+
+// crcReader wraps a reader, folding every byte it hands out into a
+// running CRC and counting them, so ULEB-framed sections can be verified
+// against their trailing CRC and located without a second pass.
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+	n   int64
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		var one [1]byte
+		one[0] = b
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, one[:])
+		c.n++
+	}
+	return b, err
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// readCRC reads a stored section CRC and compares it against the
+// computed one.
+func readCRC(br *bufio.Reader, got uint32, what string) error {
+	var b [4]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(b[:]) != got {
+		return fmt.Errorf("storage: corrupt %s (CRC mismatch)", what)
+	}
+	return nil
+}
+
+// colMeta is the decoded self-description of a serialized column: the
+// header fields plus the (verified) dictionary or heap, and the byte
+// offset where chunk 0 starts.
+type colMeta struct {
+	kind      Kind
+	width     int
+	code      *an.Code
+	rows      int
+	chunkRows int
+	dict      *Dict
+	heap      *StringHeap
+	dataOff   int64 // file offset of the first chunk
+}
+
+// readColumnMeta parses and verifies everything before the first chunk.
+func readColumnMeta(br *bufio.Reader) (*colMeta, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("storage: not an AHEAD column file")
+	}
+	cr := &crcReader{r: br, crc: crc32.ChecksumIEEE(magic[:])}
+	var hdr [6]uint64
+	for i := range hdr {
+		v, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, err
+		}
+		hdr[i] = v
+	}
+	if err := readCRC(br, cr.crc, "header"); err != nil {
+		return nil, err
+	}
+	kind, width, codeA, codeBits, rows, chunkRows := hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5]
 	if width != 1 && width != 2 && width != 4 && width != 8 {
-		return nil, nil, fmt.Errorf("storage: corrupt header: width %d", width)
+		return nil, fmt.Errorf("storage: corrupt header: width %d", width)
 	}
-	if kind > uint8(StrHeap) {
-		return nil, nil, fmt.Errorf("storage: corrupt header: kind %d", kind)
+	if kind > uint64(StrHeap) {
+		return nil, fmt.Errorf("storage: corrupt header: kind %d", kind)
 	}
-	c := &Column{name: name, kind: Kind(kind), width: int(width)}
+	if chunkRows == 0 || chunkRows > maxChunkRows {
+		return nil, fmt.Errorf("storage: corrupt header: chunk granularity %d", chunkRows)
+	}
+	if rows > maxPersistRows {
+		return nil, fmt.Errorf("storage: corrupt header: row count %d", rows)
+	}
+	m := &colMeta{kind: Kind(kind), width: int(width), rows: int(rows), chunkRows: int(chunkRows)}
 	if codeA != 0 {
 		code, err := an.New(codeA, uint(codeBits))
 		if err != nil {
-			return nil, nil, fmt.Errorf("storage: corrupt header: %w", err)
+			return nil, fmt.Errorf("storage: corrupt header: %w", err)
 		}
-		c.code = code
+		m.code = code
 	}
-	var fold uint64
-	for _, v := range []uint64{uint64(kind), uint64(width), codeA, uint64(codeBits), rows} {
-		fold = foldMix(fold, v)
-	}
-	if c.kind == Str {
-		var count uint32
-		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-			return nil, nil, err
+	metaLen := int64(len(magic)) + cr.n + 4
+	if m.kind == Str {
+		cr.crc, cr.n = 0, 0
+		count, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, err
 		}
 		// Append rather than preallocate: count is untrusted until the
-		// trailing fold verifies, and a flipped high bit must fail at
-		// EOF, not in make().
+		// section CRC verifies, and a flipped high bit must fail at EOF,
+		// not in make().
 		vals := make([]string, 0, min(int(count), 4096))
-		for i := uint32(0); i < count; i++ {
-			var l uint32
-			if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
-				return nil, nil, err
+		for i := uint64(0); i < count; i++ {
+			l, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, err
 			}
 			if l > 1<<20 {
-				return nil, nil, fmt.Errorf("storage: corrupt dictionary entry length %d", l)
+				return nil, fmt.Errorf("storage: corrupt dictionary entry length %d", l)
 			}
 			buf := make([]byte, l)
-			if _, err := io.ReadFull(br, buf); err != nil {
-				return nil, nil, err
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return nil, err
 			}
 			vals = append(vals, string(buf))
-			fold = foldStr(fold, vals[i])
 		}
-		c.dict = NewDict(vals)
+		if err := readCRC(br, cr.crc, "dictionary"); err != nil {
+			return nil, err
+		}
+		m.dict = NewDict(vals)
+		metaLen += cr.n + 4
 	}
-	if c.kind == StrHeap {
-		var size uint64
-		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
-			return nil, nil, err
+	if m.kind == StrHeap {
+		cr.crc, cr.n = 0, 0
+		size, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, err
 		}
 		if size > 1<<40 {
-			return nil, nil, fmt.Errorf("storage: corrupt heap size %d", size)
+			return nil, fmt.Errorf("storage: corrupt heap size %d", size)
 		}
 		// Same untrusted-length discipline as the dictionary: read in
-		// bounded chunks so a corrupt size fails at EOF, not in make().
+		// bounded pieces so a corrupt size fails at EOF, not in make().
 		buf := make([]byte, 0, min(int(size), 1<<20))
-		var chunk [64 << 10]byte
+		var piece [64 << 10]byte
 		for read := uint64(0); read < size; {
-			n := uint64(len(chunk))
-			if size-read < n {
-				n = size - read
+			n := min(uint64(len(piece)), size-read)
+			if _, err := io.ReadFull(cr, piece[:n]); err != nil {
+				return nil, err
 			}
-			if _, err := io.ReadFull(br, chunk[:n]); err != nil {
-				return nil, nil, err
-			}
-			buf = append(buf, chunk[:n]...)
+			buf = append(buf, piece[:n]...)
 			read += n
 		}
-		c.heap = &StringHeap{buf: buf}
-		fold = foldStr(fold, string(buf))
-	}
-	// The row count is untrusted until the trailing fold verifies, so
-	// grow in chunks as values arrive: a flipped high bit runs out of
-	// input instead of allocating the claimed capacity.
-	const growChunk = 64 << 10
-	for i := 0; i < int(rows); i++ {
-		if i%growChunk == 0 {
-			n := int(rows) - i
-			if n > growChunk {
-				n = growChunk
-			}
-			c.grow(n)
+		if err := readCRC(br, cr.crc, "heap"); err != nil {
+			return nil, err
 		}
-		var v uint64
-		switch c.width {
-		case 1:
-			b, err := br.ReadByte()
-			if err != nil {
-				return nil, nil, err
-			}
-			v = uint64(b)
-		case 2:
-			var x uint16
-			if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
-				return nil, nil, err
-			}
-			v = uint64(x)
-		case 4:
-			var x uint32
-			if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
-				return nil, nil, err
-			}
-			v = uint64(x)
-		default:
-			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-				return nil, nil, err
-			}
-		}
-		fold = foldMix(fold, v)
-		c.setU64(i, v)
+		m.heap = &StringHeap{buf: buf}
+		metaLen += cr.n + 4
 	}
-	var want uint64
-	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
-		return nil, nil, err
-	}
-	if c.code == nil {
-		if fold != want {
-			return nil, nil, fmt.Errorf("storage: unprotected column %q failed its load-time checksum", name)
-		}
-		return c, nil, nil
-	}
-	// Hardened columns self-verify on value granularity; the fold only
-	// arbitrates what the code words cannot see (row count, dictionary
-	// and heap bytes, the fold word itself).
-	bad, err := c.CheckAll()
+	m.dataOff = metaLen
+	return m, nil
+}
+
+// ReadColumn deserializes a column written by WriteColumn and verifies
+// its integrity chunk by chunk: unprotected payloads against their chunk
+// CRCs, hardened payloads by AN-validating every code word (returning
+// the corrupted positions alongside the column so callers can repair
+// rather than refuse). Metadata - header, dictionary, heap - must
+// verify exactly; it has no per-value repair story.
+func ReadColumn(r io.Reader, name string) (*Column, []uint64, error) {
+	br := bufio.NewReader(r)
+	m, err := readColumnMeta(br)
 	if err != nil {
 		return nil, nil, err
 	}
-	if fold != want && len(bad) == 0 {
-		return nil, nil, fmt.Errorf("storage: hardened column %q failed its load-time checksum with every code word valid (metadata corruption)", name)
+	c := &Column{name: name, kind: m.kind, width: m.width, code: m.code, dict: m.dict, heap: m.heap}
+	var bad []uint64
+	var payload []byte
+	for start, chunk := 0, 0; start < m.rows; start, chunk = start+m.chunkRows, chunk+1 {
+		rowsIn := min(m.rows-start, m.chunkRows)
+		need := rowsIn * m.width
+		if cap(payload) < need {
+			payload = make([]byte, need)
+		}
+		payload = payload[:need]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, nil, err
+		}
+		crc := crc32.ChecksumIEEE(payload)
+		var stored [4]byte
+		if _, err := io.ReadFull(br, stored[:]); err != nil {
+			return nil, nil, err
+		}
+		// The chunk is framed; grow the column only once its bytes are
+		// actually in hand (the row count steers allocation but cannot
+		// trigger one beyond a chunk).
+		c.grow(rowsIn)
+		for i := 0; i < rowsIn; i++ {
+			var v uint64
+			switch m.width {
+			case 1:
+				v = uint64(payload[i])
+			case 2:
+				v = uint64(binary.LittleEndian.Uint16(payload[i*2:]))
+			case 4:
+				v = uint64(binary.LittleEndian.Uint32(payload[i*4:]))
+			default:
+				v = binary.LittleEndian.Uint64(payload[i*8:])
+			}
+			c.setU64(start+i, v)
+		}
+		badBefore := len(bad)
+		bad = c.appendCheckRange(bad, start, rowsIn)
+		if binary.LittleEndian.Uint32(stored[:]) != crc {
+			if c.code == nil {
+				return nil, nil, fmt.Errorf("storage: unprotected column %q failed chunk %d's load-time CRC", name, chunk)
+			}
+			// Hardened chunks self-verify on value granularity; the CRC
+			// only arbitrates what the code words cannot see (including a
+			// flipped CRC byte itself).
+			if len(bad) == badBefore {
+				return nil, nil, fmt.Errorf("storage: hardened column %q failed chunk %d's CRC with every code word valid (metadata corruption)", name, chunk)
+			}
+		}
 	}
 	c.initPacked()
 	return c, bad, nil
+}
+
+// appendCheckRange AN-validates rows [start, start+n) of a hardened
+// column and appends the global positions of corrupted words to errs;
+// unprotected columns pass vacuously.
+func (c *Column) appendCheckRange(errs []uint64, start, n int) []uint64 {
+	if c.code == nil || n <= 0 {
+		return errs
+	}
+	before := len(errs)
+	switch c.width {
+	case 1:
+		errs = an.CheckSlice(c.code, c.u8[start:start+n], errs)
+	case 2:
+		errs = an.CheckSlice(c.code, c.u16[start:start+n], errs)
+	case 4:
+		errs = an.CheckSlice(c.code, c.u32[start:start+n], errs)
+	default:
+		errs = an.CheckSlice(c.code, c.u64[start:start+n], errs)
+	}
+	for i := before; i < len(errs); i++ {
+		errs[i] += uint64(start)
+	}
+	return errs
 }

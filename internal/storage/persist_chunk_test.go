@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+// chunkedFixtureBytes serializes a hardened 64-row column at 16 rows per
+// chunk: four chunks, so the sweep exercises interior chunk boundaries,
+// not just the single-chunk degenerate case.
+func chunkedFixtureBytes(t *testing.T) (*Column, []byte) {
+	t.Helper()
+	orig := hardenedFixture(t, 64)
+	var buf bytes.Buffer
+	if err := WriteColumnChunked(&buf, orig, 16); err != nil {
+		t.Fatal(err)
+	}
+	return orig, buf.Bytes()
+}
+
+// TestChunkedFaultSweepHardened flips every bit of every byte of a
+// multi-chunk hardened column - magic, header, header CRC, chunk
+// payloads, chunk CRCs - and requires each load to error, to report the
+// corruption, or to decode identically. No flip may silently load
+// different data.
+func TestChunkedFaultSweepHardened(t *testing.T) {
+	orig, clean := chunkedFixtureBytes(t)
+	for off := 0; off < len(clean); off++ {
+		for bit := 0; bit < 8; bit++ {
+			raw := bytes.Clone(clean)
+			raw[off] ^= 1 << bit
+			sweepOutcome(t, raw, orig, byteLabel(off, bit))
+		}
+	}
+}
+
+// TestChunkedFaultSweepUnprotected is the multi-chunk sweep over an
+// unprotected column: every consequential flip must fail a chunk CRC or
+// the header CRC.
+func TestChunkedFaultSweepUnprotected(t *testing.T) {
+	orig, err := NewColumn("v", Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		orig.Append(i * 999)
+	}
+	var buf bytes.Buffer
+	if err := WriteColumnChunked(&buf, orig, 16); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for off := 0; off < len(clean); off++ {
+		for bit := 0; bit < 8; bit++ {
+			raw := bytes.Clone(clean)
+			raw[off] ^= 1 << bit
+			sweepOutcome(t, raw, orig, byteLabel(off, bit))
+		}
+	}
+}
+
+// TestChunkedTruncationSweep cuts a multi-chunk file at every prefix
+// length and requires each truncated load to fail - every chunk's CRC
+// trails its payload, so no strict prefix parses.
+func TestChunkedTruncationSweep(t *testing.T) {
+	_, clean := chunkedFixtureBytes(t)
+	for n := 0; n < len(clean); n++ {
+		if _, _, err := ReadColumn(bytes.NewReader(clean[:n]), "v"); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", n, len(clean))
+		}
+	}
+}
+
+// TestChunkedFlippedCRCItself targets the stored chunk CRCs directly:
+// when the flip lands in the CRC word rather than the data it covers,
+// every code word stays valid, so the load must refuse (the
+// metadata-corruption arbitration) - never report repairable positions
+// for data that is actually intact, and never load silently.
+func TestChunkedFlippedCRCItself(t *testing.T) {
+	orig, clean := chunkedFixtureBytes(t)
+	m, err := readColumnMeta(bufio.NewReader(bytes.NewReader(clean)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkStride := m.chunkRows*m.width + 4
+	for chunk := 0; chunk < NumChunks(m.rows, m.chunkRows); chunk++ {
+		rowsIn := min(m.rows-chunk*m.chunkRows, m.chunkRows)
+		crcOff := int(m.dataOff) + chunk*chunkStride + rowsIn*m.width
+		for b := 0; b < 4; b++ {
+			for bit := 0; bit < 8; bit++ {
+				raw := bytes.Clone(clean)
+				raw[crcOff+b] ^= 1 << bit
+				_, bad, err := ReadColumn(bytes.NewReader(raw), orig.Name())
+				if err == nil {
+					t.Fatalf("chunk %d CRC byte %d bit %d: load did not refuse (bad=%v)", chunk, b, bit, bad)
+				}
+			}
+		}
+	}
+	// And the header CRC itself.
+	hdrCRCOff := headerCRCOffset(clean)
+	for b := 0; b < 4; b++ {
+		raw := bytes.Clone(clean)
+		raw[hdrCRCOff+b] ^= 0x10
+		if _, _, err := ReadColumn(bytes.NewReader(raw), orig.Name()); err == nil {
+			t.Fatalf("header CRC byte %d: load did not refuse", b)
+		}
+	}
+}
+
+// headerCRCOffset locates the stored header CRC by re-parsing the
+// ULEB-framed header fields.
+func headerCRCOffset(raw []byte) int {
+	off := 8
+	for i := 0; i < 6; i++ {
+		_, n := binary.Uvarint(raw[off:])
+		off += n
+	}
+	return off
+}
+
+// TestSnapshotReader exercises the lazy chunk reader: metadata, whole
+// chunks, arbitrary row ranges, and the stored digest list must all
+// agree with the in-memory column, and a flipped byte in one chunk must
+// fail exactly that chunk while the others stay readable.
+func TestSnapshotReader(t *testing.T) {
+	orig, clean := chunkedFixtureBytes(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.col")
+	if err := os.WriteFile(path, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenColumnSnapshot(path, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Rows() != orig.Len() || s.ChunkRows() != 16 || s.Chunks() != 4 {
+		t.Fatalf("meta: rows=%d chunkRows=%d chunks=%d", s.Rows(), s.ChunkRows(), s.Chunks())
+	}
+	if s.Code() == nil || s.Code().A() != orig.Code().A() {
+		t.Fatalf("code lost: %v", s.Code())
+	}
+	for chunk := 0; chunk < s.Chunks(); chunk++ {
+		words, err := s.ReadChunk(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, w := range words {
+			if want := orig.Get(chunk*16 + j); w != want {
+				t.Fatalf("chunk %d word %d: %d vs %d", chunk, j, w, want)
+			}
+		}
+	}
+	for _, span := range [][2]int{{0, 64}, {5, 7}, {15, 2}, {14, 20}, {63, 1}, {0, 0}} {
+		words, err := s.ReadRows(span[0], span[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(words) != span[1] {
+			t.Fatalf("ReadRows(%d,%d): %d words", span[0], span[1], len(words))
+		}
+		for j, w := range words {
+			if want := orig.Get(span[0] + j); w != want {
+				t.Fatalf("ReadRows(%d,%d)[%d]: %d vs %d", span[0], span[1], j, w, want)
+			}
+		}
+	}
+	if _, err := s.ReadRows(60, 10); err == nil {
+		t.Fatal("out-of-range ReadRows did not error")
+	}
+	stored, err := s.StoredCRCs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ColumnChunkCRCs(orig, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != len(want) {
+		t.Fatalf("%d stored CRCs, want %d", len(stored), len(want))
+	}
+	for i := range stored {
+		if stored[i] != want[i] {
+			t.Fatalf("chunk %d: stored CRC %08x, in-memory %08x", i, stored[i], want[i])
+		}
+	}
+
+	// Flip one payload byte of chunk 2 on disk: chunk 2 must refuse, the
+	// other chunks must stay readable.
+	m, err := readColumnMeta(bufio.NewReader(bytes.NewReader(clean)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := bytes.Clone(clean)
+	raw[int(m.dataOff)+2*(16*m.width+4)+3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenColumnSnapshot(path, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.ReadChunk(2); err == nil {
+		t.Fatal("flipped chunk served without error")
+	}
+	for _, chunk := range []int{0, 1, 3} {
+		if _, err := s2.ReadChunk(chunk); err != nil {
+			t.Fatalf("intact chunk %d refused: %v", chunk, err)
+		}
+	}
+}
+
+// TestChunkCRCsGranularity checks that in-memory digests at a
+// granularity different from the file's still describe the same data:
+// re-chunking the column and re-deriving CRCs from a loaded copy agree.
+func TestChunkCRCsGranularity(t *testing.T) {
+	orig := hardenedFixture(t, 100)
+	var buf bytes.Buffer
+	if err := WriteColumnChunked(&buf, orig, 7); err != nil {
+		t.Fatal(err)
+	}
+	loaded, bad, err := ReadColumn(&buf, "v")
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("load: %v %v", err, bad)
+	}
+	for _, granularity := range []int{1, 3, 33, 100, 1000} {
+		a, err := ColumnChunkCRCs(orig, granularity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ColumnChunkCRCs(loaded, granularity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) || len(a) != NumChunks(100, granularity) {
+			t.Fatalf("granularity %d: %d vs %d digests", granularity, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("granularity %d chunk %d: %08x vs %08x", granularity, i, a[i], b[i])
+			}
+		}
+	}
+	if _, err := ColumnChunkCRCs(orig, 0); err == nil {
+		t.Fatal("granularity 0 accepted")
+	}
+}
+
+// TestWriteColumnChunkedRejectsBadGranularity pins the writer's
+// granularity bounds.
+func TestWriteColumnChunkedRejectsBadGranularity(t *testing.T) {
+	c, _ := NewColumn("v", TinyInt)
+	c.Append(1)
+	var buf bytes.Buffer
+	if err := WriteColumnChunked(&buf, c, 0); err == nil {
+		t.Fatal("chunkRows 0 accepted")
+	}
+	if err := WriteColumnChunked(&buf, c, maxChunkRows+1); err == nil {
+		t.Fatal("oversized chunkRows accepted")
+	}
+}
+
+// TestPersistEmptyColumn round-trips a zero-row column: header + CRC
+// only, no chunks.
+func TestPersistEmptyColumn(t *testing.T) {
+	c, _ := NewColumn("v", ShortInt)
+	h, err := c.Harden(an.MustNew(63877, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteColumn(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, bad, err := ReadColumn(&buf, "v")
+	if err != nil || len(bad) != 0 || got.Len() != 0 || got.Code() == nil {
+		t.Fatalf("empty round trip: %v %v len=%d", err, bad, got.Len())
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Cluster smoke gate (run by `make cluster-smoke` and the CI
-# cluster-smoke job), in four acts:
+# cluster-smoke job), in five acts:
 #
 #   1. Differential: 3 shards + router + a single-node reference at
 #      SF 0.01. Every merged result the router returns must match the
@@ -18,6 +18,11 @@
 #      quarantines it, promotes the replica, records the transition on
 #      /alerts, and every response stays 3/3 and byte-identical to the
 #      single-node reference.
+#   5. Anti-entropy: corrupt a replica's hardened column through
+#      /inject, then POST /sync/from-peer naming its healthy twin. The
+#      chunk-digest sync must heal the column (chunks_healed > 0, a
+#      second pass finds nothing), and the replica's answers must come
+#      back byte-identical to the peer's with zero detections.
 set -euo pipefail
 
 REF_ADDR=127.0.0.1:18100
@@ -150,7 +155,7 @@ P1_PID=$!; PIDS+=("$P1_PID")
 P2_PID=$!; PIDS+=("$P2_PID")
 ./bin/ahead-serve -addr "$P3_ADDR" -sf 0.01 -shard 3/3 >"$P3_LOG" 2>&1 &
 P3_PID=$!; PIDS+=("$P3_PID")
-./bin/ahead-serve -addr "$R1_ADDR" -sf 0.01 -shard 1/3 -replica 1 >"$R1_LOG" 2>&1 &
+./bin/ahead-serve -addr "$R1_ADDR" -sf 0.01 -shard 1/3 -replica 1 -inject-seed 51 >"$R1_LOG" 2>&1 &
 R1_PID=$!; PIDS+=("$R1_PID")
 ./bin/ahead-serve -addr "$R2_ADDR" -sf 0.01 -shard 2/3 -replica 1 >"$R2_LOG" 2>&1 &
 R2_PID=$!; PIDS+=("$R2_PID")
@@ -208,6 +213,46 @@ fi
 wait "$RT2_PID" || true
 grep -q '^bye$' "$RT2_LOG" || { echo "FAIL: replica router exited without draining" >&2; exit 1; }
 
+echo "=== act 5: anti-entropy sync must heal a corrupted replica from its peer ==="
+# R1 and P1 hold identical shard-1/3 partitions. An unfiltered sum
+# touches every row of the target column, so planted corruption cannot
+# hide from the comparison.
+Q='{"adhoc":{"table":"lineorder","agg":"sum","agg_col":"lo_quantity"},"mode":"continuous"}'
+strip_elapsed() { sed -E 's/"elapsed_ms":[0-9.eE+-]+//g'; }
+REF_BODY=$(curl -fsS -X POST "http://$P1_ADDR/query" -d "$Q" | strip_elapsed)
+
+INJ=$(curl -fsS -X POST "http://$R1_ADDR/inject" -d '{"col":"lo_quantity","count":8}')
+echo "injected: $INJ"
+CORRUPT_BODY=$(curl -fsS -X POST "http://$R1_ADDR/query" -d "$Q" | strip_elapsed)
+echo "$CORRUPT_BODY" | grep -q '"detected"' \
+    || { echo "FAIL: corrupted replica reported no detections" >&2; exit 1; }
+
+sum_healed() { grep -o '"chunks_healed":[0-9]*' | awk -F: '{ s += $2 } END { print s+0 }'; }
+SYNC=$(curl -fsS -X POST "http://$R1_ADDR/sync/from-peer" -d "{\"peer\":\"http://$P1_ADDR\"}")
+echo "sync: $SYNC"
+HEALED1=$(echo "$SYNC" | sum_healed)
+[ "$HEALED1" -gt 0 ] || { echo "FAIL: sync healed no chunks" >&2; exit 1; }
+echo "$SYNC" | grep -q '"skipped"' && { echo "FAIL: sync skipped a column" >&2; exit 1; }
+
+# Convergence: an immediate second pass must find nothing to heal.
+HEALED2=$(curl -fsS -X POST "http://$R1_ADDR/sync/from-peer" \
+    -d "{\"peer\":\"http://$P1_ADDR\"}" | sum_healed)
+[ "$HEALED2" -eq 0 ] || { echo "FAIL: second sync pass healed $HEALED2 chunks" >&2; exit 1; }
+
+POST_BODY=$(curl -fsS -X POST "http://$R1_ADDR/query" -d "$Q" | strip_elapsed)
+echo "$POST_BODY" | grep -q '"detected"' \
+    && { echo "FAIL: healed replica still reports detections" >&2; exit 1; }
+[ "$POST_BODY" = "$REF_BODY" ] \
+    || { echo "FAIL: healed replica diverges from its peer:" >&2
+         echo "peer:    $REF_BODY" >&2
+         echo "replica: $POST_BODY" >&2; exit 1; }
+
+R1_METRICS=$(curl -fsS "http://$R1_ADDR/metrics")
+SYNC_RUNS=$(metric ahead_sync_runs_total "$R1_METRICS")
+SYNC_CHUNKS=$(metric ahead_sync_healed_chunks_total "$R1_METRICS")
+[ "$SYNC_RUNS" -eq 2 ] || { echo "FAIL: expected 2 sync runs, saw $SYNC_RUNS" >&2; exit 1; }
+[ "$SYNC_CHUNKS" -gt 0 ] || { echo "FAIL: no healed chunks counted" >&2; exit 1; }
+
 for spec in "$S1_PID:$S1_LOG:shard1" "$S2_PID:$S2_LOG:shard2" \
             "$P1_PID:$P1_LOG:primary1" "$P3_PID:$P3_LOG:primary3" \
             "$R1_PID:$R1_LOG:replica1" "$R2_PID:$R2_LOG:replica2" \
@@ -222,4 +267,4 @@ for spec in "$S1_PID:$S1_LOG:shard1" "$S2_PID:$S2_LOG:shard2" \
     grep -q '^bye$' "$log" || { echo "FAIL: $name exited without draining" >&2; exit 1; }
 done
 
-echo "cluster-smoke OK: served=$SERVED detected=$DETECTED degraded=$DEGRADED promotes=$PROMOTES"
+echo "cluster-smoke OK: served=$SERVED detected=$DETECTED degraded=$DEGRADED promotes=$PROMOTES sync_healed=$SYNC_CHUNKS"
