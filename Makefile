@@ -7,7 +7,7 @@ GO ?= go
 BENCH_SF ?= 0.1
 BENCH_TOLERANCE ?= 0.20
 
-.PHONY: all build test race lint bench-smoke bench-json serve-smoke cluster-smoke clean
+.PHONY: all build test race lint bench-smoke bench-json serve-smoke cluster-smoke adapt-soak clean
 
 all: build test
 
@@ -57,6 +57,14 @@ serve-smoke:
 # explicit degraded (2/3) service instead of errors.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# The adaptive-hardening layer's acceptance gate: boot ahead-serve
+# -adapt (columns at the weakest published code), run clean traffic, a
+# concentrated fault-rate step, and a recovery phase; require zero
+# failed queries, at least one observed background re-harden, the
+# hazard bound held at the end, and a clean drain.
+adapt-soak:
+	bash scripts/adapt_soak.sh
 
 clean:
 	rm -f ssb-timings.json

@@ -130,6 +130,7 @@ func main() {
 		mode        = flag.String("mode", "continuous", "execution mode for every request")
 		heal        = flag.Bool("heal", false, "request self-healing execution")
 		injectRate  = flag.Float64("inject-rate", 0, "per-request probability of planting a fault first")
+		injectCol   = flag.String("inject-col", "", "column to concentrate injected faults on (empty rotates across hardened columns)")
 		deadlineMS  = flag.Int64("deadline-ms", 0, "per-query deadline (0 = server default)")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		reference   = flag.String("reference", "", "single-node reference base URL; every success is replayed there and the results must match byte for byte")
@@ -189,7 +190,7 @@ func main() {
 					}
 				}
 				if *injectRate > 0 && rng.Float64() < *injectRate {
-					if postInject(client, *addr) {
+					if postInject(client, *addr, *injectCol) {
 						tl.injected++
 					}
 				}
@@ -221,8 +222,16 @@ func main() {
 	}
 }
 
-func postInject(client *http.Client, addr string) bool {
-	resp, err := client.Post(addr+"/inject", "application/json", strings.NewReader("{}"))
+func postInject(client *http.Client, addr, col string) bool {
+	body := "{}"
+	if col != "" {
+		b, err := json.Marshal(map[string]string{"col": col})
+		if err != nil {
+			return false
+		}
+		body = string(b)
+	}
+	resp, err := client.Post(addr+"/inject", "application/json", strings.NewReader(body))
 	if err != nil {
 		return false
 	}

@@ -89,7 +89,7 @@ func figure9(n int) error {
 			ms(encS), ms(encB), ms(detS), ms(detB))
 	}
 
-	fmt.Println("\n-- AN coding (A=63877), Extended Hamming (22,16), CRC-32 --")
+	fmt.Println("\n-- AN coding (A=63877), Extended Hamming (22,16), CRC-32, residue --")
 	anNaive, err := coding.NewAN(63877, false)
 	if err != nil {
 		return err
@@ -103,8 +103,12 @@ func figure9(n int) error {
 		return err
 	}
 	ham := coding.NewHamming()
+	res, err := coding.NewResidue(8)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-22s %12s %12s %12s\n", "scheme/flavor", "harden[ms]", "soften[ms]", "detect[ms]")
-	for _, s := range []coding.Scheme{anNaive, anRefined, crcScheme, ham} {
+	for _, s := range []coding.Scheme{anNaive, anRefined, crcScheme, ham, res} {
 		s.Resize(n)
 		for _, fl := range []coding.Flavor{coding.Scalar, coding.Blocked} {
 			s.Harden(src, fl)

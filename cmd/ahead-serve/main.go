@@ -16,6 +16,11 @@
 // the slice this instance is: replicas of one slice build identical
 // partitions (same sf/seed/shard), so the router can hedge requests
 // across them and merge whichever answers first.
+//
+// With -adapt, columns are hardened at the weakest published code and a
+// background controller re-hardens them while queries keep running,
+// holding the per-column silent-corruption hazard under -adapt-target;
+// GET /adapt/status and POST /adapt/policy expose the loop over HTTP.
 package main
 
 import (
@@ -30,11 +35,13 @@ import (
 	"syscall"
 	"time"
 
+	"ahead/internal/adapt"
 	"ahead/internal/cluster"
 	"ahead/internal/exec"
 	"ahead/internal/faults"
 	"ahead/internal/server"
 	"ahead/internal/ssb"
+	"ahead/internal/storage"
 )
 
 func main() {
@@ -54,6 +61,10 @@ func main() {
 		replica      = flag.Int("replica", 0, "replica index of this shard's slice (0-based, informational)")
 		snapshotDir  = flag.String("snapshot-dir", "", "write a chunked hardened snapshot of every table here at boot and register it as a repair source")
 		dropPlain    = flag.Bool("drop-plain-repair", false, "discard the in-process plain repair copies; repairs must come from -snapshot-dir or a peer (testing/low-memory)")
+		adaptOn      = flag.Bool("adapt", false, "enable online adaptive hardening: columns start at the weakest published code and a background controller re-hardens them under observed fault traffic")
+		adaptTarget  = flag.Float64("adapt-target", 1e-4, "silent-corruption hazard bound the controller holds per column (with -adapt)")
+		adaptEvery   = flag.Duration("adapt-interval", 5*time.Second, "controller tick interval (with -adapt)")
+		adaptResidue = flag.Bool("adapt-residue", false, "let the controller demote cold columns to cheap residue sidecars (with -adapt)")
 	)
 	flag.Parse()
 
@@ -64,10 +75,26 @@ func main() {
 	if *replica < 0 {
 		log.Fatalf("-replica must be >= 0, got %d", *replica)
 	}
+	if *adaptOn {
+		if *adaptTarget <= 0 || *adaptTarget > 1 {
+			log.Fatalf("-adapt-target must be in (0, 1], got %g", *adaptTarget)
+		}
+		if *adaptEvery <= 0 {
+			log.Fatalf("-adapt-interval must be positive, got %v", *adaptEvery)
+		}
+	}
+
+	// Under -adapt every column starts at the weakest published code
+	// (min bit-flip weight 1) so the controller has a ladder to climb;
+	// otherwise the Section 6.2 default (largest super A per width).
+	chooser := storage.LargestCodeChooser
+	if *adaptOn {
+		chooser = storage.MinBFWCodeChooser(1)
+	}
 
 	log.Printf("generating SSB at SF %g (seed %d, shard %s, replica %d)...", *sf, *seed, shard, *replica)
 	start := time.Now()
-	suite, data, err := ssb.NewReplicaSuite(*sf, *seed, 1, shard, *replica)
+	suite, data, err := ssb.NewReplicaSuiteWithChooser(*sf, *seed, 1, shard, *replica, chooser)
 	if err != nil {
 		log.Fatalf("build database: %v", err)
 	}
@@ -108,6 +135,18 @@ func main() {
 		cfg.Injector = faults.NewInjector(*injectSeed)
 		log.Printf("fault injection enabled (seed %d)", *injectSeed)
 	}
+	adaptCtx, adaptCancel := context.WithCancel(context.Background())
+	defer adaptCancel()
+	if *adaptOn {
+		pol := adapt.DefaultPolicy()
+		pol.TargetRate = *adaptTarget
+		pol.AllowResidue = *adaptResidue
+		mgr := adapt.NewManager(suite.DB, pol)
+		cfg.Adapt = mgr
+		go mgr.Run(adaptCtx, *adaptEvery)
+		log.Printf("adaptive hardening enabled (target %g, interval %v, residue %v)",
+			*adaptTarget, *adaptEvery, *adaptResidue)
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("configure server: %v", err)
@@ -131,6 +170,7 @@ func main() {
 		log.Printf("%v: draining (up to %v)...", got, *drainWait)
 	}
 
+	adaptCancel() // stop background re-hardening before the drain
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {

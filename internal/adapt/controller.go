@@ -1,0 +1,361 @@
+// Package adapt implements online adaptive hardening: a per-column
+// controller that watches detection counts and access frequency and
+// re-hardens live columns so the expected silent-corruption rate stays
+// under a configured bound - the run-time half of the paper's
+// requirement R2 (adapt the code strength to the error model as it
+// drifts) executed against live traffic instead of offline analysis.
+//
+// The controller itself is pure and deterministic: signals in, decisions
+// out, no clocks and no randomness, so its behaviour is testable as a
+// simulation. The Manager (manager.go) wires it to an exec.DB.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"ahead/internal/an"
+	"ahead/internal/sdc"
+)
+
+// Policy configures the controller's decision rule.
+type Policy struct {
+	// TargetRate is the silent-corruption bound: expected undetected
+	// corruptions per accessed row must stay at or below this.
+	TargetRate float64 `json:"target_rate"`
+	// Alpha is the EWMA smoothing factor for the per-column detection
+	// rate (0 < Alpha <= 1; higher weighs the current tick more).
+	Alpha float64 `json:"alpha"`
+	// CoolTicks is how many consecutive clean ticks a column needs
+	// before the controller considers weakening it, and how long a
+	// column is held after any decision so it cannot flap.
+	CoolTicks int `json:"cool_ticks"`
+	// ColdRows: columns accessed fewer times than this per tick count as
+	// cold and may be demoted to a residue sidecar.
+	ColdRows uint64 `json:"cold_rows"`
+	// AllowResidue enables demotion of cold clean columns to the cheap
+	// residue tier (plain-speed scans, sidecar verification).
+	AllowResidue bool `json:"allow_residue"`
+	// ResidueBits is the check width c (modulus 2^c-1) for demotions.
+	ResidueBits uint `json:"residue_bits"`
+	// MaxPerTick caps decisions per tick so background re-encoding
+	// never swamps the server. Escalations win over de-escalations.
+	MaxPerTick int `json:"max_per_tick"`
+}
+
+// DefaultPolicy returns the policy the serving layer starts with.
+func DefaultPolicy() Policy {
+	return Policy{
+		TargetRate:   1e-4,
+		Alpha:        0.5,
+		CoolTicks:    5,
+		ColdRows:     0,
+		AllowResidue: false,
+		ResidueBits:  8,
+		MaxPerTick:   2,
+	}
+}
+
+// Signals is one column's observation window: what the Manager gathers
+// between two ticks.
+type Signals struct {
+	Table        string
+	Column       string
+	DataBits     uint
+	Scheme       string // "an" | "residue" | "plain"
+	A            uint64 // current A ("an")
+	ResidueBits  uint   // current check width ("residue")
+	AccessedRows uint64 // rows touched this window (hotness)
+	Detections   uint64 // detected corruptions this window
+}
+
+// Decision orders one column re-hardened to a new coding.
+type Decision struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	// Action: "escalate" (stronger A), "deescalate" (weaker A),
+	// "promote" (residue/plain -> AN), "demote" (AN -> residue).
+	Action string `json:"action"`
+	// Target coding.
+	Scheme      string  `json:"scheme"`
+	A           uint64  `json:"a,omitempty"`
+	DataBits    uint    `json:"data_bits"`
+	ResidueBits uint    `json:"residue_bits,omitempty"`
+	Hazard      float64 `json:"hazard"`
+	Reason      string  `json:"reason"`
+}
+
+// ColumnState is the controller's per-column estimate, exposed for the
+// status endpoint.
+type ColumnState struct {
+	Rate       float64 `json:"rate"`   // EWMA detections per accessed row
+	SDC        float64 `json:"sdc"`    // current coding's SDC bound
+	Hazard     float64 `json:"hazard"` // Rate * SDC
+	CleanTicks int     `json:"clean_ticks"`
+	HoldTicks  int     `json:"hold_ticks"`
+}
+
+type colState struct {
+	rate   float64
+	sdc    float64
+	hazard float64
+	clean  int
+	hold   int
+}
+
+// Controller holds the policy and the per-column EWMA state. Not
+// goroutine-safe; the Manager serializes access.
+type Controller struct {
+	pol   Policy
+	state map[string]*colState
+	// sdcCache memoizes the exact AN weight-distribution bound, which
+	// costs a 2^k enumeration per (A, k).
+	sdcCache map[string]float64
+}
+
+// NewController builds a controller; zero policy fields fall back to
+// DefaultPolicy values.
+func NewController(pol Policy) *Controller {
+	def := DefaultPolicy()
+	if pol.TargetRate <= 0 {
+		pol.TargetRate = def.TargetRate
+	}
+	if pol.Alpha <= 0 || pol.Alpha > 1 {
+		pol.Alpha = def.Alpha
+	}
+	if pol.CoolTicks <= 0 {
+		pol.CoolTicks = def.CoolTicks
+	}
+	if pol.ResidueBits < 2 || pol.ResidueBits > 16 {
+		pol.ResidueBits = def.ResidueBits
+	}
+	if pol.MaxPerTick <= 0 {
+		pol.MaxPerTick = def.MaxPerTick
+	}
+	return &Controller{
+		pol:      pol,
+		state:    make(map[string]*colState),
+		sdcCache: make(map[string]float64),
+	}
+}
+
+// Policy returns the active policy.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// SetPolicy swaps the policy; EWMA state carries over.
+func (c *Controller) SetPolicy(pol Policy) { c.pol = NewController(pol).pol }
+
+// States returns a snapshot of the per-column estimates keyed
+// "table.column".
+func (c *Controller) States() map[string]ColumnState {
+	out := make(map[string]ColumnState, len(c.state))
+	for k, st := range c.state {
+		out[k] = ColumnState{Rate: st.rate, SDC: st.sdc, Hazard: st.hazard, CleanTicks: st.clean, HoldTicks: st.hold}
+	}
+	return out
+}
+
+// SchemeSDC returns the silent-corruption bound of a coding: for AN
+// codes on exactly-enumerable widths the weight-distribution bound from
+// internal/sdc under the DRAM-disturbance model, the asymptotic 1/A
+// beyond that; 1/m for a residue code; 1 for plain (nothing detected).
+func (c *Controller) SchemeSDC(scheme string, a uint64, dataBits, residueBits uint) float64 {
+	switch scheme {
+	case "an":
+		return c.anSDC(a, dataBits)
+	case "residue":
+		m := uint64(1)<<residueBits - 1
+		if m == 0 {
+			return 1
+		}
+		return 1 / float64(m)
+	default:
+		return 1
+	}
+}
+
+func (c *Controller) anSDC(a uint64, dataBits uint) float64 {
+	if a == 0 {
+		return 1
+	}
+	key := fmt.Sprintf("%d/%d", a, dataBits)
+	if v, ok := c.sdcCache[key]; ok {
+		return v
+	}
+	v := 1 / float64(a)
+	if dataBits <= 16 {
+		if d, err := sdc.ExactAN(a, dataBits); err == nil {
+			v = sdc.OverallSDC(d, sdc.DRAMDisturbance)
+		}
+	}
+	c.sdcCache[key] = v
+	return v
+}
+
+// ladder returns the published super-A codes for a width class in
+// ascending strength, deduplicated.
+func ladder(dataBits uint) []*an.Code {
+	var out []*an.Code
+	seen := make(map[uint64]bool)
+	for bfw := 1; bfw <= an.MaxMinBFW; bfw++ {
+		a, ok := an.SuperA(dataBits, bfw)
+		if !ok || seen[a] {
+			continue
+		}
+		code, err := an.New(a, dataBits)
+		if err != nil {
+			continue
+		}
+		seen[a] = true
+		out = append(out, code)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ABits() < out[j].ABits() })
+	return out
+}
+
+// promoteTarget picks the weakest ladder rung whose predicted hazard
+// meets the target, falling back to the strongest rung when none does.
+func (c *Controller) promoteTarget(dataBits uint, rate float64) (*an.Code, bool) {
+	rungs := ladder(dataBits)
+	if len(rungs) == 0 {
+		return nil, false
+	}
+	for _, code := range rungs {
+		if rate*c.anSDC(code.A(), dataBits) <= c.pol.TargetRate {
+			return code, true
+		}
+	}
+	return rungs[len(rungs)-1], true
+}
+
+// Tick consumes one observation window for every column and returns the
+// re-hardening decisions, escalations ranked by hazard first, capped at
+// MaxPerTick. Deterministic: same signal stream, same decisions.
+func (c *Controller) Tick(signals []Signals) []Decision {
+	sigs := append([]Signals(nil), signals...)
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].Table != sigs[j].Table {
+			return sigs[i].Table < sigs[j].Table
+		}
+		return sigs[i].Column < sigs[j].Column
+	})
+
+	var escalations, relaxations []Decision
+	for _, sig := range sigs {
+		key := sig.Table + "." + sig.Column
+		st := c.state[key]
+		if st == nil {
+			st = &colState{}
+			c.state[key] = st
+		}
+		var rate float64
+		if sig.AccessedRows > 0 {
+			rate = float64(sig.Detections) / float64(sig.AccessedRows)
+		}
+		if sig.AccessedRows > 0 || sig.Detections > 0 {
+			st.rate = c.pol.Alpha*rate + (1-c.pol.Alpha)*st.rate
+		}
+		if sig.Detections == 0 {
+			st.clean++
+		} else {
+			st.clean = 0
+		}
+		if st.hold > 0 {
+			st.hold--
+		}
+		st.sdc = c.SchemeSDC(sig.Scheme, sig.A, sig.DataBits, sig.ResidueBits)
+		st.hazard = st.rate * st.sdc
+
+		if sig.DataBits == 0 || sig.DataBits > an.MaxTableDataBits || st.hold > 0 {
+			continue
+		}
+
+		if st.hazard > c.pol.TargetRate {
+			if d, ok := c.escalate(sig, st); ok {
+				escalations = append(escalations, d)
+				st.hold = c.pol.CoolTicks
+				st.clean = 0
+			}
+			continue
+		}
+		if st.clean >= c.pol.CoolTicks {
+			if d, ok := c.relax(sig, st); ok {
+				relaxations = append(relaxations, d)
+				st.hold = c.pol.CoolTicks
+				st.clean = 0
+			}
+		}
+	}
+
+	sort.SliceStable(escalations, func(i, j int) bool { return escalations[i].Hazard > escalations[j].Hazard })
+	out := append(escalations, relaxations...)
+	if len(out) > c.pol.MaxPerTick {
+		cut := append([]Decision(nil), out[:c.pol.MaxPerTick]...)
+		out = cut
+	}
+	return out
+}
+
+func (c *Controller) escalate(sig Signals, st *colState) (Decision, bool) {
+	switch sig.Scheme {
+	case "an":
+		cur, err := an.New(sig.A, sig.DataBits)
+		if err != nil {
+			return Decision{}, false
+		}
+		next, ok := an.NextLarger(cur)
+		if !ok {
+			return Decision{}, false // already at the strongest rung
+		}
+		return Decision{
+			Table: sig.Table, Column: sig.Column, Action: "escalate",
+			Scheme: "an", A: next.A(), DataBits: sig.DataBits, Hazard: st.hazard,
+			Reason: fmt.Sprintf("hazard %.3g > target %.3g at A=%d", st.hazard, c.pol.TargetRate, sig.A),
+		}, true
+	default: // residue or plain under fire: promote to AN
+		code, ok := c.promoteTarget(sig.DataBits, st.rate)
+		if !ok {
+			return Decision{}, false
+		}
+		return Decision{
+			Table: sig.Table, Column: sig.Column, Action: "promote",
+			Scheme: "an", A: code.A(), DataBits: sig.DataBits, Hazard: st.hazard,
+			Reason: fmt.Sprintf("hazard %.3g > target %.3g on %s tier", st.hazard, c.pol.TargetRate, sig.Scheme),
+		}, true
+	}
+}
+
+func (c *Controller) relax(sig Signals, st *colState) (Decision, bool) {
+	if sig.Scheme != "an" {
+		return Decision{}, false
+	}
+	cur, err := an.New(sig.A, sig.DataBits)
+	if err != nil {
+		return Decision{}, false
+	}
+	cold := c.pol.AllowResidue && sig.AccessedRows < c.pol.ColdRows
+	if cold {
+		if _, bottom := an.NextSmaller(cur); !bottom {
+			// Bottom rung and cold: step down to the residue tier.
+			return Decision{
+				Table: sig.Table, Column: sig.Column, Action: "demote",
+				Scheme: "residue", DataBits: sig.DataBits, ResidueBits: c.pol.ResidueBits, Hazard: st.hazard,
+				Reason: fmt.Sprintf("cold (%d rows) and clean %d ticks", sig.AccessedRows, c.pol.CoolTicks),
+			}, true
+		}
+	}
+	next, ok := an.NextSmaller(cur)
+	if !ok {
+		return Decision{}, false
+	}
+	// Hysteresis: only step down if the weaker code still holds the
+	// bound with 2x headroom on the current rate estimate.
+	if st.rate*c.anSDC(next.A(), sig.DataBits) > c.pol.TargetRate/2 {
+		return Decision{}, false
+	}
+	return Decision{
+		Table: sig.Table, Column: sig.Column, Action: "deescalate",
+		Scheme: "an", A: next.A(), DataBits: sig.DataBits, Hazard: st.hazard,
+		Reason: fmt.Sprintf("clean %d ticks; A=%d still holds target %.3g", c.pol.CoolTicks, next.A(), c.pol.TargetRate),
+	}, true
+}

@@ -1,0 +1,215 @@
+package adapt
+
+import (
+	"testing"
+
+	"ahead/internal/an"
+)
+
+// sim runs one column through a scripted signal stream and returns the
+// decision sequence - the deterministic simulation harness: same stream
+// in, same decisions out.
+type simStep struct {
+	accessed, detections uint64
+}
+
+func simulate(t *testing.T, pol Policy, start Signals, steps []simStep) []Decision {
+	t.Helper()
+	c := NewController(pol)
+	sig := start
+	var out []Decision
+	for i, s := range steps {
+		sig.AccessedRows = s.accessed
+		sig.Detections = s.detections
+		ds := c.Tick([]Signals{sig})
+		if len(ds) > 1 {
+			t.Fatalf("step %d: %d decisions for one column", i, len(ds))
+		}
+		if len(ds) == 1 {
+			d := ds[0]
+			out = append(out, d)
+			// Apply the decision to the simulated column, as the Manager
+			// would against the real DB.
+			sig.Scheme = d.Scheme
+			sig.A = d.A
+			sig.ResidueBits = d.ResidueBits
+		}
+	}
+	return out
+}
+
+func TestControllerClimbsLadderUnderFaults(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.TargetRate = 1e-4
+	start := Signals{Table: "t", Column: "c", DataBits: 32, Scheme: "an", A: 3}
+	// Sustained fault pressure: 10 detections per 1000 accessed rows.
+	steps := make([]simStep, 12)
+	for i := range steps {
+		steps[i] = simStep{accessed: 1000, detections: 10}
+	}
+	ds := simulate(t, pol, start, steps)
+	if len(ds) == 0 {
+		t.Fatal("no escalations under sustained faults")
+	}
+	// Every decision must be an escalation climbing the published
+	// ladder: 3 -> 29 -> 233 -> ...
+	prev := uint64(3)
+	for i, d := range ds {
+		if d.Action != "escalate" || d.Scheme != "an" {
+			t.Fatalf("decision %d: %+v, want escalate/an", i, d)
+		}
+		cur := an.MustNew(prev, 32)
+		next, ok := an.NextLarger(cur)
+		if !ok {
+			t.Fatalf("decision %d escalates beyond the ladder", i)
+		}
+		if d.A != next.A() {
+			t.Fatalf("decision %d: A=%d, want next rung %d after %d", i, d.A, next.A(), prev)
+		}
+		prev = d.A
+	}
+	if prev == 3 {
+		t.Fatal("ladder never moved")
+	}
+}
+
+func TestControllerDeterministic(t *testing.T) {
+	pol := DefaultPolicy()
+	start := Signals{Table: "t", Column: "c", DataBits: 32, Scheme: "an", A: 3}
+	steps := []simStep{
+		{1000, 0}, {1000, 25}, {1000, 25}, {1000, 0}, {1000, 12},
+		{1000, 0}, {1000, 0}, {1000, 0}, {1000, 0}, {1000, 0},
+		{1000, 0}, {1000, 0}, {1000, 0}, {1000, 0}, {1000, 0},
+	}
+	a := simulate(t, pol, start, steps)
+	b := simulate(t, pol, start, steps)
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %d vs %d decisions", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestControllerDeescalatesAfterCleanStreak(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.CoolTicks = 3
+	start := Signals{Table: "t", Column: "c", DataBits: 32, Scheme: "an", A: 881}
+	// No faults ever: the EWMA rate stays 0, so every weaker rung still
+	// holds the bound and the controller steps down once per cool-off.
+	steps := make([]simStep, 12)
+	for i := range steps {
+		steps[i] = simStep{accessed: 1000}
+	}
+	ds := simulate(t, pol, start, steps)
+	if len(ds) == 0 {
+		t.Fatal("never de-escalated a clean column")
+	}
+	// The published 32-bit ladder below 881 is 125, then 3.
+	want := []uint64{125, 3}
+	for i, d := range ds {
+		if d.Action != "deescalate" {
+			t.Fatalf("decision %d: %+v", i, d)
+		}
+		if i < len(want) && d.A != want[i] {
+			t.Fatalf("decision %d: A=%d, want %d", i, d.A, want[i])
+		}
+	}
+	if len(ds) > len(want) {
+		t.Fatalf("stepped below the bottom rung: %+v", ds)
+	}
+}
+
+func TestControllerDemotesColdColumnsToResidue(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.CoolTicks = 2
+	pol.AllowResidue = true
+	pol.ColdRows = 100
+	pol.ResidueBits = 8
+	start := Signals{Table: "t", Column: "c", DataBits: 32, Scheme: "an", A: 3}
+	steps := make([]simStep, 6)
+	for i := range steps {
+		steps[i] = simStep{accessed: 5} // cold and clean
+	}
+	ds := simulate(t, pol, start, steps)
+	if len(ds) != 1 {
+		t.Fatalf("decisions: %+v, want one demotion", ds)
+	}
+	d := ds[0]
+	if d.Action != "demote" || d.Scheme != "residue" || d.ResidueBits != 8 {
+		t.Fatalf("decision: %+v", d)
+	}
+}
+
+func TestControllerPromotesResidueUnderFaults(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.TargetRate = 1e-4
+	start := Signals{Table: "t", Column: "c", DataBits: 32, Scheme: "residue", ResidueBits: 8}
+	steps := []simStep{{1000, 100}, {1000, 100}}
+	ds := simulate(t, pol, start, steps)
+	if len(ds) == 0 {
+		t.Fatal("residue column never promoted under faults")
+	}
+	d := ds[0]
+	if d.Action != "promote" || d.Scheme != "an" || d.A == 0 {
+		t.Fatalf("decision: %+v", d)
+	}
+	// The chosen rung must actually hold the bound for the observed
+	// rate, or be the strongest published one.
+	c := NewController(pol)
+	rate := 0.5 * 0.1 // one EWMA step from zero
+	if got := rate * c.SchemeSDC("an", d.A, 32, 0); got > pol.TargetRate {
+		if _, stronger := an.NextLarger(an.MustNew(d.A, 32)); stronger {
+			t.Fatalf("promoted to A=%d with hazard %.3g above target and stronger rungs available", d.A, got)
+		}
+	}
+}
+
+func TestControllerRespectsMaxPerTickAndRanksByHazard(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.MaxPerTick = 1
+	c := NewController(pol)
+	sigs := []Signals{
+		{Table: "t", Column: "a", DataBits: 32, Scheme: "an", A: 3, AccessedRows: 1000, Detections: 5},
+		{Table: "t", Column: "b", DataBits: 32, Scheme: "an", A: 3, AccessedRows: 1000, Detections: 50},
+	}
+	ds := c.Tick(sigs)
+	if len(ds) != 1 {
+		t.Fatalf("%d decisions with MaxPerTick=1", len(ds))
+	}
+	if ds[0].Column != "b" {
+		t.Fatalf("picked %q; the hotter hazard was t.b", ds[0].Column)
+	}
+}
+
+func TestControllerIgnoresWideColumns(t *testing.T) {
+	c := NewController(DefaultPolicy())
+	sig := Signals{Table: "t", Column: "big", DataBits: 48, Scheme: "an", A: 32417, AccessedRows: 1000, Detections: 100}
+	for i := 0; i < 5; i++ {
+		if ds := c.Tick([]Signals{sig}); len(ds) != 0 {
+			t.Fatalf("decided on a 48-bit column: %+v", ds)
+		}
+	}
+}
+
+func TestSchemeSDCBounds(t *testing.T) {
+	c := NewController(DefaultPolicy())
+	// Exact bound for a narrow width must be at or below the asymptotic
+	// 1/A (the weight distribution can only sharpen the bound) and
+	// strictly positive.
+	exact := c.SchemeSDC("an", 233, 16, 0)
+	if exact <= 0 || exact > 1.0/233+1e-9 {
+		t.Fatalf("exact 16-bit SDC = %v", exact)
+	}
+	if got := c.SchemeSDC("an", 55831, 32, 0); got != 1.0/55831 {
+		t.Fatalf("wide AN SDC = %v, want 1/55831", got)
+	}
+	if got := c.SchemeSDC("residue", 0, 32, 8); got != 1.0/255 {
+		t.Fatalf("residue SDC = %v, want 1/255", got)
+	}
+	if got := c.SchemeSDC("plain", 0, 32, 0); got != 1 {
+		t.Fatalf("plain SDC = %v, want 1", got)
+	}
+}

@@ -1,0 +1,242 @@
+package adapt
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ahead/internal/an"
+	"ahead/internal/exec"
+)
+
+// Manager drives the controller against a live exec.DB: it accumulates
+// detection reports between ticks, gathers access counters and column
+// codings into Signals, and applies the controller's decisions through
+// the DB's atomic column-swap re-hardening. Queries never pause: the
+// swap happens off to the side and flips in under the table lock.
+type Manager struct {
+	db *exec.DB
+
+	mu      sync.Mutex
+	ctrl    *Controller
+	pending map[string]uint64 // "table.column" -> detections since last tick
+
+	ticks           uint64
+	decisions       uint64
+	rehardens       uint64
+	failedRehardens uint64
+	bytesReencoded  uint64
+	lastDecisions   []Decision
+	lastErr         string
+}
+
+// NewManager builds a manager around db with the given policy.
+func NewManager(db *exec.DB, pol Policy) *Manager {
+	return &Manager{
+		db:      db,
+		ctrl:    NewController(pol),
+		pending: make(map[string]uint64),
+	}
+}
+
+// Policy returns the active policy.
+func (m *Manager) Policy() Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ctrl.Policy()
+}
+
+// SetPolicy swaps the policy; per-column rate estimates carry over.
+func (m *Manager) SetPolicy(pol Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ctrl.SetPolicy(pol)
+}
+
+// NoteDetections reports n detected corruptions attributed to a bare
+// column name (an error-log column). Names that don't resolve to a
+// unique base table (intermediate vectors, ambiguous names) are dropped.
+func (m *Manager) NoteDetections(column string, n int) {
+	if n <= 0 {
+		return
+	}
+	table, ok := m.db.TableOf(column)
+	if !ok {
+		return
+	}
+	m.NoteTableDetections(table, column, n)
+}
+
+// NoteTableDetections reports n detected corruptions on table.column.
+func (m *Manager) NoteTableDetections(table, column string, n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.pending[table+"."+column] += uint64(n)
+	m.mu.Unlock()
+}
+
+// TickOnce runs one controller cycle: scrub-repair if corruption was
+// reported, gather signals, decide, and apply the re-hardenings. It
+// returns the decisions taken (including failed ones).
+func (m *Manager) TickOnce() []Decision {
+	m.mu.Lock()
+	pending := m.pending
+	m.pending = make(map[string]uint64)
+	m.mu.Unlock()
+
+	// Repair reported corruption before measuring: the detection counts
+	// already captured this window's faults, and re-encoding later must
+	// start from verified-clean data anyway (swapColumn re-checks).
+	if len(pending) > 0 {
+		if _, err := m.db.Scrub(); err != nil {
+			m.mu.Lock()
+			m.lastErr = "scrub: " + err.Error()
+			m.mu.Unlock()
+		}
+	}
+
+	access := m.db.ResetAccessCounts()
+	codings := m.db.ColumnCodings()
+	signals := make([]Signals, 0, len(codings))
+	for _, cc := range codings {
+		key := cc.Table + "." + cc.Column
+		signals = append(signals, Signals{
+			Table:        cc.Table,
+			Column:       cc.Column,
+			DataBits:     cc.DataBits,
+			Scheme:       cc.Scheme,
+			A:            cc.A,
+			ResidueBits:  cc.ResidueBits,
+			AccessedRows: access[key],
+			Detections:   pending[key],
+		})
+	}
+
+	m.mu.Lock()
+	decisions := m.ctrl.Tick(signals)
+	m.ticks++
+	m.decisions += uint64(len(decisions))
+	m.lastDecisions = append([]Decision(nil), decisions...)
+	m.mu.Unlock()
+
+	for _, d := range decisions {
+		var n int
+		var err error
+		switch d.Scheme {
+		case "an":
+			var code *an.Code
+			if code, err = an.New(d.A, d.DataBits); err == nil {
+				n, err = m.db.RehardenColumn(d.Table, d.Column, code)
+			}
+		case "residue":
+			n, err = m.db.ResidueHardenColumn(d.Table, d.Column, d.ResidueBits)
+		}
+		m.mu.Lock()
+		if err != nil {
+			m.failedRehardens++
+			m.lastErr = d.Table + "." + d.Column + ": " + err.Error()
+		} else {
+			m.rehardens++
+			m.bytesReencoded += uint64(n)
+		}
+		m.mu.Unlock()
+	}
+	return decisions
+}
+
+// Run ticks the controller every interval until the context is
+// cancelled - the background loop ahead-serve starts under -adapt.
+func (m *Manager) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.TickOnce()
+		}
+	}
+}
+
+// ColumnStatus is one column's row in the status report.
+type ColumnStatus struct {
+	Table       string  `json:"table"`
+	Column      string  `json:"column"`
+	Rows        int     `json:"rows"`
+	Scheme      string  `json:"scheme"`
+	A           uint64  `json:"a,omitempty"`
+	CodeBits    uint    `json:"code_bits,omitempty"`
+	ResidueBits uint    `json:"residue_bits,omitempty"`
+	DataBits    uint    `json:"data_bits"`
+	Rate        float64 `json:"rate"`
+	SDC         float64 `json:"sdc"`
+	Hazard      float64 `json:"hazard"`
+	Adaptable   bool    `json:"adaptable"`
+	BoundOK     bool    `json:"bound_ok"`
+}
+
+// Status is the GET /adapt/status payload.
+type Status struct {
+	Target          float64        `json:"target"`
+	Policy          Policy         `json:"policy"`
+	BoundHeld       bool           `json:"bound_held"`
+	Ticks           uint64         `json:"ticks"`
+	Decisions       uint64         `json:"decisions"`
+	Rehardens       uint64         `json:"rehardens"`
+	FailedRehardens uint64         `json:"failed_rehardens"`
+	BytesReencoded  uint64         `json:"bytes_reencoded"`
+	Columns         []ColumnStatus `json:"columns"`
+	LastDecisions   []Decision     `json:"last_decisions,omitempty"`
+	LastError       string         `json:"last_error,omitempty"`
+}
+
+// Status reports the controller's view: per-column coding, hazard
+// estimate and bound check, plus cumulative counters. BoundHeld is the
+// conjunction of BoundOK over the adaptable columns - the soak gate.
+func (m *Manager) Status() Status {
+	codings := m.db.ColumnCodings()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pol := m.ctrl.Policy()
+	states := m.ctrl.States()
+
+	st := Status{
+		Target:          pol.TargetRate,
+		Policy:          pol,
+		BoundHeld:       true,
+		Ticks:           m.ticks,
+		Decisions:       m.decisions,
+		Rehardens:       m.rehardens,
+		FailedRehardens: m.failedRehardens,
+		BytesReencoded:  m.bytesReencoded,
+		LastDecisions:   append([]Decision(nil), m.lastDecisions...),
+		LastError:       m.lastErr,
+	}
+	for _, cc := range codings {
+		cs := states[cc.Table+"."+cc.Column]
+		col := ColumnStatus{
+			Table:       cc.Table,
+			Column:      cc.Column,
+			Rows:        cc.Rows,
+			Scheme:      cc.Scheme,
+			A:           cc.A,
+			CodeBits:    cc.CodeBits,
+			ResidueBits: cc.ResidueBits,
+			DataBits:    cc.DataBits,
+			Rate:        cs.Rate,
+			SDC:         cs.SDC,
+			Hazard:      cs.Hazard,
+			Adaptable:   cc.DataBits > 0 && cc.DataBits <= an.MaxTableDataBits,
+			BoundOK:     cs.Hazard <= pol.TargetRate,
+		}
+		if col.Adaptable && !col.BoundOK {
+			st.BoundHeld = false
+		}
+		st.Columns = append(st.Columns, col)
+	}
+	return st
+}

@@ -399,6 +399,28 @@ func TestInverseBig(t *testing.T) {
 	}
 }
 
+func TestDiffFactor(t *testing.T) {
+	c881 := MustNew(881, 32)
+	c3 := MustNew(3, 32)
+	if DiffFactor(nil, c3) != 1 || DiffFactor(c881, nil) != 1 || DiffFactor(c881, c881) != 1 {
+		t.Fatal("plain or same-A pairs must renormalize by 1")
+	}
+	// bv·k must equal the a-code word of b's datum for every datum: the
+	// mixed-A difference av - bv·k is then exactly (da-db)·A_a in the
+	// 64-bit ring.
+	rng := rand.New(rand.NewSource(17))
+	for _, pair := range [][2]*Code{{c881, c3}, {c3, c881}, {MustNew(32417, 32), MustNew(125, 32)}} {
+		a, b := pair[0], pair[1]
+		k := DiffFactor(a, b)
+		for i := 0; i < 200; i++ {
+			d := rng.Uint64() & (1<<32 - 1)
+			if b.Encode(d)*k != d*a.A() {
+				t.Fatalf("A=%d B=%d d=%d: rescaled word %d != %d", a.A(), b.A(), d, b.Encode(d)*k, d*a.A())
+			}
+		}
+	}
+}
+
 func TestInverseRejectsEven(t *testing.T) {
 	defer func() {
 		if recover() == nil {

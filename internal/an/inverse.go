@@ -28,6 +28,27 @@ func InverseMod2N(a uint64, n uint) uint64 {
 	return x & maskFor(n)
 }
 
+// DiffFactor returns the renormalization constant k for the mixed-code
+// difference aggregate Σ (av - bv·k) over code words av = da·A and
+// bv = db·B. Multiplying bv by B's ring inverse recovers db exactly
+// (mod 2^64, since bv is a multiple of B), and rescaling by A turns the
+// term into the A-code word of db - so every partial sum stays the
+// A-code word of Σ (da - db), the Section 4 re-coding trick (Eq. 7c)
+// applied to subtraction instead of multiplication. Per-value detection
+// is unaffected: each side is still validated under its own code before
+// the accumulation. The factor is 1 when either side is plain or both
+// share one A, so the common paths cost nothing extra.
+//
+// Columns drift apart like this under online adaptive hardening, where
+// the controller escalates one measure's code while its Q4.x profit
+// partner still carries the old A.
+func DiffFactor(a, b *Code) uint64 {
+	if a == nil || b == nil || a.A() == b.A() {
+		return 1
+	}
+	return InverseMod2N(b.A(), 64) * a.A()
+}
+
 // InverseEuclidMod2N computes the multiplicative inverse of the odd
 // constant a mod 2^n with the extended Euclidean algorithm, as described in
 // Section 4.3. For n == 64 the modulus 2^64 does not fit a uint64, so the

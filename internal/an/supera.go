@@ -151,6 +151,41 @@ func NextSmaller(cur *Code) (*Code, bool) {
 	return c, true
 }
 
+// NextLarger returns the published super A of the same data width with
+// the smallest |A| strictly above the current code's |A| that still fits
+// MaxCodeBits - the escalation rung an adaptive controller climbs when a
+// column's observed error rate pushes its silent-corruption hazard over
+// budget. ok is false when no stronger constant is published.
+func NextLarger(cur *Code) (*Code, bool) {
+	d := cur.DataBits()
+	if d == 0 || d > MaxTableDataBits {
+		return nil, false
+	}
+	var best uint64
+	var bestBits uint
+	for w := 1; w <= MaxMinBFW; w++ {
+		a := superATable[d][w-1]
+		if a == 0 {
+			continue
+		}
+		c, err := New(a, d)
+		if err != nil {
+			continue
+		}
+		if c.ABits() > cur.ABits() && (best == 0 || c.ABits() < bestBits) {
+			best, bestBits = a, c.ABits()
+		}
+	}
+	if best == 0 {
+		return nil, false
+	}
+	c, err := New(best, d)
+	if err != nil {
+		return nil, false
+	}
+	return c, true
+}
+
 // GuaranteedBFW returns the guaranteed minimum bit-flip weight the
 // published tables attribute to constant a at the given data width, or 0 if
 // a is not a published super A for that width.

@@ -156,3 +156,60 @@ func TestAllTableEntriesConstructible(t *testing.T) {
 		}
 	}
 }
+
+func TestNextLargerClimbsTheLadder(t *testing.T) {
+	// Starting from the weakest published 8-bit constant, NextLarger
+	// must visit every stronger published rung in ascending |A| order
+	// and stop at the top.
+	cur := MustNew(3, 8)
+	var seen []uint64
+	for {
+		next, ok := NextLarger(cur)
+		if !ok {
+			break
+		}
+		if next.DataBits() != 8 {
+			t.Fatalf("NextLarger changed data width to %d", next.DataBits())
+		}
+		if next.ABits() <= cur.ABits() {
+			t.Fatalf("NextLarger did not grow |A|: %d -> %d", cur.ABits(), next.ABits())
+		}
+		seen = append(seen, next.A())
+		cur = next
+	}
+	want := []uint64{29, 233, 1939, 13963, 55831}
+	if len(seen) != len(want) {
+		t.Fatalf("ladder %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("ladder %v, want %v", seen, want)
+		}
+	}
+	if _, ok := NextLarger(cur); ok {
+		t.Fatal("top rung reported a larger constant")
+	}
+}
+
+func TestNextLargerInvertsNextSmaller(t *testing.T) {
+	for _, d := range []uint{8, 16, 32} {
+		cur := MustNew(3, d)
+		for {
+			next, ok := NextLarger(cur)
+			if !ok {
+				break
+			}
+			back, ok := NextSmaller(next)
+			if !ok || back.A() != cur.A() {
+				t.Fatalf("d=%d: NextSmaller(NextLarger(%d)) = %v, want %d", d, cur.A(), back, cur.A())
+			}
+			cur = next
+		}
+	}
+}
+
+func TestNextLargerOutsideTable(t *testing.T) {
+	if _, ok := NextLarger(MustNew(32417, 48)); ok {
+		t.Fatal("48-bit data is outside the published tables")
+	}
+}

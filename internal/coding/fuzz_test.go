@@ -6,7 +6,9 @@ import (
 
 // fuzzSchemes instantiates every scheme the Section 7.1 sweep compares,
 // normalizing the fuzzed block size into [1, 64] and picking the AN
-// constant from the benchmark set.
+// constant from the benchmark set. The same fuzzed selectors drive the
+// residue modulus width into [2, 16], so every published strength of the
+// adaptive controller's cheap scheme sees the same inputs.
 func fuzzSchemes(t *testing.T, blockSize, aSel uint64) []Scheme {
 	t.Helper()
 	bs := int(blockSize)%64 + 1
@@ -28,7 +30,11 @@ func fuzzSchemes(t *testing.T, blockSize, aSel uint64) []Scheme {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []Scheme{xor, crc, anNaive, anRefined, NewHamming()}
+	res, err := NewResidue(uint(blockSize)%15 + 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheme{xor, crc, anNaive, anRefined, NewHamming(), res}
 }
 
 // fuzzData reassembles the fuzzed byte string into the 16-bit values all
@@ -48,6 +54,9 @@ func FuzzSchemeRoundTrip(f *testing.F) {
 	f.Add(uint64(3), uint64(0), []byte("hello, world"))
 	f.Add(uint64(15), uint64(3), []byte{0xff, 0xff, 0x00, 0x00, 0x12, 0x34})
 	f.Add(uint64(63), uint64(2), []byte{})
+	// Residue extremes: blockSize 0 -> modulus 2^2-1, 14 -> 2^16-1.
+	f.Add(uint64(0), uint64(1), []byte{0x03, 0x00, 0xfd, 0xff})
+	f.Add(uint64(14), uint64(2), []byte{0xff, 0xff, 0xfe, 0xff, 0x00, 0x80})
 	f.Fuzz(func(t *testing.T, blockSize, aSel uint64, raw []byte) {
 		if len(raw) > 1<<12 {
 			raw = raw[:1<<12]
@@ -79,6 +88,10 @@ func FuzzSchemeDetectsBitFlip(f *testing.F) {
 	f.Add(uint64(3), uint64(0), uint64(0), []byte("some payload"))
 	f.Add(uint64(7), uint64(1), uint64(13), []byte{0xde, 0xad, 0xbe, 0xef})
 	f.Add(uint64(31), uint64(3), uint64(5), []byte{0x01, 0x00})
+	// Residue extremes: the weakest modulus (2^2-1) must still catch
+	// every single-bit flip, including in the top data bit.
+	f.Add(uint64(0), uint64(0), uint64(15), []byte{0xaa, 0x55, 0x34, 0x12})
+	f.Add(uint64(14), uint64(3), uint64(7), []byte{0xff, 0x7f})
 	f.Fuzz(func(t *testing.T, blockSize, aSel, bit uint64, raw []byte) {
 		if len(raw) > 1<<12 {
 			raw = raw[:1<<12]

@@ -1,0 +1,100 @@
+// Package residue implements a systematic residue check code: each data
+// word is stored verbatim next to a check word holding the data value
+// modulo a Mersenne modulus m = 2^c - 1 (Manzhosov et al., "Revisiting
+// Residue Codes for Modern Memories"). Because m is odd for every c >= 2,
+// no power of two is a multiple of m, so any single bit flip in the data
+// word changes its residue and any flip in the check word leaves the data
+// residue untouched - either way the pair mismatches. Unlike AN codes the
+// data stays plain, so residue-hardened columns run the unprotected
+// kernels at full speed and pay only a per-word check on scrubs: the
+// cheap sibling scheme an adaptive controller assigns to cold columns.
+package residue
+
+import "fmt"
+
+// MinCheckBits and MaxCheckBits bound the modulus exponent: c = 1 gives
+// m = 1 (detects nothing), and checks are stored in 16-bit sidecar words.
+const (
+	MinCheckBits = 2
+	MaxCheckBits = 16
+)
+
+// Code is a residue check code with modulus m = 2^c - 1.
+type Code struct {
+	checkBits uint
+	m         uint64
+}
+
+// New returns the residue code with the given check width c (modulus
+// 2^c - 1), c in [MinCheckBits, MaxCheckBits].
+func New(checkBits uint) (*Code, error) {
+	if checkBits < MinCheckBits || checkBits > MaxCheckBits {
+		return nil, fmt.Errorf("residue: check width %d outside [%d, %d]", checkBits, MinCheckBits, MaxCheckBits)
+	}
+	return &Code{checkBits: checkBits, m: 1<<checkBits - 1}, nil
+}
+
+// MustNew is New but panics on error; for statically known widths.
+func MustNew(checkBits uint) *Code {
+	c, err := New(checkBits)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CheckBits returns the check width c.
+func (c *Code) CheckBits() uint { return c.checkBits }
+
+// Modulus returns m = 2^c - 1.
+func (c *Code) Modulus() uint64 { return c.m }
+
+// SDC returns the silent-data-corruption probability of a uniformly
+// random corruption: a random error pattern preserves the residue with
+// probability 1/m.
+func (c *Code) SDC() float64 { return 1 / float64(c.m) }
+
+// Residue returns v mod m by Mersenne folding: because 2^c ≡ 1 (mod m),
+// the high bits fold onto the low bits until the value fits, with the
+// single wrap-around v == m mapping to zero.
+func (c *Code) Residue(v uint64) uint64 {
+	m, s := c.m, c.checkBits
+	for v > m {
+		v = v>>s + v&m
+	}
+	if v == m {
+		return 0
+	}
+	return v
+}
+
+// Check reports whether the stored check word matches the data word's
+// residue.
+func (c *Code) Check(data, check uint64) bool { return c.Residue(data) == check }
+
+// ChecksUint16 computes the check word for every data word into dst,
+// which must have len(data) capacity. The four-way unrolled body is the
+// blocked-kernel shape of the AN slice encoders.
+func (c *Code) ChecksUint16(data []uint16, dst []uint16) {
+	i := 0
+	for ; i+4 <= len(data); i += 4 {
+		dst[i] = uint16(c.Residue(uint64(data[i])))
+		dst[i+1] = uint16(c.Residue(uint64(data[i+1])))
+		dst[i+2] = uint16(c.Residue(uint64(data[i+2])))
+		dst[i+3] = uint16(c.Residue(uint64(data[i+3])))
+	}
+	for ; i < len(data); i++ {
+		dst[i] = uint16(c.Residue(uint64(data[i])))
+	}
+}
+
+// CheckSliceUint16 appends to bad the positions whose check word does not
+// match the data word's residue and returns the extended slice.
+func (c *Code) CheckSliceUint16(data, checks []uint16, bad []uint64) []uint64 {
+	for i, d := range data {
+		if c.Residue(uint64(d)) != uint64(checks[i]) {
+			bad = append(bad, uint64(i))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,86 @@
+package residue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestResidueMatchesMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for bits := uint(MinCheckBits); bits <= MaxCheckBits; bits++ {
+		c := MustNew(bits)
+		if c.Modulus() != 1<<bits-1 {
+			t.Fatalf("c=%d: modulus %d", bits, c.Modulus())
+		}
+		for i := 0; i < 2000; i++ {
+			v := rng.Uint64()
+			if got, want := c.Residue(v), v%c.m; got != want {
+				t.Fatalf("c=%d: Residue(%d) = %d, want %d", bits, v, got, want)
+			}
+		}
+		// Edge values around multiples of m exercise the final wrap.
+		for _, v := range []uint64{0, 1, c.m - 1, c.m, c.m + 1, 2 * c.m, 3*c.m - 1, ^uint64(0)} {
+			if got, want := c.Residue(v), v%c.m; got != want {
+				t.Fatalf("c=%d: Residue(%d) = %d, want %d", bits, v, got, want)
+			}
+		}
+	}
+}
+
+func TestResidueDetectsSingleBitFlips(t *testing.T) {
+	// A single flip in the data word changes the value by ±2^k; 2^k is
+	// never a multiple of the odd modulus, so the residue must change.
+	rng := rand.New(rand.NewSource(2))
+	for bits := uint(MinCheckBits); bits <= MaxCheckBits; bits++ {
+		c := MustNew(bits)
+		for i := 0; i < 200; i++ {
+			v := rng.Uint64() & 0xFFFF
+			check := c.Residue(v)
+			for k := uint(0); k < 16; k++ {
+				if flipped := v ^ 1<<k; !c.Check(v, check) || c.Check(flipped, check) {
+					t.Fatalf("c=%d: flip bit %d of %d undetected", bits, k, v)
+				}
+			}
+			// Flips in the check word itself must also mismatch, even in
+			// the bits above the modulus width of the 16-bit sidecar.
+			for k := uint(0); k < 16; k++ {
+				if c.Check(v, uint64(uint16(check)^1<<k)) {
+					t.Fatalf("c=%d: flip bit %d of check %d undetected", bits, k, check)
+				}
+			}
+		}
+	}
+}
+
+func TestChecksAndCheckSlice(t *testing.T) {
+	c := MustNew(8)
+	data := make([]uint16, 1031)
+	rng := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = uint16(rng.Uint32())
+	}
+	checks := make([]uint16, len(data))
+	c.ChecksUint16(data, checks)
+	for i, d := range data {
+		if uint64(checks[i]) != uint64(d)%c.m {
+			t.Fatalf("check[%d] = %d, want %d", i, checks[i], uint64(d)%c.m)
+		}
+	}
+	if bad := c.CheckSliceUint16(data, checks, nil); len(bad) != 0 {
+		t.Fatalf("clean slice reported %d bad positions", len(bad))
+	}
+	data[17] ^= 1 << 5
+	data[900] ^= 1 << 12
+	bad := c.CheckSliceUint16(data, checks, nil)
+	if len(bad) != 2 || bad[0] != 17 || bad[1] != 900 {
+		t.Fatalf("bad positions = %v, want [17 900]", bad)
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	for _, bits := range []uint{0, 1, 17, 64} {
+		if _, err := New(bits); err == nil {
+			t.Fatalf("New(%d) accepted", bits)
+		}
+	}
+}

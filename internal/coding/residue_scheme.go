@@ -1,0 +1,63 @@
+package coding
+
+import (
+	"fmt"
+
+	"ahead/internal/coding/residue"
+)
+
+// Residue is the systematic residue-check scheme: data stays verbatim,
+// one check word per data word holding the value modulo 2^c - 1. Like
+// XOR it softens for free; unlike XOR's per-block fold it localizes
+// detection to the exact word, and its strength is tunable through the
+// modulus width - the property the adaptive controller exploits.
+type Residue struct {
+	code   *residue.Code
+	data   []uint16
+	checks []uint16
+}
+
+// NewResidue returns the residue scheme with modulus 2^checkBits - 1.
+func NewResidue(checkBits uint) (*Residue, error) {
+	c, err := residue.New(checkBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Residue{code: c}, nil
+}
+
+// Name implements Scheme.
+func (r *Residue) Name() string { return fmt.Sprintf("Residue(m=2^%d-1)", r.code.CheckBits()) }
+
+// Resize implements Scheme.
+func (r *Residue) Resize(n int) {
+	r.data = make([]uint16, n)
+	r.checks = make([]uint16, n)
+}
+
+// Harden implements Scheme: copy the data and compute one residue per
+// word.
+func (r *Residue) Harden(src []uint16, flavor Flavor) {
+	copy(r.data, src)
+	if flavor == Blocked {
+		r.code.ChecksUint16(r.data, r.checks)
+		return
+	}
+	for i, d := range r.data {
+		r.checks[i] = uint16(r.code.Residue(uint64(d)))
+	}
+}
+
+// Soften implements Scheme: systematic, the data is stored verbatim.
+func (r *Residue) Soften(dst []uint16, flavor Flavor) { copy(dst, r.data) }
+
+// Detect implements Scheme: recompute every residue and compare.
+func (r *Residue) Detect(flavor Flavor) int {
+	return len(r.code.CheckSliceUint16(r.data, r.checks, nil))
+}
+
+// Corrupt implements Scheme.
+func (r *Residue) Corrupt(i int, mask uint64) { r.data[i] ^= uint16(mask) }
+
+// HardenedBytes implements Scheme.
+func (r *Residue) HardenedBytes() int { return 2 * (len(r.data) + len(r.checks)) }

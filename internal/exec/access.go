@@ -1,0 +1,73 @@
+package exec
+
+import "sort"
+
+// Per-column access accounting. Every base-column resolution on the
+// primary replica (Query.Col) and every operator row-touch (via
+// ops.Opts.Access) increments a counter keyed "table.column". The
+// adaptive controller (internal/adapt) reads these counters as its
+// hotness signal: hot columns are worth the storage overhead of a
+// stronger code, cold clean columns can be demoted to a cheap residue
+// sidecar.
+
+// noteAccess records rows touched on table.column. Zero or negative row
+// counts are dropped so error paths don't pollute the signal.
+func (db *DB) noteAccess(table, column string, rows int) {
+	if rows <= 0 || table == "" || column == "" {
+		return
+	}
+	db.accessMu.Lock()
+	db.access[table+"."+column] += uint64(rows)
+	db.accessMu.Unlock()
+}
+
+// noteAccessByName resolves the owning table of a bare column name and
+// records the access. Unknown names (intermediate vectors, join sides
+// already counted at Col) are ignored.
+func (db *DB) noteAccessByName(column string, rows int) {
+	table, ok := db.TableOf(column)
+	if !ok {
+		return
+	}
+	db.noteAccess(table, column, rows)
+}
+
+// AccessCounts returns a snapshot of the per-column access counters,
+// keyed "table.column".
+func (db *DB) AccessCounts() map[string]uint64 {
+	db.accessMu.Lock()
+	defer db.accessMu.Unlock()
+	out := make(map[string]uint64, len(db.access))
+	for k, v := range db.access {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetAccessCounts zeroes the counters and returns the snapshot taken
+// at that instant. The adaptive controller calls this once per tick so
+// each tick sees the traffic of its own window.
+func (db *DB) ResetAccessCounts() map[string]uint64 {
+	db.accessMu.Lock()
+	defer db.accessMu.Unlock()
+	out := db.access
+	db.access = make(map[string]uint64, len(out))
+	return out
+}
+
+// HotColumns returns the access-counter keys sorted by descending count
+// (ties broken by name) - a convenience for status endpoints.
+func (db *DB) HotColumns() []string {
+	counts := db.AccessCounts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"ahead/internal/an"
+	"ahead/internal/storage"
+)
+
+// Online re-hardening: the mechanism behind the adaptive controller
+// (internal/adapt). A column's protection strength changes while queries
+// keep running - the replacement column is built off to the side, the
+// old one is never mutated by the swap, and Table.ReplaceColumn makes
+// the flip atomic under the table's lock, so in-flight queries finish on
+// the encoding they resolved and the next Col sees the new one.
+
+// ColumnCoding describes the current hardening of one base column in the
+// hardened table set - the controller's view of the world.
+type ColumnCoding struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Rows   int    `json:"rows"`
+	// DataBits is the width class the column hardens at: the code's data
+	// width for AN columns, the width Table.Harden would assign otherwise.
+	DataBits uint `json:"data_bits"`
+	// Scheme is "an", "residue" or "plain".
+	Scheme string `json:"scheme"`
+	// A and CodeBits describe the AN code ("an" only).
+	A        uint64 `json:"a,omitempty"`
+	CodeBits uint   `json:"code_bits,omitempty"`
+	// ResidueBits is the check width c of modulus 2^c-1 ("residue" only).
+	ResidueBits uint `json:"residue_bits,omitempty"`
+}
+
+// hardenDataBits mirrors Table.Harden's width-class derivation for a
+// column that currently carries no AN code: kind width, dictionary
+// columns at their byte-compressed dictionary width, clamped to the
+// 48-bit resbig/heap limit.
+func hardenDataBits(c *storage.Column) uint {
+	bits := c.Kind().DataBits()
+	if c.Kind() == storage.Str {
+		bits = c.Dict().Bits()
+		switch {
+		case bits <= 8:
+			bits = 8
+		case bits <= 16:
+			bits = 16
+		case bits <= 32:
+			bits = 32
+		default:
+			bits = 64
+		}
+	}
+	if bits > 48 {
+		bits = 48
+	}
+	return bits
+}
+
+// ColumnCodings returns the coding of every base column in every
+// hardened table, sorted by table then column.
+func (db *DB) ColumnCodings() []ColumnCoding {
+	var out []ColumnCoding
+	for _, name := range db.Tables() {
+		for _, hc := range db.hardened[name].Columns() {
+			cc := ColumnCoding{Table: name, Column: hc.Name(), Rows: hc.Len()}
+			switch {
+			case hc.Code() != nil:
+				cc.Scheme = "an"
+				cc.A = hc.Code().A()
+				cc.CodeBits = hc.Code().CodeBits()
+				cc.DataBits = hc.Code().DataBits()
+			case hc.IsResidueHardened():
+				cc.Scheme = "residue"
+				cc.ResidueBits = hc.ResidueCode().CheckBits()
+				cc.DataBits = hardenDataBits(hc)
+			default:
+				cc.Scheme = "plain"
+				cc.DataBits = hardenDataBits(hc)
+			}
+			out = append(out, cc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
+// RehardenColumn re-encodes one base column of the hardened table set
+// with the given AN code, without pausing query service. Returns the
+// byte size of the replacement column (the re-encoded volume).
+func (db *DB) RehardenColumn(table, column string, next *an.Code) (int, error) {
+	if next == nil {
+		return 0, fmt.Errorf("exec: reharden %s.%s: nil code", table, column)
+	}
+	return db.swapColumn(table, column, func(base *storage.Column) (*storage.Column, error) {
+		return base.Harden(next)
+	})
+}
+
+// ResidueHardenColumn demotes one base column to a residue sidecar of
+// the given check width - plain-speed scans, modulo-check verification.
+// Returns the byte size of the replacement column.
+func (db *DB) ResidueHardenColumn(table, column string, checkBits uint) (int, error) {
+	return db.swapColumn(table, column, func(base *storage.Column) (*storage.Column, error) {
+		return base.HardenResidue(checkBits)
+	})
+}
+
+// swapColumn is the shared re-harden core. Under the recovery lock (so
+// scrubs and repair loops never interleave with a swap) it picks a
+// trustworthy plain base, builds the replacement via rebuild, and swaps
+// it in atomically:
+//
+//   - With the plain mirror available, the replacement is rebuilt from
+//     it directly. The mirror is the repair ground truth, so even
+//     corruption the code could NOT detect (a flip pattern landing on
+//     another valid code word) is wiped by the re-encode instead of
+//     being laundered into a validly-coded wrong value.
+//   - Without it, the current column is verified, repaired from the
+//     registered repair sources, and softened; if any corrupt position
+//     cannot be repaired the swap is refused.
+//
+// The old column is never written, so queries that resolved it before
+// the swap keep computing on a consistent encoding.
+func (db *DB) swapColumn(table, column string, rebuild func(*storage.Column) (*storage.Column, error)) (int, error) {
+	db.recoverMu.Lock()
+	defer db.recoverMu.Unlock()
+
+	hTab := db.hardened[table]
+	if hTab == nil {
+		return 0, fmt.Errorf("exec: unknown table %q", table)
+	}
+	hc, err := hTab.Column(column)
+	if err != nil {
+		return 0, err
+	}
+
+	base := db.plainRepairColumn(table, column)
+	if base == nil {
+		var bad []uint64
+		switch {
+		case hc.Code() != nil:
+			bad, err = hc.CheckAll()
+		case hc.IsResidueHardened():
+			bad, err = hc.ResidueCheckAll()
+		}
+		if err != nil {
+			return 0, err
+		}
+		if len(bad) > 0 {
+			repaired, skipped, err := db.repairPositions(table, column, bad)
+			if err != nil {
+				return 0, fmt.Errorf("exec: reharden %s.%s: pre-swap repair: %w", table, column, err)
+			}
+			if len(skipped) > 0 || len(repaired) < len(bad) {
+				return 0, fmt.Errorf("exec: reharden %s.%s: %d of %d corrupt positions not repairable; refusing to re-encode",
+					table, column, len(bad)-len(repaired)+len(skipped), len(bad))
+			}
+		}
+		base = hc
+		switch {
+		case hc.Code() != nil:
+			if base, err = hc.Soften(); err != nil {
+				return 0, err
+			}
+		case hc.IsResidueHardened():
+			if base, err = hc.DropResidue(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	repl, err := rebuild(base)
+	if err != nil {
+		return 0, err
+	}
+	if err := hTab.ReplaceColumn(repl); err != nil {
+		return 0, err
+	}
+	return repl.Bytes(), nil
+}

@@ -137,10 +137,17 @@ type DB struct {
 
 	// Fallback repair plumbing (repair_source.go): when the plain mirror
 	// is unavailable for repair, repairPositions pulls verified chunks
-	// from these sources instead (local snapshot, peer replica).
+	// from these sources instead (repair_source.go: local snapshot, peer
+	// replica).
 	srcMu           sync.Mutex
 	repairSources   []RepairSource
 	plainRepairGone bool
+
+	// Per-column access-frequency counters (access.go): the hotness
+	// signal the adaptive-hardening controller weighs re-harden order
+	// and residue demotion by.
+	accessMu sync.Mutex
+	access   map[string]uint64
 }
 
 // NewDB builds the per-mode physical storage from plain base tables,
@@ -154,6 +161,7 @@ func NewDB(tables []*storage.Table, choose storage.CodeChooser) (*DB, error) {
 		hardened:    make(map[string]*storage.Table),
 		colTable:    make(map[string]string),
 		quarantined: make(map[string]bool),
+		access:      make(map[string]uint64),
 	}
 	for _, t := range tables {
 		if _, dup := db.plain[t.Name()]; dup {
@@ -365,10 +373,19 @@ func (db *DB) Scrub() (map[string]int, error) {
 	out := make(map[string]int)
 	for _, name := range names {
 		for _, hc := range db.hardened[name].Columns() {
-			if hc.Code() == nil {
+			var bad []uint64
+			var err error
+			switch {
+			case hc.Code() != nil:
+				bad, err = hc.CheckAll()
+			case hc.IsResidueHardened():
+				// Residue columns verify against their sidecar; repair
+				// still comes from the plain mirror (Set refreshes the
+				// check word).
+				bad, err = hc.ResidueCheckAll()
+			default:
 				continue
 			}
-			bad, err := hc.CheckAll()
 			if err != nil {
 				return out, err
 			}
@@ -664,6 +681,13 @@ func (q *Query) Opts() *ops.Opts {
 		NoPacked:  q.noPacked,
 		Ctx:       q.ctx,
 	}
+	if q.replicaIdx == 0 {
+		// Operator row-touch counts feed the adaptive controller's
+		// hotness signal (access.go). Only base columns resolve through
+		// TableOf; intermediate vectors fall through silently. Replicas
+		// stay silent so DMR/TMR don't double-count traffic.
+		o.Access = q.db.noteAccessByName
+	}
 	// Assign through a typed check so a nil *Pool never becomes a
 	// non-nil Parallel interface value.
 	if q.pool != nil {
@@ -684,8 +708,17 @@ func (q *Query) FuseOperators() bool { return q.mode != ContinuousReencoding && 
 // the current mode: the plain column (Unprotected), the replica column
 // (DMR second pass), the Δ-softened column (EarlyOnetime - verified and
 // decoded on first touch, with the cost that entails), or the hardened
-// column (Late/Continuous/Reencoding).
+// column (Late/Continuous/Reencoding). Primary-replica fetches feed the
+// per-column access counters the adaptive controller reads.
 func (q *Query) Col(table, column string) (*storage.Column, error) {
+	c, err := q.col(table, column)
+	if err == nil && q.replicaIdx == 0 {
+		q.db.noteAccess(table, column, c.Len())
+	}
+	return c, err
+}
+
+func (q *Query) col(table, column string) (*storage.Column, error) {
 	switch q.mode {
 	case Unprotected:
 		return q.db.plain[table].Column(column)
@@ -706,9 +739,21 @@ func (q *Query) Col(table, column string) (*storage.Column, error) {
 		if err != nil {
 			return nil, err
 		}
-		plain, err := ops.Delta(hc, q.log)
-		if err != nil {
-			return nil, err
+		plain := hc
+		if hc.Code() != nil {
+			if plain, err = ops.Delta(hc, q.log); err != nil {
+				return nil, err
+			}
+		} else if hc.IsResidueHardened() {
+			// Residue columns are already plain; the Early Δ degrades to
+			// a sidecar verification on first touch.
+			bad, err := hc.ResidueCheckAll()
+			if err != nil {
+				return nil, err
+			}
+			for _, pos := range bad {
+				q.log.Record(column, pos)
+			}
 		}
 		if q.deltaCache == nil {
 			q.deltaCache = make(map[string]*storage.Column)

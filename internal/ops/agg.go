@@ -2,6 +2,7 @@ package ops
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ahead/internal/an"
 	"ahead/internal/hashmap"
@@ -24,11 +25,14 @@ func wideCode(base *an.Code) (*an.Code, error) {
 }
 
 // GroupBy assigns dense group ids to the composite key formed by the given
-// vectors (all of equal length). Keys are packed from the decoded values,
-// 16 bits per component; hardened inputs are verified when detect is set.
-// It returns one group id per row, and for every group the decoded key
-// tuple. Rows with corrupted key values are skipped (their id is
-// ^uint32(0)).
+// vectors (all of equal length). Keys are packed from the decoded values -
+// each component claims the bits its decoded domain needs (16 bits
+// minimum, so narrow keys keep the historical layout), which admits
+// hardened dictionary keys wider than 16 bits as long as the components
+// together fit one 64-bit packed key. Hardened inputs are verified when
+// detect is set. It returns one group id per row, and for every group the
+// decoded key tuple. Rows with corrupted key values are skipped (their id
+// is ^uint32(0)).
 func GroupBy(keys []*Vec, o *Opts) (gids []uint32, groups [][]uint64, err error) {
 	if len(keys) == 0 || len(keys) > 4 {
 		return nil, nil, fmt.Errorf("ops: group-by supports 1..4 key columns, got %d", len(keys))
@@ -42,9 +46,16 @@ func GroupBy(keys []*Vec, o *Opts) (gids []uint32, groups [][]uint64, err error)
 			return nil, nil, fmt.Errorf("ops: group-by key vectors of unequal length")
 		}
 	}
+	for _, k := range keys {
+		o.access(k.Name, n)
+	}
+	widths, shifts, err := groupKeyLayout(keys)
+	if err != nil {
+		return nil, nil, err
+	}
 	if p := o.par(n); p != nil {
 		parts, err := runMorsels(p, n, o, o.log(), nil, func(log *ErrorLog, start, end int) (groupByPart, error) {
-			return groupByRange(keys, o, log, start, end)
+			return groupByRange(keys, widths, shifts, o, log, start, end)
 		})
 		if err != nil {
 			return nil, nil, err
@@ -76,11 +87,54 @@ func GroupBy(keys []*Vec, o *Opts) (gids []uint32, groups [][]uint64, err error)
 		}
 		return gids, groups, nil
 	}
-	part, err := groupByRange(keys, o, o.log(), 0, n)
+	part, err := groupByRange(keys, widths, shifts, o, o.log(), 0, n)
 	if err != nil {
 		return nil, nil, err
 	}
 	return part.gids, part.groups, nil
+}
+
+// groupKeyLayout assigns each key component its packed-key bit width and
+// shift, computed once before the morsel fan-out: the packed key is the
+// cross-morsel merge key, so every morsel must lay components out
+// identically. Every component is scanned for the width its largest
+// value needs - hardened ones in the decoded domain, skipping invalid
+// words (their rows are dropped or rejected downstream anyway), so a
+// wide-kind column with a small actual domain packs as tightly as its
+// plain twin while genuinely wide dictionary keys still claim the bits
+// they need. 16 bits per component is the floor, keeping the historical
+// layout for narrow keys.
+func groupKeyLayout(keys []*Vec) (widths, shifts []uint, err error) {
+	widths = make([]uint, len(keys))
+	shifts = make([]uint, len(keys))
+	var total uint
+	for c, k := range keys {
+		w := uint(16)
+		var max uint64
+		if k.Code != nil {
+			for _, v := range k.Vals {
+				if d, ok := k.Code.Check(v); ok && d > max {
+					max = d
+				}
+			}
+		} else {
+			for _, v := range k.Vals {
+				if v > max {
+					max = v
+				}
+			}
+		}
+		if b := uint(bits.Len64(max)); b > w {
+			w = b
+		}
+		widths[c] = w
+		shifts[c] = total
+		total += w
+	}
+	if total > 64 {
+		return nil, nil, fmt.Errorf("ops: group key components need %d packed bits together (max 64)", total)
+	}
+	return widths, shifts, nil
 }
 
 // groupByPart is one morsel's local group table: per-row local ids
@@ -93,7 +147,7 @@ type groupByPart struct {
 }
 
 // groupByRange is the morsel kernel of GroupBy over rows [start, end).
-func groupByRange(keys []*Vec, o *Opts, log *ErrorLog, start, end int) (groupByPart, error) {
+func groupByRange(keys []*Vec, widths, shifts []uint, o *Opts, log *ErrorLog, start, end int) (groupByPart, error) {
 	detect := o.detect()
 	part := groupByPart{gids: make([]uint32, end-start)}
 	ht := hashmap.New(1024)
@@ -113,11 +167,15 @@ func groupByRange(keys []*Vec, o *Opts, log *ErrorLog, start, end int) (groupByP
 			} else {
 				v = k.Value(i)
 			}
-			if v >= 1<<16 {
-				return groupByPart{}, fmt.Errorf("ops: group key component %q value %d exceeds 16 bits", k.Name, v)
+			// The layout max-scanned each key's (decoded) domain, so
+			// only a corrupt word decoded without detection can
+			// overflow its component - reject the query rather than
+			// fold the garbage into some other group's key.
+			if v >= 1<<widths[c] {
+				return groupByPart{}, fmt.Errorf("ops: group key component %q value %d exceeds its %d packed bits", k.Name, v, widths[c])
 			}
 			tuple[c] = v
-			packed |= v << (16 * uint(c))
+			packed |= v << shifts[c]
 		}
 		if bad {
 			part.gids[i-start] = ^uint32(0)
@@ -147,6 +205,7 @@ func SumGrouped(vals *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) 
 	if err := o.ctxErr(); err != nil {
 		return nil, err
 	}
+	o.access(vals.Name, vals.Len())
 	acc, err := wideCode(vals.Code)
 	if err != nil {
 		return nil, err
@@ -234,6 +293,8 @@ func SumProduct(a, b *Vec, o *Opts) (*Vec, error) {
 	if err := o.ctxErr(); err != nil {
 		return nil, err
 	}
+	o.access(a.Name, a.Len())
+	o.access(b.Name, b.Len())
 	detect := o.detect()
 	log := o.log()
 	var invB uint64
@@ -311,9 +372,11 @@ func sumProductRange(a, b *Vec, invB uint64, o *Opts, log *ErrorLog, start, end 
 }
 
 // SumDiffGrouped computes Σ (a[i]-b[i]) per group, the Q4.x profit
-// aggregate (revenue - supplycost). Both inputs must share one code (same
-// width class), so the raw difference is the code word of the difference
-// (Eq. 5); a[i] >= b[i] is required for the unsigned domain.
+// aggregate (revenue - supplycost); a[i] >= b[i] is required for the
+// unsigned domain. When both inputs share one code the raw difference
+// is the code word of the difference (Eq. 5); when adaptive hardening
+// has re-encoded one side under a different A, each b word is rescaled
+// by an.DiffFactor so the accumulator stays a code word under a's code.
 func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, error) {
 	if a.Len() != b.Len() || a.Len() != len(gids) {
 		return nil, fmt.Errorf("ops: sum-diff length mismatch")
@@ -321,12 +384,11 @@ func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, err
 	if (a.Code == nil) != (b.Code == nil) {
 		return nil, fmt.Errorf("ops: sum-diff needs both inputs plain or both hardened")
 	}
-	if a.Code != nil && a.Code.A() != b.Code.A() {
-		return nil, fmt.Errorf("ops: sum-diff across different As (%d vs %d); reencode first", a.Code.A(), b.Code.A())
-	}
 	if err := o.ctxErr(); err != nil {
 		return nil, err
 	}
+	o.access(a.Name, a.Len())
+	o.access(b.Name, b.Len())
 	acc, err := wideCode(a.Code)
 	if err != nil {
 		return nil, err
@@ -366,9 +428,12 @@ func SumDiffGrouped(a, b *Vec, gids []uint32, numGroups int, o *Opts) (*Vec, err
 }
 
 // sumDiffRange is the morsel kernel of SumDiffGrouped over rows
-// [start, end).
+// [start, end). Hardened values accumulate raw; the an.DiffFactor
+// rescale keeps b's words in a's code when their As differ (1 when
+// they agree, so the common path is a plain subtraction).
 func sumDiffRange(a, b *Vec, gids []uint32, dst []uint64, numGroups int, o *Opts, log *ErrorLog, start, end int) error {
 	detect := o.detect()
+	k := an.DiffFactor(a.Code, b.Code)
 	for i := start; i < end; i++ {
 		g := gids[i]
 		if g == ^uint32(0) {
@@ -393,7 +458,7 @@ func sumDiffRange(a, b *Vec, gids []uint32, dst []uint64, numGroups int, o *Opts
 				continue
 			}
 		}
-		dst[g] += av - bv
+		dst[g] += av - bv*k
 	}
 	return nil
 }

@@ -42,6 +42,20 @@ type Opts struct {
 	// new work within one morsel boundary. Completed runs are
 	// unaffected - the error-log merge stays byte-identical to serial.
 	Ctx context.Context
+	// Access, when non-nil, is called once per operator entry with the
+	// base column's name and the number of rows the operator touches.
+	// exec wires it to the per-column access counters that feed the
+	// adaptive-hardening controller; intermediate vectors are ignored by
+	// the receiver, so operators call it unconditionally.
+	Access func(column string, rows int)
+}
+
+// access reports an operator touching rows of a named column to the
+// hotness hook, if one is installed.
+func (o *Opts) access(column string, rows int) {
+	if o != nil && o.Access != nil {
+		o.Access(column, rows)
+	}
 }
 
 // ctxErr reports the cancellation state of the query's context, nil when
@@ -92,6 +106,7 @@ func Filter(col *storage.Column, lo, hi uint64, o *Opts) (*Sel, error) {
 	if err := o.ctxErr(); err != nil {
 		return nil, err
 	}
+	o.access(col.Name(), col.Len())
 	if p := o.par(col.Len()); p != nil {
 		parts, err := runMorsels(p, col.Len(), o, o.log(), dropU64, func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return filterRange(col, lo, hi, o, log, start, end)
@@ -216,6 +231,7 @@ func FilterSel(col *storage.Column, lo, hi uint64, sel *Sel, o *Opts) (*Sel, err
 	if err := o.ctxErr(); err != nil {
 		return nil, err
 	}
+	o.access(col.Name(), sel.Len())
 	if p := o.par(sel.Len()); p != nil {
 		parts, err := runMorsels(p, sel.Len(), o, o.log(), dropU64, func(log *ErrorLog, start, end int) (*[]uint64, error) {
 			return filterSelRange(col, lo, hi, sel, o, log, start, end)

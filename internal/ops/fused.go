@@ -720,17 +720,16 @@ func fusedGatherSumRange(c fusedCol, sel *Sel, gids []uint32, dst []uint64, numG
 
 // FusedGatherSumDiffGrouped is FusedGatherSumGrouped for the Q4.x profit
 // aggregate: per selected row it fetches a and b and accumulates a-b into
-// the row's group. Both columns must share one code (Eq. 5 needs a common
-// A for the raw difference to be the code word of the difference).
+// the row's group. When the columns share one code the raw difference is
+// the code word of the difference (Eq. 5); when adaptive hardening has
+// re-encoded one side under a different A, each b word is rescaled by
+// an.DiffFactor so the accumulator stays a code word under a's code.
 func FusedGatherSumDiffGrouped(a, b *storage.Column, sel *Sel, gids []uint32, numGroups int, o *Opts) (*Vec, error) {
 	if sel.Len() != len(gids) {
 		return nil, fmt.Errorf("ops: %d selected rows vs %d group ids", sel.Len(), len(gids))
 	}
 	if (a.Code() == nil) != (b.Code() == nil) {
 		return nil, fmt.Errorf("ops: fused sum-diff needs both inputs plain or both hardened")
-	}
-	if a.Code() != nil && a.Code().A() != b.Code().A() {
-		return nil, fmt.Errorf("ops: fused sum-diff across different As (%d vs %d)", a.Code().A(), b.Code().A())
 	}
 	if err := o.ctxErr(); err != nil {
 		return nil, err
@@ -768,8 +767,15 @@ func FusedGatherSumDiffGrouped(a, b *storage.Column, sel *Sel, gids []uint32, nu
 }
 
 // fusedGatherSumDiffRange is the morsel kernel of
-// FusedGatherSumDiffGrouped over selection entries [start, end).
+// FusedGatherSumDiffGrouped over selection entries [start, end). Under
+// Continuous the raw code words accumulate with b rescaled into a's
+// code (an.DiffFactor, 1 when the As agree); LateOnetime decodes both
+// sides in-kernel, so the plain difference needs no renormalization.
 func fusedGatherSumDiffRange(a, b fusedCol, sel *Sel, gids []uint32, dst []uint64, numGroups int, detect bool, log *ErrorLog, start, end int) error {
+	k := uint64(1)
+	if detect {
+		k = an.DiffFactor(a.code, b.code)
+	}
 	for i := start; i < end; i++ {
 		pos, ok := sel.At(i, log)
 		if !ok {
@@ -814,7 +820,7 @@ func fusedGatherSumDiffRange(a, b fusedCol, sel *Sel, gids []uint32, dst []uint6
 			return fmt.Errorf("ops: group id %d out of range %d", g, numGroups)
 		}
 		if valid {
-			dst[g] += av - bv
+			dst[g] += av - bv*k
 		}
 	}
 	return nil
@@ -1030,6 +1036,7 @@ type fusedGrouper struct {
 	attrBufs [][]uint16
 	nAttrs   int
 	ma, mb   fusedCol
+	kb       uint64 // an.DiffFactor(ma, mb): rescales b words into a's code
 	hasB     bool
 	detect   bool
 	ht       *hashmap.U64
@@ -1082,10 +1089,12 @@ func (g *fusedGrouper) consume(row, rel int, kl *keyedLog) {
 			}
 			return
 		}
-		// Raw code words add and subtract in the 64-bit ring, so the
-		// accumulator holds the code word of the group total (Eq. 5),
-		// verified under the widened code by fusedGroupCheck.
-		g.part.sums[id] += av - bv
+		// Raw code words add and subtract in the 64-bit ring, with b
+		// rescaled into a's code when their As differ (kb is 1 when
+		// they agree), so the accumulator holds a's code word of the
+		// group total (Eq. 5), verified under the widened code by
+		// fusedGroupCheck.
+		g.part.sums[id] += av - bv*g.kb
 	default:
 		// LateOnetime: verify, log into the vec: namespace at the fact
 		// row, and accumulate the softened value regardless.
@@ -1145,6 +1154,7 @@ func fusedProbeGroupRange(preds []fusedPred, joins []fusedJoinCol, ma, mb fusedC
 		nAttrs:   nAttrs,
 		ma:       ma,
 		mb:       mb,
+		kb:       an.DiffFactor(ma.code, mb.code),
 		hasB:     hasB,
 		detect:   detect,
 		ht:       hashmap.New(1024),
@@ -1267,8 +1277,10 @@ func FusedProbeGroupSum(preds []RangePred, joins []FusedJoin, measure *storage.C
 
 // FusedProbeGroupSumDiff is FusedProbeGroupSum with the Q4.x profit
 // aggregate: per surviving row it accumulates a-b into the row's group.
-// Both measures must share one code (Eq. 5 needs a common A for the raw
-// difference to be the code word of the difference).
+// The measures may carry different As (adaptive hardening re-encodes
+// them independently): b's words are rescaled into a's code via
+// an.DiffFactor before accumulating, so the per-group sums stay code
+// words under a's widened code.
 func FusedProbeGroupSumDiff(preds []RangePred, joins []FusedJoin, a, b *storage.Column, o *Opts) ([][]uint64, *Vec, error) {
 	if b == nil {
 		return nil, nil, fmt.Errorf("ops: fused sum-diff needs a second measure")
@@ -1288,9 +1300,6 @@ func fusedProbeGroup(preds []RangePred, joins []FusedJoin, a, b *storage.Column,
 		}
 		if (a.Code() == nil) != (b.Code() == nil) {
 			return nil, nil, fmt.Errorf("ops: fused sum-diff needs both inputs plain or both hardened")
-		}
-		if a.Code() != nil && a.Code().A() != b.Code().A() {
-			return nil, nil, fmt.Errorf("ops: fused sum-diff across different As (%d vs %d)", a.Code().A(), b.Code().A())
 		}
 	}
 	for _, p := range preds {

@@ -225,6 +225,53 @@ func TestFusedCascadeMatchesMaterialized(t *testing.T) {
 	}
 }
 
+// TestFusedCascadeMixedACodes: online adaptive hardening re-encodes the
+// Q4 measures independently, so the profit cascade must renormalize b's
+// words into a's code (an.DiffFactor) instead of rejecting the pair -
+// and still validate each side under its own code.
+func TestFusedCascadeMixedACodes(t *testing.T) {
+	f := newCascadeFixture(t, 3000)
+	costB := harden(t, f.cost, an.MustNew(233, 32))
+	if costB.Code().A() == f.revH.Code().A() {
+		t.Fatal("fixture vacuous: measures share one A")
+	}
+	for _, detect := range []bool{true, false} {
+		rlog, mlog := NewErrorLog(), NewErrorLog()
+		ro := &Opts{Detect: detect, HardenIDs: detect, Log: rlog}
+		mo := &Opts{Detect: detect, HardenIDs: detect, Log: mlog}
+		wantGroups, want, err := FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, f.costH, ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotGroups, got, err := FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, costB, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotGroups, wantGroups) {
+			t.Fatalf("detect=%v: mixed-A groups %v != same-A %v", detect, gotGroups, wantGroups)
+		}
+		// Both accumulate under revH's (widened) code, so the raw words
+		// must agree exactly, not just their decodings.
+		if !reflect.DeepEqual(got.Vals, want.Vals) {
+			t.Fatalf("detect=%v: mixed-A sums %v != same-A %v", detect, got.Vals, want.Vals)
+		}
+		if rlog.Count() != 0 || mlog.Count() != 0 {
+			t.Fatalf("detect=%v: clean data logged errors: %d/%d", detect, rlog.Count(), mlog.Count())
+		}
+	}
+	// A flip in the re-encoded measure is still caught per value, under
+	// its own code.
+	costB.Corrupt(162, 1<<9) // 162%20=2, 162%5=1, 162%9=0: survives all joins
+	log := NewErrorLog()
+	if _, _, err := FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, costB,
+		&Opts{Detect: true, HardenIDs: true, Log: log}); err != nil {
+		t.Fatal(err)
+	}
+	if pos, _ := log.Positions("lo_supplycost"); len(pos) != 1 || pos[0] != 162 {
+		t.Fatalf("mixed-A corruption positions %v, want [162]", pos)
+	}
+}
+
 // TestFusedCascadeWithPredicates covers both selection representations:
 // a 50%-selectivity predicate keeps the blocks above bitmapSelThreshold
 // (bitmap refinement and bitmap probing), an ~8% one drops them below it
@@ -402,10 +449,6 @@ func TestFusedCascadeValidation(t *testing.T) {
 
 	_, _, err = FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, f.cost, o)
 	fails(err, "both inputs plain or both hardened")
-
-	badB := harden(t, f.cost, an.MustNew(233, 32))
-	_, _, err = FusedProbeGroupSumDiff(nil, f.joins(true), f.revH, badB, o)
-	fails(err, "different As")
 
 	wide := intColumn(t, "wide_attr", []uint64{1 << 16})
 	wj := []FusedJoin{{FK: f.fk1, HT: buildTestHT(100), Attr: wide}}

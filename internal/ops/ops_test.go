@@ -432,9 +432,16 @@ func TestGroupByValidation(t *testing.T) {
 	if _, _, err := GroupBy([]*Vec{v, w}, nil); err == nil {
 		t.Error("unequal lengths must error")
 	}
+	// Components wider than 16 bits are packed with the width their
+	// domain needs; only a combination that cannot fit one 64-bit packed
+	// key is refused.
 	big := &Vec{Name: "big", Vals: []uint64{1 << 20}}
-	if _, _, err := GroupBy([]*Vec{big}, nil); err == nil {
-		t.Error("oversized key component must error")
+	if _, _, err := GroupBy([]*Vec{big}, nil); err != nil {
+		t.Errorf("20-bit key component must be packable, got %v", err)
+	}
+	huge := &Vec{Name: "huge", Vals: []uint64{1 << 60}}
+	if _, _, err := GroupBy([]*Vec{huge, v}, nil); err == nil {
+		t.Error("components beyond 64 packed bits must error")
 	}
 }
 
@@ -495,11 +502,27 @@ func TestSumDiffGrouped(t *testing.T) {
 	if res.Value(0) != 700 {
 		t.Fatalf("profit %d", res.Value(0))
 	}
-	// Different As must be rejected (reencode first).
+	// Different As renormalize (an.DiffFactor): adaptive hardening may
+	// have escalated one side's code while its partner kept the old A.
 	other := an.MustNew(32417, 32)
-	cost2 := &Vec{Name: "c2", Vals: []uint64{other.Encode(1), other.Encode(2)}, Code: other}
-	if _, err := SumDiffGrouped(rev, cost2, gids, 1, nil); err == nil {
-		t.Error("different As must error")
+	cost2 := &Vec{Name: "c2", Vals: []uint64{other.Encode(200), other.Encode(300)}, Code: other}
+	mixed, err := SumDiffGrouped(rev, cost2, gids, 1, &Opts{Detect: true, Log: NewErrorLog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Value(0) != 700 {
+		t.Fatalf("mixed-A profit %d", mixed.Value(0))
+	}
+	// Per-side detection is unchanged: a flip in the re-encoded operand
+	// is logged and its row excluded.
+	log := NewErrorLog()
+	cost2.Vals[1] ^= 1 << 4
+	mixed, err = SumDiffGrouped(rev, cost2, gids, 1, &Opts{Detect: true, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Count() != 1 || mixed.Value(0) != 300 {
+		t.Fatalf("corrupted mixed-A operand: log=%d profit=%d", log.Count(), mixed.Value(0))
 	}
 	if _, err := SumDiffGrouped(rev, cost, []uint32{0}, 1, nil); err == nil {
 		t.Error("length mismatch must error")

@@ -1,0 +1,103 @@
+// Adaptive-hardening endpoints: GET /adapt/status exposes the
+// controller's per-column hazard estimates and counters, POST
+// /adapt/policy updates the decision policy live. Both 404 when the
+// server runs without a Manager (Config.Adapt nil). Detection feeds are
+// wired in the query paths: every detected corrupt position reported in
+// a response is also reported to the Manager, closing the loop
+// traffic -> detection -> re-harden.
+package server
+
+import (
+	"net/http"
+
+	"ahead/internal/adapt"
+)
+
+// noteDetections forwards one query's detections to the adaptive
+// manager, if one is attached.
+func (s *Server) noteDetections(detected map[string][]uint64) {
+	if s.cfg.Adapt == nil {
+		return
+	}
+	for col, pos := range detected {
+		s.cfg.Adapt.NoteDetections(col, len(pos))
+	}
+}
+
+func (s *Server) handleAdaptStatus(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Adapt == nil {
+		writeError(w, http.StatusNotFound, "adaptive hardening disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Adapt.Status())
+}
+
+// policyUpdate is the body of POST /adapt/policy: every field optional,
+// omitted fields keep their current value.
+type policyUpdate struct {
+	TargetRate   *float64 `json:"target_rate,omitempty"`
+	Alpha        *float64 `json:"alpha,omitempty"`
+	CoolTicks    *int     `json:"cool_ticks,omitempty"`
+	ColdRows     *uint64  `json:"cold_rows,omitempty"`
+	AllowResidue *bool    `json:"allow_residue,omitempty"`
+	ResidueBits  *uint    `json:"residue_bits,omitempty"`
+	MaxPerTick   *int     `json:"max_per_tick,omitempty"`
+}
+
+func (s *Server) handleAdaptPolicy(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Adapt == nil {
+		writeError(w, http.StatusNotFound, "adaptive hardening disabled")
+		return
+	}
+	var upd policyUpdate
+	if err := decodeRequest(r, &upd); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	pol := s.cfg.Adapt.Policy()
+	if upd.TargetRate != nil {
+		if *upd.TargetRate <= 0 || *upd.TargetRate > 1 {
+			writeError(w, http.StatusBadRequest, "target_rate must be in (0, 1]")
+			return
+		}
+		pol.TargetRate = *upd.TargetRate
+	}
+	if upd.Alpha != nil {
+		if *upd.Alpha <= 0 || *upd.Alpha > 1 {
+			writeError(w, http.StatusBadRequest, "alpha must be in (0, 1]")
+			return
+		}
+		pol.Alpha = *upd.Alpha
+	}
+	if upd.CoolTicks != nil {
+		if *upd.CoolTicks <= 0 {
+			writeError(w, http.StatusBadRequest, "cool_ticks must be positive")
+			return
+		}
+		pol.CoolTicks = *upd.CoolTicks
+	}
+	if upd.ColdRows != nil {
+		pol.ColdRows = *upd.ColdRows
+	}
+	if upd.AllowResidue != nil {
+		pol.AllowResidue = *upd.AllowResidue
+	}
+	if upd.ResidueBits != nil {
+		if *upd.ResidueBits < 2 || *upd.ResidueBits > 16 {
+			writeError(w, http.StatusBadRequest, "residue_bits must be in [2, 16]")
+			return
+		}
+		pol.ResidueBits = *upd.ResidueBits
+	}
+	if upd.MaxPerTick != nil {
+		if *upd.MaxPerTick <= 0 {
+			writeError(w, http.StatusBadRequest, "max_per_tick must be positive")
+			return
+		}
+		pol.MaxPerTick = *upd.MaxPerTick
+	}
+	s.cfg.Adapt.SetPolicy(pol)
+	writeJSON(w, http.StatusOK, struct {
+		Policy adapt.Policy `json:"policy"`
+	}{Policy: s.cfg.Adapt.Policy()})
+}

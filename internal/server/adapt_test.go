@@ -1,0 +1,294 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ahead/internal/adapt"
+	"ahead/internal/an"
+	"ahead/internal/exec"
+	"ahead/internal/faults"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// weakTinyDB is tinyDB hardened at the bottom ladder rung, so the
+// adaptive loop has room to escalate.
+func weakTinyDB(t testing.TB) *exec.DB {
+	t.Helper()
+	tb := storage.NewTable("t")
+	v, err := storage.NewColumn("v", storage.TinyInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := storage.NewColumn("w", storage.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 256; i++ {
+		v.Append(i % 50)
+		w.Append(i * 3)
+	}
+	for _, c := range []*storage.Column{v, w} {
+		if err := tb.AddColumn(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := exec.NewDB([]*storage.Table{tb}, func(bits uint) (*an.Code, error) {
+		return an.ForMinBFW(bits, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func adaptServer(t *testing.T, pol adapt.Policy) (*httptest.Server, *adapt.Manager, *exec.DB) {
+	t.Helper()
+	db := weakTinyDB(t)
+	mgr := adapt.NewManager(db, pol)
+	srv, err := New(Config{
+		DB:       db,
+		Queries:  map[string]exec.QueryFunc{"sum": sumPlan},
+		Adapt:    mgr,
+		Injector: faults.NewInjector(11),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, mgr, db
+}
+
+func getAdaptJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestAdaptEndpointsDisabledWithoutManager(t *testing.T) {
+	srv, err := New(Config{DB: tinyDB(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if code := getAdaptJSON(t, ts.URL+"/adapt/status", nil); code != http.StatusNotFound {
+		t.Fatalf("status without manager: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/adapt/policy", map[string]float64{"target_rate": 1e-3}); code != http.StatusNotFound {
+		t.Fatalf("policy without manager: %d", code)
+	}
+}
+
+func TestAdaptStatusAndPolicyRoundTrip(t *testing.T) {
+	ts, _, _ := adaptServer(t, adapt.DefaultPolicy())
+	var st adapt.Status
+	if code := getAdaptJSON(t, ts.URL+"/adapt/status", &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if len(st.Columns) != 2 || !st.BoundHeld {
+		t.Fatalf("initial status: %+v", st)
+	}
+	code, body := postJSON(t, ts.URL+"/adapt/policy", map[string]any{
+		"target_rate": 1e-3, "allow_residue": true, "cold_rows": 7,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("policy update: %d\n%s", code, body)
+	}
+	if code := getAdaptJSON(t, ts.URL+"/adapt/status", &st); code != http.StatusOK {
+		t.Fatal("status after update")
+	}
+	if st.Target != 1e-3 || !st.Policy.AllowResidue || st.Policy.ColdRows != 7 {
+		t.Fatalf("policy did not stick: %+v", st.Policy)
+	}
+	// Partial update keeps the rest.
+	if code, _ := postJSON(t, ts.URL+"/adapt/policy", map[string]any{"cool_ticks": 3}); code != http.StatusOK {
+		t.Fatal("partial update")
+	}
+	getAdaptJSON(t, ts.URL+"/adapt/status", &st)
+	if st.Target != 1e-3 || st.Policy.CoolTicks != 3 {
+		t.Fatalf("partial update clobbered fields: %+v", st.Policy)
+	}
+	// Invalid values are rejected.
+	for _, bad := range []map[string]any{
+		{"target_rate": 0.0}, {"target_rate": 2.0}, {"alpha": 0.0},
+		{"residue_bits": 1}, {"residue_bits": 20}, {"cool_ticks": 0}, {"max_per_tick": 0},
+		{"no_such_field": 1},
+	} {
+		if code, _ := postJSON(t, ts.URL+"/adapt/policy", bad); code != http.StatusBadRequest {
+			t.Fatalf("accepted bad policy %v: %d", bad, code)
+		}
+	}
+}
+
+// TestAdaptClosedLoopOverHTTP is the in-process version of the soak
+// gate: inject -> query detects -> tick -> the column escalates, the
+// corruption is gone, queries never fail.
+func TestAdaptClosedLoopOverHTTP(t *testing.T) {
+	pol := adapt.DefaultPolicy()
+	pol.TargetRate = 1e-4
+	pol.CoolTicks = 2
+	ts, mgr, db := adaptServer(t, pol)
+
+	startA := func() uint64 {
+		for _, cc := range db.ColumnCodings() {
+			if cc.Column == "w" {
+				return cc.A
+			}
+		}
+		return 0
+	}()
+
+	for tick := 0; tick < 6; tick++ {
+		code, body := postJSON(t, ts.URL+"/inject", InjectRequest{Col: "w", Count: 8})
+		if code != http.StatusOK {
+			t.Fatalf("inject: %d\n%s", code, body)
+		}
+		resp, data := postQuery(t, ts.URL, QueryRequest{Query: "sum", Mode: "continuous"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tick %d: query status %d\n%s", tick, resp.StatusCode, data)
+		}
+		mgr.TickOnce()
+	}
+
+	var st adapt.Status
+	if code := getAdaptJSON(t, ts.URL+"/adapt/status", &st); code != http.StatusOK {
+		t.Fatal("status")
+	}
+	if st.Rehardens == 0 {
+		t.Fatalf("no re-hardens after sustained injection: %+v", st)
+	}
+	if !st.BoundHeld {
+		t.Fatalf("bound not held: %+v", st.Columns)
+	}
+	endA := func() uint64 {
+		for _, cc := range db.ColumnCodings() {
+			if cc.Column == "w" {
+				return cc.A
+			}
+		}
+		return 0
+	}()
+	if endA <= startA {
+		t.Fatalf("w never escalated: A %d -> %d", startA, endA)
+	}
+
+	// Post-escalation queries stay clean and correct.
+	want, _, err := exec.Run(db, exec.Unprotected, ops.Scalar, sumPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postQuery(t, ts.URL, QueryRequest{Query: "sum", Mode: "continuous"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final query: %d", resp.StatusCode)
+	}
+	qr := decodeResponse(t, data)
+	if len(qr.Detected) != 0 {
+		t.Fatalf("corruption survived the loop: %+v", qr.Detected)
+	}
+	if len(qr.Aggs) != 1 || qr.Aggs[0] != want.Aggs[0] {
+		t.Fatalf("final aggregate %v, want %v", qr.Aggs, want.Aggs)
+	}
+
+	// The metrics endpoint exposes the adapt family.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mdata, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ahead_adapt_ticks_total", "ahead_adapt_rehardens_total",
+		"ahead_adapt_reencoded_bytes_total", "ahead_adapt_bound_held 1",
+		`ahead_adapt_column_strength_bits{table="t",column="w",scheme="an"}`,
+		"ahead_sync_bytes_total", "ahead_sync_chunks_fetched_total",
+	} {
+		if !strings.Contains(string(mdata), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestInjectSurvivesColumnSwap is the stale-pointer regression: flips
+// requested after a re-harden must land in the column queries read.
+func TestInjectSurvivesColumnSwap(t *testing.T) {
+	ts, _, db := adaptServer(t, adapt.DefaultPolicy())
+	if _, err := db.RehardenColumn("t", "w", an.MustNew(32417, 32)); err != nil {
+		t.Fatal(err)
+	}
+	code, body := postJSON(t, ts.URL+"/inject", InjectRequest{Col: "w", Count: 4})
+	if code != http.StatusOK {
+		t.Fatalf("inject after swap: %d\n%s", code, body)
+	}
+	hc, err := db.Hardened("t").Column("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := hc.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 {
+		t.Fatal("flips landed in a stale pre-swap column")
+	}
+	// Residue demotion: injection still works, weight defaults sanely.
+	if _, err := db.ResidueHardenColumn("t", "v", 8); err != nil {
+		t.Fatal(err)
+	}
+	code, body = postJSON(t, ts.URL+"/inject", InjectRequest{Col: "v", Count: 2})
+	if code != http.StatusOK {
+		t.Fatalf("inject into residue column: %d\n%s", code, body)
+	}
+	rc, err := db.Hardened("t").Column("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbad, err := rc.ResidueCheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rbad) == 0 {
+		t.Fatal("residue sidecar missed the injected flips")
+	}
+}

@@ -15,26 +15,36 @@ import (
 // every hardened column in the database; narrow codes get weight-2
 // flips (two bits) because a single flip in a short code word is more
 // likely to land on another code word.
+//
+// Targets are held by (table, column) name, not pointer: the adaptive
+// controller swaps column objects while serving, and flips must land in
+// the column queries actually read, not a stale pre-swap copy.
 type injector struct {
 	in      *faults.Injector
-	targets []*storage.Column
-	byName  map[string]*storage.Column
+	db      *exec.DB
+	targets []colRef
+	byName  map[string]colRef
 	next    atomic.Uint64
 }
 
+type colRef struct {
+	table, column string
+}
+
 func newInjector(db *exec.DB, in *faults.Injector) (*injector, error) {
-	inj := &injector{in: in, byName: make(map[string]*storage.Column)}
+	inj := &injector{in: in, db: db, byName: make(map[string]colRef)}
 	for _, name := range db.Tables() {
 		hard := db.Hardened(name)
 		if hard == nil {
 			continue
 		}
 		for _, col := range hard.Columns() {
-			if !col.IsHardened() || col.Len() == 0 {
+			if col.Len() == 0 {
 				continue
 			}
-			inj.targets = append(inj.targets, col)
-			inj.byName[col.Name()] = col
+			ref := colRef{table: name, column: col.Name()}
+			inj.targets = append(inj.targets, ref)
+			inj.byName[col.Name()] = ref
 		}
 	}
 	if len(inj.targets) == 0 {
@@ -43,13 +53,36 @@ func newInjector(db *exec.DB, in *faults.Injector) (*injector, error) {
 	return inj, nil
 }
 
+// resolve looks the target up in the hardened table set at request time,
+// so flips always hit the currently-served column object.
+func (inj *injector) resolve(ref colRef) (*storage.Column, error) {
+	hard := inj.db.Hardened(ref.table)
+	if hard == nil {
+		return nil, fmt.Errorf("no hardened table %q", ref.table)
+	}
+	return hard.Column(ref.column)
+}
+
+// protected reports whether flips into the column are detectable: AN
+// code words or a residue sidecar. Plain columns (possible only if the
+// controller is configured to fully drop protection) are skipped so the
+// soak never plants silent corruption by design.
+func protected(col *storage.Column) bool {
+	return col.Code() != nil || col.IsResidueHardened()
+}
+
 // flipWeight follows the soak-test policy: short code words take
 // double flips so the corruption is not masked by the code itself.
+// Residue sidecars detect any single flip (the modulus is odd), so
+// weight-2 keeps them honest too.
 func flipWeight(col *storage.Column) int {
-	if col.Code().DataBits() <= 32 {
-		return 2
+	if code := col.Code(); code != nil {
+		if code.DataBits() <= 32 {
+			return 2
+		}
+		return 1
 	}
-	return 1
+	return 2
 }
 
 // InjectRequest is the body of POST /inject. All fields are optional:
@@ -92,14 +125,38 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	if req.Count == 0 {
 		req.Count = 1
 	}
-	col := s.inject.targets[s.inject.next.Add(1)%uint64(len(s.inject.targets))]
+	var col *storage.Column
 	if req.Col != "" {
-		c, ok := s.inject.byName[req.Col]
+		ref, ok := s.inject.byName[req.Col]
 		if !ok {
 			writeError(w, http.StatusNotFound, "no hardened column %q", req.Col)
 			return
 		}
+		c, err := s.inject.resolve(ref)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		if !protected(c) {
+			writeError(w, http.StatusConflict, "column %q currently carries no protection", req.Col)
+			return
+		}
 		col = c
+	} else {
+		// Rotate, skipping any column that is currently unprotected.
+		for range s.inject.targets {
+			ref := s.inject.targets[s.inject.next.Add(1)%uint64(len(s.inject.targets))]
+			c, err := s.inject.resolve(ref)
+			if err != nil || !protected(c) {
+				continue
+			}
+			col = c
+			break
+		}
+		if col == nil {
+			writeError(w, http.StatusConflict, "no protected column to inject into")
+			return
+		}
 	}
 	weight := req.Weight
 	if weight == 0 {

@@ -22,14 +22,23 @@ type metrics struct {
 	repairRetries atomic.Uint64 // extra attempts spent by healing runs
 	injected      atomic.Uint64 // bit flips planted via /inject
 
-	syncRuns         atomic.Uint64 // completed /sync/from-peer passes
-	syncFailed       atomic.Uint64 // failed /sync/from-peer passes
-	syncHealedChunks atomic.Uint64 // chunks healed from peers
+	syncRuns          atomic.Uint64 // completed /sync/from-peer passes
+	syncFailed        atomic.Uint64 // failed /sync/from-peer passes
+	syncHealedChunks  atomic.Uint64 // chunks healed from peers
+	syncChunksFetched atomic.Uint64 // chunks pulled from peers (rate -> chunks/sec)
+	syncBytes         atomic.Uint64 // payload bytes pulled from peers
 
 	latency latencyHist
 }
 
 func newMetrics() *metrics { return &metrics{} }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
 // log-spaced from 1ms to ~16s to cover SF 0.01 point lookups through
@@ -77,6 +86,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("ahead_sync_runs_total", "Completed anti-entropy passes (POST /sync/from-peer).", m.syncRuns.Load())
 	counter("ahead_sync_failed_total", "Failed anti-entropy passes.", m.syncFailed.Load())
 	counter("ahead_sync_healed_chunks_total", "Column chunks healed from peer replicas.", m.syncHealedChunks.Load())
+	counter("ahead_sync_chunks_fetched_total", "Column chunks fetched from peers during anti-entropy (rate() gives chunks/sec).", m.syncChunksFetched.Load())
+	counter("ahead_sync_bytes_total", "Payload bytes fetched from peers during anti-entropy.", m.syncBytes.Load())
+
+	if a := s.cfg.Adapt; a != nil {
+		st := a.Status()
+		counter("ahead_adapt_ticks_total", "Adaptive-hardening controller ticks.", st.Ticks)
+		counter("ahead_adapt_decisions_total", "Re-hardening decisions taken by the controller.", st.Decisions)
+		counter("ahead_adapt_rehardens_total", "Columns re-hardened in the background.", st.Rehardens)
+		counter("ahead_adapt_failed_rehardens_total", "Re-hardening attempts that failed.", st.FailedRehardens)
+		counter("ahead_adapt_reencoded_bytes_total", "Bytes re-encoded by background re-hardening.", st.BytesReencoded)
+		gauge("ahead_adapt_bound_held", "1 when every adaptable column's hazard is within the target bound.", b2i(st.BoundHeld))
+		const strength = "ahead_adapt_column_strength_bits"
+		fmt.Fprintf(w, "# HELP %s Redundancy bits of each column's current coding (|A| for AN, check width for residue).\n# TYPE %s gauge\n", strength, strength)
+		for _, c := range st.Columns {
+			bits := uint(0)
+			switch c.Scheme {
+			case "an":
+				bits = c.CodeBits - c.DataBits
+			case "residue":
+				bits = c.ResidueBits
+			}
+			fmt.Fprintf(w, "%s{table=%q,column=%q,scheme=%q} %d\n", strength, c.Table, c.Column, c.Scheme, bits)
+		}
+	}
 
 	gauge("ahead_inflight_queries", "Queries currently executing.", int64(len(s.sem)))
 	gauge("ahead_queued_queries", "Queries waiting for an execution slot.", s.queued.Load())

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ahead/internal/adapt"
 	"ahead/internal/cluster"
 	"ahead/internal/exec"
 	"ahead/internal/faults"
@@ -77,6 +78,11 @@ type Config struct {
 	// columns so detection can be observed end to end. Nil disables
 	// the endpoint (production posture).
 	Injector *faults.Injector
+	// Adapt attaches an adaptive-hardening manager: query detections
+	// feed its per-column signals, and GET /adapt/status + POST
+	// /adapt/policy are served. Nil disables the endpoints. The caller
+	// owns the manager's tick loop (adapt.Manager.Run).
+	Adapt *adapt.Manager
 	// RecoveryRetries overrides the repair-retry budget for healing
 	// requests; 0 keeps the exec default.
 	RecoveryRetries int
@@ -145,6 +151,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /sync/digests", s.handleSyncDigests)
 	s.mux.HandleFunc("GET /sync/chunk", s.handleSyncChunk)
 	s.mux.HandleFunc("POST /sync/from-peer", s.handleSyncFromPeer)
+	s.mux.HandleFunc("GET /adapt/status", s.handleAdaptStatus)
+	s.mux.HandleFunc("POST /adapt/policy", s.handleAdaptPolicy)
 	return s, nil
 }
 
@@ -511,6 +519,7 @@ func (s *Server) runPartial(ctx context.Context, name string, plan exec.QueryFun
 			}
 			part.Detected[col] = pos
 		}
+		s.noteDetections(part.Detected)
 	}
 	return part, nil
 }
@@ -541,6 +550,7 @@ func (s *Server) run(ctx context.Context, name string, plan exec.QueryFunc, mode
 			s.metrics.repairRetries.Add(uint64(rep.Attempts - 1))
 		}
 		s.metrics.detected.Add(uint64(rep.RepairedCount() + rep.Intermediate))
+		s.noteDetections(rep.Repaired)
 		resp.Recovery = &RecoveryInfo{
 			Attempts:     rep.Attempts,
 			Repaired:     rep.Repaired,
@@ -567,6 +577,7 @@ func (s *Server) run(ctx context.Context, name string, plan exec.QueryFunc, mode
 			}
 			resp.Detected[col] = pos
 		}
+		s.noteDetections(resp.Detected)
 	}
 	resp.Keys, resp.Aggs, resp.Rows = res.Keys, res.Aggs, res.Rows()
 	return resp, nil

@@ -227,6 +227,8 @@ func (s *Server) syncFromPeer(ctx context.Context, peer string) (*cluster.SyncRe
 			if err != nil {
 				return nil, err
 			}
+			s.metrics.syncChunksFetched.Add(1)
+			s.metrics.syncBytes.Add(uint64(len(words) * 8))
 			changed, err := s.cfg.DB.HealChunk(local.Table, local.Column, sum.ChunkRows, chunk, words)
 			if err != nil {
 				// An AN-invalid peer chunk: refuse it and leave local data

@@ -1,0 +1,94 @@
+package ssb
+
+import (
+	"fmt"
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// TestAdHocWideDictGroupBy is the regression test for the packed
+// group-key overflow: a dictionary column with more than 2^16 distinct
+// values hardens to a key component wider than 16 bits, which the
+// group-by key path used to reject. Every hardened mode must now agree
+// with the unprotected reference, serial and pooled.
+func TestAdHocWideDictGroupBy(t *testing.T) {
+	const distinct = 1<<16 + 1 // dict codes 0..65536 need 17 bits
+	const rows = 3 * distinct / 2
+	vals := make([]string, rows)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("cust-%06d", i%distinct)
+	}
+	cust := storage.NewStrColumn("wd_customer", vals)
+	if bits := cust.Dict().Bits(); bits <= 16 {
+		t.Fatalf("fixture dictionary only needs %d bits; the regression needs > 16", bits)
+	}
+	amount, err := storage.NewColumn("wd_amount", storage.Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		amount.Append(uint64(i % 1000))
+	}
+	tab := storage.NewTable("widedict")
+	if err := tab.AddColumn(cust); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn(amount); err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB([]*storage.Table{tab}, storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc, err := db.Hardened("widedict").Column("wd_customer"); err != nil {
+		t.Fatal(err)
+	} else if hc.Code().DataBits() <= 16 {
+		t.Fatalf("hardened key carries %d data bits; the regression needs > 16", hc.Code().DataBits())
+	}
+
+	spec := AdHocSpec{
+		Table:   "widedict",
+		Agg:     "sum",
+		AggCol:  "wd_amount",
+		Preds:   []AdHocPred{{Col: "wd_amount", Lo: 100, Hi: 900}},
+		GroupBy: []string{"wd_customer"},
+	}
+	plan, err := CompileAdHoc(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := exec.Run(db, exec.Unprotected, ops.Scalar, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference must actually exercise key codes beyond 16 bits.
+	var wide bool
+	for _, k := range ref.Keys {
+		if k[0] >= 1<<16 {
+			wide = true
+			break
+		}
+	}
+	if !wide {
+		t.Fatalf("no group key beyond 16 bits among %d groups", len(ref.Keys))
+	}
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	for _, m := range exec.Modes {
+		for _, p := range []*exec.Pool{nil, pool} {
+			res, log, err := exec.Run(db, m, ops.Scalar, plan, exec.WithPool(p))
+			if err != nil {
+				t.Fatalf("%v (pool=%v): %v", m, p != nil, err)
+			}
+			if log.Count() != 0 {
+				t.Fatalf("%v (pool=%v): spurious log entries", m, p != nil)
+			}
+			if !res.Equal(ref) {
+				t.Fatalf("%v (pool=%v): result diverges from unprotected", m, p != nil)
+			}
+		}
+	}
+}

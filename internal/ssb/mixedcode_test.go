@@ -1,0 +1,105 @@
+package ssb
+
+import (
+	"testing"
+
+	"ahead/internal/an"
+	"ahead/internal/exec"
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// TestProfitQueriesAfterPartialReharden reproduces what the online
+// adaptive controller does to a live database under a fault step:
+// escalate lo_revenue's code while lo_supplycost keeps the weak
+// starting A. The Q4.x profit flights subtract the two measures, so
+// they must renormalize the mixed-A pair (an.DiffFactor) and keep
+// returning the pre-escalation answers in every mode, fused and
+// materialized, with no spurious detections.
+func TestProfitQueriesAfterPartialReharden(t *testing.T) {
+	data, err := Generate(0.005, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.MinBFWCodeChooser(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []string{"Q4.1", "Q4.2"}
+	refs := map[string]*ops.Result{}
+	for _, name := range plans {
+		res, log, err := exec.Run(db, exec.Continuous, ops.Blocked, Queries[name])
+		if err != nil {
+			t.Fatalf("%s before reharden: %v", name, err)
+		}
+		if log.Count() != 0 {
+			t.Fatalf("%s before reharden: %d spurious detections", name, log.Count())
+		}
+		if res.Rows() == 0 {
+			t.Fatalf("%s selects nothing; test is vacuous", name)
+		}
+		refs[name] = res
+	}
+
+	rev := db.Hardened("lineorder").MustColumn("lo_revenue")
+	next, ok := an.NextLarger(rev.Code())
+	if !ok {
+		t.Fatal("no larger code to escalate to")
+	}
+	if _, err := db.RehardenColumn("lineorder", "lo_revenue", next); err != nil {
+		t.Fatal(err)
+	}
+	cost := db.Hardened("lineorder").MustColumn("lo_supplycost")
+	now := db.Hardened("lineorder").MustColumn("lo_revenue")
+	if now.Code().A() == cost.Code().A() {
+		t.Fatal("escalation did not diverge the measure codes; test is vacuous")
+	}
+
+	for _, name := range plans {
+		for _, m := range exec.Modes {
+			for _, fused := range []bool{false, true} {
+				res, log, err := exec.Run(db, m, ops.Blocked, Queries[name], exec.WithFusion(fused))
+				if err != nil {
+					t.Fatalf("%s %v fused=%v after reharden: %v", name, m, fused, err)
+				}
+				if log.Count() != 0 {
+					t.Fatalf("%s %v fused=%v after reharden: %d spurious detections", name, m, fused, log.Count())
+				}
+				if !res.Equal(refs[name]) {
+					t.Fatalf("%s %v fused=%v: result diverged after partial reharden: %s",
+						name, m, fused, firstDivergence(refs[name], res))
+				}
+			}
+		}
+	}
+
+	// Detection still keys on each measure's own code: flips planted in
+	// the escalated column are reported at the same positions by the
+	// fused and materializing plans.
+	for i := 50; i < now.Len(); i += 97 {
+		now.Corrupt(i, 1<<13)
+	}
+	var positions [2][]uint64
+	for fi, fused := range []bool{true, false} {
+		_, log, err := exec.Run(db, exec.Continuous, ops.Blocked, Queries["Q4.1"], exec.WithFusion(fused))
+		if err != nil {
+			t.Fatalf("corrupted fused=%v: %v", fused, err)
+		}
+		positions[fi], err = log.Positions("lo_revenue")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(positions[fi]) == 0 {
+			t.Fatalf("fused=%v: no lo_revenue detections on corrupted column", fused)
+		}
+	}
+	if len(positions[0]) != len(positions[1]) {
+		t.Fatalf("fused and materialized disagree on corrupted positions: %d vs %d",
+			len(positions[0]), len(positions[1]))
+	}
+	for i := range positions[0] {
+		if positions[0][i] != positions[1][i] {
+			t.Fatalf("corrupted position %d: fused %d vs materialized %d", i, positions[0][i], positions[1][i])
+		}
+	}
+}

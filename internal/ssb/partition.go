@@ -53,6 +53,14 @@ func Partition(d *Data, shard cluster.ShardSpec) (*Data, error) {
 // over the slice only - a shard pays storage for its own rows plus the
 // replicated dimensions.
 func NewShardSuite(sf float64, seed int64, runs int, shard cluster.ShardSpec) (*Suite, *Data, error) {
+	return NewShardSuiteWithChooser(sf, seed, runs, shard, storage.LargestCodeChooser)
+}
+
+// NewShardSuiteWithChooser is NewShardSuite with an explicit hardening
+// policy - the adaptive-serving path starts every column at the weakest
+// published code (storage.MinBFWCodeChooser(1)) and lets the controller
+// climb from there.
+func NewShardSuiteWithChooser(sf float64, seed int64, runs int, shard cluster.ShardSpec, choose storage.CodeChooser) (*Suite, *Data, error) {
 	data, err := Generate(sf, seed)
 	if err != nil {
 		return nil, nil, err
@@ -60,7 +68,7 @@ func NewShardSuite(sf float64, seed int64, runs int, shard cluster.ShardSpec) (*
 	if data, err = Partition(data, shard); err != nil {
 		return nil, nil, err
 	}
-	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	db, err := exec.NewDB(data.Tables(), choose)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -78,8 +86,14 @@ func NewShardSuite(sf float64, seed int64, runs int, shard cluster.ShardSpec) (*
 // replica index carries no data meaning; it exists so callers keep
 // one constructor for both roles.
 func NewReplicaSuite(sf float64, seed int64, runs int, shard cluster.ShardSpec, replica int) (*Suite, *Data, error) {
+	return NewReplicaSuiteWithChooser(sf, seed, runs, shard, replica, storage.LargestCodeChooser)
+}
+
+// NewReplicaSuiteWithChooser is NewReplicaSuite with an explicit
+// hardening policy.
+func NewReplicaSuiteWithChooser(sf float64, seed int64, runs int, shard cluster.ShardSpec, replica int, choose storage.CodeChooser) (*Suite, *Data, error) {
 	if replica < 0 {
 		return nil, nil, fmt.Errorf("ssb: replica index %d must be >= 0", replica)
 	}
-	return NewShardSuite(sf, seed, runs, shard)
+	return NewShardSuiteWithChooser(sf, seed, runs, shard, choose)
 }

@@ -5,6 +5,7 @@ import (
 
 	"ahead/internal/an"
 	"ahead/internal/bitpack"
+	"ahead/internal/coding/residue"
 )
 
 // Column is a fixed-width dense array of values, the DSM storage unit of a
@@ -33,6 +34,15 @@ type Column struct {
 	// Bytes and the fallback kernels never consult the mirror - and every
 	// mutation path (grow/setU64) keeps the two in lockstep.
 	packed *bitpack.Lanes
+
+	// resCode/resCheck carry the residue sidecar of a residue-hardened
+	// column (exclusive with code): values stay plain and run the
+	// unprotected kernels, while resCheck[i] holds Get(i) mod m for
+	// at-rest verification via ResidueCheckAll - the adaptive
+	// controller's cheap tier for cold columns. setU64 keeps the sidecar
+	// in lockstep; Corrupt deliberately does not (see storeRaw).
+	resCode  *residue.Code
+	resCheck []uint16
 }
 
 // MaxPackedBits is the widest code a column maintains a packed mirror
@@ -138,9 +148,17 @@ func (c *Column) grow(n int) {
 			c.packed.Append(0)
 		}
 	}
+	if c.resCheck != nil {
+		c.resCheck = append(c.resCheck, make([]uint16, n)...)
+	}
 }
 
-func (c *Column) setU64(i int, v uint64) {
+// storeRaw writes the physical word and its packed-mirror lane without
+// refreshing the residue sidecar. It is the corruption hook: a flip must
+// land in both data representations (the packed kernels and the wide
+// kernels observe identical words) but must NOT recompute the check, or
+// residue-hardened columns could never detect anything.
+func (c *Column) storeRaw(i int, v uint64) {
 	switch c.width {
 	case 1:
 		c.u8[i] = uint8(v)
@@ -153,6 +171,13 @@ func (c *Column) setU64(i int, v uint64) {
 	}
 	if c.packed != nil {
 		c.packed.Set(i, v)
+	}
+}
+
+func (c *Column) setU64(i int, v uint64) {
+	c.storeRaw(i, v)
+	if c.resCheck != nil {
+		c.resCheck[i] = uint16(c.resCode.Residue(v))
 	}
 }
 
@@ -374,7 +399,72 @@ func (c *Column) Reencode(next *an.Code) (*Column, error) {
 }
 
 // Corrupt XORs mask into the physical word at position i - the hook the
-// fault-injection framework uses to place bit flips.
+// fault-injection framework uses to place bit flips. The flip lands in
+// the wide array and the packed mirror but leaves the residue sidecar
+// untouched, so it stays detectable there too.
 func (c *Column) Corrupt(i int, mask uint64) {
-	c.setU64(i, c.Get(i)^mask)
+	c.storeRaw(i, c.Get(i)^mask)
+}
+
+// HardenResidue returns a residue-hardened copy of an unprotected
+// column: values stay plain (the unprotected kernels keep running at
+// full speed) and a 16-bit check word per value carries the value modulo
+// 2^checkBits - 1 for at-rest verification. The cheap tier the adaptive
+// controller assigns to cold columns.
+func (c *Column) HardenResidue(checkBits uint) (*Column, error) {
+	if c.code != nil {
+		return nil, fmt.Errorf("storage: column %q is AN-hardened; soften before residue hardening", c.name)
+	}
+	rc, err := residue.New(checkBits)
+	if err != nil {
+		return nil, err
+	}
+	out := &Column{name: c.name, kind: c.kind, width: c.width, dict: c.dict, heap: c.heap, resCode: rc}
+	n := c.Len()
+	out.resCheck = make([]uint16, n)
+	out.grow(n)
+	for i := 0; i < n; i++ {
+		out.setU64(i, c.Get(i))
+	}
+	return out, nil
+}
+
+// ResidueCode returns the residue code of a residue-hardened column, or
+// nil.
+func (c *Column) ResidueCode() *residue.Code { return c.resCode }
+
+// IsResidueHardened reports whether the column carries a residue
+// sidecar.
+func (c *Column) IsResidueHardened() bool { return c.resCheck != nil }
+
+// ResidueCheckAll verifies every value of a residue-hardened column
+// against its check word and returns the positions that mismatch - the
+// standalone detection pass scrubs run over residue columns.
+func (c *Column) ResidueCheckAll() ([]uint64, error) {
+	if c.resCheck == nil {
+		return nil, fmt.Errorf("storage: column %q is not residue-hardened", c.name)
+	}
+	var bad []uint64
+	n := c.Len()
+	for i := 0; i < n; i++ {
+		if c.resCode.Residue(c.Get(i)) != uint64(c.resCheck[i]) {
+			bad = append(bad, uint64(i))
+		}
+	}
+	return bad, nil
+}
+
+// DropResidue returns an unprotected copy of a residue-hardened column
+// (the values are already plain; only the sidecar is dropped).
+func (c *Column) DropResidue() (*Column, error) {
+	if c.resCheck == nil {
+		return nil, fmt.Errorf("storage: column %q is not residue-hardened", c.name)
+	}
+	out := &Column{name: c.name, kind: c.kind, width: c.width, dict: c.dict, heap: c.heap}
+	n := c.Len()
+	out.grow(n)
+	for i := 0; i < n; i++ {
+		out.setU64(i, c.Get(i))
+	}
+	return out, nil
 }

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"ahead/internal/an"
+)
+
+func newPlainColumn(t *testing.T, name string, vals []uint64) *Column {
+	t.Helper()
+	c, err := NewColumn(name, Int)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		c.Append(v)
+	}
+	return c
+}
+
+func TestHardenResidueRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 255, 65535, 1 << 20, 1<<32 - 1}
+	c := newPlainColumn(t, "v", vals)
+	rc, err := c.HardenResidue(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.IsResidueHardened() || rc.IsHardened() {
+		t.Fatal("residue column misreports its hardening")
+	}
+	if rc.ResidueCode().CheckBits() != 8 {
+		t.Fatalf("check bits = %d", rc.ResidueCode().CheckBits())
+	}
+	for i, v := range vals {
+		if rc.Get(i) != v || rc.Value(i) != v {
+			t.Fatalf("value %d changed: %d", i, rc.Get(i))
+		}
+	}
+	if bad, err := rc.ResidueCheckAll(); err != nil || len(bad) != 0 {
+		t.Fatalf("clean column: bad=%v err=%v", bad, err)
+	}
+	plain, err := rc.DropResidue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.IsResidueHardened() {
+		t.Fatal("DropResidue kept the sidecar")
+	}
+	for i, v := range vals {
+		if plain.Get(i) != v {
+			t.Fatalf("dropped value %d changed", i)
+		}
+	}
+}
+
+func TestResidueDetectsCorruptionButSetRefreshes(t *testing.T) {
+	c := newPlainColumn(t, "v", []uint64{10, 20, 30, 40})
+	rc, err := c.HardenResidue(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Corrupt(2, 1<<4)
+	bad, err := rc.ResidueCheckAll()
+	if err != nil || len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("bad=%v err=%v, want [2]", bad, err)
+	}
+	// A legitimate update must refresh the check word.
+	rc.Set(2, 31)
+	if bad, _ := rc.ResidueCheckAll(); len(bad) != 0 {
+		t.Fatalf("Set left a stale check: %v", bad)
+	}
+	rc.Append(50)
+	if rc.Get(4) != 50 {
+		t.Fatalf("append stored %d", rc.Get(4))
+	}
+	if bad, _ := rc.ResidueCheckAll(); len(bad) != 0 {
+		t.Fatalf("Append left a stale check: %v", bad)
+	}
+}
+
+func TestHardenResidueRejectsANColumns(t *testing.T) {
+	c := newPlainColumn(t, "v", []uint64{1, 2, 3})
+	hc, err := c.Harden(an.MustNew(233, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hc.HardenResidue(8); err == nil {
+		t.Fatal("HardenResidue accepted an AN-hardened column")
+	}
+	if _, err := c.ResidueCheckAll(); err == nil {
+		t.Fatal("ResidueCheckAll accepted a plain column")
+	}
+}
+
+func TestResidueColumnPromotesToAN(t *testing.T) {
+	c := newPlainColumn(t, "v", []uint64{7, 8, 9})
+	rc, err := c.HardenResidue(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := rc.Harden(an.MustNew(233, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hc.IsHardened() || hc.IsResidueHardened() {
+		t.Fatal("promotion produced a mixed column")
+	}
+	for i := 0; i < 3; i++ {
+		if hc.Value(i) != rc.Get(i) {
+			t.Fatalf("promoted value %d = %d", i, hc.Value(i))
+		}
+	}
+}
+
+func TestReplaceColumnSwapsAtomically(t *testing.T) {
+	tab := NewTable("t")
+	if err := tab.AddColumn(newPlainColumn(t, "a", []uint64{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	old := tab.MustColumn("a")
+	repl, err := old.HardenResidue(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.ReplaceColumn(repl); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.MustColumn("a"); got != repl {
+		t.Fatal("byName lookup did not see the replacement")
+	}
+	if cols := tab.Columns(); len(cols) != 1 || cols[0] != repl {
+		t.Fatal("Columns() did not see the replacement")
+	}
+	if old.IsResidueHardened() {
+		t.Fatal("swap mutated the old column")
+	}
+
+	// Mismatched name or length must be refused.
+	other := newPlainColumn(t, "b", []uint64{1, 2, 3})
+	if err := tab.ReplaceColumn(other); err == nil {
+		t.Fatal("replaced a column that does not exist")
+	}
+	short := newPlainColumn(t, "a", []uint64{1})
+	if err := tab.ReplaceColumn(short); err == nil {
+		t.Fatal("replaced with a shorter column")
+	}
+}
+
+func TestReplaceColumnConcurrentReaders(t *testing.T) {
+	tab := NewTable("t")
+	vals := make([]uint64, 4096)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	if err := tab.AddColumn(newPlainColumn(t, "a", vals)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := tab.MustColumn("a")
+				for i := 0; i < c.Len(); i += 512 {
+					if c.Get(i) != uint64(i) {
+						panic("torn read")
+					}
+				}
+				for range tab.Columns() {
+				}
+			}
+		}()
+	}
+	for k := 0; k < 50; k++ {
+		repl, err := tab.MustColumn("a").HardenResidue(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.ReplaceColumn(repl); err != nil {
+			t.Fatal(err)
+		}
+		plain, err := repl.DropResidue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.ReplaceColumn(plain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

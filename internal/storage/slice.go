@@ -12,7 +12,7 @@ import "fmt"
 func (t *Table) Slice(rows []int) (*Table, error) {
 	n := t.Rows()
 	out := NewTable(t.name)
-	for _, c := range t.columns {
+	for _, c := range t.Columns() {
 		nc := &Column{name: c.name, kind: c.kind, width: c.width, code: c.code, dict: c.dict, heap: c.heap}
 		nc.grow(len(rows))
 		for i, r := range rows {

@@ -2,14 +2,23 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"ahead/internal/an"
 )
 
 // Table groups equally long columns, DSM-style: record i of the table is
 // position i across all columns (Section 4).
+//
+// The column set is guarded by a read-write mutex so ReplaceColumn can
+// atomically swap in a re-hardened column while queries run: readers
+// resolve the *Column pointer under RLock and then work on an immutable
+// snapshot - in-flight queries that resolved before a swap keep running
+// on the old encoding, which is never mutated by the swap.
 type Table struct {
-	name    string
+	name string
+
+	mu      sync.RWMutex
 	columns []*Column
 	byName  map[string]*Column
 }
@@ -24,6 +33,8 @@ func (t *Table) Name() string { return t.name }
 
 // AddColumn attaches a column; all columns must have equal length.
 func (t *Table) AddColumn(c *Column) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, dup := t.byName[c.Name()]; dup {
 		return fmt.Errorf("storage: duplicate column %q in table %q", c.Name(), t.name)
 	}
@@ -36,9 +47,36 @@ func (t *Table) AddColumn(c *Column) error {
 	return nil
 }
 
+// ReplaceColumn atomically swaps an existing column for a same-named,
+// same-length replacement - the publication step of online
+// re-hardening. The old column is left untouched, so queries that
+// resolved it before the swap finish on the old encoding.
+func (t *Table) ReplaceColumn(c *Column) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.byName[c.Name()]
+	if !ok {
+		return fmt.Errorf("storage: no column %q in table %q to replace", c.Name(), t.name)
+	}
+	if c.Len() != old.Len() {
+		return fmt.Errorf("storage: replacement column %q has %d rows, table %q has %d",
+			c.Name(), c.Len(), t.name, old.Len())
+	}
+	for i, ec := range t.columns {
+		if ec == old {
+			t.columns[i] = c
+			break
+		}
+	}
+	t.byName[c.Name()] = c
+	return nil
+}
+
 // Column returns the named column.
 func (t *Table) Column(name string) (*Column, error) {
+	t.mu.RLock()
 	c, ok := t.byName[name]
+	t.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: no column %q in table %q", name, t.name)
 	}
@@ -55,11 +93,18 @@ func (t *Table) MustColumn(name string) *Column {
 	return c
 }
 
-// Columns returns all columns in attachment order.
-func (t *Table) Columns() []*Column { return t.columns }
+// Columns returns a snapshot of all columns in attachment order (a copy,
+// so a concurrent ReplaceColumn cannot race the caller's iteration).
+func (t *Table) Columns() []*Column {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Column(nil), t.columns...)
+}
 
 // Rows returns the number of records.
 func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if len(t.columns) == 0 {
 		return 0
 	}
@@ -75,7 +120,7 @@ func (t *Table) Bytes() int {
 	total := 0
 	seenDict := make(map[*Dict]bool)
 	seenHeap := make(map[*StringHeap]bool)
-	for _, c := range t.columns {
+	for _, c := range t.Columns() {
 		total += c.Bytes()
 		if d := c.Dict(); d != nil && !seenDict[d] {
 			seenDict[d] = true
@@ -137,7 +182,7 @@ func MinBFWCodeChooser(minBFW int) CodeChooser {
 // with the source table (they are immutable).
 func (t *Table) Harden(choose CodeChooser) (*Table, error) {
 	out := NewTable(t.name)
-	for _, c := range t.columns {
+	for _, c := range t.Columns() {
 		bits := c.Kind().DataBits()
 		if c.Kind() == Str {
 			bits = c.Dict().Bits()
@@ -171,12 +216,14 @@ func (t *Table) Harden(choose CodeChooser) (*Table, error) {
 // replica DMR keeps in a distinct memory region.
 func (t *Table) Replicate() (*Table, error) {
 	out := NewTable(t.name)
-	for _, c := range t.columns {
+	for _, c := range t.Columns() {
 		cp := &Column{name: c.name, kind: c.kind, width: c.width, code: c.code, dict: c.dict, heap: c.heap}
 		cp.u8 = append([]uint8(nil), c.u8...)
 		cp.u16 = append([]uint16(nil), c.u16...)
 		cp.u32 = append([]uint32(nil), c.u32...)
 		cp.u64 = append([]uint64(nil), c.u64...)
+		cp.resCode = c.resCode
+		cp.resCheck = append([]uint16(nil), c.resCheck...)
 		cp.initPacked()
 		if err := out.AddColumn(cp); err != nil {
 			return nil, err

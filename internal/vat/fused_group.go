@@ -1,0 +1,118 @@
+package vat
+
+import (
+	"fmt"
+
+	"ahead/internal/ops"
+	"ahead/internal/storage"
+)
+
+// FusedProbeGroupSum collapses the Scan -> Filter* -> GroupSum pipeline
+// of the Q2.x-Q4.x flights into one pass, the vector-at-a-time twin of
+// ops.FusedProbeGroupSum: no Operator batches, no position vectors, just
+// a row loop that tests the predicates and feeds survivors straight into
+// the grouped accumulator. Detection semantics are exactly those of the
+// pipeline it replaces - colRange.test for the predicates and
+// groupAcc.consumeOne for the probe cascade and measure - so group
+// tuples, sums, and logged error positions match the unfused pipeline,
+// and fused serial matches fused parallel byte for byte (morsel
+// accumulators and logs merge in morsel order, like GroupSumParallel).
+func FusedProbeGroupSum(preds []RangePred, dims []DimAttr, measure *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	return fusedProbeGroup(preds, dims, measure, nil, o)
+}
+
+// FusedProbeGroupSumDiff is FusedProbeGroupSum with the Q4.x profit
+// aggregate: per surviving row it accumulates measure-measureB into the
+// row's group. The measures may carry different As (adaptive hardening
+// re-encodes them independently): measureB's words are rescaled into
+// measure's code via an.DiffFactor before accumulating (Eq. 7c applied
+// to subtraction).
+func FusedProbeGroupSumDiff(preds []RangePred, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	if err := checkDiffMeasures(measure, measureB); err != nil {
+		return nil, nil, err
+	}
+	return fusedProbeGroup(preds, dims, measure, measureB, o)
+}
+
+// fusedProbeGroup is the shared entry point: validate, then run the row
+// loop serially or cut it into morsels on the worker pool.
+func fusedProbeGroup(preds []RangePred, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
+	if na := countGroupAttrs(dims); na == 0 || na > 4 {
+		return nil, nil, fmt.Errorf("vat: fused group-sum supports 1..4 group attributes, got %d", na)
+	}
+	n := measure.Len()
+	for _, p := range preds {
+		if p.Col.Len() != n {
+			return nil, nil, fmt.Errorf("vat: fused scan over unequal column lengths %d/%d", p.Col.Len(), n)
+		}
+	}
+	for _, d := range dims {
+		if d.FK.Len() != n {
+			return nil, nil, fmt.Errorf("vat: fused probe over unequal column lengths %d/%d", d.FK.Len(), n)
+		}
+	}
+	if measureB != nil && measureB.Len() != n {
+		return nil, nil, fmt.Errorf("vat: fused group-sum-diff over unequal column lengths %d/%d", n, measureB.Len())
+	}
+
+	if p := o.par(n); p != nil {
+		ms := p.MorselSize()
+		count := (n + ms - 1) / ms
+		parts := make([]*groupAcc, count)
+		logs := make([]*ops.ErrorLog, count)
+		errs := make([]error, count)
+		p.ForEach(n, func(m, start, end int) {
+			logs[m] = ops.NewErrorLog()
+			mo := &Opts{Detect: o.detect(), Log: logs[m]}
+			parts[m], errs[m] = fusedProbeGroupRange(preds, dims, measure, measureB, mo, start, end)
+		})
+		log := o.log()
+		total := newGroupAcc(dims, measure, measureB, o)
+		for m, part := range parts {
+			if log != nil {
+				log.Merge(logs[m])
+			}
+			if errs[m] != nil {
+				// Serial execution would have stopped here; drop the later
+				// morsels' logs and report the first error in row order.
+				return nil, nil, errs[m]
+			}
+			total.merge(part)
+		}
+		return total.finalize(log)
+	}
+
+	acc, err := fusedProbeGroupRange(preds, dims, measure, measureB, o, 0, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return acc.finalize(o.log())
+}
+
+// fusedProbeGroupRange is the morsel kernel over fact rows [start, end):
+// predicates short-circuit left to right, survivors resolve through the
+// dimension tables and accumulate into the morsel's private groups.
+func fusedProbeGroupRange(preds []RangePred, dims []DimAttr, measure, measureB *storage.Column, o *Opts, start, end int) (*groupAcc, error) {
+	rngs := make([]*colRange, len(preds))
+	for i, p := range preds {
+		r, err := newColRange(p.Col, p.Lo, p.Hi, o)
+		if err != nil {
+			return nil, err
+		}
+		rngs[i] = r
+	}
+	acc := newGroupAcc(dims, measure, measureB, o)
+rows:
+	for i := start; i < end; i++ {
+		p := uint32(i)
+		for _, r := range rngs {
+			if !r.test(p) {
+				continue rows
+			}
+		}
+		if err := acc.consumeOne(p); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

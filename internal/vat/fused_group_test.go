@@ -1,0 +1,317 @@
+package vat
+
+import (
+	"testing"
+
+	"ahead/internal/exec"
+	"ahead/internal/hashmap"
+	"ahead/internal/ops"
+	"ahead/internal/ssb"
+	"ahead/internal/storage"
+)
+
+// q21FusedParts assembles the fused form of the Q2.1 flight: the scan
+// predicate, the probe cascade (part and date carry group attributes,
+// supplier is membership-only), and the revenue measure - the same
+// stages as q21Pipeline, collapsed into FusedProbeGroupSum's inputs.
+func q21FusedParts(t testing.TB, db *exec.DB, hardened bool) (preds []RangePred, dims []DimAttr, measure *storage.Column) {
+	t.Helper()
+	pick := func(name string) *storage.Table {
+		if hardened {
+			return db.Hardened(name)
+		}
+		return db.Plain(name)
+	}
+	lo, part, supp, date := pick("lineorder"), pick("part"), pick("supplier"), pick("date")
+	opsOpts := &ops.Opts{}
+
+	buildHT := func(tab *storage.Table, filterCol string, lov, hiv uint64, key string) *hashmap.U64 {
+		sel, err := ops.Filter(tab.MustColumn(filterCol), lov, hiv, opsOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ht, err := ops.HashBuild(tab.MustColumn(key), sel, opsOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ht
+	}
+	catDict := db.Plain("part").MustColumn("p_category").Dict()
+	mfgr12, _ := catDict.Code("MFGR#12")
+	regDict := db.Plain("supplier").MustColumn("s_region").Dict()
+	america, _ := regDict.Code("AMERICA")
+
+	partHT := buildHT(part, "p_category", uint64(mfgr12), uint64(mfgr12), "p_partkey")
+	suppHT := buildHT(supp, "s_region", uint64(america), uint64(america), "s_suppkey")
+	dateHT := buildHT(date, "d_datekey", 0, ^uint64(0), "d_datekey")
+
+	preds = []RangePred{{Col: lo.MustColumn("lo_orderkey"), Lo: 0, Hi: ^uint64(0)}}
+	dims = []DimAttr{
+		{FK: lo.MustColumn("lo_partkey"), HT: partHT, Attr: part.MustColumn("p_brand1")},
+		{FK: lo.MustColumn("lo_suppkey"), HT: suppHT}, // membership-only
+		{FK: lo.MustColumn("lo_orderdate"), HT: dateHT, Attr: date.MustColumn("d_year")},
+	}
+	return preds, dims, lo.MustColumn("lo_revenue")
+}
+
+func q21Fused(t testing.TB, db *exec.DB, hardened bool, o *Opts) *ops.Result {
+	t.Helper()
+	preds, dims, measure := q21FusedParts(t, db, hardened)
+	groups, sums, err := FusedProbeGroupSum(preds, dims, measure, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GroupSumResult(groups, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// samePositions compares two logs per column: the fused row loop
+// interleaves detections across columns differently than the
+// stage-at-a-time pipeline, but the distinct position set per column
+// must be identical.
+func samePositions(t *testing.T, got, want *ops.ErrorLog) {
+	t.Helper()
+	cols := map[string]bool{}
+	for _, c := range got.Columns() {
+		cols[c] = true
+	}
+	for _, c := range want.Columns() {
+		cols[c] = true
+	}
+	for c := range cols {
+		gp, err := got.Positions(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, err := want.Positions(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gp) != len(wp) {
+			t.Fatalf("column %q: fused logged %d positions, pipeline %d", c, len(gp), len(wp))
+		}
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("column %q position %d: fused %d vs pipeline %d", c, i, gp[i], wp[i])
+			}
+		}
+	}
+}
+
+// TestFusedProbeGroupSumMatchesPipeline: the one-pass probe cascade
+// answers Q2.1 exactly like the Scan -> SemiJoin* -> GroupSum pipeline -
+// clean and with faults injected into a predicate column, both kinds of
+// FK (group-bearing and membership-only), and the measure - and logs
+// the same per-column detection sets.
+func TestFusedProbeGroupSumMatchesPipeline(t *testing.T) {
+	data, err := ssb.Generate(0.005, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := q21Pipeline(t, db, false, &Opts{})
+	if ref.Rows() == 0 {
+		t.Fatal("degenerate workload")
+	}
+	if got := q21Fused(t, db, false, &Opts{}); !got.Equal(ref) {
+		t.Fatal("unprotected fused Q2.1 differs from pipeline")
+	}
+	if got := q21Fused(t, db, true, &Opts{}); !got.Equal(ref) {
+		t.Fatal("late fused Q2.1 differs")
+	}
+	log := ops.NewErrorLog()
+	if got := q21Fused(t, db, true, &Opts{Detect: true, Log: log}); !got.Equal(ref) {
+		t.Fatal("continuous fused Q2.1 differs")
+	}
+	if log.Count() != 0 {
+		t.Fatalf("clean data logged %d", log.Count())
+	}
+
+	// Faults across every stage the fused pass covers.
+	lo := db.Hardened("lineorder")
+	for i, col := range []string{"lo_orderkey", "lo_partkey", "lo_suppkey", "lo_revenue"} {
+		c := lo.MustColumn(col)
+		for p := 17 * (i + 1); p < c.Len(); p += 97 {
+			c.Corrupt(p, 1<<10)
+		}
+	}
+	pipeLog := ops.NewErrorLog()
+	want := q21Pipeline(t, db, true, &Opts{Detect: true, Log: pipeLog})
+	fusedLog := ops.NewErrorLog()
+	got := q21Fused(t, db, true, &Opts{Detect: true, Log: fusedLog})
+	if !got.Equal(want) {
+		t.Fatal("fused and pipeline disagree under injected faults")
+	}
+	if pipeLog.Count() == 0 {
+		t.Fatal("pipeline detected nothing; corruption setup is broken")
+	}
+	for _, col := range []string{"lo_orderkey", "lo_partkey", "lo_suppkey", "lo_revenue"} {
+		if pos, err := pipeLog.Positions(col); err != nil || len(pos) == 0 {
+			t.Fatalf("no pipeline detections on %s: %v, %v", col, pos, err)
+		}
+	}
+	samePositions(t, fusedLog, pipeLog)
+
+	// Late detection still agrees row for row (corrupt rows drop in both).
+	lateWant := q21Pipeline(t, db, true, &Opts{})
+	if lateGot := q21Fused(t, db, true, &Opts{}); !lateGot.Equal(lateWant) {
+		t.Fatal("late fused and pipeline disagree under injected faults")
+	}
+}
+
+// TestFusedProbeGroupSumParallelMatchesSerial: morsel accumulators and
+// logs merged in morsel order reproduce the serial pass byte for byte.
+func TestFusedProbeGroupSumParallelMatchesSerial(t *testing.T) {
+	data, err := ssb.Generate(0.01, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := db.Hardened("lineorder").MustColumn("lo_revenue")
+	for i := 100; i < rev.Len(); i += 50 {
+		rev.Corrupt(i, 1<<9)
+	}
+	preds, dims, measure := q21FusedParts(t, db, true)
+
+	serialLog := ops.NewErrorLog()
+	sGroups, sSums, err := FusedProbeGroupSum(preds, dims, measure, &Opts{Detect: true, Log: serialLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := exec.NewPoolMorsel(4, 4096)
+	defer pool.Close()
+	parLog := ops.NewErrorLog()
+	pGroups, pSums, err := FusedProbeGroupSum(preds, dims, measure,
+		&Opts{Detect: true, Log: parLog, Par: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(pGroups) != len(sGroups) {
+		t.Fatalf("parallel built %d groups, serial %d", len(pGroups), len(sGroups))
+	}
+	for g := range sGroups {
+		for c := range sGroups[g] {
+			if pGroups[g][c] != sGroups[g][c] {
+				t.Fatalf("group %d component %d: parallel %d vs serial %d",
+					g, c, pGroups[g][c], sGroups[g][c])
+			}
+		}
+		if pSums[g] != sSums[g] {
+			t.Fatalf("group %d sum: parallel %d vs serial %d", g, pSums[g], sSums[g])
+		}
+	}
+	if serialLog.Count() == 0 {
+		t.Fatal("serial run detected nothing; corruption setup is broken")
+	}
+	if !serialLog.Equal(parLog) {
+		t.Fatalf("parallel log (%d entries) differs from serial (%d entries)",
+			parLog.Count(), serialLog.Count())
+	}
+}
+
+// TestFusedProbeGroupSumDiff: the fused profit aggregate matches the
+// pipeline's GroupSumDiff.
+func TestFusedProbeGroupSumDiff(t *testing.T) {
+	data, err := ssb.Generate(0.005, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q21ProfitPipeline(t, db, false, &Opts{})
+	if want.Rows() == 0 {
+		t.Fatal("degenerate workload")
+	}
+	preds, dims, _ := q21FusedParts(t, db, true)
+	lo := db.Hardened("lineorder")
+	log := ops.NewErrorLog()
+	groups, sums, err := FusedProbeGroupSumDiff(preds, dims,
+		lo.MustColumn("lo_revenue"), lo.MustColumn("lo_supplycost"),
+		&Opts{Detect: true, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GroupSumResult(groups, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("fused profit aggregate differs from pipeline")
+	}
+	if log.Count() != 0 {
+		t.Fatalf("clean data logged %d", log.Count())
+	}
+}
+
+func TestFusedProbeGroupSumValidation(t *testing.T) {
+	col, _ := storage.NewColumn("v", storage.TinyInt)
+	col.Append(1)
+	ht := hashmap.New(8)
+	ht.Put(1, 0)
+	// No attribute-bearing dim: nothing to group by.
+	if _, _, err := FusedProbeGroupSum(nil, []DimAttr{{FK: col, HT: ht}}, col, nil); err == nil {
+		t.Error("membership-only dims must error")
+	}
+	short, _ := storage.NewColumn("s", storage.TinyInt)
+	dims := []DimAttr{{FK: col, HT: ht, Attr: col}}
+	if _, _, err := FusedProbeGroupSum([]RangePred{{Col: short, Lo: 0, Hi: 255}}, dims, col, nil); err == nil {
+		t.Error("unequal predicate length must error")
+	}
+	if _, _, err := FusedProbeGroupSumDiff(nil, dims, col, nil, nil); err == nil {
+		t.Error("nil second measure must error")
+	}
+}
+
+// The bench pair of the fused probe cascade: the batched
+// Scan -> SemiJoin* -> GroupSum pipeline vs the one-pass row loop over
+// the same hardened Q2.1 flight, continuous detection on both.
+func benchQ21(b *testing.B, fused bool) {
+	data, err := ssb.Generate(0.02, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := exec.NewDB(data.Tables(), storage.LargestCodeChooser)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preds, dims, measure := q21FusedParts(b, db, true)
+	lo := db.Hardened("lineorder")
+	o := &Opts{Detect: true, Log: ops.NewErrorLog()}
+	b.SetBytes(int64(measure.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fused {
+			if _, _, err := FusedProbeGroupSum(preds, dims, measure, o); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		scan, err := NewScan(lo.MustColumn("lo_orderkey"), 0, ^uint64(0), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var in Operator = scan
+		for _, d := range dims {
+			in = NewSemiJoin(in, d.FK, d.HT, o)
+		}
+		if _, _, err := GroupSum(in, dims, measure, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVATQ21GroupSumPipeline(b *testing.B) { benchQ21(b, false) }
+func BenchmarkVATQ21GroupSumFused(b *testing.B)    { benchQ21(b, true) }

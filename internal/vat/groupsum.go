@@ -12,11 +12,25 @@ import (
 // DimAttr names one group attribute reached through a dimension join: for
 // every surviving fact row, FK is probed against HT (decoded key ->
 // build position, an ops.HashBuild table) and Attr is fetched at the
-// matched position.
+// matched position. A nil Attr makes the join membership-only - the row
+// must still hit the build table, but contributes no group component -
+// mirroring ops.FusedJoin's attribute-less probes.
 type DimAttr struct {
 	FK   *storage.Column
 	HT   *hashmap.U64
 	Attr *storage.Column
+}
+
+// countGroupAttrs returns the number of attribute-bearing dimension
+// joins - the width of the group tuple.
+func countGroupAttrs(dims []DimAttr) int {
+	n := 0
+	for _, d := range dims {
+		if d.Attr != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // groupAcc accumulates grouped sums from position batches: the shared
@@ -30,6 +44,7 @@ type groupAcc struct {
 	measureB *storage.Column // nil: plain sum; else sum of measure-measureB
 	mCode    *an.Code
 	mbCode   *an.Code
+	mbFactor uint64 // an.DiffFactor(mCode, mbCode): rescales b words into a's code
 	detect   bool
 	log      *ops.ErrorLog
 	ht       *hashmap.U64
@@ -44,12 +59,14 @@ func newGroupAcc(dims []DimAttr, measure, measureB *storage.Column, o *Opts) *gr
 		measure:  measure,
 		measureB: measureB,
 		mCode:    measure.Code(),
+		mbFactor: 1,
 		detect:   o.detect(),
 		log:      o.log(),
 		ht:       hashmap.New(1024),
 	}
 	if measureB != nil {
 		a.mbCode = measureB.Code()
+		a.mbFactor = an.DiffFactor(a.mCode, a.mbCode)
 	}
 	return a
 }
@@ -65,78 +82,95 @@ func (a *groupAcc) sumName() string {
 
 // consume folds one batch of surviving positions into the accumulator.
 func (a *groupAcc) consume(pos []uint32) error {
-rows:
 	for _, p := range pos {
-		var packed uint64
-		tuple := make([]uint64, len(a.dims))
-		for c, dim := range a.dims {
-			fkv := dim.FK.Get(int(p))
-			if code := dim.FK.Code(); code != nil {
-				d, ok := code.Check(fkv)
-				if !ok {
-					if a.detect && a.log != nil {
-						a.log.Record(dim.FK.Name(), uint64(p))
-					}
-					continue rows
-				}
-				fkv = d
-			}
-			bp, hit := dim.HT.Get(fkv)
-			if !hit {
-				// The pipeline's semijoins guarantee membership; a miss
-				// here means the FK flipped after the join under late
-				// detection - drop the row silently, exactly the
-				// documented caveat.
-				continue rows
-			}
-			av := dim.Attr.Get(int(bp))
-			if code := dim.Attr.Code(); code != nil {
-				d, ok := code.Check(av)
-				if !ok {
-					if a.detect && a.log != nil {
-						a.log.Record(dim.Attr.Name(), uint64(bp))
-					}
-					continue rows
-				}
-				av = d
-			}
-			if av >= 1<<16 {
-				return fmt.Errorf("vat: group component %q value %d exceeds 16 bits", dim.Attr.Name(), av)
-			}
-			tuple[c] = av
-			packed |= av << (16 * uint(c))
+		if err := a.consumeOne(p); err != nil {
+			return err
 		}
-		mv := a.measure.Get(int(p))
-		var mbv uint64
-		if a.measureB != nil {
-			mbv = a.measureB.Get(int(p))
-		}
-		if a.mCode != nil && a.detect {
-			_, okA := a.mCode.Check(mv)
-			okB := true
-			if a.measureB != nil {
-				_, okB = a.mbCode.Check(mbv)
-			}
-			if !okA || !okB {
-				if a.log != nil {
-					if !okA {
-						a.log.Record(a.measure.Name(), uint64(p))
-					}
-					if !okB {
-						a.log.Record(a.measureB.Name(), uint64(p))
-					}
-				}
-				continue rows
-			}
-		}
-		gid, inserted := a.ht.GetOrInsert(packed, uint32(len(a.groups)))
-		if inserted {
-			a.groups = append(a.groups, tuple)
-			a.packed = append(a.packed, packed)
-			a.rawSums = append(a.rawSums, 0)
-		}
-		a.rawSums[gid] += mv - mbv // hardened: (Σd)·A under the widened code
 	}
+	return nil
+}
+
+// consumeOne resolves one surviving fact row through the dimension
+// tables and folds its measure into the row's group. Rows whose FK,
+// attribute, or measure fails its code check (or whose FK misses the
+// build table) are dropped, mirroring the pipeline operators this
+// replaces. Shared by the batch sink (consume) and the fused row loop
+// (FusedProbeGroupSum).
+func (a *groupAcc) consumeOne(p uint32) error {
+	var packed uint64
+	tuple := make([]uint64, 0, len(a.dims))
+	for _, dim := range a.dims {
+		fkv := dim.FK.Get(int(p))
+		if code := dim.FK.Code(); code != nil {
+			d, ok := code.Check(fkv)
+			if !ok {
+				if a.detect && a.log != nil {
+					a.log.Record(dim.FK.Name(), uint64(p))
+				}
+				return nil
+			}
+			fkv = d
+		}
+		bp, hit := dim.HT.Get(fkv)
+		if !hit {
+			// The pipeline's semijoins guarantee membership; a miss
+			// here means the FK flipped after the join under late
+			// detection - drop the row silently, exactly the
+			// documented caveat.
+			return nil
+		}
+		if dim.Attr == nil {
+			continue // membership-only join, no group component
+		}
+		av := dim.Attr.Get(int(bp))
+		if code := dim.Attr.Code(); code != nil {
+			d, ok := code.Check(av)
+			if !ok {
+				if a.detect && a.log != nil {
+					a.log.Record(dim.Attr.Name(), uint64(bp))
+				}
+				return nil
+			}
+			av = d
+		}
+		if av >= 1<<16 {
+			return fmt.Errorf("vat: group component %q value %d exceeds 16 bits", dim.Attr.Name(), av)
+		}
+		packed |= av << (16 * uint(len(tuple)))
+		tuple = append(tuple, av)
+	}
+	mv := a.measure.Get(int(p))
+	var mbv uint64
+	if a.measureB != nil {
+		mbv = a.measureB.Get(int(p))
+	}
+	if a.mCode != nil && a.detect {
+		_, okA := a.mCode.Check(mv)
+		okB := true
+		if a.measureB != nil {
+			_, okB = a.mbCode.Check(mbv)
+		}
+		if !okA || !okB {
+			if a.log != nil {
+				if !okA {
+					a.log.Record(a.measure.Name(), uint64(p))
+				}
+				if !okB {
+					a.log.Record(a.measureB.Name(), uint64(p))
+				}
+			}
+			return nil
+		}
+	}
+	gid, inserted := a.ht.GetOrInsert(packed, uint32(len(a.groups)))
+	if inserted {
+		a.groups = append(a.groups, tuple)
+		a.packed = append(a.packed, packed)
+		a.rawSums = append(a.rawSums, 0)
+	}
+	// Hardened: (Σd)·A under the widened code; mbFactor rescales b's
+	// words into a's code when their As differ (1 when they agree).
+	a.rawSums[gid] += mv - mbv*a.mbFactor
 	return nil
 }
 
@@ -197,9 +231,11 @@ func GroupSum(in Operator, dims []DimAttr, measure *storage.Column, o *Opts) (gr
 }
 
 // GroupSumDiff is GroupSum with the Q4.x profit aggregate: per surviving
-// row it accumulates measure-measureB into the row's group. Both
-// measures must share one code, so the raw difference is the code word
-// of the difference (Eq. 5).
+// row it accumulates measure-measureB into the row's group. The measures
+// may carry different As (adaptive hardening re-encodes them
+// independently): measureB's words are rescaled into measure's code via
+// an.DiffFactor before accumulating, so the per-group sums stay code
+// words under measure's widened code.
 func GroupSumDiff(in Operator, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
 	if err := checkDiffMeasures(measure, measureB); err != nil {
 		return nil, nil, err
@@ -215,16 +251,13 @@ func checkDiffMeasures(a, b *storage.Column) error {
 	if (a.Code() == nil) != (b.Code() == nil) {
 		return fmt.Errorf("vat: group-sum-diff needs both measures plain or both hardened")
 	}
-	if a.Code() != nil && a.Code().A() != b.Code().A() {
-		return fmt.Errorf("vat: group-sum-diff across different As (%d vs %d)", a.Code().A(), b.Code().A())
-	}
 	return nil
 }
 
 // groupSum is the shared serial core of GroupSum and GroupSumDiff.
 func groupSum(in Operator, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
-	if len(dims) == 0 || len(dims) > 4 {
-		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", len(dims))
+	if na := countGroupAttrs(dims); na == 0 || na > 4 {
+		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", na)
 	}
 	acc := newGroupAcc(dims, measure, measureB, o)
 	pos := make([]uint32, VectorSize)
@@ -271,8 +304,8 @@ func GroupSumDiffParallel(src SourceFunc, totalRows int, dims []DimAttr, measure
 
 // groupSumParallel is the shared morsel-driven core.
 func groupSumParallel(src SourceFunc, totalRows int, dims []DimAttr, measure, measureB *storage.Column, o *Opts) (groups [][]uint64, sums []uint64, err error) {
-	if len(dims) == 0 || len(dims) > 4 {
-		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", len(dims))
+	if na := countGroupAttrs(dims); na == 0 || na > 4 {
+		return nil, nil, fmt.Errorf("vat: group-sum supports 1..4 group attributes, got %d", na)
 	}
 	p := o.par(totalRows)
 	if p == nil {

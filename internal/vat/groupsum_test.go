@@ -3,6 +3,7 @@ package vat
 import (
 	"testing"
 
+	"ahead/internal/an"
 	"ahead/internal/exec"
 	"ahead/internal/hashmap"
 	"ahead/internal/ops"
@@ -229,6 +230,27 @@ func TestVATGroupSumDiff(t *testing.T) {
 	}
 	if log.Count() != 0 {
 		t.Fatalf("clean data logged %d", log.Count())
+	}
+	// Re-encode one measure only, as the adaptive controller does to a
+	// live column: the profit aggregate must renormalize the pair
+	// (an.DiffFactor) instead of failing, in both hardened modes.
+	rev := db.Hardened("lineorder").MustColumn("lo_revenue")
+	smaller, ok := an.NextSmaller(rev.Code())
+	if !ok {
+		t.Fatal("no alternative A for the revenue width class")
+	}
+	if _, err := db.RehardenColumn("lineorder", "lo_revenue", smaller); err != nil {
+		t.Fatal(err)
+	}
+	if got := q21ProfitPipeline(t, db, true, &Opts{}); !got.Equal(want) {
+		t.Fatal("late VAT profit aggregate differs from plain after partial reharden")
+	}
+	mlog := ops.NewErrorLog()
+	if got := q21ProfitPipeline(t, db, true, &Opts{Detect: true, Log: mlog}); !got.Equal(want) {
+		t.Fatal("continuous VAT profit aggregate differs from plain after partial reharden")
+	}
+	if mlog.Count() != 0 {
+		t.Fatalf("partial reharden logged %d on clean data", mlog.Count())
 	}
 	// A corrupt supplycost word must be logged and its row dropped.
 	cost := db.Hardened("lineorder").MustColumn("lo_supplycost")

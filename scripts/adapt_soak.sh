@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Adaptive-hardening soak gate (run by `make adapt-soak` and the CI
+# adapt-soak job): the closed-loop proof that the controller re-hardens
+# live columns under a fault-rate step without the service missing a
+# beat, in three phases against one -adapt server (columns start at the
+# weakest published code, 1s controller ticks):
+#
+#   1. Clean traffic: queries flow, nothing to detect, nothing happens.
+#   2. Fault step: every request plants a flip into lo_revenue first.
+#      The controller must observe the detections and climb the column's
+#      code ladder in the background (>= 1 re-harden).
+#   3. Recovery: clean traffic again; the observed fault rate decays and
+#      the hazard bound must end up held on every adaptable column.
+#
+# Gates: every loadgen run exits 0, zero failed queries over all three
+# phases, at least one background re-harden, bound_held true at the end,
+# and a clean SIGTERM drain.
+set -euo pipefail
+
+ADDR=127.0.0.1:18082
+BASE=http://$ADDR
+LOG=$(mktemp)
+trap 'kill $SERVE_PID 2>/dev/null || true; cat "$LOG"; rm -f "$LOG"' EXIT
+
+go build -o bin/ahead-serve ./cmd/ahead-serve
+go build -o bin/ahead-loadgen ./cmd/ahead-loadgen
+
+wait_ready() {
+    for _ in $(seq 1 120); do
+        if curl -fsS "$1/readyz" >/dev/null 2>&1; then return 0; fi
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "FAIL: server died during startup" >&2; exit 1
+        fi
+        sleep 0.5
+    done
+    echo "FAIL: server never became ready" >&2; exit 1
+}
+
+metric() { echo "$2" | awk -v m="$1" '$1 == m { print $2 }'; }
+
+./bin/ahead-serve -addr "$ADDR" -sf 0.01 -inject-seed 42 \
+    -adapt -adapt-target 1e-7 -adapt-interval 1s \
+    -max-inflight 8 -max-queue 128 -queue-timeout 1s >"$LOG" 2>&1 &
+SERVE_PID=$!
+wait_ready "$BASE" $SERVE_PID
+
+# Tighten the anti-flap hold over HTTP so the ladder climbs within the
+# soak window - and prove the policy endpoint round-trips while serving.
+curl -fsS -X POST -d '{"cool_ticks": 2}' "$BASE/adapt/policy" >/dev/null
+curl -fsS "$BASE/adapt/status" | grep -q '"cool_ticks":2' \
+    || { echo "FAIL: policy update did not stick" >&2; exit 1; }
+
+echo "=== phase 1: clean traffic ==="
+./bin/ahead-loadgen -addr "$BASE" -concurrency 8 -duration 8s -seed 7
+
+echo "=== phase 2: fault-rate step on lo_revenue ==="
+./bin/ahead-loadgen -addr "$BASE" -concurrency 8 -duration 18s \
+    -inject-rate 1.0 -inject-col lo_revenue -seed 8
+
+echo "=== phase 3: recovery ==="
+./bin/ahead-loadgen -addr "$BASE" -concurrency 8 -duration 10s -seed 9
+
+sleep 3 # a few controller ticks with the fault rate decayed
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -E '^ahead_(queries|adapt)' || true
+STATUS=$(curl -fsS "$BASE/adapt/status")
+
+SERVED=$(metric ahead_queries_served_total "$METRICS")
+FAILED=$(metric ahead_queries_failed_total "$METRICS")
+REHARDENS=$(metric ahead_adapt_rehardens_total "$METRICS")
+FAILED_REHARDENS=$(metric ahead_adapt_failed_rehardens_total "$METRICS")
+BOUND=$(metric ahead_adapt_bound_held "$METRICS")
+
+[ "$SERVED" -gt 0 ] || { echo "FAIL: nothing served" >&2; exit 1; }
+[ "$FAILED" -eq 0 ] || { echo "FAIL: $FAILED queries failed" >&2; exit 1; }
+[ "$REHARDENS" -ge 1 ] || { echo "FAIL: controller never re-hardened under the fault step" >&2; exit 1; }
+[ "$FAILED_REHARDENS" -eq 0 ] || { echo "FAIL: $FAILED_REHARDENS re-hardens failed" >&2; exit 1; }
+[ "$BOUND" -eq 1 ] || { echo "FAIL: hazard bound not held after recovery" >&2; echo "$STATUS" >&2; exit 1; }
+echo "$STATUS" | grep -q '"bound_held":true' \
+    || { echo "FAIL: /adapt/status disagrees with the metric" >&2; exit 1; }
+
+echo "--- graceful drain ---"
+kill -TERM $SERVE_PID
+for _ in $(seq 1 60); do
+    if ! kill -0 $SERVE_PID 2>/dev/null; then break; fi
+    sleep 0.5
+done
+if kill -0 $SERVE_PID 2>/dev/null; then
+    echo "FAIL: server did not drain within 30s" >&2; exit 1
+fi
+wait $SERVE_PID || true
+grep -q '^bye$' "$LOG" || { echo "FAIL: server exited without draining" >&2; exit 1; }
+
+echo "adapt-soak OK: served=$SERVED rehardens=$REHARDENS bound_held=$BOUND"
